@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all                 # everything, paper-scale
+//	experiments -run table1 -frames 800  # one experiment, reduced scale
+//	experiments -run fig3 -csv out/      # also write the plot series CSV
+//
+// Each experiment prints the measured values next to the numbers the paper
+// reports; see EXPERIMENTS.md for how to read the comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"qgov/internal/experiments"
+)
+
+func main() {
+	var (
+		runWhat = flag.String("run", "all", "experiment: all|table1|table2|table3|fig3|ablations|multiapp")
+		frames  = flag.Int("frames", 0, "frames per run (0: each experiment's paper-scale default)")
+		seeds   = flag.Int("seeds", len(experiments.DefaultSeeds), "number of seeds to average over")
+		csvDir  = flag.String("csv", "", "directory to write per-frame CSV series into (fig3)")
+	)
+	flag.Parse()
+
+	valid := map[string]bool{
+		"all": true, "table1": true, "table2": true, "table3": true,
+		"fig3": true, "ablations": true, "multiapp": true,
+	}
+	if !valid[*runWhat] {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *runWhat)
+		os.Exit(2)
+	}
+
+	seedList := experiments.DefaultSeeds
+	if *seeds < len(seedList) && *seeds > 0 {
+		seedList = seedList[:*seeds]
+	}
+
+	run := func(name string, f func() error) {
+		if *runWhat != "all" && *runWhat != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		return experiments.TableI(seedList, *frames).Render(os.Stdout)
+	})
+	run("table2", func() error {
+		return experiments.TableII(seedList, *frames).Render(os.Stdout)
+	})
+	run("table3", func() error {
+		return experiments.TableIII(seedList, *frames).Render(os.Stdout)
+	})
+	run("fig3", func() error {
+		fig := experiments.Fig3(seedList[0], *frames)
+		if err := fig.Render(os.Stdout); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, "fig3.csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := fig.WriteCSV(f); err != nil {
+				return err
+			}
+			fmt.Printf("  series written to %s\n", path)
+		}
+		return nil
+	})
+	run("ablations", func() error {
+		return experiments.RenderAblations(os.Stdout, seedList, *frames)
+	})
+	run("multiapp", func() error {
+		return experiments.MultiApp(seedList, *frames).Render(os.Stdout)
+	})
+}

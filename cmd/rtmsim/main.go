@@ -1,0 +1,186 @@
+// Command rtmsim runs one governor against one workload on the simulated
+// ODROID-XU3 A15 cluster and prints the run summary, optionally with the
+// per-frame trace.
+//
+// Usage:
+//
+//	rtmsim -workload h264-football -governor rtm
+//	rtmsim -workload fft-32fps -governor ondemand -frames 500 -seed 7
+//	rtmsim -workload mpeg4-svga24 -governor rtm -csv run.csv
+//	rtmsim -trace mytrace.csv -governor performance
+//	rtmsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/sim"
+	"qgov/internal/workload"
+
+	// Register the RTM variants with the governor registry.
+	"qgov/internal/core"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "h264-football", "workload name (see -list)")
+		governorName = flag.String("governor", "rtm", "governor name (see -list)")
+		tracePath    = flag.String("trace", "", "CSV trace to replay instead of -workload")
+		frames       = flag.Int("frames", 0, "truncate/extend the workload to this many frames (0: default)")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+		mhz          = flag.Int("mhz", 0, "with -governor userspace: the pinned frequency")
+		csvPath      = flag.String("csv", "", "write the per-frame records to this CSV file")
+		saveQ        = flag.String("save-qtable", "", "with -governor rtm: save the learnt Q-table here")
+		loadQ        = flag.String("load-qtable", "", "with -governor rtm: seed the Q-table from this file (learning transfer)")
+		list         = flag.Bool("list", false, "list workloads and governors, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads: ", strings.Join(workload.Names(), " "))
+		fmt.Println("governors: ", strings.Join(governor.Names(), " "), " userspace oracle")
+		return
+	}
+
+	tr, err := resolveTrace(*tracePath, *workloadName, *seed, *frames)
+	if err != nil {
+		fatal(err)
+	}
+	gov, err := resolveGovernor(*governorName, *mhz, *loadQ, tr)
+	if err != nil {
+		fatal(err)
+	}
+
+	res := sim.Run(sim.Config{
+		Trace:    tr,
+		Governor: gov,
+		Seed:     *seed,
+		Record:   *csvPath != "",
+	})
+
+	fmt.Printf("workload   %s (%d frames @ %.4g fps)\n", res.Workload, res.Frames, tr.FPS())
+	fmt.Printf("governor   %s\n", res.Governor)
+	fmt.Printf("energy     %.3f J (sensor-reported %.3f J)\n", res.EnergyJ, res.SensorEnergyJ)
+	fmt.Printf("mean power %.3f W over %.2f s simulated\n", res.MeanPowerW, res.SimTimeS)
+	fmt.Printf("norm perf  %.3f (exec/Tref; <1 over-performs)\n", res.NormPerf)
+	fmt.Printf("misses     %d (%.2f%%)\n", res.Misses, res.MissRate*100)
+	fmt.Printf("dvfs       %d transitions, final temp %.1f °C\n", res.Transitions, res.FinalTempC)
+	if res.Explorations >= 0 {
+		fmt.Printf("learning   %d explorations (%d before convergence), converged at epoch %d\n",
+			res.Explorations, res.ExplorationsToConv, res.ConvergedAt)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := sim.WriteRecordsCSV(f, res.Records); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("records    written to %s\n", *csvPath)
+	}
+
+	if *saveQ != "" {
+		rtm, ok := gov.(*core.RTM)
+		if !ok {
+			fatal(fmt.Errorf("-save-qtable needs an RTM governor, have %s", gov.Name()))
+		}
+		f, err := os.Create(*saveQ)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rtm.Table().Save(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("q-table    written to %s (learning transfer: replay with -load-qtable)\n", *saveQ)
+	}
+}
+
+func resolveTrace(path, name string, seed int64, frames int) (workload.Trace, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return workload.Trace{}, err
+		}
+		defer f.Close()
+		tr, err := workload.ReadCSV(f)
+		if err != nil {
+			return workload.Trace{}, err
+		}
+		if frames > 0 {
+			tr = tr.Slice(0, frames)
+		}
+		return tr, nil
+	}
+	gen, err := workload.ByName(name)
+	if err != nil {
+		return workload.Trace{}, err
+	}
+	return gen(seed, frames), nil
+}
+
+func resolveGovernor(name string, mhz int, loadQ string, tr workload.Trace) (governor.Governor, error) {
+	switch name {
+	case "userspace":
+		if mhz == 0 {
+			return nil, fmt.Errorf("userspace governor needs -mhz")
+		}
+		if platform.A15Table().IndexOfMHz(mhz) < 0 {
+			return nil, fmt.Errorf("no A15 operating point at %d MHz", mhz)
+		}
+		return governor.NewUserspace(mhz), nil
+	case "oracle":
+		return governor.NewOracle(tr, platform.DefaultA15PowerModel()), nil
+	case "rtm", "updrl", "rtm-percore":
+		var g governor.Governor
+		if loadQ != "" {
+			if name != "rtm" {
+				return nil, fmt.Errorf("-load-qtable only applies to -governor rtm")
+			}
+			f, err := os.Open(loadQ)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			table, err := core.Load(f)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.DefaultConfig()
+			cfg.Transfer = table
+			// A transferred table starts in exploitation.
+			cfg.Epsilon.Epsilon0 = 0.1
+			cfg.Epsilon.HoldEpochs = 0
+			cfg.Epsilon.Reset()
+			g = core.New(cfg)
+		} else {
+			var err error
+			g, err = governor.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Pre-characterise on the trace as the experiments do.
+		if rtm, ok := g.(*core.RTM); ok {
+			if err := rtm.Calibrate(tr.MaxPerFrame()); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	default:
+		return governor.ByName(name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command tracegen generates workload traces as CSV for inspection, for
+// replay through rtmsim -trace, or for use by external tools.
+//
+// Usage:
+//
+//	tracegen -workload h264-football -out football.csv
+//	tracegen -workload parsec.bodytrack -frames 2000 -seed 3 -out -
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qgov/internal/workload"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "", "workload to generate (see -list)")
+		frames = flag.Int("frames", 0, "number of frames (0: workload default)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("out", "-", "output file, or - for stdout")
+		info   = flag.Bool("info", false, "print trace statistics instead of the CSV")
+		list   = flag.Bool("list", false, "list available workloads, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workload.Names(), "\n"))
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -workload is required (try -list)")
+		os.Exit(2)
+	}
+	gen, err := workload.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	tr := gen(*seed, *frames)
+
+	if *info {
+		st := tr.Summarize()
+		fmt.Printf("name         %s\n", tr.Name)
+		fmt.Printf("frames       %d @ %.4g fps (Tref %.4g ms)\n", st.Frames, tr.FPS(), tr.RefTimeS*1e3)
+		fmt.Printf("threads      %d\n", st.Threads)
+		fmt.Printf("mean demand  %.3g cycles/frame (critical path)\n", st.MeanCycles)
+		fmt.Printf("range        %.3g .. %.3g cycles\n", st.MinCycles, st.MaxCycles)
+		fmt.Printf("cv           %.3f\n", st.CVCycles)
+		fmt.Printf("required f   %.0f .. %.0f MHz at Tref\n",
+			st.MinCycles/tr.RefTimeS/1e6, st.MaxCycles/tr.RefTimeS/1e6)
+		return
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,34 @@
+// Package qgov is a full reproduction of "Machine Learning for Run-Time
+// Energy Optimisation in Many-Core Systems" (Biswas, Balagopal, Shafik,
+// Al-Hashimi, Merrett — DATE 2017): a Q-learning power governor that
+// selects per-epoch voltage-frequency settings for a many-core cluster so
+// that frame-based applications meet their deadlines at minimum energy.
+//
+// The paper's substrate is an ODROID-XU3 board; this repository rebuilds
+// everything above a simulated equivalent (see DESIGN.md for the
+// substitution argument) and regenerates every table and figure of the
+// paper's evaluation (see EXPERIMENTS.md for measured-vs-paper numbers):
+//
+//	internal/platform    the hardware layer: A15/A7 clusters, 19-point
+//	                     DVFS ladder, CMOS power + RC thermal models,
+//	                     PMUs, sampled power sensors
+//	internal/workload    the application layer: GOP-structured video
+//	                     decode, an FFT pipeline grounded in a real
+//	                     kernel (internal/fft), PARSEC and SPLASH-2
+//	                     phase models, CSV trace import/export
+//	internal/predictor   EWMA (Eq. 1) and the comparison predictors
+//	internal/governor    the run-time layer: governor interface, the
+//	                     Linux cpufreq family, the Oracle, and the
+//	                     ML-DTM baseline of ref [20]
+//	internal/core        the paper's contribution: the Q-learning RTM
+//	                     (Eqs. 2-7), its many-core modes, learning
+//	                     transfer, and the multi-application extension
+//	internal/sim         the closed-loop epoch engine and sweep runner
+//	internal/experiments Table I, II, III, Fig. 3 and the ablations
+//
+// Entry points: cmd/experiments regenerates the paper's results,
+// cmd/rtmsim runs one governor on one workload, cmd/tracegen emits
+// workload traces; examples/ holds runnable API walkthroughs; the
+// benchmarks in bench_test.go regenerate each experiment under
+// `go test -bench`.
+package qgov

@@ -1,0 +1,78 @@
+// Governorcompare sweeps every registered governor over a chosen workload
+// and prints an energy/performance/miss comparison — the quickest way to
+// see how the learning governors relate to the classic cpufreq family on
+// a given demand pattern.
+//
+//	go run ./examples/governorcompare [-workload parsec.bodytrack] [-frames 1200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"qgov/internal/core"
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/sim"
+	"qgov/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "parsec.bodytrack", "workload to compare on")
+	frames := flag.Int("frames", 1200, "frames to run")
+	seed := flag.Int64("seed", 7, "simulation seed")
+	flag.Parse()
+
+	gen, err := workload.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	trace := gen(*seed, *frames)
+
+	names := governor.Names()
+	sort.Strings(names)
+	jobs := make([]sim.Job, 0, len(names)+1)
+	jobs = append(jobs, sim.Job{Name: "oracle", Build: func() sim.Config {
+		return sim.Config{
+			Trace:    trace,
+			Governor: governor.NewOracle(trace, platform.DefaultA15PowerModel()),
+			Seed:     *seed,
+		}
+	}})
+	for _, n := range names {
+		n := n
+		jobs = append(jobs, sim.Job{Name: n, Build: func() sim.Config {
+			g, err := governor.ByName(n)
+			if err != nil {
+				panic(err)
+			}
+			if rtm, ok := g.(*core.RTM); ok {
+				if err := rtm.Calibrate(trace.MaxPerFrame()); err != nil {
+					panic(err)
+				}
+			}
+			return sim.Config{Trace: trace, Governor: g, Seed: *seed}
+		}})
+	}
+
+	results := sim.RunAll(jobs)
+	oracleEnergy := results[0].EnergyJ
+
+	fmt.Printf("workload %s: %d frames @ %.0f fps\n\n", trace.Name, trace.Len(), trace.FPS())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "governor\tnorm energy\tnorm perf\tmisses\tmean W\tconverged@")
+	for _, r := range results {
+		conv := "-"
+		if r.ConvergedAt >= 0 {
+			conv = fmt.Sprintf("%d", r.ConvergedAt)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.1f%%\t%.2f\t%s\n",
+			r.Governor, r.EnergyJ/oracleEnergy, r.NormPerf, r.MissRate*100,
+			r.MeanPowerW, conv)
+	}
+	tw.Flush()
+}

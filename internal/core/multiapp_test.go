@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+)
+
+func TestMultiRTMConstructionValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewMultiRTM(DefaultConfig(), 0) },
+		func() { NewMultiRTM(Config{Levels: 5}, 2) }, // missing Reward/Policy/Epsilon
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d must panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMultiRTMAppCountMismatchPanics(t *testing.T) {
+	m := NewMultiRTM(DefaultConfig(), 2)
+	m.Reset(rtmCtx(1))
+	m.DecideMulti(MultiObservation{Epoch: -1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("observing 1 app on a 2-app controller must panic")
+		}
+	}()
+	m.DecideMulti(MultiObservation{
+		Epoch: 0,
+		Apps:  []AppObservation{{ExecTimeS: 0.01, PeriodS: 0.04, CriticalCycles: 1e6}},
+	})
+}
+
+// driveMultiSteady runs the controller against two idealised steady apps
+// with distinct demands and deadlines, computing per-app exec times from
+// the chosen frequency exactly.
+func driveMultiSteady(m *MultiRTM, cyA, cyB uint64, refA, refB float64, epochs int) []int {
+	ctx := rtmCtx(21)
+	m.Reset(ctx)
+	idx := m.DecideMulti(MultiObservation{Epoch: -1})
+	picks := make([]int, 0, epochs)
+	for i := 0; i < epochs; i++ {
+		f := ctx.Table[idx].FreqHz()
+		ovh := m.DecisionOverheadS()
+		obs := MultiObservation{
+			Epoch: i,
+			Apps: []AppObservation{
+				{ExecTimeS: float64(cyA)/f + ovh, PeriodS: refA, CriticalCycles: cyA},
+				{ExecTimeS: float64(cyB)/f + ovh, PeriodS: refB, CriticalCycles: cyB},
+			},
+		}
+		idx = m.DecideMulti(obs)
+		picks = append(picks, idx)
+	}
+	return picks
+}
+
+func TestMultiRTMServesTheBindingApp(t *testing.T) {
+	// App A needs 500 MHz (20 Mcycles / 40 ms); app B needs 1 GHz
+	// (25 Mcycles / 25 ms). The controller must settle at or above app
+	// B's requirement — the binding constraint — not app A's.
+	m := NewMultiRTM(DefaultConfig(), 2)
+	if err := m.Calibrate([]float64{15e6, 20e6, 25e6, 30e6}); err != nil {
+		t.Fatal(err)
+	}
+	picks := driveMultiSteady(m, 20e6, 25e6, 0.040, 0.025, 800)
+	table := platform.A15Table()
+	for _, idx := range picks[len(picks)-30:] {
+		if mhz := table[idx].FreqMHz; mhz < 1000 || mhz > 1500 {
+			t.Fatalf("steady pick %d MHz; binding app needs 1000 MHz", mhz)
+		}
+	}
+	if m.ConvergedAtEpoch() < 0 {
+		t.Fatal("multi-app controller did not converge on steady demand")
+	}
+	if m.Explorations() == 0 {
+		t.Fatal("no explorations recorded")
+	}
+}
+
+func TestMultiRTMTracksPerAppSlack(t *testing.T) {
+	m := NewMultiRTM(DefaultConfig(), 2)
+	if err := m.Calibrate([]float64{15e6, 20e6, 25e6, 30e6}); err != nil {
+		t.Fatal(err)
+	}
+	driveMultiSteady(m, 20e6, 25e6, 0.040, 0.025, 800)
+	// App A (loose deadline) must show more slack than app B (binding).
+	if !(m.SlackL(0) > m.SlackL(1)) {
+		t.Fatalf("slack ordering wrong: loose app %v, binding app %v", m.SlackL(0), m.SlackL(1))
+	}
+	// The binding app's slack should sit in a sane band, not deep misses.
+	if m.SlackL(1) < -0.1 {
+		t.Fatalf("binding app chronically missing: L = %v", m.SlackL(1))
+	}
+}
+
+func TestMultiRTMOverheadScalesWithApps(t *testing.T) {
+	one := NewMultiRTM(DefaultConfig(), 1)
+	three := NewMultiRTM(DefaultConfig(), 3)
+	if !(three.DecisionOverheadS() > one.DecisionOverheadS()) {
+		t.Fatal("tracking more applications must cost more per decision")
+	}
+}
+
+func TestMultiRTMAutoRange(t *testing.T) {
+	// Without calibration the controller must still run and stabilise.
+	m := NewMultiRTM(DefaultConfig(), 2)
+	picks := driveMultiSteady(m, 18e6, 22e6, 0.040, 0.030, 600)
+	if len(picks) != 600 {
+		t.Fatal("auto-ranged run did not complete")
+	}
+	table := platform.A15Table()
+	// Binding requirement: 22e6/0.030 = 733 MHz.
+	for _, idx := range picks[len(picks)-20:] {
+		if mhz := table[idx].FreqMHz; mhz < 700 || mhz > 1400 {
+			t.Fatalf("auto-ranged pick %d MHz implausible for a 733 MHz requirement", mhz)
+		}
+	}
+}
+
+func TestMultiRTMFirstEpochSafeStart(t *testing.T) {
+	m := NewMultiRTM(DefaultConfig(), 2)
+	m.Reset(governor.Context{Table: platform.A15Table(), NumCores: 4, PeriodS: 0.04, Seed: 1})
+	if got := m.DecideMulti(MultiObservation{Epoch: -1}); got != 0 {
+		t.Fatalf("first decision %d, want the reset platform's slowest point", got)
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// QTable is the look-up table of Section II-A: one row per discretised
+// system state, one column per V-F action, holding the learnt long-term
+// pay-off of taking that action in that state.
+//
+// InitQ seeds unvisited entries. A mildly pessimistic value (below the
+// typical reward) makes the greedy policy prefer actions it has actually
+// seen succeed, leaving exploration to the ε/EPD machinery where the paper
+// puts it; an optimistic value (0 with negative rewards) would force a
+// blind sweep of all 19 actions per state and inflate the exploration
+// counts of Table II for every method alike.
+type QTable struct {
+	states  int
+	actions int
+	q       []float64
+	visits  []int
+}
+
+// NewQTable creates a table with every entry at initQ.
+func NewQTable(states, actions int, initQ float64) *QTable {
+	if states < 1 || actions < 1 {
+		panic(fmt.Sprintf("core: QTable(%d states, %d actions)", states, actions))
+	}
+	t := &QTable{
+		states:  states,
+		actions: actions,
+		q:       make([]float64, states*actions),
+		visits:  make([]int, states*actions),
+	}
+	for i := range t.q {
+		t.q[i] = initQ
+	}
+	return t
+}
+
+// States returns |S|.
+func (t *QTable) States() int { return t.states }
+
+// Actions returns |A|.
+func (t *QTable) Actions() int { return t.actions }
+
+// Q returns the value of (state, action).
+func (t *QTable) Q(state, action int) float64 { return t.q[t.idx(state, action)] }
+
+// Visits returns how many updates (state, action) has received.
+func (t *QTable) Visits(state, action int) int { return t.visits[t.idx(state, action)] }
+
+// RowVisits returns the total updates state has received across actions.
+func (t *QTable) RowVisits(state int) int {
+	var sum int
+	for a := 0; a < t.actions; a++ {
+		sum += t.visits[state*t.actions+a]
+	}
+	return sum
+}
+
+// Update applies Bellman's optimality equation (Eq. 3):
+//
+//	Q(s,a) ← (1−α)·Q(s,a) + α·(R + γ·max_a' Q(s', a'))
+//
+// where s' is the (predicted) next state.
+func (t *QTable) Update(state, action int, reward float64, nextState int, alpha, discount float64) {
+	i := t.idx(state, action)
+	best := t.MaxQ(nextState)
+	t.q[i] = (1-alpha)*t.q[i] + alpha*(reward+discount*best)
+	t.visits[i]++
+}
+
+// UpdateSARSA applies the on-policy temporal-difference update:
+//
+//	Q(s,a) ← (1−α)·Q(s,a) + α·(R + γ·Q(s', a'))
+//
+// where a' is the action the policy has *actually chosen* for the next
+// epoch — the SARSA variant of Eq. 3, kept for the on-policy ablation.
+// Off-policy Q-learning bootstraps from the greedy value even while the
+// ε/EPD machinery is still exploring, which inflates values reachable
+// only through actions the final policy will not take; SARSA evaluates
+// the policy being followed.
+func (t *QTable) UpdateSARSA(state, action int, reward float64, nextState, nextAction int, alpha, discount float64) {
+	i := t.idx(state, action)
+	next := t.Q(nextState, nextAction)
+	t.q[i] = (1-alpha)*t.q[i] + alpha*(reward+discount*next)
+	t.visits[i]++
+}
+
+// MaxQ returns max over actions of Q(state, ·).
+func (t *QTable) MaxQ(state int) float64 {
+	row := t.row(state)
+	m := row[0]
+	for _, v := range row[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// BestAction returns argmax over actions of Q(state, ·); ties resolve to
+// the lowest index (slowest V-F point, the energy-conservative choice).
+func (t *QTable) BestAction(state int) int {
+	row := t.row(state)
+	best := 0
+	for i, v := range row {
+		if v > row[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// BestActionSticky returns the greedy action with hysteresis: the current
+// action is kept unless a challenger beats it by more than margin. With
+// stochastic rewards the Q-values of adjacent V-F points in a
+// well-visited state hover within sampling noise of each other; without a
+// dead-band the greedy choice flips indefinitely, which both thrashes the
+// DVFS actuator and makes "the policy has stabilised" undetectable.
+func (t *QTable) BestActionSticky(state, current int, margin float64) int {
+	row := t.row(state)
+	if current < 0 || current >= len(row) {
+		return t.BestAction(state)
+	}
+	best := t.BestAction(state)
+	if row[best] > row[current]+margin {
+		return best
+	}
+	return current
+}
+
+// GreedyPolicy returns the best action for every state — the fingerprint
+// the convergence tracker watches.
+func (t *QTable) GreedyPolicy() []int {
+	out := make([]int, t.states)
+	for s := range out {
+		out[s] = t.BestAction(s)
+	}
+	return out
+}
+
+// Row returns a copy of one state's action values.
+func (t *QTable) Row(state int) []float64 {
+	return append([]float64(nil), t.row(state)...)
+}
+
+func (t *QTable) row(state int) []float64 {
+	if state < 0 || state >= t.states {
+		panic(fmt.Sprintf("core: state %d outside [0,%d)", state, t.states))
+	}
+	return t.q[state*t.actions : (state+1)*t.actions]
+}
+
+func (t *QTable) idx(state, action int) int {
+	if state < 0 || state >= t.states || action < 0 || action >= t.actions {
+		panic(fmt.Sprintf("core: (%d,%d) outside %dx%d table", state, action, t.states, t.actions))
+	}
+	return state*t.actions + action
+}
+
+// qtableJSON is the serialisation schema for learning transfer.
+type qtableJSON struct {
+	States  int       `json:"states"`
+	Actions int       `json:"actions"`
+	Q       []float64 `json:"q"`
+	Visits  []int     `json:"visits"`
+}
+
+// Save serialises the table as JSON. Together with Load it implements the
+// learning-transfer capability of Shafik et al. (TCAD'16, the paper's ref
+// [12]): a table learnt for one application run seeds the next, skipping
+// the exploration phase.
+func (t *QTable) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(qtableJSON{States: t.states, Actions: t.actions, Q: t.q, Visits: t.visits}); err != nil {
+		return fmt.Errorf("core: saving Q-table: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load restores a table saved with Save.
+func Load(r io.Reader) (*QTable, error) {
+	var j qtableJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("core: loading Q-table: %w", err)
+	}
+	if j.States < 1 || j.Actions < 1 || len(j.Q) != j.States*j.Actions || len(j.Visits) != len(j.Q) {
+		return nil, fmt.Errorf("core: Q-table file is inconsistent (%d states, %d actions, %d values)",
+			j.States, j.Actions, len(j.Q))
+	}
+	return &QTable{states: j.States, actions: j.Actions, q: j.Q, visits: j.Visits}, nil
+}

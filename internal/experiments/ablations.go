@@ -1,0 +1,469 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"qgov/internal/core"
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/predictor"
+	"qgov/internal/sim"
+	"qgov/internal/stats"
+	"qgov/internal/workload"
+)
+
+// Ablations probe the design choices DESIGN.md calls out. They are this
+// reproduction's additions — the paper asserts these choices (EPD, N = 5,
+// γ = 0.6, the shared table) mostly without sweeps; the ablations measure
+// them.
+
+// EPDBetaPoint is one β setting of the EPD ablation.
+type EPDBetaPoint struct {
+	Beta         float64
+	Explorations float64
+	ConvergedAt  float64
+	MissRate     float64
+}
+
+// AblationEPD sweeps the EPD sharpness β on the MPEG4 workload. β = 0 is
+// exactly UPD (the Eq. 2 exponent vanishes); as β grows, exploration
+// concentrates on slack-appropriate frequencies and the exploration count
+// should fall until excessive sharpness starves the distribution's tails.
+func AblationEPD(seeds []int64, frames int) []EPDBetaPoint {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	if frames <= 0 {
+		frames = 1000
+	}
+	betas := []float64{0, 2, 6, 12, 24}
+	out := make([]EPDBetaPoint, 0, len(betas))
+	for _, beta := range betas {
+		var expl, conv, miss float64
+		for _, seed := range seeds {
+			tr := workload.MPEG4At30(seed, frames)
+			cfg := core.DefaultConfig()
+			cfg.Policy = &core.ExponentialPolicy{Beta: beta, Lambda: 0.1}
+			rtm := core.New(cfg)
+			mustCalibrate(rtm, tr)
+			r := run(tr, rtm, seed, false)
+			expl += float64(r.Explorations)
+			miss += r.MissRate
+			if r.ConvergedAt >= 0 {
+				conv += float64(r.ConvergedAt)
+			} else {
+				conv += float64(frames)
+			}
+		}
+		n := float64(len(seeds))
+		out = append(out, EPDBetaPoint{
+			Beta:         beta,
+			Explorations: expl / n,
+			ConvergedAt:  conv / n,
+			MissRate:     miss / n,
+		})
+	}
+	return out
+}
+
+// NLevelPoint is one Q-table size setting of the N ablation.
+type NLevelPoint struct {
+	Levels      int
+	States      int
+	NormEnergy  float64 // vs Oracle
+	NormPerf    float64
+	ConvergedAt float64
+	MissRate    float64
+}
+
+// AblationN sweeps the discretisation N (Q-table rows N²) on the H.264
+// workload: the paper picks N = 5 by pre-characterisation, trading the
+// learning overhead of a bigger table against control resolution.
+func AblationN(seeds []int64, frames int) []NLevelPoint {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	if frames <= 0 {
+		frames = 1200
+	}
+	levels := []int{3, 5, 7, 9}
+	out := make([]NLevelPoint, 0, len(levels))
+	for _, n := range levels {
+		var e, p, conv, miss float64
+		for _, seed := range seeds {
+			tr := workload.H264At15(seed, frames)
+			oracle := run(tr, oracleFor(tr), seed, false)
+			cfg := core.DefaultConfig()
+			cfg.Levels = n
+			rtm := core.New(cfg)
+			mustCalibrate(rtm, tr)
+			r := run(tr, rtm, seed, false)
+			e += r.EnergyJ / oracle.EnergyJ
+			p += r.NormPerf
+			miss += r.MissRate
+			if r.ConvergedAt >= 0 {
+				conv += float64(r.ConvergedAt)
+			} else {
+				conv += float64(frames)
+			}
+		}
+		ns := float64(len(seeds))
+		out = append(out, NLevelPoint{
+			Levels:      n,
+			States:      n * n,
+			NormEnergy:  e / ns,
+			NormPerf:    p / ns,
+			ConvergedAt: conv / ns,
+			MissRate:    miss / ns,
+		})
+	}
+	return out
+}
+
+// GammaPoint is one smoothing-factor setting of the EWMA ablation.
+type GammaPoint struct {
+	Gamma      float64
+	Mispredict float64 // mean |pred−actual| / mean actual
+}
+
+// AblationGamma sweeps the EWMA smoothing factor. The paper determines
+// γ = 0.6 experimentally; the sweep shows the misprediction bowl around it.
+// The trade-off only materialises on footage with frequent scene cuts:
+// a small γ lags each cut for ~1/γ frames, a large γ chases the per-frame
+// motion noise, and in between lies the bowl. (On a calm sequence the
+// curve is nearly flat and smaller γ always wins — smoothing is free when
+// nothing ever jumps.)
+func AblationGamma(seeds []int64, frames int) []GammaPoint {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	if frames <= 0 {
+		frames = 600
+	}
+	gammas := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	out := make([]GammaPoint, 0, len(gammas))
+	for _, g := range gammas {
+		var acc float64
+		for _, seed := range seeds {
+			tr := gammaSweepTrace(seed, frames)
+			recs := predictor.Evaluate(predictor.NewEWMA(g), tr.MaxPerFrame())
+			pred, actual := predictor.Split(recs[1:]) // frame 0: unprimed
+			acc += stats.MAPEOfMean(pred, actual)
+		}
+		out = append(out, GammaPoint{Gamma: g, Mispredict: acc / float64(len(seeds))})
+	}
+	return out
+}
+
+// gammaSweepTrace is sports-style footage: a hard cut every ~30 frames
+// with large scene-to-scene level jumps and small per-frame noise.
+func gammaSweepTrace(seed int64, frames int) workload.Trace {
+	return workload.VideoConfig{
+		Name: "cut-heavy", Codec: "mpeg4", FPS: 24, NumFrames: frames,
+		Threads: 4, GOPLength: 12, BFrames: 2,
+		BaseCycles: 140e6, IWeight: 1.05, BWeight: 0.96,
+		SceneChangeProb: 1.0 / 30, SceneSigma: 0.45,
+		SceneWalkSigma: 0.004, SceneMin: 0.55, SceneMax: 1.45,
+		NoiseSigma: 0.02, ImbalanceCV: 0.04, Seed: seed,
+	}.Generate()
+}
+
+// SharedPoint is one learning-organisation setting of the shared-table
+// ablation.
+type SharedPoint struct {
+	Mode        string
+	ConvergedAt float64
+	// TimeToQoS is the first epoch from which the trailing-100-epoch miss
+	// rate stays below 8 % — "how long until the governor delivers
+	// acceptable quality of service". Unlike policy-stability convergence
+	// it cannot be gamed by rows that never gather enough experience to
+	// count. -1 (reported as the horizon) when never reached.
+	TimeToQoS  float64
+	NormEnergy float64
+	MissRate   float64
+}
+
+// timeToQoS scans a recorded run for the first epoch after which the
+// trailing-window miss rate stays below the threshold until the end.
+func timeToQoS(records []sim.FrameRecord, window int, threshold float64) int {
+	if len(records) < window {
+		return -1
+	}
+	misses := make([]int, len(records)+1)
+	for i, r := range records {
+		misses[i+1] = misses[i]
+		if r.Missed {
+			misses[i+1]++
+		}
+	}
+	// Find the last window that violates the threshold; QoS holds after it.
+	last := -1
+	for i := window; i <= len(records); i++ {
+		rate := float64(misses[i]-misses[i-window]) / float64(window)
+		if rate >= threshold {
+			last = i
+		}
+	}
+	if last < 0 {
+		return window // clean from the start
+	}
+	if last >= len(records) {
+		return -1
+	}
+	return last
+}
+
+// AblationShared isolates the Section II-D design: the same RTM with the
+// shared Q-table versus independent per-core tables, on the stationary
+// decode loop Table III uses (convergence epochs are only well defined on
+// a stationary workload). The shared table aggregates every core's
+// experience and should converge in materially fewer epochs — the
+// Table III mechanism without the other baseline differences.
+func AblationShared(seeds []int64, frames int) []SharedPoint {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	if frames <= 0 {
+		frames = 2000
+	}
+	modes := []core.Mode{core.SharedTable, core.PerCoreTables}
+	out := make([]SharedPoint, 0, len(modes))
+	for _, mode := range modes {
+		var conv, qos, e, miss float64
+		for _, seed := range seeds {
+			tr := tableIIITrace(seed, frames)
+			oracle := run(tr, oracleFor(tr), seed, false)
+			cfg := core.DefaultConfig()
+			cfg.Mode = mode
+			rtm := core.New(cfg)
+			mustCalibrate(rtm, tr)
+			r := run(tr, rtm, seed, true)
+			if r.ConvergedAt >= 0 {
+				conv += float64(r.ConvergedAt)
+			} else {
+				conv += float64(frames)
+			}
+			if q := timeToQoS(r.Records, 100, 0.08); q >= 0 {
+				qos += float64(q)
+			} else {
+				qos += float64(frames)
+			}
+			e += r.EnergyJ / oracle.EnergyJ
+			miss += r.MissRate
+		}
+		n := float64(len(seeds))
+		out = append(out, SharedPoint{
+			Mode:        mode.String(),
+			ConvergedAt: conv / n,
+			TimeToQoS:   qos / n,
+			NormEnergy:  e / n,
+			MissRate:    miss / n,
+		})
+	}
+	return out
+}
+
+// UpdateRulePoint is one temporal-difference rule of the A6 ablation.
+type UpdateRulePoint struct {
+	Rule        string
+	NormEnergy  float64
+	NormPerf    float64
+	MissRate    float64
+	ConvergedAt float64
+}
+
+// AblationUpdateRule compares off-policy Q-learning (the paper's Eq. 3)
+// against on-policy SARSA with everything else identical. Q-learning
+// bootstraps from the greedy maximum even while exploration is running,
+// which inflates optimistic values; SARSA evaluates the policy actually
+// followed and tends to land safer (fewer misses) at slightly higher
+// energy. The experiment quantifies whether the paper's choice of
+// Q-learning costs anything on this problem.
+func AblationUpdateRule(seeds []int64, frames int) []UpdateRulePoint {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	if frames <= 0 {
+		frames = 1500
+	}
+	rules := []bool{false, true} // OnPolicy
+	out := make([]UpdateRulePoint, 0, len(rules))
+	for _, onPolicy := range rules {
+		var e, p, miss, conv float64
+		for _, seed := range seeds {
+			tr := workload.MPEG4At30(seed, frames)
+			oracle := run(tr, oracleFor(tr), seed, false)
+			cfg := core.DefaultConfig()
+			cfg.OnPolicy = onPolicy
+			rtm := core.New(cfg)
+			mustCalibrate(rtm, tr)
+			r := run(tr, rtm, seed, false)
+			e += r.EnergyJ / oracle.EnergyJ
+			p += r.NormPerf
+			miss += r.MissRate
+			if r.ConvergedAt >= 0 {
+				conv += float64(r.ConvergedAt)
+			} else {
+				conv += float64(frames)
+			}
+		}
+		n := float64(len(seeds))
+		rule := "q-learning"
+		if onPolicy {
+			rule = "sarsa"
+		}
+		out = append(out, UpdateRulePoint{
+			Rule:        rule,
+			NormEnergy:  e / n,
+			NormPerf:    p / n,
+			MissRate:    miss / n,
+			ConvergedAt: conv / n,
+		})
+	}
+	return out
+}
+
+// PredictorPoint is one predictor of the predictor-comparison ablation.
+type PredictorPoint struct {
+	Name       string
+	Mispredict float64
+}
+
+// AblationPredictors compares EWMA against the adaptive-filter and simple
+// predictors on the MPEG4 workload — the Section II-A claim that filter
+// lag hurts under dynamic workload changes, measured.
+func AblationPredictors(seeds []int64, frames int) []PredictorPoint {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	if frames <= 0 {
+		frames = 400
+	}
+	names := []string{"ewma", "last", "ma", "holt", "nlms"}
+	out := make([]PredictorPoint, 0, len(names))
+	for _, name := range names {
+		var acc float64
+		for _, seed := range seeds {
+			tr := workload.MPEG4SVGA24(seed, frames)
+			p, err := predictor.New(name)
+			if err != nil {
+				panic(err)
+			}
+			recs := predictor.Evaluate(p, tr.MaxPerFrame())
+			pred, actual := predictor.Split(recs[1:])
+			acc += stats.MAPEOfMean(pred, actual)
+		}
+		out = append(out, PredictorPoint{Name: name, Mispredict: acc / float64(len(seeds))})
+	}
+	return out
+}
+
+// MemBoundPoint is one memory-intensity setting of the A7 ablation.
+type MemBoundPoint struct {
+	MemFrac          float64
+	SavingVsOndemand float64 // 1 − E_rtm/E_ondemand
+	RTMPerf          float64
+	MissRate         float64
+}
+
+// AblationMemBound sweeps the workload's memory-bound fraction and
+// measures how much of the RTM's energy advantage over ondemand survives.
+// DVFS leverage shrinks as work becomes memory-bound — the memory term of
+// T(f) neither speeds up at f_max nor slows down at f_min — so the saving
+// should fall with m. This bounds where the paper's approach pays off.
+func AblationMemBound(seeds []int64, frames int) []MemBoundPoint {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	if frames <= 0 {
+		frames = 1500
+	}
+	fracs := []float64{0, 0.2, 0.4, 0.6}
+	out := make([]MemBoundPoint, 0, len(fracs))
+	for _, m := range fracs {
+		var saving, perf, miss float64
+		for _, seed := range seeds {
+			tr := workload.MPEG4At30(seed, frames)
+			cluster := func() *platform.Cluster {
+				return platform.NewCluster(platform.ClusterConfig{
+					Name: "A15", Table: platform.A15Table(), NumCores: 4,
+					Seed: seed, MemStallFrac: m,
+				})
+			}
+			ond := sim.Run(sim.Config{Trace: tr, Governor: governor.NewOndemand(), Cluster: cluster(), Seed: seed})
+			rtm := newRTM(tr)
+			r := sim.Run(sim.Config{Trace: tr, Governor: rtm, Cluster: cluster(), Seed: seed})
+			saving += 1 - r.EnergyJ/ond.EnergyJ
+			perf += r.NormPerf
+			miss += r.MissRate
+		}
+		n := float64(len(seeds))
+		out = append(out, MemBoundPoint{
+			MemFrac:          m,
+			SavingVsOndemand: saving / n,
+			RTMPerf:          perf / n,
+			MissRate:         miss / n,
+		})
+	}
+	return out
+}
+
+// RenderAblations writes every ablation as one report.
+func RenderAblations(w io.Writer, seeds []int64, frames int) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+
+	fmt.Fprintln(w, "Ablation A1 — EPD sharpness β (β=0 is UPD)")
+	fmt.Fprintln(tw, "beta\texplorations\tconverged_at\tmiss_rate")
+	for _, p := range AblationEPD(seeds, frames) {
+		fmt.Fprintf(tw, "%.0f\t%.0f\t%.0f\t%.1f%%\n", p.Beta, p.Explorations, p.ConvergedAt, p.MissRate*100)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\nAblation A2 — discretisation levels N")
+	fmt.Fprintln(tw, "N\tstates\tnorm_energy\tnorm_perf\tconverged_at\tmiss_rate")
+	for _, p := range AblationN(seeds, frames) {
+		fmt.Fprintf(tw, "%d\t%d\t%.3f\t%.3f\t%.0f\t%.1f%%\n",
+			p.Levels, p.States, p.NormEnergy, p.NormPerf, p.ConvergedAt, p.MissRate*100)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\nAblation A3 — EWMA smoothing factor γ")
+	fmt.Fprintln(tw, "gamma\tmispredict")
+	for _, p := range AblationGamma(seeds, frames) {
+		fmt.Fprintf(tw, "%.1f\t%.2f%%\n", p.Gamma, p.Mispredict*100)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\nAblation A4 — shared vs per-core Q-tables")
+	fmt.Fprintln(tw, "mode\tconverged_at\ttime_to_qos\tnorm_energy\tmiss_rate")
+	for _, p := range AblationShared(seeds, frames) {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.3f\t%.1f%%\n",
+			p.Mode, p.ConvergedAt, p.TimeToQoS, p.NormEnergy, p.MissRate*100)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\nAblation A5 — workload predictors")
+	fmt.Fprintln(tw, "predictor\tmispredict")
+	for _, p := range AblationPredictors(seeds, frames) {
+		fmt.Fprintf(tw, "%s\t%.2f%%\n", p.Name, p.Mispredict*100)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\nAblation A6 — temporal-difference update rule")
+	fmt.Fprintln(tw, "rule\tnorm_energy\tnorm_perf\tmiss_rate\tconverged_at")
+	for _, p := range AblationUpdateRule(seeds, frames) {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.1f%%\t%.0f\n",
+			p.Rule, p.NormEnergy, p.NormPerf, p.MissRate*100, p.ConvergedAt)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\nAblation A7 — memory-bound fraction (DVFS leverage)")
+	fmt.Fprintln(tw, "mem_frac\tsaving_vs_ondemand\trtm_perf\trtm_miss")
+	for _, p := range AblationMemBound(seeds, frames) {
+		fmt.Fprintf(tw, "%.1f\t%.1f%%\t%.2f\t%.1f%%\n",
+			p.MemFrac, p.SavingVsOndemand*100, p.RTMPerf, p.MissRate*100)
+	}
+	return tw.Flush()
+}

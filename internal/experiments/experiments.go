@@ -1,0 +1,60 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section III) plus the ablations called out in DESIGN.md.
+// Each experiment returns a typed result that also carries the paper's
+// reported numbers, so callers — the CLI, the benchmarks and the tests —
+// can print or assert the comparison in one place.
+//
+// Reading the results: absolute joules and epoch counts depend on the
+// simulated platform, so the reproduction targets the paper's *shape* —
+// orderings, approximate ratios and crossovers — not its absolute values
+// (see EXPERIMENTS.md for the measured-vs-paper record).
+package experiments
+
+import (
+	"fmt"
+
+	"qgov/internal/core"
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/sim"
+	"qgov/internal/workload"
+)
+
+// DefaultSeeds are the seeds experiments average over. Multiple seeds keep
+// single-run exploration luck from dominating the learning-statistics
+// tables (the paper averages repeated runs the same way).
+var DefaultSeeds = []int64{11, 23, 37, 41, 59}
+
+// newRTM builds the proposed governor, pre-characterised on the trace the
+// way the paper's design-space exploration profiles each application.
+func newRTM(tr workload.Trace) *core.RTM {
+	r := core.New(core.DefaultConfig())
+	mustCalibrate(r, tr)
+	return r
+}
+
+// newUPDRL builds the ref [21]-style baseline: identical to the RTM except
+// for uniform exploration.
+func newUPDRL(tr workload.Trace) *core.RTM {
+	cfg := core.DefaultConfig()
+	cfg.Policy = core.UniformPolicy{}
+	r := core.New(cfg)
+	mustCalibrate(r, tr)
+	return r
+}
+
+func mustCalibrate(r *core.RTM, tr workload.Trace) {
+	if err := r.Calibrate(tr.MaxPerFrame()); err != nil {
+		panic(fmt.Sprintf("experiments: calibrating on %s: %v", tr.Name, err))
+	}
+}
+
+// run executes one governor on one trace with the default platform.
+func run(tr workload.Trace, g governor.Governor, seed int64, record bool) *sim.Result {
+	return sim.Run(sim.Config{Trace: tr, Governor: g, Seed: seed, Record: record})
+}
+
+// oracleFor builds the paper's energy-normalisation reference for a trace.
+func oracleFor(tr workload.Trace) *governor.Oracle {
+	return governor.NewOracle(tr, platform.DefaultA15PowerModel())
+}

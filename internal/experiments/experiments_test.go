@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"qgov/internal/sim"
+)
+
+// The experiment tests assert the paper's *shape* — orderings and rough
+// factors — at reduced scale so the suite stays minutes-fast. The
+// full-scale numbers live in EXPERIMENTS.md and regenerate via
+// cmd/experiments and the benchmarks.
+
+var testSeeds = []int64{11, 23}
+
+func TestTableIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	res := TableI(testSeeds, 1500)
+	oracle := res.Row("oracle")
+	ondemand := res.Row("ondemand")
+	mldtm := res.Row("mldtm")
+	rtm := res.Row("rtm")
+	if oracle == nil || ondemand == nil || mldtm == nil || rtm == nil {
+		t.Fatal("missing rows")
+	}
+	// Energy is normalised to the Oracle.
+	if math.Abs(oracle.NormEnergy-1) > 1e-9 {
+		t.Errorf("oracle norm energy = %v, want 1", oracle.NormEnergy)
+	}
+	// Paper ordering: proposed < ML-DTM < ondemand.
+	if !(rtm.NormEnergy < mldtm.NormEnergy && mldtm.NormEnergy < ondemand.NormEnergy) {
+		t.Errorf("energy ordering broken: rtm %.3f, mldtm %.3f, ondemand %.3f",
+			rtm.NormEnergy, mldtm.NormEnergy, ondemand.NormEnergy)
+	}
+	// The proposed governor must save double-digit energy vs ondemand
+	// (paper: ≈16 % vs the state of the art).
+	if saving := 1 - rtm.NormEnergy/ondemand.NormEnergy; saving < 0.10 {
+		t.Errorf("saving vs ondemand only %.1f%%", saving*100)
+	}
+	// Performance: the proposed governor tracks Tref most closely; the
+	// baselines over-perform.
+	if !(rtm.NormPerf > mldtm.NormPerf && rtm.NormPerf > ondemand.NormPerf) {
+		t.Errorf("perf ordering broken: rtm %.2f, mldtm %.2f, ondemand %.2f",
+			rtm.NormPerf, mldtm.NormPerf, ondemand.NormPerf)
+	}
+	if rtm.NormPerf < 0.7 || rtm.NormPerf > 1.05 {
+		t.Errorf("rtm norm perf %.2f outside the plausible tracking band", rtm.NormPerf)
+	}
+	if oracle.MissRate > 0.001 {
+		t.Errorf("oracle missed deadlines: %.2f%%", oracle.MissRate*100)
+	}
+}
+
+func TestTableIRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	res := TableI(testSeeds[:1], 600)
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "oracle", "ondemand", "mldtm", "rtm", "Paper energy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	res := TableII(testSeeds, 800)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// The EPD approach needs materially fewer explorations than UPD
+		// (paper: 38-44 % fewer; we accept anything beyond 15 %).
+		if !(row.EPD < row.UPD) {
+			t.Errorf("%s: EPD %.0f not below UPD %.0f", row.App, row.EPD, row.UPD)
+		}
+		if row.Reduction < 0.15 {
+			t.Errorf("%s: reduction only %.0f%%", row.App, row.Reduction*100)
+		}
+		if row.EPD < 10 || row.UPD > 500 {
+			t.Errorf("%s: implausible counts EPD=%.0f UPD=%.0f", row.App, row.EPD, row.UPD)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	// Full seed set: with two seeds the convergence-epoch comparison is
+	// inside seed noise; the five-seed mean is the experiment's unit.
+	res := TableIII(DefaultSeeds, 2500)
+	mldtm := res.Row("mldtm")
+	rtm := res.Row("rtm")
+	if mldtm == nil || rtm == nil {
+		t.Fatal("missing rows")
+	}
+	// The shared-table RTM must stabilise in materially fewer epochs than
+	// the per-core ML-DTM (paper factor ≈2; we accept ≥1.2).
+	if !(rtm.Epochs < mldtm.Epochs) {
+		t.Errorf("rtm epochs %.0f not below mldtm %.0f", rtm.Epochs, mldtm.Epochs)
+	}
+	if ratio := mldtm.Epochs / rtm.Epochs; ratio < 1.2 {
+		t.Errorf("overhead ratio %.2f below 1.2", ratio)
+	}
+	if rtm.Converged == 0 {
+		t.Error("no rtm run converged")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table III") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	fig := Fig3(11, 240)
+	if len(fig.ActualCC) != 240 || len(fig.PredictedCC) != 240 {
+		t.Fatalf("series lengths %d/%d", len(fig.ActualCC), len(fig.PredictedCC))
+	}
+	// Early (exploration + scripted cuts) misprediction exceeds the calm
+	// late phase, as in the paper (≈8 % vs ≈3 %).
+	if !(fig.MispredictEarly > fig.MispredictLate) {
+		t.Errorf("early %.3f not above late %.3f", fig.MispredictEarly, fig.MispredictLate)
+	}
+	if fig.MispredictEarly > 0.20 {
+		t.Errorf("early misprediction %.1f%% implausibly high", fig.MispredictEarly*100)
+	}
+	if fig.MispredictLate > 0.08 {
+		t.Errorf("late misprediction %.1f%% above the paper band", fig.MispredictLate*100)
+	}
+	// Frame 0 has no forecast.
+	if !math.IsNaN(fig.PredictedCC[0]) {
+		t.Error("frame 0 should have no prediction")
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 3") {
+		t.Error("render missing title")
+	}
+	buf.Reset()
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 241 { // header + 240
+		t.Errorf("CSV lines = %d, want 241", lines)
+	}
+}
+
+func TestAblationEPDShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	points := AblationEPD(testSeeds[:1], 700)
+	if len(points) < 3 {
+		t.Fatal("too few sweep points")
+	}
+	// β=0 (UPD) must explore the most; the largest β the least.
+	first, last := points[0], points[len(points)-1]
+	if first.Beta != 0 {
+		t.Fatalf("sweep must start at β=0, got %v", first.Beta)
+	}
+	if !(last.Explorations < first.Explorations) {
+		t.Errorf("β=%v explorations %.0f not below β=0's %.0f",
+			last.Beta, last.Explorations, first.Explorations)
+	}
+}
+
+func TestAblationGammaBowl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	points := AblationGamma(testSeeds, 600)
+	byGamma := map[float64]float64{}
+	for _, p := range points {
+		byGamma[p.Gamma] = p.Mispredict
+	}
+	// The paper's experimentally chosen γ=0.6 must beat both extremes on
+	// cut-heavy footage.
+	if !(byGamma[0.6] < byGamma[0.2]) {
+		t.Errorf("γ=0.6 (%.4f) not below γ=0.2 (%.4f)", byGamma[0.6], byGamma[0.2])
+	}
+	if !(byGamma[0.6] < byGamma[1.0]) {
+		t.Errorf("γ=0.6 (%.4f) not below γ=1.0 (%.4f)", byGamma[0.6], byGamma[1.0])
+	}
+}
+
+func TestAblationPredictorsOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	points := AblationPredictors(testSeeds, 400)
+	byName := map[string]float64{}
+	for _, p := range points {
+		byName[p.Name] = p.Mispredict
+	}
+	// EWMA must beat the raw adaptive filter on dynamic video workloads —
+	// the Section II-A claim.
+	if !(byName["ewma"] < byName["nlms"]) {
+		t.Errorf("ewma %.4f not below nlms %.4f", byName["ewma"], byName["nlms"])
+	}
+	for name, v := range byName {
+		if math.IsNaN(v) || v <= 0 || v > 0.5 {
+			t.Errorf("%s: implausible misprediction %v", name, v)
+		}
+	}
+}
+
+func TestAblationNShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	points := AblationN(testSeeds[:1], 900)
+	if len(points) < 3 {
+		t.Fatal("too few sweep points")
+	}
+	// Finer discretisation tracks the deadline more tightly (norm perf
+	// rises toward and past 1.0 with N).
+	if !(points[0].NormPerf < points[len(points)-1].NormPerf) {
+		t.Errorf("norm perf not increasing with N: %v vs %v",
+			points[0].NormPerf, points[len(points)-1].NormPerf)
+	}
+}
+
+func TestAblationSharedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	points := AblationShared(testSeeds[:1], 1800)
+	if len(points) != 2 {
+		t.Fatal("want shared and per-core points")
+	}
+	shared, percore := points[0], points[1]
+	if shared.Mode != "shared" || percore.Mode != "per-core" {
+		t.Fatalf("unexpected modes %q/%q", shared.Mode, percore.Mode)
+	}
+	// At an equal one-update-per-epoch budget, the per-core organisation
+	// delivers visibly worse deadline behaviour.
+	if !(shared.MissRate < percore.MissRate) {
+		t.Errorf("shared miss %.3f not below per-core %.3f", shared.MissRate, percore.MissRate)
+	}
+}
+
+func TestAblationUpdateRuleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	points := AblationUpdateRule(testSeeds, 1000)
+	if len(points) != 2 {
+		t.Fatal("want q-learning and sarsa points")
+	}
+	for _, p := range points {
+		if p.NormEnergy < 1 || p.NormEnergy > 2 {
+			t.Errorf("%s: implausible energy %v", p.Rule, p.NormEnergy)
+		}
+		if p.MissRate < 0 || p.MissRate > 0.5 {
+			t.Errorf("%s: implausible miss rate %v", p.Rule, p.MissRate)
+		}
+	}
+	// The two rules must land in the same neighbourhood: the ablation's
+	// finding is that the choice barely matters on this problem.
+	if d := math.Abs(points[0].NormEnergy - points[1].NormEnergy); d > 0.15 {
+		t.Errorf("rules diverge by %v normalised energy; expected near-equivalence", d)
+	}
+}
+
+func TestAblationMemBoundLeverageFalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	points := AblationMemBound(testSeeds, 1200)
+	if len(points) < 3 {
+		t.Fatal("too few sweep points")
+	}
+	first, last := points[0], points[len(points)-1]
+	if first.MemFrac != 0 {
+		t.Fatalf("sweep must start at m=0, got %v", first.MemFrac)
+	}
+	// DVFS leverage must shrink visibly with memory-boundness.
+	if !(last.SavingVsOndemand < first.SavingVsOndemand-0.03) {
+		t.Errorf("saving did not fall with memory-boundness: %.3f -> %.3f",
+			first.SavingVsOndemand, last.SavingVsOndemand)
+	}
+	// But the RTM must still save energy even memory-bound.
+	if last.SavingVsOndemand < 0 {
+		t.Errorf("RTM loses to ondemand at m=%v: %.3f", last.MemFrac, last.SavingVsOndemand)
+	}
+}
+
+func TestMultiAppShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation experiment")
+	}
+	res := MultiApp(testSeeds[:1], 700)
+	rtm := res.Row("multi-rtm")
+	ond := res.Row("ondemand")
+	oracle := res.Row("oracle")
+	if rtm == nil || ond == nil || oracle == nil {
+		t.Fatal("missing rows")
+	}
+	if math.Abs(oracle.NormEnergy-1) > 1e-9 {
+		t.Errorf("oracle norm energy %v", oracle.NormEnergy)
+	}
+	// The deadline-aware controller must beat ondemand on energy while
+	// both applications keep running.
+	if !(rtm.NormEnergy < ond.NormEnergy) {
+		t.Errorf("multi-rtm energy %.2f not below ondemand %.2f", rtm.NormEnergy, ond.NormEnergy)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Extension E1") {
+		t.Error("render missing title")
+	}
+}
+
+func makeRecords(n int, missed func(int) bool) []sim.FrameRecord {
+	out := make([]sim.FrameRecord, n)
+	for i := range out {
+		out[i] = sim.FrameRecord{Epoch: i, Missed: missed(i)}
+	}
+	return out
+}
+
+func TestTimeToQoS(t *testing.T) {
+	recs := makeRecords(300, func(i int) bool { return i < 120 && i%2 == 0 }) // 50% misses early
+	q := timeToQoS(recs, 100, 0.08)
+	if q < 120 || q > 230 {
+		t.Fatalf("timeToQoS = %d, want shortly after the misses stop", q)
+	}
+	// All clean: QoS from the first full window.
+	clean := makeRecords(150, func(int) bool { return false })
+	if q := timeToQoS(clean, 100, 0.08); q != 100 {
+		t.Fatalf("clean run timeToQoS = %d, want 100", q)
+	}
+	// Too short to judge.
+	if q := timeToQoS(makeRecords(10, func(int) bool { return false }), 100, 0.08); q != -1 {
+		t.Fatalf("short run timeToQoS = %d, want -1", q)
+	}
+	// Never clean.
+	dirty := makeRecords(200, func(i int) bool { return i%3 == 0 })
+	if q := timeToQoS(dirty, 100, 0.08); q != -1 {
+		t.Fatalf("dirty run timeToQoS = %d, want -1", q)
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qgov/internal/sim"
+	"qgov/internal/stats"
+	"qgov/internal/workload"
+)
+
+// Fig3Result reproduces Fig. 3: the per-frame predicted and actual
+// workload (cycle count) of an MPEG4 decode at 24 fps SVGA under the RTM,
+// together with the average slack ratio — showing mispredictions during
+// the early exploration frames and again at the scene change after frame
+// 90, and the slack settling toward the target as learning completes.
+type Fig3Result struct {
+	Workload string
+	Frames   int
+
+	PredictedCC []float64 // per-frame forecast (frame 0 has none: NaN)
+	ActualCC    []float64
+	AvgSlackL   []float64
+	FreqMHz     []int
+
+	// MispredictEarly is mean |pred−actual| / mean(actual) over the first
+	// 100 frames (the paper reports ≈8 %); MispredictLate the same over
+	// the remaining frames (paper: ≈3 %).
+	MispredictEarly float64
+	MispredictLate  float64
+	PaperEarly      float64
+	PaperLate       float64
+
+	// SceneChangeFrames are the scripted cuts in the workload, for
+	// plotting annotations.
+	SceneChangeFrames []int
+
+	Records []sim.FrameRecord
+}
+
+// Fig3 runs the experiment: 240 frames by default (frames <= 0), enough to
+// show warm-up, the frame-92 cut during exploitation and recovery.
+func Fig3(seed int64, frames int) *Fig3Result {
+	if frames <= 0 {
+		frames = 240
+	}
+	tr := workload.MPEG4SVGA24(seed, frames)
+	rtm := newRTM(tr)
+	r := run(tr, rtm, seed, true)
+
+	res := &Fig3Result{
+		Workload:          tr.Name,
+		Frames:            frames,
+		PaperEarly:        0.08,
+		PaperLate:         0.03,
+		SceneChangeFrames: []int{8, 18, 92},
+		Records:           r.Records,
+	}
+	for _, rec := range r.Records {
+		res.PredictedCC = append(res.PredictedCC, rec.PredictedCC)
+		res.ActualCC = append(res.ActualCC, rec.ActualCC)
+		res.AvgSlackL = append(res.AvgSlackL, rec.AvgSlackL)
+		res.FreqMHz = append(res.FreqMHz, rec.FreqMHz)
+	}
+
+	// Misprediction relative to the average workload, as in Section III-B.
+	// Frame 0 has no forecast and is skipped.
+	split := 100
+	if split > frames {
+		split = frames
+	}
+	res.MispredictEarly = mispredict(res.PredictedCC[1:split], res.ActualCC[1:split])
+	if frames > split {
+		res.MispredictLate = mispredict(res.PredictedCC[split:], res.ActualCC[split:])
+	}
+	return res
+}
+
+func mispredict(pred, actual []float64) float64 {
+	// Drop NaN forecasts (un-primed predictor).
+	var p, a []float64
+	for i := range pred {
+		if pred[i] == pred[i] {
+			p = append(p, pred[i])
+			a = append(a, actual[i])
+		}
+	}
+	return stats.MAPEOfMean(p, a)
+}
+
+// Render prints the summary statistics and a compact frame-series excerpt.
+func (f *Fig3Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Fig. 3 — workload misprediction, %s, %d frames\n", f.Workload, f.Frames)
+	fmt.Fprintf(w, "  avg misprediction, frames 1-99:   %5.1f%%   (paper ≈ %.0f%%)\n",
+		f.MispredictEarly*100, f.PaperEarly*100)
+	fmt.Fprintf(w, "  avg misprediction, frames 100+:   %5.1f%%   (paper ≈ %.0f%%)\n",
+		f.MispredictLate*100, f.PaperLate*100)
+	fmt.Fprintf(w, "  scene changes at frames %v\n", f.SceneChangeFrames)
+	fmt.Fprintln(w, "  frame   predicted_cc     actual_cc   slack_L  freq_mhz")
+	for i := 0; i < len(f.ActualCC); i += 10 {
+		pred := "-"
+		if f.PredictedCC[i] == f.PredictedCC[i] {
+			pred = fmt.Sprintf("%12.0f", f.PredictedCC[i])
+		}
+		fmt.Fprintf(w, "  %5d  %13s  %12.0f  %+8.3f  %8d\n",
+			i, pred, f.ActualCC[i], f.AvgSlackL[i], f.FreqMHz[i])
+	}
+	return nil
+}
+
+// WriteCSV emits the full per-frame series for plotting.
+func (f *Fig3Result) WriteCSV(w io.Writer) error {
+	return sim.WriteRecordsCSV(w, f.Records)
+}

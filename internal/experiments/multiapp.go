@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"qgov/internal/core"
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/workload"
+)
+
+// The multi-application experiment prototypes the paper's stated future
+// work: two applications executing concurrently on the A15 cluster — a
+// video decode pinned to cores 0-1 and an FFT pipeline pinned to cores 2-3,
+// each with its own deadline — under one shared V-F lever.
+//
+// Compared controllers:
+//
+//	multi-rtm — core.MultiRTM: per-app slack tracking, binding-app state
+//	ondemand  — deadline-blind utilisation control (per-cluster)
+//	oracle    — offline minimum-energy OPP meeting both deadlines
+//
+// The experiment uses its own epoch loop rather than sim.Run because the
+// engine's Observation carries one application's timing; here each epoch
+// produces two.
+
+// MultiAppRow is one controller's aggregate.
+type MultiAppRow struct {
+	Method     string
+	NormEnergy float64 // vs the combined-trace oracle
+	MissVideo  float64 // per-app deadline miss rates
+	MissFFT    float64
+	PerfVideo  float64 // per-app mean exec/Tref
+	PerfFFT    float64
+}
+
+// MultiAppResult aggregates the experiment.
+type MultiAppResult struct {
+	Frames int
+	Seeds  int
+	Rows   []MultiAppRow
+}
+
+// multiAppWorkload builds the paired traces: both apps share the 25 fps
+// period (concurrent decision epochs; per-app deadlines still tracked
+// separately) with two threads each.
+func multiAppWorkload(seed int64, frames int) (video, fftapp workload.Trace) {
+	video = workload.VideoConfig{
+		Name: "video-2t", Codec: "h264", FPS: 25, NumFrames: frames, Threads: 2,
+		GOPLength: 12, BFrames: 2, BaseCycles: 60e6, IWeight: 1.2, BWeight: 0.88,
+		SceneChangeProb: 1.0 / 90, SceneSigma: 0.3, SceneWalkSigma: 0.012,
+		SceneMin: 0.6, SceneMax: 1.4, NoiseSigma: 0.05, ImbalanceCV: 0.06,
+		Seed: seed,
+	}.Generate()
+	fftapp = workload.FFTAppConfig{
+		Name: "fft-2t", FPS: 25, NumFrames: frames, Threads: 2,
+		N: 1 << 16, BatchPerThread: 7, CyclesPerBfly: 10, JitterSigma: 0.03,
+		Seed: seed + 1,
+	}.Generate()
+	return video, fftapp
+}
+
+// combined merges the two traces into one 4-thread trace (cores 0-1 video,
+// cores 2-3 FFT) for the oracle and ondemand baselines.
+func combined(video, fftapp workload.Trace) workload.Trace {
+	frames := make([]workload.Frame, video.Len())
+	for i := range frames {
+		cy := make([]uint64, 0, 4)
+		cy = append(cy, video.Frames[i].Cycles...)
+		cy = append(cy, fftapp.Frames[i].Cycles...)
+		frames[i] = workload.Frame{Cycles: cy}
+	}
+	return workload.Trace{Name: "video+fft", RefTimeS: video.RefTimeS, Frames: frames}
+}
+
+// MultiApp runs the experiment. frames <= 0 selects 1200 frames.
+func MultiApp(seeds []int64, frames int) *MultiAppResult {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	if frames <= 0 {
+		frames = 1200
+	}
+	type accum struct{ e, missV, missF, perfV, perfF float64 }
+	acc := map[string]*accum{}
+	methods := []string{"multi-rtm", "ondemand", "oracle"}
+	for _, m := range methods {
+		acc[m] = &accum{}
+	}
+
+	for _, seed := range seeds {
+		video, fftapp := multiAppWorkload(seed, frames)
+		comb := combined(video, fftapp)
+		for _, method := range methods {
+			r := runMultiApp(method, video, fftapp, comb, seed)
+			a := acc[method]
+			a.e += r.energyJ
+			a.missV += r.missV
+			a.missF += r.missF
+			a.perfV += r.perfV
+			a.perfF += r.perfF
+		}
+	}
+
+	res := &MultiAppResult{Frames: frames, Seeds: len(seeds)}
+	n := float64(len(seeds))
+	oracleMean := acc["oracle"].e / n
+	for _, method := range methods {
+		a := acc[method]
+		res.Rows = append(res.Rows, MultiAppRow{
+			Method:     method,
+			NormEnergy: (a.e / n) / oracleMean,
+			MissVideo:  a.missV / n,
+			MissFFT:    a.missF / n,
+			PerfVideo:  a.perfV / n,
+			PerfFFT:    a.perfF / n,
+		})
+	}
+	return res
+}
+
+type multiRunStats struct {
+	energyJ float64
+	missV   float64
+	missF   float64
+	perfV   float64
+	perfF   float64
+}
+
+// runMultiApp executes one controller over the paired traces.
+func runMultiApp(method string, video, fftapp, comb workload.Trace, seed int64) multiRunStats {
+	cluster := platform.DefaultA15Cluster(seed)
+	ctx := governor.Context{
+		Table:    cluster.Table(),
+		NumCores: cluster.NumCores(),
+		PeriodS:  comb.RefTimeS,
+		Seed:     seed,
+	}
+
+	var (
+		mrtm *core.MultiRTM
+		gov  governor.Governor
+	)
+	switch method {
+	case "multi-rtm":
+		cfg := core.DefaultConfig()
+		// Two applications double the chances that quantisation grazes a
+		// deadline; the prototype holds a wider slack margin than the
+		// single-app RTM.
+		cfg.Reward = &core.Reward{A: 1, B: 0.5, Target: 0.15, MissPenalty: 6}
+		mrtm = core.NewMultiRTM(cfg, 2)
+		series := append(video.MaxPerFrame(), fftapp.MaxPerFrame()...)
+		if err := mrtm.Calibrate(series); err != nil {
+			panic(err)
+		}
+		mrtm.Reset(ctx)
+	case "ondemand":
+		gov = governor.NewOndemand()
+		gov.Reset(ctx)
+	case "oracle":
+		gov = governor.NewOracle(comb, platform.DefaultA15PowerModel())
+		gov.Reset(ctx)
+	default:
+		panic(fmt.Sprintf("experiments: unknown multi-app method %q", method))
+	}
+
+	var st multiRunStats
+	mObs := core.MultiObservation{Epoch: -1}
+	gObs := governor.Observation{Epoch: -1}
+	prev := make([]platform.PMUSample, cluster.NumCores())
+	for c := range prev {
+		prev[c] = cluster.PMU(c).Read()
+	}
+
+	for i := 0; i < comb.Len(); i++ {
+		var idx int
+		var overhead float64
+		if mrtm != nil {
+			idx = mrtm.DecideMulti(mObs)
+			overhead = mrtm.DecisionOverheadS()
+		} else {
+			idx = gov.Decide(gObs)
+		}
+		transition := cluster.SetOPP(idx)
+		rep := cluster.Execute(comb.Frames[i].Cycles, overhead+transition, comb.RefTimeS)
+
+		// Per-application completion at the applied frequency.
+		f := rep.OPP.FreqHz()
+		ovh := overhead + transition
+		execV := float64(video.Frames[i].MaxCycles())/f + ovh
+		execF := float64(fftapp.Frames[i].MaxCycles())/f + ovh
+		st.perfV += execV / video.RefTimeS
+		st.perfF += execF / fftapp.RefTimeS
+		if execV > video.RefTimeS {
+			st.missV++
+		}
+		if execF > fftapp.RefTimeS {
+			st.missF++
+		}
+		st.energyJ += rep.EnergyJ
+
+		if mrtm != nil {
+			mObs = core.MultiObservation{
+				Epoch: i,
+				Apps: []core.AppObservation{
+					{ExecTimeS: execV, PeriodS: video.RefTimeS, CriticalCycles: video.Frames[i].MaxCycles()},
+					{ExecTimeS: execF, PeriodS: fftapp.RefTimeS, CriticalCycles: fftapp.Frames[i].MaxCycles()},
+				},
+			}
+		} else {
+			cycles := make([]uint64, cluster.NumCores())
+			utils := make([]float64, cluster.NumCores())
+			for c := range cycles {
+				s := cluster.PMU(c).Read()
+				d := s.Delta(prev[c])
+				prev[c] = s
+				cycles[c] = d.Cycles
+				utils[c] = d.Utilization()
+			}
+			gObs = governor.Observation{
+				Epoch: i, Cycles: cycles, Util: utils,
+				ExecTimeS: rep.ExecTimeS, PeriodS: comb.RefTimeS,
+				WallTimeS: rep.WallTimeS, PowerW: rep.SensorPowerW,
+				TempC: rep.EndTempC, OPPIdx: rep.OPPIdx,
+			}
+		}
+	}
+	n := float64(comb.Len())
+	st.missV /= n
+	st.missF /= n
+	st.perfV /= n
+	st.perfF /= n
+	return st
+}
+
+// Row returns the named row, or nil.
+func (m *MultiAppResult) Row(method string) *MultiAppRow {
+	for i := range m.Rows {
+		if m.Rows[i].Method == method {
+			return &m.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Render writes the comparison.
+func (m *MultiAppResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Extension E1 — two concurrent applications (video + FFT, %d frames, %d seeds)\n",
+		m.Frames, m.Seeds)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tNorm. energy\tVideo miss\tFFT miss\tVideo perf\tFFT perf")
+	for _, r := range m.Rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.1f%%\t%.1f%%\t%.2f\t%.2f\n",
+			r.Method, r.NormEnergy, r.MissVideo*100, r.MissFFT*100, r.PerfVideo, r.PerfFFT)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"qgov/internal/governor"
+	"qgov/internal/sim"
+	"qgov/internal/workload"
+)
+
+// TableIRow is one method's row of Table I.
+type TableIRow struct {
+	Method     string
+	NormEnergy float64 // energy / Oracle energy (>1: worse than Oracle)
+	NormPerf   float64 // mean exec time / Tref (<1: over-performs)
+	MissRate   float64 // extra context the paper does not tabulate
+	PaperE     float64 // the paper's reported normalised energy (0: n/a)
+	PaperP     float64 // the paper's reported normalised performance
+}
+
+// TableIResult reproduces "Comparative evaluation of normalised energy and
+// performance requirements": the H.264 football decode under the Linux
+// ondemand governor [5], the multi-core learning DTM [20] and the proposed
+// RTM, with energy normalised to the offline Oracle and performance to
+// Tref.
+type TableIResult struct {
+	Workload      string
+	Frames        int
+	Seeds         int
+	OracleEnergyJ float64
+	Rows          []TableIRow
+}
+
+// TableI runs the experiment. frames <= 0 selects the paper's full ≈3000
+// frame sequence; smaller values (≥ 500 recommended) keep CI fast.
+func TableI(seeds []int64, frames int) *TableIResult {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	methods := []struct {
+		name   string
+		paperE float64
+		paperP float64
+		build  func(tr workload.Trace) governor.Governor
+	}{
+		{"oracle", 1.00, 0, func(tr workload.Trace) governor.Governor { return oracleFor(tr) }},
+		{"ondemand", 1.29, 0.77, func(workload.Trace) governor.Governor { return governor.NewOndemand() }},
+		{"mldtm", 1.20, 0.89, func(workload.Trace) governor.Governor { return governor.NewMLDTM() }},
+		{"rtm", 1.11, 0.96, func(tr workload.Trace) governor.Governor { return newRTM(tr) }},
+	}
+
+	res := &TableIResult{Seeds: len(seeds)}
+	// Aggregate per method across seeds; the trace is regenerated per seed
+	// so every method sees the same sequence for a given seed.
+	sums := make([]struct{ e, p, m float64 }, len(methods))
+	var oracleSum float64
+	for _, seed := range seeds {
+		tr := workload.FootballH264(seed)
+		if frames > 0 {
+			tr = tr.Slice(0, frames)
+		}
+		res.Workload = tr.Name
+		res.Frames = tr.Len()
+
+		jobs := make([]sim.Job, len(methods))
+		for i, m := range methods {
+			m := m
+			jobs[i] = sim.Job{Name: m.name, Build: func() sim.Config {
+				return sim.Config{Trace: tr, Governor: m.build(tr), Seed: seed}
+			}}
+		}
+		results := sim.RunAll(jobs)
+		oracleE := results[0].EnergyJ
+		oracleSum += oracleE
+		for i, r := range results {
+			sums[i].e += r.EnergyJ / oracleE
+			sums[i].p += r.NormPerf
+			sums[i].m += r.MissRate
+		}
+	}
+
+	n := float64(len(seeds))
+	res.OracleEnergyJ = oracleSum / n
+	for i, m := range methods {
+		res.Rows = append(res.Rows, TableIRow{
+			Method:     m.name,
+			NormEnergy: sums[i].e / n,
+			NormPerf:   sums[i].p / n,
+			MissRate:   sums[i].m / n,
+			PaperE:     m.paperE,
+			PaperP:     m.paperP,
+		})
+	}
+	return res
+}
+
+// Row returns the named row, or nil.
+func (t *TableIResult) Row(method string) *TableIRow {
+	for i := range t.Rows {
+		if t.Rows[i].Method == method {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Render writes the table in the paper's layout with the paper's numbers
+// alongside.
+func (t *TableIResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Table I — normalised energy and performance (%s, %d frames, %d seeds)\n",
+		t.Workload, t.Frames, t.Seeds)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Methodology\tNorm. energy\tNorm. perf\tMiss rate\tPaper energy\tPaper perf")
+	for _, r := range t.Rows {
+		paperE, paperP := "-", "-"
+		if r.PaperE > 0 {
+			paperE = fmt.Sprintf("%.2f", r.PaperE)
+		}
+		if r.PaperP > 0 {
+			paperP = fmt.Sprintf("%.2f", r.PaperP)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.1f%%\t%s\t%s\n",
+			r.Method, r.NormEnergy, r.NormPerf, r.MissRate*100, paperE, paperP)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"qgov/internal/sim"
+	"qgov/internal/workload"
+)
+
+// TableIIRow is one application's row of Table II.
+type TableIIRow struct {
+	App       string
+	UPD       float64 // mean explorations, uniform-exploration RL [21]
+	EPD       float64 // mean explorations, the proposed EPD approach
+	PaperUPD  int     // the paper's count for [21]
+	PaperEPD  int     // the paper's count for the proposed approach
+	Reduction float64 // 1 − EPD/UPD
+	ConvUPD   float64 // mean convergence epoch, for context
+	ConvEPD   float64
+}
+
+// TableIIResult reproduces "Comparative evaluation of the number of
+// explorations": how many exploratory decisions each learner takes before
+// settling, for MPEG4 at 30 fps, H.264 at 15 fps and the FFT at 32 fps.
+// The proposed EPD exploration needs materially fewer than uniform
+// exploration, and the FFT — the least-varying workload — needs the
+// fewest of all.
+type TableIIResult struct {
+	Frames int
+	Seeds  int
+	Rows   []TableIIRow
+}
+
+// TableII runs the experiment. frames <= 0 selects 1000 frames per app.
+func TableII(seeds []int64, frames int) *TableIIResult {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	if frames <= 0 {
+		frames = 1000
+	}
+	apps := []struct {
+		name     string
+		paperUPD int
+		paperEPD int
+		gen      func(seed int64) workload.Trace
+	}{
+		{"mpeg4-30fps", 144, 83, func(s int64) workload.Trace { return workload.MPEG4At30(s, frames) }},
+		{"h264-15fps", 149, 90, func(s int64) workload.Trace { return workload.H264At15(s, frames) }},
+		{"fft-32fps", 119, 74, func(s int64) workload.Trace { return workload.FFT32(s, frames) }},
+	}
+
+	res := &TableIIResult{Frames: frames, Seeds: len(seeds)}
+	for _, app := range apps {
+		var updSum, epdSum, convU, convE float64
+		var convUN, convEN int
+		for _, seed := range seeds {
+			tr := app.gen(seed)
+			jobs := []sim.Job{
+				{Name: "upd", Build: func() sim.Config {
+					return sim.Config{Trace: tr, Governor: newUPDRL(tr), Seed: seed}
+				}},
+				{Name: "epd", Build: func() sim.Config {
+					return sim.Config{Trace: tr, Governor: newRTM(tr), Seed: seed}
+				}},
+			}
+			results := sim.RunAll(jobs)
+			updSum += float64(results[0].ExplorationsToConv)
+			epdSum += float64(results[1].ExplorationsToConv)
+			if results[0].ConvergedAt >= 0 {
+				convU += float64(results[0].ConvergedAt)
+				convUN++
+			}
+			if results[1].ConvergedAt >= 0 {
+				convE += float64(results[1].ConvergedAt)
+				convEN++
+			}
+		}
+		n := float64(len(seeds))
+		row := TableIIRow{
+			App:      app.name,
+			UPD:      updSum / n,
+			EPD:      epdSum / n,
+			PaperUPD: app.paperUPD,
+			PaperEPD: app.paperEPD,
+			ConvUPD:  math.NaN(),
+			ConvEPD:  math.NaN(),
+		}
+		if row.UPD > 0 {
+			row.Reduction = 1 - row.EPD/row.UPD
+		}
+		if convUN > 0 {
+			row.ConvUPD = convU / float64(convUN)
+		}
+		if convEN > 0 {
+			row.ConvEPD = convE / float64(convEN)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Row returns the named row, or nil.
+func (t *TableIIResult) Row(app string) *TableIIRow {
+	for i := range t.Rows {
+		if t.Rows[i].App == app {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Render writes the table in the paper's layout.
+func (t *TableIIResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Table II — number of explorations (%d frames, %d seeds)\n", t.Frames, t.Seeds)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Application\tUPD [21]\tEPD (ours)\tReduction\tPaper UPD\tPaper EPD")
+	for _, r := range t.Rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f%%\t%d\t%d\n",
+			r.App, r.UPD, r.EPD, r.Reduction*100, r.PaperUPD, r.PaperEPD)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"qgov/internal/governor"
+	"qgov/internal/sim"
+	"qgov/internal/workload"
+)
+
+// TableIIIRow is one method's row of Table III.
+type TableIIIRow struct {
+	Method     string
+	Epochs     float64 // mean decision epochs until the policy stabilises
+	PaperValue int     // the paper's reported worst-case epochs
+	Converged  int     // how many seeds actually converged
+}
+
+// TableIIIResult reproduces "Comparative evaluation of worst case learning
+// overhead": the decision epochs a video decode (Tref ≈ 31 ms, the paper's
+// ffmpeg setup) needs before the learnt policy stops changing. The
+// multi-core DTM of ref [20] trains an independent Q-table per core, so
+// all four agents must converge; the proposed RTM shares one table across
+// cores and halves the overhead.
+type TableIIIResult struct {
+	Workload string
+	Frames   int
+	Seeds    int
+	Rows     []TableIIIRow
+}
+
+// tableIIITrace builds the decode workload with the paper's 31 ms frame
+// budget (≈32 fps). The paper derives Table III from a steady micro-
+// benchmark ("per-frame execution time of ffmpeg decoding three frames"),
+// so the trace is a stationary decode loop — GOP structure and motion
+// noise but no scene cuts. On a non-stationary workload "epochs until the
+// policy stops changing" is ill-defined: every scene change re-opens
+// learning for both methods.
+func tableIIITrace(seed int64, frames int) workload.Trace {
+	return workload.VideoConfig{
+		Name:            "ffmpeg-31ms",
+		Codec:           "h264",
+		FPS:             32,
+		NumFrames:       frames,
+		Threads:         4,
+		GOPLength:       12,
+		BFrames:         2,
+		BaseCycles:      100e6,
+		IWeight:         1.12,
+		BWeight:         0.92,
+		SceneChangeProb: 0,
+		SceneSigma:      0.30,
+		SceneWalkSigma:  0.004,
+		SceneMin:        0.80,
+		SceneMax:        1.25,
+		NoiseSigma:      0.04,
+		ImbalanceCV:     0.05,
+		Seed:            seed,
+	}.Generate()
+}
+
+// TableIII runs the experiment. frames <= 0 selects 1500 frames (enough
+// headroom for the slower learner to converge).
+func TableIII(seeds []int64, frames int) *TableIIIResult {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	if frames <= 0 {
+		frames = 1500
+	}
+	methods := []struct {
+		name  string
+		paper int
+		build func(tr workload.Trace) governor.Governor
+	}{
+		{"mldtm", 205, func(workload.Trace) governor.Governor { return governor.NewMLDTM() }},
+		{"rtm", 105, func(tr workload.Trace) governor.Governor { return newRTM(tr) }},
+	}
+
+	res := &TableIIIResult{Frames: frames, Seeds: len(seeds)}
+	for _, m := range methods {
+		var sum float64
+		var conv int
+		for _, seed := range seeds {
+			tr := tableIIITrace(seed, frames)
+			res.Workload = tr.Name
+			r := sim.Run(sim.Config{Trace: tr, Governor: m.build(tr), Seed: seed})
+			if r.ConvergedAt >= 0 {
+				sum += float64(r.ConvergedAt)
+				conv++
+			} else {
+				// A non-converged run contributes the full horizon: the
+				// honest pessimistic bound, called out in Converged.
+				sum += float64(frames)
+			}
+		}
+		res.Rows = append(res.Rows, TableIIIRow{
+			Method:     m.name,
+			Epochs:     sum / float64(len(seeds)),
+			PaperValue: m.paper,
+			Converged:  conv,
+		})
+	}
+	return res
+}
+
+// Row returns the named row, or nil.
+func (t *TableIIIResult) Row(method string) *TableIIIRow {
+	for i := range t.Rows {
+		if t.Rows[i].Method == method {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Render writes the table in the paper's layout.
+func (t *TableIIIResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Table III — learning overhead in decision epochs (%s, %d frames, %d seeds)\n",
+		t.Workload, t.Frames, t.Seeds)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Methodology\tEpochs (T_OVH)\tPaper\tConverged runs")
+	for _, r := range t.Rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%d\t%d/%d\n", r.Method, r.Epochs, r.PaperValue, r.Converged, t.Seeds)
+	}
+	return tw.Flush()
+}

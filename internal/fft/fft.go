@@ -1,0 +1,141 @@
+// Package fft implements radix-2 Cooley–Tukey fast Fourier transforms.
+//
+// The paper evaluates an FFT application at 32 frames per second (Table II).
+// Rather than invent its cycle demands, the workload model executes this
+// kernel and converts its counted arithmetic operations into cycle demands
+// via a fixed cycles-per-butterfly cost (see internal/workload). Keeping a
+// real, tested FFT in the tree grounds that model and gives the example
+// programs a genuine computation to run.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// OpCount tallies the arithmetic work of one transform. One radix-2
+// butterfly is one complex multiply and two complex additions.
+type OpCount struct {
+	Butterflies int // complex multiply-accumulate pairs
+	Stages      int // log2(n) passes over the data
+	N           int // transform length
+}
+
+// CyclesAt converts the operation count into core cycles using a
+// cycles-per-butterfly cost. On an out-of-order ARMv7 core a radix-2
+// butterfly (4 real multiplies, 6 real adds, loads/stores) retires in
+// roughly 8–14 cycles depending on cache behaviour; callers pick the
+// constant, keeping the mapping explicit rather than baked in.
+func (c OpCount) CyclesAt(cyclesPerButterfly float64) uint64 {
+	if cyclesPerButterfly <= 0 {
+		panic("fft: cyclesPerButterfly must be positive")
+	}
+	return uint64(float64(c.Butterflies) * cyclesPerButterfly)
+}
+
+// Transform computes the in-place decimation-in-time FFT of x, which must
+// have power-of-two length, and returns the operation count. The sign
+// convention is engineering-standard: X[k] = Σ x[n]·e^{-2πi kn/N}.
+func Transform(x []complex128) (OpCount, error) {
+	n := len(x)
+	if n == 0 {
+		return OpCount{}, fmt.Errorf("fft: empty input")
+	}
+	if n&(n-1) != 0 {
+		return OpCount{}, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	bitReverse(x)
+	stages := bits.TrailingZeros(uint(n))
+	butterflies := 0
+	for s := 1; s <= stages; s++ {
+		m := 1 << s
+		half := m >> 1
+		// Principal m-th root of unity, negative exponent for the forward
+		// transform.
+		wm := cmplx.Exp(complex(0, -2*math.Pi/float64(m)))
+		for k := 0; k < n; k += m {
+			w := complex(1, 0)
+			for j := 0; j < half; j++ {
+				t := w * x[k+j+half]
+				u := x[k+j]
+				x[k+j] = u + t
+				x[k+j+half] = u - t
+				w *= wm
+				butterflies++
+			}
+		}
+	}
+	return OpCount{Butterflies: butterflies, Stages: stages, N: n}, nil
+}
+
+// Inverse computes the in-place inverse FFT of x (power-of-two length),
+// normalised by 1/N, and returns the operation count.
+func Inverse(x []complex128) (OpCount, error) {
+	// Conjugate trick: IFFT(x) = conj(FFT(conj(x)))/N.
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	ops, err := Transform(x)
+	if err != nil {
+		return ops, err
+	}
+	invN := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * invN
+	}
+	return ops, nil
+}
+
+// TransformReal computes the FFT of a real-valued signal, returning the
+// full complex spectrum and the operation count.
+func TransformReal(x []float64) ([]complex128, OpCount, error) {
+	buf := make([]complex128, len(x))
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	ops, err := Transform(buf)
+	if err != nil {
+		return nil, ops, err
+	}
+	return buf, ops, nil
+}
+
+// bitReverse permutes x into bit-reversed index order in place.
+func bitReverse(x []complex128) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+// NaiveDFT computes the O(N²) discrete Fourier transform. It exists as the
+// oracle the tests compare Transform against and is exported for the
+// quickstart example's self-check.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			acc += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// ExpectedButterflies returns the analytic butterfly count (N/2)·log2(N)
+// for a length-N radix-2 transform.
+func ExpectedButterflies(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return n / 2 * bits.TrailingZeros(uint(n))
+}

@@ -1,0 +1,197 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestTransformMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randomSignal(n, int64(n))
+		want := NaiveDFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		if _, err := Transform(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: max |FFT-DFT| = %g", n, d)
+		}
+	}
+}
+
+func TestTransformRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 6, 7, 12, 100} {
+		x := make([]complex128, n)
+		if _, err := Transform(x); err == nil {
+			t.Errorf("Transform accepted length %d", n)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 8, 128, 1024} {
+		orig := randomSignal(n, int64(n)+100)
+		x := make([]complex128, n)
+		copy(x, orig)
+		if _, err := Transform(x); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Inverse(x); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(x, orig); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: roundtrip error %g", n, d)
+		}
+	}
+}
+
+func TestTransformRealImpulse(t *testing.T) {
+	// FFT of a unit impulse is all-ones.
+	x := make([]float64, 16)
+	x[0] = 1
+	spec, ops, err := TransformReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range spec {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse spectrum[%d] = %v, want 1", k, v)
+		}
+	}
+	if ops.N != 16 {
+		t.Fatalf("ops.N = %d", ops.N)
+	}
+}
+
+func TestTransformSingleTone(t *testing.T) {
+	// A pure cosine at bin 3 puts energy only at bins 3 and N-3.
+	const n, bin = 64, 3
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * bin * float64(i) / n)
+	}
+	spec, _, err := TransformReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range spec {
+		mag := cmplx.Abs(v)
+		if k == bin || k == n-bin {
+			if math.Abs(mag-n/2) > 1e-9 {
+				t.Errorf("bin %d magnitude %g, want %g", k, mag, float64(n)/2)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d leaked %g", k, mag)
+		}
+	}
+}
+
+func TestOpCountMatchesAnalytic(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 1024} {
+		x := randomSignal(n, 7)
+		ops, err := Transform(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ops.Butterflies != ExpectedButterflies(n) {
+			t.Errorf("n=%d: counted %d butterflies, want %d", n, ops.Butterflies, ExpectedButterflies(n))
+		}
+	}
+	if ExpectedButterflies(1) != 0 {
+		t.Error("ExpectedButterflies(1) must be 0")
+	}
+}
+
+func TestCyclesAt(t *testing.T) {
+	ops := OpCount{Butterflies: 1000}
+	if got := ops.CyclesAt(10); got != 10000 {
+		t.Fatalf("CyclesAt = %d, want 10000", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CyclesAt(0) must panic")
+		}
+	}()
+	ops.CyclesAt(0)
+}
+
+// Property: Parseval's theorem — energy in time equals energy in frequency
+// divided by N, for arbitrary signals.
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64, rawLog uint8) bool {
+		n := 1 << (1 + rawLog%9) // 2..512
+		x := randomSignal(n, seed)
+		timeE := 0.0
+		for _, v := range x {
+			timeE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		spec := make([]complex128, n)
+		copy(spec, x)
+		if _, err := Transform(spec); err != nil {
+			return false
+		}
+		freqE := 0.0
+		for _, v := range spec {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqE /= float64(n)
+		return math.Abs(timeE-freqE) <= 1e-9*(1+timeE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linearity — FFT(a·x + y) == a·FFT(x) + FFT(y).
+func TestLinearityProperty(t *testing.T) {
+	f := func(seedX, seedY int64, rawScale uint8) bool {
+		const n = 64
+		a := complex(float64(rawScale%7)+1, 0)
+		x := randomSignal(n, seedX)
+		y := randomSignal(n, seedY)
+		combo := make([]complex128, n)
+		for i := range combo {
+			combo[i] = a*x[i] + y[i]
+		}
+		fx := make([]complex128, n)
+		fy := make([]complex128, n)
+		copy(fx, x)
+		copy(fy, y)
+		Transform(fx)
+		Transform(fy)
+		Transform(combo)
+		for i := range combo {
+			want := a*fx[i] + fy[i]
+			if cmplx.Abs(combo[i]-want) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

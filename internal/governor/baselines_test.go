@@ -1,0 +1,220 @@
+package governor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFrameDVSTracksPredictedDemand(t *testing.T) {
+	g := NewFrameDVS()
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	g.Decide(Observation{Epoch: -1})
+	// Steady demand of 30 Mcycles per 40 ms frame needs 750 MHz; with a
+	// 10% margin the budget is 36 ms -> 833 MHz -> ceil to 900 MHz.
+	var idx int
+	for i := 0; i < 10; i++ {
+		obs := obsAt(i, idx, 0.7, 0.04)
+		for c := range obs.Cycles {
+			obs.Cycles[c] = 30e6
+		}
+		idx = g.Decide(obs)
+	}
+	if got := ctx.Table[idx].FreqMHz; got != 900 {
+		t.Fatalf("framedvs settled at %d MHz, want 900", got)
+	}
+}
+
+func TestFrameDVSFollowsStep(t *testing.T) {
+	g := NewFrameDVS()
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	g.Decide(Observation{Epoch: -1})
+	feed := func(epoch int, cycles uint64) int {
+		obs := obsAt(epoch, 5, 0.5, 0.04)
+		for c := range obs.Cycles {
+			obs.Cycles[c] = cycles
+		}
+		return g.Decide(obs)
+	}
+	for i := 0; i < 20; i++ {
+		feed(i, 20e6)
+	}
+	low := feed(20, 20e6)
+	// Demand doubles; EWMA(0.6) reaches ~95% of the new level in 4 frames.
+	var idx int
+	for i := 21; i < 28; i++ {
+		idx = feed(i, 40e6)
+	}
+	if !(idx > low) {
+		t.Fatalf("framedvs did not scale up after step: %d -> %d", low, idx)
+	}
+	// 40 Mcycles over 36 ms budget -> 1111 MHz -> 1200 MHz.
+	if got := testCtx(1).Table[idx].FreqMHz; got < 1100 || got > 1300 {
+		t.Fatalf("post-step choice %d MHz, want ≈1200", got)
+	}
+}
+
+func TestFrameDVSOverheadTiny(t *testing.T) {
+	g := NewFrameDVS()
+	if g.DecisionOverheadS() <= 0 || g.DecisionOverheadS() > 50e-6 {
+		t.Fatalf("framedvs overhead %v; want small but positive", g.DecisionOverheadS())
+	}
+}
+
+func TestSchedutilProportionalWithHeadroom(t *testing.T) {
+	g := NewSchedutil()
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	g.Decide(Observation{Epoch: -1})
+	// 40% util at fmax: target = 1.25*0.4*2000 = 1000 MHz.
+	idx := g.Decide(obsAt(0, 18, 0.40, 0.04))
+	if got := ctx.Table[idx].FreqMHz; got != 1000 {
+		t.Fatalf("schedutil chose %d MHz, want 1000", got)
+	}
+}
+
+func TestSchedutilRateLimitsDownScaling(t *testing.T) {
+	g := NewSchedutil()
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	g.Decide(Observation{Epoch: -1})
+	high := g.Decide(obsAt(0, 0, 0.9, 0.04)) // up immediately
+	if high == 0 {
+		t.Fatal("did not scale up")
+	}
+	// One quiet epoch: held (rate limit 2).
+	if got := g.Decide(obsAt(1, high, 0.2, 0.04)); got != high {
+		t.Fatalf("down-scaled after one quiet epoch: %d", got)
+	}
+	// Second quiet epoch: released.
+	if got := g.Decide(obsAt(2, high, 0.2, 0.04)); got >= high {
+		t.Fatalf("rate limit never released: %d", got)
+	}
+}
+
+func TestPIDReachesSetpointOnSteadyDemand(t *testing.T) {
+	g := NewPID()
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	idx := g.Decide(Observation{Epoch: -1})
+	const cycles = 30e6 // needs 750 MHz at 40 ms
+	var slack float64
+	for i := 0; i < 200; i++ {
+		f := ctx.Table[idx].FreqHz()
+		exec := cycles/f + g.DecisionOverheadS()
+		obs := obsAt(i, idx, math.Min(1, exec/0.04), 0.04)
+		obs.ExecTimeS = exec
+		idx = g.Decide(obs)
+		slack = (0.04 - exec) / 0.04
+	}
+	if math.Abs(slack-g.Setpoint) > 0.12 {
+		t.Fatalf("PID steady slack %v, want near setpoint %v", slack, g.Setpoint)
+	}
+	if mhz := ctx.Table[idx].FreqMHz; mhz < 800 || mhz > 1100 {
+		t.Fatalf("PID settled at %d MHz for a 750 MHz demand", mhz)
+	}
+}
+
+func TestPIDAntiWindup(t *testing.T) {
+	g := NewPID()
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	g.Decide(Observation{Epoch: -1})
+	// Long saturation at an unmeetable demand must not wind the integral
+	// beyond its clamp...
+	for i := 0; i < 100; i++ {
+		obs := obsAt(i, 18, 1.0, 0.04)
+		obs.ExecTimeS = 0.120 // always missing
+		g.Decide(obs)
+	}
+	if g.integral > g.IntegralClamp+1e-9 {
+		t.Fatalf("integral wound up to %v", g.integral)
+	}
+	// ...and recovery must not take pathologically long once demand drops.
+	var idx int
+	for i := 100; i < 140; i++ {
+		obs := obsAt(i, idx, 0.2, 0.04)
+		obs.ExecTimeS = 0.008 // huge slack now
+		idx = g.Decide(obs)
+	}
+	if mhz := ctx.Table[idx].FreqMHz; mhz > 800 {
+		t.Fatalf("PID stuck high after demand drop: %d MHz", mhz)
+	}
+}
+
+func TestThermalCapThrottlesAndRecovers(t *testing.T) {
+	g := NewThermalCap(NewPerformance())
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	max := ctx.Table.MaxIdx()
+	if got := g.Decide(Observation{Epoch: -1}); got != max {
+		t.Fatalf("first decision %d", got)
+	}
+	// Hot epochs pull the ceiling down one step each.
+	hot := obsAt(0, max, 0.9, 0.04)
+	hot.TempC = 95
+	for i := 0; i < 5; i++ {
+		hot.Epoch = i
+		g.Decide(hot)
+	}
+	if got := g.Ceiling(); got != max-5 {
+		t.Fatalf("ceiling = %d after 5 hot epochs, want %d", got, max-5)
+	}
+	if g.ThrottleEvents() == 0 {
+		t.Fatal("no throttle events recorded")
+	}
+	// Within the hysteresis band the ceiling holds.
+	warm := obsAt(5, max, 0.9, 0.04)
+	warm.TempC = 83
+	g.Decide(warm)
+	if got := g.Ceiling(); got != max-5 {
+		t.Fatalf("ceiling moved inside hysteresis band: %d", got)
+	}
+	// Cool epochs recover one step each.
+	cool := obsAt(6, max, 0.9, 0.04)
+	cool.TempC = 60
+	for i := 0; i < 5; i++ {
+		cool.Epoch = 6 + i
+		g.Decide(cool)
+	}
+	if got := g.Ceiling(); got != max {
+		t.Fatalf("ceiling did not recover: %d", got)
+	}
+}
+
+func TestThermalCapForwardsOverhead(t *testing.T) {
+	inner := NewMLDTM()
+	g := NewThermalCap(inner)
+	if g.DecisionOverheadS() != inner.DecisionOverheadS() {
+		t.Fatal("overhead not forwarded")
+	}
+	plain := NewThermalCap(NewPerformance())
+	if plain.DecisionOverheadS() != 0 {
+		t.Fatal("non-modelling inner governor must cost zero")
+	}
+	if g.Name() != "mldtm+thermal" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+}
+
+func TestThermalCapNilInnerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil inner must panic")
+		}
+	}()
+	NewThermalCap(nil)
+}
+
+func TestNewGovernorsRegistered(t *testing.T) {
+	for _, name := range []string{"framedvs", "schedutil", "pid"} {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, g.Name())
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package governor
+
+// LearningStats is implemented by the learning governors (the proposed RTM,
+// the UPD-RL baseline, the ML-DTM baseline) so the experiment harness can
+// read the two quantities the paper tabulates:
+//
+//   - Table II counts *explorations*: decision epochs in which the policy
+//     chose an exploratory (non-greedy) action during initial learning;
+//   - Table III reports the *learning overhead* in decision epochs: how
+//     long until the learnt policy stops changing.
+type LearningStats interface {
+	// Explorations returns the number of exploratory decisions taken.
+	Explorations() int
+	// ConvergedAtEpoch returns the epoch index at which initial learning
+	// completed (the greedy policy became stable), or -1 while still
+	// learning.
+	ConvergedAtEpoch() int
+}
+
+// ExplorationCurve is implemented by learners that record their cumulative
+// exploration count per epoch, so the harness can report explorations
+// *before convergence* — the Table II quantity: exploratory decisions spent
+// getting to a stable policy, not the asymptotic tail after it.
+type ExplorationCurve interface {
+	// ExplorationsAt returns the cumulative exploration count after the
+	// given epoch completed; past the last epoch it returns the total.
+	ExplorationsAt(epoch int) int
+}
+
+// ConvergenceTracker reports when the greedy policy stabilised: the start
+// of the current window of StableEpochs consecutive epochs in which the
+// policy changed at most MaxFlips table entries in total. On stochastic
+// workloads a strict no-change criterion never triggers — occasional
+// single-state flips in rarely visited rows persist indefinitely — so a
+// small tolerance is part of the definition, not a relaxation of it.
+//
+// The epoch is NOT latched: if the policy later changes beyond tolerance,
+// the tracker reopens and subsequently reports the newer stabilisation.
+// This matters for learners whose pre-learning greedy policy is trivially
+// constant (an untouched Q-table always returns action 0): the early quiet
+// stretch must not masquerade as convergence once real learning starts
+// flipping entries.
+type ConvergenceTracker struct {
+	// StableEpochs is the window length.
+	StableEpochs int
+	// MaxFlips is the number of greedy-action changes tolerated inside
+	// the window.
+	MaxFlips int
+
+	prev      []int
+	flipRing  []int
+	ringIdx   int
+	windowSum int
+	seen      int
+	converged int
+	epoch     int
+}
+
+// NewConvergenceTracker returns a tracker requiring the given stable run
+// length (values < 1 are raised to 1) with a one-flip tolerance.
+func NewConvergenceTracker(stableEpochs int) *ConvergenceTracker {
+	if stableEpochs < 1 {
+		stableEpochs = 1
+	}
+	return &ConvergenceTracker{
+		StableEpochs: stableEpochs,
+		MaxFlips:     1,
+		flipRing:     make([]int, stableEpochs),
+		converged:    -1,
+	}
+}
+
+// Observe records the greedy policy (one chosen action per state) for the
+// current epoch. A policy of different length counts as fully changed.
+func (c *ConvergenceTracker) Observe(policy []int) {
+	flips := 0
+	if c.prev == nil || len(policy) != len(c.prev) {
+		flips = len(policy)
+		if flips == 0 {
+			flips = 1
+		}
+	} else {
+		for i := range policy {
+			if policy[i] != c.prev[i] {
+				flips++
+			}
+		}
+	}
+	c.prev = append(c.prev[:0], policy...)
+
+	c.windowSum += flips - c.flipRing[c.ringIdx]
+	c.flipRing[c.ringIdx] = flips
+	c.ringIdx = (c.ringIdx + 1) % c.StableEpochs
+	if c.seen < c.StableEpochs {
+		c.seen++
+	}
+
+	if c.seen == c.StableEpochs {
+		if c.windowSum <= c.MaxFlips {
+			if c.converged < 0 {
+				c.converged = c.epoch - c.StableEpochs + 1
+				if c.converged < 0 {
+					c.converged = 0
+				}
+			}
+		} else {
+			c.converged = -1
+		}
+	}
+	c.epoch++
+}
+
+// ConvergedAt returns the start of the current stable window, or -1 while
+// the policy is still moving.
+func (c *ConvergenceTracker) ConvergedAt() int { return c.converged }
+
+// WindowFlips returns the number of greedy-action changes inside the
+// current window.
+func (c *ConvergenceTracker) WindowFlips() int { return c.windowSum }
+
+// Quiet reports whether the current window is within the flip tolerance —
+// the "learning has stopped moving" signal the ε schedule consumes.
+func (c *ConvergenceTracker) Quiet() bool {
+	return c.seen == c.StableEpochs && c.windowSum <= c.MaxFlips
+}
+
+// Reset clears the tracker.
+func (c *ConvergenceTracker) Reset() {
+	c.prev = nil
+	for i := range c.flipRing {
+		c.flipRing[i] = 0
+	}
+	c.ringIdx = 0
+	c.windowSum = 0
+	c.seen = 0
+	c.converged = -1
+	c.epoch = 0
+}

@@ -1,0 +1,71 @@
+package governor
+
+import "fmt"
+
+// Performance pins the fastest operating point — Linux's "performance"
+// governor. It bounds achievable performance and anchors the energy
+// comparison from above.
+type Performance struct {
+	maxIdx int
+}
+
+// NewPerformance constructs the governor.
+func NewPerformance() *Performance { return &Performance{} }
+
+// Name implements Governor.
+func (g *Performance) Name() string { return "performance" }
+
+// Reset implements Governor.
+func (g *Performance) Reset(ctx Context) { g.maxIdx = ctx.Table.MaxIdx() }
+
+// Decide implements Governor.
+func (g *Performance) Decide(Observation) int { return g.maxIdx }
+
+// Powersave pins the slowest operating point — Linux's "powersave"
+// governor. On deadline workloads it trades massive deadline misses for
+// minimum power (not minimum energy: frames stretch).
+type Powersave struct{}
+
+// NewPowersave constructs the governor.
+func NewPowersave() *Powersave { return &Powersave{} }
+
+// Name implements Governor.
+func (g *Powersave) Name() string { return "powersave" }
+
+// Reset implements Governor.
+func (g *Powersave) Reset(Context) {}
+
+// Decide implements Governor.
+func (g *Powersave) Decide(Observation) int { return 0 }
+
+// Userspace pins a caller-chosen operating point, like writing a frequency
+// to scaling_setspeed under Linux's "userspace" governor.
+type Userspace struct {
+	TargetMHz int
+	idx       int
+}
+
+// NewUserspace constructs the governor for a fixed frequency in MHz.
+func NewUserspace(mhz int) *Userspace { return &Userspace{TargetMHz: mhz} }
+
+// Name implements Governor.
+func (g *Userspace) Name() string { return fmt.Sprintf("userspace(%dMHz)", g.TargetMHz) }
+
+// Reset implements Governor. An unknown frequency panics: the CLI validates
+// user input before constructing the governor, so this is unreachable from
+// outside and indicates a harness bug.
+func (g *Userspace) Reset(ctx Context) {
+	idx := ctx.Table.IndexOfMHz(g.TargetMHz)
+	if idx < 0 {
+		panic(fmt.Sprintf("governor: userspace target %d MHz not in table", g.TargetMHz))
+	}
+	g.idx = idx
+}
+
+// Decide implements Governor.
+func (g *Userspace) Decide(Observation) int { return g.idx }
+
+func init() {
+	Register("performance", func() Governor { return NewPerformance() })
+	Register("powersave", func() Governor { return NewPowersave() })
+}

@@ -1,0 +1,79 @@
+package governor
+
+import (
+	"qgov/internal/predictor"
+)
+
+// FrameDVS is the classic proactive non-learning baseline: frame-based
+// dynamic voltage scaling in the style of Choi, Cheng & Pedram (JOLPE'05,
+// the paper's ref [3]). Each epoch it predicts the next frame's cycle
+// demand and directly picks the slowest operating point that fits the
+// deadline with a configurable safety margin:
+//
+//	f_next = ceil( predCC / (Tref · (1 − Margin)) )
+//
+// No table, no reward, no exploration — just prediction plus proportional
+// control. It is the natural "why do we need RL at all?" comparison: on a
+// stationary workload it is essentially optimal immediately, with zero
+// learning overhead; what it cannot do is adapt its margin to the
+// workload's volatility or to mispredictions, which is exactly the gap the
+// paper's learning approach targets.
+type FrameDVS struct {
+	// Margin is the fraction of the period reserved against misprediction
+	// and overheads (0.1 = aim to finish 10 % early).
+	Margin float64
+	// Gamma is the EWMA smoothing factor of the predictor.
+	Gamma float64
+	// OverheadS is the per-decision compute cost: one filter update and a
+	// table lookup — far below the learning governors'.
+	OverheadS float64
+
+	ctx   Context
+	preds []*predictor.EWMA
+}
+
+// NewFrameDVS constructs the governor with a 10 % margin and the paper's
+// EWMA smoothing factor.
+func NewFrameDVS() *FrameDVS {
+	return &FrameDVS{Margin: 0.10, Gamma: 0.6, OverheadS: 15e-6}
+}
+
+// Name implements Governor.
+func (g *FrameDVS) Name() string { return "framedvs" }
+
+// DecisionOverheadS implements OverheadModeler.
+func (g *FrameDVS) DecisionOverheadS() float64 { return g.OverheadS }
+
+// Reset implements Governor.
+func (g *FrameDVS) Reset(ctx Context) {
+	g.ctx = ctx
+	g.preds = make([]*predictor.EWMA, ctx.NumCores)
+	for i := range g.preds {
+		g.preds[i] = predictor.NewEWMA(g.Gamma)
+	}
+}
+
+// Decide implements Governor.
+func (g *FrameDVS) Decide(obs Observation) int {
+	if obs.Epoch < 0 {
+		return 0
+	}
+	var predCC float64
+	for c, p := range g.preds {
+		if c < len(obs.Cycles) {
+			p.Observe(float64(obs.Cycles[c]))
+		}
+		if v := p.Predict(); v > predCC {
+			predCC = v
+		}
+	}
+	budget := obs.PeriodS * (1 - g.Margin)
+	if budget <= 0 {
+		return g.ctx.Table.MaxIdx()
+	}
+	return g.ctx.Table.CeilIdx(predCC / budget)
+}
+
+func init() {
+	Register("framedvs", func() Governor { return NewFrameDVS() })
+}

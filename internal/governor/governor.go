@@ -1,0 +1,132 @@
+// Package governor defines the power-governor abstraction of the paper's
+// run-time layer and implements the baseline governors the proposed RTM is
+// evaluated against: the Linux cpufreq family (performance, powersave,
+// userspace, ondemand, conservative), the offline Oracle used for energy
+// normalisation, a multi-core learning DTM in the style of Ge & Qiu
+// (DAC'11, the paper's ref [20]) and a uniform-exploration RL manager in
+// the style of Shen et al. (TODAES'13, ref [21]).
+//
+// A governor lives at exactly the abstraction level of a Linux cpufreq
+// policy driver: once per decision epoch it receives what the OS can
+// observe (PMU deltas, sensed power, temperature, timing of the epoch that
+// just ended) and returns the operating-point index for the next epoch.
+// The paper's proposed Q-learning RTM implements this same interface in
+// internal/core.
+package governor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"qgov/internal/platform"
+)
+
+// Context carries the run-static facts a governor may depend on. Reset
+// receives it before every run.
+type Context struct {
+	Table    platform.OPPTable // the cluster's operating points
+	NumCores int               // cores in the controlled cluster
+	PeriodS  float64           // the application's per-frame deadline (Tref)
+	Seed     int64             // seed for any stochastic policy
+}
+
+// Observation reports one completed decision epoch. Decide is called with
+// the observation of epoch i-1 to choose the operating point for epoch i;
+// the very first call carries Epoch == -1 and zero values (nothing has
+// executed yet), which governors must tolerate.
+type Observation struct {
+	Epoch     int       // index of the completed epoch, -1 before the first
+	Cycles    []uint64  // per-core PMU cycle deltas over the epoch
+	Util      []float64 // per-core busy fraction over the epoch
+	ExecTimeS float64   // the paper's T_i + T_OVH: completion incl. overheads
+	PeriodS   float64   // the epoch's deadline Tref
+	WallTimeS float64   // ExecTimeS or PeriodS, whichever governed the epoch
+	PowerW    float64   // sensor-average power over the epoch
+	TempC     float64   // die temperature at epoch end
+	OPPIdx    int       // operating point the epoch ran at
+}
+
+// MaxUtil returns the highest per-core utilisation, the load signal
+// Linux's ondemand uses across a policy's CPUs. It returns 0 when Util is
+// empty.
+func (o Observation) MaxUtil() float64 {
+	m := 0.0
+	for _, u := range o.Util {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// MaxCycles returns the critical-path cycle demand observed.
+func (o Observation) MaxCycles() uint64 {
+	var m uint64
+	for _, c := range o.Cycles {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Governor selects operating points at decision-epoch granularity.
+type Governor interface {
+	// Name identifies the governor in result tables.
+	Name() string
+	// Reset prepares the governor for a fresh run.
+	Reset(ctx Context)
+	// Decide returns the OPP index for the next epoch given the
+	// observation of the previous one.
+	Decide(obs Observation) int
+}
+
+// OverheadModeler is implemented by governors whose per-decision compute
+// cost is material (the learning governors). The epoch engine charges this
+// many seconds of serialised work to every epoch, feeding the T_OVH term of
+// the paper's Eq. 5. Governors that do not implement it cost nothing.
+type OverheadModeler interface {
+	DecisionOverheadS() float64
+}
+
+// registry of constructors for CLI lookup.
+var (
+	regMu    sync.Mutex
+	registry = map[string]func() Governor{}
+)
+
+// Register makes a governor constructor available to ByName. It is called
+// from init functions; duplicate names panic (two governors claiming one
+// name is a programming error).
+func Register(name string, ctor func() Governor) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("governor: duplicate registration of %q", name))
+	}
+	registry[name] = ctor
+}
+
+// ByName constructs a registered governor.
+func ByName(name string) (Governor, error) {
+	regMu.Lock()
+	ctor, ok := registry[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("governor: unknown governor %q (try one of %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Names lists the registered governors, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

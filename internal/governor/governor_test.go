@@ -1,0 +1,221 @@
+package governor
+
+import (
+	"testing"
+
+	"qgov/internal/platform"
+)
+
+func testCtx(seed int64) Context {
+	return Context{
+		Table:    platform.A15Table(),
+		NumCores: 4,
+		PeriodS:  0.040,
+		Seed:     seed,
+	}
+}
+
+// obsAt builds an observation for a frame that ran at OPP idx with the
+// given per-core utilisation.
+func obsAt(epoch, idx int, util float64, periodS float64) Observation {
+	us := []float64{util, util, util, util}
+	table := platform.A15Table()
+	cycles := make([]uint64, 4)
+	for i := range cycles {
+		cycles[i] = uint64(util * periodS * table[idx].FreqHz())
+	}
+	return Observation{
+		Epoch:     epoch,
+		Cycles:    cycles,
+		Util:      us,
+		ExecTimeS: util * periodS,
+		PeriodS:   periodS,
+		WallTimeS: periodS,
+		PowerW:    2,
+		TempC:     50,
+		OPPIdx:    idx,
+	}
+}
+
+func TestObservationHelpers(t *testing.T) {
+	o := Observation{
+		Util:   []float64{0.2, 0.9, 0.5},
+		Cycles: []uint64{100, 900, 500},
+	}
+	if o.MaxUtil() != 0.9 {
+		t.Errorf("MaxUtil = %v", o.MaxUtil())
+	}
+	if o.MaxCycles() != 900 {
+		t.Errorf("MaxCycles = %v", o.MaxCycles())
+	}
+	var empty Observation
+	if empty.MaxUtil() != 0 || empty.MaxCycles() != 0 {
+		t.Error("empty observation helpers must return 0")
+	}
+}
+
+func TestFixedGovernors(t *testing.T) {
+	ctx := testCtx(1)
+	p := NewPerformance()
+	p.Reset(ctx)
+	if got := p.Decide(obsAt(0, 5, 0.5, 0.04)); got != ctx.Table.MaxIdx() {
+		t.Errorf("performance chose %d", got)
+	}
+	ps := NewPowersave()
+	ps.Reset(ctx)
+	if got := ps.Decide(obsAt(0, 5, 0.99, 0.04)); got != 0 {
+		t.Errorf("powersave chose %d", got)
+	}
+	us := NewUserspace(1400)
+	us.Reset(ctx)
+	if got := us.Decide(obsAt(0, 5, 0.5, 0.04)); ctx.Table[got].FreqMHz != 1400 {
+		t.Errorf("userspace chose %v", ctx.Table[got])
+	}
+}
+
+func TestUserspaceRejectsUnknownFrequency(t *testing.T) {
+	us := NewUserspace(1234)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("userspace with unknown frequency must panic at Reset")
+		}
+	}()
+	us.Reset(testCtx(1))
+}
+
+func TestOndemandJumpsToMaxOnHighLoad(t *testing.T) {
+	g := NewOndemand()
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	if got := g.Decide(Observation{Epoch: -1}); got != 0 {
+		t.Fatalf("first decision %d, want 0", got)
+	}
+	if got := g.Decide(obsAt(0, 3, 0.95, 0.04)); got != ctx.Table.MaxIdx() {
+		t.Fatalf("95%% load chose %d, want max", got)
+	}
+}
+
+func TestOndemandProportionalScaleDown(t *testing.T) {
+	g := NewOndemand()
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	// 30% load: target = 0.3 * 2000 MHz = 600 MHz.
+	got := g.Decide(obsAt(0, 18, 0.30, 0.04))
+	if ctx.Table[got].FreqMHz != 600 {
+		t.Fatalf("30%% load chose %v, want 600 MHz", ctx.Table[got])
+	}
+}
+
+func TestOndemandOscillatesAndOverPerforms(t *testing.T) {
+	// On a steady demand of f_req = 800 MHz, ondemand's proportional rule
+	// produces the classic bounce: at f_max the load is 0.4, so the target
+	// drops to 0.4·f_max = 800 MHz; there the load saturates (>= threshold)
+	// and it jumps back to f_max. The time-average frequency therefore sits
+	// well above the requirement — the over-performance Table I measures.
+	g := NewOndemand()
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	idx := 0
+	const fReq = 800e6
+	var visited []int
+	var normPerf float64
+	const steady = 40
+	for i := 0; i < 60; i++ {
+		f := ctx.Table[idx].FreqHz()
+		util := fReq / f
+		if util > 1 {
+			util = 1
+		}
+		if i >= 60-steady {
+			visited = append(visited, idx)
+			normPerf += util // exec time fraction of the period
+		}
+		idx = g.Decide(obsAt(i, idx, util, 0.04))
+	}
+	normPerf /= steady
+	lo, hi := visited[0], visited[0]
+	for _, v := range visited {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi != ctx.Table.MaxIdx() {
+		t.Fatalf("steady state never touches fmax (hi=%v)", ctx.Table[hi])
+	}
+	if ctx.Table[lo].FreqMHz != 800 {
+		t.Fatalf("steady-state low point %v, want 800 MHz", ctx.Table[lo])
+	}
+	if normPerf < 0.55 || normPerf > 0.9 {
+		t.Fatalf("mean normalised performance %v; want clear over-performance (0.55..0.9)", normPerf)
+	}
+}
+
+func TestOndemandSamplingDownFactorHoldsMax(t *testing.T) {
+	g := NewOndemand()
+	g.SamplingDownFactor = 3
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	g.Decide(obsAt(0, 5, 0.95, 0.04)) // jump to max, hold 2 more
+	if got := g.Decide(obsAt(1, 18, 0.30, 0.04)); got != ctx.Table.MaxIdx() {
+		t.Fatalf("hold epoch 1 chose %d, want max", got)
+	}
+	if got := g.Decide(obsAt(2, 18, 0.30, 0.04)); got != ctx.Table.MaxIdx() {
+		t.Fatalf("hold epoch 2 chose %d, want max", got)
+	}
+	if got := g.Decide(obsAt(3, 18, 0.30, 0.04)); got == ctx.Table.MaxIdx() {
+		t.Fatal("hold did not expire")
+	}
+}
+
+func TestConservativeSteps(t *testing.T) {
+	g := NewConservative()
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	g.Decide(Observation{Epoch: -1})
+	// High load: one step at a time.
+	got := g.Decide(obsAt(0, 0, 0.95, 0.04))
+	if got != 1 {
+		t.Fatalf("first up-step landed at %d, want 1", got)
+	}
+	got = g.Decide(obsAt(1, 1, 0.95, 0.04))
+	if got != 2 {
+		t.Fatalf("second up-step landed at %d, want 2", got)
+	}
+	// Low load: step back down.
+	got = g.Decide(obsAt(2, 2, 0.05, 0.04))
+	if got != 1 {
+		t.Fatalf("down-step landed at %d, want 1", got)
+	}
+	// Mid load: hold.
+	got = g.Decide(obsAt(3, 1, 0.5, 0.04))
+	if got != 1 {
+		t.Fatalf("mid load moved to %d, want hold at 1", got)
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	for _, name := range []string{"performance", "powersave", "ondemand", "conservative", "mldtm"} {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, g.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown governor accepted")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register must panic")
+		}
+	}()
+	Register("ondemand", func() Governor { return NewOndemand() })
+}

@@ -1,0 +1,258 @@
+package governor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLDTM reimplements the multi-core learning DVFS controller of Ge & Qiu,
+// "Dynamic thermal management for multimedia applications using machine
+// learning" (DAC'11) — the paper's ref [20] and its strongest baseline in
+// Table I. Following the paper, the thermal constraint is neglected "for
+// equivalence of comparison"; what remains is the controller's learning
+// structure, which differs from the proposed RTM in exactly the three ways
+// the comparison turns on:
+//
+//  1. its state is the observed per-core *utilisation band* — it has no
+//     notion of the application's deadline or slack, so it regulates
+//     toward a fixed utilisation target rather than toward Tref;
+//  2. exploration draws actions from a *uniform* distribution;
+//  3. every core trains an *independent* Q-table from only its own
+//     experience (per-core DVFS in the original platform), so on a
+//     shared-clock cluster four agents must each converge — roughly
+//     doubling the learning overhead measured in Table III.
+type MLDTM struct {
+	// UtilBands is the number of utilisation states per core.
+	UtilBands int
+	// TargetUtil is the utilisation the reward steers toward. Without
+	// deadline knowledge the controller keeps headroom: utilisation ≈ 0.9
+	// means finishing ≈ 10 % before the period — the over-performance
+	// visible in Table I's normalised performance of 0.89.
+	TargetUtil float64
+	// PowerWeight scales the power penalty against the utilisation error.
+	PowerWeight float64
+	// MaxPowerW normalises sensed power into [0,1] for the reward.
+	MaxPowerW float64
+	// Alpha and Discount are the Q-learning parameters; the learning rate
+	// decays per state-action visit as α·K/(K+v) with K = AlphaDecayK so
+	// the per-core policies can actually converge (Table III needs a
+	// well-defined convergence epoch for this baseline too).
+	Alpha       float64
+	AlphaDecayK float64
+	Discount    float64
+	// GreedyMargin is the hysteresis dead-band on the per-core greedy
+	// choice, mirroring the proposed RTM's.
+	GreedyMargin float64
+	// Epsilon0 and EpsilonDecay control the ε-greedy schedule
+	// ε_i = ε₀·exp(−decay·i).
+	Epsilon0     float64
+	EpsilonDecay float64
+	// OverheadS is the per-decision compute cost (four table updates plus
+	// counter sampling).
+	OverheadS float64
+	// StableEpochs configures convergence detection.
+	StableEpochs int
+
+	ctx          Context
+	rng          *rand.Rand
+	q            [][][]float64 // [core][state][action]
+	visits       [][][]int
+	greedy       [][]int // sticky greedy choice per core, per state
+	lastState    []int
+	lastAction   int
+	epoch        int
+	explorations int
+	tracker      *ConvergenceTracker
+}
+
+// NewMLDTM constructs the baseline with the configuration used in the
+// experiments.
+func NewMLDTM() *MLDTM {
+	return &MLDTM{
+		UtilBands:    5,
+		TargetUtil:   0.90,
+		PowerWeight:  0.3,
+		MaxPowerW:    7.0,
+		Alpha:        0.40,
+		AlphaDecayK:  25,
+		Discount:     0.85,
+		GreedyMargin: 0.12,
+		Epsilon0:     1.0,
+		EpsilonDecay: 0.012,
+		OverheadS:    200e-6,
+		StableEpochs: 25,
+	}
+}
+
+// Name implements Governor.
+func (g *MLDTM) Name() string { return "mldtm" }
+
+// DecisionOverheadS implements OverheadModeler.
+func (g *MLDTM) DecisionOverheadS() float64 { return g.OverheadS }
+
+// Explorations implements LearningStats.
+func (g *MLDTM) Explorations() int { return g.explorations }
+
+// ConvergedAtEpoch implements LearningStats.
+func (g *MLDTM) ConvergedAtEpoch() int { return g.tracker.ConvergedAt() }
+
+// Reset implements Governor.
+func (g *MLDTM) Reset(ctx Context) {
+	g.ctx = ctx
+	g.rng = rand.New(rand.NewSource(ctx.Seed))
+	nActions := ctx.Table.Len()
+	g.q = make([][][]float64, ctx.NumCores)
+	g.visits = make([][][]int, ctx.NumCores)
+	g.greedy = make([][]int, ctx.NumCores)
+	for c := range g.q {
+		g.q[c] = make([][]float64, g.UtilBands)
+		g.visits[c] = make([][]int, g.UtilBands)
+		g.greedy[c] = make([]int, g.UtilBands)
+		for s := range g.q[c] {
+			g.q[c][s] = make([]float64, nActions)
+			g.visits[c][s] = make([]int, nActions)
+		}
+	}
+	g.lastState = make([]int, ctx.NumCores)
+	g.lastAction = 0
+	g.epoch = 0
+	g.explorations = 0
+	g.tracker = NewConvergenceTracker(g.StableEpochs)
+	g.tracker.MaxFlips = 2 // mirror the RTM's tolerance for comparability
+}
+
+// stateOf maps a utilisation into a band index.
+func (g *MLDTM) stateOf(util float64) int {
+	if util < 0 {
+		util = 0
+	}
+	if util >= 1 {
+		return g.UtilBands - 1
+	}
+	return int(util * float64(g.UtilBands))
+}
+
+// reward scores the previous epoch for one core: negative utilisation
+// error plus a power penalty. No term involves the deadline — the
+// controller cannot see it — but saturated utilisation is punished hard:
+// a core pegged at ≈100 % busy means the workload no longer fits the
+// clock, the same signal that makes Linux's ondemand jump to fmax. Without
+// this term a too-slow operating point would look ideal (utilisation near
+// target, power low) exactly when the application is being starved.
+func (g *MLDTM) reward(util, powerW float64) float64 {
+	powerNorm := powerW / g.MaxPowerW
+	if powerNorm > 1 {
+		powerNorm = 1
+	}
+	if util >= 0.97 {
+		return -(2.0 + g.PowerWeight*powerNorm)
+	}
+	utilErr := math.Abs(util - g.TargetUtil)
+	return -(utilErr + g.PowerWeight*powerNorm)
+}
+
+// Decide implements Governor: one Q-update per core from its own
+// utilisation, then per-core ε-greedy action selection; the shared-clock
+// cluster runs at the fastest per-core vote.
+func (g *MLDTM) Decide(obs Observation) int {
+	nActions := g.ctx.Table.Len()
+	if obs.Epoch < 0 {
+		g.lastAction = 0
+		return 0
+	}
+	// Update every core's table on the epoch that just finished.
+	for c := 0; c < g.ctx.NumCores; c++ {
+		util := 0.0
+		if c < len(obs.Util) {
+			util = obs.Util[c]
+		}
+		r := g.reward(util, obs.PowerW)
+		sPrev := g.lastState[c]
+		sNow := g.stateOf(util)
+		best := maxOf(g.q[c][sNow])
+		alpha := g.Alpha
+		if g.AlphaDecayK > 0 {
+			alpha = g.Alpha * g.AlphaDecayK / (g.AlphaDecayK + float64(g.visits[c][sPrev][g.lastAction]))
+		}
+		qv := &g.q[c][sPrev][g.lastAction]
+		*qv = (1-alpha)*(*qv) + alpha*(r+g.Discount*best)
+		g.visits[c][sPrev][g.lastAction]++
+		// Sticky greedy refresh for the updated state.
+		cur := g.greedy[c][sPrev]
+		if am := argmaxOf(g.q[c][sPrev]); g.q[c][sPrev][am] > g.q[c][sPrev][cur]+g.GreedyMargin {
+			g.greedy[c][sPrev] = am
+		}
+		g.lastState[c] = sNow
+	}
+
+	// Per-core ε-greedy votes; the cluster takes the max.
+	eps := g.Epsilon0 * math.Exp(-g.EpsilonDecay*float64(g.epoch))
+	vote := 0
+	explored := false
+	for c := 0; c < g.ctx.NumCores; c++ {
+		var a int
+		if g.rng.Float64() < eps {
+			a = g.rng.Intn(nActions) // uniform exploration
+			explored = true
+		} else {
+			a = g.greedy[c][g.lastState[c]]
+		}
+		if a > vote {
+			vote = a
+		}
+	}
+	if explored {
+		g.explorations++
+	}
+	g.epoch++
+	g.lastAction = vote
+	g.tracker.Observe(g.greedyPolicy())
+	return vote
+}
+
+// greedyPolicy flattens the per-core sticky greedy actions into one
+// fingerprint, masking under-sampled states exactly as the proposed RTM
+// does (see RTM.greedyFingerprint) so the Table III comparison measures
+// the same notion of stability on both sides.
+func (g *MLDTM) greedyPolicy() []int {
+	const minRowVisits = 20
+	out := make([]int, 0, len(g.greedy)*g.UtilBands)
+	for c, per := range g.greedy {
+		for s, a := range per {
+			var rowVisits int
+			for _, v := range g.visits[c][s] {
+				rowVisits += v
+			}
+			if rowVisits < minRowVisits {
+				out = append(out, -1)
+			} else {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func argmaxOf(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func init() {
+	Register("mldtm", func() Governor { return NewMLDTM() })
+}

@@ -1,0 +1,116 @@
+package governor
+
+// Ondemand reimplements the Linux ondemand governor (Pallipadi &
+// Starikovskiy, OLS'06 — the paper's ref [5]) at decision-epoch
+// granularity:
+//
+//   - load is the maximum per-CPU busy fraction over the sampling window
+//     (here: the previous epoch);
+//   - load above UpThreshold jumps straight to the fastest OPP;
+//   - otherwise the target frequency is proportional to load,
+//     f_target = load × f_max, rounded up to the next OPP.
+//
+// Ondemand knows nothing about the application's deadline. On a periodic
+// frame workload its equilibrium is easy to derive: at frequency f the
+// load is f_req/f (f_req = cycles/period), so the proportional rule settles
+// where f* = (f_req/f*)·f_max, i.e. f* = sqrt(f_req·f_max) — always above
+// f_req. That systematic over-performance (normalised performance ≈
+// sqrt(f_req/f_max) ≈ 0.7–0.8) at elevated voltage is precisely the
+// energy waste Table I of the paper measures against it.
+type Ondemand struct {
+	// UpThreshold is the load fraction above which the governor jumps to
+	// the maximum frequency. Linux's historical default is 80 %.
+	UpThreshold float64
+	// SamplingDownFactor delays down-scaling after a jump to max, as in
+	// the kernel: after hitting fmax the governor holds it for this many
+	// epochs unless load collapses. 1 disables the hold.
+	SamplingDownFactor int
+
+	ctx      Context
+	holdLeft int
+}
+
+// NewOndemand constructs the governor with kernel-default tunables.
+func NewOndemand() *Ondemand {
+	return &Ondemand{UpThreshold: 0.80, SamplingDownFactor: 1}
+}
+
+// Name implements Governor.
+func (g *Ondemand) Name() string { return "ondemand" }
+
+// Reset implements Governor.
+func (g *Ondemand) Reset(ctx Context) {
+	g.ctx = ctx
+	g.holdLeft = 0
+}
+
+// Decide implements Governor.
+func (g *Ondemand) Decide(obs Observation) int {
+	maxIdx := g.ctx.Table.MaxIdx()
+	if obs.Epoch < 0 {
+		// Nothing observed yet: kernel policy starts wherever cpufreq was;
+		// ondemand's first sample then adjusts. Starting low is the
+		// conservative choice and matches the cluster's reset state.
+		return 0
+	}
+	load := obs.MaxUtil()
+	if load >= g.UpThreshold {
+		g.holdLeft = g.SamplingDownFactor - 1
+		return maxIdx
+	}
+	if g.holdLeft > 0 {
+		g.holdLeft--
+		return maxIdx
+	}
+	target := load * g.ctx.Table[maxIdx].FreqHz()
+	return g.ctx.Table.CeilIdx(target)
+}
+
+// Conservative reimplements Linux's conservative governor: like ondemand
+// but stepping gradually — one FreqStep up when load exceeds UpThreshold,
+// one down when it falls below DownThreshold. Designed for battery-powered
+// devices where frequency spikes are undesirable; on frame workloads it
+// lags demand changes by several epochs.
+type Conservative struct {
+	UpThreshold   float64 // default 0.80
+	DownThreshold float64 // default 0.20
+	FreqStepIdx   int     // OPP indices per step, default 1
+
+	ctx Context
+	cur int
+}
+
+// NewConservative constructs the governor with kernel-default tunables.
+func NewConservative() *Conservative {
+	return &Conservative{UpThreshold: 0.80, DownThreshold: 0.20, FreqStepIdx: 1}
+}
+
+// Name implements Governor.
+func (g *Conservative) Name() string { return "conservative" }
+
+// Reset implements Governor.
+func (g *Conservative) Reset(ctx Context) {
+	g.ctx = ctx
+	g.cur = 0
+}
+
+// Decide implements Governor.
+func (g *Conservative) Decide(obs Observation) int {
+	if obs.Epoch < 0 {
+		g.cur = 0
+		return g.cur
+	}
+	load := obs.MaxUtil()
+	switch {
+	case load > g.UpThreshold:
+		g.cur = g.ctx.Table.Clamp(g.cur + g.FreqStepIdx)
+	case load < g.DownThreshold:
+		g.cur = g.ctx.Table.Clamp(g.cur - g.FreqStepIdx)
+	}
+	return g.cur
+}
+
+func init() {
+	Register("ondemand", func() Governor { return NewOndemand() })
+	Register("conservative", func() Governor { return NewConservative() })
+}

@@ -1,0 +1,101 @@
+package governor
+
+// PID is a control-theoretic DVS baseline in the tradition of Gu &
+// Chakraborty (DAC'08, the paper's ref [4]): a discrete PID controller
+// regulates the per-frame slack ratio toward a setpoint by moving the
+// operating point up or down the ladder. It is deadline-aware (unlike
+// ondemand/schedutil) but model-free and memoryless about workload
+// structure (unlike the RTM): the same gains act in every workload phase,
+// so it trades the RTM's learning overhead for steady-state hunting on
+// workloads whose demand jumps between levels.
+type PID struct {
+	// Kp, Ki, Kd are the controller gains over the slack error, expressed
+	// in OPP steps per unit slack-ratio error.
+	Kp, Ki, Kd float64
+	// Setpoint is the desired slack ratio (finishing 10 % early).
+	Setpoint float64
+	// IntegralClamp bounds the integral term (anti-windup), in the same
+	// OPP-step units the gains produce.
+	IntegralClamp float64
+	// OverheadS is the per-decision compute cost.
+	OverheadS float64
+
+	ctx      Context
+	cur      int
+	integral float64
+	prevErr  float64
+	primed   bool
+}
+
+// NewPID constructs the controller with gains tuned on the A15 ladder:
+// a full-scale slack error (1.0) moves about six operating points.
+func NewPID() *PID {
+	return &PID{
+		Kp:            6,
+		Ki:            1.2,
+		Kd:            2,
+		Setpoint:      0.10,
+		IntegralClamp: 8,
+		OverheadS:     20e-6,
+	}
+}
+
+// Name implements Governor.
+func (g *PID) Name() string { return "pid" }
+
+// DecisionOverheadS implements OverheadModeler.
+func (g *PID) DecisionOverheadS() float64 { return g.OverheadS }
+
+// Reset implements Governor.
+func (g *PID) Reset(ctx Context) {
+	g.ctx = ctx
+	g.cur = 0
+	g.integral = 0
+	g.prevErr = 0
+	g.primed = false
+}
+
+// Decide implements Governor. The error convention: a frame finishing
+// late (slack below the setpoint) yields a positive error and pushes the
+// frequency up.
+func (g *PID) Decide(obs Observation) int {
+	if obs.Epoch < 0 {
+		g.cur = 0
+		return 0
+	}
+	slack := (obs.PeriodS - obs.ExecTimeS) / obs.PeriodS
+	err := g.Setpoint - slack
+
+	g.integral += g.Ki * err
+	if g.integral > g.IntegralClamp {
+		g.integral = g.IntegralClamp
+	}
+	if g.integral < -g.IntegralClamp {
+		g.integral = -g.IntegralClamp
+	}
+	deriv := 0.0
+	if g.primed {
+		deriv = err - g.prevErr
+	}
+	g.prevErr = err
+	g.primed = true
+
+	delta := g.Kp*err + g.integral + g.Kd*deriv
+	// Move relative to the current point; round toward the demanded
+	// direction so small persistent errors still act through the integral.
+	g.cur = g.ctx.Table.Clamp(g.cur + int(roundAway(delta)))
+	return g.cur
+}
+
+// roundAway rounds half-away-from-zero, so a sustained fractional demand
+// eventually crosses an OPP step.
+func roundAway(x float64) float64 {
+	if x >= 0 {
+		return float64(int(x + 0.5))
+	}
+	return float64(int(x - 0.5))
+}
+
+func init() {
+	Register("pid", func() Governor { return NewPID() })
+}

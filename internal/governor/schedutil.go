@@ -1,0 +1,68 @@
+package governor
+
+// Schedutil reimplements the modern Linux schedutil governor at
+// decision-epoch granularity: the target frequency is proportional to
+// utilisation with 25 % headroom,
+//
+//	f_target = 1.25 · util · f_max
+//
+// with a rate limit on down-scaling (frequency may rise immediately but
+// only falls after RateLimitEpochs quiet epochs), mirroring the kernel's
+// rate_limit_us behaviour. Like ondemand it is deadline-blind; unlike
+// ondemand it has no jump-to-max discontinuity, so it bounces less and
+// wastes less — the strongest of the classic utilisation-driven policies.
+type Schedutil struct {
+	// Headroom is the multiplier on utilisation (kernel: 1.25).
+	Headroom float64
+	// RateLimitEpochs delays down-scaling after any frequency change.
+	RateLimitEpochs int
+
+	ctx     Context
+	cur     int
+	sinceUp int
+}
+
+// NewSchedutil constructs the governor with kernel-default tunables.
+func NewSchedutil() *Schedutil {
+	return &Schedutil{Headroom: 1.25, RateLimitEpochs: 2}
+}
+
+// Name implements Governor.
+func (g *Schedutil) Name() string { return "schedutil" }
+
+// Reset implements Governor.
+func (g *Schedutil) Reset(ctx Context) {
+	g.ctx = ctx
+	g.cur = 0
+	g.sinceUp = 0
+}
+
+// Decide implements Governor.
+func (g *Schedutil) Decide(obs Observation) int {
+	if obs.Epoch < 0 {
+		g.cur = 0
+		return 0
+	}
+	target := g.Headroom * obs.MaxUtil() * g.ctx.Table[g.ctx.Table.MaxIdx()].FreqHz()
+	want := g.ctx.Table.CeilIdx(target)
+	switch {
+	case want > g.cur:
+		g.cur = want
+		g.sinceUp = 0
+	case want < g.cur:
+		// Down-scaling is rate-limited: hold until the demand has been
+		// low for RateLimitEpochs epochs.
+		g.sinceUp++
+		if g.sinceUp >= g.RateLimitEpochs {
+			g.cur = want
+			g.sinceUp = 0
+		}
+	default:
+		g.sinceUp = 0
+	}
+	return g.cur
+}
+
+func init() {
+	Register("schedutil", func() Governor { return NewSchedutil() })
+}

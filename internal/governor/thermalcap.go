@@ -1,0 +1,82 @@
+package governor
+
+// ThermalCap wraps any governor with a thermal-throttling layer modelled
+// on the kernel's intelligent power allocation behaviour on the
+// Exynos 5422: when the die temperature crosses TripC the permissible
+// operating-point ceiling steps down each epoch, and it recovers one step
+// per epoch once the die has cooled below TripC − HysteresisC.
+//
+// The paper neglects the thermal constraint of its baseline "for
+// equivalence of comparison", so none of the Table I-III experiments
+// enable this wrapper; it exists because a deployable governor cannot
+// ship without it, and because it lets users measure how much headroom
+// each policy leaves the thermal envelope (sustained fmax under
+// performance/ondemand trips it; the RTM's deadline-exact operation
+// usually does not).
+type ThermalCap struct {
+	// Inner is the wrapped policy.
+	Inner Governor
+	// TripC is the throttling threshold.
+	TripC float64
+	// HysteresisC is how far below TripC the die must cool before the
+	// ceiling recovers.
+	HysteresisC float64
+
+	ctx     Context
+	ceiling int
+	events  int
+}
+
+// NewThermalCap wraps a governor with the Exynos-flavoured defaults
+// (trip at 85 °C, recover below 80 °C).
+func NewThermalCap(inner Governor) *ThermalCap {
+	if inner == nil {
+		panic("governor: ThermalCap needs an inner governor")
+	}
+	return &ThermalCap{Inner: inner, TripC: 85, HysteresisC: 5}
+}
+
+// Name implements Governor.
+func (g *ThermalCap) Name() string { return g.Inner.Name() + "+thermal" }
+
+// DecisionOverheadS forwards the inner governor's overhead model.
+func (g *ThermalCap) DecisionOverheadS() float64 {
+	if om, ok := g.Inner.(OverheadModeler); ok {
+		return om.DecisionOverheadS()
+	}
+	return 0
+}
+
+// ThrottleEvents returns how many epochs the wrapper clamped the inner
+// governor's choice.
+func (g *ThermalCap) ThrottleEvents() int { return g.events }
+
+// Ceiling returns the current operating-point ceiling.
+func (g *ThermalCap) Ceiling() int { return g.ceiling }
+
+// Reset implements Governor.
+func (g *ThermalCap) Reset(ctx Context) {
+	g.ctx = ctx
+	g.ceiling = ctx.Table.MaxIdx()
+	g.events = 0
+	g.Inner.Reset(ctx)
+}
+
+// Decide implements Governor: update the ceiling from the measured die
+// temperature, then clamp the inner policy's choice to it.
+func (g *ThermalCap) Decide(obs Observation) int {
+	if obs.Epoch >= 0 {
+		switch {
+		case obs.TempC > g.TripC && g.ceiling > 0:
+			g.ceiling--
+		case obs.TempC < g.TripC-g.HysteresisC && g.ceiling < g.ctx.Table.MaxIdx():
+			g.ceiling++
+		}
+	}
+	idx := g.Inner.Decide(obs)
+	if idx > g.ceiling {
+		g.events++
+		return g.ceiling
+	}
+	return idx
+}

@@ -1,0 +1,399 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cluster is one DVFS domain with a set of identical cores: the unit the
+// run-time manager controls. The paper's experiments use the ODROID-XU3's
+// quad Cortex-A15 cluster; DefaultA15Cluster reproduces it.
+//
+// A cluster executes work in frame-sized chunks: the epoch engine hands it
+// per-core cycle demands and it returns timing, energy and sensor readings
+// for that epoch. All cores share one operating point (per-cluster DVFS, as
+// on the Exynos 5422).
+type Cluster struct {
+	name     string
+	dvfs     *DVFS
+	power    *PowerModel
+	thermal  *ThermalModel
+	sensor   *PowerSensor
+	pmus     []*PMU
+	memStall float64
+
+	totalEnergyJ float64
+	totalTimeS   float64
+	frames       int
+}
+
+// ClusterConfig assembles a Cluster. Zero-value fields fall back to the
+// defaults documented on each field.
+type ClusterConfig struct {
+	Name     string        // cluster name, e.g. "A15"
+	Table    OPPTable      // required: the DVFS operating points
+	NumCores int           // required: cores sharing the domain
+	Power    *PowerModel   // default: DefaultA15PowerModel with NumCores patched
+	Thermal  *ThermalModel // default: DefaultA15Thermal
+	Sensor   *PowerSensor  // default: DefaultSensor(seed)
+	IPC      float64       // PMU instruction model, default 1.6 (A15-class)
+	StartIdx int           // initial OPP index
+	Seed     int64         // seeds the sensor noise
+	// MemStallFrac is the memory-bound fraction of each thread's work in
+	// [0, 0.9]: execution time follows the leading-order DVFS model
+	//
+	//	T(f) = (1−m)·C/f + m·C/f_max
+	//
+	// where C is the thread's cycle demand calibrated at f_max. The memory
+	// term is wall-clock-constant (DRAM does not speed up with the core
+	// clock), so the higher m is, the less a frequency change moves the
+	// execution time — the classic reason DVFS pays less on memory-bound
+	// code. PMU cycle counts scale accordingly (stall cycles shrink at
+	// lower clocks). 0 (the default) models fully compute-bound work.
+	MemStallFrac float64
+}
+
+// NewCluster builds a cluster from the configuration. It panics on an
+// invalid table or core count: those are construction-time bugs.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if err := cfg.Table.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.NumCores < 1 {
+		panic("platform: cluster needs at least one core")
+	}
+	power := cfg.Power
+	if power == nil {
+		power = DefaultA15PowerModel()
+		power.NumCores = cfg.NumCores
+	}
+	if err := power.Validate(); err != nil {
+		panic(err)
+	}
+	if power.NumCores != cfg.NumCores {
+		panic(fmt.Sprintf("platform: power model is for %d cores, cluster has %d", power.NumCores, cfg.NumCores))
+	}
+	thermal := cfg.Thermal
+	if thermal == nil {
+		thermal = DefaultA15Thermal()
+	}
+	sensor := cfg.Sensor
+	if sensor == nil {
+		sensor = DefaultSensor(cfg.Seed)
+	}
+	ipc := cfg.IPC
+	if ipc == 0 {
+		ipc = 1.6
+	}
+	if cfg.MemStallFrac < 0 || cfg.MemStallFrac > 0.9 {
+		panic(fmt.Sprintf("platform: MemStallFrac %v outside [0, 0.9]", cfg.MemStallFrac))
+	}
+	pmus := make([]*PMU, cfg.NumCores)
+	for i := range pmus {
+		pmus[i] = NewPMU(ipc)
+	}
+	return &Cluster{
+		name:     cfg.Name,
+		dvfs:     NewDVFS(cfg.Table, cfg.StartIdx),
+		power:    power,
+		thermal:  thermal,
+		sensor:   sensor,
+		pmus:     pmus,
+		memStall: cfg.MemStallFrac,
+	}
+}
+
+// DefaultA15Cluster returns the platform used by every experiment in the
+// paper: four Cortex-A15 cores, 19 operating points from 200 to 2000 MHz,
+// starting at the slowest point (the governor must learn its way up).
+func DefaultA15Cluster(seed int64) *Cluster {
+	return NewCluster(ClusterConfig{
+		Name:     "A15",
+		Table:    A15Table(),
+		NumCores: 4,
+		Seed:     seed,
+	})
+}
+
+// DefaultA7Cluster returns the LITTLE cluster for multi-cluster extensions.
+func DefaultA7Cluster(seed int64) *Cluster {
+	pm := DefaultA7PowerModel()
+	return NewCluster(ClusterConfig{
+		Name:     "A7",
+		Table:    A7Table(),
+		NumCores: 4,
+		Power:    pm,
+		Seed:     seed,
+	})
+}
+
+// Name returns the cluster's name.
+func (c *Cluster) Name() string { return c.name }
+
+// NumCores returns the number of cores in the cluster.
+func (c *Cluster) NumCores() int { return len(c.pmus) }
+
+// Table returns the cluster's OPP table.
+func (c *Cluster) Table() OPPTable { return c.dvfs.Table() }
+
+// CurrentIdx returns the index of the active operating point.
+func (c *Cluster) CurrentIdx() int { return c.dvfs.CurrentIdx() }
+
+// CurrentOPP returns the active operating point.
+func (c *Cluster) CurrentOPP() OPP { return c.dvfs.Current() }
+
+// SetOPP switches the cluster operating point and returns the transition
+// latency in seconds, which the caller should charge to the next epoch's
+// overhead (the paper's T_OVH).
+func (c *Cluster) SetOPP(idx int) float64 { return c.dvfs.Set(idx) }
+
+// PMU returns core i's performance monitoring unit.
+func (c *Cluster) PMU(i int) *PMU { return c.pmus[i] }
+
+// TempC returns the current die temperature.
+func (c *Cluster) TempC() float64 { return c.thermal.TempC() }
+
+// TotalEnergyJ returns the cumulative energy consumed since construction
+// or the last Reset.
+func (c *Cluster) TotalEnergyJ() float64 { return c.totalEnergyJ }
+
+// TotalTimeS returns the cumulative simulated wall time.
+func (c *Cluster) TotalTimeS() float64 { return c.totalTimeS }
+
+// Transitions returns the number of DVFS transitions performed.
+func (c *Cluster) Transitions() int { return c.dvfs.Transitions() }
+
+// ExecReport describes one epoch executed on a cluster.
+type ExecReport struct {
+	OPP          OPP     // operating point the epoch ran at
+	OPPIdx       int     // its table index
+	ExecTimeS    float64 // slowest-thread completion incl. overhead (the paper's T_i)
+	WallTimeS    float64 // ExecTimeS, or the period if the frame finished early
+	SlackS       float64 // period − ExecTimeS (negative: deadline miss)
+	EnergyJ      float64 // exact model energy over WallTimeS
+	AvgPowerW    float64 // EnergyJ / WallTimeS
+	SensorPowerW float64 // sensor-measured average power over WallTimeS
+	MaxCycles    uint64  // largest per-core demand this epoch
+	TotalCycles  uint64  // sum of per-core demands
+	ActiveCores  int     // cores with non-zero demand
+	EndTempC     float64 // die temperature at the end of the epoch
+}
+
+// Execute runs one epoch: each core j executes cycles[j] cycles at the
+// current operating point, with overheadS seconds of management overhead
+// (governor compute plus DVFS transition) serialised before the workload,
+// mirroring where the RTM runs at the start of each decision epoch.
+//
+// periodS > 0 applies periodic frame semantics: when execution finishes
+// early the cluster idles (clock-gated) until the period boundary; when it
+// overruns, the epoch extends to the execution time (a deadline miss, the
+// next frame starts late). periodS == 0 means free-running execution.
+//
+// len(cycles) must not exceed NumCores; missing entries are idle cores.
+func (c *Cluster) Execute(cycles []uint64, overheadS, periodS float64) ExecReport {
+	if len(cycles) > len(c.pmus) {
+		panic(fmt.Sprintf("platform: %d thread demands for %d cores", len(cycles), len(c.pmus)))
+	}
+	if overheadS < 0 || periodS < 0 {
+		panic("platform: negative overhead or period")
+	}
+	opp := c.dvfs.Current()
+	f := opp.FreqHz()
+	fMax := c.dvfs.Table()[c.dvfs.Table().MaxIdx()].FreqHz()
+
+	// Per-core busy durations at this frequency: the compute fraction
+	// scales with the clock, the memory-stall fraction does not (see
+	// ClusterConfig.MemStallFrac). The overhead runs on core 0 (where the
+	// kernel governor executes) before the parallel section.
+	busy := make([]float64, len(c.pmus))
+	var maxBusy float64
+	var total, maxCycles uint64
+	active := 0
+	for j, cy := range cycles {
+		busy[j] = (1-c.memStall)*float64(cy)/f + c.memStall*float64(cy)/fMax
+		if busy[j] > maxBusy {
+			maxBusy = busy[j]
+		}
+		total += cy
+		if cy > maxCycles {
+			maxCycles = cy
+		}
+		if cy > 0 {
+			active++
+		}
+	}
+	execTime := overheadS + maxBusy
+	wall := execTime
+	if periodS > 0 && wall < periodS {
+		wall = periodS
+	}
+
+	// Build the piecewise-constant power trajectory: overhead (1 core),
+	// then cores dropping off as they finish, then the idle tail.
+	segments := c.buildSegments(busy, overheadS, wall, opp)
+
+	// Integrate energy and advance the thermal state segment by segment.
+	var energy float64
+	for _, seg := range segments {
+		energy += EnergyJ(seg.PowerW, seg.Duration)
+		c.thermal.Step(seg.PowerW, seg.Duration)
+	}
+	sensorW := c.sensor.Measure(segments)
+
+	// Advance the PMUs: the cycle counter advances with the core clock for
+	// the busy duration (stall cycles shrink at lower clocks), idle for
+	// the rest.
+	for j, pmu := range c.pmus {
+		var b float64
+		if j < len(cycles) {
+			b = busy[j]
+		}
+		observed := uint64(b * f)
+		if j == 0 {
+			// Overhead cycles execute on core 0 at the current frequency.
+			pmu.advanceBusy(observed+uint64(overheadS*f), b+overheadS)
+			pmu.advanceIdle(wall - b - overheadS)
+		} else {
+			pmu.advanceBusy(observed, b)
+			pmu.advanceIdle(wall - b)
+		}
+	}
+
+	c.totalEnergyJ += energy
+	c.totalTimeS += wall
+	c.frames++
+
+	avg := 0.0
+	if wall > 0 {
+		avg = energy / wall
+	}
+	slack := 0.0
+	if periodS > 0 {
+		slack = periodS - execTime
+	}
+	return ExecReport{
+		OPP:          opp,
+		OPPIdx:       c.dvfs.CurrentIdx(),
+		ExecTimeS:    execTime,
+		WallTimeS:    wall,
+		SlackS:       slack,
+		EnergyJ:      energy,
+		AvgPowerW:    avg,
+		SensorPowerW: sensorW,
+		MaxCycles:    maxCycles,
+		TotalCycles:  total,
+		ActiveCores:  active,
+		EndTempC:     c.thermal.TempC(),
+	}
+}
+
+// buildSegments constructs the power trajectory of one epoch.
+func (c *Cluster) buildSegments(busy []float64, overheadS, wall float64, opp OPP) []PowerSegment {
+	temp := c.thermal.TempC()
+	var segs []PowerSegment
+	if overheadS > 0 {
+		segs = append(segs, PowerSegment{
+			PowerW:   c.power.ClusterPowerW(opp, 1, temp),
+			Duration: overheadS,
+		})
+	}
+	// Sort finish times ascending; between consecutive finish times the
+	// number of active cores decreases by the cores that finished.
+	finish := make([]float64, 0, len(busy))
+	for _, b := range busy {
+		if b > 0 {
+			finish = append(finish, b)
+		}
+	}
+	sort.Float64s(finish)
+	activeCores := len(finish)
+	prev := 0.0
+	for _, t := range finish {
+		if t > prev {
+			segs = append(segs, PowerSegment{
+				PowerW:   c.power.ClusterPowerW(opp, activeCores, temp),
+				Duration: t - prev,
+			})
+			prev = t
+		}
+		activeCores--
+	}
+	// Idle tail until the period boundary.
+	tail := wall - overheadS - prev
+	if tail > 1e-15 {
+		segs = append(segs, PowerSegment{
+			PowerW:   c.power.IdlePowerW(opp, temp),
+			Duration: tail,
+		})
+	}
+	return segs
+}
+
+// MinEnergyIdx returns the operating-point index that minimises the energy
+// of executing the given per-core demands within periodS, considering both
+// active and idle-tail energy, or the fastest index when no point meets the
+// deadline. This is the per-frame Oracle decision the paper normalises
+// energy against; it uses the model directly (offline knowledge).
+func (c *Cluster) MinEnergyIdx(cycles []uint64, periodS float64) int {
+	table := c.dvfs.Table()
+	temp := c.thermal.TempC()
+	var maxCy uint64
+	active := 0
+	var total uint64
+	for _, cy := range cycles {
+		if cy > maxCy {
+			maxCy = cy
+		}
+		if cy > 0 {
+			active++
+		}
+		total += cy
+	}
+	fMax := table[table.MaxIdx()].FreqHz()
+	bestIdx := -1
+	bestE := 0.0
+	for i := range table {
+		opp := table[i]
+		t := (1-c.memStall)*float64(maxCy)/opp.FreqHz() + c.memStall*float64(maxCy)/fMax
+		if periodS > 0 && t > periodS {
+			continue
+		}
+		// Approximate per-OPP energy: all active cores busy for the mean
+		// demand, slowest for t, idle tail to the period. Using the mean
+		// spreads imbalance without re-deriving full segments per OPP.
+		meanBusy := 0.0
+		if active > 0 {
+			meanCy := float64(total) / float64(active)
+			meanBusy = (1-c.memStall)*meanCy/opp.FreqHz() + c.memStall*meanCy/fMax
+		}
+		e := c.power.ClusterPowerW(opp, active, temp)*meanBusy +
+			c.power.IdlePowerW(opp, temp)*(maxFloat(periodS, t)-meanBusy)
+		if bestIdx < 0 || e < bestE {
+			bestIdx, bestE = i, e
+		}
+	}
+	if bestIdx < 0 {
+		return table.MaxIdx()
+	}
+	return bestIdx
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Reset restores the cluster to its initial state: slowest OPP, ambient
+// temperature, zeroed counters and statistics.
+func (c *Cluster) Reset() {
+	c.dvfs.Reset(0)
+	c.thermal.Reset()
+	for _, p := range c.pmus {
+		p.Reset()
+	}
+	c.totalEnergyJ = 0
+	c.totalTimeS = 0
+	c.frames = 0
+}

@@ -1,0 +1,257 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testCluster(seed int64) *Cluster {
+	return DefaultA15Cluster(seed)
+}
+
+func TestClusterBasicExecution(t *testing.T) {
+	c := testCluster(1)
+	c.SetOPP(8) // 1000 MHz
+	// 10 Mcycles on each of 4 cores at 1 GHz = 10 ms exec.
+	cycles := []uint64{10e6, 10e6, 10e6, 10e6}
+	rep := c.Execute(cycles, 0, 0.040)
+	if math.Abs(rep.ExecTimeS-0.010) > 1e-9 {
+		t.Errorf("ExecTimeS = %v, want 0.010", rep.ExecTimeS)
+	}
+	if rep.WallTimeS != 0.040 {
+		t.Errorf("WallTimeS = %v, want the period 0.040", rep.WallTimeS)
+	}
+	if math.Abs(rep.SlackS-0.030) > 1e-9 {
+		t.Errorf("SlackS = %v, want 0.030", rep.SlackS)
+	}
+	if rep.EnergyJ <= 0 {
+		t.Errorf("EnergyJ = %v, want > 0", rep.EnergyJ)
+	}
+	if rep.ActiveCores != 4 {
+		t.Errorf("ActiveCores = %d, want 4", rep.ActiveCores)
+	}
+	if rep.TotalCycles != 40e6 || rep.MaxCycles != 10e6 {
+		t.Errorf("cycle accounting wrong: %+v", rep)
+	}
+}
+
+func TestClusterDeadlineMissExtendsWall(t *testing.T) {
+	c := testCluster(2)
+	c.SetOPP(0) // 200 MHz
+	// 40 Mcycles at 200 MHz = 200 ms >> 40 ms period.
+	rep := c.Execute([]uint64{40e6}, 0, 0.040)
+	if rep.SlackS >= 0 {
+		t.Fatalf("slack = %v, want negative (deadline miss)", rep.SlackS)
+	}
+	if rep.WallTimeS != rep.ExecTimeS {
+		t.Fatalf("wall %v != exec %v on a miss", rep.WallTimeS, rep.ExecTimeS)
+	}
+}
+
+func TestClusterImbalancedThreads(t *testing.T) {
+	c := testCluster(3)
+	c.SetOPP(8) // 1 GHz
+	rep := c.Execute([]uint64{20e6, 10e6, 5e6, 0}, 0, 0.050)
+	if math.Abs(rep.ExecTimeS-0.020) > 1e-9 {
+		t.Errorf("exec time follows slowest thread: %v, want 0.020", rep.ExecTimeS)
+	}
+	if rep.ActiveCores != 3 {
+		t.Errorf("ActiveCores = %d, want 3", rep.ActiveCores)
+	}
+}
+
+func TestClusterEnergyHigherAtHigherOPPSameWork(t *testing.T) {
+	// Same work within the same period must cost more energy at a higher
+	// voltage-frequency point (race-to-idle does not pay on this ladder).
+	cycles := []uint64{30e6, 30e6, 30e6, 30e6}
+	run := func(idx int) float64 {
+		c := testCluster(4)
+		c.SetOPP(idx)
+		// settle thermal state to make runs comparable
+		rep := c.Execute(cycles, 0, 0.060)
+		return rep.EnergyJ
+	}
+	eLow := run(8)   // 1.0 GHz: 30 ms exec in 60 ms period
+	eHigh := run(18) // 2.0 GHz: 15 ms exec, long idle tail
+	if !(eHigh > eLow) {
+		t.Fatalf("high-OPP energy %v not above low-OPP energy %v", eHigh, eLow)
+	}
+}
+
+func TestClusterOverheadSerializes(t *testing.T) {
+	c := testCluster(5)
+	c.SetOPP(8)
+	base := c.Execute([]uint64{10e6}, 0, 0).ExecTimeS
+	c2 := testCluster(5)
+	c2.SetOPP(8)
+	withOvh := c2.Execute([]uint64{10e6}, 0.002, 0).ExecTimeS
+	if math.Abs((withOvh-base)-0.002) > 1e-9 {
+		t.Fatalf("overhead not serialised: %v vs %v", withOvh, base)
+	}
+}
+
+func TestClusterPMUsAdvance(t *testing.T) {
+	c := testCluster(6)
+	c.SetOPP(8)
+	before := make([]PMUSample, 4)
+	for i := range before {
+		before[i] = c.PMU(i).Read()
+	}
+	c.Execute([]uint64{10e6, 20e6, 0, 0}, 0.001, 0.050)
+	d0 := c.PMU(0).Read().Delta(before[0])
+	d1 := c.PMU(1).Read().Delta(before[1])
+	d2 := c.PMU(2).Read().Delta(before[2])
+	// Core 0 also executes the 1 ms overhead at 1 GHz = 1e6 extra cycles.
+	if d0.Cycles != 10e6+1e6 {
+		t.Errorf("core0 cycles = %d, want 11e6 (incl. overhead)", d0.Cycles)
+	}
+	if d1.Cycles != 20e6 {
+		t.Errorf("core1 cycles = %d, want 20e6", d1.Cycles)
+	}
+	if d2.Cycles != 0 {
+		t.Errorf("core2 cycles = %d, want 0", d2.Cycles)
+	}
+	// Wall time identical for all cores.
+	if d0.RefNS != d1.RefNS || d1.RefNS != d2.RefNS {
+		t.Errorf("wall time differs across PMUs: %d %d %d", d0.RefNS, d1.RefNS, d2.RefNS)
+	}
+}
+
+func TestClusterSensorAgreesWithModel(t *testing.T) {
+	c := testCluster(7)
+	c.SetOPP(12)
+	rep := c.Execute([]uint64{25e6, 25e6, 25e6, 25e6}, 0, 0.040)
+	if rep.AvgPowerW <= 0 {
+		t.Fatal("no average power")
+	}
+	relErr := math.Abs(rep.SensorPowerW-rep.AvgPowerW) / rep.AvgPowerW
+	if relErr > 0.10 {
+		t.Fatalf("sensor %.3f W vs model %.3f W: rel err %.1f%%",
+			rep.SensorPowerW, rep.AvgPowerW, relErr*100)
+	}
+}
+
+func TestClusterTemperatureRisesUnderLoad(t *testing.T) {
+	c := testCluster(8)
+	c.SetOPP(18)
+	t0 := c.TempC()
+	for i := 0; i < 200; i++ {
+		c.Execute([]uint64{60e6, 60e6, 60e6, 60e6}, 0, 0.033)
+	}
+	if !(c.TempC() > t0+10) {
+		t.Fatalf("temperature barely moved: %v -> %v", t0, c.TempC())
+	}
+}
+
+func TestClusterCumulativeAccounting(t *testing.T) {
+	c := testCluster(9)
+	c.SetOPP(8)
+	var sumE, sumT float64
+	for i := 0; i < 10; i++ {
+		rep := c.Execute([]uint64{10e6, 10e6}, 0, 0.040)
+		sumE += rep.EnergyJ
+		sumT += rep.WallTimeS
+	}
+	if math.Abs(c.TotalEnergyJ()-sumE) > 1e-9 {
+		t.Errorf("TotalEnergyJ %v != sum of reports %v", c.TotalEnergyJ(), sumE)
+	}
+	if math.Abs(c.TotalTimeS()-sumT) > 1e-9 {
+		t.Errorf("TotalTimeS %v != sum %v", c.TotalTimeS(), sumT)
+	}
+	c.Reset()
+	if c.TotalEnergyJ() != 0 || c.TotalTimeS() != 0 || c.CurrentIdx() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestClusterTooManyThreadsPanics(t *testing.T) {
+	c := testCluster(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("5 demands on 4 cores must panic")
+		}
+	}()
+	c.Execute([]uint64{1, 1, 1, 1, 1}, 0, 0)
+}
+
+func TestMinEnergyIdxMeetsDeadline(t *testing.T) {
+	c := testCluster(11)
+	// 30 Mcycles in 40 ms needs >= 750 MHz -> index of 800 MHz.
+	idx := c.MinEnergyIdx([]uint64{30e6, 30e6, 30e6, 30e6}, 0.040)
+	opp := c.Table()[idx]
+	if exec := 30e6 / opp.FreqHz(); exec > 0.040 {
+		t.Fatalf("oracle choice %v misses the deadline (%.1f ms)", opp, exec*1e3)
+	}
+	// It must not wildly overshoot either: on this near-affine power curve
+	// the energy-optimal point sits close to the deadline.
+	if opp.FreqMHz > 1200 {
+		t.Fatalf("oracle picked %v: excessive for 750 MHz requirement", opp)
+	}
+}
+
+func TestMinEnergyIdxImpossibleDeadline(t *testing.T) {
+	c := testCluster(12)
+	// 200 Mcycles in 40 ms needs 5 GHz: impossible, expect fastest OPP.
+	idx := c.MinEnergyIdx([]uint64{200e6}, 0.040)
+	if idx != c.Table().MaxIdx() {
+		t.Fatalf("impossible deadline chose idx %d, want max", idx)
+	}
+}
+
+func TestSoCComposition(t *testing.T) {
+	soc := DefaultXU3(1)
+	if soc.NumClusters() != 2 {
+		t.Fatalf("XU3 has %d clusters, want 2", soc.NumClusters())
+	}
+	if soc.Big().Name() != "A15" {
+		t.Fatalf("Big() = %q, want A15", soc.Big().Name())
+	}
+	if _, err := soc.ClusterByName("A7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := soc.ClusterByName("M4"); err == nil {
+		t.Fatal("ClusterByName(M4) must error")
+	}
+	soc.Big().SetOPP(8)
+	soc.Big().Execute([]uint64{10e6}, 0, 0.040)
+	if soc.TotalEnergyJ() <= 0 {
+		t.Fatal("SoC energy accounting broken")
+	}
+	soc.Reset()
+	if soc.TotalEnergyJ() != 0 {
+		t.Fatal("SoC reset broken")
+	}
+}
+
+// Property: energy conservation — report energy equals avg power times wall
+// time, slack+exec == period when no miss, and all report fields are finite
+// and non-negative where applicable.
+func TestClusterReportInvariantsProperty(t *testing.T) {
+	f := func(rawIdx uint8, rawCy [4]uint32, rawOvh uint16) bool {
+		c := testCluster(99)
+		c.SetOPP(int(rawIdx) % 19)
+		cycles := make([]uint64, 4)
+		for i, cy := range rawCy {
+			cycles[i] = uint64(cy % 50e6)
+		}
+		ovh := float64(rawOvh%1000) * 1e-6
+		rep := c.Execute(cycles, ovh, 0.040)
+		if rep.EnergyJ < 0 || math.IsNaN(rep.EnergyJ) {
+			return false
+		}
+		if rep.WallTimeS < rep.ExecTimeS-1e-12 {
+			return false
+		}
+		if math.Abs(rep.AvgPowerW*rep.WallTimeS-rep.EnergyJ) > 1e-9 {
+			return false
+		}
+		if rep.SlackS > 0 && math.Abs(rep.ExecTimeS+rep.SlackS-0.040) > 1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package platform
+
+import "fmt"
+
+// DVFS models the voltage-frequency actuator of one cluster: the regulator
+// ramp plus PLL relock that makes each operating-point change cost real
+// time. The transition cost is what the paper's T_OVH term (Eq. 5) charges
+// against the slack budget, so it must be accounted for, not assumed free.
+type DVFS struct {
+	table OPPTable
+	idx   int
+
+	// BaseLatencyS is the fixed cost of any transition (PLL relock, kernel
+	// cpufreq path). PerStepLatencyS adds regulator ramp time per table
+	// step crossed, which makes large jumps (200→2000 MHz) cost more than
+	// neighbouring moves, as on real hardware.
+	BaseLatencyS    float64
+	PerStepLatencyS float64
+
+	transitions int
+	totalCostS  float64
+}
+
+// NewDVFS creates an actuator over the table, initially at startIdx.
+// Defaults model the Exynos 5422 cpufreq path: ≈50 µs base plus ≈10 µs per
+// step. It panics on an invalid table (configuration bug).
+func NewDVFS(table OPPTable, startIdx int) *DVFS {
+	if err := table.Validate(); err != nil {
+		panic(err)
+	}
+	return &DVFS{
+		table:           table,
+		idx:             table.Clamp(startIdx),
+		BaseLatencyS:    50e-6,
+		PerStepLatencyS: 10e-6,
+	}
+}
+
+// Table returns the actuator's OPP table.
+func (d *DVFS) Table() OPPTable { return d.table }
+
+// CurrentIdx returns the index of the active operating point.
+func (d *DVFS) CurrentIdx() int { return d.idx }
+
+// Current returns the active operating point.
+func (d *DVFS) Current() OPP { return d.table[d.idx] }
+
+// Set switches to the operating point at idx (clamped to the table) and
+// returns the transition latency in seconds. Setting the current index
+// costs nothing, mirroring the cpufreq fast path.
+func (d *DVFS) Set(idx int) float64 {
+	idx = d.table.Clamp(idx)
+	if idx == d.idx {
+		return 0
+	}
+	steps := idx - d.idx
+	if steps < 0 {
+		steps = -steps
+	}
+	cost := d.BaseLatencyS + float64(steps)*d.PerStepLatencyS
+	d.idx = idx
+	d.transitions++
+	d.totalCostS += cost
+	return cost
+}
+
+// SetMHz switches to the operating point with the exact frequency in MHz.
+// It returns an error when the table has no such point; the governor API
+// works in indices, so this path is only used by CLI flag parsing.
+func (d *DVFS) SetMHz(mhz int) (float64, error) {
+	i := d.table.IndexOfMHz(mhz)
+	if i < 0 {
+		return 0, fmt.Errorf("platform: no OPP at %d MHz", mhz)
+	}
+	return d.Set(i), nil
+}
+
+// Transitions returns the number of operating-point changes performed.
+func (d *DVFS) Transitions() int { return d.transitions }
+
+// TotalCostS returns the cumulative transition latency in seconds.
+func (d *DVFS) TotalCostS() float64 { return d.totalCostS }
+
+// Reset restores the actuator to startIdx and clears statistics.
+func (d *DVFS) Reset(startIdx int) {
+	d.idx = d.table.Clamp(startIdx)
+	d.transitions = 0
+	d.totalCostS = 0
+}

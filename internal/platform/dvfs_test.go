@@ -1,0 +1,107 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDVFSSetAndCost(t *testing.T) {
+	d := NewDVFS(A15Table(), 0)
+	if d.CurrentIdx() != 0 {
+		t.Fatalf("start idx = %d", d.CurrentIdx())
+	}
+	// Same index: free.
+	if cost := d.Set(0); cost != 0 {
+		t.Errorf("no-op transition cost = %v, want 0", cost)
+	}
+	// One step vs many steps: more steps cost more.
+	oneStep := d.Set(1)
+	d.Reset(0)
+	manySteps := d.Set(18)
+	if !(manySteps > oneStep) {
+		t.Errorf("18-step cost %v not above 1-step cost %v", manySteps, oneStep)
+	}
+	if oneStep != d.BaseLatencyS+d.PerStepLatencyS {
+		t.Errorf("1-step cost = %v, want base+step", oneStep)
+	}
+}
+
+func TestDVFSClamps(t *testing.T) {
+	d := NewDVFS(A15Table(), 5)
+	d.Set(-10)
+	if d.CurrentIdx() != 0 {
+		t.Errorf("Set(-10) landed on %d, want 0", d.CurrentIdx())
+	}
+	d.Set(99)
+	if d.CurrentIdx() != 18 {
+		t.Errorf("Set(99) landed on %d, want 18", d.CurrentIdx())
+	}
+}
+
+func TestDVFSSetMHz(t *testing.T) {
+	d := NewDVFS(A15Table(), 0)
+	if _, err := d.SetMHz(1400); err != nil {
+		t.Fatal(err)
+	}
+	if d.Current().FreqMHz != 1400 {
+		t.Fatalf("SetMHz landed on %v", d.Current())
+	}
+	if _, err := d.SetMHz(1234); err == nil {
+		t.Fatal("SetMHz(1234) must error")
+	}
+}
+
+func TestDVFSStatistics(t *testing.T) {
+	d := NewDVFS(A15Table(), 0)
+	d.Set(3)
+	d.Set(3) // no-op, not counted
+	d.Set(7)
+	if d.Transitions() != 2 {
+		t.Errorf("Transitions = %d, want 2", d.Transitions())
+	}
+	if d.TotalCostS() <= 0 {
+		t.Errorf("TotalCostS = %v, want > 0", d.TotalCostS())
+	}
+	d.Reset(0)
+	if d.Transitions() != 0 || d.TotalCostS() != 0 || d.CurrentIdx() != 0 {
+		t.Error("Reset did not clear statistics")
+	}
+}
+
+func TestNewDVFSPanicsOnBadTable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDVFS on empty table must panic")
+		}
+	}()
+	NewDVFS(OPPTable{}, 0)
+}
+
+// Property: after any sequence of Set calls the current index is valid and
+// cumulative cost equals the sum of returned costs.
+func TestDVFSCostAccountingProperty(t *testing.T) {
+	table := A15Table()
+	f := func(targets []int8) bool {
+		d := NewDVFS(table, 0)
+		var sum float64
+		for _, raw := range targets {
+			sum += d.Set(int(raw))
+		}
+		idx := d.CurrentIdx()
+		if idx < 0 || idx >= table.Len() {
+			return false
+		}
+		return almostEqualFloat(sum, d.TotalCostS(), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almostEqualFloat(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -1,0 +1,172 @@
+// Package platform simulates the hardware layer of the paper's cross-layer
+// stack: an ODROID-XU3-class big.LITTLE SoC with per-cluster DVFS, CMOS
+// power and first-order thermal models, per-core performance monitoring
+// units (PMUs) and sampled power sensors.
+//
+// The run-time manager under study never touches the real hardware; it only
+// observes PMU cycle counts and power telemetry and actuates one lever, the
+// cluster voltage-frequency operating point. This package reproduces exactly
+// that interface, which is what makes the software-only reproduction of the
+// paper's experiments behaviourally faithful (see DESIGN.md §2).
+package platform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OPP is one operating performance point of a DVFS domain: a frequency and
+// the minimum stable supply voltage for it.
+type OPP struct {
+	FreqMHz  int     // core clock in MHz
+	VoltageV float64 // supply voltage in volts
+}
+
+// FreqHz returns the clock frequency in Hz as a float64 for rate math.
+func (o OPP) FreqHz() float64 { return float64(o.FreqMHz) * 1e6 }
+
+// String implements fmt.Stringer, e.g. "1400MHz@1.125V".
+func (o OPP) String() string {
+	return fmt.Sprintf("%dMHz@%.4gV", o.FreqMHz, o.VoltageV)
+}
+
+// OPPTable is an immutable, ascending-frequency list of operating points.
+// Index 0 is the slowest point; index len-1 the fastest. Governors address
+// operating points by table index (the paper's "19 V-F settings").
+type OPPTable []OPP
+
+// Validate checks that the table is non-empty, strictly ascending in
+// frequency, non-decreasing in voltage, and has positive entries.
+func (t OPPTable) Validate() error {
+	if len(t) == 0 {
+		return fmt.Errorf("platform: empty OPP table")
+	}
+	for i, o := range t {
+		if o.FreqMHz <= 0 || o.VoltageV <= 0 {
+			return fmt.Errorf("platform: OPP %d has non-positive fields: %v", i, o)
+		}
+		if i > 0 {
+			if o.FreqMHz <= t[i-1].FreqMHz {
+				return fmt.Errorf("platform: OPP table not strictly ascending at %d: %v after %v", i, o, t[i-1])
+			}
+			if o.VoltageV < t[i-1].VoltageV {
+				return fmt.Errorf("platform: voltage must be non-decreasing with frequency at %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Len returns the number of operating points.
+func (t OPPTable) Len() int { return len(t) }
+
+// MinIdx returns the index of the slowest OPP (always 0).
+func (t OPPTable) MinIdx() int { return 0 }
+
+// MaxIdx returns the index of the fastest OPP.
+func (t OPPTable) MaxIdx() int { return len(t) - 1 }
+
+// Clamp limits idx to the valid index range of the table.
+func (t OPPTable) Clamp(idx int) int {
+	if idx < 0 {
+		return 0
+	}
+	if idx >= len(t) {
+		return len(t) - 1
+	}
+	return idx
+}
+
+// IndexOfMHz returns the index of the OPP with the exact frequency, or -1.
+func (t OPPTable) IndexOfMHz(mhz int) int {
+	for i, o := range t {
+		if o.FreqMHz == mhz {
+			return i
+		}
+	}
+	return -1
+}
+
+// CeilIdx returns the index of the slowest OPP whose frequency is at least
+// hz. When hz exceeds the fastest OPP it returns the fastest index; this is
+// the "minimum frequency that still meets the demand" lookup used by the
+// Oracle governor and by proportional scale-down policies.
+func (t OPPTable) CeilIdx(hz float64) int {
+	i := sort.Search(len(t), func(i int) bool { return t[i].FreqHz() >= hz })
+	if i == len(t) {
+		return len(t) - 1
+	}
+	return i
+}
+
+// Freqs returns the table's frequencies in Hz.
+func (t OPPTable) Freqs() []float64 {
+	out := make([]float64, len(t))
+	for i, o := range t {
+		out[i] = o.FreqHz()
+	}
+	return out
+}
+
+// NormFreq returns the frequency of OPP idx normalised to [0, 1], where 0 is
+// the slowest point and 1 the fastest. The exponential exploration policy
+// (Eq. 2 of the paper) is expressed over this normalised axis.
+func (t OPPTable) NormFreq(idx int) float64 {
+	if len(t) == 1 {
+		return 1
+	}
+	idx = t.Clamp(idx)
+	lo, hi := t[0].FreqHz(), t[len(t)-1].FreqHz()
+	return (t[idx].FreqHz() - lo) / (hi - lo)
+}
+
+// A15Table returns the 19 operating points of the ODROID-XU3 Cortex-A15
+// cluster used throughout the paper: 200 MHz to 2000 MHz in 100 MHz steps.
+// The voltage ladder follows the Exynos 5422 device tree (ASV group
+// midpoint): flat at the bottom of the range and rising ~0.4 V towards
+// 2 GHz, which is what gives DVFS its superlinear energy leverage.
+func A15Table() OPPTable {
+	return OPPTable{
+		{200, 0.9125},
+		{300, 0.9125},
+		{400, 0.9125},
+		{500, 0.9250},
+		{600, 0.9375},
+		{700, 0.9500},
+		{800, 0.9750},
+		{900, 1.0000},
+		{1000, 1.0250},
+		{1100, 1.0500},
+		{1200, 1.0750},
+		{1300, 1.1000},
+		{1400, 1.1250},
+		{1500, 1.1625},
+		{1600, 1.2000},
+		{1700, 1.2375},
+		{1800, 1.2750},
+		{1900, 1.3125},
+		{2000, 1.3625},
+	}
+}
+
+// A7Table returns the 13 operating points of the ODROID-XU3 Cortex-A7
+// (LITTLE) cluster, 200–1400 MHz. The paper's experiments pin work to the
+// A15 cluster only; the A7 table exists so the SoC model is complete and so
+// multi-cluster extensions have a second domain to schedule onto.
+func A7Table() OPPTable {
+	return OPPTable{
+		{200, 0.9000},
+		{300, 0.9000},
+		{400, 0.9000},
+		{500, 0.9125},
+		{600, 0.9250},
+		{700, 0.9500},
+		{800, 0.9750},
+		{900, 1.0000},
+		{1000, 1.0375},
+		{1100, 1.0750},
+		{1200, 1.1125},
+		{1300, 1.1500},
+		{1400, 1.1875},
+	}
+}

@@ -1,0 +1,141 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestA15TableShape(t *testing.T) {
+	table := A15Table()
+	if err := table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper: "19 V-F settings (2000 MHz – 200 MHz in 100 MHz steps)".
+	if table.Len() != 19 {
+		t.Fatalf("A15 table has %d OPPs, want 19", table.Len())
+	}
+	if table[0].FreqMHz != 200 || table[table.MaxIdx()].FreqMHz != 2000 {
+		t.Fatalf("A15 range = %d..%d MHz, want 200..2000", table[0].FreqMHz, table[table.MaxIdx()].FreqMHz)
+	}
+	for i := 1; i < table.Len(); i++ {
+		if table[i].FreqMHz-table[i-1].FreqMHz != 100 {
+			t.Fatalf("A15 step at %d is %d MHz, want 100", i, table[i].FreqMHz-table[i-1].FreqMHz)
+		}
+	}
+}
+
+func TestA7TableValid(t *testing.T) {
+	if err := A7Table().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := A7Table().Len(); got != 13 {
+		t.Fatalf("A7 table has %d OPPs, want 13", got)
+	}
+}
+
+func TestOPPTableValidateRejects(t *testing.T) {
+	cases := map[string]OPPTable{
+		"empty":              {},
+		"zero freq":          {{0, 1.0}},
+		"zero voltage":       {{100, 0}},
+		"descending freq":    {{200, 0.9}, {100, 0.9}},
+		"duplicate freq":     {{200, 0.9}, {200, 0.95}},
+		"descending voltage": {{100, 1.0}, {200, 0.9}},
+	}
+	for name, table := range cases {
+		if err := table.Validate(); err == nil {
+			t.Errorf("Validate(%s) accepted invalid table", name)
+		}
+	}
+}
+
+func TestIndexOfMHz(t *testing.T) {
+	table := A15Table()
+	if got := table.IndexOfMHz(1400); got != 12 {
+		t.Errorf("IndexOfMHz(1400) = %d, want 12", got)
+	}
+	if got := table.IndexOfMHz(1450); got != -1 {
+		t.Errorf("IndexOfMHz(1450) = %d, want -1", got)
+	}
+}
+
+func TestCeilIdx(t *testing.T) {
+	table := A15Table()
+	cases := []struct {
+		hz   float64
+		want int
+	}{
+		{0, 0},
+		{150e6, 0},
+		{200e6, 0},
+		{201e6, 1},
+		{999e6, 8}, // 1000 MHz is index 8
+		{1000e6, 8},
+		{2000e6, 18},
+		{9e9, 18}, // beyond the table: fastest
+	}
+	for _, c := range cases {
+		if got := table.CeilIdx(c.hz); got != c.want {
+			t.Errorf("CeilIdx(%.0f) = %d, want %d", c.hz, got, c.want)
+		}
+	}
+}
+
+func TestClampIdx(t *testing.T) {
+	table := A15Table()
+	if got := table.Clamp(-3); got != 0 {
+		t.Errorf("Clamp(-3) = %d", got)
+	}
+	if got := table.Clamp(100); got != 18 {
+		t.Errorf("Clamp(100) = %d", got)
+	}
+	if got := table.Clamp(7); got != 7 {
+		t.Errorf("Clamp(7) = %d", got)
+	}
+}
+
+func TestNormFreq(t *testing.T) {
+	table := A15Table()
+	if got := table.NormFreq(0); got != 0 {
+		t.Errorf("NormFreq(min) = %v, want 0", got)
+	}
+	if got := table.NormFreq(18); got != 1 {
+		t.Errorf("NormFreq(max) = %v, want 1", got)
+	}
+	mid := table.NormFreq(9) // 1100 MHz in 200..2000
+	if want := 0.5; mid != want {
+		t.Errorf("NormFreq(9) = %v, want %v", mid, want)
+	}
+	single := OPPTable{{500, 1.0}}
+	if got := single.NormFreq(0); got != 1 {
+		t.Errorf("NormFreq on single-entry table = %v, want 1", got)
+	}
+}
+
+func TestOPPString(t *testing.T) {
+	s := OPP{1400, 1.125}.String()
+	if !strings.Contains(s, "1400MHz") || !strings.Contains(s, "1.125V") {
+		t.Fatalf("OPP.String() = %q", s)
+	}
+}
+
+// Property: NormFreq is monotone non-decreasing in the index and stays in
+// [0,1] for any index, including out-of-range ones (which clamp).
+func TestNormFreqMonotoneProperty(t *testing.T) {
+	table := A15Table()
+	f := func(rawA, rawB int8) bool {
+		a, b := int(rawA), int(rawB)
+		na, nb := table.NormFreq(a), table.NormFreq(b)
+		if na < 0 || na > 1 || nb < 0 || nb > 1 {
+			return false
+		}
+		if table.Clamp(a) <= table.Clamp(b) {
+			return na <= nb
+		}
+		return na >= nb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package platform
+
+// PMU models one core's performance monitoring unit. Counters are
+// monotonically increasing 64-bit values, mirroring how a governor samples
+// hardware counters: read, diff against the previous reading, and treat the
+// delta as the epoch's activity.
+//
+// Only the counters the paper's RTM consumes are modelled. Cycle count is
+// the load-bearing one — Section II-A argues for CC over cache misses or
+// instruction rate as the workload proxy — and instructions/busy time are
+// kept because the baseline governors (ondemand's utilisation estimate) need
+// them.
+type PMU struct {
+	cycles   uint64  // core clock cycles while executing
+	instrs   uint64  // retired instructions (derived, fixed IPC model)
+	busyNS   uint64  // nanoseconds the core was busy
+	idleNS   uint64  // nanoseconds the core was idle
+	refNS    uint64  // wall-clock nanoseconds observed by the counter block
+	overflow bool    // set if any counter wrapped (not expected in practice)
+	ipc      float64 // instructions per cycle used to derive instrs
+}
+
+// NewPMU returns a PMU with the given fixed IPC model. IPC must be positive.
+func NewPMU(ipc float64) *PMU {
+	if ipc <= 0 {
+		panic("platform: PMU needs positive IPC")
+	}
+	return &PMU{ipc: ipc}
+}
+
+// PMUSample is a point-in-time reading of all counters.
+type PMUSample struct {
+	Cycles uint64
+	Instrs uint64
+	BusyNS uint64
+	IdleNS uint64
+	RefNS  uint64
+}
+
+// Read returns the current counter values.
+func (p *PMU) Read() PMUSample {
+	return PMUSample{Cycles: p.cycles, Instrs: p.instrs, BusyNS: p.busyNS, IdleNS: p.idleNS, RefNS: p.refNS}
+}
+
+// Delta returns the counter increments since a previous sample.
+func (s PMUSample) Delta(prev PMUSample) PMUSample {
+	return PMUSample{
+		Cycles: s.Cycles - prev.Cycles,
+		Instrs: s.Instrs - prev.Instrs,
+		BusyNS: s.BusyNS - prev.BusyNS,
+		IdleNS: s.IdleNS - prev.IdleNS,
+		RefNS:  s.RefNS - prev.RefNS,
+	}
+}
+
+// Utilization returns busy time as a fraction of wall time for a delta
+// sample, the quantity Linux's ondemand governor computes from idle
+// residency. It returns 0 for an empty interval.
+func (s PMUSample) Utilization() float64 {
+	total := s.BusyNS + s.IdleNS
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BusyNS) / float64(total)
+}
+
+// advanceBusy accounts for the core executing `cycles` cycles over
+// `seconds` of wall time.
+func (p *PMU) advanceBusy(cycles uint64, seconds float64) {
+	before := p.cycles
+	p.cycles += cycles
+	if p.cycles < before {
+		p.overflow = true
+	}
+	p.instrs += uint64(float64(cycles) * p.ipc)
+	ns := uint64(seconds * 1e9)
+	p.busyNS += ns
+	p.refNS += ns
+}
+
+// advanceIdle accounts for the core sitting idle for `seconds`.
+func (p *PMU) advanceIdle(seconds float64) {
+	ns := uint64(seconds * 1e9)
+	p.idleNS += ns
+	p.refNS += ns
+}
+
+// Overflowed reports whether any counter has wrapped since creation.
+func (p *PMU) Overflowed() bool { return p.overflow }
+
+// Reset zeroes every counter. Governors normally use deltas instead, but
+// the sweep runner resets PMUs between independent runs.
+func (p *PMU) Reset() {
+	ipc := p.ipc
+	*p = PMU{ipc: ipc}
+}

@@ -1,0 +1,96 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPMUAccounting(t *testing.T) {
+	p := NewPMU(2.0)
+	p.advanceBusy(1000, 0.5)
+	p.advanceIdle(0.5)
+	s := p.Read()
+	if s.Cycles != 1000 {
+		t.Errorf("Cycles = %d, want 1000", s.Cycles)
+	}
+	if s.Instrs != 2000 {
+		t.Errorf("Instrs = %d, want 2000 (IPC 2)", s.Instrs)
+	}
+	if s.BusyNS != 5e8 || s.IdleNS != 5e8 {
+		t.Errorf("Busy/Idle = %d/%d, want 5e8/5e8", s.BusyNS, s.IdleNS)
+	}
+	if s.RefNS != 1e9 {
+		t.Errorf("RefNS = %d, want 1e9", s.RefNS)
+	}
+}
+
+func TestPMUDelta(t *testing.T) {
+	p := NewPMU(1.0)
+	p.advanceBusy(100, 0.1)
+	before := p.Read()
+	p.advanceBusy(50, 0.05)
+	p.advanceIdle(0.05)
+	d := p.Read().Delta(before)
+	if d.Cycles != 50 {
+		t.Errorf("delta cycles = %d, want 50", d.Cycles)
+	}
+	if got := d.Utilization(); got < 0.49 || got > 0.51 {
+		t.Errorf("delta utilization = %v, want ≈0.5", got)
+	}
+}
+
+func TestPMUUtilizationEmpty(t *testing.T) {
+	var s PMUSample
+	if got := s.Utilization(); got != 0 {
+		t.Fatalf("empty utilization = %v, want 0", got)
+	}
+}
+
+func TestPMUReset(t *testing.T) {
+	p := NewPMU(1.5)
+	p.advanceBusy(123, 0.1)
+	p.Reset()
+	s := p.Read()
+	if s.Cycles != 0 || s.Instrs != 0 || s.RefNS != 0 {
+		t.Fatalf("Reset left counters: %+v", s)
+	}
+	// IPC model survives reset.
+	p.advanceBusy(100, 0.1)
+	if p.Read().Instrs != 150 {
+		t.Fatalf("IPC lost after Reset: instrs=%d", p.Read().Instrs)
+	}
+}
+
+func TestNewPMUPanicsOnBadIPC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPMU(0) must panic")
+		}
+	}()
+	NewPMU(0)
+}
+
+// Property: utilization is always in [0,1] and monotone bookkeeping holds:
+// busy+idle == ref for any sequence of advances.
+func TestPMUConsistencyProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		p := NewPMU(1.2)
+		for i, s := range steps {
+			d := float64(s%1000) / 1e4
+			if i%2 == 0 {
+				p.advanceBusy(uint64(s), d)
+			} else {
+				p.advanceIdle(d)
+			}
+		}
+		r := p.Read()
+		if r.BusyNS+r.IdleNS != r.RefNS {
+			return false
+		}
+		u := r.Utilization()
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

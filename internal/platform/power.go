@@ -1,0 +1,161 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// PowerModel computes cluster power from the operating point, core activity
+// and die temperature using the standard CMOS decomposition
+//
+//	P = P_dyn + P_leak
+//	P_dyn  = C_eff · V² · f        (per active core, plus uncore share)
+//	P_leak = V · I0 · e^{kV(V−Vref)} · e^{kT(T−Tref)}   (per core)
+//
+// The default constants are calibrated against published ODROID-XU3 A15
+// cluster measurements (≈6 W fully busy at 2 GHz and ≈0.35 W at 200 MHz
+// idle): see DefaultA15PowerModel. The model intentionally stops at this
+// fidelity — the governor only ever observes total cluster power through a
+// sampled sensor, so per-unit breakdowns beyond core/uncore/leakage would
+// not change any observable behaviour.
+type PowerModel struct {
+	// CeffCoreF is the effective switched capacitance of one fully busy
+	// core, in farads.
+	CeffCoreF float64
+	// CeffUncoreF is the effective switched capacitance of the shared
+	// uncore (L2, interconnect), which clocks with the cluster regardless
+	// of how many cores are busy.
+	CeffUncoreF float64
+	// ClockGateFrac is the fraction of a core's dynamic power still burned
+	// when the core is architecturally idle but the cluster is clocked
+	// (imperfect clock gating of the clock tree).
+	ClockGateFrac float64
+	// Leakage parameters, per core.
+	LeakI0A   float64 // leakage current scale at (VrefV, TrefC), amperes
+	LeakKV    float64 // exponential voltage sensitivity, 1/V
+	LeakKT    float64 // exponential temperature sensitivity, 1/°C
+	VrefV     float64 // leakage calibration voltage
+	TrefC     float64 // leakage calibration temperature
+	NumCores  int     // cores in the cluster sharing this model
+	UncoreIdx float64 // fraction of uncore dynamic power present when fully idle
+}
+
+// DefaultA15PowerModel returns the power model used for the quad Cortex-A15
+// cluster in all experiments.
+//
+// Calibration anchors (cluster totals, 4 cores busy, 65 °C):
+//
+//	2000 MHz/1.3625 V: ≈ 5.9 W   (XU3 A15 near-peak)
+//	1000 MHz/1.0250 V: ≈ 1.4 W
+//	 200 MHz/0.9125 V: ≈ 0.25 W
+func DefaultA15PowerModel() *PowerModel {
+	return &PowerModel{
+		CeffCoreF:     0.30e-9,
+		CeffUncoreF:   0.15e-9,
+		ClockGateFrac: 0.05,
+		LeakI0A:       0.12,
+		LeakKV:        1.2,
+		LeakKT:        0.016,
+		VrefV:         1.0,
+		TrefC:         45,
+		NumCores:      4,
+		UncoreIdx:     0.30,
+	}
+}
+
+// DefaultA7PowerModel returns the power model for the quad Cortex-A7
+// cluster. The A7 is roughly 3–4× more efficient per clock than the A15 at
+// matched voltage; only multi-cluster extensions exercise it.
+func DefaultA7PowerModel() *PowerModel {
+	return &PowerModel{
+		CeffCoreF:     0.10e-9,
+		CeffUncoreF:   0.05e-9,
+		ClockGateFrac: 0.05,
+		LeakI0A:       0.04,
+		LeakKV:        1.2,
+		LeakKT:        0.016,
+		VrefV:         1.0,
+		TrefC:         45,
+		NumCores:      4,
+		UncoreIdx:     0.30,
+	}
+}
+
+// Validate reports whether the model's parameters are physically sane.
+func (m *PowerModel) Validate() error {
+	switch {
+	case m.CeffCoreF <= 0:
+		return fmt.Errorf("platform: CeffCoreF must be positive")
+	case m.CeffUncoreF < 0:
+		return fmt.Errorf("platform: CeffUncoreF must be non-negative")
+	case m.ClockGateFrac < 0 || m.ClockGateFrac > 1:
+		return fmt.Errorf("platform: ClockGateFrac must be in [0,1]")
+	case m.LeakI0A < 0:
+		return fmt.Errorf("platform: LeakI0A must be non-negative")
+	case m.NumCores < 1:
+		return fmt.Errorf("platform: NumCores must be at least 1")
+	case m.UncoreIdx < 0 || m.UncoreIdx > 1:
+		return fmt.Errorf("platform: UncoreIdx must be in [0,1]")
+	}
+	return nil
+}
+
+// CoreDynamicW returns the dynamic power of a single fully busy core at the
+// given operating point.
+func (m *PowerModel) CoreDynamicW(opp OPP) float64 {
+	return m.CeffCoreF * opp.VoltageV * opp.VoltageV * opp.FreqHz()
+}
+
+// UncoreDynamicW returns the dynamic power of the shared uncore when at
+// least one core is active. busy selects between the active and the
+// clock-gated idle fraction.
+func (m *PowerModel) UncoreDynamicW(opp OPP, busy bool) float64 {
+	p := m.CeffUncoreF * opp.VoltageV * opp.VoltageV * opp.FreqHz()
+	if !busy {
+		p *= m.UncoreIdx
+	}
+	return p
+}
+
+// CoreLeakageW returns the leakage power of one core at the given supply
+// voltage and die temperature.
+func (m *PowerModel) CoreLeakageW(opp OPP, tempC float64) float64 {
+	i := m.LeakI0A *
+		math.Exp(m.LeakKV*(opp.VoltageV-m.VrefV)) *
+		math.Exp(m.LeakKT*(tempC-m.TrefC))
+	return opp.VoltageV * i
+}
+
+// ClusterPowerW returns the total cluster power with activeCores cores busy
+// (the remainder clock-gated) at the given operating point and temperature.
+// activeCores outside [0, NumCores] is clamped.
+func (m *PowerModel) ClusterPowerW(opp OPP, activeCores int, tempC float64) float64 {
+	if activeCores < 0 {
+		activeCores = 0
+	}
+	if activeCores > m.NumCores {
+		activeCores = m.NumCores
+	}
+	coreDyn := m.CoreDynamicW(opp)
+	idleCores := m.NumCores - activeCores
+	dyn := float64(activeCores)*coreDyn +
+		float64(idleCores)*coreDyn*m.ClockGateFrac +
+		m.UncoreDynamicW(opp, activeCores > 0)
+	leak := float64(m.NumCores) * m.CoreLeakageW(opp, tempC)
+	return dyn + leak
+}
+
+// IdlePowerW returns cluster power with every core clock-gated — the floor
+// the cluster burns while waiting for the next frame period.
+func (m *PowerModel) IdlePowerW(opp OPP, tempC float64) float64 {
+	return m.ClusterPowerW(opp, 0, tempC)
+}
+
+// EnergyJ integrates constant power over an interval, guarding against
+// negative durations (which indicate an engine bug and panic).
+func EnergyJ(powerW, seconds float64) float64 {
+	if seconds < 0 {
+		panic("platform: negative duration in EnergyJ")
+	}
+	return powerW * seconds
+}

@@ -1,0 +1,185 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelsValid(t *testing.T) {
+	if err := DefaultA15PowerModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultA7PowerModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerCalibrationAnchors(t *testing.T) {
+	m := DefaultA15PowerModel()
+	table := A15Table()
+	// Near-peak power of the XU3 A15 cluster is ~5.5-6.5 W.
+	peak := m.ClusterPowerW(table[table.MaxIdx()], 4, 65)
+	if peak < 4.5 || peak > 7.5 {
+		t.Errorf("peak cluster power = %.2f W, want ≈ 6 W", peak)
+	}
+	// Bottom of the range should be a few hundred mW.
+	low := m.ClusterPowerW(table[0], 4, 40)
+	if low < 0.05 || low > 1.0 {
+		t.Errorf("200 MHz cluster power = %.3f W, want a few hundred mW", low)
+	}
+	// A7 must be markedly more efficient than A15 at its own peak.
+	a7 := DefaultA7PowerModel()
+	a7peak := a7.ClusterPowerW(A7Table()[len(A7Table())-1], 4, 65)
+	if a7peak >= peak/2 {
+		t.Errorf("A7 peak %.2f W not well below A15 peak %.2f W", a7peak, peak)
+	}
+}
+
+func TestClusterPowerMonotoneInActiveCores(t *testing.T) {
+	m := DefaultA15PowerModel()
+	opp := A15Table()[10]
+	prev := -1.0
+	for n := 0; n <= 4; n++ {
+		p := m.ClusterPowerW(opp, n, 50)
+		if p <= prev {
+			t.Fatalf("power not increasing with active cores: %d -> %.3f after %.3f", n, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestClusterPowerClampsActiveCores(t *testing.T) {
+	m := DefaultA15PowerModel()
+	opp := A15Table()[5]
+	if got, want := m.ClusterPowerW(opp, -2, 50), m.ClusterPowerW(opp, 0, 50); got != want {
+		t.Errorf("negative cores not clamped: %v vs %v", got, want)
+	}
+	if got, want := m.ClusterPowerW(opp, 99, 50), m.ClusterPowerW(opp, 4, 50); got != want {
+		t.Errorf("excess cores not clamped: %v vs %v", got, want)
+	}
+}
+
+func TestLeakageGrowsWithTemperature(t *testing.T) {
+	m := DefaultA15PowerModel()
+	opp := A15Table()[18]
+	cold := m.CoreLeakageW(opp, 25)
+	hot := m.CoreLeakageW(opp, 85)
+	if hot <= cold {
+		t.Fatalf("leakage at 85C (%.3f) not above 25C (%.3f)", hot, cold)
+	}
+	// 60 degrees at kT=0.016 is e^0.96 ≈ 2.6x.
+	if ratio := hot / cold; ratio < 1.5 || ratio > 5 {
+		t.Errorf("leakage ratio over 60°C = %.2f, want 1.5..5", ratio)
+	}
+}
+
+func TestEnergyJ(t *testing.T) {
+	if got := EnergyJ(2.5, 4); got != 10 {
+		t.Fatalf("EnergyJ = %v, want 10", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnergyJ must panic on negative duration")
+		}
+	}()
+	EnergyJ(1, -1)
+}
+
+// Property: cluster power is strictly increasing in OPP index (both f and V
+// rise along the A15 ladder) at any temperature in a sane range and any
+// active-core count.
+func TestPowerMonotoneInOPPProperty(t *testing.T) {
+	m := DefaultA15PowerModel()
+	table := A15Table()
+	f := func(rawIdx uint8, rawCores uint8, rawTemp uint8) bool {
+		idx := int(rawIdx) % (table.Len() - 1) // compare idx and idx+1
+		cores := int(rawCores) % 5
+		temp := 25 + float64(rawTemp%70)
+		lo := m.ClusterPowerW(table[idx], cores, temp)
+		hi := m.ClusterPowerW(table[idx+1], cores, temp)
+		return hi > lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with leakage disabled, energy per fixed amount of work is
+// non-decreasing in the OPP index — dynamic energy per cycle is C·V² and V
+// is non-decreasing along the ladder. (With leakage on the curve is
+// U-shaped; see TestEnergyPerWorkUShaped.)
+func TestEnergyPerWorkMonotoneWithoutLeakageProperty(t *testing.T) {
+	m := DefaultA15PowerModel()
+	m.LeakI0A = 0
+	table := A15Table()
+	const cycles = 40e6
+	f := func(rawIdx uint8) bool {
+		idx := int(rawIdx) % (table.Len() - 1)
+		energy := func(i int) float64 {
+			tExec := cycles / table[i].FreqHz()
+			return m.ClusterPowerW(table[i], 4, 50) * tExec
+		}
+		return energy(idx+1) >= energy(idx)*(1-1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With leakage on, the active energy for a fixed amount of work is U-shaped
+// in frequency: crawling burns leakage over a long time, sprinting burns
+// V² dynamic energy. Published ODROID-XU3 A15 measurements put the
+// energy-optimal frequency mid-table (≈800–1400 MHz); the default model
+// must reproduce an interior minimum.
+func TestEnergyPerWorkUShaped(t *testing.T) {
+	m := DefaultA15PowerModel()
+	table := A15Table()
+	const cycles = 40e6
+	energy := func(i int) float64 {
+		tExec := cycles / table[i].FreqHz()
+		return m.ClusterPowerW(table[i], 4, 50) * tExec
+	}
+	best := 0
+	for i := 1; i < table.Len(); i++ {
+		if energy(i) < energy(best) {
+			best = i
+		}
+	}
+	if best == 0 || best == table.MaxIdx() {
+		t.Fatalf("energy minimum at boundary index %d (%v); want interior", best, table[best])
+	}
+	if mhz := table[best].FreqMHz; mhz < 400 || mhz > 1500 {
+		t.Errorf("energy-optimal point %d MHz outside the plausible 400..1500 band", mhz)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []PowerModel{
+		{CeffCoreF: 0, NumCores: 4},
+		{CeffCoreF: 1e-9, CeffUncoreF: -1, NumCores: 4},
+		{CeffCoreF: 1e-9, ClockGateFrac: 2, NumCores: 4},
+		{CeffCoreF: 1e-9, LeakI0A: -1, NumCores: 4},
+		{CeffCoreF: 1e-9, NumCores: 0},
+		{CeffCoreF: 1e-9, NumCores: 4, UncoreIdx: 1.5},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid model %+v", i, b)
+		}
+	}
+}
+
+func TestIdleBelowActive(t *testing.T) {
+	m := DefaultA15PowerModel()
+	for _, opp := range A15Table() {
+		idle := m.IdlePowerW(opp, 50)
+		act := m.ClusterPowerW(opp, 4, 50)
+		if !(idle < act) {
+			t.Fatalf("idle %.3f not below active %.3f at %v", idle, act, opp)
+		}
+		if idle <= 0 || math.IsNaN(idle) {
+			t.Fatalf("idle power %.3f invalid at %v", idle, opp)
+		}
+	}
+}

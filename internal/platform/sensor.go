@@ -1,0 +1,123 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PowerSegment is an interval of (modelled) constant power, the ground
+// truth the sensor samples from.
+type PowerSegment struct {
+	PowerW   float64
+	Duration float64 // seconds
+}
+
+// PowerSensor models the ODROID-XU3's on-board INA231 current monitors: it
+// takes discrete samples of the instantaneous power at a fixed period,
+// quantises them to the converter's resolution, and adds zero-mean Gaussian
+// measurement noise. The paper measures per-frame power with these sensors
+// and computes energy as average power × execution time; the simulator
+// reports both the sensor-derived figure and the exact model integral so
+// tests can bound the sensor error.
+type PowerSensor struct {
+	PeriodS     float64 // sampling period (INA231 default ≈ 1.024 ms at 16 avg)
+	ResolutionW float64 // quantisation step (LSB)
+	NoiseSigmaW float64 // Gaussian noise standard deviation
+
+	rng    *rand.Rand
+	phaseS float64 // time until the next sample, carried across windows
+}
+
+// NewPowerSensor creates a sensor with the given sampling period, seeded
+// deterministically. Period must be positive.
+func NewPowerSensor(periodS float64, seed int64) *PowerSensor {
+	if periodS <= 0 {
+		panic("platform: PowerSensor needs a positive sampling period")
+	}
+	return &PowerSensor{
+		PeriodS:     periodS,
+		ResolutionW: 0.001, // 1 mW LSB, INA231-class
+		NoiseSigmaW: 0.002,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// DefaultSensor returns the sensor configuration used by the experiments:
+// 1.024 ms sampling, 1 mW resolution, 2 mW noise.
+func DefaultSensor(seed int64) *PowerSensor { return NewPowerSensor(1.024e-3, seed) }
+
+// Measure samples the power trajectory described by segments and returns
+// the average measured power over the window. When the window is shorter
+// than one sampling period and contains no sample point, the sensor returns
+// the quantised time-weighted mean instead (the INA231 integrates
+// internally), so short frames still produce a reading.
+func (s *PowerSensor) Measure(segments []PowerSegment) float64 {
+	var total float64
+	for _, seg := range segments {
+		if seg.Duration < 0 {
+			panic("platform: negative segment duration")
+		}
+		total += seg.Duration
+	}
+	if total == 0 {
+		return 0
+	}
+
+	var sum float64
+	var n int
+	// Walk the segments sampling every PeriodS, preserving phase across
+	// calls so sampling is not artificially aligned to frame boundaries.
+	t := s.phaseS
+	elapsed := 0.0
+	for _, seg := range segments {
+		end := elapsed + seg.Duration
+		for t < end {
+			if t >= elapsed {
+				sum += s.sample(seg.PowerW)
+				n++
+			}
+			t += s.PeriodS
+		}
+		elapsed = end
+	}
+	s.phaseS = t - elapsed
+
+	if n == 0 {
+		// Sub-period window: fall back to the integrated mean.
+		var acc float64
+		for _, seg := range segments {
+			acc += seg.PowerW * seg.Duration
+		}
+		return s.quantize(acc / total)
+	}
+	return sum / float64(n)
+}
+
+func (s *PowerSensor) sample(trueW float64) float64 {
+	v := trueW + s.rng.NormFloat64()*s.NoiseSigmaW
+	if v < 0 {
+		v = 0
+	}
+	return s.quantize(v)
+}
+
+func (s *PowerSensor) quantize(w float64) float64 {
+	if s.ResolutionW <= 0 {
+		return w
+	}
+	return math.Round(w/s.ResolutionW) * s.ResolutionW
+}
+
+// ExactAverage returns the true time-weighted average power of the
+// segments, the noise-free reference the tests compare sensor output to.
+func ExactAverage(segments []PowerSegment) float64 {
+	var acc, total float64
+	for _, seg := range segments {
+		acc += seg.PowerW * seg.Duration
+		total += seg.Duration
+	}
+	if total == 0 {
+		return 0
+	}
+	return acc / total
+}

@@ -1,0 +1,68 @@
+package platform
+
+import "fmt"
+
+// SoC composes clusters into a big.LITTLE system-on-chip. The paper pins
+// all work to the A15 (big) cluster; the SoC type exists so the platform
+// model is complete and so the multi-application extension can be given a
+// second domain later without restructuring.
+type SoC struct {
+	name     string
+	clusters []*Cluster
+}
+
+// NewSoC builds an SoC from its clusters. At least one is required.
+func NewSoC(name string, clusters ...*Cluster) *SoC {
+	if len(clusters) == 0 {
+		panic("platform: SoC needs at least one cluster")
+	}
+	return &SoC{name: name, clusters: clusters}
+}
+
+// DefaultXU3 returns an ODROID-XU3-like SoC: a quad A15 big cluster and a
+// quad A7 LITTLE cluster. Sensor noise for the two clusters is decorrelated
+// by deriving distinct seeds.
+func DefaultXU3(seed int64) *SoC {
+	return NewSoC("Exynos5422",
+		DefaultA15Cluster(seed),
+		DefaultA7Cluster(seed+0x9e3779b9),
+	)
+}
+
+// Name returns the SoC name.
+func (s *SoC) Name() string { return s.name }
+
+// NumClusters returns the number of clusters.
+func (s *SoC) NumClusters() int { return len(s.clusters) }
+
+// Cluster returns cluster i.
+func (s *SoC) Cluster(i int) *Cluster { return s.clusters[i] }
+
+// ClusterByName returns the cluster with the given name.
+func (s *SoC) ClusterByName(name string) (*Cluster, error) {
+	for _, c := range s.clusters {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("platform: SoC %q has no cluster %q", s.name, name)
+}
+
+// Big returns the first cluster, by convention the big (A15) one.
+func (s *SoC) Big() *Cluster { return s.clusters[0] }
+
+// TotalEnergyJ sums energy across all clusters.
+func (s *SoC) TotalEnergyJ() float64 {
+	var e float64
+	for _, c := range s.clusters {
+		e += c.TotalEnergyJ()
+	}
+	return e
+}
+
+// Reset restores every cluster to its initial state.
+func (s *SoC) Reset() {
+	for _, c := range s.clusters {
+		c.Reset()
+	}
+}

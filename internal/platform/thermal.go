@@ -1,0 +1,74 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// ThermalModel is a first-order lumped RC thermal model of one cluster:
+//
+//	C_th · dT/dt = P − (T − T_amb) / R_th
+//
+// Steady state is T = T_amb + P·R_th. The step integrator uses the exact
+// exponential solution for piecewise-constant power, so it is
+// unconditionally stable for the multi-millisecond steps the epoch engine
+// takes (a forward-Euler integrator would need sub-millisecond steps to stay
+// stable at small C_th).
+//
+// The paper neglects the thermal constraint of the Ge & Qiu baseline for
+// comparability, but leakage still depends on temperature, so the model is
+// kept in the loop: hot clusters leak more, which is visible in the energy
+// numbers of sustained high-frequency governors like ondemand.
+type ThermalModel struct {
+	RthKW    float64 // junction-to-ambient thermal resistance, K/W
+	CthJK    float64 // lumped thermal capacitance, J/K
+	AmbientC float64 // ambient temperature, °C
+
+	tempC float64 // current die temperature
+}
+
+// NewThermalModel returns a model initialised to the ambient temperature.
+// It panics when resistance or capacitance are non-positive (configuration
+// bug, not a runtime condition).
+func NewThermalModel(rthKW, cthJK, ambientC float64) *ThermalModel {
+	if rthKW <= 0 || cthJK <= 0 {
+		panic(fmt.Sprintf("platform: invalid thermal parameters R=%v C=%v", rthKW, cthJK))
+	}
+	return &ThermalModel{RthKW: rthKW, CthJK: cthJK, AmbientC: ambientC, tempC: ambientC}
+}
+
+// DefaultA15Thermal returns the thermal model used in the experiments:
+// R_th ≈ 8 K/W (≈ 73 °C at 6 W above a 25 °C ambient, matching XU3 A15
+// behaviour under sustained load) with a ≈1.2 s time constant.
+func DefaultA15Thermal() *ThermalModel {
+	return NewThermalModel(8.0, 0.15, 25.0)
+}
+
+// TempC returns the current die temperature.
+func (t *ThermalModel) TempC() float64 { return t.tempC }
+
+// Reset returns the die to ambient temperature.
+func (t *ThermalModel) Reset() { t.tempC = t.AmbientC }
+
+// Step advances the model by dt seconds under constant power powerW and
+// returns the new temperature. Negative dt panics; dt == 0 is a no-op.
+func (t *ThermalModel) Step(powerW, dt float64) float64 {
+	if dt < 0 {
+		panic("platform: negative dt in ThermalModel.Step")
+	}
+	if dt == 0 {
+		return t.tempC
+	}
+	steady := t.AmbientC + powerW*t.RthKW
+	tau := t.RthKW * t.CthJK
+	t.tempC = steady + (t.tempC-steady)*math.Exp(-dt/tau)
+	return t.tempC
+}
+
+// SteadyC returns the steady-state temperature for a constant power.
+func (t *ThermalModel) SteadyC(powerW float64) float64 {
+	return t.AmbientC + powerW*t.RthKW
+}
+
+// TimeConstant returns the model's RC time constant in seconds.
+func (t *ThermalModel) TimeConstant() float64 { return t.RthKW * t.CthJK }

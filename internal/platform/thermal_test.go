@@ -1,0 +1,113 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThermalSteadyState(t *testing.T) {
+	th := NewThermalModel(8, 0.15, 25)
+	// Long exposure to 5 W must land on ambient + P*R = 65°C.
+	for i := 0; i < 1000; i++ {
+		th.Step(5, 0.1)
+	}
+	if got, want := th.TempC(), 65.0; math.Abs(got-want) > 0.01 {
+		t.Fatalf("steady temp = %.3f, want %.3f", got, want)
+	}
+	if got := th.SteadyC(5); got != 65 {
+		t.Fatalf("SteadyC = %v, want 65", got)
+	}
+}
+
+func TestThermalCoolsToAmbient(t *testing.T) {
+	th := NewThermalModel(8, 0.15, 25)
+	th.Step(6, 10) // heat up
+	if th.TempC() <= 25 {
+		t.Fatal("did not heat")
+	}
+	for i := 0; i < 100; i++ {
+		th.Step(0, 1)
+	}
+	if math.Abs(th.TempC()-25) > 0.01 {
+		t.Fatalf("did not cool to ambient: %.3f", th.TempC())
+	}
+}
+
+func TestThermalExactExponential(t *testing.T) {
+	th := NewThermalModel(10, 0.1, 20) // tau = 1 s
+	th.Step(4, 1)                      // one time constant toward 60
+	want := 60 + (20-60)*math.Exp(-1)
+	if math.Abs(th.TempC()-want) > 1e-9 {
+		t.Fatalf("after 1 tau: %.6f, want %.6f", th.TempC(), want)
+	}
+}
+
+func TestThermalStepEdgeCases(t *testing.T) {
+	th := NewThermalModel(8, 0.15, 25)
+	before := th.TempC()
+	if got := th.Step(5, 0); got != before {
+		t.Fatal("dt=0 must be a no-op")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dt must panic")
+		}
+	}()
+	th.Step(5, -1)
+}
+
+func TestThermalReset(t *testing.T) {
+	th := DefaultA15Thermal()
+	th.Step(6, 100)
+	th.Reset()
+	if th.TempC() != th.AmbientC {
+		t.Fatalf("Reset: temp %.2f != ambient %.2f", th.TempC(), th.AmbientC)
+	}
+}
+
+func TestNewThermalModelPanics(t *testing.T) {
+	for _, c := range []struct{ r, cap float64 }{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewThermalModel(%v,%v) must panic", c.r, c.cap)
+				}
+			}()
+			NewThermalModel(c.r, c.cap, 25)
+		}()
+	}
+}
+
+// Property: temperature always moves toward (and never past) the
+// steady-state point, and splitting a step in two gives the same result as
+// one combined step (semigroup property of the exact integrator).
+func TestThermalStepProperties(t *testing.T) {
+	f := func(rawP, rawDT uint16, split uint8) bool {
+		p := float64(rawP%100) / 10            // 0..10 W
+		dt := float64(rawDT%10000)/1000 + 1e-6 // up to 10 s
+		a := NewThermalModel(8, 0.15, 25)
+		b := NewThermalModel(8, 0.15, 25)
+		a.Step(6, 2) // pre-warm both identically
+		b.Step(6, 2)
+
+		steady := a.SteadyC(p)
+		before := a.TempC()
+		after := a.Step(p, dt)
+		// monotone approach without overshoot
+		if before <= steady && (after < before-1e-9 || after > steady+1e-9) {
+			return false
+		}
+		if before >= steady && (after > before+1e-9 || after < steady-1e-9) {
+			return false
+		}
+		// semigroup: one step == two half steps
+		frac := (float64(split%98) + 1) / 100
+		b.Step(p, dt*frac)
+		b.Step(p, dt*(1-frac))
+		return math.Abs(b.TempC()-after) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package predictor
+
+import "fmt"
+
+// EWMA is the paper's workload predictor (Eq. 1):
+//
+//	CC_{i+1} = γ·actualCC_i + (1−γ)·predCC_i
+//
+// γ is the smoothing factor, experimentally determined as 0.6 in Section
+// III-B. Until the first observation it predicts zero (no prior knowledge
+// of the application, matching the RTM's cold start).
+type EWMA struct {
+	gamma  float64
+	pred   float64
+	primed bool
+}
+
+// NewEWMA creates the predictor. gamma must lie in (0, 1].
+func NewEWMA(gamma float64) *EWMA {
+	if gamma <= 0 || gamma > 1 {
+		panic(fmt.Sprintf("predictor: EWMA gamma %v outside (0,1]", gamma))
+	}
+	return &EWMA{gamma: gamma}
+}
+
+// Name implements Predictor.
+func (e *EWMA) Name() string { return fmt.Sprintf("ewma(γ=%g)", e.gamma) }
+
+// Gamma returns the smoothing factor.
+func (e *EWMA) Gamma() float64 { return e.gamma }
+
+// Predict implements Predictor.
+func (e *EWMA) Predict() float64 { return e.pred }
+
+// Observe implements Predictor. The first observation primes the filter
+// directly (predicting zero forever after one sample would be a pure
+// artifact of the zero prior).
+func (e *EWMA) Observe(actual float64) {
+	if !e.primed {
+		e.pred = actual
+		e.primed = true
+		return
+	}
+	e.pred = e.gamma*actual + (1-e.gamma)*e.pred
+}
+
+// Reset implements Predictor.
+func (e *EWMA) Reset() {
+	e.pred = 0
+	e.primed = false
+}

@@ -1,0 +1,89 @@
+package predictor
+
+import "fmt"
+
+// NLMS is a normalized least-mean-squares adaptive filter over the last
+// `order` observations — the "adaptive filtering of workload traces"
+// approach (Sinha & Chandrakasan, ref [16] of the paper) that the paper
+// contrasts EWMA against. The normalised step size makes it stable for the
+// widely scaled cycle counts (10⁷–10⁸) without manual gain tuning.
+type NLMS struct {
+	weights []float64
+	history []float64 // most recent observation first
+	mu      float64
+	eps     float64
+	seen    int
+}
+
+// NewNLMS creates a filter of the given order with step size mu in (0, 2).
+func NewNLMS(order int, mu float64) *NLMS {
+	if order < 1 {
+		panic(fmt.Sprintf("predictor: NLMS order %d < 1", order))
+	}
+	if mu <= 0 || mu >= 2 {
+		panic(fmt.Sprintf("predictor: NLMS step %v outside (0,2)", mu))
+	}
+	n := &NLMS{
+		weights: make([]float64, order),
+		history: make([]float64, order),
+		mu:      mu,
+		eps:     1e-12,
+	}
+	// Start as a last-value predictor: weight 1 on the newest sample.
+	n.weights[0] = 1
+	return n
+}
+
+// Name implements Predictor.
+func (n *NLMS) Name() string { return fmt.Sprintf("nlms(%d,µ=%g)", len(n.weights), n.mu) }
+
+// Predict implements Predictor.
+func (n *NLMS) Predict() float64 {
+	if n.seen == 0 {
+		return 0
+	}
+	var y float64
+	for i, w := range n.weights {
+		y += w * n.history[i]
+	}
+	if y < 0 {
+		// Cycle counts are non-negative; a transiently mis-adapted filter
+		// must not forecast negative work.
+		y = 0
+	}
+	return y
+}
+
+// Observe implements Predictor: one NLMS weight update followed by a shift
+// of the regression window.
+func (n *NLMS) Observe(actual float64) {
+	if n.seen > 0 {
+		pred := 0.0
+		var norm float64
+		for i, w := range n.weights {
+			pred += w * n.history[i]
+			norm += n.history[i] * n.history[i]
+		}
+		err := actual - pred
+		step := n.mu / (norm + n.eps)
+		for i := range n.weights {
+			n.weights[i] += step * err * n.history[i]
+		}
+	}
+	// Shift in the newest observation.
+	copy(n.history[1:], n.history)
+	n.history[0] = actual
+	n.seen++
+}
+
+// Reset implements Predictor.
+func (n *NLMS) Reset() {
+	for i := range n.weights {
+		n.weights[i] = 0
+	}
+	n.weights[0] = 1
+	for i := range n.history {
+		n.history[i] = 0
+	}
+	n.seen = 0
+}

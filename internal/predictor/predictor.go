@@ -1,0 +1,82 @@
+// Package predictor implements the workload predictors used by the
+// run-time manager and its ablation studies.
+//
+// The paper's RTM predicts the next decision epoch's CPU cycle count with
+// an exponential weighted moving average (EWMA, Eq. 1, smoothing factor
+// γ = 0.6) and classifies the prediction into a Q-table state. Section II-A
+// argues EWMA over the adaptive-filter predictors of earlier work, whose
+// filter lag hurts on dynamically varying workloads — the NLMS type here
+// exists so that claim can be measured rather than assumed (the γ-sweep and
+// predictor-comparison ablations in internal/experiments).
+package predictor
+
+import "fmt"
+
+// Predictor forecasts the next epoch's workload from the history of actual
+// workloads. Implementations are deterministic state machines.
+//
+// Protocol: Predict returns the forecast for epoch i+1; Observe feeds the
+// actual value for epoch i+1 once it is known. The first Predict (before
+// any Observe) returns the implementation's prior — callers treat epoch 0
+// as unpredicted warm-up.
+type Predictor interface {
+	// Name identifies the predictor in tables and CSV output.
+	Name() string
+	// Predict returns the current forecast for the next value.
+	Predict() float64
+	// Observe incorporates the actual value for the epoch just finished.
+	Observe(actual float64)
+	// Reset returns the predictor to its initial state.
+	Reset()
+}
+
+// Record is one epoch of a prediction trace.
+type Record struct {
+	Predicted float64
+	Actual    float64
+}
+
+// Evaluate runs a predictor over a workload series and returns the aligned
+// prediction/actual records, skipping no epochs: record i holds the
+// forecast made *before* observing series[i]. The predictor is Reset first.
+func Evaluate(p Predictor, series []float64) []Record {
+	p.Reset()
+	out := make([]Record, len(series))
+	for i, actual := range series {
+		out[i] = Record{Predicted: p.Predict(), Actual: actual}
+		p.Observe(actual)
+	}
+	return out
+}
+
+// Split separates records into prediction and actual slices for the error
+// metrics in internal/stats.
+func Split(records []Record) (pred, actual []float64) {
+	pred = make([]float64, len(records))
+	actual = make([]float64, len(records))
+	for i, r := range records {
+		pred[i] = r.Predicted
+		actual[i] = r.Actual
+	}
+	return pred, actual
+}
+
+// New constructs a predictor by name with its default parameters:
+// "ewma" (γ=0.6, the paper's choice), "last", "ma" (window 8),
+// "holt" (α=0.5, β=0.3), "nlms" (order 4, µ=0.5).
+func New(name string) (Predictor, error) {
+	switch name {
+	case "ewma":
+		return NewEWMA(0.6), nil
+	case "last":
+		return NewLastValue(), nil
+	case "ma":
+		return NewMovingAverage(8), nil
+	case "holt":
+		return NewHolt(0.5, 0.3), nil
+	case "nlms":
+		return NewNLMS(4, 0.5), nil
+	default:
+		return nil, fmt.Errorf("predictor: unknown predictor %q", name)
+	}
+}

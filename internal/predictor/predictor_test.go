@@ -1,0 +1,248 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qgov/internal/stats"
+	"qgov/internal/workload"
+)
+
+func TestEWMARecurrence(t *testing.T) {
+	e := NewEWMA(0.6)
+	e.Observe(100) // primes: pred = 100
+	if got := e.Predict(); got != 100 {
+		t.Fatalf("after priming: %v, want 100", got)
+	}
+	e.Observe(200) // 0.6*200 + 0.4*100 = 160
+	if got := e.Predict(); math.Abs(got-160) > 1e-12 {
+		t.Fatalf("after second observation: %v, want 160", got)
+	}
+	e.Observe(100) // 0.6*100 + 0.4*160 = 124
+	if got := e.Predict(); math.Abs(got-124) > 1e-12 {
+		t.Fatalf("after third observation: %v, want 124", got)
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.6)
+	for i := 0; i < 50; i++ {
+		e.Observe(42)
+	}
+	if got := e.Predict(); math.Abs(got-42) > 1e-9 {
+		t.Fatalf("EWMA did not converge to constant input: %v", got)
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(0.6)
+	e.Observe(100)
+	e.Reset()
+	if e.Predict() != 0 {
+		t.Fatal("Reset did not clear the prediction")
+	}
+	e.Observe(77) // must re-prime
+	if e.Predict() != 77 {
+		t.Fatal("Reset did not clear the priming flag")
+	}
+}
+
+func TestEWMAPanicsOnBadGamma(t *testing.T) {
+	for _, g := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) must panic", g)
+				}
+			}()
+			NewEWMA(g)
+		}()
+	}
+	NewEWMA(1) // γ=1 is legal: degenerates to last-value
+}
+
+func TestLastValue(t *testing.T) {
+	l := NewLastValue()
+	if l.Predict() != 0 {
+		t.Fatal("initial prediction not 0")
+	}
+	l.Observe(5)
+	l.Observe(9)
+	if l.Predict() != 9 {
+		t.Fatalf("Predict = %v, want 9", l.Predict())
+	}
+	l.Reset()
+	if l.Predict() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m := NewMovingAverage(3)
+	if m.Predict() != 0 {
+		t.Fatal("initial prediction not 0")
+	}
+	m.Observe(3)
+	if m.Predict() != 3 {
+		t.Fatalf("partial window mean = %v, want 3", m.Predict())
+	}
+	m.Observe(6)
+	m.Observe(9)
+	if m.Predict() != 6 {
+		t.Fatalf("full window mean = %v, want 6", m.Predict())
+	}
+	m.Observe(12) // window slides to {6,9,12}
+	if m.Predict() != 9 {
+		t.Fatalf("sliding mean = %v, want 9", m.Predict())
+	}
+}
+
+func TestHoltTracksRamp(t *testing.T) {
+	// On a pure ramp, Holt should extrapolate almost exactly while EWMA
+	// lags — the motivating difference between trend-aware and plain
+	// smoothing.
+	ramp := make([]float64, 60)
+	for i := range ramp {
+		ramp[i] = 1000 + 50*float64(i)
+	}
+	h := Evaluate(NewHolt(0.5, 0.3), ramp)
+	e := Evaluate(NewEWMA(0.6), ramp)
+	hp, ha := Split(h[10:])
+	ep, ea := Split(e[10:])
+	holtErr := stats.MAPE(hp, ha)
+	ewmaErr := stats.MAPE(ep, ea)
+	if !(holtErr < ewmaErr) {
+		t.Fatalf("Holt MAPE %v not below EWMA MAPE %v on a ramp", holtErr, ewmaErr)
+	}
+}
+
+func TestNLMSLearnsConstantSignal(t *testing.T) {
+	n := NewNLMS(4, 0.5)
+	for i := 0; i < 100; i++ {
+		n.Observe(1000)
+	}
+	if got := n.Predict(); math.Abs(got-1000) > 1 {
+		t.Fatalf("NLMS on constant signal predicts %v", got)
+	}
+}
+
+func TestNLMSNeverPredictsNegative(t *testing.T) {
+	n := NewNLMS(4, 0.9)
+	inputs := []float64{100, 5000, 10, 8000, 3, 9000, 1}
+	for _, x := range inputs {
+		if n.Predict() < 0 {
+			t.Fatal("negative workload forecast")
+		}
+		n.Observe(x)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewMovingAverage(0) },
+		func() { NewHolt(0, 0.5) },
+		func() { NewHolt(0.5, 2) },
+		func() { NewNLMS(0, 0.5) },
+		func() { NewNLMS(4, 0) },
+		func() { NewNLMS(4, 2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("constructor case %d must panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"ewma", "last", "ma", "holt", "nlms"} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() == "" {
+			t.Errorf("%s: empty Name()", name)
+		}
+	}
+	if _, err := New("oracle"); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+}
+
+func TestEvaluateAlignment(t *testing.T) {
+	series := []float64{10, 20, 30}
+	recs := Evaluate(NewLastValue(), series)
+	// Record i holds the forecast made before seeing series[i].
+	want := []Record{{0, 10}, {10, 20}, {20, 30}}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestEWMAOnPaperWorkloadMispredictionBand(t *testing.T) {
+	// Sanity-check the Fig. 3 regime: EWMA(0.6) on the MPEG4 trace should
+	// produce single-digit-percent average misprediction after warm-up,
+	// in the band the paper reports (≈3–8 %).
+	tr := workload.MPEG4SVGA24(1, 240)
+	recs := Evaluate(NewEWMA(0.6), tr.MaxPerFrame())
+	pred, actual := Split(recs[100:])
+	m := stats.MAPEOfMean(pred, actual)
+	if m < 0.005 || m > 0.15 {
+		t.Fatalf("post-warmup misprediction = %.1f%%, want single digits", m*100)
+	}
+}
+
+// Property: EWMA prediction always lies within the convex hull of the
+// primed value and all subsequent observations.
+func TestEWMAHullProperty(t *testing.T) {
+	f := func(raw []uint32, rawGamma uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		gamma := (float64(rawGamma%99) + 1) / 100
+		e := NewEWMA(gamma)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			x := float64(r % 1e9)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			e.Observe(x)
+			p := e.Predict()
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any gamma, feeding a constant series keeps the prediction
+// exactly at that constant (fixed point).
+func TestEWMAFixedPointProperty(t *testing.T) {
+	f := func(rawV uint32, rawGamma uint8, rawN uint8) bool {
+		gamma := (float64(rawGamma%99) + 1) / 100
+		v := float64(rawV)
+		e := NewEWMA(gamma)
+		for i := 0; i < int(rawN%50)+1; i++ {
+			e.Observe(v)
+		}
+		return math.Abs(e.Predict()-v) < 1e-9*(1+v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

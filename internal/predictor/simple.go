@@ -1,0 +1,122 @@
+package predictor
+
+import "fmt"
+
+// LastValue predicts that the next epoch repeats the previous one — the
+// cheapest possible predictor and the natural baseline for EWMA.
+type LastValue struct {
+	last float64
+}
+
+// NewLastValue creates the predictor.
+func NewLastValue() *LastValue { return &LastValue{} }
+
+// Name implements Predictor.
+func (l *LastValue) Name() string { return "last-value" }
+
+// Predict implements Predictor.
+func (l *LastValue) Predict() float64 { return l.last }
+
+// Observe implements Predictor.
+func (l *LastValue) Observe(actual float64) { l.last = actual }
+
+// Reset implements Predictor.
+func (l *LastValue) Reset() { l.last = 0 }
+
+// MovingAverage predicts the mean of the last W observations. Longer
+// windows smooth more but lag workload phase changes harder — the lag
+// behaviour the paper holds against plain filtering approaches.
+type MovingAverage struct {
+	window []float64
+	next   int
+	filled int
+	sum    float64
+}
+
+// NewMovingAverage creates a predictor with window size w >= 1.
+func NewMovingAverage(w int) *MovingAverage {
+	if w < 1 {
+		panic(fmt.Sprintf("predictor: moving average window %d < 1", w))
+	}
+	return &MovingAverage{window: make([]float64, w)}
+}
+
+// Name implements Predictor.
+func (m *MovingAverage) Name() string { return fmt.Sprintf("ma(%d)", len(m.window)) }
+
+// Predict implements Predictor.
+func (m *MovingAverage) Predict() float64 {
+	if m.filled == 0 {
+		return 0
+	}
+	return m.sum / float64(m.filled)
+}
+
+// Observe implements Predictor.
+func (m *MovingAverage) Observe(actual float64) {
+	if m.filled == len(m.window) {
+		m.sum -= m.window[m.next]
+	} else {
+		m.filled++
+	}
+	m.window[m.next] = actual
+	m.sum += actual
+	m.next = (m.next + 1) % len(m.window)
+}
+
+// Reset implements Predictor.
+func (m *MovingAverage) Reset() {
+	for i := range m.window {
+		m.window[i] = 0
+	}
+	m.next, m.filled, m.sum = 0, 0, 0
+}
+
+// Holt is double exponential smoothing: it tracks a level and a trend, so
+// unlike EWMA it extrapolates ramps instead of lagging them.
+type Holt struct {
+	alpha, beta  float64
+	level, trend float64
+	seen         int
+}
+
+// NewHolt creates the predictor. Both smoothing factors must lie in (0, 1].
+func NewHolt(alpha, beta float64) *Holt {
+	if alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 {
+		panic(fmt.Sprintf("predictor: Holt parameters (%v, %v) outside (0,1]", alpha, beta))
+	}
+	return &Holt{alpha: alpha, beta: beta}
+}
+
+// Name implements Predictor.
+func (h *Holt) Name() string { return fmt.Sprintf("holt(α=%g,β=%g)", h.alpha, h.beta) }
+
+// Predict implements Predictor.
+func (h *Holt) Predict() float64 {
+	if h.seen == 0 {
+		return 0
+	}
+	return h.level + h.trend
+}
+
+// Observe implements Predictor.
+func (h *Holt) Observe(actual float64) {
+	switch h.seen {
+	case 0:
+		h.level = actual
+	case 1:
+		h.trend = actual - h.level
+		h.level = actual
+	default:
+		prevLevel := h.level
+		h.level = h.alpha*actual + (1-h.alpha)*(h.level+h.trend)
+		h.trend = h.beta*(h.level-prevLevel) + (1-h.beta)*h.trend
+	}
+	h.seen++
+}
+
+// Reset implements Predictor.
+func (h *Holt) Reset() {
+	h.level, h.trend = 0, 0
+	h.seen = 0
+}

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteRecordsCSV serialises a recorded run's per-frame series — the data
+// behind Fig. 3 style plots — as CSV. Columns are stable and documented in
+// EXPERIMENTS.md; NaN telemetry (governors without introspection) is
+// written as empty fields.
+func WriteRecordsCSV(w io.Writer, records []FrameRecord) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(
+		"epoch,freq_mhz,exec_s,slack_ratio,energy_j,avg_power_w,sensor_power_w,temp_c,missed,actual_cc,predicted_cc,avg_slack_l,epsilon\n"); err != nil {
+		return err
+	}
+	for _, r := range records {
+		missed := 0
+		if r.Missed {
+			missed = 1
+		}
+		fmt.Fprintf(bw, "%d,%d,%.9g,%.6g,%.9g,%.6g,%.6g,%.4g,%d,%.9g,%s,%s,%s\n",
+			r.Epoch, r.FreqMHz, r.ExecTimeS, r.SlackRatio, r.EnergyJ,
+			r.AvgPowerW, r.SensorPowerW, r.TempC, missed, r.ActualCC,
+			optional(r.PredictedCC), optional(r.AvgSlackL), optional(r.Epsilon))
+	}
+	return bw.Flush()
+}
+
+// optional renders NaN as an empty CSV field.
+func optional(x float64) string {
+	if x != x { // NaN
+		return ""
+	}
+	return fmt.Sprintf("%.9g", x)
+}

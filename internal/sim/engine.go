@@ -1,0 +1,240 @@
+// Package sim closes the loop of Fig. 2(a): it drives a governor against a
+// workload trace executing on the simulated platform, one decision epoch
+// per frame, and records the timing, energy and learning telemetry the
+// experiments report.
+//
+// The engine enforces the information boundary the paper's cross-layer
+// stack has on real hardware: the governor sees only PMU counter deltas,
+// sensed power, temperature and the timing of the epoch that just ended —
+// never the trace itself. Only the Oracle baseline (constructed with the
+// trace, by definition offline) breaks that boundary.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Trace    workload.Trace
+	Governor governor.Governor
+	// Cluster to execute on; nil builds the paper's platform
+	// (DefaultA15Cluster) seeded from Seed.
+	Cluster *platform.Cluster
+	// Seed feeds the governor's stochastic policy and, when Cluster is
+	// nil, the platform's sensor noise.
+	Seed int64
+	// Record retains per-frame records (the Fig. 3 series); aggregates are
+	// always computed.
+	Record bool
+}
+
+// FrameRecord is one epoch of a recorded run.
+type FrameRecord struct {
+	Epoch        int
+	OPPIdx       int
+	FreqMHz      int
+	ExecTimeS    float64 // completion incl. overheads (T_i + T_OVH)
+	SlackRatio   float64 // (Tref − exec)/Tref; negative on a miss
+	EnergyJ      float64
+	AvgPowerW    float64
+	SensorPowerW float64
+	TempC        float64
+	Missed       bool
+	ActualCC     float64 // critical-path demand of the frame
+	PredictedCC  float64 // governor's forecast for the frame (NaN if opaque)
+	AvgSlackL    float64 // governor's averaged slack L (NaN if opaque)
+	Epsilon      float64 // exploration probability (NaN if opaque)
+}
+
+// Result aggregates one run.
+type Result struct {
+	Workload string
+	Governor string
+	Frames   int
+
+	EnergyJ       float64 // exact model energy over the whole run
+	SensorEnergyJ float64 // energy as the on-board sensors would report it
+	MeanPowerW    float64
+	SimTimeS      float64 // simulated wall time
+
+	NormPerf     float64 // mean of (T_i + T_OVH)/Tref; >1 under-performs
+	MissRate     float64 // fraction of frames past the deadline
+	Misses       int
+	Transitions  int // DVFS transitions
+	Explorations int // -1 if the governor is not a learner
+	// ExplorationsToConv counts the explorations spent before the policy
+	// stabilised (Table II's quantity); equal to Explorations when the
+	// governor exposes no per-epoch curve or never converged.
+	ExplorationsToConv int
+	ConvergedAt        int // -1 if never converged / not a learner
+	FinalTempC         float64
+
+	Records []FrameRecord // nil unless Config.Record
+}
+
+// tracer is the optional introspection surface the proposed RTM exposes;
+// the engine records it when present.
+type tracer interface {
+	PredictedCC() []float64
+	SlackL() float64
+	Epsilon() float64
+}
+
+// Run executes the trace to completion and returns the aggregated result.
+// It validates the trace and panics on configuration errors (nil governor,
+// trace wider than the cluster) — those are harness bugs, not run-time
+// conditions.
+func Run(cfg Config) *Result {
+	if cfg.Governor == nil {
+		panic("sim: Config.Governor is nil")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	cluster := cfg.Cluster
+	if cluster == nil {
+		cluster = platform.DefaultA15Cluster(cfg.Seed)
+	}
+	if cfg.Trace.Threads() > cluster.NumCores() {
+		panic(fmt.Sprintf("sim: trace %q needs %d threads, cluster has %d cores",
+			cfg.Trace.Name, cfg.Trace.Threads(), cluster.NumCores()))
+	}
+
+	ctx := governor.Context{
+		Table:    cluster.Table(),
+		NumCores: cluster.NumCores(),
+		PeriodS:  cfg.Trace.RefTimeS,
+		Seed:     cfg.Seed,
+	}
+	cfg.Governor.Reset(ctx)
+
+	var decisionOverhead float64
+	if om, ok := cfg.Governor.(governor.OverheadModeler); ok {
+		decisionOverhead = om.DecisionOverheadS()
+	}
+
+	res := &Result{
+		Workload:     cfg.Trace.Name,
+		Governor:     cfg.Governor.Name(),
+		Frames:       cfg.Trace.Len(),
+		Explorations: -1,
+		ConvergedAt:  -1,
+	}
+	if cfg.Record {
+		res.Records = make([]FrameRecord, 0, cfg.Trace.Len())
+	}
+
+	prev := make([]platform.PMUSample, cluster.NumCores())
+	for c := range prev {
+		prev[c] = cluster.PMU(c).Read()
+	}
+	obs := governor.Observation{Epoch: -1}
+	var sumPerf float64
+
+	for i, frame := range cfg.Trace.Frames {
+		// The governor may inspect its predictors before we feed the
+		// frame; capture the forecast it is acting on.
+		predicted := nan()
+		if tr, ok := cfg.Governor.(tracer); ok && i > 0 {
+			predicted = maxFloat64s(tr.PredictedCC())
+		}
+
+		idx := cfg.Governor.Decide(obs)
+		transitionCost := cluster.SetOPP(idx)
+		rep := cluster.Execute(frame.Cycles, decisionOverhead+transitionCost, cfg.Trace.RefTimeS)
+
+		// Build the observation for the next decision from what the OS
+		// could measure: PMU deltas, the sensor, the clock.
+		cycles := make([]uint64, cluster.NumCores())
+		utils := make([]float64, cluster.NumCores())
+		for c := range cycles {
+			s := cluster.PMU(c).Read()
+			d := s.Delta(prev[c])
+			prev[c] = s
+			cycles[c] = d.Cycles
+			utils[c] = d.Utilization()
+		}
+		obs = governor.Observation{
+			Epoch:     i,
+			Cycles:    cycles,
+			Util:      utils,
+			ExecTimeS: rep.ExecTimeS,
+			PeriodS:   cfg.Trace.RefTimeS,
+			WallTimeS: rep.WallTimeS,
+			PowerW:    rep.SensorPowerW,
+			TempC:     rep.EndTempC,
+			OPPIdx:    rep.OPPIdx,
+		}
+
+		missed := rep.SlackS < 0
+		if missed {
+			res.Misses++
+		}
+		res.EnergyJ += rep.EnergyJ
+		res.SensorEnergyJ += rep.SensorPowerW * rep.WallTimeS
+		res.SimTimeS += rep.WallTimeS
+		sumPerf += rep.ExecTimeS / cfg.Trace.RefTimeS
+
+		if cfg.Record {
+			rec := FrameRecord{
+				Epoch:        i,
+				OPPIdx:       rep.OPPIdx,
+				FreqMHz:      rep.OPP.FreqMHz,
+				ExecTimeS:    rep.ExecTimeS,
+				SlackRatio:   rep.SlackS / cfg.Trace.RefTimeS,
+				EnergyJ:      rep.EnergyJ,
+				AvgPowerW:    rep.AvgPowerW,
+				SensorPowerW: rep.SensorPowerW,
+				TempC:        rep.EndTempC,
+				Missed:       missed,
+				ActualCC:     float64(frame.MaxCycles()),
+				PredictedCC:  predicted,
+				AvgSlackL:    nan(),
+				Epsilon:      nan(),
+			}
+			if tr, ok := cfg.Governor.(tracer); ok {
+				rec.AvgSlackL = tr.SlackL()
+				rec.Epsilon = tr.Epsilon()
+			}
+			res.Records = append(res.Records, rec)
+		}
+	}
+
+	res.NormPerf = sumPerf / float64(cfg.Trace.Len())
+	res.MissRate = float64(res.Misses) / float64(cfg.Trace.Len())
+	if res.SimTimeS > 0 {
+		res.MeanPowerW = res.EnergyJ / res.SimTimeS
+	}
+	res.Transitions = cluster.Transitions()
+	res.FinalTempC = cluster.TempC()
+	if ls, ok := cfg.Governor.(governor.LearningStats); ok {
+		res.Explorations = ls.Explorations()
+		res.ConvergedAt = ls.ConvergedAtEpoch()
+		res.ExplorationsToConv = res.Explorations
+		if curve, ok := cfg.Governor.(governor.ExplorationCurve); ok && res.ConvergedAt >= 0 {
+			res.ExplorationsToConv = curve.ExplorationsAt(res.ConvergedAt)
+		}
+	}
+	return res
+}
+
+func nan() float64 { return math.NaN() }
+
+func maxFloat64s(xs []float64) float64 {
+	if len(xs) == 0 {
+		return nan()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

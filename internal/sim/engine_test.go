@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"qgov/internal/core"
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/workload"
+)
+
+func steadyTrace(frames int) workload.Trace {
+	// 30 Mcycles per thread per 40 ms frame: needs 750 MHz.
+	return workload.Constant("steady", 25, frames, 4, 30e6)
+}
+
+func TestRunPerformanceGovernorBaseline(t *testing.T) {
+	res := Run(Config{
+		Trace:    steadyTrace(100),
+		Governor: governor.NewPerformance(),
+		Seed:     1,
+	})
+	if res.Frames != 100 {
+		t.Fatalf("Frames = %d", res.Frames)
+	}
+	// At 2 GHz a 30 Mcycle frame takes 15 ms of the 40 ms period.
+	if math.Abs(res.NormPerf-0.375) > 0.01 {
+		t.Errorf("NormPerf = %v, want ≈0.375", res.NormPerf)
+	}
+	if res.Misses != 0 {
+		t.Errorf("Misses = %d, want 0", res.Misses)
+	}
+	if res.EnergyJ <= 0 || res.MeanPowerW <= 0 {
+		t.Error("energy accounting broken")
+	}
+	// 100 frames at 40 ms each.
+	if math.Abs(res.SimTimeS-4.0) > 1e-9 {
+		t.Errorf("SimTimeS = %v, want 4.0", res.SimTimeS)
+	}
+	if res.Explorations != -1 || res.ConvergedAt != -1 {
+		t.Error("non-learner must report -1 learning stats")
+	}
+}
+
+func TestRunPowersaveMissesEverything(t *testing.T) {
+	res := Run(Config{
+		Trace:    steadyTrace(50),
+		Governor: governor.NewPowersave(),
+		Seed:     1,
+	})
+	// 30 Mcycles at 200 MHz = 150 ms >> 40 ms: every frame misses.
+	if res.MissRate != 1.0 {
+		t.Fatalf("MissRate = %v, want 1.0", res.MissRate)
+	}
+	if res.NormPerf < 3 {
+		t.Fatalf("NormPerf = %v, want > 3 (heavy under-performance)", res.NormPerf)
+	}
+}
+
+func TestRunOracleMeetsDeadlinesCheaply(t *testing.T) {
+	tr := steadyTrace(100)
+	oracle := governor.NewOracle(tr, platform.DefaultA15PowerModel())
+	resO := Run(Config{Trace: tr, Governor: oracle, Seed: 1})
+	if resO.Misses != 0 {
+		t.Fatalf("oracle missed %d deadlines", resO.Misses)
+	}
+	resP := Run(Config{Trace: tr, Governor: governor.NewPerformance(), Seed: 1})
+	if !(resO.EnergyJ < resP.EnergyJ) {
+		t.Fatalf("oracle energy %v not below performance governor %v", resO.EnergyJ, resP.EnergyJ)
+	}
+}
+
+func TestRunRTMOnSteadyWorkload(t *testing.T) {
+	rtm := core.New(core.DefaultConfig())
+	rtm.Calibrate([]float64{25e6, 30e6, 35e6})
+	res := Run(Config{Trace: steadyTrace(600), Governor: rtm, Seed: 3})
+	if res.ConvergedAt < 0 {
+		t.Fatal("RTM did not converge on a steady workload")
+	}
+	if res.Explorations <= 0 {
+		t.Fatal("RTM reported no explorations")
+	}
+	// After learning, misses should be confined to the exploration phase.
+	if res.MissRate > 0.25 {
+		t.Fatalf("MissRate = %v, too many misses overall", res.MissRate)
+	}
+}
+
+func TestRunRecordsSeries(t *testing.T) {
+	rtm := core.New(core.DefaultConfig())
+	rtm.Calibrate([]float64{25e6, 30e6, 35e6})
+	res := Run(Config{Trace: steadyTrace(50), Governor: rtm, Seed: 3, Record: true})
+	if len(res.Records) != 50 {
+		t.Fatalf("Records = %d, want 50", len(res.Records))
+	}
+	r0 := res.Records[0]
+	if r0.ActualCC != 30e6 {
+		t.Errorf("ActualCC = %v", r0.ActualCC)
+	}
+	if !math.IsNaN(r0.PredictedCC) {
+		t.Errorf("first-frame prediction should be NaN (nothing observed), got %v", r0.PredictedCC)
+	}
+	// Later frames carry the EWMA forecast and slack telemetry.
+	r10 := res.Records[10]
+	if math.IsNaN(r10.PredictedCC) || r10.PredictedCC <= 0 {
+		t.Errorf("frame 10 prediction missing: %v", r10.PredictedCC)
+	}
+	if math.IsNaN(r10.AvgSlackL) || math.IsNaN(r10.Epsilon) {
+		t.Error("RTM telemetry missing from records")
+	}
+	// Non-recording run keeps Records nil.
+	res2 := Run(Config{Trace: steadyTrace(10), Governor: governor.NewPerformance(), Seed: 1})
+	if res2.Records != nil {
+		t.Error("Records retained without Record flag")
+	}
+}
+
+func TestRunDeterministicBySeed(t *testing.T) {
+	build := func() *Result {
+		rtm := core.New(core.DefaultConfig())
+		rtm.Calibrate([]float64{25e6, 30e6, 35e6})
+		return Run(Config{Trace: workload.MPEG4At30(9, 200), Governor: rtm, Seed: 42})
+	}
+	a, b := build(), build()
+	if a.EnergyJ != b.EnergyJ || a.NormPerf != b.NormPerf || a.Misses != b.Misses {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunPanicsOnBadConfig(t *testing.T) {
+	cases := map[string]Config{
+		"nil governor": {Trace: steadyTrace(1)},
+		"bad trace":    {Trace: workload.Trace{}, Governor: governor.NewPerformance()},
+		"too wide": {
+			Trace:    workload.Constant("wide", 25, 1, 8, 1e6),
+			Governor: governor.NewPerformance(),
+		},
+	}
+	for name, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Run must panic", name)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestRunChargesLearningOverhead(t *testing.T) {
+	// The same fixed OPP with and without a decision overhead must differ
+	// in measured performance by exactly the overhead per frame.
+	tr := steadyTrace(10)
+	plain := Run(Config{Trace: tr, Governor: governor.NewPerformance(), Seed: 1})
+	over := Run(Config{Trace: tr, Governor: &overheadWrapper{Governor: governor.NewPerformance(), ovh: 2e-3}, Seed: 1})
+	perFrame := (over.NormPerf - plain.NormPerf) * tr.RefTimeS
+	if math.Abs(perFrame-2e-3) > 1e-6 {
+		t.Fatalf("overhead charged %.6f s/frame, want 0.002", perFrame)
+	}
+}
+
+// overheadWrapper adds a fixed decision overhead to any governor.
+type overheadWrapper struct {
+	governor.Governor
+	ovh float64
+}
+
+func (o *overheadWrapper) DecisionOverheadS() float64 { return o.ovh }
+
+func TestSweepRunAllOrderAndDeterminism(t *testing.T) {
+	jobs := []Job{
+		{Name: "perf", Build: func() Config {
+			return Config{Trace: steadyTrace(20), Governor: governor.NewPerformance(), Seed: 1}
+		}},
+		{Name: "powersave", Build: func() Config {
+			return Config{Trace: steadyTrace(20), Governor: governor.NewPowersave(), Seed: 1}
+		}},
+	}
+	res := RunAll(jobs)
+	if len(res) != 2 {
+		t.Fatal("lost results")
+	}
+	if res[0].Governor != "performance" || res[1].Governor != "powersave" {
+		t.Fatalf("order not preserved: %s, %s", res[0].Governor, res[1].Governor)
+	}
+}
+
+func TestSeedSweepAndSummarize(t *testing.T) {
+	results := SeedSweep(func(seed int64) Config {
+		rtm := core.New(core.DefaultConfig())
+		rtm.Calibrate([]float64{25e6, 30e6, 35e6})
+		return Config{Trace: steadyTrace(300), Governor: rtm, Seed: seed}
+	}, []int64{1, 2, 3, 4})
+	s := Summarize(results)
+	if s.Runs != 4 {
+		t.Fatalf("Runs = %d", s.Runs)
+	}
+	if s.MeanEnergyJ <= 0 || s.MeanNormPerf <= 0 {
+		t.Fatal("summary means missing")
+	}
+	if math.IsNaN(s.MeanExplore) {
+		t.Fatal("learner sweep lost exploration stats")
+	}
+	if s.StdEnergyJ < 0 {
+		t.Fatal("negative std")
+	}
+	empty := Summarize(nil)
+	if empty.Runs != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestWriteRecordsCSV(t *testing.T) {
+	rtm := core.New(core.DefaultConfig())
+	rtm.Calibrate([]float64{25e6, 30e6, 35e6})
+	res := Run(Config{Trace: steadyTrace(5), Governor: rtm, Seed: 3, Record: true})
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 { // header + 5 frames
+		t.Fatalf("CSV has %d lines, want 6", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "epoch,freq_mhz") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// First frame has no prediction: empty field, not "NaN".
+	if strings.Contains(lines[1], "NaN") {
+		t.Fatalf("NaN leaked into CSV: %q", lines[1])
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"qgov/internal/core"
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/workload"
+)
+
+// The governor × workload matrix: every registered governor must complete
+// every workload class with sane accounting, and a handful of cross-cutting
+// invariants must hold on each cell. This is the broad-coverage backstop
+// behind the targeted experiment tests.
+
+func matrixWorkloads() []workload.Trace {
+	return []workload.Trace{
+		workload.MPEG4At30(3, 400),                         // bursty video
+		workload.FFT32(3, 400),                             // near-constant
+		workload.ParsecFerret().Generate(400, 4, 25, 3),    // imbalanced pipeline
+		workload.Splash2Radix().Generate(400, 4, 25, 3),    // strong phases
+		workload.Step("step", 25, 400, 4, 200, 15e6, 45e6), // hard step
+	}
+}
+
+func matrixGovernors(tr workload.Trace) []governor.Governor {
+	var govs []governor.Governor
+	for _, name := range governor.Names() {
+		g, err := governor.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		if rtm, ok := g.(*core.RTM); ok {
+			if err := rtm.Calibrate(tr.MaxPerFrame()); err != nil {
+				panic(err)
+			}
+		}
+		govs = append(govs, g)
+	}
+	govs = append(govs,
+		governor.NewOracle(tr, platform.DefaultA15PowerModel()),
+		governor.NewUserspace(1400),
+		governor.NewThermalCap(governor.NewPerformance()),
+	)
+	return govs
+}
+
+func TestGovernorWorkloadMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("broad integration matrix")
+	}
+	for _, tr := range matrixWorkloads() {
+		tr := tr
+		t.Run(tr.Name, func(t *testing.T) {
+			var oracleE float64
+			var perfE float64
+			for _, g := range matrixGovernors(tr) {
+				res := Run(Config{Trace: tr, Governor: g, Seed: 3})
+
+				// Universal invariants.
+				if res.Frames != tr.Len() {
+					t.Fatalf("%s: incomplete run (%d frames)", g.Name(), res.Frames)
+				}
+				if res.EnergyJ <= 0 || math.IsNaN(res.EnergyJ) || math.IsInf(res.EnergyJ, 0) {
+					t.Fatalf("%s: energy %v", g.Name(), res.EnergyJ)
+				}
+				if res.NormPerf <= 0 || math.IsNaN(res.NormPerf) {
+					t.Fatalf("%s: norm perf %v", g.Name(), res.NormPerf)
+				}
+				if res.MissRate < 0 || res.MissRate > 1 {
+					t.Fatalf("%s: miss rate %v", g.Name(), res.MissRate)
+				}
+				if res.SimTimeS < float64(tr.Len())*tr.RefTimeS*0.99 {
+					t.Fatalf("%s: simulated %v s for %d frames of %v s",
+						g.Name(), res.SimTimeS, tr.Len(), tr.RefTimeS)
+				}
+				if res.MeanPowerW <= 0 || res.MeanPowerW > 10 {
+					t.Fatalf("%s: implausible mean power %v W", g.Name(), res.MeanPowerW)
+				}
+				// Sensor-derived energy tracks the model within sensor error.
+				if rel := math.Abs(res.SensorEnergyJ-res.EnergyJ) / res.EnergyJ; rel > 0.15 {
+					t.Errorf("%s: sensor energy off by %.0f%%", g.Name(), rel*100)
+				}
+
+				switch g.Name() {
+				case "oracle":
+					oracleE = res.EnergyJ
+					if res.MissRate > 0.01 {
+						t.Errorf("oracle missed %.1f%% of deadlines", res.MissRate*100)
+					}
+				case "performance":
+					perfE = res.EnergyJ
+					if res.Misses != 0 {
+						t.Errorf("performance governor missed %d deadlines on a feasible trace", res.Misses)
+					}
+				case "powersave":
+					// Always the lowest power, never above 1 W on this model.
+					if res.MeanPowerW > 1 {
+						t.Errorf("powersave mean power %v W", res.MeanPowerW)
+					}
+				}
+			}
+			// The Oracle never spends more than flat-out fmax.
+			if !(oracleE < perfE) {
+				t.Errorf("oracle energy %v not below performance %v", oracleE, perfE)
+			}
+		})
+	}
+}
+
+func TestDeadlineAwareGovernorsBeatOndemandOnEnergy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("broad integration matrix")
+	}
+	// On a long video run, every deadline-aware policy (framedvs, pid, rtm)
+	// must undercut deadline-blind ondemand's energy: they exploit Tref,
+	// ondemand cannot.
+	tr := workload.MPEG4At30(9, 2000)
+	energy := func(g governor.Governor) float64 {
+		return Run(Config{Trace: tr, Governor: g, Seed: 9}).EnergyJ
+	}
+	ondemand := energy(governor.NewOndemand())
+	for name, g := range map[string]governor.Governor{
+		"framedvs": governor.NewFrameDVS(),
+		"pid":      governor.NewPID(),
+		"rtm": func() governor.Governor {
+			rtm := core.New(core.DefaultConfig())
+			if err := rtm.Calibrate(tr.MaxPerFrame()); err != nil {
+				t.Fatal(err)
+			}
+			return rtm
+		}(),
+	} {
+		if e := energy(g); !(e < ondemand) {
+			t.Errorf("%s energy %.1f J not below ondemand %.1f J", name, e, ondemand)
+		}
+	}
+}
+
+func TestThermalCapKeepsDieCooler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("broad integration matrix")
+	}
+	// A heavy sustained load at fmax heats the die; the thermal wrapper
+	// must keep the final temperature below the uncapped run's.
+	tr := workload.Constant("hot", 25, 2000, 4, 70e6)
+	hot := Run(Config{Trace: tr, Governor: governor.NewPerformance(), Seed: 1})
+	capped := governor.NewThermalCap(governor.NewPerformance())
+	capped.TripC = 70
+	capped.HysteresisC = 4
+	cool := Run(Config{Trace: tr, Governor: capped, Seed: 1})
+	if !(cool.FinalTempC < hot.FinalTempC) {
+		t.Fatalf("thermal cap did not cool: %.1f vs %.1f °C", cool.FinalTempC, hot.FinalTempC)
+	}
+	if capped.ThrottleEvents() == 0 {
+		t.Fatal("cap never engaged on a hot run")
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/workload"
+)
+
+// Failure-injection and hostile-input tests: the engine must stay sane
+// when a governor or the environment misbehaves.
+
+// wildGovernor returns out-of-range and pathological indices.
+type wildGovernor struct{ calls int }
+
+func (w *wildGovernor) Name() string           { return "wild" }
+func (w *wildGovernor) Reset(governor.Context) {}
+func (w *wildGovernor) Decide(governor.Observation) int {
+	w.calls++
+	switch w.calls % 4 {
+	case 0:
+		return -1000
+	case 1:
+		return 1 << 20
+	case 2:
+		return -1
+	default:
+		return 5
+	}
+}
+
+func TestEngineClampsWildGovernor(t *testing.T) {
+	tr := workload.Constant("steady", 25, 100, 4, 20e6)
+	res := Run(Config{Trace: tr, Governor: &wildGovernor{}, Seed: 1})
+	if res.Frames != 100 {
+		t.Fatalf("run did not complete: %d frames", res.Frames)
+	}
+	if res.EnergyJ <= 0 || math.IsNaN(res.EnergyJ) {
+		t.Fatalf("energy accounting corrupted: %v", res.EnergyJ)
+	}
+	// Out-of-range choices clamp to the table edges, so the run behaves
+	// like an alternation between extreme points — expensive but legal.
+	if res.NormPerf <= 0 {
+		t.Fatalf("NormPerf = %v", res.NormPerf)
+	}
+}
+
+func TestEngineHandlesIdleFrames(t *testing.T) {
+	// Frames with zero demand on some threads (an application skipping
+	// work) must not divide by zero or produce negative slack accounting.
+	frames := make([]workload.Frame, 50)
+	for i := range frames {
+		if i%3 == 0 {
+			frames[i] = workload.Frame{Cycles: []uint64{1, 1, 1, 1}}
+		} else {
+			frames[i] = workload.Frame{Cycles: []uint64{10e6, 0, 0, 0}}
+		}
+	}
+	tr := workload.Trace{Name: "bursty", RefTimeS: 0.040, Frames: frames}
+	// ondemand lags the idle/busy alternation (a real property of reactive
+	// governors — after an idle frame it drops to fmin and the next busy
+	// frame overruns), so the engine-sanity assertions use it only for
+	// completion; the no-miss check uses the performance governor, for
+	// which every frame trivially fits.
+	res := Run(Config{Trace: tr, Governor: governor.NewOndemand(), Seed: 1})
+	if res.Frames != 50 || res.EnergyJ <= 0 {
+		t.Fatalf("bursty run corrupted: %+v", res)
+	}
+	res = Run(Config{Trace: tr, Governor: governor.NewPerformance(), Seed: 1})
+	if res.Misses != 0 {
+		t.Fatalf("trivial demand missed %d deadlines at fmax", res.Misses)
+	}
+	if res.EnergyJ <= 0 {
+		t.Fatal("no idle energy accounted")
+	}
+}
+
+func TestEngineWithNoisySensor(t *testing.T) {
+	// A sensor with huge noise must not corrupt the run: the model energy
+	// stays exact; only the sensor-reported figure wobbles.
+	cluster := platform.NewCluster(platform.ClusterConfig{
+		Name:     "A15",
+		Table:    platform.A15Table(),
+		NumCores: 4,
+		Sensor: func() *platform.PowerSensor {
+			s := platform.NewPowerSensor(1e-3, 7)
+			s.NoiseSigmaW = 2.0 // 2 W of noise on a ~2 W signal
+			return s
+		}(),
+		Seed: 7,
+	})
+	tr := workload.Constant("steady", 25, 200, 4, 30e6)
+	res := Run(Config{Trace: tr, Governor: governor.NewPerformance(), Cluster: cluster, Seed: 7})
+	if res.EnergyJ <= 0 {
+		t.Fatal("model energy corrupted")
+	}
+	// Sensor energy remains positive (negative samples clamp at zero) and
+	// within a factor of a few of the model.
+	if res.SensorEnergyJ <= 0 {
+		t.Fatalf("sensor energy %v", res.SensorEnergyJ)
+	}
+	ratio := res.SensorEnergyJ / res.EnergyJ
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("sensor/model energy ratio %v implausible even for a broken sensor", ratio)
+	}
+}
+
+func TestEngineSingleCoreCluster(t *testing.T) {
+	// A one-core cluster with a single-thread workload exercises the
+	// degenerate sizing paths.
+	pm := platform.DefaultA15PowerModel()
+	pm.NumCores = 1
+	cluster := platform.NewCluster(platform.ClusterConfig{
+		Name: "solo", Table: platform.A15Table(), NumCores: 1, Power: pm, Seed: 3,
+	})
+	tr := workload.Constant("solo", 25, 50, 1, 20e6)
+	res := Run(Config{Trace: tr, Governor: governor.NewOndemand(), Cluster: cluster, Seed: 3})
+	if res.Frames != 50 {
+		t.Fatal("single-core run did not complete")
+	}
+}
+
+func TestEngineExtremeDeadlines(t *testing.T) {
+	// Unmeetable deadline: every frame misses, but accounting stays sane.
+	impossible := workload.Constant("impossible", 1000, 30, 4, 50e6) // 1 ms budget
+	res := Run(Config{Trace: impossible, Governor: governor.NewPerformance(), Seed: 1})
+	if res.MissRate != 1 {
+		t.Fatalf("impossible deadline miss rate %v", res.MissRate)
+	}
+	if res.NormPerf < 1 {
+		t.Fatalf("impossible deadline NormPerf %v", res.NormPerf)
+	}
+	// Extremely loose deadline: nothing misses, idle dominates.
+	loose := workload.Constant("loose", 1, 30, 4, 10e6) // 1 s budget
+	res = Run(Config{Trace: loose, Governor: governor.NewPowersave(), Seed: 1})
+	if res.Misses != 0 {
+		t.Fatalf("loose deadline missed %d", res.Misses)
+	}
+}

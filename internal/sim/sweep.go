@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Job names one parameterised run inside a sweep. Build must return a
+// fresh Config — governors and clusters are stateful, so sharing one
+// instance across concurrent runs would race.
+type Job struct {
+	Name  string
+	Build func() Config
+}
+
+// RunAll executes the jobs concurrently (bounded by GOMAXPROCS) and
+// returns results in job order. Each run is internally deterministic:
+// concurrency only reorders wall-clock execution, never outcomes.
+func RunAll(jobs []Job) []*Result {
+	results := make([]*Result, len(jobs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job Job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = Run(job.Build())
+		}(i, job)
+	}
+	wg.Wait()
+	return results
+}
+
+// SeedSweep runs the same configuration across several seeds and returns
+// the per-seed results. The build function receives the seed and must
+// construct everything fresh (see Job).
+func SeedSweep(build func(seed int64) Config, seeds []int64) []*Result {
+	jobs := make([]Job, len(seeds))
+	for i, s := range seeds {
+		s := s
+		jobs[i] = Job{Build: func() Config { return build(s) }}
+	}
+	return RunAll(jobs)
+}
+
+// Summary is the cross-seed aggregate of a sweep.
+type Summary struct {
+	Runs           int
+	MeanEnergyJ    float64
+	StdEnergyJ     float64
+	MeanNormPerf   float64
+	MeanMissRate   float64
+	MeanExplore    float64 // NaN when the governor is not a learner
+	MeanConvergeAt float64 // NaN when never converged / not a learner
+}
+
+// Summarize aggregates seed-sweep results. Runs that never converged are
+// excluded from MeanConvergeAt (and counted in none of the learning means
+// if the governor exposes no stats).
+func Summarize(results []*Result) Summary {
+	var s Summary
+	s.Runs = len(results)
+	if s.Runs == 0 {
+		return s
+	}
+	var eSum, eSq, pSum, mSum float64
+	var expSum, convSum float64
+	var expN, convN int
+	for _, r := range results {
+		eSum += r.EnergyJ
+		eSq += r.EnergyJ * r.EnergyJ
+		pSum += r.NormPerf
+		mSum += r.MissRate
+		if r.Explorations >= 0 {
+			expSum += float64(r.Explorations)
+			expN++
+		}
+		if r.ConvergedAt >= 0 {
+			convSum += float64(r.ConvergedAt)
+			convN++
+		}
+	}
+	n := float64(s.Runs)
+	s.MeanEnergyJ = eSum / n
+	variance := eSq/n - s.MeanEnergyJ*s.MeanEnergyJ
+	if variance < 0 {
+		variance = 0
+	}
+	s.StdEnergyJ = math.Sqrt(variance)
+	s.MeanNormPerf = pSum / n
+	s.MeanMissRate = mSum / n
+	s.MeanExplore = nan()
+	if expN > 0 {
+		s.MeanExplore = expSum / float64(expN)
+	}
+	s.MeanConvergeAt = nan()
+	if convN > 0 {
+		s.MeanConvergeAt = convSum / float64(convN)
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over a closed interval. Samples
+// outside the interval are counted in dedicated underflow/overflow buckets
+// so that no observation is silently dropped — the workload
+// pre-characterisation pass ("design space exploration" in the paper) uses
+// the histogram to pick the N discretisation levels and must see outliers.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	counts    []int
+	underflow int
+	overflow  int
+	total     int
+}
+
+// NewHistogram creates a histogram over [lo, hi] with the given number of
+// bins. It panics if bins < 1 or lo >= hi: both indicate caller bugs, not
+// runtime conditions.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: NewHistogram needs at least one bin")
+	}
+	if !(lo < hi) {
+		panic("stats: NewHistogram needs lo < hi")
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]int, bins),
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case math.IsNaN(x):
+		// NaNs land in overflow: they must not vanish, and they have no
+		// ordering that would justify underflow instead.
+		h.overflow++
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		// The top edge itself belongs to the last bin.
+		if x == h.hi {
+			h.counts[len(h.counts)-1]++
+		} else {
+			h.overflow++
+		}
+	default:
+		i := int((x - h.lo) / h.width)
+		if i == len(h.counts) { // guard against FP edge rounding
+			i--
+		}
+		h.counts[i]++
+	}
+}
+
+// Bins returns a copy of the per-bin counts.
+func (h *Histogram) Bins() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Count returns the number of samples recorded, including out-of-range ones.
+func (h *Histogram) Count() int { return h.total }
+
+// Underflow returns the number of samples below the histogram range.
+func (h *Histogram) Underflow() int { return h.underflow }
+
+// Overflow returns the number of samples at or above the histogram range
+// (excluding the inclusive top edge) plus any NaNs.
+func (h *Histogram) Overflow() int { return h.overflow }
+
+// BinOf returns the bin index x would fall into, or -1 when out of range.
+func (h *Histogram) BinOf(x float64) int {
+	if math.IsNaN(x) || x < h.lo || x > h.hi {
+		return -1
+	}
+	if x == h.hi {
+		return len(h.counts) - 1
+	}
+	i := int((x - h.lo) / h.width)
+	if i == len(h.counts) {
+		i--
+	}
+	return i
+}
+
+// Mode returns the centre of the most populated bin. Ties resolve to the
+// lowest bin. It returns NaN when no in-range samples were added.
+func (h *Histogram) Mode() float64 {
+	best, bestCount := -1, 0
+	for i, c := range h.counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if best < 0 {
+		return math.NaN()
+	}
+	return h.lo + (float64(best)+0.5)*h.width
+}
+
+// String renders a compact ASCII summary, one line per bin.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, c := range h.counts {
+		lo := h.lo + float64(i)*h.width
+		fmt.Fprintf(&b, "[%10.4g, %10.4g) %6d\n", lo, lo+h.width, c)
+	}
+	if h.underflow > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.underflow)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.overflow)
+	}
+	return b.String()
+}

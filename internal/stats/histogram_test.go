@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5.5, 9.99, 10} {
+		h.Add(x)
+	}
+	bins := h.Bins()
+	want := []int{2, 1, 1, 0, 2} // 10 (top edge) joins the last bin
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Fatalf("bins = %v, want %v", bins, want)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(-0.1)
+	h.Add(1.5)
+	h.Add(math.NaN())
+	if h.Underflow() != 1 {
+		t.Errorf("Underflow = %d, want 1", h.Underflow())
+	}
+	if h.Overflow() != 2 { // 1.5 and NaN
+		t.Errorf("Overflow = %d, want 2", h.Overflow())
+	}
+	if h.Count() != 3 {
+		t.Errorf("Count = %d, want 3", h.Count())
+	}
+}
+
+func TestHistogramBinOf(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {1.99, 0}, {2, 1}, {9.99, 4}, {10, 4},
+		{-1, -1}, {11, -1}, {math.NaN(), -1},
+	}
+	for _, c := range cases {
+		if got := h.BinOf(c.x); got != c.want {
+			t.Errorf("BinOf(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 3, 3)
+	for _, x := range []float64{0.5, 1.5, 1.6, 2.5} {
+		h.Add(x)
+	}
+	if got := h.Mode(); !almostEqual(got, 1.5, 1e-12) {
+		t.Fatalf("Mode = %v, want 1.5", got)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if !math.IsNaN(empty.Mode()) {
+		t.Fatal("Mode of empty histogram must be NaN")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero bins", func() { NewHistogram(0, 1, 0) })
+	mustPanic("lo==hi", func() { NewHistogram(1, 1, 4) })
+	mustPanic("lo>hi", func() { NewHistogram(2, 1, 4) })
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(-1)
+	s := h.String()
+	if !strings.Contains(s, "underflow 1") {
+		t.Fatalf("String missing underflow line:\n%s", s)
+	}
+}
+
+// Property: every finite sample is accounted for exactly once — the sum of
+// bin counts plus under/overflow equals the number of samples added.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(-5, 5, 7)
+		total := int(n)
+		for i := 0; i < total; i++ {
+			h.Add(rng.Float64()*20 - 10) // spans beyond [-5,5]
+		}
+		sum := h.Underflow() + h.Overflow()
+		for _, c := range h.Bins() {
+			sum += c
+		}
+		return sum == total && h.Count() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

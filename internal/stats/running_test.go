@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	var r Running
+	r.AddAll(xs)
+	if got, want := r.Mean(), Mean(xs); !almostEqual(got, want, 1e-9) {
+		t.Errorf("running mean %v != batch mean %v", got, want)
+	}
+	if got, want := r.Variance(), Variance(xs); !almostEqual(got, want, 1e-9) {
+		t.Errorf("running var %v != batch var %v", got, want)
+	}
+	if got, want := r.Min(), Min(xs); got != want {
+		t.Errorf("running min %v != batch min %v", got, want)
+	}
+	if got, want := r.Max(), Max(xs); got != want {
+		t.Errorf("running max %v != batch max %v", got, want)
+	}
+	if r.N() != len(xs) {
+		t.Errorf("N = %d, want %d", r.N(), len(xs))
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.Variance()) ||
+		!math.IsNaN(r.Min()) || !math.IsNaN(r.Max()) {
+		t.Fatal("empty Running must report NaN statistics")
+	}
+}
+
+func TestRunningReset(t *testing.T) {
+	var r Running
+	r.Add(5)
+	r.Reset()
+	if r.N() != 0 || !math.IsNaN(r.Mean()) {
+		t.Fatal("Reset must empty the accumulator")
+	}
+}
+
+// Property: merging two accumulators equals accumulating the concatenation.
+func TestRunningMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		// Constrain to finite values; quick can generate NaN/Inf which are
+		// not meaningful workloads here.
+		sanitize := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) {
+					out = append(out, math.Mod(x, 1e6))
+				}
+			}
+			return out
+		}
+		a, b = sanitize(a), sanitize(b)
+		var ra, rb, rboth Running
+		ra.AddAll(a)
+		rb.AddAll(b)
+		rboth.AddAll(a)
+		rboth.AddAll(b)
+		ra.Merge(&rb)
+		if ra.N() != rboth.N() {
+			return false
+		}
+		if ra.N() == 0 {
+			return true
+		}
+		relEqual := func(a, b float64) bool {
+			scale := math.Max(math.Abs(a), math.Abs(b))
+			if scale < 1 {
+				scale = 1
+			}
+			return math.Abs(a-b) <= 1e-9*scale
+		}
+		if !relEqual(ra.Mean(), rboth.Mean()) {
+			return false
+		}
+		if ra.N() >= 2 && !relEqual(ra.Variance(), rboth.Variance()) {
+			return false
+		}
+		return ra.Min() == rboth.Min() && ra.Max() == rboth.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningMergeEmptyCases(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(&b) // merging empty: no-op
+	if a != before {
+		t.Fatal("merging an empty accumulator changed the receiver")
+	}
+	b.Merge(&a) // merging into empty: copy
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Fatalf("merge into empty: N=%d mean=%v", b.N(), b.Mean())
+	}
+}

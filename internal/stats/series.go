@@ -1,0 +1,116 @@
+package stats
+
+import "math"
+
+// Prediction-error metrics. These score a predictor (EWMA, NLMS, …) against
+// the actual per-epoch workload, producing the misprediction percentages
+// reported for Fig. 3 of the paper.
+
+// AbsErrors returns |pred[i]-actual[i]| element-wise. The slices must have
+// equal length; mismatched inputs indicate a harness bug, so it panics.
+func AbsErrors(pred, actual []float64) []float64 {
+	if len(pred) != len(actual) {
+		panic("stats: AbsErrors length mismatch")
+	}
+	out := make([]float64, len(pred))
+	for i := range pred {
+		out[i] = math.Abs(pred[i] - actual[i])
+	}
+	return out
+}
+
+// MAPE returns the mean absolute percentage error of pred against actual,
+// as a fraction (0.08 == 8 %). Samples with actual == 0 are skipped; if all
+// samples are skipped the result is NaN.
+//
+// The paper's Fig. 3 quotes the "average misprediction with respect to the
+// average workload"; that variant is MAPEOfMean below. Plain MAPE is kept
+// for the predictor-comparison ablation.
+func MAPE(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic("stats: MAPE length mismatch")
+	}
+	var sum float64
+	var n int
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// MAPEOfMean returns mean(|pred-actual|) / mean(actual), the misprediction
+// measure used in Section III-B of the paper ("with respect to the average
+// workload"). The result is a fraction. It returns NaN when mean(actual)
+// is zero or the inputs are empty.
+func MAPEOfMean(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic("stats: MAPEOfMean length mismatch")
+	}
+	if len(actual) == 0 {
+		return math.NaN()
+	}
+	ma := Mean(actual)
+	if ma == 0 {
+		return math.NaN()
+	}
+	return Mean(AbsErrors(pred, actual)) / math.Abs(ma)
+}
+
+// RMSE returns the root-mean-square error of pred against actual.
+func RMSE(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic("stats: RMSE length mismatch")
+	}
+	if len(pred) == 0 {
+		return math.NaN()
+	}
+	var ss float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(pred)))
+}
+
+// Diff returns the first difference xs[i+1]-xs[i]; the result is one
+// element shorter than the input.
+func Diff(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		out[i-1] = xs[i] - xs[i-1]
+	}
+	return out
+}
+
+// Linreg fits y = a + b*x by ordinary least squares and returns (a, b).
+// It returns NaNs when fewer than two points or when x is degenerate.
+// The experiment shape-checks use the slope sign (e.g. "energy decreases
+// as N grows") rather than absolute values.
+func Linreg(x, y []float64) (a, b float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return math.NaN(), math.NaN()
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	return a, b
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsErrors(t *testing.T) {
+	got := AbsErrors([]float64{1, 2, 3}, []float64{2, 2, 1})
+	want := []float64{1, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AbsErrors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAbsErrorsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AbsErrors must panic on length mismatch")
+		}
+	}()
+	AbsErrors([]float64{1}, []float64{1, 2})
+}
+
+func TestMAPE(t *testing.T) {
+	pred := []float64{110, 90, 100}
+	actual := []float64{100, 100, 100}
+	if got := MAPE(pred, actual); !almostEqual(got, (0.1+0.1+0)/3, 1e-12) {
+		t.Fatalf("MAPE = %v", got)
+	}
+	// zero actuals are skipped
+	if got := MAPE([]float64{1, 2}, []float64{0, 4}); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("MAPE with zero actual = %v, want 0.5", got)
+	}
+	if got := MAPE([]float64{1}, []float64{0}); !math.IsNaN(got) {
+		t.Fatalf("MAPE all-skipped = %v, want NaN", got)
+	}
+}
+
+func TestMAPEOfMean(t *testing.T) {
+	pred := []float64{90, 110}
+	actual := []float64{100, 100}
+	// mean abs err = 10, mean actual = 100 -> 0.1
+	if got := MAPEOfMean(pred, actual); !almostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("MAPEOfMean = %v, want 0.1", got)
+	}
+	if got := MAPEOfMean(nil, nil); !math.IsNaN(got) {
+		t.Fatalf("MAPEOfMean(empty) = %v, want NaN", got)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); !almostEqual(got, math.Sqrt(12.5), 1e-12) {
+		t.Fatalf("RMSE = %v", got)
+	}
+	if got := RMSE(nil, nil); !math.IsNaN(got) {
+		t.Fatalf("RMSE(empty) = %v, want NaN", got)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	got := Diff([]float64{1, 4, 9, 16})
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Diff = %v, want %v", got, want)
+		}
+	}
+	if Diff([]float64{1}) != nil {
+		t.Fatal("Diff of single element must be nil")
+	}
+}
+
+func TestLinregExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b := Linreg(x, y)
+	if !almostEqual(a, 1, 1e-12) || !almostEqual(b, 2, 1e-12) {
+		t.Fatalf("Linreg = (%v, %v), want (1, 2)", a, b)
+	}
+}
+
+func TestLinregDegenerate(t *testing.T) {
+	a, b := Linreg([]float64{1, 1}, []float64{2, 3})
+	if !math.IsNaN(a) || !math.IsNaN(b) {
+		t.Fatal("Linreg on degenerate x must return NaNs")
+	}
+	a, b = Linreg([]float64{1}, []float64{2})
+	if !math.IsNaN(a) || !math.IsNaN(b) {
+		t.Fatal("Linreg on single point must return NaNs")
+	}
+}
+
+// Property: RMSE >= mean absolute error (Jensen), and both are zero iff the
+// sequences coincide.
+func TestErrorMetricOrderingProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		m := int(n%32) + 1
+		rng := rand.New(rand.NewSource(seed))
+		pred := make([]float64, m)
+		actual := make([]float64, m)
+		for i := 0; i < m; i++ {
+			pred[i] = rng.Float64() * 100
+			actual[i] = rng.Float64() * 100
+		}
+		rmse := RMSE(pred, actual)
+		mae := Mean(AbsErrors(pred, actual))
+		return rmse >= mae-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package stats provides the small statistical toolkit used throughout the
+// simulator: descriptive statistics, running (online) accumulators,
+// histograms and time-series error metrics.
+//
+// The package exists so that the experiment harness and the governors share
+// one audited implementation of means, percentiles and prediction-error
+// metrics instead of hand-rolling them in every module. Everything operates
+// on float64 slices and is deterministic.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	// Kahan summation keeps long trace aggregations (100k+ frames)
+	// accurate enough for energy bookkeeping.
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs.
+// It returns NaN when fewer than two samples are supplied.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns NaN for an empty slice;
+// p outside [0,100] is clamped.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// MeanAbs returns the mean of |xs[i]|.
+func MeanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Abs(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// Covariance returns the unbiased sample covariance of xs and ys.
+// It returns NaN when the slices differ in length or hold fewer than two
+// samples.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var ss float64
+	for i := range xs {
+		ss += (xs[i] - mx) * (ys[i] - my)
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// Correlation returns the Pearson correlation coefficient of xs and ys.
+func Correlation(xs, ys []float64) float64 {
+	cov := Covariance(xs, ys)
+	sx, sy := StdDev(xs), StdDev(ys)
+	if sx == 0 || sy == 0 {
+		return math.NaN()
+	}
+	return cov / (sx * sy)
+}
+
+// Normalize returns xs scaled by 1/ref. It is used for the paper's
+// "normalised energy" (vs Oracle) and "normalised performance" (vs Tref)
+// columns. It returns an error when ref is zero or not finite.
+func Normalize(xs []float64, ref float64) ([]float64, error) {
+	if ref == 0 || math.IsNaN(ref) || math.IsInf(ref, 0) {
+		return nil, errors.New("stats: invalid normalisation reference")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / ref
+	}
+	return out, nil
+}
+
+// Clamp limits x to the closed interval [lo, hi]. It panics if lo > hi,
+// which always indicates a programming error in the caller.
+func Clamp(x, lo, hi float64) float64 {
+	if lo > hi {
+		panic("stats: Clamp called with lo > hi")
+	}
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestSumEmpty(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestSumKahanStability(t *testing.T) {
+	// 1e8 + many tiny values: naive summation loses the tail.
+	xs := make([]float64, 1001)
+	xs[0] = 1e8
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-3
+	}
+	want := 1e8 + 1.0
+	if got := Sum(xs); !almostEqual(got, want, 1e-6) {
+		t.Fatalf("Sum = %.9f, want %.9f", got, want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{5}, 5},
+		{[]float64{-1, 1}, 0},
+		{nil, math.NaN()},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic data set is 32/7.
+	if got, want := Variance(xs), 32.0/7.0; !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestVarianceDegenerate(t *testing.T) {
+	if got := Variance([]float64{1}); !math.IsNaN(got) {
+		t.Fatalf("Variance of 1 sample = %v, want NaN", got)
+	}
+	if got := Variance(nil); !math.IsNaN(got) {
+		t.Fatalf("Variance of empty = %v, want NaN", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5, -9, 2, 6}
+	if got := Min(xs); got != -9 {
+		t.Errorf("Min = %v, want -9", got)
+	}
+	if got := Max(xs); got != 6 {
+		t.Errorf("Max = %v, want 6", got)
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty must be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{25, 2},
+		{50, 3},
+		{75, 4},
+		{100, 5},
+		{-5, 1},  // clamped
+		{150, 5}, // clamped
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(xs, 10); !almostEqual(got, 1.4, 1e-12) {
+		t.Errorf("Percentile(10) = %v, want 1.4 (interpolated)", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Fatalf("Median = %v, want 5", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); !almostEqual(got, 2.5, 1e-12) {
+		t.Fatalf("Median = %v, want 2.5", got)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yUp := []float64{2, 4, 6, 8, 10}
+	yDown := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(x, yUp); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Correlation(up) = %v, want 1", got)
+	}
+	if got := Correlation(x, yDown); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("Correlation(down) = %v, want -1", got)
+	}
+	flat := []float64{7, 7, 7, 7, 7}
+	if got := Correlation(x, flat); !math.IsNaN(got) {
+		t.Errorf("Correlation(flat) = %v, want NaN", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{2, 4, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Normalize = %v, want %v", out, want)
+		}
+	}
+	if _, err := Normalize([]float64{1}, 0); err == nil {
+		t.Fatal("Normalize by zero must error")
+	}
+	if _, err := Normalize([]float64{1}, math.NaN()); err == nil {
+		t.Fatal("Normalize by NaN must error")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clamp with lo > hi must panic")
+		}
+	}()
+	Clamp(0, 1, 0)
+}
+
+func TestMeanAbs(t *testing.T) {
+	if got := MeanAbs([]float64{-1, 1, -3, 3}); got != 2 {
+		t.Fatalf("MeanAbs = %v, want 2", got)
+	}
+	if !math.IsNaN(MeanAbs(nil)) {
+		t.Fatal("MeanAbs(empty) must be NaN")
+	}
+}

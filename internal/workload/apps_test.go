@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFFT32IsLowVariance(t *testing.T) {
+	tr := FFT32(5, 500)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Summarize()
+	if st.CVCycles > 0.06 {
+		t.Fatalf("FFT CV = %v, want <= 0.06 (the paper's least-varying app)", st.CVCycles)
+	}
+	// Compare with MPEG4: the video workload must vary more. This ordering
+	// is what drives the exploration-count ordering in Table II.
+	video := MPEG4At30(5, 500)
+	if video.Summarize().CVCycles <= st.CVCycles {
+		t.Fatalf("MPEG4 CV %v not above FFT CV %v", video.Summarize().CVCycles, st.CVCycles)
+	}
+}
+
+func TestFFTAppDemandMatchesKernelModel(t *testing.T) {
+	cfg := FFTAppConfig{
+		Name: "fft-test", FPS: 32, NumFrames: 3, Threads: 2,
+		N: 1 << 10, BatchPerThread: 4, CyclesPerBfly: 10, JitterSigma: 0,
+		Seed: 1,
+	}
+	tr := cfg.Generate()
+	// (N/2)*log2(N) = 512*10 = 5120 butterflies, x10 cycles x4 batch.
+	want := uint64(5120 * 10 * 4)
+	for _, f := range tr.Frames {
+		for _, c := range f.Cycles {
+			if c != want {
+				t.Fatalf("demand = %d, want %d from kernel op count", c, want)
+			}
+		}
+	}
+}
+
+func TestFFTAppConfigValidateRejects(t *testing.T) {
+	good := FFTAppConfig{Name: "x", FPS: 32, NumFrames: 1, Threads: 1, N: 8, BatchPerThread: 1, CyclesPerBfly: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []FFTAppConfig{
+		{Name: "fps", FPS: 0, NumFrames: 1, Threads: 1, N: 8, BatchPerThread: 1, CyclesPerBfly: 10},
+		{Name: "frames", FPS: 32, NumFrames: 0, Threads: 1, N: 8, BatchPerThread: 1, CyclesPerBfly: 10},
+		{Name: "threads", FPS: 32, NumFrames: 1, Threads: 0, N: 8, BatchPerThread: 1, CyclesPerBfly: 10},
+		{Name: "n-not-pow2", FPS: 32, NumFrames: 1, Threads: 1, N: 12, BatchPerThread: 1, CyclesPerBfly: 10},
+		{Name: "batch", FPS: 32, NumFrames: 1, Threads: 1, N: 8, BatchPerThread: 0, CyclesPerBfly: 10},
+		{Name: "cycles", FPS: 32, NumFrames: 1, Threads: 1, N: 8, BatchPerThread: 1, CyclesPerBfly: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %q accepted", c.Name)
+		}
+	}
+}
+
+func TestProfilesGenerateValidTraces(t *testing.T) {
+	for _, p := range append(ParsecProfiles(), Splash2Profiles()...) {
+		tr := p.Generate(300, 4, 25, 42)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if tr.Len() != 300 || tr.Threads() != 4 {
+			t.Errorf("%s: shape %dx%d", p.Name, tr.Len(), tr.Threads())
+		}
+		st := tr.Summarize()
+		if st.MeanCycles <= 0 {
+			t.Errorf("%s: degenerate demand", p.Name)
+		}
+	}
+}
+
+func TestProfileCharacteristicsOrdering(t *testing.T) {
+	// Regular benchmarks must produce visibly lower variation than
+	// irregular ones — this drives learning-speed differences downstream.
+	cvOf := func(p Profile) float64 { return p.Generate(600, 4, 25, 9).Summarize().CVCycles }
+	swaptions := cvOf(ParsecSwaptions())
+	freqmine := cvOf(ParsecFreqmine())
+	if !(swaptions < freqmine) {
+		t.Errorf("swaptions CV %v not below freqmine CV %v", swaptions, freqmine)
+	}
+	ocean := cvOf(Splash2Ocean())
+	raytrace := cvOf(Splash2Raytrace())
+	if !(ocean < raytrace) {
+		t.Errorf("ocean CV %v not below raytrace CV %v", ocean, raytrace)
+	}
+}
+
+func TestProfileTrendDirection(t *testing.T) {
+	lu := Splash2LU().Generate(400, 4, 25, 3)
+	xs := lu.MaxPerFrame()
+	firstHalf, secondHalf := 0.0, 0.0
+	for i, x := range xs {
+		if i < len(xs)/2 {
+			firstHalf += x
+		} else {
+			secondHalf += x
+		}
+	}
+	if !(secondHalf < firstHalf) {
+		t.Fatal("LU demand should decrease over the run (shrinking submatrix)")
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	good := ParsecBlackscholes()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.BaseCyclesPerThread = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero base cycles accepted")
+	}
+	bad = good
+	bad.PeriodAmp = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("PeriodAmp >= 1 accepted")
+	}
+	bad = good
+	bad.BurstProb = 0.5 // without magnitude
+	bad.BurstMag = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("bursts without magnitude accepted")
+	}
+	bad = good
+	bad.LevelMin = 2
+	bad.LevelMax = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted level clamp accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := MPEG4At30(13, 50)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name {
+		t.Errorf("name %q != %q", got.Name, orig.Name)
+	}
+	if got.RefTimeS != orig.RefTimeS {
+		t.Errorf("ref %v != %v", got.RefTimeS, orig.RefTimeS)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("len %d != %d", got.Len(), orig.Len())
+	}
+	for i := range got.Frames {
+		for j := range got.Frames[i].Cycles {
+			if got.Frames[i].Cycles[j] != orig.Frames[i].Cycles[j] {
+				t.Fatalf("frame %d thread %d: %d != %d", i, j,
+					got.Frames[i].Cycles[j], orig.Frames[i].Cycles[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"bad cycle":   "frame,thread0\n0,notanumber\n",
+		"no threads":  "frame\n0\n",
+		"bad ref":     "# ref_time_s=zero\nframe,thread0\n0,5\n",
+		"neg ref":     "# ref_time_s=-1\nframe,thread0\n0,5\n",
+		"empty input": "",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%s) accepted", name)
+		}
+	}
+}
+
+func TestReadCSVDefaults(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("frame,thread0\n0,100\n1,200\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "imported" || got.RefTimeS != 0.040 {
+		t.Fatalf("defaults not applied: %q %v", got.Name, got.RefTimeS)
+	}
+}
+
+func TestRegistryResolvesEverything(t *testing.T) {
+	for _, name := range Names() {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := g(1, 10)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if tr.Len() == 0 {
+			t.Errorf("%s: empty trace", name)
+		}
+	}
+	if _, err := ByName("definitely-not-a-workload"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRegistryDefaultLengths(t *testing.T) {
+	g, err := ByName("h264-football")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g(1, 0).Len(); got != 3000 {
+		t.Errorf("football default length = %d, want 3000", got)
+	}
+	if got := g(1, 50).Len(); got != 50 {
+		t.Errorf("football truncated length = %d, want 50", got)
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace serialisation. The format is a plain CSV of one row per frame with
+// one column per thread, preceded by two comment lines carrying the trace
+// name and deadline:
+//
+//	# name=h264-football
+//	# ref_time_s=0.04
+//	frame,thread0,thread1,thread2,thread3
+//	0,31000000,29000000,30500000,30120000
+//	...
+//
+// cmd/tracegen writes this format so captured or externally generated
+// traces (e.g. converted from real PMU logs) can be replayed through the
+// simulator with cmd/rtmsim -trace.
+
+// WriteCSV serialises the trace.
+func (t Trace) WriteCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# name=%s\n", t.Name)
+	fmt.Fprintf(bw, "# ref_time_s=%g\n", t.RefTimeS)
+	threads := t.Threads()
+	bw.WriteString("frame")
+	for j := 0; j < threads; j++ {
+		fmt.Fprintf(bw, ",thread%d", j)
+	}
+	bw.WriteByte('\n')
+	for i, f := range t.Frames {
+		fmt.Fprintf(bw, "%d", i)
+		for j := 0; j < threads; j++ {
+			var c uint64
+			if j < len(f.Cycles) {
+				c = f.Cycles[j]
+			}
+			fmt.Fprintf(bw, ",%d", c)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace previously written by WriteCSV. It tolerates
+// missing comment headers (name defaults to "imported", deadline to 40 ms)
+// but rejects structurally broken rows.
+func ReadCSV(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	t := Trace{Name: "imported", RefTimeS: 0.040}
+	headerSeen := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			kv := strings.TrimSpace(strings.TrimPrefix(text, "#"))
+			if name, ok := strings.CutPrefix(kv, "name="); ok {
+				t.Name = name
+			} else if v, ok := strings.CutPrefix(kv, "ref_time_s="); ok {
+				ref, err := strconv.ParseFloat(v, 64)
+				if err != nil || ref <= 0 {
+					return Trace{}, fmt.Errorf("workload: line %d: bad ref_time_s %q", line, v)
+				}
+				t.RefTimeS = ref
+			}
+			continue
+		}
+		if !headerSeen && strings.HasPrefix(text, "frame") {
+			headerSeen = true
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 2 {
+			return Trace{}, fmt.Errorf("workload: line %d: need frame index and at least one thread", line)
+		}
+		cy := make([]uint64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				return Trace{}, fmt.Errorf("workload: line %d: bad cycle count %q: %v", line, f, err)
+			}
+			cy = append(cy, v)
+		}
+		t.Frames = append(t.Frames, Frame{Cycles: cy})
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, err
+	}
+	if err := t.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return t, nil
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qgov/internal/fft"
+)
+
+// FFTAppConfig models the paper's FFT application: a periodic pipeline
+// that transforms batches of sample blocks at a fixed block rate (32 fps in
+// Table II). Every thread performs BatchPerThread transforms of length N
+// per frame.
+//
+// Unlike the video models, the demand here is not drawn from a
+// distribution: it is derived from the actual butterfly count of the
+// radix-2 kernel in internal/fft ((N/2)·log2 N per transform) times a
+// cycles-per-butterfly cost, plus a small lognormal factor for
+// cache-residency variation. That is why the FFT trace has by far the
+// lowest coefficient of variation of the evaluated applications — the
+// property that makes it converge fastest in Table II.
+type FFTAppConfig struct {
+	Name           string
+	FPS            float64
+	NumFrames      int
+	Threads        int
+	N              int     // transform length (power of two)
+	BatchPerThread int     // transforms per thread per frame
+	CyclesPerBfly  float64 // core cycles per radix-2 butterfly
+	JitterSigma    float64 // lognormal sigma for cache/input variation
+	Seed           int64
+}
+
+// Validate reports configuration errors, including a non-power-of-two N.
+func (c FFTAppConfig) Validate() error {
+	switch {
+	case c.FPS <= 0:
+		return fmt.Errorf("workload: fft app %q needs positive FPS", c.Name)
+	case c.NumFrames < 1:
+		return fmt.Errorf("workload: fft app %q needs frames", c.Name)
+	case c.Threads < 1:
+		return fmt.Errorf("workload: fft app %q needs threads", c.Name)
+	case c.N < 2 || c.N&(c.N-1) != 0:
+		return fmt.Errorf("workload: fft app %q needs power-of-two N, got %d", c.Name, c.N)
+	case c.BatchPerThread < 1:
+		return fmt.Errorf("workload: fft app %q needs a positive batch", c.Name)
+	case c.CyclesPerBfly <= 0:
+		return fmt.Errorf("workload: fft app %q needs positive cycles per butterfly", c.Name)
+	}
+	return nil
+}
+
+// Generate produces the trace. It runs one real transform to confirm the
+// kernel's counted work matches the analytic formula used for the rest of
+// the trace — if the kernel ever diverges from its model, trace generation
+// fails loudly rather than silently drifting.
+func (c FFTAppConfig) Generate() Trace {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	probe := make([]complex128, c.N)
+	for i := range probe {
+		probe[i] = complex(float64(i%17), 0)
+	}
+	ops, err := fft.Transform(probe)
+	if err != nil {
+		panic(err)
+	}
+	if ops.Butterflies != fft.ExpectedButterflies(c.N) {
+		panic(fmt.Sprintf("workload: fft kernel counted %d butterflies, analytic %d",
+			ops.Butterflies, fft.ExpectedButterflies(c.N)))
+	}
+	perTransform := ops.CyclesAt(c.CyclesPerBfly)
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	frames := make([]Frame, c.NumFrames)
+	for i := range frames {
+		cy := make([]uint64, c.Threads)
+		for j := range cy {
+			base := float64(perTransform) * float64(c.BatchPerThread)
+			cy[j] = uint64(base * logNormal(rng, c.JitterSigma))
+		}
+		frames[i] = Frame{Cycles: cy}
+	}
+	return Trace{Name: c.Name, RefTimeS: 1 / c.FPS, Frames: frames}
+}
+
+// FFT32 is the Table II FFT workload: 32 blocks per second, 64K-point
+// transforms, six per thread per frame. At 10 cycles per butterfly the
+// per-thread demand is ≈31 Mcycles, requiring ≈1 GHz at the 31.25 ms
+// deadline — mid-table, with ≈3 % variation.
+func FFT32(seed int64, numFrames int) Trace {
+	return FFTAppConfig{
+		Name:           "fft-32fps",
+		FPS:            32,
+		NumFrames:      numFrames,
+		Threads:        4,
+		N:              1 << 16,
+		BatchPerThread: 6,
+		CyclesPerBfly:  10,
+		JitterSigma:    0.03,
+		Seed:           seed,
+	}.Generate()
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Random-variate helpers shared by the workload generators. All generators
+// draw from a caller-seeded *rand.Rand so traces are reproducible.
+
+// logNormal draws a multiplicative noise factor with median 1 and the given
+// log-domain sigma. sigma == 0 returns exactly 1.
+func logNormal(rng *rand.Rand, sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	return math.Exp(rng.NormFloat64() * sigma)
+}
+
+// boundedWalk advances a mean-reverting random walk in log space and clamps
+// the result to [lo, hi]. It models slowly drifting scene activity or
+// dataset phase levels: strength pulls back toward 1.0, sigma jitters.
+func boundedWalk(rng *rand.Rand, current, sigma, reversion, lo, hi float64) float64 {
+	logv := math.Log(current)
+	logv = logv*(1-reversion) + rng.NormFloat64()*sigma
+	v := math.Exp(logv)
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// splitAcrossThreads distributes totalCycles over `threads` threads with a
+// given imbalance coefficient of variation. The shares always sum to the
+// total (the last thread absorbs rounding), and every thread receives at
+// least one cycle so no frame degenerates to fewer threads than requested.
+func splitAcrossThreads(rng *rand.Rand, totalCycles float64, threads int, imbalanceCV float64) []uint64 {
+	if threads < 1 {
+		panic("workload: splitAcrossThreads needs at least one thread")
+	}
+	weights := make([]float64, threads)
+	var wsum float64
+	for j := range weights {
+		w := 1.0
+		if imbalanceCV > 0 {
+			w = math.Max(0.05, 1+rng.NormFloat64()*imbalanceCV)
+		}
+		weights[j] = w
+		wsum += w
+	}
+	out := make([]uint64, threads)
+	var assigned uint64
+	for j := 0; j < threads-1; j++ {
+		c := uint64(totalCycles * weights[j] / wsum)
+		if c == 0 {
+			c = 1
+		}
+		out[j] = c
+		assigned += c
+	}
+	rest := totalCycles - float64(assigned)
+	if rest < 1 {
+		rest = 1
+	}
+	out[threads-1] = uint64(rest)
+	return out
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestLogNormalZeroSigma(t *testing.T) {
+	rng := newTestRNG(1)
+	for i := 0; i < 10; i++ {
+		if got := logNormal(rng, 0); got != 1 {
+			t.Fatalf("logNormal(σ=0) = %v, want exactly 1", got)
+		}
+	}
+}
+
+func TestLogNormalMedianNearOne(t *testing.T) {
+	rng := newTestRNG(2)
+	var above, below int
+	for i := 0; i < 4000; i++ {
+		if logNormal(rng, 0.5) > 1 {
+			above++
+		} else {
+			below++
+		}
+	}
+	ratio := float64(above) / 4000
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("median not ≈1: fraction above = %v", ratio)
+	}
+}
+
+func TestBoundedWalkStaysInBounds(t *testing.T) {
+	rng := newTestRNG(3)
+	v := 1.0
+	for i := 0; i < 10000; i++ {
+		v = boundedWalk(rng, v, 0.3, 0.01, 0.5, 2.0)
+		if v < 0.5 || v > 2.0 {
+			t.Fatalf("walk escaped bounds: %v", v)
+		}
+	}
+}
+
+func TestBoundedWalkMeanReverts(t *testing.T) {
+	// With strong reversion the walk must pull back toward 1 from the
+	// boundary.
+	rng := newTestRNG(4)
+	v := 2.0
+	var acc float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v = boundedWalk(rng, v, 0.05, 0.2, 0.1, 4.0)
+		acc += v
+	}
+	mean := acc / n
+	if math.Abs(mean-1.0) > 0.2 {
+		t.Fatalf("reverting walk long-run mean = %v, want ≈1", mean)
+	}
+}
+
+func TestSplitPanicsOnZeroThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("splitAcrossThreads(0 threads) must panic")
+		}
+	}()
+	splitAcrossThreads(newTestRNG(1), 1000, 0, 0)
+}
+
+func TestSplitBalancedWhenNoCV(t *testing.T) {
+	out := splitAcrossThreads(newTestRNG(1), 1000, 4, 0)
+	for _, c := range out {
+		if c != 250 {
+			t.Fatalf("zero-CV split = %v, want uniform 250", out)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package workload
+
+// PARSEC benchmark workload models. Demands are sized so that at the
+// default 25 iterations/second requirement on four A15 threads the
+// required frequency lands mid-table; the distinguishing features per
+// benchmark follow Bienia et al.'s PARSEC characterisation.
+
+// ParsecBlackscholes: embarrassingly data-parallel option pricing over a
+// fixed portfolio — near-constant per-iteration work, tiny imbalance.
+func ParsecBlackscholes() Profile {
+	return Profile{
+		Name:                "parsec.blackscholes",
+		BaseCyclesPerThread: 30e6,
+		NoiseSigma:          0.02,
+		ImbalanceCV:         0.02,
+		LevelMin:            0.8,
+		LevelMax:            1.2,
+	}
+}
+
+// ParsecBodytrack: particle-filter body tracking — per-frame work follows
+// how well particles match the video, giving visible noise plus occasional
+// re-sampling bursts.
+func ParsecBodytrack() Profile {
+	return Profile{
+		Name:                "parsec.bodytrack",
+		BaseCyclesPerThread: 28e6,
+		WalkSigma:           0.02,
+		BurstProb:           0.04,
+		BurstMag:            1.7,
+		NoiseSigma:          0.10,
+		ImbalanceCV:         0.08,
+		LevelMin:            0.6,
+		LevelMax:            1.8,
+	}
+}
+
+// ParsecFerret: content-similarity search structured as a pipeline — the
+// stage imbalance dominates (high per-thread CV), with query-dependent
+// drift.
+func ParsecFerret() Profile {
+	return Profile{
+		Name:                "parsec.ferret",
+		BaseCyclesPerThread: 26e6,
+		WalkSigma:           0.03,
+		NoiseSigma:          0.08,
+		ImbalanceCV:         0.25,
+		LevelMin:            0.5,
+		LevelMax:            1.9,
+	}
+}
+
+// ParsecFluidanimate: SPH fluid simulation — smooth slow drift as particles
+// redistribute, mild alternation from the rebuild-grid/compute-forces
+// phase pair.
+func ParsecFluidanimate() Profile {
+	return Profile{
+		Name:                "parsec.fluidanimate",
+		BaseCyclesPerThread: 32e6,
+		PeriodFrames:        2,
+		PeriodAmp:           0.08,
+		WalkSigma:           0.01,
+		NoiseSigma:          0.03,
+		ImbalanceCV:         0.05,
+		LevelMin:            0.8,
+		LevelMax:            1.4,
+	}
+}
+
+// ParsecFreqmine: FP-growth frequent itemset mining — irregular, bursty
+// work as conditional trees are built and mined.
+func ParsecFreqmine() Profile {
+	return Profile{
+		Name:                "parsec.freqmine",
+		BaseCyclesPerThread: 24e6,
+		WalkSigma:           0.04,
+		BurstProb:           0.08,
+		BurstMag:            2.2,
+		NoiseSigma:          0.15,
+		ImbalanceCV:         0.12,
+		LevelMin:            0.4,
+		LevelMax:            2.4,
+	}
+}
+
+// ParsecSwaptions: Monte-Carlo swaption pricing — fixed simulation counts
+// per iteration, the most regular of the suite.
+func ParsecSwaptions() Profile {
+	return Profile{
+		Name:                "parsec.swaptions",
+		BaseCyclesPerThread: 34e6,
+		NoiseSigma:          0.015,
+		ImbalanceCV:         0.02,
+		LevelMin:            0.9,
+		LevelMax:            1.1,
+	}
+}
+
+// ParsecVips: image-processing pipeline — moderate noise, stage imbalance,
+// and tile-dependent drift.
+func ParsecVips() Profile {
+	return Profile{
+		Name:                "parsec.vips",
+		BaseCyclesPerThread: 27e6,
+		WalkSigma:           0.02,
+		NoiseSigma:          0.07,
+		ImbalanceCV:         0.10,
+		LevelMin:            0.6,
+		LevelMax:            1.6,
+	}
+}
+
+// ParsecX264: H.264 *encoding* — GOP structure shows up as a strong
+// periodic component (I-frame spikes every keyframe interval) on top of
+// motion-dependent noise.
+func ParsecX264() Profile {
+	return Profile{
+		Name:                "parsec.x264",
+		BaseCyclesPerThread: 25e6,
+		PeriodFrames:        24,
+		PeriodAmp:           0.35,
+		WalkSigma:           0.02,
+		NoiseSigma:          0.12,
+		ImbalanceCV:         0.08,
+		LevelMin:            0.5,
+		LevelMax:            2.0,
+	}
+}
+
+// ParsecStreamcluster: online clustering — long quasi-stable stretches
+// punctuated by re-clustering bursts when a new block of points opens.
+func ParsecStreamcluster() Profile {
+	return Profile{
+		Name:                "parsec.streamcluster",
+		BaseCyclesPerThread: 29e6,
+		WalkSigma:           0.005,
+		BurstProb:           0.03,
+		BurstMag:            2.0,
+		NoiseSigma:          0.04,
+		ImbalanceCV:         0.05,
+		LevelMin:            0.7,
+		LevelMax:            1.5,
+	}
+}
+
+// ParsecProfiles returns the full PARSEC model set.
+func ParsecProfiles() []Profile {
+	return []Profile{
+		ParsecBlackscholes(), ParsecBodytrack(), ParsecFerret(),
+		ParsecFluidanimate(), ParsecFreqmine(), ParsecSwaptions(),
+		ParsecVips(), ParsecX264(), ParsecStreamcluster(),
+	}
+}

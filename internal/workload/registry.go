@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Generator builds a trace of the requested length from a seed. numFrames
+// <= 0 selects each workload's natural default length.
+type Generator func(seed int64, numFrames int) Trace
+
+// Registry maps workload names to generators; the CLI tools and the
+// experiment harness resolve workloads through it.
+func Registry() map[string]Generator {
+	reg := map[string]Generator{
+		"h264-football": func(seed int64, n int) Trace {
+			t := FootballH264(seed)
+			if n > 0 {
+				t = t.Slice(0, n)
+			}
+			return t
+		},
+		"mpeg4-svga24": func(seed int64, n int) Trace {
+			if n <= 0 {
+				n = 240
+			}
+			return MPEG4SVGA24(seed, n)
+		},
+		"mpeg4-30fps": func(seed int64, n int) Trace {
+			if n <= 0 {
+				n = 1000
+			}
+			return MPEG4At30(seed, n)
+		},
+		"h264-15fps": func(seed int64, n int) Trace {
+			if n <= 0 {
+				n = 1000
+			}
+			return H264At15(seed, n)
+		},
+		"fft-32fps": func(seed int64, n int) Trace {
+			if n <= 0 {
+				n = 1000
+			}
+			return FFT32(seed, n)
+		},
+	}
+	for _, p := range append(ParsecProfiles(), Splash2Profiles()...) {
+		p := p
+		reg[p.Name] = func(seed int64, n int) Trace {
+			if n <= 0 {
+				n = 1000
+			}
+			return p.Generate(n, 4, 25, seed)
+		}
+	}
+	return reg
+}
+
+// Names returns the sorted workload names available in the registry.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for k := range reg {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName resolves one workload generator.
+func ByName(name string) (Generator, error) {
+	g, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (try one of %v)", name, Names())
+	}
+	return g, nil
+}

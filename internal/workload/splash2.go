@@ -1,0 +1,132 @@
+package workload
+
+// SPLASH-2 benchmark workload models, following the characterisation in
+// Woo et al. (ISCA'95): scientific kernels with strong phase structure.
+
+// Splash2Barnes: Barnes-Hut N-body — per-step work drifts slowly as bodies
+// cluster and the tree deepens.
+func Splash2Barnes() Profile {
+	return Profile{
+		Name:                "splash2.barnes",
+		BaseCyclesPerThread: 30e6,
+		TrendPerFrame:       0.0004,
+		WalkSigma:           0.015,
+		NoiseSigma:          0.05,
+		ImbalanceCV:         0.10,
+		LevelMin:            0.7,
+		LevelMax:            1.6,
+	}
+}
+
+// Splash2FMM: fast multipole method — similar drift to barnes with the
+// upward/downward pass alternation visible period-2.
+func Splash2FMM() Profile {
+	return Profile{
+		Name:                "splash2.fmm",
+		BaseCyclesPerThread: 28e6,
+		PeriodFrames:        2,
+		PeriodAmp:           0.10,
+		WalkSigma:           0.01,
+		NoiseSigma:          0.05,
+		ImbalanceCV:         0.08,
+		LevelMin:            0.7,
+		LevelMax:            1.5,
+	}
+}
+
+// Splash2Ocean: regular grid solver — highly periodic red-black relaxation
+// sweeps with little noise.
+func Splash2Ocean() Profile {
+	return Profile{
+		Name:                "splash2.ocean",
+		BaseCyclesPerThread: 33e6,
+		PeriodFrames:        4,
+		PeriodAmp:           0.20,
+		NoiseSigma:          0.02,
+		ImbalanceCV:         0.03,
+		LevelMin:            0.85,
+		LevelMax:            1.2,
+	}
+}
+
+// Splash2Radix: radix sort — a small number of passes with large step
+// changes between digit phases; modelled as strong period-8 oscillation.
+func Splash2Radix() Profile {
+	return Profile{
+		Name:                "splash2.radix",
+		BaseCyclesPerThread: 26e6,
+		PeriodFrames:        8,
+		PeriodAmp:           0.45,
+		NoiseSigma:          0.03,
+		ImbalanceCV:         0.04,
+		LevelMin:            0.6,
+		LevelMax:            1.6,
+	}
+}
+
+// Splash2LU: blocked LU decomposition — the trailing submatrix shrinks, so
+// per-iteration work decreases steadily; imbalance grows near the end but
+// a constant CV approximates it.
+func Splash2LU() Profile {
+	return Profile{
+		Name:                "splash2.lu",
+		BaseCyclesPerThread: 40e6,
+		TrendPerFrame:       -0.0025,
+		NoiseSigma:          0.03,
+		ImbalanceCV:         0.10,
+		LevelMin:            0.5,
+		LevelMax:            1.3,
+	}
+}
+
+// Splash2Water: molecular dynamics (water-nsquared) — very regular force
+// computation with slight thermostat-driven drift.
+func Splash2Water() Profile {
+	return Profile{
+		Name:                "splash2.water",
+		BaseCyclesPerThread: 31e6,
+		WalkSigma:           0.008,
+		NoiseSigma:          0.02,
+		ImbalanceCV:         0.03,
+		LevelMin:            0.85,
+		LevelMax:            1.2,
+	}
+}
+
+// Splash2Raytrace: ray tracing — demand tracks scene content per tile;
+// high per-thread imbalance and noise.
+func Splash2Raytrace() Profile {
+	return Profile{
+		Name:                "splash2.raytrace",
+		BaseCyclesPerThread: 27e6,
+		WalkSigma:           0.03,
+		NoiseSigma:          0.12,
+		ImbalanceCV:         0.20,
+		LevelMin:            0.5,
+		LevelMax:            2.0,
+	}
+}
+
+// Splash2Cholesky: sparse Cholesky factorisation — irregular supernodal
+// work with bursts, decreasing toward the end of the factorisation.
+func Splash2Cholesky() Profile {
+	return Profile{
+		Name:                "splash2.cholesky",
+		BaseCyclesPerThread: 29e6,
+		TrendPerFrame:       -0.0015,
+		BurstProb:           0.06,
+		BurstMag:            1.8,
+		NoiseSigma:          0.10,
+		ImbalanceCV:         0.15,
+		LevelMin:            0.4,
+		LevelMax:            1.8,
+	}
+}
+
+// Splash2Profiles returns the full SPLASH-2 model set.
+func Splash2Profiles() []Profile {
+	return []Profile{
+		Splash2Barnes(), Splash2FMM(), Splash2Ocean(), Splash2Radix(),
+		Splash2LU(), Splash2Water(), Splash2Raytrace(), Splash2Cholesky(),
+	}
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Synthetic traces with exactly known structure. The predictor and
+// governor unit tests use these: when the input is a step or a ramp the
+// correct EWMA/Q-learning behaviour is analytically checkable, which is not
+// true of the statistical application models.
+
+// Constant returns a trace with identical demand in every frame.
+func Constant(name string, fps float64, numFrames, threads int, perThread uint64) Trace {
+	frames := make([]Frame, numFrames)
+	for i := range frames {
+		cy := make([]uint64, threads)
+		for j := range cy {
+			cy[j] = perThread
+		}
+		frames[i] = Frame{Cycles: cy}
+	}
+	return Trace{Name: name, RefTimeS: 1 / fps, Frames: frames}
+}
+
+// Step returns a trace that runs at lo cycles per thread and jumps to hi at
+// frame stepAt.
+func Step(name string, fps float64, numFrames, threads, stepAt int, lo, hi uint64) Trace {
+	frames := make([]Frame, numFrames)
+	for i := range frames {
+		v := lo
+		if i >= stepAt {
+			v = hi
+		}
+		cy := make([]uint64, threads)
+		for j := range cy {
+			cy[j] = v
+		}
+		frames[i] = Frame{Cycles: cy}
+	}
+	return Trace{Name: name, RefTimeS: 1 / fps, Frames: frames}
+}
+
+// Ramp returns a trace whose per-thread demand rises linearly from lo to hi
+// across the trace.
+func Ramp(name string, fps float64, numFrames, threads int, lo, hi uint64) Trace {
+	frames := make([]Frame, numFrames)
+	for i := range frames {
+		frac := 0.0
+		if numFrames > 1 {
+			frac = float64(i) / float64(numFrames-1)
+		}
+		v := uint64(float64(lo) + frac*float64(hi-lo))
+		cy := make([]uint64, threads)
+		for j := range cy {
+			cy[j] = v
+		}
+		frames[i] = Frame{Cycles: cy}
+	}
+	return Trace{Name: name, RefTimeS: 1 / fps, Frames: frames}
+}
+
+// Sine returns a trace oscillating around mean with the given amplitude and
+// period in frames.
+func Sine(name string, fps float64, numFrames, threads, period int, mean, amp float64) Trace {
+	frames := make([]Frame, numFrames)
+	for i := range frames {
+		v := mean + amp*math.Sin(2*math.Pi*float64(i)/float64(period))
+		if v < 1 {
+			v = 1
+		}
+		cy := make([]uint64, threads)
+		for j := range cy {
+			cy[j] = uint64(v)
+		}
+		frames[i] = Frame{Cycles: cy}
+	}
+	return Trace{Name: name, RefTimeS: 1 / fps, Frames: frames}
+}
+
+// Noisy returns a trace with i.i.d. lognormal demand around mean.
+func Noisy(name string, fps float64, numFrames, threads int, mean, sigma float64, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	frames := make([]Frame, numFrames)
+	for i := range frames {
+		cy := make([]uint64, threads)
+		for j := range cy {
+			cy[j] = uint64(mean * logNormal(rng, sigma))
+		}
+		frames[i] = Frame{Cycles: cy}
+	}
+	return Trace{Name: name, RefTimeS: 1 / fps, Frames: frames}
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVideoFrameTypePattern(t *testing.T) {
+	c := VideoConfig{GOPLength: 12, BFrames: 2}
+	want := "IBBPBBPBBPBB"
+	var got []byte
+	for i := 0; i < 12; i++ {
+		got = append(got, c.frameType(i))
+	}
+	if string(got) != want {
+		t.Fatalf("GOP pattern = %s, want %s", got, want)
+	}
+	// No B-frames: everything after I is P.
+	c = VideoConfig{GOPLength: 4, BFrames: 0}
+	for i := 1; i < 4; i++ {
+		if c.frameType(i) != 'P' {
+			t.Fatalf("BFrames=0 frame %d = %c, want P", i, c.frameType(i))
+		}
+	}
+}
+
+func TestVideoDeterministicBySeed(t *testing.T) {
+	a := MPEG4At30(7, 100)
+	b := MPEG4At30(7, 100)
+	if a.Len() != b.Len() {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Frames {
+		for j := range a.Frames[i].Cycles {
+			if a.Frames[i].Cycles[j] != b.Frames[i].Cycles[j] {
+				t.Fatalf("frame %d thread %d differs across identical seeds", i, j)
+			}
+		}
+	}
+	c := MPEG4At30(8, 100)
+	same := true
+	for i := range a.Frames {
+		for j := range a.Frames[i].Cycles {
+			if a.Frames[i].Cycles[j] != c.Frames[i].Cycles[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestVideoIFramesHeavierThanB(t *testing.T) {
+	// With noise suppressed, mean I-frame demand must exceed mean B-frame
+	// demand by roughly the configured weight ratio.
+	cfg := VideoConfig{
+		Name: "test", FPS: 25, NumFrames: 600, Threads: 4,
+		GOPLength: 12, BFrames: 2,
+		BaseCycles: 100e6, IWeight: 1.6, BWeight: 0.6,
+		SceneMin: 0.999, SceneMax: 1.001, Seed: 3,
+	}
+	tr := cfg.Generate()
+	var iSum, bSum float64
+	var iN, bN int
+	for i, f := range tr.Frames {
+		switch cfg.frameType(i % cfg.GOPLength) {
+		case 'I':
+			iSum += float64(f.TotalCycles())
+			iN++
+		case 'B':
+			bSum += float64(f.TotalCycles())
+			bN++
+		}
+	}
+	ratio := (iSum / float64(iN)) / (bSum / float64(bN))
+	if math.Abs(ratio-1.6/0.6) > 0.15 {
+		t.Fatalf("I/B demand ratio = %v, want ≈%v", ratio, 1.6/0.6)
+	}
+}
+
+func TestScriptedSceneChangeShiftsLevel(t *testing.T) {
+	tr := MPEG4SVGA24(11, 200)
+	// Compare the mean demand just before and after the scripted cut at 92.
+	mean := func(lo, hi int) float64 {
+		var s float64
+		for _, f := range tr.Frames[lo:hi] {
+			s += float64(f.TotalCycles())
+		}
+		return s / float64(hi-lo)
+	}
+	before := mean(60, 92)
+	after := mean(92, 124)
+	if rel := math.Abs(after-before) / before; rel < 0.10 {
+		t.Fatalf("scene cut at 92 moved the level only %.1f%%; want a visible shift", rel*100)
+	}
+}
+
+func TestFootballH264Shape(t *testing.T) {
+	tr := FootballH264(1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3000 {
+		t.Fatalf("football length = %d, want 3000 frames", tr.Len())
+	}
+	if tr.Threads() != 4 {
+		t.Fatalf("threads = %d, want 4", tr.Threads())
+	}
+	st := tr.Summarize()
+	// Variability: sports footage must be clearly non-constant.
+	if st.CVCycles < 0.15 {
+		t.Errorf("football CV = %v, want >= 0.15", st.CVCycles)
+	}
+	// Demand must span a useful part of the 200-2000 MHz ladder. Frames
+	// lighter than fmin are fine (the slowest OPP over-satisfies them) but
+	// the heaviest frame must stay meetable at fmax, or Table I's
+	// normalised-performance comparison loses its meaning.
+	loHz := st.MinCycles / tr.RefTimeS
+	hiHz := st.MaxCycles / tr.RefTimeS
+	if loHz < 100e6 {
+		t.Errorf("lightest frame needs %.0f MHz: implausibly light", loHz/1e6)
+	}
+	if hiHz > 2000e6 {
+		t.Errorf("heaviest frame needs %.0f MHz: unmeetable at fmax", hiHz/1e6)
+	}
+	if hiHz/loHz < 2 {
+		t.Errorf("demand range only %.1fx; workload too flat to exercise DVFS", hiHz/loHz)
+	}
+}
+
+func TestVideoConfigValidateRejects(t *testing.T) {
+	good := VideoConfig{
+		Name: "ok", FPS: 25, NumFrames: 10, Threads: 4, GOPLength: 12,
+		BFrames: 2, BaseCycles: 1e6, IWeight: 1.5, BWeight: 0.6,
+		SceneMin: 0.5, SceneMax: 2,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*VideoConfig){
+		func(c *VideoConfig) { c.FPS = 0 },
+		func(c *VideoConfig) { c.NumFrames = 0 },
+		func(c *VideoConfig) { c.Threads = 0 },
+		func(c *VideoConfig) { c.GOPLength = 0 },
+		func(c *VideoConfig) { c.BFrames = 12 },
+		func(c *VideoConfig) { c.BaseCycles = 0 },
+		func(c *VideoConfig) { c.IWeight = 0.5 },
+		func(c *VideoConfig) { c.BWeight = 0 },
+		func(c *VideoConfig) { c.SceneMin = 0 },
+		func(c *VideoConfig) { c.SceneMax = 0.1 },
+	}
+	for i, mutate := range mutations {
+		c := good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}

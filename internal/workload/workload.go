@@ -1,0 +1,179 @@
+// Package workload models the applications of the paper's evaluation as
+// per-frame cycle-demand traces: MPEG4 and H.264 video decoding with GOP
+// structure, an FFT application grounded in the real kernel from
+// internal/fft, and phase-structured models of the PARSEC and SPLASH-2
+// benchmark suites.
+//
+// Each application is "transformed to a periodic structure" exactly as in
+// Section III of the paper: it executes for a number of iterations
+// (frames), each with a deadline Tref derived from a frames-per-second
+// requirement, and each iteration spawns one thread per core with a cycle
+// demand. The governor under test only ever observes those demands through
+// the platform's PMU — never the trace itself — so a trace plus the
+// platform model reproduces the paper's closed loop without the physical
+// board (DESIGN.md §2).
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frame is one iteration's demand: cycles for each spawned thread. Thread j
+// is pinned to core j, matching the paper's one-thread-per-core setup on
+// the A15 cluster.
+type Frame struct {
+	Cycles []uint64
+}
+
+// MaxCycles returns the critical-path demand (slowest thread).
+func (f Frame) MaxCycles() uint64 {
+	var m uint64
+	for _, c := range f.Cycles {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// TotalCycles returns the summed demand across threads.
+func (f Frame) TotalCycles() uint64 {
+	var t uint64
+	for _, c := range f.Cycles {
+		t += c
+	}
+	return t
+}
+
+// Trace is a periodic application: a name, a per-frame deadline, and the
+// per-frame thread demands.
+type Trace struct {
+	Name     string
+	RefTimeS float64 // the paper's Tref: per-frame performance requirement
+	Frames   []Frame
+}
+
+// Len returns the number of frames.
+func (t Trace) Len() int { return len(t.Frames) }
+
+// FPS returns the frame-rate requirement implied by RefTimeS.
+func (t Trace) FPS() float64 {
+	if t.RefTimeS <= 0 {
+		return 0
+	}
+	return 1 / t.RefTimeS
+}
+
+// Threads returns the widest thread count used by any frame.
+func (t Trace) Threads() int {
+	m := 0
+	for _, f := range t.Frames {
+		if len(f.Cycles) > m {
+			m = len(f.Cycles)
+		}
+	}
+	return m
+}
+
+// TotalCycles sums demand over the whole trace.
+func (t Trace) TotalCycles() uint64 {
+	var sum uint64
+	for _, f := range t.Frames {
+		sum += f.TotalCycles()
+	}
+	return sum
+}
+
+// MaxPerFrame returns the per-frame critical-path demand as floats, the
+// series the workload predictors operate on.
+func (t Trace) MaxPerFrame() []float64 {
+	out := make([]float64, len(t.Frames))
+	for i, f := range t.Frames {
+		out[i] = float64(f.MaxCycles())
+	}
+	return out
+}
+
+// RequiredHz returns the minimum frequency that completes frame i within
+// the deadline, ignoring overheads: MaxCycles / RefTimeS.
+func (t Trace) RequiredHz(i int) float64 {
+	if t.RefTimeS <= 0 {
+		return 0
+	}
+	return float64(t.Frames[i].MaxCycles()) / t.RefTimeS
+}
+
+// Validate checks structural sanity: a positive deadline, at least one
+// frame, and no frame without threads.
+func (t Trace) Validate() error {
+	if t.RefTimeS <= 0 {
+		return fmt.Errorf("workload: trace %q has non-positive RefTimeS", t.Name)
+	}
+	if len(t.Frames) == 0 {
+		return fmt.Errorf("workload: trace %q has no frames", t.Name)
+	}
+	for i, f := range t.Frames {
+		if len(f.Cycles) == 0 {
+			return fmt.Errorf("workload: trace %q frame %d has no threads", t.Name, i)
+		}
+	}
+	return nil
+}
+
+// Slice returns a shallow copy of the trace restricted to frames [lo, hi).
+// Bounds are clamped.
+func (t Trace) Slice(lo, hi int) Trace {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(t.Frames) {
+		hi = len(t.Frames)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return Trace{Name: t.Name, RefTimeS: t.RefTimeS, Frames: t.Frames[lo:hi]}
+}
+
+// Stats summarises the critical-path demand of a trace.
+type Stats struct {
+	Frames     int
+	Threads    int
+	MeanCycles float64 // mean critical-path cycles per frame
+	CVCycles   float64 // coefficient of variation (σ/µ) of the critical path
+	MinCycles  float64
+	MaxCycles  float64
+}
+
+// Summarize computes demand statistics. The coefficient of variation is
+// the workload-variability measure behind Table II: applications with a
+// lower CV (FFT) need fewer explorations than bursty ones (MPEG4, H.264).
+func (t Trace) Summarize() Stats {
+	xs := t.MaxPerFrame()
+	var mean, m2 float64
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for i, x := range xs {
+		d := x - mean
+		mean += d / float64(i+1)
+		m2 += d * (x - mean)
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	cv := 0.0
+	if len(xs) > 1 && mean > 0 {
+		cv = math.Sqrt(m2/float64(len(xs)-1)) / mean
+	}
+	return Stats{
+		Frames:     len(xs),
+		Threads:    t.Threads(),
+		MeanCycles: mean,
+		CVCycles:   cv,
+		MinCycles:  mn,
+		MaxCycles:  mx,
+	}
+}

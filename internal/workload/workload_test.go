@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameAggregates(t *testing.T) {
+	f := Frame{Cycles: []uint64{10, 30, 20}}
+	if f.MaxCycles() != 30 {
+		t.Errorf("MaxCycles = %d, want 30", f.MaxCycles())
+	}
+	if f.TotalCycles() != 60 {
+		t.Errorf("TotalCycles = %d, want 60", f.TotalCycles())
+	}
+	var empty Frame
+	if empty.MaxCycles() != 0 || empty.TotalCycles() != 0 {
+		t.Error("empty frame aggregates must be zero")
+	}
+}
+
+func TestTraceBasics(t *testing.T) {
+	tr := Trace{
+		Name:     "t",
+		RefTimeS: 0.040,
+		Frames: []Frame{
+			{Cycles: []uint64{10e6, 20e6}},
+			{Cycles: []uint64{30e6, 5e6, 1e6}},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Threads() != 3 {
+		t.Errorf("Threads = %d, want 3", tr.Threads())
+	}
+	if got := tr.FPS(); math.Abs(got-25) > 1e-12 {
+		t.Errorf("FPS = %v, want 25", got)
+	}
+	if tr.TotalCycles() != 66e6 {
+		t.Errorf("TotalCycles = %d", tr.TotalCycles())
+	}
+	mpf := tr.MaxPerFrame()
+	if mpf[0] != 20e6 || mpf[1] != 30e6 {
+		t.Errorf("MaxPerFrame = %v", mpf)
+	}
+	// 30 Mcycles in 40 ms -> 750 MHz.
+	if got := tr.RequiredHz(1); math.Abs(got-750e6) > 1 {
+		t.Errorf("RequiredHz = %v, want 750e6", got)
+	}
+}
+
+func TestTraceValidateRejects(t *testing.T) {
+	bad := []Trace{
+		{Name: "no-ref", RefTimeS: 0, Frames: []Frame{{Cycles: []uint64{1}}}},
+		{Name: "no-frames", RefTimeS: 0.04},
+		{Name: "empty-frame", RefTimeS: 0.04, Frames: []Frame{{}}},
+	}
+	for _, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("Validate(%s) accepted invalid trace", tr.Name)
+		}
+	}
+}
+
+func TestTraceSliceClamps(t *testing.T) {
+	tr := Constant("c", 25, 10, 2, 1000)
+	s := tr.Slice(-5, 100)
+	if s.Len() != 10 {
+		t.Errorf("clamped slice Len = %d, want 10", s.Len())
+	}
+	s = tr.Slice(8, 4)
+	if s.Len() != 0 {
+		t.Errorf("inverted slice Len = %d, want 0", s.Len())
+	}
+	s = tr.Slice(2, 5)
+	if s.Len() != 3 {
+		t.Errorf("Slice(2,5) Len = %d, want 3", s.Len())
+	}
+}
+
+func TestSummarizeConstantTrace(t *testing.T) {
+	tr := Constant("c", 25, 100, 4, 5e6)
+	st := tr.Summarize()
+	if st.CVCycles != 0 {
+		t.Errorf("constant trace CV = %v, want 0", st.CVCycles)
+	}
+	if st.MeanCycles != 5e6 {
+		t.Errorf("mean = %v, want 5e6", st.MeanCycles)
+	}
+	if st.Frames != 100 || st.Threads != 4 {
+		t.Errorf("frames/threads = %d/%d", st.Frames, st.Threads)
+	}
+}
+
+func TestSyntheticShapes(t *testing.T) {
+	step := Step("s", 25, 10, 1, 5, 100, 200)
+	for i, f := range step.Frames {
+		want := uint64(100)
+		if i >= 5 {
+			want = 200
+		}
+		if f.Cycles[0] != want {
+			t.Fatalf("step frame %d = %d, want %d", i, f.Cycles[0], want)
+		}
+	}
+	ramp := Ramp("r", 25, 11, 1, 100, 200)
+	if ramp.Frames[0].Cycles[0] != 100 || ramp.Frames[10].Cycles[0] != 200 {
+		t.Errorf("ramp endpoints = %d..%d", ramp.Frames[0].Cycles[0], ramp.Frames[10].Cycles[0])
+	}
+	sine := Sine("w", 25, 40, 1, 20, 1000, 100)
+	st := sine.Summarize()
+	if st.MinCycles < 899 || st.MaxCycles > 1101 {
+		t.Errorf("sine range [%v, %v] outside mean±amp", st.MinCycles, st.MaxCycles)
+	}
+	noisy := Noisy("n", 25, 500, 2, 1e6, 0.1, 42)
+	if cv := noisy.Summarize().CVCycles; cv < 0.02 || cv > 0.3 {
+		t.Errorf("noisy CV = %v, want ≈0.1", cv)
+	}
+}
+
+// Property: splitAcrossThreads conserves total work (within rounding) and
+// never produces a zero-cycle thread.
+func TestSplitConservationProperty(t *testing.T) {
+	f := func(seed int64, rawTotal uint32, rawThreads, rawCV uint8) bool {
+		total := float64(rawTotal%100e6) + 1000
+		threads := int(rawThreads%8) + 1
+		cv := float64(rawCV%50) / 100
+		rng := newTestRNG(seed)
+		out := splitAcrossThreads(rng, total, threads, cv)
+		if len(out) != threads {
+			return false
+		}
+		var sum uint64
+		for _, c := range out {
+			if c == 0 {
+				return false
+			}
+			sum += c
+		}
+		// Rounding slack: one cycle per thread plus the enforced minimums.
+		diff := math.Abs(float64(sum) - total)
+		return diff <= float64(threads)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
