@@ -1,0 +1,96 @@
+package qgov_test
+
+// Allocation guardrails for the hot paths the benchmarks measure. The
+// per-epoch paths (Q update, EPD sampling, EWMA, power model, cluster
+// epoch) must be allocation-free in steady state, and a whole simulation
+// run must cost only its setup — if a per-frame allocation sneaks back
+// into the loop, a 1000-frame run blows straight through these bounds.
+
+import (
+	"math/rand"
+	"testing"
+
+	"qgov/internal/core"
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/predictor"
+	"qgov/internal/sim"
+	"qgov/internal/workload"
+)
+
+func assertAllocs(t *testing.T, name string, max float64, f func()) {
+	t.Helper()
+	if got := testing.AllocsPerRun(200, f); got > max {
+		t.Errorf("%s: %.2f allocs/op, want <= %v", name, got, max)
+	}
+}
+
+func TestQTableUpdateAllocFree(t *testing.T) {
+	q := core.NewQTable(25, 19, -1)
+	rng := rand.New(rand.NewSource(1))
+	assertAllocs(t, "QTable.Update", 0, func() {
+		s, a, ns := rng.Intn(25), rng.Intn(19), rng.Intn(25)
+		q.Update(s, a, -0.3, ns, 0.4, 0.9)
+	})
+}
+
+func TestEPDSampleAllocFree(t *testing.T) {
+	p := core.NewExponentialPolicy()
+	rng := rand.New(rand.NewSource(1))
+	nf := platform.A15Table().NormFreqs()
+	for _, slack := range []float64{-0.4, 0, 0.3} {
+		assertAllocs(t, "ExponentialPolicy.Sample", 0, func() {
+			p.Sample(rng, 19, slack, nf)
+		})
+	}
+}
+
+func TestEWMAObserveAllocFree(t *testing.T) {
+	e := predictor.NewEWMA(0.6)
+	i := 0
+	assertAllocs(t, "EWMA.Observe", 0, func() {
+		e.Observe(float64(30e6 + i%1000))
+		i++
+	})
+}
+
+func TestPowerModelAllocFree(t *testing.T) {
+	m := platform.DefaultA15PowerModel()
+	opp := platform.A15Table()[12]
+	assertAllocs(t, "PowerModel.ClusterPowerW", 0, func() {
+		_ = m.ClusterPowerW(opp, 4, 55)
+	})
+}
+
+func TestClusterEpochAllocFree(t *testing.T) {
+	c := platform.DefaultA15Cluster(1)
+	c.SetOPP(10)
+	cycles := []uint64{30e6, 31e6, 29e6, 30e6}
+	assertAllocs(t, "Cluster.Execute", 0, func() {
+		c.Execute(cycles, 120e-6, 0.040)
+	})
+}
+
+// A full closed-loop run may allocate only per-run setup (governor,
+// cluster, observation buffers), never per frame. The bounds are ~2× the
+// measured setup cost; a single allocation inside the 1000-frame loop
+// adds 1000 and fails loudly.
+func TestSimRunAllocsAreSetupOnly(t *testing.T) {
+	tr := workload.MPEG4At30(1, 1000)
+
+	if got := testing.AllocsPerRun(3, func() {
+		sim.Run(sim.Config{Trace: tr, Governor: governor.NewPerformance(), Seed: 1})
+	}); got > 80 {
+		t.Errorf("performance run: %.0f allocs for 1000 frames, want setup-only (<= 80)", got)
+	}
+
+	if got := testing.AllocsPerRun(3, func() {
+		rtm := core.New(core.DefaultConfig())
+		if err := rtm.Calibrate(tr.MaxPerFrame()); err != nil {
+			t.Fatal(err)
+		}
+		sim.Run(sim.Config{Trace: tr, Governor: rtm, Seed: 1})
+	}); got > 300 {
+		t.Errorf("rtm run: %.0f allocs for 1000 frames, want setup-only (<= 300)", got)
+	}
+}

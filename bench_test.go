@@ -213,7 +213,7 @@ func BenchmarkQTableUpdate(b *testing.B) {
 func BenchmarkEPDSample(b *testing.B) {
 	p := core.NewExponentialPolicy()
 	rng := rand.New(rand.NewSource(1))
-	nf := platform.A15Table().NormFreq
+	nf := platform.A15Table().NormFreqs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Sample(rng, 19, 0.2, nf)
@@ -298,6 +298,34 @@ func BenchmarkFFT64K(b *testing.B) {
 		copy(buf, x)
 		if _, err := fft.Transform(buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamSweep measures the streaming sweep engine end to end:
+// jobs flowing through the worker pool into the online aggregator, the
+// shape of every large design-space exploration.
+func BenchmarkStreamSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		jobs := make(chan sim.Job)
+		go func() {
+			defer close(jobs)
+			for j := 0; j < 32; j++ {
+				jobs <- sim.Job{Name: "bench", Build: func() sim.Config {
+					return sim.Config{
+						Trace:    workload.Constant("bench", 25, 50, 4, 30e6),
+						Governor: governor.NewOndemand(),
+						Seed:     1,
+					}
+				}}
+			}
+		}()
+		var agg sim.Aggregator
+		for ir := range sim.Stream(jobs, 0) {
+			agg.Add(ir.Result)
+		}
+		if agg.Count() != 32 {
+			b.Fatal("lost runs")
 		}
 	}
 }

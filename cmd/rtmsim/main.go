@@ -5,7 +5,8 @@
 // Usage:
 //
 //	rtmsim -workload h264-football -governor rtm
-//	rtmsim -workload fft-32fps -governor ondemand -frames 500 -seed 7
+//	rtmsim -scenario rtm/h264-football/a15
+//	rtmsim -scenario mldtm/mpeg4-30fps/a7 -frames 500 -seed 7
 //	rtmsim -workload mpeg4-svga24 -governor rtm -csv run.csv
 //	rtmsim -trace mytrace.csv -governor performance
 //	rtmsim -list
@@ -19,6 +20,7 @@ import (
 
 	"qgov/internal/governor"
 	"qgov/internal/platform"
+	"qgov/internal/scenario"
 	"qgov/internal/sim"
 	"qgov/internal/workload"
 
@@ -28,6 +30,7 @@ import (
 
 func main() {
 	var (
+		scenarioName = flag.String("scenario", "", "named scenario governor/workload/platform (overrides -workload/-governor)")
 		workloadName = flag.String("workload", "h264-football", "workload name (see -list)")
 		governorName = flag.String("governor", "rtm", "governor name (see -list)")
 		tracePath    = flag.String("trace", "", "CSV trace to replay instead of -workload")
@@ -37,31 +40,52 @@ func main() {
 		csvPath      = flag.String("csv", "", "write the per-frame records to this CSV file")
 		saveQ        = flag.String("save-qtable", "", "with -governor rtm: save the learnt Q-table here")
 		loadQ        = flag.String("load-qtable", "", "with -governor rtm: seed the Q-table from this file (learning transfer)")
-		list         = flag.Bool("list", false, "list workloads and governors, then exit")
+		list         = flag.Bool("list", false, "list workloads, governors and scenario segments, then exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println("workloads: ", strings.Join(workload.Names(), " "))
 		fmt.Println("governors: ", strings.Join(governor.Names(), " "), " userspace oracle")
+		fmt.Println("platforms: ", strings.Join(scenario.Platforms(), " "))
+		fmt.Printf("scenarios:  %d combinations of governor/workload/platform, e.g. %s\n",
+			len(scenario.Names()), "rtm/h264-football/a15")
 		return
 	}
 
-	tr, err := resolveTrace(*tracePath, *workloadName, *seed, *frames)
-	if err != nil {
-		fatal(err)
+	var cfg sim.Config
+	var tr workload.Trace
+	if *scenarioName != "" {
+		// A scenario fully determines trace, governor and platform; flags
+		// that would silently contradict it are errors, not no-ops.
+		if *tracePath != "" || *loadQ != "" || *mhz != 0 {
+			fatal(fmt.Errorf("-scenario cannot be combined with -trace, -load-qtable or -mhz"))
+		}
+		sc, err := scenario.Get(*scenarioName)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = sc.Config(*seed, *frames)
+		if err != nil {
+			fatal(err)
+		}
+		tr = cfg.Trace
+	} else {
+		var err error
+		tr, err = resolveTrace(*tracePath, *workloadName, *seed, *frames)
+		if err != nil {
+			fatal(err)
+		}
+		gov, err := resolveGovernor(*governorName, *mhz, *loadQ, tr)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = sim.Config{Trace: tr, Governor: gov, Seed: *seed}
 	}
-	gov, err := resolveGovernor(*governorName, *mhz, *loadQ, tr)
-	if err != nil {
-		fatal(err)
-	}
+	gov := cfg.Governor
+	cfg.Record = *csvPath != ""
 
-	res := sim.Run(sim.Config{
-		Trace:    tr,
-		Governor: gov,
-		Seed:     *seed,
-		Record:   *csvPath != "",
-	})
+	res := sim.Run(cfg)
 
 	fmt.Printf("workload   %s (%d frames @ %.4g fps)\n", res.Workload, res.Frames, tr.FPS())
 	fmt.Printf("governor   %s\n", res.Governor)
@@ -84,6 +108,7 @@ func main() {
 		if err := sim.WriteRecordsCSV(f, res.Records); err != nil {
 			fatal(err)
 		}
+		res.Release()
 		fmt.Printf("records    written to %s\n", *csvPath)
 	}
 
@@ -128,8 +153,7 @@ func resolveTrace(path, name string, seed int64, frames int) (workload.Trace, er
 }
 
 func resolveGovernor(name string, mhz int, loadQ string, tr workload.Trace) (governor.Governor, error) {
-	switch name {
-	case "userspace":
+	if name == "userspace" {
 		if mhz == 0 {
 			return nil, fmt.Errorf("userspace governor needs -mhz")
 		}
@@ -137,47 +161,36 @@ func resolveGovernor(name string, mhz int, loadQ string, tr workload.Trace) (gov
 			return nil, fmt.Errorf("no A15 operating point at %d MHz", mhz)
 		}
 		return governor.NewUserspace(mhz), nil
-	case "oracle":
-		return governor.NewOracle(tr, platform.DefaultA15PowerModel()), nil
-	case "rtm", "updrl", "rtm-percore":
-		var g governor.Governor
-		if loadQ != "" {
-			if name != "rtm" {
-				return nil, fmt.Errorf("-load-qtable only applies to -governor rtm")
-			}
-			f, err := os.Open(loadQ)
-			if err != nil {
-				return nil, err
-			}
-			defer f.Close()
-			table, err := core.Load(f)
-			if err != nil {
-				return nil, err
-			}
-			cfg := core.DefaultConfig()
-			cfg.Transfer = table
-			// A transferred table starts in exploitation.
-			cfg.Epsilon.Epsilon0 = 0.1
-			cfg.Epsilon.HoldEpochs = 0
-			cfg.Epsilon.Reset()
-			g = core.New(cfg)
-		} else {
-			var err error
-			g, err = governor.ByName(name)
-			if err != nil {
-				return nil, err
-			}
+	}
+	if loadQ != "" {
+		// Learning transfer: seed the Q-table from a previous run and start
+		// in exploitation.
+		if name != "rtm" {
+			return nil, fmt.Errorf("-load-qtable only applies to -governor rtm")
 		}
-		// Pre-characterise on the trace as the experiments do.
-		if rtm, ok := g.(*core.RTM); ok {
-			if err := rtm.Calibrate(tr.MaxPerFrame()); err != nil {
-				return nil, err
-			}
+		f, err := os.Open(loadQ)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		table, err := core.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Transfer = table
+		cfg.Epsilon.Epsilon0 = 0.1
+		cfg.Epsilon.HoldEpochs = 0
+		cfg.Epsilon.Reset()
+		g := core.New(cfg)
+		if err := g.Calibrate(tr.MaxPerFrame()); err != nil {
+			return nil, err
 		}
 		return g, nil
-	default:
-		return governor.ByName(name)
 	}
+	// Everything else — including the Oracle and learner calibration — is
+	// the scenario registry's standard build path.
+	return scenario.BuildGovernor(name, tr, platform.DefaultA15PowerModel())
 }
 
 func fatal(err error) {

@@ -23,12 +23,19 @@
 //	internal/core        the paper's contribution: the Q-learning RTM
 //	                     (Eqs. 2-7), its many-core modes, learning
 //	                     transfer, and the multi-application extension
-//	internal/sim         the closed-loop epoch engine and sweep runner
+//	internal/sim         the closed-loop epoch engine and the streaming
+//	                     sweep runner (worker-pool Stream + online
+//	                     Aggregator, O(workers) memory at any sweep size)
+//	internal/scenario    the sweep surface: every governor × workload ×
+//	                     platform combination as a named scenario
+//	                     ("rtm/h264-football/a15") resolving to a run
+//	                     configuration
 //	internal/experiments Table I, II, III, Fig. 3 and the ablations
 //
-// Entry points: cmd/experiments regenerates the paper's results,
-// cmd/rtmsim runs one governor on one workload, cmd/tracegen emits
-// workload traces; examples/ holds runnable API walkthroughs; the
+// Entry points: cmd/experiments regenerates the paper's results and runs
+// streaming scenario sweeps (-run sweep -match 'rtm/*/a15'), cmd/rtmsim
+// runs one governor on one workload or one named scenario, cmd/tracegen
+// emits workload traces; examples/ holds runnable API walkthroughs; the
 // benchmarks in bench_test.go regenerate each experiment under
 // `go test -bench`.
 package qgov

@@ -1,68 +1,55 @@
-// Governorcompare sweeps every registered governor over a chosen workload
+// Governorcompare sweeps every governor scenario over a chosen workload
 // and prints an energy/performance/miss comparison — the quickest way to
 // see how the learning governors relate to the classic cpufreq family on
 // a given demand pattern.
 //
-//	go run ./examples/governorcompare [-workload parsec.bodytrack] [-frames 1200]
+// It is also the smallest demonstration of the scenario registry driving
+// the streaming sweep engine: the pattern "*/workload/platform" expands to
+// one scenario per registered governor (plus the Oracle), and the jobs
+// stream through a bounded worker pool.
+//
+//	go run ./examples/governorcompare [-workload parsec.bodytrack] [-frames 1200] [-platform a15]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"text/tabwriter"
 
-	"qgov/internal/core"
-	"qgov/internal/governor"
-	"qgov/internal/platform"
+	"qgov/internal/scenario"
 	"qgov/internal/sim"
-	"qgov/internal/workload"
 )
 
 func main() {
 	name := flag.String("workload", "parsec.bodytrack", "workload to compare on")
+	plat := flag.String("platform", "a15", "platform variant (see internal/scenario)")
 	frames := flag.Int("frames", 1200, "frames to run")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	flag.Parse()
 
-	gen, err := workload.ByName(*name)
+	scenarios, err := scenario.Match("*/" + *name + "/" + *plat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	trace := gen(*seed, *frames)
+	jobs, err := scenario.Jobs(scenarios, []int64{*seed}, *frames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	results := sim.RunAll(jobs)
 
-	names := governor.Names()
-	sort.Strings(names)
-	jobs := make([]sim.Job, 0, len(names)+1)
-	jobs = append(jobs, sim.Job{Name: "oracle", Build: func() sim.Config {
-		return sim.Config{
-			Trace:    trace,
-			Governor: governor.NewOracle(trace, platform.DefaultA15PowerModel()),
-			Seed:     *seed,
+	// Normalise energy to the Oracle's (the paper's reference).
+	oracleEnergy := 0.0
+	for _, r := range results {
+		if r.Governor == "oracle" {
+			oracleEnergy = r.EnergyJ
 		}
-	}})
-	for _, n := range names {
-		n := n
-		jobs = append(jobs, sim.Job{Name: n, Build: func() sim.Config {
-			g, err := governor.ByName(n)
-			if err != nil {
-				panic(err)
-			}
-			if rtm, ok := g.(*core.RTM); ok {
-				if err := rtm.Calibrate(trace.MaxPerFrame()); err != nil {
-					panic(err)
-				}
-			}
-			return sim.Config{Trace: trace, Governor: g, Seed: *seed}
-		}})
 	}
 
-	results := sim.RunAll(jobs)
-	oracleEnergy := results[0].EnergyJ
-
-	fmt.Printf("workload %s: %d frames @ %.0f fps\n\n", trace.Name, trace.Len(), trace.FPS())
+	fmt.Printf("workload %s on %s: %d frames, %d governors\n\n",
+		*name, *plat, results[0].Frames, len(results))
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "governor\tnorm energy\tnorm perf\tmisses\tmean W\tconverged@")
 	for _, r := range results {

@@ -3,45 +3,47 @@
 //
 //	go run ./examples/quickstart
 //
-// The five steps below are the whole public API surface a user needs:
-// generate (or load) a workload trace, build the RTM, pre-characterise it,
-// run the closed loop, and read the aggregates.
+// The steps below are the whole public API surface a user needs: name a
+// scenario, materialise it into a run configuration, run the closed loop,
+// and read the aggregates. (The long way — generating a trace, building
+// and calibrating the RTM by hand — still works; the scenario registry is
+// exactly that plumbing under one name.)
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"qgov/internal/core"
+	"qgov/internal/scenario"
 	"qgov/internal/sim"
-	"qgov/internal/workload"
 )
 
 func main() {
-	// 1. A workload: MPEG4 decode at 30 fps, 1500 frames, four threads —
-	//    one per A15 core. Every named workload in the registry works the
-	//    same way; workload.ReadCSV loads recorded traces instead.
-	trace := workload.MPEG4At30(42, 1500)
-
-	// 2. The proposed governor with the paper's configuration (N=5 state
-	//    levels, EWMA γ=0.6, EPD exploration, shared Q-table).
-	rtm := core.New(core.DefaultConfig())
-
-	// 3. Pre-characterise the workload range (the paper's design-space
-	//    exploration). Skipping this is allowed — the RTM then auto-ranges
-	//    online — but calibrated runs learn faster.
-	if err := rtm.Calibrate(trace.MaxPerFrame()); err != nil {
+	// 1. A scenario: the proposed RTM governor (N=5 state levels, EWMA
+	//    γ=0.6, EPD exploration, shared Q-table) decoding MPEG4 at 30 fps
+	//    on the paper's quad Cortex-A15 cluster. Every registered
+	//    governor × workload × platform combination has a name like this;
+	//    `rtmsim -list` counts them.
+	sc, err := scenario.Get("rtm/mpeg4-30fps/a15")
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 4. Close the loop: the engine executes the trace frame by frame on a
-	//    simulated ODROID-XU3 A15 cluster, calling the governor once per
-	//    decision epoch.
-	result := sim.Run(sim.Config{Trace: trace, Governor: rtm, Seed: 42})
+	// 2. Materialise one run: the trace, the simulated cluster, and the
+	//    governor pre-characterised on the trace (the paper's design-space
+	//    exploration) — all seeded for a deterministic replay.
+	cfg, err := sc.Config(42, 1500)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// 5. Read the outcome.
+	// 3. Close the loop: the engine executes the trace frame by frame,
+	//    calling the governor once per decision epoch.
+	result := sim.Run(cfg)
+
+	// 4. Read the outcome.
 	fmt.Printf("workload:      %s, %d frames at %.0f fps\n",
-		result.Workload, result.Frames, trace.FPS())
+		result.Workload, result.Frames, cfg.Trace.FPS())
 	fmt.Printf("energy:        %.2f J (%.2f W mean over %.1f s)\n",
 		result.EnergyJ, result.MeanPowerW, result.SimTimeS)
 	fmt.Printf("performance:   %.2f of the deadline budget (<1 over-performs)\n",

@@ -1,0 +1,3 @@
+module qgov
+
+go 1.24

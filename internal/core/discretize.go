@@ -136,16 +136,25 @@ func (s *StateSpace) quantise(x, lo, hi float64) int {
 // workload maps to 1.0 on every core. A zero total returns all zeros.
 func Normalize(predCC []float64) []float64 {
 	out := make([]float64, len(predCC))
+	copy(out, predCC)
+	return NormalizeInPlace(out)
+}
+
+// NormalizeInPlace is Normalize overwriting its argument — the
+// allocation-free form the decision hot path uses on a scratch buffer. It
+// returns the argument for chaining.
+func NormalizeInPlace(predCC []float64) []float64 {
 	var total float64
 	for _, v := range predCC {
 		total += v
 	}
-	if total <= 0 {
-		return out
-	}
 	c := float64(len(predCC))
 	for i, v := range predCC {
-		out[i] = v / total * c
+		if total <= 0 {
+			predCC[i] = 0
+		} else {
+			predCC[i] = v / total * c
+		}
 	}
-	return out
+	return predCC
 }

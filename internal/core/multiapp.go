@@ -41,7 +41,7 @@ type MultiRTM struct {
 	preds    []*predictor.EWMA // one per application (critical thread)
 	slacks   []*SlackTracker
 	tracker  *governor.ConvergenceTracker
-	normFreq func(int) float64
+	normFreq []float64
 	nApps    int
 
 	prevState    int
@@ -105,7 +105,7 @@ func (m *MultiRTM) Reset(ctx governor.Context) {
 	}
 	m.cfg.Epsilon.Reset()
 	m.tracker = governor.NewConvergenceTracker(m.cfg.StableEpochs)
-	m.normFreq = ctx.Table.NormFreq
+	m.normFreq = ctx.Table.NormFreqs()
 	m.prevState = 0
 	m.prevAction = 0
 	m.epoch = 0

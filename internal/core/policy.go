@@ -14,9 +14,11 @@ type ExplorationPolicy interface {
 	// Name identifies the policy in tables.
 	Name() string
 	// Sample draws an action index in [0, actions) for a state with the
-	// given slack, using normFreq to weight actions by their position on
-	// the frequency ladder (0 = slowest, 1 = fastest).
-	Sample(rng *rand.Rand, actions int, slack float64, normFreq func(int) float64) int
+	// given slack. normFreq holds each action's position on the frequency
+	// ladder normalised to [0, 1] (0 = slowest, 1 = fastest), precomputed
+	// once per run (platform.OPPTable.NormFreqs) so sampling sits on the
+	// decision hot path without allocating or re-deriving the ladder.
+	Sample(rng *rand.Rand, actions int, slack float64, normFreq []float64) int
 }
 
 // UniformPolicy is the uniform probability distribution (UPD) used by
@@ -27,7 +29,7 @@ type UniformPolicy struct{}
 func (UniformPolicy) Name() string { return "upd" }
 
 // Sample implements ExplorationPolicy.
-func (UniformPolicy) Sample(rng *rand.Rand, actions int, _ float64, _ func(int) float64) int {
+func (UniformPolicy) Sample(rng *rand.Rand, actions int, _ float64, _ []float64) int {
 	return rng.Intn(actions)
 }
 
@@ -70,14 +72,14 @@ func (p *ExponentialPolicy) Name() string { return "epd" }
 
 // Weights returns the normalised selection probabilities for inspection
 // and testing. It panics on a non-positive action count.
-func (p *ExponentialPolicy) Weights(actions int, slack float64, normFreq func(int) float64) []float64 {
+func (p *ExponentialPolicy) Weights(actions int, slack float64, normFreq []float64) []float64 {
 	if actions < 1 {
 		panic(fmt.Sprintf("core: EPD over %d actions", actions))
 	}
 	w := make([]float64, actions)
 	var sum float64
 	for a := range w {
-		w[a] = p.Lambda + math.Exp(-p.Beta*slack*normFreq(a))
+		w[a] = p.weight(slack, normFreq[a])
 		sum += w[a]
 	}
 	for a := range w {
@@ -86,13 +88,26 @@ func (p *ExponentialPolicy) Weights(actions int, slack float64, normFreq func(in
 	return w
 }
 
-// Sample implements ExplorationPolicy by inverse-CDF sampling of Weights.
-func (p *ExponentialPolicy) Sample(rng *rand.Rand, actions int, slack float64, normFreq func(int) float64) int {
-	w := p.Weights(actions, slack, normFreq)
-	u := rng.Float64()
+func (p *ExponentialPolicy) weight(slack, nf float64) float64 {
+	return p.Lambda + math.Exp(-p.Beta*slack*nf)
+}
+
+// Sample implements ExplorationPolicy by inverse-CDF sampling of the Eq. 2
+// distribution. It draws in two passes over the unnormalised weights —
+// total mass first, then the accumulation to the threshold — so the hot
+// path allocates nothing.
+func (p *ExponentialPolicy) Sample(rng *rand.Rand, actions int, slack float64, normFreq []float64) int {
+	if actions < 1 {
+		panic(fmt.Sprintf("core: EPD over %d actions", actions))
+	}
+	var sum float64
+	for a := 0; a < actions; a++ {
+		sum += p.weight(slack, normFreq[a])
+	}
+	u := rng.Float64() * sum
 	acc := 0.0
-	for a, pw := range w {
-		acc += pw
+	for a := 0; a < actions; a++ {
+		acc += p.weight(slack, normFreq[a])
 		if u < acc {
 			return a
 		}

@@ -8,13 +8,16 @@ import (
 )
 
 // linNorm mimics an OPP table's normalised frequency axis.
-func linNorm(actions int) func(int) float64 {
-	return func(a int) float64 {
+func linNorm(actions int) []float64 {
+	nf := make([]float64, actions)
+	for a := range nf {
 		if actions == 1 {
-			return 1
+			nf[a] = 1
+		} else {
+			nf[a] = float64(a) / float64(actions-1)
 		}
-		return float64(a) / float64(actions-1)
 	}
+	return nf
 }
 
 func TestUniformPolicyIsUniform(t *testing.T) {

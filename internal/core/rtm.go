@@ -117,11 +117,16 @@ type RTM struct {
 	preds      []*predictor.EWMA
 	slack      *SlackTracker
 	tracker    *governor.ConvergenceTracker
-	normFreq   func(int) float64
-	prevState  []int // per table
+	normFreq   []float64 // per-action normalised frequency (Eq. 2 axis)
+	prevState  []int     // per table
 	prevAction int
 	lastCtrl   int // controller of the epoch in flight (per-core mode)
 	epoch      int
+
+	// Per-epoch scratch, reused so Decide allocates nothing in steady
+	// state (the explHist append amortises to zero).
+	fpScratch   []int
+	predScratch []float64
 
 	explorations  int
 	exploredPairs []bool  // distinct (table, state, action) experiments
@@ -202,6 +207,16 @@ func (r *RTM) PredictedCC() []float64 {
 	return out
 }
 
+// predictInto fills the scratch buffer with the per-core forecasts — the
+// allocation-free PredictedCC the decision path uses.
+func (r *RTM) predictInto(dst []float64) []float64 {
+	dst = dst[:len(r.preds)]
+	for i, p := range r.preds {
+		dst[i] = p.Predict()
+	}
+	return dst
+}
+
 // Table returns the shared Q-table (or core 0's in per-core mode), for
 // learning transfer and inspection.
 func (r *RTM) Table() *QTable { return r.tables[0] }
@@ -264,7 +279,9 @@ func (r *RTM) Reset(ctx governor.Context) {
 	// Two flips per window: one for a state crossing the visit threshold
 	// into the fingerprint, one for a genuine late adjustment.
 	r.tracker.MaxFlips = 2
-	r.normFreq = ctx.Table.NormFreq
+	r.normFreq = ctx.Table.NormFreqs()
+	r.fpScratch = make([]int, 0, nTables*nStates)
+	r.predScratch = make([]float64, ctx.NumCores)
 	r.prevState = make([]int, nTables)
 	r.prevAction = 0
 	r.lastCtrl = 0
@@ -410,7 +427,7 @@ func (r *RTM) stateFor(c int, slack float64) int {
 			}
 		}
 	case r.cfg.UseNormalizedState:
-		cc = Normalize(r.PredictedCC())[c]
+		cc = NormalizeInPlace(r.predictInto(r.predScratch))[c]
 	default:
 		cc = r.preds[c].Predict()
 	}
@@ -455,7 +472,7 @@ func (r *RTM) selectActionNoCount(t, state int, l float64) (int, bool) {
 // tolerated flip.
 func (r *RTM) greedyFingerprint() []int {
 	const minRowVisits = 20
-	out := make([]int, 0, len(r.greedy)*r.space.NumStates())
+	out := r.fpScratch[:0]
 	for ti, g := range r.greedy {
 		for s, a := range g {
 			if r.tables[ti].RowVisits(s) < minRowVisits {
@@ -465,6 +482,7 @@ func (r *RTM) greedyFingerprint() []int {
 			}
 		}
 	}
+	r.fpScratch = out
 	return out
 }
 

@@ -250,6 +250,7 @@ func AblationShared(seeds []int64, frames int) []SharedPoint {
 			} else {
 				qos += float64(frames)
 			}
+			r.Release() // series consumed; recycle for the next seed
 			e += r.EnergyJ / oracle.EnergyJ
 			miss += r.MissRate
 		}

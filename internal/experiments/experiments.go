@@ -16,6 +16,7 @@ import (
 	"qgov/internal/core"
 	"qgov/internal/governor"
 	"qgov/internal/platform"
+	"qgov/internal/scenario"
 	"qgov/internal/sim"
 	"qgov/internal/workload"
 )
@@ -25,22 +26,26 @@ import (
 // tables (the paper averages repeated runs the same way).
 var DefaultSeeds = []int64{11, 23, 37, 41, 59}
 
+// mustGovernor resolves a registered governor through the scenario
+// registry's builder (which pre-characterises learners on the trace).
+func mustGovernor(name string, tr workload.Trace) governor.Governor {
+	g, err := scenario.BuildGovernor(name, tr, platform.DefaultA15PowerModel())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return g
+}
+
 // newRTM builds the proposed governor, pre-characterised on the trace the
 // way the paper's design-space exploration profiles each application.
 func newRTM(tr workload.Trace) *core.RTM {
-	r := core.New(core.DefaultConfig())
-	mustCalibrate(r, tr)
-	return r
+	return mustGovernor("rtm", tr).(*core.RTM)
 }
 
 // newUPDRL builds the ref [21]-style baseline: identical to the RTM except
 // for uniform exploration.
 func newUPDRL(tr workload.Trace) *core.RTM {
-	cfg := core.DefaultConfig()
-	cfg.Policy = core.UniformPolicy{}
-	r := core.New(cfg)
-	mustCalibrate(r, tr)
-	return r
+	return mustGovernor("updrl", tr).(*core.RTM)
 }
 
 func mustCalibrate(r *core.RTM, tr workload.Trace) {
@@ -55,6 +60,6 @@ func run(tr workload.Trace, g governor.Governor, seed int64, record bool) *sim.R
 }
 
 // oracleFor builds the paper's energy-normalisation reference for a trace.
-func oracleFor(tr workload.Trace) *governor.Oracle {
-	return governor.NewOracle(tr, platform.DefaultA15PowerModel())
+func oracleFor(tr workload.Trace) governor.Governor {
+	return mustGovernor("oracle", tr)
 }

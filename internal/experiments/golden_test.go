@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden table files")
+
+// The golden tests lock the rendered Table I–III output — including the
+// paper's reported rows, the layout, and the measured values at a fixed
+// reduced scale — against accidental drift. The simulation is fully
+// deterministic for a (seeds, frames) choice, so any diff here is a real
+// behavioural change: either intended (re-run with -update and justify the
+// new numbers in the commit) or a regression this test just caught.
+//
+//	go test ./internal/experiments -run TestGolden -update
+
+var goldenSeeds = DefaultSeeds[:2]
+
+func goldenCompare(t *testing.T, name string, render func(w *bytes.Buffer) error) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Errorf("%s drifted from golden file.\n--- want\n%s\n--- got\n%s\nRe-run with -update if the change is intended.",
+			name, want, buf.Bytes())
+	}
+}
+
+func TestGoldenTableI(t *testing.T) {
+	res := TableI(goldenSeeds, 600)
+	goldenCompare(t, "table1", func(w *bytes.Buffer) error { return res.Render(w) })
+}
+
+func TestGoldenTableII(t *testing.T) {
+	res := TableII(goldenSeeds, 500)
+	goldenCompare(t, "table2", func(w *bytes.Buffer) error { return res.Render(w) })
+}
+
+func TestGoldenTableIII(t *testing.T) {
+	res := TableIII(goldenSeeds, 800)
+	goldenCompare(t, "table3", func(w *bytes.Buffer) error { return res.Render(w) })
+}
+
+// The paper's reported numbers inside the rendered tables must never move
+// at all — they are constants from the publication, not measurements. This
+// guards the golden files' most load-bearing columns independently, so an
+// -update cannot silently rewrite the paper.
+func TestPaperConstantsPinned(t *testing.T) {
+	t1 := TableI(goldenSeeds, 100)
+	for method, want := range map[string][2]float64{
+		"oracle": {1.00, 0}, "ondemand": {1.29, 0.77}, "mldtm": {1.20, 0.89}, "rtm": {1.11, 0.96},
+	} {
+		row := t1.Row(method)
+		if row == nil {
+			t.Fatalf("Table I lost the %s row", method)
+		}
+		if row.PaperE != want[0] || row.PaperP != want[1] {
+			t.Errorf("Table I %s paper constants moved: %v/%v", method, row.PaperE, row.PaperP)
+		}
+	}
+
+	t2 := TableII(goldenSeeds, 100)
+	for app, want := range map[string][2]int{
+		"mpeg4-30fps": {144, 83}, "h264-15fps": {149, 90}, "fft-32fps": {119, 74},
+	} {
+		row := t2.Row(app)
+		if row == nil {
+			t.Fatalf("Table II lost the %s row", app)
+		}
+		if row.PaperUPD != want[0] || row.PaperEPD != want[1] {
+			t.Errorf("Table II %s paper constants moved: %d/%d", app, row.PaperUPD, row.PaperEPD)
+		}
+	}
+
+	t3 := TableIII(goldenSeeds, 100)
+	for method, want := range map[string]int{"mldtm": 205, "rtm": 105} {
+		row := t3.Row(method)
+		if row == nil {
+			t.Fatalf("Table III lost the %s row", method)
+		}
+		if row.PaperValue != want {
+			t.Errorf("Table III %s paper constant moved: %d", method, row.PaperValue)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -22,9 +23,71 @@ type Cluster struct {
 	pmus     []*PMU
 	memStall float64
 
+	// powerLUT caches the voltage- and frequency-dependent factors of the
+	// power model per operating point, leaving only the temperature
+	// exponential to evaluate per epoch segment (see oppPower).
+	powerLUT []oppPower
+	freqHz   []float64 // per-OPP clock in Hz
+	fMaxHz   float64   // fastest OPP's clock
+
+	// Per-epoch scratch, reused across Execute calls so the simulation hot
+	// loop performs no per-frame allocations. A Cluster is single-run
+	// state (see sim.Job) and is never executed concurrently.
+	busyScratch   []float64
+	finishScratch []float64
+	segScratch    []PowerSegment
+
 	totalEnergyJ float64
 	totalTimeS   float64
 	frames       int
+}
+
+// oppPower holds the per-OPP constants of the CMOS power decomposition:
+// everything except the e^{kT(T−Tref)} leakage term, which depends on the
+// evolving die temperature.
+type oppPower struct {
+	coreDynW    float64 // one fully busy core
+	gatedDynW   float64 // one clock-gated core
+	uncoreBusyW float64 // shared uncore, cluster active
+	uncoreIdleW float64 // shared uncore, fully idle
+	leakVW      float64 // NumCores · V · I0 · e^{kV(V−Vref)}
+}
+
+// buildPowerLUT precomputes the per-OPP factors from the power model.
+func buildPowerLUT(table OPPTable, m *PowerModel) []oppPower {
+	lut := make([]oppPower, len(table))
+	for i, opp := range table {
+		core := m.CoreDynamicW(opp)
+		lut[i] = oppPower{
+			coreDynW:    core,
+			gatedDynW:   core * m.ClockGateFrac,
+			uncoreBusyW: m.UncoreDynamicW(opp, true),
+			uncoreIdleW: m.UncoreDynamicW(opp, false),
+			leakVW: float64(m.NumCores) * opp.VoltageV * m.LeakI0A *
+				math.Exp(m.LeakKV*(opp.VoltageV-m.VrefV)),
+		}
+	}
+	return lut
+}
+
+// powerAt evaluates cluster power for the operating point at idx with
+// activeCores busy, from the LUT. It matches PowerModel.ClusterPowerW up
+// to floating-point association.
+func (c *Cluster) powerAt(idx, activeCores int, tempC float64) float64 {
+	p := &c.powerLUT[idx]
+	if activeCores < 0 {
+		activeCores = 0
+	}
+	if activeCores > len(c.pmus) {
+		activeCores = len(c.pmus)
+	}
+	uncore := p.uncoreBusyW
+	if activeCores == 0 {
+		uncore = p.uncoreIdleW
+	}
+	dyn := float64(activeCores)*p.coreDynW +
+		float64(len(c.pmus)-activeCores)*p.gatedDynW + uncore
+	return dyn + p.leakVW*math.Exp(c.power.LeakKT*(tempC-c.power.TrefC))
 }
 
 // ClusterConfig assembles a Cluster. Zero-value fields fall back to the
@@ -92,14 +155,19 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	for i := range pmus {
 		pmus[i] = NewPMU(ipc)
 	}
+	freqHz := cfg.Table.Freqs()
 	return &Cluster{
-		name:     cfg.Name,
-		dvfs:     NewDVFS(cfg.Table, cfg.StartIdx),
-		power:    power,
-		thermal:  thermal,
-		sensor:   sensor,
-		pmus:     pmus,
-		memStall: cfg.MemStallFrac,
+		name:        cfg.Name,
+		dvfs:        NewDVFS(cfg.Table, cfg.StartIdx),
+		power:       power,
+		thermal:     thermal,
+		sensor:      sensor,
+		pmus:        pmus,
+		memStall:    cfg.MemStallFrac,
+		powerLUT:    buildPowerLUT(cfg.Table, power),
+		freqHz:      freqHz,
+		fMaxHz:      freqHz[len(freqHz)-1],
+		busyScratch: make([]float64, cfg.NumCores),
 	}
 }
 
@@ -198,14 +266,18 @@ func (c *Cluster) Execute(cycles []uint64, overheadS, periodS float64) ExecRepor
 		panic("platform: negative overhead or period")
 	}
 	opp := c.dvfs.Current()
-	f := opp.FreqHz()
-	fMax := c.dvfs.Table()[c.dvfs.Table().MaxIdx()].FreqHz()
+	oppIdx := c.dvfs.CurrentIdx()
+	f := c.freqHz[oppIdx]
+	fMax := c.fMaxHz
 
 	// Per-core busy durations at this frequency: the compute fraction
 	// scales with the clock, the memory-stall fraction does not (see
 	// ClusterConfig.MemStallFrac). The overhead runs on core 0 (where the
 	// kernel governor executes) before the parallel section.
-	busy := make([]float64, len(c.pmus))
+	busy := c.busyScratch
+	for j := range busy {
+		busy[j] = 0
+	}
 	var maxBusy float64
 	var total, maxCycles uint64
 	active := 0
@@ -230,7 +302,7 @@ func (c *Cluster) Execute(cycles []uint64, overheadS, periodS float64) ExecRepor
 
 	// Build the piecewise-constant power trajectory: overhead (1 core),
 	// then cores dropping off as they finish, then the idle tail.
-	segments := c.buildSegments(busy, overheadS, wall, opp)
+	segments := c.buildSegments(busy, overheadS, wall, oppIdx)
 
 	// Integrate energy and advance the thermal state segment by segment.
 	var energy float64
@@ -273,7 +345,7 @@ func (c *Cluster) Execute(cycles []uint64, overheadS, periodS float64) ExecRepor
 	}
 	return ExecReport{
 		OPP:          opp,
-		OPPIdx:       c.dvfs.CurrentIdx(),
+		OPPIdx:       oppIdx,
 		ExecTimeS:    execTime,
 		WallTimeS:    wall,
 		SlackS:       slack,
@@ -287,19 +359,20 @@ func (c *Cluster) Execute(cycles []uint64, overheadS, periodS float64) ExecRepor
 	}
 }
 
-// buildSegments constructs the power trajectory of one epoch.
-func (c *Cluster) buildSegments(busy []float64, overheadS, wall float64, opp OPP) []PowerSegment {
+// buildSegments constructs the power trajectory of one epoch. The returned
+// slice is the cluster's reusable scratch: valid until the next Execute.
+func (c *Cluster) buildSegments(busy []float64, overheadS, wall float64, oppIdx int) []PowerSegment {
 	temp := c.thermal.TempC()
-	var segs []PowerSegment
+	segs := c.segScratch[:0]
 	if overheadS > 0 {
 		segs = append(segs, PowerSegment{
-			PowerW:   c.power.ClusterPowerW(opp, 1, temp),
+			PowerW:   c.powerAt(oppIdx, 1, temp),
 			Duration: overheadS,
 		})
 	}
 	// Sort finish times ascending; between consecutive finish times the
 	// number of active cores decreases by the cores that finished.
-	finish := make([]float64, 0, len(busy))
+	finish := c.finishScratch[:0]
 	for _, b := range busy {
 		if b > 0 {
 			finish = append(finish, b)
@@ -311,7 +384,7 @@ func (c *Cluster) buildSegments(busy []float64, overheadS, wall float64, opp OPP
 	for _, t := range finish {
 		if t > prev {
 			segs = append(segs, PowerSegment{
-				PowerW:   c.power.ClusterPowerW(opp, activeCores, temp),
+				PowerW:   c.powerAt(oppIdx, activeCores, temp),
 				Duration: t - prev,
 			})
 			prev = t
@@ -322,10 +395,12 @@ func (c *Cluster) buildSegments(busy []float64, overheadS, wall float64, opp OPP
 	tail := wall - overheadS - prev
 	if tail > 1e-15 {
 		segs = append(segs, PowerSegment{
-			PowerW:   c.power.IdlePowerW(opp, temp),
+			PowerW:   c.powerAt(oppIdx, 0, temp),
 			Duration: tail,
 		})
 	}
+	c.finishScratch = finish
+	c.segScratch = segs
 	return segs
 }
 
@@ -349,12 +424,12 @@ func (c *Cluster) MinEnergyIdx(cycles []uint64, periodS float64) int {
 		}
 		total += cy
 	}
-	fMax := table[table.MaxIdx()].FreqHz()
+	fMax := c.fMaxHz
 	bestIdx := -1
 	bestE := 0.0
 	for i := range table {
-		opp := table[i]
-		t := (1-c.memStall)*float64(maxCy)/opp.FreqHz() + c.memStall*float64(maxCy)/fMax
+		f := c.freqHz[i]
+		t := (1-c.memStall)*float64(maxCy)/f + c.memStall*float64(maxCy)/fMax
 		if periodS > 0 && t > periodS {
 			continue
 		}
@@ -364,10 +439,10 @@ func (c *Cluster) MinEnergyIdx(cycles []uint64, periodS float64) int {
 		meanBusy := 0.0
 		if active > 0 {
 			meanCy := float64(total) / float64(active)
-			meanBusy = (1-c.memStall)*meanCy/opp.FreqHz() + c.memStall*meanCy/fMax
+			meanBusy = (1-c.memStall)*meanCy/f + c.memStall*meanCy/fMax
 		}
-		e := c.power.ClusterPowerW(opp, active, temp)*meanBusy +
-			c.power.IdlePowerW(opp, temp)*(maxFloat(periodS, t)-meanBusy)
+		e := c.powerAt(i, active, temp)*meanBusy +
+			c.powerAt(i, 0, temp)*(maxFloat(periodS, t)-meanBusy)
 		if bestIdx < 0 || e < bestE {
 			bestIdx, bestE = i, e
 		}

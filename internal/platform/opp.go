@@ -120,6 +120,17 @@ func (t OPPTable) NormFreq(idx int) float64 {
 	return (t[idx].FreqHz() - lo) / (hi - lo)
 }
 
+// NormFreqs returns the whole normalised-frequency axis as a lookup table,
+// the precomputed form governors keep on their decision hot path instead
+// of calling NormFreq per action per epoch.
+func (t OPPTable) NormFreqs() []float64 {
+	out := make([]float64, len(t))
+	for i := range t {
+		out[i] = t.NormFreq(i)
+	}
+	return out
+}
+
 // A15Table returns the 19 operating points of the ODROID-XU3 Cortex-A15
 // cluster used throughout the paper: 200 MHz to 2000 MHz in 100 MHz steps.
 // The voltage ladder follows the Exynos 5422 device tree (ASV group

@@ -1,0 +1,306 @@
+// Package scenario names governor × workload × platform combinations as
+// first-class sweep scenarios. A scenario name has three slash-separated
+// segments — "rtm/h264-football/a15", "mldtm/mpeg4-30fps/a7" — each drawn
+// from the corresponding registry (the governor registry plus the offline
+// Oracle, the workload registry, and the platform variants defined here).
+//
+// The registry replaces the hand-rolled governor/trace/cluster plumbing
+// that used to be duplicated across the experiment harness, the CLI tools
+// and the examples: every consumer resolves a name to a sim.Config builder
+// and hands the jobs to sim.Stream or sim.RunAll. Because the enumeration
+// is the full cross product, the sweep surface grows automatically with
+// every governor or workload registered anywhere in the program.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qgov/internal/core"
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/sim"
+	"qgov/internal/workload"
+)
+
+// Platform is one simulated hardware variant a scenario can run on.
+type Platform struct {
+	Name string
+	// Describe is a one-line summary for listings.
+	Describe string
+	// NewCluster builds a fresh cluster seeded for one run.
+	NewCluster func(seed int64) *platform.Cluster
+	// PowerModel returns the cluster's power model (the Oracle's offline
+	// knowledge).
+	PowerModel func() *platform.PowerModel
+}
+
+// platforms is the platform registry. The paper's experiments all run on
+// "a15"; the others widen the design space the sweeps explore.
+var platforms = map[string]Platform{
+	"a15": {
+		Name:       "a15",
+		Describe:   "quad Cortex-A15, 19 OPPs 200–2000 MHz (the paper's platform)",
+		NewCluster: platform.DefaultA15Cluster,
+		PowerModel: platform.DefaultA15PowerModel,
+	},
+	"a7": {
+		Name:       "a7",
+		Describe:   "quad Cortex-A7 LITTLE cluster, 13 OPPs 200–1400 MHz",
+		NewCluster: platform.DefaultA7Cluster,
+		PowerModel: platform.DefaultA7PowerModel,
+	},
+	"a15-membound": {
+		Name:     "a15-membound",
+		Describe: "A15 cluster with 40% memory-bound work (reduced DVFS leverage)",
+		NewCluster: func(seed int64) *platform.Cluster {
+			return platform.NewCluster(platform.ClusterConfig{
+				Name:         "A15m",
+				Table:        platform.A15Table(),
+				NumCores:     4,
+				Seed:         seed,
+				MemStallFrac: 0.4,
+			})
+		},
+		PowerModel: platform.DefaultA15PowerModel,
+	},
+}
+
+// Scenario is one named governor × workload × platform combination.
+type Scenario struct {
+	Governor string
+	Workload string
+	Platform string
+}
+
+// Name returns the canonical "governor/workload/platform" form.
+func (s Scenario) Name() string {
+	return s.Governor + "/" + s.Workload + "/" + s.Platform
+}
+
+// Parse splits a scenario name without validating the segments.
+func Parse(name string) (Scenario, error) {
+	parts := strings.Split(name, "/")
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return Scenario{}, fmt.Errorf("scenario: %q is not governor/workload/platform", name)
+	}
+	return Scenario{Governor: parts[0], Workload: parts[1], Platform: parts[2]}, nil
+}
+
+// Get resolves and validates a scenario name.
+func Get(name string) (Scenario, error) {
+	s, err := Parse(name)
+	if err != nil {
+		return Scenario{}, err
+	}
+	if !governorKnown(s.Governor) {
+		return Scenario{}, fmt.Errorf("scenario: unknown governor %q (try one of %v)", s.Governor, Governors())
+	}
+	if _, err := workload.ByName(s.Workload); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: unknown workload %q", s.Workload)
+	}
+	if _, ok := platforms[s.Platform]; !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown platform %q (try one of %v)", s.Platform, Platforms())
+	}
+	return s, nil
+}
+
+// Governors lists the governor segment's legal values: every registered
+// governor plus the offline Oracle.
+func Governors() []string {
+	names := governor.Names()
+	names = append(names, "oracle")
+	sort.Strings(names)
+	return names
+}
+
+// Platforms lists the platform segment's legal values, sorted.
+func Platforms() []string {
+	out := make([]string, 0, len(platforms))
+	for k := range platforms {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PlatformByName returns a platform variant.
+func PlatformByName(name string) (Platform, error) {
+	p, ok := platforms[name]
+	if !ok {
+		return Platform{}, fmt.Errorf("scenario: unknown platform %q (try one of %v)", name, Platforms())
+	}
+	return p, nil
+}
+
+// Names enumerates the full governor × workload × platform cross product,
+// sorted. The count is the product of the three registries' sizes, so it
+// grows with every governor or workload added to the program.
+func Names() []string {
+	govs, wls, plats := Governors(), workload.Names(), Platforms()
+	out := make([]string, 0, len(govs)*len(wls)*len(plats))
+	for _, g := range govs {
+		for _, w := range wls {
+			for _, p := range plats {
+				out = append(out, Scenario{g, w, p}.Name())
+			}
+		}
+	}
+	return out
+}
+
+// Match returns the scenarios whose name matches the pattern: three
+// slash-separated segments where "*" matches any value, e.g. "rtm/*/a15"
+// (every workload under the proposed RTM on the paper's platform) or
+// "*/h264-football/*" (every governor and platform on the football trace).
+func Match(pattern string) ([]Scenario, error) {
+	want, err := Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	segMatch := func(pat, v string) bool { return pat == "*" || pat == v }
+	var out []Scenario
+	for _, g := range Governors() {
+		if !segMatch(want.Governor, g) {
+			continue
+		}
+		for _, w := range workload.Names() {
+			if !segMatch(want.Workload, w) {
+				continue
+			}
+			for _, p := range Platforms() {
+				if segMatch(want.Platform, p) {
+					out = append(out, Scenario{g, w, p})
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario: pattern %q matches nothing", pattern)
+	}
+	return out, nil
+}
+
+func governorKnown(name string) bool {
+	if name == "oracle" {
+		return true
+	}
+	for _, n := range governor.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildGovernor constructs and prepares the named governor for a trace on
+// a platform's power model: the Oracle gets its offline knowledge, RTM
+// variants are pre-characterised on the trace (the paper's design-space
+// exploration). This is the single home of the setup every harness used to
+// hand-roll.
+func BuildGovernor(name string, tr workload.Trace, pm *platform.PowerModel) (governor.Governor, error) {
+	if name == "oracle" {
+		return governor.NewOracle(tr, pm), nil
+	}
+	g, err := governor.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if rtm, ok := g.(*core.RTM); ok {
+		if err := rtm.Calibrate(tr.MaxPerFrame()); err != nil {
+			return nil, fmt.Errorf("scenario: calibrating %s on %s: %w", name, tr.Name, err)
+		}
+	}
+	return g, nil
+}
+
+// Config materialises one run of the scenario: a fresh trace, cluster and
+// prepared governor. frames <= 0 selects the workload's natural length.
+// Each call builds everything new, so the returned Config is safe to run
+// concurrently with other calls' results (see sim.Job).
+func (s Scenario) Config(seed int64, frames int) (sim.Config, error) {
+	gen, err := workload.ByName(s.Workload)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	plat, err := PlatformByName(s.Platform)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	tr := gen(seed, frames)
+	g, err := BuildGovernor(s.Governor, tr, plat.PowerModel())
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sim.Config{
+		Trace:    tr,
+		Governor: g,
+		Cluster:  plat.NewCluster(seed),
+		Seed:     seed,
+	}, nil
+}
+
+// Job wraps the scenario as a sweep job. The name is validated eagerly;
+// the Config is built lazily inside the worker so a large sweep holds only
+// job descriptors, never materialised traces.
+func (s Scenario) Job(seed int64, frames int) (sim.Job, error) {
+	if _, err := Get(s.Name()); err != nil {
+		return sim.Job{}, err
+	}
+	return sim.Job{
+		Name: fmt.Sprintf("%s@%d", s.Name(), seed),
+		Build: func() sim.Config {
+			cfg, err := s.Config(seed, frames)
+			if err != nil {
+				// Validated above; failure here is a registry bug.
+				panic(err)
+			}
+			return cfg
+		},
+	}, nil
+}
+
+// Jobs builds the scenarios × seeds job list in deterministic order
+// (scenario-major, then seed).
+func Jobs(scenarios []Scenario, seeds []int64, frames int) ([]sim.Job, error) {
+	jobs := make([]sim.Job, 0, len(scenarios)*len(seeds))
+	for _, s := range scenarios {
+		for _, seed := range seeds {
+			j, err := s.Job(seed, frames)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs, nil
+}
+
+// JobStream feeds the scenarios × seeds product lazily into a channel for
+// sim.Stream — the constant-memory path for sweeps too large to hold as a
+// slice. Invalid scenarios surface as a panic on first use; validate with
+// Get or Jobs when the input is untrusted.
+func JobStream(scenarios []Scenario, seeds []int64, frames int) <-chan sim.Job {
+	ch := make(chan sim.Job)
+	go func() {
+		defer close(ch)
+		for _, s := range scenarios {
+			s := s
+			for _, seed := range seeds {
+				seed := seed
+				ch <- sim.Job{
+					Name: fmt.Sprintf("%s@%d", s.Name(), seed),
+					Build: func() sim.Config {
+						cfg, err := s.Config(seed, frames)
+						if err != nil {
+							panic(err)
+						}
+						return cfg
+					},
+				}
+			}
+		}
+	}()
+	return ch
+}

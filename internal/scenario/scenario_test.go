@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"qgov/internal/governor"
+	"qgov/internal/sim"
+	"qgov/internal/workload"
+)
+
+func TestNamesIsFullCrossProduct(t *testing.T) {
+	names := Names()
+	want := len(Governors()) * len(workload.Names()) * len(Platforms())
+	if len(names) != want {
+		t.Fatalf("Names() = %d entries, want %d (the registry cross product)", len(names), want)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate scenario %q", n)
+		}
+		seen[n] = true
+		if _, err := Get(n); err != nil {
+			t.Fatalf("enumerated scenario %q does not resolve: %v", n, err)
+		}
+	}
+}
+
+func TestGetRejectsBadNames(t *testing.T) {
+	for _, bad := range []string{
+		"", "rtm", "rtm/h264-football", "rtm/h264-football/a15/extra",
+		"nosuch/h264-football/a15", "rtm/nosuch/a15", "rtm/h264-football/nosuch",
+		"//", "rtm//a15",
+	} {
+		if _, err := Get(bad); err == nil {
+			t.Errorf("Get(%q) accepted", bad)
+		}
+	}
+}
+
+func TestGovernorsIncludeOracleAndRegistry(t *testing.T) {
+	govs := Governors()
+	hasOracle := false
+	for _, g := range govs {
+		if g == "oracle" {
+			hasOracle = true
+		}
+	}
+	if !hasOracle {
+		t.Fatal("oracle missing from scenario governors")
+	}
+	if len(govs) != len(governor.Names())+1 {
+		t.Fatalf("governors = %d, want registry (%d) + oracle", len(govs), len(governor.Names()))
+	}
+}
+
+func TestMatchPatterns(t *testing.T) {
+	all, err := Match("*/*/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Names()) {
+		t.Fatalf("wildcard match %d, want %d", len(all), len(Names()))
+	}
+
+	rtmOnly, err := Match("rtm/*/a15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rtmOnly) != len(workload.Names()) {
+		t.Fatalf("rtm/*/a15 matched %d, want one per workload (%d)", len(rtmOnly), len(workload.Names()))
+	}
+	for _, s := range rtmOnly {
+		if s.Governor != "rtm" || s.Platform != "a15" {
+			t.Fatalf("rtm/*/a15 matched %v", s)
+		}
+	}
+
+	if _, err := Match("nosuch/*/*"); err == nil {
+		t.Fatal("empty match did not error")
+	}
+	if _, err := Match("not-a-pattern"); err == nil {
+		t.Fatal("malformed pattern did not error")
+	}
+}
+
+func TestConfigMaterialisesRunnableRuns(t *testing.T) {
+	cases := []string{
+		"rtm/mpeg4-30fps/a15",              // learner, calibrated
+		"oracle/fft-32fps/a7",              // offline reference on the LITTLE cluster
+		"ondemand/h264-15fps/a15-membound", // classic governor, memory-bound variant
+	}
+	for _, name := range cases {
+		sc, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := sc.Config(3, 60)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cfg.Cluster == nil || cfg.Governor == nil {
+			t.Fatalf("%s: incomplete config", name)
+		}
+		res := sim.Run(cfg)
+		if res.Frames != 60 || res.EnergyJ <= 0 {
+			t.Fatalf("%s: bad run %+v", name, res)
+		}
+	}
+}
+
+func TestConfigsAreIndependentInstances(t *testing.T) {
+	sc, err := Get("rtm/fft-32fps/a15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sc.Config(1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Config(1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Governor == b.Governor {
+		t.Fatal("two Configs share one governor instance — concurrent runs would race")
+	}
+	if a.Cluster == b.Cluster {
+		t.Fatal("two Configs share one cluster instance — concurrent runs would race")
+	}
+}
+
+func TestJobsOrderAndNaming(t *testing.T) {
+	scenarios, err := Match("performance/fft-32fps/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := Jobs(scenarios, []int64{1, 2}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(scenarios)*2 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	// Scenario-major, seed-minor, with the seed visible in the name.
+	if !strings.HasSuffix(jobs[0].Name, "@1") || !strings.HasSuffix(jobs[1].Name, "@2") {
+		t.Fatalf("job names %q, %q", jobs[0].Name, jobs[1].Name)
+	}
+	results := sim.RunAll(jobs)
+	for i, r := range results {
+		if r == nil || r.Frames != 20 {
+			t.Fatalf("job %d (%s) failed: %+v", i, jobs[i].Name, r)
+		}
+	}
+
+	if _, err := Jobs([]Scenario{{Governor: "nosuch", Workload: "fft-32fps", Platform: "a15"}}, []int64{1}, 10); err == nil {
+		t.Fatal("invalid scenario accepted by Jobs")
+	}
+}
+
+func TestJobStreamFeedsSweep(t *testing.T) {
+	scenarios, err := Match("powersave/fft-32fps/a15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int64{1, 2, 3}
+	var agg sim.Aggregator
+	for ir := range sim.Stream(JobStream(scenarios, seeds, 15), 2) {
+		agg.Add(ir.Result)
+	}
+	if agg.Count() != len(scenarios)*len(seeds) {
+		t.Fatalf("streamed %d runs, want %d", agg.Count(), len(scenarios)*len(seeds))
+	}
+}
+
+func TestBuildGovernorPreparesLearners(t *testing.T) {
+	tr := workload.FFT32(1, 50)
+	p, err := PlatformByName("a15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGovernor("rtm", tr, p.PowerModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A calibrated RTM run must behave identically to the hand-built one;
+	// the cheap proxy is that it runs without auto-ranging from scratch.
+	res := sim.Run(sim.Config{Trace: tr, Governor: g, Seed: 1})
+	if res.Frames != 50 {
+		t.Fatal("calibrated learner failed to run")
+	}
+	if _, err := BuildGovernor("nosuch", tr, p.PowerModel()); err == nil {
+		t.Fatal("unknown governor accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package sim_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"qgov/internal/scenario"
+	"qgov/internal/sim"
+)
+
+// The engine's determinism contract: a (scenario, seed) pair fully
+// determines the Result aggregates. Concurrency — RunAll, Stream, the
+// GOMAXPROCS setting — may reorder wall-clock execution but must never
+// change an outcome byte. These tests lock that contract against the
+// streaming engine and the allocation-reuse refactors, which are exactly
+// the kinds of change that break it silently (shared scratch state,
+// order-dependent floating point, rng sharing).
+
+// determinismJobs builds the job set: learning and non-learning governors,
+// a stochastic and a near-constant workload.
+func determinismJobs(t *testing.T, frames int) []sim.Job {
+	t.Helper()
+	names := []string{
+		"rtm/mpeg4-30fps/a15",
+		"updrl/mpeg4-30fps/a15",
+		"ondemand/fft-32fps/a15",
+		"mldtm/h264-15fps/a15",
+		"oracle/mpeg4-30fps/a15-membound",
+		"rtm/fft-32fps/a7",
+	}
+	jobs := make([]sim.Job, 0, len(names))
+	for _, n := range names {
+		sc, err := scenario.Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := sc.Job(17, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+func collectStream(jobs []sim.Job, workers int) []*sim.Result {
+	out := make([]*sim.Result, len(jobs))
+	for ir := range sim.Stream(sim.JobSource(jobs), workers) {
+		out[ir.Index] = ir.Result
+	}
+	return out
+}
+
+func TestSameSeedIdenticalAcrossExecutionModes(t *testing.T) {
+	const frames = 220
+
+	// Reference: strictly serial execution.
+	serial := make([]*sim.Result, 0)
+	for _, j := range determinismJobs(t, frames) {
+		serial = append(serial, sim.Run(j.Build()))
+	}
+
+	modes := map[string]func() []*sim.Result{
+		"RunAll":   func() []*sim.Result { return sim.RunAll(determinismJobs(t, frames)) },
+		"Stream-1": func() []*sim.Result { return collectStream(determinismJobs(t, frames), 1) },
+		"Stream-8": func() []*sim.Result { return collectStream(determinismJobs(t, frames), 8) },
+	}
+	for _, procs := range []int{1, 2, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		for mode, f := range modes {
+			got := f()
+			for i, r := range got {
+				if !reflect.DeepEqual(serial[i], r) {
+					t.Errorf("GOMAXPROCS=%d %s: job %d diverged from serial run\nserial: %+v\n%s: %+v",
+						procs, mode, i, serial[i], mode, r)
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// Repeating the whole streamed sweep must reproduce itself exactly — the
+// repeat-run form of the contract, catching state leaks between jobs
+// (pooled buffers, shared rngs) that a serial-vs-parallel comparison with
+// fresh processes would miss.
+func TestStreamRepeatedSweepReproduces(t *testing.T) {
+	a := collectStream(determinismJobs(t, 150), 4)
+	b := collectStream(determinismJobs(t, 150), 2)
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Errorf("job %d not reproducible across worker counts:\n%+v\nvs\n%+v", i, a[i], b[i])
+		}
+	}
+}

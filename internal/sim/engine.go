@@ -127,7 +127,7 @@ func Run(cfg Config) *Result {
 		ConvergedAt:  -1,
 	}
 	if cfg.Record {
-		res.Records = make([]FrameRecord, 0, cfg.Trace.Len())
+		res.Records = getRecords(cfg.Trace.Len())
 	}
 
 	prev := make([]platform.PMUSample, cluster.NumCores())
@@ -137,12 +137,21 @@ func Run(cfg Config) *Result {
 	obs := governor.Observation{Epoch: -1}
 	var sumPerf float64
 
+	// Observation buffers are reused across frames: governors consume them
+	// inside Decide and must not retain them (none do — the Observation
+	// contract is a per-epoch snapshot).
+	cycles := make([]uint64, cluster.NumCores())
+	utils := make([]float64, cluster.NumCores())
+
 	for i, frame := range cfg.Trace.Frames {
 		// The governor may inspect its predictors before we feed the
-		// frame; capture the forecast it is acting on.
+		// frame; capture the forecast it is acting on. Only recorded runs
+		// pay for the introspection.
 		predicted := nan()
-		if tr, ok := cfg.Governor.(tracer); ok && i > 0 {
-			predicted = maxFloat64s(tr.PredictedCC())
+		if cfg.Record && i > 0 {
+			if tr, ok := cfg.Governor.(tracer); ok {
+				predicted = maxFloat64s(tr.PredictedCC())
+			}
 		}
 
 		idx := cfg.Governor.Decide(obs)
@@ -151,8 +160,6 @@ func Run(cfg Config) *Result {
 
 		// Build the observation for the next decision from what the OS
 		// could measure: PMU deltas, the sensor, the clock.
-		cycles := make([]uint64, cluster.NumCores())
-		utils := make([]float64, cluster.NumCores())
 		for c := range cycles {
 			s := cluster.PMU(c).Read()
 			d := s.Delta(prev[c])

@@ -1,0 +1,33 @@
+package sim
+
+import "sync"
+
+// recordPool recycles per-frame record slices across recorded runs, so a
+// sweep that records (Fig. 3 series, CSV export) does not allocate a fresh
+// multi-thousand-entry slice per job. Runs that do not record never touch
+// the pool — aggregates are computed online and no per-frame state is
+// retained at all.
+var recordPool sync.Pool
+
+// getRecords returns an empty record slice with at least the requested
+// capacity, reusing a pooled backing array when one is large enough.
+func getRecords(capacity int) []FrameRecord {
+	if v := recordPool.Get(); v != nil {
+		if s := v.([]FrameRecord); cap(s) >= capacity {
+			return s[:0]
+		}
+	}
+	return make([]FrameRecord, 0, capacity)
+}
+
+// Release returns the result's record slice to the pool and nils it. Call
+// it when a recorded result has been consumed (rendered, written to CSV)
+// and the per-frame series is no longer needed; the aggregate fields stay
+// valid. Safe to call on results without records.
+func (r *Result) Release() {
+	if r.Records == nil {
+		return
+	}
+	recordPool.Put(r.Records[:0]) //nolint:staticcheck // slice header is intentional
+	r.Records = nil
+}

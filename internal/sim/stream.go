@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// IndexedResult pairs one finished run with its intake position, so a
+// streaming consumer can re-associate results with jobs without the engine
+// retaining either. Results arrive in completion order, not intake order;
+// Index is the job's position in the input stream.
+type IndexedResult struct {
+	Index  int
+	Name   string
+	Result *Result
+}
+
+// Stream executes jobs from the channel on a fixed pool of workers and
+// emits each result as soon as its run finishes. Memory is bounded by the
+// worker count: at most `workers` runs are in flight, the output channel is
+// unbuffered, and nothing is retained after a result is handed to the
+// consumer — a 10k-job sweep holds O(workers) simulation state, never
+// O(jobs). workers <= 0 selects GOMAXPROCS.
+//
+// The output channel is closed after the last job completes. Each run is
+// internally deterministic (see Job); concurrency reorders completion, not
+// outcomes, so the Result delivered for a given job is byte-identical to a
+// serial Run of the same Config.
+//
+// The consumer must drain the channel to completion: abandoning it mid-
+// stream leaves the workers (and the jobs producer) blocked forever. To
+// stop a sweep early, stop feeding the jobs channel — close it (or, for a
+// generator, select on a done signal) and keep reading until the output
+// closes; in-flight runs finish and the pool shuts down cleanly.
+func Stream(jobs <-chan Job, workers int) <-chan IndexedResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type indexedJob struct {
+		idx int
+		job Job
+	}
+	// The intake stage stamps each job with its stream position before the
+	// fan-out, so workers cannot race on the index assignment.
+	intake := make(chan indexedJob)
+	go func() {
+		defer close(intake)
+		i := 0
+		for job := range jobs {
+			intake <- indexedJob{i, job}
+			i++
+		}
+	}()
+
+	out := make(chan IndexedResult)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ij := range intake {
+				out <- IndexedResult{Index: ij.idx, Name: ij.job.Name, Result: Run(ij.job.Build())}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// JobSource adapts a job slice to the channel form Stream consumes. For
+// sweeps too large to materialise, feed Stream from a generator goroutine
+// instead.
+func JobSource(jobs []Job) <-chan Job {
+	ch := make(chan Job)
+	go func() {
+		defer close(ch)
+		for _, j := range jobs {
+			ch <- j
+		}
+	}()
+	return ch
+}
+
+// Aggregator folds results into running statistics without retaining them:
+// energy via Welford's online mean/variance, the rest as running means.
+// It is the streaming replacement for collecting []*Result and calling
+// Summarize — constant memory however many runs flow through it.
+//
+// An Aggregator is not safe for concurrent use; give each consumer
+// goroutine its own and combine them with Merge.
+type Aggregator struct {
+	n          int
+	energyMean float64
+	energyM2   float64
+	perfSum    float64
+	missSum    float64
+	expSum     float64
+	expN       int
+	convSum    float64
+	convN      int
+}
+
+// Add folds in one result.
+func (a *Aggregator) Add(r *Result) {
+	a.n++
+	delta := r.EnergyJ - a.energyMean
+	a.energyMean += delta / float64(a.n)
+	a.energyM2 += delta * (r.EnergyJ - a.energyMean)
+	a.perfSum += r.NormPerf
+	a.missSum += r.MissRate
+	if r.Explorations >= 0 {
+		a.expSum += float64(r.Explorations)
+		a.expN++
+	}
+	if r.ConvergedAt >= 0 {
+		a.convSum += float64(r.ConvergedAt)
+		a.convN++
+	}
+}
+
+// Count returns the number of results folded in so far.
+func (a *Aggregator) Count() int { return a.n }
+
+// Merge folds another aggregator's state into this one (parallel-consumer
+// reduction, Chan et al.'s pairwise variance combination).
+func (a *Aggregator) Merge(b *Aggregator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := float64(a.n + b.n)
+	delta := b.energyMean - a.energyMean
+	a.energyM2 += b.energyM2 + delta*delta*float64(a.n)*float64(b.n)/n
+	a.energyMean += delta * float64(b.n) / n
+	a.n += b.n
+	a.perfSum += b.perfSum
+	a.missSum += b.missSum
+	a.expSum += b.expSum
+	a.expN += b.expN
+	a.convSum += b.convSum
+	a.convN += b.convN
+}
+
+// Summary materialises the aggregate view.
+func (a *Aggregator) Summary() Summary {
+	s := Summary{Runs: a.n}
+	if a.n == 0 {
+		return s
+	}
+	n := float64(a.n)
+	s.MeanEnergyJ = a.energyMean
+	s.StdEnergyJ = math.Sqrt(a.energyM2 / n)
+	s.MeanNormPerf = a.perfSum / n
+	s.MeanMissRate = a.missSum / n
+	s.MeanExplore = nan()
+	if a.expN > 0 {
+		s.MeanExplore = a.expSum / float64(a.expN)
+	}
+	s.MeanConvergeAt = nan()
+	if a.convN > 0 {
+		s.MeanConvergeAt = a.convSum / float64(a.convN)
+	}
+	return s
+}

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"qgov/internal/governor"
+	"qgov/internal/workload"
+)
+
+// tinyJob is a minimal fast run for high-volume sweep tests.
+func tinyJob(frames int) Job {
+	return Job{Name: "tiny", Build: func() Config {
+		return Config{
+			Trace:    workload.Constant("tiny", 25, frames, 4, 30e6),
+			Governor: governor.NewPerformance(),
+			Seed:     1,
+		}
+	}}
+}
+
+func TestStreamDeliversEveryJobExactlyOnce(t *testing.T) {
+	const n = 200
+	jobs := make(chan Job)
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			jobs <- tinyJob(3)
+		}
+	}()
+	seen := make([]bool, n)
+	count := 0
+	for ir := range Stream(jobs, 4) {
+		if ir.Index < 0 || ir.Index >= n {
+			t.Fatalf("index %d out of range", ir.Index)
+		}
+		if seen[ir.Index] {
+			t.Fatalf("index %d delivered twice", ir.Index)
+		}
+		seen[ir.Index] = true
+		if ir.Result == nil || ir.Result.Frames != 3 {
+			t.Fatalf("bad result at %d: %+v", ir.Index, ir.Result)
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("delivered %d of %d results", count, n)
+	}
+}
+
+func TestStreamEmptyInput(t *testing.T) {
+	jobs := make(chan Job)
+	close(jobs)
+	if _, ok := <-Stream(jobs, 2); ok {
+		t.Fatal("result emitted for empty input")
+	}
+}
+
+// TestStreamTenThousandJobsBoundedMemory is the acceptance check of the
+// streaming engine: a 10k-job sweep must hold O(workers) state, not
+// O(jobs). The consumer retains nothing but the online aggregate, so live
+// heap after the sweep must sit where it started — if the engine (or the
+// runs) retained per-job state such as FrameRecord slices, 10k jobs would
+// show up as megabytes here.
+func TestStreamTenThousandJobsBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-job sweep")
+	}
+	const n = 10000
+	jobs := make(chan Job)
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			jobs <- tinyJob(4)
+		}
+	}()
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var agg Aggregator
+	for ir := range Stream(jobs, 0) {
+		if ir.Result.Records != nil {
+			t.Fatal("unrequested per-frame records retained")
+		}
+		agg.Add(ir.Result)
+	}
+	if agg.Count() != n {
+		t.Fatalf("aggregated %d of %d runs", agg.Count(), n)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if grew := int64(after.HeapAlloc) - int64(before.HeapAlloc); grew > 4<<20 {
+		t.Fatalf("live heap grew %d bytes across a 10k-job sweep; per-job state retained", grew)
+	}
+
+	s := agg.Summary()
+	if s.Runs != n || s.MeanEnergyJ <= 0 {
+		t.Fatalf("summary lost the sweep: %+v", s)
+	}
+}
+
+// TestStreamConcurrentConsumers exercises the multi-consumer contract
+// under the race detector: several goroutines draining one result channel
+// into per-consumer aggregators that are merged at the end.
+func TestStreamConcurrentConsumers(t *testing.T) {
+	const n, consumers = 64, 4
+	jobs := make(chan Job)
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			jobs <- tinyJob(5)
+		}
+	}()
+	out := Stream(jobs, 4)
+
+	var wg sync.WaitGroup
+	aggs := make([]Aggregator, consumers)
+	counts := make([]int, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for ir := range out {
+				aggs[c].Add(ir.Result)
+				counts[c]++
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var total Aggregator
+	sum := 0
+	for c := range aggs {
+		total.Merge(&aggs[c])
+		sum += counts[c]
+	}
+	if sum != n || total.Count() != n {
+		t.Fatalf("consumers saw %d results (aggregated %d), want %d", sum, total.Count(), n)
+	}
+}
+
+func TestAggregatorMatchesSummarize(t *testing.T) {
+	results := []*Result{
+		{EnergyJ: 10, NormPerf: 0.9, MissRate: 0.1, Explorations: 40, ConvergedAt: 120},
+		{EnergyJ: 12, NormPerf: 1.1, MissRate: 0.0, Explorations: 55, ConvergedAt: -1},
+		{EnergyJ: 11, NormPerf: 1.0, MissRate: 0.2, Explorations: -1, ConvergedAt: -1},
+		{EnergyJ: 14, NormPerf: 0.8, MissRate: 0.3, Explorations: 70, ConvergedAt: 90},
+	}
+	batch := Summarize(results)
+
+	// Streaming one-by-one must agree with the batch fold.
+	var a Aggregator
+	for _, r := range results {
+		a.Add(r)
+	}
+	assertSummariesClose(t, batch, a.Summary())
+
+	// A split-and-merge fold must agree too (parallel consumers).
+	var left, right Aggregator
+	left.Add(results[0])
+	left.Add(results[1])
+	right.Add(results[2])
+	right.Add(results[3])
+	left.Merge(&right)
+	assertSummariesClose(t, batch, left.Summary())
+
+	// Merging into an empty aggregator adopts the other side wholesale.
+	var empty Aggregator
+	var full Aggregator
+	for _, r := range results {
+		full.Add(r)
+	}
+	empty.Merge(&full)
+	assertSummariesClose(t, batch, empty.Summary())
+}
+
+func assertSummariesClose(t *testing.T, want, got Summary) {
+	t.Helper()
+	if want.Runs != got.Runs {
+		t.Fatalf("Runs: %d vs %d", want.Runs, got.Runs)
+	}
+	close2 := func(name string, a, b float64) {
+		t.Helper()
+		if math.IsNaN(a) != math.IsNaN(b) {
+			t.Fatalf("%s: NaN mismatch (%v vs %v)", name, a, b)
+		}
+		if !math.IsNaN(a) && math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+			t.Fatalf("%s: %v vs %v", name, a, b)
+		}
+	}
+	close2("MeanEnergyJ", want.MeanEnergyJ, got.MeanEnergyJ)
+	close2("StdEnergyJ", want.StdEnergyJ, got.StdEnergyJ)
+	close2("MeanNormPerf", want.MeanNormPerf, got.MeanNormPerf)
+	close2("MeanMissRate", want.MeanMissRate, got.MeanMissRate)
+	close2("MeanExplore", want.MeanExplore, got.MeanExplore)
+	close2("MeanConvergeAt", want.MeanConvergeAt, got.MeanConvergeAt)
+}
+
+func TestRecordPoolRoundTrip(t *testing.T) {
+	cfg := Config{
+		Trace:    workload.Constant("tiny", 25, 20, 4, 30e6),
+		Governor: governor.NewPerformance(),
+		Seed:     1,
+		Record:   true,
+	}
+	res := Run(cfg)
+	if len(res.Records) != 20 {
+		t.Fatalf("Records = %d, want 20", len(res.Records))
+	}
+	res.Release()
+	if res.Records != nil {
+		t.Fatal("Release did not clear Records")
+	}
+	res.Release() // idempotent
+
+	// A second recorded run must produce correct records even when its
+	// slice comes from the pool.
+	cfg.Governor = governor.NewPerformance()
+	res2 := Run(cfg)
+	if len(res2.Records) != 20 {
+		t.Fatalf("pooled run Records = %d, want 20", len(res2.Records))
+	}
+	for i, r := range res2.Records {
+		if r.Epoch != i {
+			t.Fatalf("record %d carries epoch %d (stale pooled data?)", i, r.Epoch)
+		}
+	}
+}

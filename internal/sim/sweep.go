@@ -1,11 +1,5 @@
 package sim
 
-import (
-	"math"
-	"runtime"
-	"sync"
-)
-
 // Job names one parameterised run inside a sweep. Build must return a
 // fresh Config — governors and clusters are stateful, so sharing one
 // instance across concurrent runs would race.
@@ -15,22 +9,14 @@ type Job struct {
 }
 
 // RunAll executes the jobs concurrently (bounded by GOMAXPROCS) and
-// returns results in job order. Each run is internally deterministic:
-// concurrency only reorders wall-clock execution, never outcomes.
+// returns results in job order. It is the collect-everything convenience
+// over Stream; sweeps too large to hold in memory should consume Stream
+// directly and fold results into an Aggregator.
 func RunAll(jobs []Job) []*Result {
 	results := make([]*Result, len(jobs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, job := range jobs {
-		wg.Add(1)
-		go func(i int, job Job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = Run(job.Build())
-		}(i, job)
+	for ir := range Stream(JobSource(jobs), 0) {
+		results[ir.Index] = ir.Result
 	}
-	wg.Wait()
 	return results
 }
 
@@ -57,48 +43,14 @@ type Summary struct {
 	MeanConvergeAt float64 // NaN when never converged / not a learner
 }
 
-// Summarize aggregates seed-sweep results. Runs that never converged are
-// excluded from MeanConvergeAt (and counted in none of the learning means
-// if the governor exposes no stats).
+// Summarize aggregates sweep results; it is the batch form of feeding an
+// Aggregator. Runs that never converged are excluded from MeanConvergeAt
+// (and counted in none of the learning means if the governor exposes no
+// stats).
 func Summarize(results []*Result) Summary {
-	var s Summary
-	s.Runs = len(results)
-	if s.Runs == 0 {
-		return s
-	}
-	var eSum, eSq, pSum, mSum float64
-	var expSum, convSum float64
-	var expN, convN int
+	var a Aggregator
 	for _, r := range results {
-		eSum += r.EnergyJ
-		eSq += r.EnergyJ * r.EnergyJ
-		pSum += r.NormPerf
-		mSum += r.MissRate
-		if r.Explorations >= 0 {
-			expSum += float64(r.Explorations)
-			expN++
-		}
-		if r.ConvergedAt >= 0 {
-			convSum += float64(r.ConvergedAt)
-			convN++
-		}
+		a.Add(r)
 	}
-	n := float64(s.Runs)
-	s.MeanEnergyJ = eSum / n
-	variance := eSq/n - s.MeanEnergyJ*s.MeanEnergyJ
-	if variance < 0 {
-		variance = 0
-	}
-	s.StdEnergyJ = math.Sqrt(variance)
-	s.MeanNormPerf = pSum / n
-	s.MeanMissRate = mSum / n
-	s.MeanExplore = nan()
-	if expN > 0 {
-		s.MeanExplore = expSum / float64(expN)
-	}
-	s.MeanConvergeAt = nan()
-	if convN > 0 {
-		s.MeanConvergeAt = convSum / float64(convN)
-	}
-	return s
+	return a.Summary()
 }
