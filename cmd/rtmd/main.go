@@ -1,0 +1,101 @@
+// Command rtmd serves governor decisions online: the run-time manager as
+// a daemon instead of a closed simulation loop. Each controlled cluster
+// creates a session (its own governor instance and learning state) and
+// posts one observation per decision epoch to the batched /v1/decide
+// endpoint, receiving the operating-point index to apply next — the
+// deployment direction of Kim et al. (arXiv:1712.00076): take the learnt
+// manager out of the simulator and put it behind the OS.
+//
+// Usage:
+//
+//	rtmd -addr :8090
+//	rtmd -addr :8090 -checkpoint-dir /var/lib/rtmd -checkpoint-every 30s
+//
+//	curl -s localhost:8090/v1/sessions -d '{"id":"cluster0","governor":"rtm","seed":1}'
+//	curl -s localhost:8090/v1/decide -d '{"requests":[{"session":"cluster0","obs":{"epoch":-1}}]}'
+//
+// Learning state is checkpointed periodically and on graceful shutdown
+// (SIGINT/SIGTERM); a restarted rtmd warm-starts every session that is
+// re-created under its old id.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qgov/internal/serve"
+
+	// Register the RTM variants with the governor registry.
+	_ "qgov/internal/core"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		platform   = flag.String("platform", "a15", "default platform variant for new sessions")
+		periodS    = flag.Float64("period", 0.040, "default decision-epoch deadline Tref in seconds")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for session learning-state checkpoints (empty: no persistence)")
+		ckptEvery  = flag.Duration("checkpoint-every", 30*time.Second, "period of the background checkpoint sweep")
+		drainGrace = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		quiet      = flag.Bool("quiet", false, "suppress operational logging")
+	)
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := serve.New(serve.Options{
+		DefaultPlatform: *platform,
+		DefaultPeriodS:  *periodS,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Logf:            logf,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		logf("rtmd: shutting down (draining for up to %v)", *drainGrace)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := hs.Shutdown(drainCtx); err != nil {
+			logf("rtmd: drain: %v", err)
+		}
+	}()
+
+	logf("rtmd: serving on %s (default platform %s, Tref %gs)", *addr, *platform, *periodS)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	// ListenAndServe returns the moment Shutdown begins; wait for the
+	// drain to finish before the final checkpoint, so no in-flight
+	// decision can land between the freeze and exit.
+	<-drained
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtmd:", err)
+	os.Exit(1)
+}

@@ -8,8 +8,17 @@
 //	rtmsim -scenario rtm/h264-football/a15
 //	rtmsim -scenario mldtm/mpeg4-30fps/a7 -frames 500 -seed 7
 //	rtmsim -workload mpeg4-svga24 -governor rtm -csv run.csv
+//	rtmsim -scenario rtm/h264-football/a15 -save-state rtm.state
+//	rtmsim -scenario rtm/h264-football/a15 -load-state rtm.state
 //	rtmsim -trace mytrace.csv -governor performance
 //	rtmsim -list
+//
+// -save-state and -load-state work for every learning governor (the RTM
+// variants, updrl, mldtm) through governor.Checkpointer: train a run,
+// freeze it, and warm-start any later run of the same governor — the
+// learning-transfer capability, generalised. -save-qtable/-load-qtable
+// are kept as aliases from when only the RTM could do this; the file
+// format is the checkpoint envelope, not a bare Q-table.
 package main
 
 import (
@@ -25,7 +34,7 @@ import (
 	"qgov/internal/workload"
 
 	// Register the RTM variants with the governor registry.
-	"qgov/internal/core"
+	_ "qgov/internal/core"
 )
 
 func main() {
@@ -38,10 +47,14 @@ func main() {
 		seed         = flag.Int64("seed", 1, "simulation seed")
 		mhz          = flag.Int("mhz", 0, "with -governor userspace: the pinned frequency")
 		csvPath      = flag.String("csv", "", "write the per-frame records to this CSV file")
-		saveQ        = flag.String("save-qtable", "", "with -governor rtm: save the learnt Q-table here")
-		loadQ        = flag.String("load-qtable", "", "with -governor rtm: seed the Q-table from this file (learning transfer)")
 		list         = flag.Bool("list", false, "list workloads, governors and scenario segments, then exit")
+
+		saveState, loadState string
 	)
+	flag.StringVar(&saveState, "save-state", "", "freeze the governor's learnt state here after the run (any learning governor)")
+	flag.StringVar(&saveState, "save-qtable", "", "alias for -save-state")
+	flag.StringVar(&loadState, "load-state", "", "warm-start the governor from this state file (learning transfer)")
+	flag.StringVar(&loadState, "load-qtable", "", "alias for -load-state")
 	flag.Parse()
 
 	if *list {
@@ -58,8 +71,8 @@ func main() {
 	if *scenarioName != "" {
 		// A scenario fully determines trace, governor and platform; flags
 		// that would silently contradict it are errors, not no-ops.
-		if *tracePath != "" || *loadQ != "" || *mhz != 0 {
-			fatal(fmt.Errorf("-scenario cannot be combined with -trace, -load-qtable or -mhz"))
+		if *tracePath != "" || *mhz != 0 {
+			fatal(fmt.Errorf("-scenario cannot be combined with -trace or -mhz"))
 		}
 		sc, err := scenario.Get(*scenarioName)
 		if err != nil {
@@ -76,7 +89,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		gov, err := resolveGovernor(*governorName, *mhz, *loadQ, tr)
+		gov, err := resolveGovernor(*governorName, *mhz, tr)
 		if err != nil {
 			fatal(err)
 		}
@@ -84,6 +97,18 @@ func main() {
 	}
 	gov := cfg.Governor
 	cfg.Record = *csvPath != ""
+
+	if loadState != "" {
+		f, err := os.Open(loadState)
+		if err != nil {
+			fatal(err)
+		}
+		err = scenario.WarmStart(gov, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	res := sim.Run(cfg)
 
@@ -112,20 +137,16 @@ func main() {
 		fmt.Printf("records    written to %s\n", *csvPath)
 	}
 
-	if *saveQ != "" {
-		rtm, ok := gov.(*core.RTM)
-		if !ok {
-			fatal(fmt.Errorf("-save-qtable needs an RTM governor, have %s", gov.Name()))
-		}
-		f, err := os.Create(*saveQ)
+	if saveState != "" {
+		f, err := os.Create(saveState)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		if err := rtm.Table().Save(f); err != nil {
+		if err := scenario.Freeze(gov, f); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("q-table    written to %s (learning transfer: replay with -load-qtable)\n", *saveQ)
+		fmt.Printf("state      written to %s (learning transfer: replay with -load-state)\n", saveState)
 	}
 }
 
@@ -152,7 +173,7 @@ func resolveTrace(path, name string, seed int64, frames int) (workload.Trace, er
 	return gen(seed, frames), nil
 }
 
-func resolveGovernor(name string, mhz int, loadQ string, tr workload.Trace) (governor.Governor, error) {
+func resolveGovernor(name string, mhz int, tr workload.Trace) (governor.Governor, error) {
 	if name == "userspace" {
 		if mhz == 0 {
 			return nil, fmt.Errorf("userspace governor needs -mhz")
@@ -161,32 +182,6 @@ func resolveGovernor(name string, mhz int, loadQ string, tr workload.Trace) (gov
 			return nil, fmt.Errorf("no A15 operating point at %d MHz", mhz)
 		}
 		return governor.NewUserspace(mhz), nil
-	}
-	if loadQ != "" {
-		// Learning transfer: seed the Q-table from a previous run and start
-		// in exploitation.
-		if name != "rtm" {
-			return nil, fmt.Errorf("-load-qtable only applies to -governor rtm")
-		}
-		f, err := os.Open(loadQ)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		table, err := core.Load(f)
-		if err != nil {
-			return nil, err
-		}
-		cfg := core.DefaultConfig()
-		cfg.Transfer = table
-		cfg.Epsilon.Epsilon0 = 0.1
-		cfg.Epsilon.HoldEpochs = 0
-		cfg.Epsilon.Reset()
-		g := core.New(cfg)
-		if err := g.Calibrate(tr.MaxPerFrame()); err != nil {
-			return nil, err
-		}
-		return g, nil
 	}
 	// Everything else — including the Oracle and learner calibration — is
 	// the scenario registry's standard build path.

@@ -23,19 +23,35 @@
 //	internal/core        the paper's contribution: the Q-learning RTM
 //	                     (Eqs. 2-7), its many-core modes, learning
 //	                     transfer, and the multi-application extension
-//	internal/sim         the closed-loop epoch engine and the streaming
-//	                     sweep runner (worker-pool Stream + online
-//	                     Aggregator, O(workers) memory at any sweep size)
+//	internal/sim         the epoch engine: the step-driven Session
+//	                     (New → Observe/Decide/Step, Snapshot/Restore)
+//	                     with Run as its closed-loop driver, plus the
+//	                     streaming sweep runner (worker-pool Stream +
+//	                     online Aggregator, O(workers) memory at any
+//	                     sweep size)
 //	internal/scenario    the sweep surface: every governor × workload ×
 //	                     platform combination as a named scenario
 //	                     ("rtm/h264-football/a15") resolving to a run
-//	                     configuration
+//	                     configuration or step-driven Session; any
+//	                     learner trains, freezes and warm-starts here
+//	                     (governor.Checkpointer)
+//	internal/serve       governors as an online decision service: many
+//	                     concurrent sessions (one per controlled
+//	                     cluster) behind a batched /v1/decide HTTP API,
+//	                     with periodic learning-state checkpoints
 //	internal/experiments Table I, II, III, Fig. 3 and the ablations
+//
+// The sim.Session inversion is what connects the two halves: sim.Run,
+// Stream and the experiment harness drive it as a closed loop, while
+// cmd/rtmd serves the same governors online — observations in, operating
+// points out — the way the paper's RTM runs inside an OS.
 //
 // Entry points: cmd/experiments regenerates the paper's results and runs
 // streaming scenario sweeps (-run sweep -match 'rtm/*/a15'), cmd/rtmsim
-// runs one governor on one workload or one named scenario, cmd/tracegen
-// emits workload traces; examples/ holds runnable API walkthroughs; the
-// benchmarks in bench_test.go regenerate each experiment under
-// `go test -bench`.
+// runs one governor on one workload or one named scenario (-save-state /
+// -load-state freeze and warm-start any learner), cmd/rtmd serves
+// governor decisions over HTTP, cmd/tracegen emits workload traces,
+// cmd/benchjson converts benchmark output to the BENCH_<n>.json perf
+// artifacts; examples/ holds runnable API walkthroughs; the benchmarks
+// in bench_test.go regenerate each experiment under `go test -bench`.
 package qgov

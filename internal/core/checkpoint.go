@@ -1,0 +1,129 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"qgov/internal/governor"
+)
+
+// The RTM family (rtm, rtm-percore, rtm-sarsa, updrl) checkpoints through
+// one envelope: the learning organisation and exploration policy are
+// configuration, not state, so the same format serves them all.
+var _ governor.Checkpointer = (*RTM)(nil)
+
+// rtmCheckpoint is the RTM's governor.Checkpointer payload: the value
+// tables with their visit counts (the visit-decayed learning rate resumes
+// where it left off), the workload state-space range the tables were
+// trained against (Q-table rows are meaningless under a different
+// quantisation), and the ε schedule's position (a trained manager resumes
+// exploitation, not the hold-then-decay exploration phase).
+type rtmCheckpoint struct {
+	Kind       string    `json:"kind"`
+	Version    int       `json:"version"`
+	Mode       string    `json:"mode"`
+	Levels     int       `json:"levels"`
+	CCMin      float64   `json:"cc_min"`
+	CCMax      float64   `json:"cc_max"`
+	Calibrated bool      `json:"calibrated"`
+	Epsilon    float64   `json:"epsilon"`
+	EpsEpoch   int       `json:"epsilon_epoch"`
+	Tables     []*QTable `json:"tables"`
+}
+
+// SaveState implements governor.Checkpointer.
+func (r *RTM) SaveState(w io.Writer) error {
+	if len(r.tables) == 0 {
+		return fmt.Errorf("core: RTM has not run yet, nothing to save")
+	}
+	cp := rtmCheckpoint{
+		Kind:       "rtm",
+		Version:    1,
+		Mode:       r.cfg.Mode.String(),
+		Levels:     r.cfg.Levels,
+		CCMin:      r.space.CCMin,
+		CCMax:      r.space.CCMax,
+		Calibrated: r.calibrated,
+		Epsilon:    r.cfg.Epsilon.Epsilon(),
+		EpsEpoch:   r.cfg.Epsilon.Epoch(),
+		Tables:     r.tables,
+	}
+	if err := json.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("core: saving RTM state: %w", err)
+	}
+	return nil
+}
+
+// LoadState implements governor.Checkpointer: it validates and stages the
+// checkpoint; every subsequent Reset applies it (taking precedence over
+// Config.Transfer). Table dimensions are checked against the governor's
+// configuration here and against the run's platform at Reset, which panics
+// on a mismatch exactly as Config.Transfer does.
+func (r *RTM) LoadState(rd io.Reader) error {
+	var cp rtmCheckpoint
+	if err := json.NewDecoder(rd).Decode(&cp); err != nil {
+		return fmt.Errorf("core: loading RTM state: %w", err)
+	}
+	if cp.Kind != "rtm" {
+		return fmt.Errorf("core: checkpoint is %q state, not rtm", cp.Kind)
+	}
+	if cp.Version != 1 {
+		return fmt.Errorf("core: unsupported rtm checkpoint version %d", cp.Version)
+	}
+	if cp.Mode != r.cfg.Mode.String() {
+		return fmt.Errorf("core: checkpoint was trained in %s mode, governor is configured %s", cp.Mode, r.cfg.Mode)
+	}
+	if cp.Levels != r.cfg.Levels {
+		return fmt.Errorf("core: checkpoint has %d discretisation levels, governor is configured with %d", cp.Levels, r.cfg.Levels)
+	}
+	if len(cp.Tables) == 0 {
+		return fmt.Errorf("core: checkpoint holds no tables")
+	}
+	nStates := r.space.NumStates()
+	for i, t := range cp.Tables {
+		if t == nil {
+			return fmt.Errorf("core: checkpoint table %d is null", i)
+		}
+		if t.States() != nStates {
+			return fmt.Errorf("core: checkpoint table %d is %dx%d, need %d states for N=%d",
+				i, t.States(), t.Actions(), nStates, cp.Levels)
+		}
+		if t.Actions() != cp.Tables[0].Actions() {
+			return fmt.Errorf("core: checkpoint tables disagree on action count")
+		}
+	}
+	if math.IsNaN(cp.Epsilon) || cp.Epsilon < 0 || cp.Epsilon > 1 {
+		return fmt.Errorf("core: checkpoint epsilon %v outside [0,1]", cp.Epsilon)
+	}
+	if cp.EpsEpoch < 0 {
+		return fmt.Errorf("core: checkpoint epsilon epoch %d is negative", cp.EpsEpoch)
+	}
+	if cp.Calibrated && !(cp.CCMax > cp.CCMin) {
+		return fmt.Errorf("core: checkpoint workload range [%v, %v] is degenerate", cp.CCMin, cp.CCMax)
+	}
+	r.restored = &cp
+	return nil
+}
+
+// applyRestored copies a staged checkpoint into freshly reset tables. It
+// is called from Reset once the run's dimensions are known.
+func (r *RTM) applyRestored() {
+	cp := r.restored
+	if len(cp.Tables) != len(r.tables) {
+		panic(fmt.Sprintf("core: checkpoint holds %d tables, %s mode on this cluster needs %d",
+			len(cp.Tables), r.cfg.Mode, len(r.tables)))
+	}
+	for i, src := range cp.Tables {
+		dst := r.tables[i]
+		if src.States() != dst.States() || src.Actions() != dst.Actions() {
+			panic(fmt.Sprintf("core: checkpoint table is %dx%d, need %dx%d",
+				src.States(), src.Actions(), dst.States(), dst.Actions()))
+		}
+		copy(dst.q, src.q)
+		copy(dst.visits, src.visits)
+	}
+	r.space.CCMin, r.space.CCMax = cp.CCMin, cp.CCMax
+	r.calibrated = cp.Calibrated
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qgov/internal/governor"
+)
+
+// feedEpoch pushes one steady observation through the RTM.
+func feedEpoch(r *RTM, epoch int, cycles uint64) int {
+	return r.Decide(governor.Observation{
+		Epoch:     epoch,
+		Cycles:    []uint64{cycles, cycles, cycles, cycles},
+		Util:      []float64{0.8, 0.8, 0.8, 0.8},
+		ExecTimeS: 0.032,
+		PeriodS:   0.040,
+		WallTimeS: 0.040,
+		PowerW:    2,
+		TempC:     50,
+		OPPIdx:    5,
+	})
+}
+
+// An uncalibrated RTM auto-ranges its workload state space online; a
+// checkpoint must carry that trained range, and a warm-started instance
+// must keep it across Reset instead of letting the first observation
+// re-prime it — re-priming would re-quantise every restored Q-table row
+// against a different range than it was trained on.
+func TestWarmStartPreservesAutoRangedStateSpace(t *testing.T) {
+	r := New(DefaultConfig()) // no Calibrate: auto-ranging
+	r.Reset(rtmCtx(3))
+	r.Decide(governor.Observation{Epoch: -1})
+	for i := 0; i < 60; i++ {
+		feedEpoch(r, i, uint64(28e6+1e5*float64(i%7)))
+	}
+	lo, hi := r.space.CCMin, r.space.CCMax
+	if !(hi > lo) || lo <= 0 {
+		t.Fatalf("setup: auto-range did not prime (range [%v, %v])", lo, hi)
+	}
+
+	var buf bytes.Buffer
+	if err := r.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(DefaultConfig())
+	if err := r2.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2.Reset(rtmCtx(3))
+	if r2.space.CCMin != lo || r2.space.CCMax != hi {
+		t.Fatalf("restored range [%v, %v], want [%v, %v]", r2.space.CCMin, r2.space.CCMax, lo, hi)
+	}
+
+	// An in-range observation must not move the restored range; before
+	// the ccSeen restore it re-primed to [0.5cc, 1.5cc].
+	r2.Decide(governor.Observation{Epoch: -1})
+	feedEpoch(r2, 0, uint64((lo+hi)/2))
+	if r2.space.CCMin != lo || r2.space.CCMax != hi {
+		t.Errorf("first observation re-primed the restored range to [%v, %v], want [%v, %v]",
+			r2.space.CCMin, r2.space.CCMax, lo, hi)
+	}
+}
+
+// LoadState must reject checkpoints that disagree with the governor's
+// configuration before they can reach a table.
+func TestRTMLoadStateValidation(t *testing.T) {
+	r := New(DefaultConfig())
+	r.Reset(rtmCtx(1))
+	r.Decide(governor.Observation{Epoch: -1})
+	for i := 0; i < 30; i++ {
+		feedEpoch(r, i, 30e6)
+	}
+	var buf bytes.Buffer
+	if err := r.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := map[string]struct {
+		cfg   func() Config
+		state string
+	}{
+		"mode mismatch": {
+			cfg:   func() Config { c := DefaultConfig(); c.Mode = PerCoreTables; return c },
+			state: good,
+		},
+		"levels mismatch": {
+			cfg:   func() Config { c := DefaultConfig(); c.Levels = 4; return c },
+			state: good,
+		},
+		"wrong kind": {
+			cfg:   DefaultConfig,
+			state: strings.Replace(good, `"kind":"rtm"`, `"kind":"mldtm"`, 1),
+		},
+		"bad epsilon": {
+			cfg:   DefaultConfig,
+			state: strings.Replace(good, `"epsilon":`, `"epsilon":7,"was":`, 1),
+		},
+	}
+	for name, tc := range cases {
+		g := New(tc.cfg())
+		if err := g.LoadState(strings.NewReader(tc.state)); err == nil {
+			t.Errorf("%s: LoadState accepted", name)
+		}
+	}
+}

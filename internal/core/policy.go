@@ -173,6 +173,19 @@ func (s *EpsilonSchedule) Reset() {
 // Epsilon returns the current exploration probability.
 func (s *EpsilonSchedule) Epsilon() float64 { return s.eps }
 
+// Epoch returns the number of Advance calls since the last Reset — the
+// schedule's position on its decay curve.
+func (s *EpsilonSchedule) Epoch() int { return s.epoch }
+
+// Restore places the schedule at a checkpointed position: the given ε and
+// epoch clock, as read back by Epsilon and Epoch. A warm-started learner
+// resumes exploitation where the training run left off instead of
+// re-paying the hold-then-decay exploration phase.
+func (s *EpsilonSchedule) Restore(eps float64, epoch int) {
+	s.eps = eps
+	s.epoch = epoch
+}
+
 // Advance decays ε by one epoch given the epoch's slack error and whether
 // the greedy policy is currently quiet.
 func (s *EpsilonSchedule) Advance(slackError float64, quiet bool) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // QTable is the look-up table of Section II-A: one row per discretised
@@ -171,6 +172,40 @@ type qtableJSON struct {
 	Visits  []int     `json:"visits"`
 }
 
+// MarshalJSON implements json.Marshaler, so a table embeds directly in
+// larger checkpoint envelopes (governor.Checkpointer payloads).
+func (t *QTable) MarshalJSON() ([]byte, error) {
+	return json.Marshal(qtableJSON{States: t.states, Actions: t.actions, Q: t.q, Visits: t.visits})
+}
+
+// UnmarshalJSON implements json.Unmarshaler with the same validation Load
+// applies: consistent dimensions, non-negative visit counts, and finite
+// Q-values — a NaN or ±Inf entry would poison every max/argmax the policy
+// computes from the row it lands in, so a corrupted table is rejected
+// whole rather than imported.
+func (t *QTable) UnmarshalJSON(b []byte) error {
+	var j qtableJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	if j.States < 1 || j.Actions < 1 || len(j.Q) != j.States*j.Actions || len(j.Visits) != len(j.Q) {
+		return fmt.Errorf("core: Q-table is inconsistent (%d states, %d actions, %d values)",
+			j.States, j.Actions, len(j.Q))
+	}
+	for i, q := range j.Q {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			return fmt.Errorf("core: Q-table is poisoned: Q(%d,%d) = %v", i/j.Actions, i%j.Actions, q)
+		}
+	}
+	for i, v := range j.Visits {
+		if v < 0 {
+			return fmt.Errorf("core: Q-table is inconsistent: Visits(%d,%d) = %d", i/j.Actions, i%j.Actions, v)
+		}
+	}
+	t.states, t.actions, t.q, t.visits = j.States, j.Actions, j.Q, j.Visits
+	return nil
+}
+
 // Save serialises the table as JSON. Together with Load it implements the
 // learning-transfer capability of Shafik et al. (TCAD'16, the paper's ref
 // [12]): a table learnt for one application run seeds the next, skipping
@@ -178,21 +213,18 @@ type qtableJSON struct {
 func (t *QTable) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	if err := enc.Encode(qtableJSON{States: t.states, Actions: t.actions, Q: t.q, Visits: t.visits}); err != nil {
+	if err := enc.Encode(t); err != nil {
 		return fmt.Errorf("core: saving Q-table: %w", err)
 	}
 	return bw.Flush()
 }
 
-// Load restores a table saved with Save.
+// Load restores a table saved with Save, rejecting inconsistent dimensions
+// and non-finite Q-values (see UnmarshalJSON).
 func Load(r io.Reader) (*QTable, error) {
-	var j qtableJSON
-	if err := json.NewDecoder(r).Decode(&j); err != nil {
+	t := new(QTable)
+	if err := json.NewDecoder(r).Decode(t); err != nil {
 		return nil, fmt.Errorf("core: loading Q-table: %w", err)
 	}
-	if j.States < 1 || j.Actions < 1 || len(j.Q) != j.States*j.Actions || len(j.Visits) != len(j.Q) {
-		return nil, fmt.Errorf("core: Q-table file is inconsistent (%d states, %d actions, %d values)",
-			j.States, j.Actions, len(j.Q))
-	}
-	return &QTable{states: j.States, actions: j.Actions, q: j.Q, visits: j.Visits}, nil
+	return t, nil
 }

@@ -104,6 +104,14 @@ func TestQTableSaveLoadRoundTrip(t *testing.T) {
 	q := NewQTable(4, 3, -1)
 	q.Update(1, 2, 0.7, 2, 0.5, 0.9)
 	q.Update(3, 0, -0.2, 1, 0.5, 0.9)
+	// Revisit one pair several times so the round-trip covers visit counts
+	// beyond 0/1 — the visit-decayed learning rate depends on them.
+	for i := 0; i < 7; i++ {
+		q.Update(1, 2, 0.1*float64(i), 0, 0.5, 0.9)
+	}
+	if q.Visits(1, 2) != 8 {
+		t.Fatalf("setup: Visits(1,2) = %d, want 8", q.Visits(1, 2))
+	}
 	var buf bytes.Buffer
 	if err := q.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -133,10 +141,28 @@ func TestLoadRejectsCorrupt(t *testing.T) {
 		"size mismatch":   `{"states":2,"actions":2,"q":[1,2,3],"visits":[0,0,0]}`,
 		"zero states":     `{"states":0,"actions":2,"q":[],"visits":[]}`,
 		"visits mismatch": `{"states":1,"actions":2,"q":[1,2],"visits":[0]}`,
+		"negative visits": `{"states":1,"actions":2,"q":[1,2],"visits":[0,-3]}`,
 	}
 	for name, in := range cases {
 		if _, err := Load(strings.NewReader(in)); err == nil {
 			t.Errorf("Load(%s) accepted", name)
+		}
+	}
+}
+
+// A NaN or ±Inf Q-value would poison every max/argmax computed from its
+// row, silently corrupting the policy — Load must reject the whole table.
+// JSON text cannot spell NaN, so the reachable vectors are out-of-range
+// numbers (hand-edited files, other tools); the explicit finite check in
+// UnmarshalJSON additionally guards any future decode path.
+func TestLoadRejectsPoisonedQValues(t *testing.T) {
+	cases := map[string]string{
+		"+Inf": `{"states":1,"actions":2,"q":[1e999,1],"visits":[0,0]}`,
+		"-Inf": `{"states":1,"actions":2,"q":[-1e999,1],"visits":[0,0]}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("Load(%s) accepted a poisoned table", name)
 		}
 	}
 }

@@ -133,6 +133,10 @@ type RTM struct {
 	explHist      []int32 // cumulative explorations after each epoch
 	calibrated    bool
 	ccSeen        bool // auto-ranging primed
+
+	// restored is the staged Checkpointer state; Reset applies it (see
+	// LoadState in checkpoint.go).
+	restored *rtmCheckpoint
 }
 
 // New constructs an RTM from the configuration.
@@ -261,6 +265,11 @@ func (r *RTM) Reset(ctx governor.Context) {
 			r.tables[i] = NewQTable(nStates, nActions, r.cfg.InitQ)
 		}
 	}
+	if r.restored != nil {
+		// A staged checkpoint outranks Config.Transfer: it carries visit
+		// counts and the state-space range as well as the Q-values.
+		r.applyRestored()
+	}
 	r.preds = make([]*predictor.EWMA, ctx.NumCores)
 	for i := range r.preds {
 		r.preds[i] = predictor.NewEWMA(r.cfg.EWMAGamma)
@@ -275,6 +284,9 @@ func (r *RTM) Reset(ctx governor.Context) {
 	}
 	r.slack = NewSlackTracker(r.cfg.SlackWindow)
 	r.cfg.Epsilon.Reset()
+	if r.restored != nil {
+		r.cfg.Epsilon.Restore(r.restored.Epsilon, r.restored.EpsEpoch)
+	}
 	r.tracker = governor.NewConvergenceTracker(r.cfg.StableEpochs)
 	// Two flips per window: one for a state crossing the visit threshold
 	// into the fingerprint, one for a genuine late adjustment.
@@ -290,6 +302,12 @@ func (r *RTM) Reset(ctx governor.Context) {
 	r.exploredPairs = make([]bool, nTables*nStates*nActions)
 	r.explHist = nil
 	r.ccSeen = false
+	if r.restored != nil && r.restored.CCMax > r.restored.CCMin {
+		// The restored tables were trained against the checkpointed range:
+		// auto-ranging may refine it from here but must not re-prime over
+		// it, which would re-quantise every restored row.
+		r.ccSeen = true
+	}
 	if r.cfg.UseNormalizedState {
 		// The Eq. 7 share is dimensionless: balanced work sits at 1.0,
 		// the busiest possible core at NumCores. [0, 2] covers everything

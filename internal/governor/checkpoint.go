@@ -1,0 +1,35 @@
+package governor
+
+import "io"
+
+// Checkpointer is implemented by learning governors whose learnt state can
+// be frozen to a stream and warm-started later — the generalisation of the
+// RTM-only Q-table transfer of Shafik et al. (TCAD'16, the paper's ref
+// [12]) to every learner in the program. A checkpoint carries everything a
+// learner needs to resume exploitation: value tables with their visit
+// counts, any state-space calibration, and the exploration schedule's
+// position.
+//
+// The lifecycle mirrors how the engine uses governors:
+//
+//	g, _ := governor.ByName("rtm")
+//	g.(governor.Checkpointer).LoadState(r) // stage the checkpoint
+//	... engine calls g.Reset(ctx) ...      // checkpoint is applied
+//	... run / serve decisions ...
+//	g.(governor.Checkpointer).SaveState(w) // freeze the learnt state
+//
+// LoadState validates everything it can immediately (format, internal
+// consistency, finite values) and stages the state; each subsequent Reset
+// re-applies it, so a warm-started governor stays warm-started across
+// runs, matching the semantics of core.Config.Transfer. State whose
+// dimensions do not fit the run's platform (a checkpoint from a 19-OPP
+// ladder loaded onto a 13-OPP one) can only be detected at Reset and
+// panics there, again matching Transfer.
+type Checkpointer interface {
+	// SaveState serialises the learnt state. It errors if the governor
+	// has not run yet (there is nothing to freeze).
+	SaveState(w io.Writer) error
+	// LoadState stages a checkpoint written by SaveState to be applied at
+	// the next Reset.
+	LoadState(r io.Reader) error
+}

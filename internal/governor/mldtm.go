@@ -1,6 +1,9 @@
 package governor
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
 	"math"
 	"math/rand"
 )
@@ -63,6 +66,9 @@ type MLDTM struct {
 	epoch        int
 	explorations int
 	tracker      *ConvergenceTracker
+
+	// restored is the staged Checkpointer state; Reset applies it.
+	restored *mldtmCheckpoint
 }
 
 // NewMLDTM constructs the baseline with the configuration used in the
@@ -119,6 +125,110 @@ func (g *MLDTM) Reset(ctx Context) {
 	g.explorations = 0
 	g.tracker = NewConvergenceTracker(g.StableEpochs)
 	g.tracker.MaxFlips = 2 // mirror the RTM's tolerance for comparability
+	if g.restored != nil {
+		g.applyRestored(nActions)
+	}
+}
+
+// mldtmCheckpoint is the ML-DTM's Checkpointer payload: every core's value
+// table with visit counts, flattened [core][band][action] row-major, plus
+// the epoch clock that drives the ε decay — a warm-started controller
+// resumes at the decayed exploration rate, not ε₀.
+type mldtmCheckpoint struct {
+	Kind    string    `json:"kind"`
+	Version int       `json:"version"`
+	Cores   int       `json:"cores"`
+	Bands   int       `json:"bands"`
+	Actions int       `json:"actions"`
+	Q       []float64 `json:"q"`
+	Visits  []int     `json:"visits"`
+	Epoch   int       `json:"epoch"`
+}
+
+// SaveState implements Checkpointer.
+func (g *MLDTM) SaveState(w io.Writer) error {
+	if g.q == nil {
+		return fmt.Errorf("governor: mldtm has not run yet, nothing to save")
+	}
+	cp := mldtmCheckpoint{
+		Kind:    "mldtm",
+		Version: 1,
+		Cores:   g.ctx.NumCores,
+		Bands:   g.UtilBands,
+		Actions: g.ctx.Table.Len(),
+		Epoch:   g.epoch,
+	}
+	cp.Q = make([]float64, 0, cp.Cores*cp.Bands*cp.Actions)
+	cp.Visits = make([]int, 0, cp.Cores*cp.Bands*cp.Actions)
+	for c := range g.q {
+		for s := range g.q[c] {
+			cp.Q = append(cp.Q, g.q[c][s]...)
+			cp.Visits = append(cp.Visits, g.visits[c][s]...)
+		}
+	}
+	if err := json.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("governor: saving mldtm state: %w", err)
+	}
+	return nil
+}
+
+// LoadState implements Checkpointer: validate, then stage for the next
+// Reset. A checkpoint whose core or action count does not match the run's
+// platform panics at Reset, the same contract as the RTM's.
+func (g *MLDTM) LoadState(r io.Reader) error {
+	var cp mldtmCheckpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("governor: loading mldtm state: %w", err)
+	}
+	if cp.Kind != "mldtm" {
+		return fmt.Errorf("governor: checkpoint is %q state, not mldtm", cp.Kind)
+	}
+	if cp.Version != 1 {
+		return fmt.Errorf("governor: unsupported mldtm checkpoint version %d", cp.Version)
+	}
+	if cp.Bands != g.UtilBands {
+		return fmt.Errorf("governor: checkpoint has %d utilisation bands, controller is configured with %d", cp.Bands, g.UtilBands)
+	}
+	n := cp.Cores * cp.Bands * cp.Actions
+	if cp.Cores < 1 || cp.Actions < 1 || len(cp.Q) != n || len(cp.Visits) != n {
+		return fmt.Errorf("governor: mldtm checkpoint is inconsistent (%d cores × %d bands × %d actions, %d values)",
+			cp.Cores, cp.Bands, cp.Actions, len(cp.Q))
+	}
+	for i, q := range cp.Q {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			return fmt.Errorf("governor: mldtm checkpoint is poisoned: q[%d] = %v", i, q)
+		}
+	}
+	for i, v := range cp.Visits {
+		if v < 0 {
+			return fmt.Errorf("governor: mldtm checkpoint is inconsistent: visits[%d] = %d", i, v)
+		}
+	}
+	if cp.Epoch < 0 {
+		return fmt.Errorf("governor: mldtm checkpoint epoch %d is negative", cp.Epoch)
+	}
+	g.restored = &cp
+	return nil
+}
+
+// applyRestored copies a staged checkpoint into freshly reset tables and
+// recomputes the greedy choices from the restored values.
+func (g *MLDTM) applyRestored(nActions int) {
+	cp := g.restored
+	if cp.Cores != g.ctx.NumCores || cp.Actions != nActions {
+		panic(fmt.Sprintf("governor: mldtm checkpoint is %d cores × %d actions, cluster has %d × %d",
+			cp.Cores, cp.Actions, g.ctx.NumCores, nActions))
+	}
+	i := 0
+	for c := range g.q {
+		for s := range g.q[c] {
+			copy(g.q[c][s], cp.Q[i:i+nActions])
+			copy(g.visits[c][s], cp.Visits[i:i+nActions])
+			g.greedy[c][s] = argmaxOf(g.q[c][s])
+			i += nActions
+		}
+	}
+	g.epoch = cp.Epoch
 }
 
 // stateOf maps a utilisation into a band index.
@@ -252,6 +362,8 @@ func argmaxOf(xs []float64) int {
 	}
 	return best
 }
+
+var _ Checkpointer = (*MLDTM)(nil)
 
 func init() {
 	Register("mldtm", func() Governor { return NewMLDTM() })

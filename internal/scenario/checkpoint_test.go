@@ -1,0 +1,134 @@
+package scenario_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qgov/internal/scenario"
+	"qgov/internal/sim"
+)
+
+// Every learning governor must be trainable, freezable and warm-startable
+// through the scenario registry — the generalisation of the RTM-only
+// Q-table transfer. The round-trip assertion is strong: freezing a
+// freshly warm-started governor must reproduce the checkpoint byte for
+// byte (tables, visit counts, state-space range and exploration-schedule
+// position all survive the trip).
+func TestEveryLearnerFreezesAndWarmStarts(t *testing.T) {
+	for _, gov := range []string{"rtm", "rtm-percore", "updrl", "mldtm"} {
+		t.Run(gov, func(t *testing.T) {
+			sc, err := scenario.Get(gov + "/mpeg4-30fps/a15")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Freezing before any run must fail: there is nothing to save.
+			cfg0, err := sc.Config(5, 500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := scenario.Freeze(cfg0.Governor, new(bytes.Buffer)); err == nil {
+				t.Fatal("freezing an un-run governor was accepted")
+			}
+
+			// Train, then freeze.
+			trained, err := sc.Session(5, 500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for !trained.Done() {
+				trained.Step(trained.Decide())
+			}
+			cold := trained.Result()
+			var frozen bytes.Buffer
+			if err := scenario.Freeze(trained.Governor(), &frozen); err != nil {
+				t.Fatal(err)
+			}
+
+			// Warm-start a fresh run of the same scenario and re-freeze:
+			// byte-identical state proves nothing was lost or mutated.
+			cfgW, err := sc.ConfigWarm(5, 500, bytes.NewReader(frozen.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm := sim.NewSession(cfgW)
+			var refrozen bytes.Buffer
+			if err := scenario.Freeze(cfgW.Governor, &refrozen); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(frozen.Bytes(), refrozen.Bytes()) {
+				t.Fatalf("freeze → warm-start → freeze is not the identity:\n%s\nvs\n%s",
+					frozen.String(), refrozen.String())
+			}
+
+			// A warm-started learner resumes exploitation: it must spend
+			// fewer exploratory decisions than the cold run it came from.
+			for !warm.Done() {
+				warm.Step(warm.Decide())
+			}
+			if w := warm.Result(); w.Explorations >= cold.Explorations {
+				t.Errorf("warm run explored %d times, cold run %d — warm start did not transfer",
+					w.Explorations, cold.Explorations)
+			}
+		})
+	}
+}
+
+func TestWarmStartRejectsNonLearner(t *testing.T) {
+	sc, err := scenario.Get("ondemand/mpeg4-30fps/a15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.ConfigWarm(1, 100, strings.NewReader("{}")); err == nil {
+		t.Fatal("warm-starting ondemand was accepted")
+	}
+	cfg, err := sc.Config(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.Freeze(cfg.Governor, new(bytes.Buffer)); err == nil {
+		t.Fatal("freezing ondemand was accepted")
+	}
+}
+
+// A checkpoint from one learner family must not load into another, and
+// corrupted state must be rejected at LoadState — before it can reach a
+// value table.
+func TestWarmStartRejectsForeignAndCorruptState(t *testing.T) {
+	rtm, err := scenario.Get("rtm/mpeg4-30fps/a15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mldtm, err := scenario.Get("mldtm/mpeg4-30fps/a15")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := rtm.Session(3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done() {
+		s.Step(s.Decide())
+	}
+	var rtmState bytes.Buffer
+	if err := scenario.Freeze(s.Governor(), &rtmState); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := mldtm.ConfigWarm(3, 300, bytes.NewReader(rtmState.Bytes())); err == nil {
+		t.Error("mldtm accepted an rtm checkpoint")
+	}
+	if _, err := rtm.ConfigWarm(3, 300, strings.NewReader("not json")); err == nil {
+		t.Error("rtm accepted garbage state")
+	}
+	// Truncating a table breaks the states×actions invariant.
+	broken := strings.Replace(rtmState.String(), `"q":[`, `"q":[0,`, 1)
+	if broken == rtmState.String() {
+		t.Fatal("corruption substitution failed")
+	}
+	if _, err := rtm.ConfigWarm(3, 300, strings.NewReader(broken)); err == nil {
+		t.Error("rtm accepted a corrupted checkpoint")
+	}
+}

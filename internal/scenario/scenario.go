@@ -14,6 +14,7 @@ package scenario
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -239,6 +240,52 @@ func (s Scenario) Config(seed int64, frames int) (sim.Config, error) {
 		Cluster:  plat.NewCluster(seed),
 		Seed:     seed,
 	}, nil
+}
+
+// Session materialises the scenario as a step-driven sim.Session: the
+// caller owns the decision loop (sim.Run's closed loop is the trivial
+// driver; cmd/rtmd's online serving is the interesting one).
+func (s Scenario) Session(seed int64, frames int) (*sim.Session, error) {
+	cfg, err := s.Config(seed, frames)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewSession(cfg), nil
+}
+
+// WarmStart stages a learner checkpoint (written by Freeze) into the
+// governor, which must implement governor.Checkpointer — this is how a
+// named scenario is warm-started from a trained, frozen state.
+func WarmStart(g governor.Governor, r io.Reader) error {
+	cp, ok := g.(governor.Checkpointer)
+	if !ok {
+		return fmt.Errorf("scenario: governor %s has no learnt state to warm-start", g.Name())
+	}
+	return cp.LoadState(r)
+}
+
+// Freeze writes the governor's learnt state, which it must expose through
+// governor.Checkpointer.
+func Freeze(g governor.Governor, w io.Writer) error {
+	cp, ok := g.(governor.Checkpointer)
+	if !ok {
+		return fmt.Errorf("scenario: governor %s has no learnt state to freeze", g.Name())
+	}
+	return cp.SaveState(w)
+}
+
+// ConfigWarm is Config with the scenario's governor warm-started from a
+// checkpoint: train a scenario, Freeze its governor, and any later run of
+// the same scenario resumes from the frozen policy instead of re-learning.
+func (s Scenario) ConfigWarm(seed int64, frames int, state io.Reader) (sim.Config, error) {
+	cfg, err := s.Config(seed, frames)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	if err := WarmStart(cfg.Governor, state); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
 }
 
 // Job wraps the scenario as a sweep job. The name is validated eagerly;

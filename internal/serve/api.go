@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"qgov/internal/governor"
+)
+
+// Wire types. Floats round-trip exactly through encoding/json (shortest
+// representation that parses back to the same float64), which is what
+// lets a served governor reproduce a sim.Run decision for decision.
+
+// createRequest creates one session.
+type createRequest struct {
+	// ID names the session; empty lets the server assign one. It must be
+	// filename-safe (it names the checkpoint file).
+	ID string `json:"id"`
+	// Governor is the registered governor name ("rtm", "mldtm", ...).
+	Governor string `json:"governor"`
+	// Platform is the scenario platform variant; empty uses the server
+	// default.
+	Platform string `json:"platform,omitempty"`
+	// PeriodS is the decision-epoch deadline Tref; 0 uses the server
+	// default.
+	PeriodS float64 `json:"period_s,omitempty"`
+	// Seed feeds the governor's stochastic policy.
+	Seed int64 `json:"seed,omitempty"`
+	// CalibrationCC optionally pre-characterises an RTM's workload state
+	// range (per-epoch critical-path cycle counts, the paper's design-
+	// space exploration).
+	CalibrationCC []float64 `json:"calibration_cc,omitempty"`
+	// State optionally warm-starts the governor from an inline
+	// checkpoint (the body written by /checkpoint or scenario.Freeze).
+	// It takes precedence over a checkpoint file on disk.
+	State json.RawMessage `json:"state,omitempty"`
+}
+
+type sessionInfo struct {
+	ID           string  `json:"id"`
+	Governor     string  `json:"governor"`
+	Platform     string  `json:"platform"`
+	PeriodS      float64 `json:"period_s"`
+	Seed         int64   `json:"seed"`
+	Epochs       int64   `json:"epochs"`
+	Explorations int     `json:"explorations"` // -1 for non-learners
+	ConvergedAt  int     `json:"converged_at"` // -1 while learning
+}
+
+type decideRequest struct {
+	Requests []decideItem `json:"requests"`
+}
+
+type decideItem struct {
+	Session string          `json:"session"`
+	Obs     observationJSON `json:"obs"`
+}
+
+// observationJSON mirrors governor.Observation field for field.
+type observationJSON struct {
+	Epoch     int       `json:"epoch"`
+	Cycles    []uint64  `json:"cycles,omitempty"`
+	Util      []float64 `json:"util,omitempty"`
+	ExecTimeS float64   `json:"exec_time_s"`
+	PeriodS   float64   `json:"period_s"`
+	WallTimeS float64   `json:"wall_time_s"`
+	PowerW    float64   `json:"power_w"`
+	TempC     float64   `json:"temp_c"`
+	OPPIdx    int       `json:"opp_idx"`
+}
+
+func (o observationJSON) observation() governor.Observation {
+	return governor.Observation{
+		Epoch:     o.Epoch,
+		Cycles:    o.Cycles,
+		Util:      o.Util,
+		ExecTimeS: o.ExecTimeS,
+		PeriodS:   o.PeriodS,
+		WallTimeS: o.WallTimeS,
+		PowerW:    o.PowerW,
+		TempC:     o.TempC,
+		OPPIdx:    o.OPPIdx,
+	}
+}
+
+type decideResponse struct {
+	Decisions []decisionJSON `json:"decisions"`
+}
+
+type decisionJSON struct {
+	Session string `json:"session"`
+	OPPIdx  int    `json:"opp_idx"`
+	FreqMHz int    `json:"freq_mhz,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// maxDecideBatch bounds one /v1/decide request; a controller batching
+// more clusters than this per tick should split the batch.
+const maxDecideBatch = 4096
+
+// maxBodyBytes bounds any request body (calibration series and inline
+// checkpoints are the big ones).
+const maxBodyBytes = 32 << 20
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("POST /v1/decide", s.handleDecide)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, status, err := s.createSession(req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	s.logf("serve: session %s created (%s on %s)", sess.id, sess.govName, sess.platName)
+	writeJSON(w, http.StatusCreated, s.info(sess))
+}
+
+func (s *Server) info(sess *session) sessionInfo {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	in := sessionInfo{
+		ID:           sess.id,
+		Governor:     sess.govName,
+		Platform:     sess.platName,
+		PeriodS:      sess.periodS,
+		Seed:         sess.seed,
+		Epochs:       sess.epochs,
+		Explorations: -1,
+		ConvergedAt:  -1,
+	}
+	if ls, ok := sess.gov.(governor.LearningStats); ok {
+		in.Explorations = ls.Explorations()
+		in.ConvergedAt = ls.ConvergedAtEpoch()
+	}
+	return in
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, errUnknownSession(r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(sess))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.deleteSession(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, errUnknownSession(r.PathValue("id")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, errUnknownSession(r.PathValue("id")))
+		return
+	}
+	cp, ok := sess.gov.(governor.Checkpointer)
+	if !ok {
+		writeError(w, http.StatusBadRequest,
+			errf("governor %s keeps no learnt state", sess.govName))
+		return
+	}
+	var buf bytes.Buffer
+	sess.mu.Lock()
+	err := cp.SaveState(&buf)
+	sess.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if s.opt.CheckpointDir != "" {
+		if err := atomicWrite(s.statePath(sess.id), buf.Bytes()); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]json.RawMessage{
+		"session": mustJSON(sess.id),
+		"state":   json.RawMessage(buf.Bytes()),
+	})
+}
+
+// decideOne serves one batch entry. Entries fail independently — an
+// unknown session or a rejected observation errors that entry, not the
+// batch.
+func (s *Server) decideOne(item decideItem) decisionJSON {
+	d := decisionJSON{Session: item.Session, OPPIdx: -1}
+	if sess := s.session(item.Session); sess == nil {
+		d.Error = errUnknownSession(item.Session).Error()
+	} else if idx, err := sess.decide(item.Obs.observation()); err != nil {
+		d.Error = err.Error()
+	} else {
+		d.OPPIdx = idx
+		d.FreqMHz = sess.table[idx].FreqMHz
+		s.decisions.Add(1)
+	}
+	return d
+}
+
+// parallelDecideThreshold is the batch size past which fanning entries
+// out across workers beats a serial loop (a single decision is a few
+// microseconds of governor work).
+const parallelDecideThreshold = 32
+
+// handleDecide is the serving hot path: one batched request carries one
+// observation per controlled session and returns one operating-point
+// decision each. Large batches fan out across workers — sessions lock
+// independently, so decisions for different sessions run concurrently
+// within a batch as well as across requests. A batch carrying several
+// observations for the *same* session is a protocol violation (the
+// session serialises them in unspecified order).
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	var req decideRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	n := len(req.Requests)
+	if n == 0 {
+		writeError(w, http.StatusBadRequest, errf("requests is empty"))
+		return
+	}
+	if n > maxDecideBatch {
+		writeError(w, http.StatusBadRequest,
+			errf("batch of %d exceeds the %d-decision limit", n, maxDecideBatch))
+		return
+	}
+	resp := decideResponse{Decisions: make([]decisionJSON, n)}
+	if n < parallelDecideThreshold {
+		for i, item := range req.Requests {
+			resp.Decisions[i] = s.decideOne(item)
+		}
+	} else {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					resp.Decisions[i] = s.decideOne(req.Requests[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	n := len(s.sessions)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"sessions":  n,
+		"decisions": s.decisions.Load(),
+	})
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+func errUnknownSession(id string) error { return errf("unknown session %q", id) }
+
+func mustJSON(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"qgov/internal/serve"
+)
+
+// benchBatch builds one batched decide body over the given session ids,
+// with a plausible steady-state observation per session.
+func benchBatch(ids []string) []byte {
+	items := make([]decideItem, len(ids))
+	for i, id := range ids {
+		items[i] = decideItem{Session: id, Obs: obsJSON{
+			Epoch:     1,
+			Cycles:    []uint64{30e6, 31e6, 29e6, 30e6},
+			Util:      []float64{0.6, 0.5, 0.7, 0.6},
+			ExecTimeS: 0.025,
+			PeriodS:   0.040,
+			WallTimeS: 0.040,
+			PowerW:    2,
+			TempC:     50,
+			OPPIdx:    10,
+		}}
+	}
+	raw, err := json.Marshal(map[string]any{"requests": items})
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+func benchServer(tb testing.TB, sessions int) (*httptest.Server, []string, func()) {
+	srv := serve.New(serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	ids := make([]string, sessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%d", i)
+		body, _ := json.Marshal(map[string]any{"id": ids[i], "governor": "rtm", "seed": i + 1})
+		resp, err := ts.Client().Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			tb.Fatalf("create returned %d", resp.StatusCode)
+		}
+	}
+	return ts, ids, func() {
+		ts.Close()
+		_ = srv.Close()
+	}
+}
+
+func postBatch(tb testing.TB, ts *httptest.Server, body []byte) {
+	resp, err := ts.Client().Post(ts.URL+"/v1/decide", "application/json", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var out struct {
+		Decisions []decision `json:"decisions"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, d := range out.Decisions {
+		if d.Error != "" {
+			tb.Fatal(d.Error)
+		}
+	}
+}
+
+// BenchmarkServeDecideThroughput measures the serving hot path end to end
+// — HTTP transport, JSON decode, per-session locking, governor decision —
+// as batched decisions/second over 64 concurrent RTM sessions. This is
+// the number the ≥10k decisions/sec acceptance bar reads.
+func BenchmarkServeDecideThroughput(b *testing.B) {
+	ts, ids, stop := benchServer(b, 64)
+	defer stop()
+	body := benchBatch(ids)
+	postBatch(b, ts, body) // warm the path before timing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postBatch(b, ts, body)
+	}
+	b.StopTimer()
+	total := float64(len(ids)) * float64(b.N)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "decisions/s")
+	b.ReportMetric(float64(len(ids)), "batch")
+}
+
+// The throughput floor as a plain test, far below the benchmark's real
+// figure so it holds even under -race on loaded CI machines: half a
+// second of hammering must clear 1k decisions/sec.
+func TestServeThroughputFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput floor is timing-dependent")
+	}
+	ts, ids, stop := benchServer(t, 64)
+	defer stop()
+	body := benchBatch(ids)
+	deadline := time.Now().Add(500 * time.Millisecond)
+	start := time.Now()
+	var decisions int
+	for time.Now().Before(deadline) {
+		postBatch(t, ts, body)
+		decisions += len(ids)
+	}
+	rate := float64(decisions) / time.Since(start).Seconds()
+	t.Logf("sustained %.0f decisions/s", rate)
+	if rate < 1000 {
+		t.Errorf("sustained only %.0f decisions/s, floor is 1000", rate)
+	}
+}

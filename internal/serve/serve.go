@@ -1,0 +1,377 @@
+// Package serve hosts governors as an online decision service — the
+// deployment shape the paper's RTM has on real hardware, where the
+// learning manager lives inside the OS and is fed one epoch's
+// PMU/power/timing observation at a time. A serve.Server holds many
+// independent sessions (one per controlled cluster, each with its own
+// governor instance and learning state) behind an HTTP JSON API:
+//
+//	POST   /v1/sessions                 create a session (optionally
+//	                                    calibrated and/or warm-started)
+//	POST   /v1/decide                   batched: one observation per
+//	                                    session, one OPP decision back
+//	GET    /v1/sessions/{id}            session info + learning stats
+//	POST   /v1/sessions/{id}/checkpoint freeze the learnt state now
+//	DELETE /v1/sessions/{id}            drop the session
+//	GET    /healthz                     liveness + counters
+//
+// Sessions are independent and internally locked: decisions for
+// different sessions run concurrently, decisions for one session
+// serialise, so each session's governor sees a strict observation
+// sequence and remains exactly as deterministic as under sim.Run (the
+// serve tests drive a sim.Session through this API and require
+// byte-identical physical aggregates). Learning state is periodically
+// checkpointed through governor.Checkpointer when a checkpoint directory
+// is configured, and sessions warm-start from their checkpoint file on
+// re-creation — a restarted server resumes its learnt policies.
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qgov/internal/core"
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/scenario"
+)
+
+// Options configures a Server. The zero value serves on the paper's
+// defaults: platform "a15", 25 fps decision epochs, no checkpointing.
+type Options struct {
+	// DefaultPlatform names the scenario platform variant used when a
+	// session create omits one. Empty selects "a15".
+	DefaultPlatform string
+	// DefaultPeriodS is the decision-epoch deadline used when a session
+	// create omits one. Zero selects 0.040 s (25 fps).
+	DefaultPeriodS float64
+	// CheckpointDir, when non-empty, is where session learning state is
+	// frozen (one "<id>.state" file per checkpointable session) and
+	// looked up again when a session of the same id is re-created.
+	CheckpointDir string
+	// CheckpointEvery is the period of the background checkpoint sweep;
+	// <= 0 disables the sweep (explicit /checkpoint calls and the final
+	// sweep on Close still run when CheckpointDir is set).
+	CheckpointEvery time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the concurrent session store behind the HTTP API.
+type Server struct {
+	opt Options
+
+	mu       sync.RWMutex
+	sessions map[string]*session
+	closed   bool
+
+	nextID    atomic.Int64
+	decisions atomic.Int64
+
+	done      chan struct{}
+	loopWG    sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// session is one controlled cluster's governor with its serving state.
+// mu serialises governor access: a governor mutates learning state in
+// Decide, and its determinism contract is a strict observation sequence.
+type session struct {
+	mu sync.Mutex
+
+	id       string
+	govName  string
+	platName string
+	periodS  float64
+	seed     int64
+
+	gov    governor.Governor
+	table  platform.OPPTable
+	cores  int
+	epochs int64
+}
+
+// New builds a Server and starts the periodic checkpoint sweep when
+// configured. Callers must Close it.
+func New(opt Options) *Server {
+	if opt.DefaultPlatform == "" {
+		opt.DefaultPlatform = "a15"
+	}
+	if opt.DefaultPeriodS <= 0 {
+		opt.DefaultPeriodS = 0.040
+	}
+	s := &Server{
+		opt:      opt,
+		sessions: make(map[string]*session),
+		done:     make(chan struct{}),
+	}
+	if opt.CheckpointDir != "" && opt.CheckpointEvery > 0 {
+		s.loopWG.Add(1)
+		go s.checkpointLoop()
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// Close stops the checkpoint sweep and, when a checkpoint directory is
+// configured, freezes every session one final time — the graceful-
+// shutdown half of warm restarts. It is idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.loopWG.Wait()
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		if s.opt.CheckpointDir != "" {
+			n, e := s.CheckpointAll()
+			s.logf("serve: final checkpoint: %d sessions", n)
+			err = e
+		}
+	})
+	return err
+}
+
+func (s *Server) checkpointLoop() {
+	defer s.loopWG.Done()
+	t := time.NewTicker(s.opt.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			if n, err := s.CheckpointAll(); err != nil {
+				s.logf("serve: checkpoint sweep: %v", err)
+			} else if n > 0 {
+				s.logf("serve: checkpointed %d sessions", n)
+			}
+		}
+	}
+}
+
+// CheckpointAll freezes every checkpointable session into CheckpointDir
+// and returns how many were written. The first error is returned after
+// attempting the rest.
+func (s *Server) CheckpointAll() (int, error) {
+	s.mu.RLock()
+	all := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	s.mu.RUnlock()
+
+	var n int
+	var firstErr error
+	for _, sess := range all {
+		wrote, err := s.checkpointSession(sess)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if wrote {
+			n++
+		}
+	}
+	return n, firstErr
+}
+
+// checkpointSession freezes one session's state to its file; sessions
+// whose governor keeps no learnt state (or that have not decided yet)
+// are skipped without error.
+func (s *Server) checkpointSession(sess *session) (bool, error) {
+	cp, ok := sess.gov.(governor.Checkpointer)
+	if !ok || s.opt.CheckpointDir == "" {
+		return false, nil
+	}
+	var buf bytes.Buffer
+	sess.mu.Lock()
+	epochs := sess.epochs
+	err := cp.SaveState(&buf)
+	sess.mu.Unlock()
+	if epochs == 0 {
+		return false, nil // nothing observed yet; keep any prior file
+	}
+	if err != nil {
+		return false, fmt.Errorf("serve: freezing %s: %w", sess.id, err)
+	}
+	if err := atomicWrite(s.statePath(sess.id), buf.Bytes()); err != nil {
+		return false, fmt.Errorf("serve: writing %s checkpoint: %w", sess.id, err)
+	}
+	return true, nil
+}
+
+func (s *Server) statePath(id string) string {
+	return filepath.Join(s.opt.CheckpointDir, id+".state")
+}
+
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".state-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// idPattern keeps session ids shell- and filename-safe: they become
+// checkpoint file names.
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,128}$`)
+
+// createSession builds, optionally calibrates and warm-starts, and
+// registers a session. It returns an HTTP status on failure.
+func (s *Server) createSession(req createRequest) (*session, int, error) {
+	id := req.ID
+	if id == "" {
+		id = fmt.Sprintf("s%d", s.nextID.Add(1))
+	}
+	if !idPattern.MatchString(id) {
+		return nil, 400, fmt.Errorf("session id %q must match %s", id, idPattern)
+	}
+	if req.Governor == "" {
+		return nil, 400, fmt.Errorf("governor is required (one of %v)", governor.Names())
+	}
+	if req.Governor == "oracle" {
+		return nil, 400, fmt.Errorf("the oracle is offline by definition (it needs the whole trace); it cannot serve online")
+	}
+	gov, err := governor.ByName(req.Governor)
+	if err != nil {
+		return nil, 400, err
+	}
+
+	platName := req.Platform
+	if platName == "" {
+		platName = s.opt.DefaultPlatform
+	}
+	plat, err := scenario.PlatformByName(platName)
+	if err != nil {
+		return nil, 400, err
+	}
+	cluster := plat.NewCluster(req.Seed)
+
+	periodS := req.PeriodS
+	if periodS == 0 {
+		periodS = s.opt.DefaultPeriodS
+	}
+	if !(periodS > 0) || periodS != periodS {
+		return nil, 400, fmt.Errorf("period_s %v must be positive", req.PeriodS)
+	}
+
+	if len(req.CalibrationCC) > 0 {
+		rtm, ok := gov.(*core.RTM)
+		if !ok {
+			return nil, 400, fmt.Errorf("governor %s does not take a workload calibration", req.Governor)
+		}
+		if err := rtm.Calibrate(req.CalibrationCC); err != nil {
+			return nil, 400, err
+		}
+	}
+
+	if len(req.State) > 0 {
+		if err := scenario.WarmStart(gov, bytes.NewReader(req.State)); err != nil {
+			return nil, 400, err
+		}
+	} else if s.opt.CheckpointDir != "" {
+		// A session re-created under its old id resumes its learnt policy.
+		if f, err := os.Open(s.statePath(id)); err == nil {
+			err = scenario.WarmStart(gov, f)
+			f.Close()
+			if err != nil {
+				return nil, 500, fmt.Errorf("warm-starting %s from checkpoint: %w", id, err)
+			}
+			s.logf("serve: session %s warm-started from %s", id, s.statePath(id))
+		}
+	}
+
+	sess := &session{
+		id:       id,
+		govName:  req.Governor,
+		platName: platName,
+		periodS:  periodS,
+		seed:     req.Seed,
+		gov:      gov,
+		table:    cluster.Table(),
+		cores:    cluster.NumCores(),
+	}
+	if err := resetGovernor(sess); err != nil {
+		return nil, 400, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 503, fmt.Errorf("server is shutting down")
+	}
+	if _, dup := s.sessions[id]; dup {
+		return nil, 409, fmt.Errorf("session %q already exists", id)
+	}
+	s.sessions[id] = sess
+	return sess, 0, nil
+}
+
+// resetGovernor runs the governor's Reset, converting the panic a
+// dimension-mismatched checkpoint raises (the Config.Transfer contract)
+// into an error the API can return.
+func resetGovernor(sess *session) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("resetting governor: %v", r)
+		}
+	}()
+	sess.gov.Reset(governor.Context{
+		Table:    sess.table,
+		NumCores: sess.cores,
+		PeriodS:  sess.periodS,
+		Seed:     sess.seed,
+	})
+	return nil
+}
+
+func (s *Server) session(id string) *session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[id]
+}
+
+func (s *Server) deleteSession(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return false
+	}
+	delete(s.sessions, id)
+	return true
+}
+
+// decide serialises one decision on the session. Governor panics (a
+// malformed observation hitting a harness-bug assertion) are contained
+// per call so one bad request cannot take the server down.
+func (sess *session) decide(obs governor.Observation) (idx int, err error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("governor rejected the observation: %v", r)
+		}
+	}()
+	idx = sess.gov.Decide(obs)
+	sess.epochs++
+	return idx, nil
+}

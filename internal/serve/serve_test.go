@@ -1,0 +1,445 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"qgov/internal/scenario"
+	"qgov/internal/serve"
+	"qgov/internal/sim"
+	"qgov/internal/workload"
+)
+
+// --- HTTP test harness ------------------------------------------------------
+
+type testServer struct {
+	t   *testing.T
+	srv *serve.Server
+	ts  *httptest.Server
+}
+
+func newTestServer(t *testing.T, opt serve.Options) *testServer {
+	t.Helper()
+	srv := serve.New(opt)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("closing server: %v", err)
+		}
+	})
+	return &testServer{t: t, srv: srv, ts: ts}
+}
+
+// post sends a JSON body and decodes the JSON response into out (which
+// may be nil). It returns the HTTP status.
+func (h *testServer) post(path string, body, out any) int {
+	h.t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := h.ts.Client().Post(h.ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			h.t.Fatalf("decoding %s response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (h *testServer) get(path string, out any) int {
+	h.t.Helper()
+	resp, err := h.ts.Client().Get(h.ts.URL + path)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			h.t.Fatalf("decoding %s response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+type obsJSON struct {
+	Epoch     int       `json:"epoch"`
+	Cycles    []uint64  `json:"cycles,omitempty"`
+	Util      []float64 `json:"util,omitempty"`
+	ExecTimeS float64   `json:"exec_time_s"`
+	PeriodS   float64   `json:"period_s"`
+	WallTimeS float64   `json:"wall_time_s"`
+	PowerW    float64   `json:"power_w"`
+	TempC     float64   `json:"temp_c"`
+	OPPIdx    int       `json:"opp_idx"`
+}
+
+type decideItem struct {
+	Session string  `json:"session"`
+	Obs     obsJSON `json:"obs"`
+}
+
+type decision struct {
+	Session string `json:"session"`
+	OPPIdx  int    `json:"opp_idx"`
+	FreqMHz int    `json:"freq_mhz"`
+	Error   string `json:"error"`
+}
+
+type sessionInfo struct {
+	ID           string `json:"id"`
+	Epochs       int64  `json:"epochs"`
+	Explorations int    `json:"explorations"`
+	ConvergedAt  int    `json:"converged_at"`
+}
+
+func obsOf(s *sim.Session) obsJSON {
+	o := s.Observe()
+	return obsJSON{
+		Epoch:     o.Epoch,
+		Cycles:    o.Cycles,
+		Util:      o.Util,
+		ExecTimeS: o.ExecTimeS,
+		PeriodS:   o.PeriodS,
+		WallTimeS: o.WallTimeS,
+		PowerW:    o.PowerW,
+		TempC:     o.TempC,
+		OPPIdx:    o.OPPIdx,
+	}
+}
+
+// driveOne runs one sim.Session to completion with every decision served
+// over HTTP, one session per batch.
+func (h *testServer) driveOne(id string, s *sim.Session) *sim.Result {
+	h.t.Helper()
+	for !s.Done() {
+		var resp struct {
+			Decisions []decision `json:"decisions"`
+		}
+		if st := h.post("/v1/decide", map[string]any{
+			"requests": []decideItem{{Session: id, Obs: obsOf(s)}},
+		}, &resp); st != http.StatusOK {
+			h.t.Fatalf("decide returned %d", st)
+		}
+		if len(resp.Decisions) != 1 || resp.Decisions[0].Error != "" {
+			h.t.Fatalf("decide failed: %+v", resp.Decisions)
+		}
+		s.Step(resp.Decisions[0].OPPIdx)
+	}
+	return s.Result()
+}
+
+// physical projects the fields that must be byte-identical however the
+// decisions were served; learning fields live on the serving side.
+type physical struct {
+	EnergyJ, SensorEnergyJ, MeanPowerW, SimTimeS, NormPerf, MissRate float64
+	Misses, Transitions                                              int
+	FinalTempC                                                       float64
+}
+
+func phys(r *sim.Result) physical {
+	return physical{r.EnergyJ, r.SensorEnergyJ, r.MeanPowerW, r.SimTimeS,
+		r.NormPerf, r.MissRate, r.Misses, r.Transitions, r.FinalTempC}
+}
+
+func scenarioConfig(t *testing.T, name string, seed int64, frames int) sim.Config {
+	t.Helper()
+	sc, err := scenario.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sc.Config(seed, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// --- tests ------------------------------------------------------------------
+
+// A governor served over HTTP must reproduce sim.Run decision for
+// decision: the platform side (a local sim.Session fed the served OPP
+// indices) lands on byte-identical physical aggregates, and the serving
+// side accumulates the very learning statistics the closed-loop Result
+// reports. This is the acceptance contract of the serve layer — floats
+// round-trip exactly through JSON, so there is no tolerance here.
+func TestServedDecisionsMatchSimRun(t *testing.T) {
+	const (
+		scn    = "rtm/mpeg4-30fps/a15"
+		seed   = 5
+		frames = 400
+	)
+	want := sim.Run(scenarioConfig(t, scn, seed, frames))
+
+	h := newTestServer(t, serve.Options{})
+	tr := workload.MPEG4At30(seed, frames)
+	if st := h.post("/v1/sessions", map[string]any{
+		"id":             "c0",
+		"governor":       "rtm",
+		"platform":       "a15",
+		"period_s":       tr.RefTimeS,
+		"seed":           seed,
+		"calibration_cc": tr.MaxPerFrame(),
+	}, nil); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+
+	got := h.driveOne("c0", sim.NewSession(scenarioConfig(t, scn, seed, frames)))
+	if phys(want) != phys(got) {
+		t.Errorf("served run diverged from sim.Run:\n%+v\nvs\n%+v", phys(want), phys(got))
+	}
+
+	var info sessionInfo
+	if st := h.get("/v1/sessions/c0", &info); st != http.StatusOK {
+		t.Fatalf("info returned %d", st)
+	}
+	if info.Epochs != frames {
+		t.Errorf("server saw %d epochs, want %d", info.Epochs, frames)
+	}
+	if info.Explorations != want.Explorations || info.ConvergedAt != want.ConvergedAt {
+		t.Errorf("served learning stats (expl %d, conv %d) differ from sim.Run (expl %d, conv %d)",
+			info.Explorations, info.ConvergedAt, want.Explorations, want.ConvergedAt)
+	}
+}
+
+// Many goroutines hammer the batched decide endpoint concurrently, each
+// owning a few sessions it advances in lockstep. Run under -race this
+// exercises the session store and per-session locking; the determinism
+// check is that every session still lands byte-identically on its serial
+// sim.Run twin, however the server interleaved the batches.
+func TestConcurrentServeSessionsDeterministic(t *testing.T) {
+	const (
+		goroutines = 6
+		perG       = 4
+		frames     = 120
+		scn        = "rtm/mpeg4-30fps/a15"
+	)
+	h := newTestServer(t, serve.Options{})
+
+	type lane struct {
+		id   string
+		seed int64
+	}
+	lanes := make([][]lane, goroutines)
+	for g := range lanes {
+		lanes[g] = make([]lane, perG)
+		for m := range lanes[g] {
+			l := lane{id: fmt.Sprintf("g%d-m%d", g, m), seed: int64(1 + g*perG + m)}
+			lanes[g][m] = l
+			tr := workload.MPEG4At30(l.seed, frames)
+			if st := h.post("/v1/sessions", map[string]any{
+				"id":             l.id,
+				"governor":       "rtm",
+				"period_s":       tr.RefTimeS,
+				"seed":           l.seed,
+				"calibration_cc": tr.MaxPerFrame(),
+			}, nil); st != http.StatusCreated {
+				t.Fatalf("create %s returned %d", l.id, st)
+			}
+		}
+	}
+
+	results := make([][]*sim.Result, goroutines)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sims := make([]*sim.Session, perG)
+			for m, l := range lanes[g] {
+				sc, err := scenario.Get(scn)
+				if err != nil {
+					errs <- err
+					return
+				}
+				cfg, err := sc.Config(l.seed, frames)
+				if err != nil {
+					errs <- err
+					return
+				}
+				sims[m] = sim.NewSession(cfg)
+			}
+			for !sims[0].Done() {
+				items := make([]decideItem, perG)
+				for m := range sims {
+					items[m] = decideItem{Session: lanes[g][m].id, Obs: obsOf(sims[m])}
+				}
+				raw, err := json.Marshal(map[string]any{"requests": items})
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := h.ts.Client().Post(h.ts.URL+"/v1/decide", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out struct {
+					Decisions []decision `json:"decisions"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				for m, d := range out.Decisions {
+					if d.Error != "" {
+						errs <- fmt.Errorf("session %s: %s", lanes[g][m].id, d.Error)
+						return
+					}
+					sims[m].Step(d.OPPIdx)
+				}
+			}
+			results[g] = make([]*sim.Result, perG)
+			for m := range sims {
+				results[g][m] = sims[m].Result()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for g := range lanes {
+		for m, l := range lanes[g] {
+			want := sim.Run(scenarioConfig(t, scn, l.seed, frames))
+			if phys(want) != phys(results[g][m]) {
+				t.Errorf("session %s diverged from its serial twin", l.id)
+			}
+			var info sessionInfo
+			if st := h.get("/v1/sessions/"+l.id, &info); st != http.StatusOK {
+				t.Fatalf("info %s returned %d", l.id, st)
+			}
+			if info.Explorations != want.Explorations {
+				t.Errorf("session %s explored %d times, serial twin %d", l.id, info.Explorations, want.Explorations)
+			}
+		}
+	}
+}
+
+// Checkpoint to disk, shut the server down, bring up a new one on the
+// same directory: a session re-created under its old id must warm-start
+// from the frozen state — freezing it again immediately reproduces the
+// checkpoint byte for byte (modulo JSON re-encoding).
+func TestServeCheckpointSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	const frames = 300
+
+	srv1 := serve.New(serve.Options{CheckpointDir: dir, CheckpointEvery: time.Hour})
+	ts1 := httptest.NewServer(srv1.Handler())
+	h1 := &testServer{t: t, srv: srv1, ts: ts1}
+
+	tr := workload.MPEG4At30(9, frames)
+	if st := h1.post("/v1/sessions", map[string]any{
+		"id": "c0", "governor": "rtm", "period_s": tr.RefTimeS, "seed": 9,
+		"calibration_cc": tr.MaxPerFrame(),
+	}, nil); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+	h1.driveOne("c0", sim.NewSession(scenarioConfig(t, "rtm/mpeg4-30fps/a15", 9, frames)))
+
+	ts1.Close()
+	if err := srv1.Close(); err != nil { // final sweep freezes c0
+		t.Fatal(err)
+	}
+	frozen, err := os.ReadFile(dir + "/c0.state")
+	if err != nil {
+		t.Fatalf("final checkpoint was not written: %v", err)
+	}
+
+	h2 := newTestServer(t, serve.Options{CheckpointDir: dir, CheckpointEvery: time.Hour})
+	if st := h2.post("/v1/sessions", map[string]any{
+		"id": "c0", "governor": "rtm", "period_s": tr.RefTimeS, "seed": 9,
+	}, nil); st != http.StatusCreated {
+		t.Fatalf("re-create returned %d", st)
+	}
+	var out struct {
+		State json.RawMessage `json:"state"`
+	}
+	if st := h2.post("/v1/sessions/c0/checkpoint", map[string]any{}, &out); st != http.StatusOK {
+		t.Fatalf("checkpoint returned %d", st)
+	}
+	var a, b any
+	if err := json.Unmarshal(frozen, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(out.State, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("warm-started session does not reproduce its checkpoint")
+	}
+}
+
+// Per-entry failure isolation and session lifecycle status codes.
+func TestServeAPILifecycle(t *testing.T) {
+	h := newTestServer(t, serve.Options{})
+
+	if st := h.post("/v1/sessions", map[string]any{"id": "a", "governor": "ondemand"}, nil); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+	if st := h.post("/v1/sessions", map[string]any{"id": "a", "governor": "ondemand"}, nil); st != http.StatusConflict {
+		t.Errorf("duplicate create returned %d, want 409", st)
+	}
+	if st := h.post("/v1/sessions", map[string]any{"id": "b", "governor": "oracle"}, nil); st != http.StatusBadRequest {
+		t.Errorf("oracle create returned %d, want 400", st)
+	}
+	if st := h.post("/v1/sessions", map[string]any{"id": "../evil", "governor": "rtm"}, nil); st != http.StatusBadRequest {
+		t.Errorf("unsafe id returned %d, want 400", st)
+	}
+	if st := h.post("/v1/sessions", map[string]any{"id": "c", "governor": "mldtm", "calibration_cc": []float64{1, 2}}, nil); st != http.StatusBadRequest {
+		t.Errorf("mldtm with calibration returned %d, want 400", st)
+	}
+
+	// One bad entry must not fail the batch.
+	var resp struct {
+		Decisions []decision `json:"decisions"`
+	}
+	if st := h.post("/v1/decide", map[string]any{"requests": []decideItem{
+		{Session: "a", Obs: obsJSON{Epoch: -1}},
+		{Session: "ghost", Obs: obsJSON{Epoch: -1}},
+	}}, &resp); st != http.StatusOK {
+		t.Fatalf("decide returned %d", st)
+	}
+	if resp.Decisions[0].Error != "" || resp.Decisions[1].Error == "" {
+		t.Errorf("per-entry isolation broken: %+v", resp.Decisions)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, h.ts.URL+"/v1/sessions/a", nil)
+	r, err := h.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNoContent {
+		t.Errorf("delete returned %d, want 204", r.StatusCode)
+	}
+	if st := h.get("/v1/sessions/a", nil); st != http.StatusNotFound {
+		t.Errorf("info after delete returned %d, want 404", st)
+	}
+
+	var health struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	}
+	if st := h.get("/healthz", &health); st != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz %d %+v", st, health)
+	}
+}

@@ -65,6 +65,18 @@ func TestSameSeedIdenticalAcrossExecutionModes(t *testing.T) {
 		"RunAll":   func() []*sim.Result { return sim.RunAll(determinismJobs(t, frames)) },
 		"Stream-1": func() []*sim.Result { return collectStream(determinismJobs(t, frames), 1) },
 		"Stream-8": func() []*sim.Result { return collectStream(determinismJobs(t, frames), 8) },
+		"Session": func() []*sim.Result {
+			// The step-driven path: the caller owns the loop.
+			out := make([]*sim.Result, 0)
+			for _, j := range determinismJobs(t, frames) {
+				s := sim.NewSession(j.Build())
+				for !s.Done() {
+					s.Step(s.Decide())
+				}
+				out = append(out, s.Result())
+			}
+			return out
+		},
 	}
 	for _, procs := range []int{1, 2, 4} {
 		prev := runtime.GOMAXPROCS(procs)

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 
 	"qgov/internal/governor"
@@ -87,148 +86,16 @@ type tracer interface {
 }
 
 // Run executes the trace to completion and returns the aggregated result.
-// It validates the trace and panics on configuration errors (nil governor,
-// trace wider than the cluster) — those are harness bugs, not run-time
+// It is the closed offline loop over the step-driven Session: validation
+// and panics on configuration errors (nil governor, trace wider than the
+// cluster) happen in NewSession — those are harness bugs, not run-time
 // conditions.
 func Run(cfg Config) *Result {
-	if cfg.Governor == nil {
-		panic("sim: Config.Governor is nil")
+	s := NewSession(cfg)
+	for !s.Done() {
+		s.Step(s.Decide())
 	}
-	if err := cfg.Trace.Validate(); err != nil {
-		panic(fmt.Sprintf("sim: %v", err))
-	}
-	cluster := cfg.Cluster
-	if cluster == nil {
-		cluster = platform.DefaultA15Cluster(cfg.Seed)
-	}
-	if cfg.Trace.Threads() > cluster.NumCores() {
-		panic(fmt.Sprintf("sim: trace %q needs %d threads, cluster has %d cores",
-			cfg.Trace.Name, cfg.Trace.Threads(), cluster.NumCores()))
-	}
-
-	ctx := governor.Context{
-		Table:    cluster.Table(),
-		NumCores: cluster.NumCores(),
-		PeriodS:  cfg.Trace.RefTimeS,
-		Seed:     cfg.Seed,
-	}
-	cfg.Governor.Reset(ctx)
-
-	var decisionOverhead float64
-	if om, ok := cfg.Governor.(governor.OverheadModeler); ok {
-		decisionOverhead = om.DecisionOverheadS()
-	}
-
-	res := &Result{
-		Workload:     cfg.Trace.Name,
-		Governor:     cfg.Governor.Name(),
-		Frames:       cfg.Trace.Len(),
-		Explorations: -1,
-		ConvergedAt:  -1,
-	}
-	if cfg.Record {
-		res.Records = getRecords(cfg.Trace.Len())
-	}
-
-	prev := make([]platform.PMUSample, cluster.NumCores())
-	for c := range prev {
-		prev[c] = cluster.PMU(c).Read()
-	}
-	obs := governor.Observation{Epoch: -1}
-	var sumPerf float64
-
-	// Observation buffers are reused across frames: governors consume them
-	// inside Decide and must not retain them (none do — the Observation
-	// contract is a per-epoch snapshot).
-	cycles := make([]uint64, cluster.NumCores())
-	utils := make([]float64, cluster.NumCores())
-
-	for i, frame := range cfg.Trace.Frames {
-		// The governor may inspect its predictors before we feed the
-		// frame; capture the forecast it is acting on. Only recorded runs
-		// pay for the introspection.
-		predicted := nan()
-		if cfg.Record && i > 0 {
-			if tr, ok := cfg.Governor.(tracer); ok {
-				predicted = maxFloat64s(tr.PredictedCC())
-			}
-		}
-
-		idx := cfg.Governor.Decide(obs)
-		transitionCost := cluster.SetOPP(idx)
-		rep := cluster.Execute(frame.Cycles, decisionOverhead+transitionCost, cfg.Trace.RefTimeS)
-
-		// Build the observation for the next decision from what the OS
-		// could measure: PMU deltas, the sensor, the clock.
-		for c := range cycles {
-			s := cluster.PMU(c).Read()
-			d := s.Delta(prev[c])
-			prev[c] = s
-			cycles[c] = d.Cycles
-			utils[c] = d.Utilization()
-		}
-		obs = governor.Observation{
-			Epoch:     i,
-			Cycles:    cycles,
-			Util:      utils,
-			ExecTimeS: rep.ExecTimeS,
-			PeriodS:   cfg.Trace.RefTimeS,
-			WallTimeS: rep.WallTimeS,
-			PowerW:    rep.SensorPowerW,
-			TempC:     rep.EndTempC,
-			OPPIdx:    rep.OPPIdx,
-		}
-
-		missed := rep.SlackS < 0
-		if missed {
-			res.Misses++
-		}
-		res.EnergyJ += rep.EnergyJ
-		res.SensorEnergyJ += rep.SensorPowerW * rep.WallTimeS
-		res.SimTimeS += rep.WallTimeS
-		sumPerf += rep.ExecTimeS / cfg.Trace.RefTimeS
-
-		if cfg.Record {
-			rec := FrameRecord{
-				Epoch:        i,
-				OPPIdx:       rep.OPPIdx,
-				FreqMHz:      rep.OPP.FreqMHz,
-				ExecTimeS:    rep.ExecTimeS,
-				SlackRatio:   rep.SlackS / cfg.Trace.RefTimeS,
-				EnergyJ:      rep.EnergyJ,
-				AvgPowerW:    rep.AvgPowerW,
-				SensorPowerW: rep.SensorPowerW,
-				TempC:        rep.EndTempC,
-				Missed:       missed,
-				ActualCC:     float64(frame.MaxCycles()),
-				PredictedCC:  predicted,
-				AvgSlackL:    nan(),
-				Epsilon:      nan(),
-			}
-			if tr, ok := cfg.Governor.(tracer); ok {
-				rec.AvgSlackL = tr.SlackL()
-				rec.Epsilon = tr.Epsilon()
-			}
-			res.Records = append(res.Records, rec)
-		}
-	}
-
-	res.NormPerf = sumPerf / float64(cfg.Trace.Len())
-	res.MissRate = float64(res.Misses) / float64(cfg.Trace.Len())
-	if res.SimTimeS > 0 {
-		res.MeanPowerW = res.EnergyJ / res.SimTimeS
-	}
-	res.Transitions = cluster.Transitions()
-	res.FinalTempC = cluster.TempC()
-	if ls, ok := cfg.Governor.(governor.LearningStats); ok {
-		res.Explorations = ls.Explorations()
-		res.ConvergedAt = ls.ConvergedAtEpoch()
-		res.ExplorationsToConv = res.Explorations
-		if curve, ok := cfg.Governor.(governor.ExplorationCurve); ok && res.ConvergedAt >= 0 {
-			res.ExplorationsToConv = curve.ExplorationsAt(res.ConvergedAt)
-		}
-	}
-	return res
+	return s.Result()
 }
 
 func nan() float64 { return math.NaN() }

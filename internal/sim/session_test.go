@@ -1,0 +1,238 @@
+package sim_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"qgov/internal/scenario"
+	"qgov/internal/sim"
+)
+
+func sessionScenarioConfig(t *testing.T, name string, seed int64, frames int) sim.Config {
+	t.Helper()
+	sc, err := scenario.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sc.Config(seed, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// resultsEqual compares two results byte-for-byte, treating NaN as equal
+// to NaN: recorded runs legitimately carry NaN in the tracer fields
+// (PredictedCC before the first forecast, AvgSlackL/Epsilon for opaque
+// governors), which reflect.DeepEqual would report as a difference.
+func resultsEqual(a, b *sim.Result) bool {
+	ra, rb := a.Records, b.Records
+	if len(ra) != len(rb) {
+		return false
+	}
+	ca, cb := *a, *b
+	ca.Records, cb.Records = nil, nil
+	if !reflect.DeepEqual(&ca, &cb) {
+		return false
+	}
+	sameF := func(x, y float64) bool { return x == y || (x != x && y != y) }
+	for i := range ra {
+		x, y := ra[i], rb[i]
+		if !sameF(x.PredictedCC, y.PredictedCC) || !sameF(x.AvgSlackL, y.AvgSlackL) || !sameF(x.Epsilon, y.Epsilon) {
+			return false
+		}
+		x.PredictedCC, y.PredictedCC = 0, 0
+		x.AvgSlackL, y.AvgSlackL = 0, 0
+		x.Epsilon, y.Epsilon = 0, 0
+		if x != y {
+			return false
+		}
+	}
+	return true
+}
+
+// A hand-driven Session loop must be byte-identical to Run — the extract-
+// method contract of the refactor. Recorded runs are included so the
+// tracer introspection path (predicted CC, slack L, ε capture order) is
+// locked too.
+func TestSessionLoopMatchesRun(t *testing.T) {
+	for _, name := range []string{
+		"rtm/mpeg4-30fps/a15",
+		"mldtm/h264-15fps/a15",
+		"ondemand/fft-32fps/a7",
+	} {
+		for _, record := range []bool{false, true} {
+			cfg := sessionScenarioConfig(t, name, 11, 180)
+			cfg.Record = record
+			want := sim.Run(cfg)
+
+			cfg2 := sessionScenarioConfig(t, name, 11, 180)
+			cfg2.Record = record
+			s := sim.NewSession(cfg2)
+			for !s.Done() {
+				s.Step(s.Decide())
+			}
+			if got := s.Result(); !resultsEqual(want, got) {
+				t.Errorf("%s (record=%v): session loop diverged from Run\nrun:     %+v\nsession: %+v",
+					name, record, want, got)
+			}
+		}
+	}
+}
+
+// Snapshot mid-run, round-trip it through JSON, restore against a freshly
+// built Config and finish both sessions: every aggregate must match. This
+// is the resumability contract — a snapshot plus the Config determines the
+// session exactly.
+func TestSessionSnapshotRestoreResumes(t *testing.T) {
+	const name, seed, frames = "rtm/mpeg4-30fps/a15", 7, 300
+
+	orig := sim.NewSession(sessionScenarioConfig(t, name, seed, frames))
+	for orig.Epoch() < frames/2 {
+		orig.Step(orig.Decide())
+	}
+
+	raw, err := json.Marshal(orig.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap sim.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := sim.RestoreSession(sessionScenarioConfig(t, name, seed, frames), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Epoch() != orig.Epoch() {
+		t.Fatalf("restored at epoch %d, want %d", restored.Epoch(), orig.Epoch())
+	}
+	if !reflect.DeepEqual(orig.Observe(), restored.Observe()) {
+		t.Fatalf("restored observation differs:\n%+v\nvs\n%+v", orig.Observe(), restored.Observe())
+	}
+
+	for !orig.Done() {
+		orig.Step(orig.Decide())
+		restored.Step(restored.Decide())
+	}
+	if !reflect.DeepEqual(orig.Result(), restored.Result()) {
+		t.Errorf("resumed run diverged:\n%+v\nvs\n%+v", orig.Result(), restored.Result())
+	}
+}
+
+// A restore against the wrong Config (different seed → different governor
+// decisions) must be refused, not silently diverge.
+func TestSessionRestoreRejectsMismatch(t *testing.T) {
+	s := sim.NewSession(sessionScenarioConfig(t, "rtm/mpeg4-30fps/a15", 7, 200))
+	for s.Epoch() < 150 {
+		s.Step(s.Decide())
+	}
+	snap := s.Snapshot()
+
+	if _, err := sim.RestoreSession(sessionScenarioConfig(t, "rtm/mpeg4-30fps/a15", 8, 200), snap); err == nil {
+		t.Error("restore with a different seed was accepted")
+	}
+	if _, err := sim.RestoreSession(sessionScenarioConfig(t, "ondemand/mpeg4-30fps/a15", 7, 200), snap); err == nil {
+		t.Error("restore with a different governor was accepted")
+	}
+
+	bad := snap
+	bad.Chosen = bad.Chosen[:len(bad.Chosen)-1]
+	if _, err := sim.RestoreSession(sessionScenarioConfig(t, "rtm/mpeg4-30fps/a15", 7, 200), bad); err == nil {
+		t.Error("inconsistent snapshot was accepted")
+	}
+}
+
+// A driver may consult the governor and then override its choice (a cap,
+// a floor); the snapshot logs both, so such histories restore exactly.
+func TestSessionRestoreWithOverriddenDecisions(t *testing.T) {
+	const name, seed, frames = "rtm/mpeg4-30fps/a15", 7, 240
+	cap := func(a int) int {
+		if a > 10 {
+			return 10
+		}
+		return a
+	}
+
+	orig := sim.NewSession(sessionScenarioConfig(t, name, seed, frames))
+	for orig.Epoch() < frames/2 {
+		orig.Step(cap(orig.Decide()))
+	}
+	restored, err := sim.RestoreSession(sessionScenarioConfig(t, name, seed, frames), orig.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !orig.Done() {
+		orig.Step(cap(orig.Decide()))
+		restored.Step(cap(restored.Decide()))
+	}
+	if !reflect.DeepEqual(orig.Result(), restored.Result()) {
+		t.Errorf("capped run did not restore:\n%+v\nvs\n%+v", orig.Result(), restored.Result())
+	}
+}
+
+// Externally driven sessions — actions fed to Step without consulting the
+// session's governor — must reproduce the physical aggregates of the run
+// the actions came from. This is the serve-mode shape: the decision maker
+// lives outside the simulator.
+func TestSessionExternalDriveMatchesPhysicalAggregates(t *testing.T) {
+	const name, seed, frames = "rtm/h264-15fps/a15", 3, 250
+
+	ref := sim.NewSession(sessionScenarioConfig(t, name, seed, frames))
+	var actions []int
+	for !ref.Done() {
+		a := ref.Decide()
+		actions = append(actions, a)
+		ref.Step(a)
+	}
+	want := ref.Result()
+
+	ext := sim.NewSession(sessionScenarioConfig(t, name, seed, frames))
+	for i := 0; !ext.Done(); i++ {
+		ext.Step(actions[i])
+	}
+	got := ext.Result()
+
+	// The external session's own governor was never consulted, so learning
+	// fields legitimately differ; everything physical must be identical.
+	type phys struct {
+		EnergyJ, SensorEnergyJ, MeanPowerW, SimTimeS, NormPerf, MissRate float64
+		Misses, Transitions                                              int
+		FinalTempC                                                       float64
+	}
+	p := func(r *sim.Result) phys {
+		return phys{r.EnergyJ, r.SensorEnergyJ, r.MeanPowerW, r.SimTimeS,
+			r.NormPerf, r.MissRate, r.Misses, r.Transitions, r.FinalTempC}
+	}
+	if p(want) != p(got) {
+		t.Errorf("externally driven session diverged physically:\n%+v\nvs\n%+v", p(want), p(got))
+	}
+}
+
+func TestSessionStepAndDecideContracts(t *testing.T) {
+	cfg := sessionScenarioConfig(t, "ondemand/mpeg4-30fps/a15", 1, 5)
+	s := sim.NewSession(cfg)
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+
+	s.Decide()
+	mustPanic("double Decide", func() { s.Decide() })
+
+	for !s.Done() {
+		s.Step(0)
+	}
+	mustPanic("Step past end", func() { s.Step(0) })
+	if s.Epoch() != 5 {
+		t.Fatalf("epoch %d after exhausting 5 frames", s.Epoch())
+	}
+}
