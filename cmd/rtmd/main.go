@@ -9,14 +9,23 @@
 // Usage:
 //
 //	rtmd -addr :8090
+//	rtmd -addr :8090 -listen-tcp :8091
 //	rtmd -addr :8090 -checkpoint-dir /var/lib/rtmd -checkpoint-every 30s
 //
 //	curl -s localhost:8090/v1/sessions -d '{"id":"cluster0","governor":"rtm","seed":1}'
 //	curl -s localhost:8090/v1/decide -d '{"requests":[{"session":"cluster0","obs":{"epoch":-1}}]}'
 //
+// -listen-tcp additionally serves the binary wire protocol (see
+// internal/wire and the README's "Wire protocol" section) on persistent
+// multiplexed connections — the transport fast path, several times the
+// decisions/s of the JSON endpoint. HTTP stays up alongside it as the
+// control plane (sessions are created and checkpointed over JSON) and as
+// the differential-testing oracle for the binary path.
+//
 // Learning state is checkpointed periodically and on graceful shutdown
-// (SIGINT/SIGTERM); a restarted rtmd warm-starts every session that is
-// re-created under its old id.
+// (SIGINT/SIGTERM) — both listeners drain before the final freeze — and
+// a restarted rtmd warm-starts every session that is re-created under
+// its old id.
 package main
 
 import (
@@ -25,9 +34,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -39,7 +50,8 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8090", "listen address")
+		addr       = flag.String("addr", ":8090", "HTTP listen address (control plane + JSON decide)")
+		tcpAddr    = flag.String("listen-tcp", "", "binary wire-protocol listen address (empty: HTTP only)")
 		platform   = flag.String("platform", "a15", "default platform variant for new sessions")
 		periodS    = flag.Float64("period", 0.040, "default decision-epoch deadline Tref in seconds")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for session learning-state checkpoints (empty: no persistence)")
@@ -68,6 +80,24 @@ func main() {
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	var tcpSrv *serve.TCPServer
+	if *tcpAddr != "" {
+		lis, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		tcpSrv = serve.NewTCP(srv, lis)
+		go func() {
+			// An accept error ends the binary listener but must not kill
+			// the process: HTTP keeps serving and, crucially, the final
+			// checkpoint still runs on shutdown.
+			if err := tcpSrv.Serve(); err != nil {
+				logf("rtmd: binary transport down: %v", err)
+			}
+		}()
+		logf("rtmd: binary transport on %s", lis.Addr())
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	drained := make(chan struct{})
@@ -77,18 +107,34 @@ func main() {
 		logf("rtmd: shutting down (draining for up to %v)", *drainGrace)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 		defer cancel()
-		if err := hs.Shutdown(drainCtx); err != nil {
-			logf("rtmd: drain: %v", err)
+		// Drain both transports in parallel within the same grace window.
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := hs.Shutdown(drainCtx); err != nil {
+				logf("rtmd: http drain: %v", err)
+			}
+		}()
+		if tcpSrv != nil {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := tcpSrv.Shutdown(drainCtx); err != nil {
+					logf("rtmd: tcp drain: %v", err)
+				}
+			}()
 		}
+		wg.Wait()
 	}()
 
 	logf("rtmd: serving on %s (default platform %s, Tref %gs)", *addr, *platform, *periodS)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
-	// ListenAndServe returns the moment Shutdown begins; wait for the
-	// drain to finish before the final checkpoint, so no in-flight
-	// decision can land between the freeze and exit.
+	// ListenAndServe returns the moment Shutdown begins; wait for both
+	// transports to finish draining before the final checkpoint, so no
+	// in-flight decision can land between the freeze and exit.
 	<-drained
 	if err := srv.Close(); err != nil {
 		fatal(err)

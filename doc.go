@@ -37,8 +37,18 @@
 //	                     (governor.Checkpointer)
 //	internal/serve       governors as an online decision service: many
 //	                     concurrent sessions (one per controlled
-//	                     cluster) behind a batched /v1/decide HTTP API,
-//	                     with periodic learning-state checkpoints
+//	                     cluster) behind a batched /v1/decide HTTP API
+//	                     and a binary streaming TCP transport (~5× the
+//	                     JSON path's decisions/s), with per-session
+//	                     decision-latency histograms on /v1/metrics and
+//	                     periodic learning-state checkpoints
+//	internal/wire        the length-prefixed binary frame codec of the
+//	                     streaming transport: zero-allocation encode/
+//	                     decode of observe/decide messages, fuzzed
+//	                     against truncated/oversized/bit-flipped frames
+//	internal/serve/client the multiplexed Go client for the binary
+//	                     transport (used by benchmarks and the
+//	                     cross-transport equivalence tests)
 //	internal/experiments Table I, II, III, Fig. 3 and the ablations
 //
 // The sim.Session inversion is what connects the two halves: sim.Run,
@@ -50,7 +60,8 @@
 // streaming scenario sweeps (-run sweep -match 'rtm/*/a15'), cmd/rtmsim
 // runs one governor on one workload or one named scenario (-save-state /
 // -load-state freeze and warm-start any learner), cmd/rtmd serves
-// governor decisions over HTTP, cmd/tracegen emits workload traces,
+// governor decisions over HTTP and (-listen-tcp) the binary wire
+// protocol, cmd/tracegen emits workload traces,
 // cmd/benchjson converts benchmark output to the BENCH_<n>.json perf
 // artifacts; examples/ holds runnable API walkthroughs; the benchmarks
 // in bench_test.go regenerate each experiment under `go test -bench`.

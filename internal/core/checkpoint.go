@@ -123,6 +123,7 @@ func (r *RTM) applyRestored() {
 		}
 		copy(dst.q, src.q)
 		copy(dst.visits, src.visits)
+		dst.recomputeRowVisits()
 	}
 	r.space.CCMin, r.space.CCMax = cp.CCMin, cp.CCMax
 	r.calibrated = cp.Calibrated

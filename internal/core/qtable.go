@@ -23,6 +23,11 @@ type QTable struct {
 	actions int
 	q       []float64
 	visits  []int
+	// rowVisits caches per-state visit totals. The convergence tracker
+	// reads RowVisits for every state on every decision, which made the
+	// O(actions) sum the single hottest path of the decision service;
+	// the cache turns it into a load.
+	rowVisits []int
 }
 
 // NewQTable creates a table with every entry at initQ.
@@ -31,15 +36,31 @@ func NewQTable(states, actions int, initQ float64) *QTable {
 		panic(fmt.Sprintf("core: QTable(%d states, %d actions)", states, actions))
 	}
 	t := &QTable{
-		states:  states,
-		actions: actions,
-		q:       make([]float64, states*actions),
-		visits:  make([]int, states*actions),
+		states:    states,
+		actions:   actions,
+		q:         make([]float64, states*actions),
+		visits:    make([]int, states*actions),
+		rowVisits: make([]int, states),
 	}
 	for i := range t.q {
 		t.q[i] = initQ
 	}
 	return t
+}
+
+// recomputeRowVisits rebuilds the per-state cache from visits — the
+// deserialisation paths call it after replacing the visits slice.
+func (t *QTable) recomputeRowVisits() {
+	if len(t.rowVisits) != t.states {
+		t.rowVisits = make([]int, t.states)
+	}
+	for s := 0; s < t.states; s++ {
+		var sum int
+		for a := 0; a < t.actions; a++ {
+			sum += t.visits[s*t.actions+a]
+		}
+		t.rowVisits[s] = sum
+	}
 }
 
 // States returns |S|.
@@ -56,11 +77,10 @@ func (t *QTable) Visits(state, action int) int { return t.visits[t.idx(state, ac
 
 // RowVisits returns the total updates state has received across actions.
 func (t *QTable) RowVisits(state int) int {
-	var sum int
-	for a := 0; a < t.actions; a++ {
-		sum += t.visits[state*t.actions+a]
+	if state < 0 || state >= t.states {
+		panic(fmt.Sprintf("core: state %d outside [0,%d)", state, t.states))
 	}
-	return sum
+	return t.rowVisits[state]
 }
 
 // Update applies Bellman's optimality equation (Eq. 3):
@@ -73,6 +93,7 @@ func (t *QTable) Update(state, action int, reward float64, nextState int, alpha,
 	best := t.MaxQ(nextState)
 	t.q[i] = (1-alpha)*t.q[i] + alpha*(reward+discount*best)
 	t.visits[i]++
+	t.rowVisits[state]++
 }
 
 // UpdateSARSA applies the on-policy temporal-difference update:
@@ -90,6 +111,7 @@ func (t *QTable) UpdateSARSA(state, action int, reward float64, nextState, nextA
 	next := t.Q(nextState, nextAction)
 	t.q[i] = (1-alpha)*t.q[i] + alpha*(reward+discount*next)
 	t.visits[i]++
+	t.rowVisits[state]++
 }
 
 // MaxQ returns max over actions of Q(state, ·).
@@ -203,6 +225,7 @@ func (t *QTable) UnmarshalJSON(b []byte) error {
 		}
 	}
 	t.states, t.actions, t.q, t.visits = j.States, j.Actions, j.Q, j.Visits
+	t.recomputeRowVisits()
 	return nil
 }
 

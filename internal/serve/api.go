@@ -115,6 +115,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -243,6 +244,39 @@ func (s *Server) decideOne(item decideItem) decisionJSON {
 // microseconds of governor work).
 const parallelDecideThreshold = 32
 
+// fanOut runs f(0..n-1), in parallel across min(GOMAXPROCS, n) workers
+// when the batch is big enough to amortise the goroutine hand-off. Both
+// transports decide batches through it: sessions lock independently, so
+// entries for different sessions run concurrently.
+func fanOut(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if n < parallelDecideThreshold || workers < 2 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // handleDecide is the serving hot path: one batched request carries one
 // observation per controlled session and returns one operating-point
 // decision each. Large batches fan out across workers — sessions lock
@@ -266,33 +300,61 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := decideResponse{Decisions: make([]decisionJSON, n)}
-	if n < parallelDecideThreshold {
-		for i, item := range req.Requests {
-			resp.Decisions[i] = s.decideOne(item)
-		}
-	} else {
-		workers := runtime.GOMAXPROCS(0)
-		if workers > n {
-			workers = n
-		}
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					resp.Decisions[i] = s.decideOne(req.Requests[i])
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	fanOut(n, func(i int) {
+		resp.Decisions[i] = s.decideOne(req.Requests[i])
+	})
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// latencyJSON is one session's decision-latency histogram: fixed-width
+// bins over [lo_us, hi_us] with out-of-range samples in underflow/
+// overflow, so every decision is accounted for exactly once.
+type latencyJSON struct {
+	Count      int     `json:"count"`
+	LoUS       float64 `json:"lo_us"`
+	HiUS       float64 `json:"hi_us"`
+	BinWidthUS float64 `json:"bin_width_us"`
+	Bins       []int   `json:"bins"`
+	Underflow  int     `json:"underflow"`
+	Overflow   int     `json:"overflow"`
+}
+
+type metricsJSON struct {
+	Decisions int64                  `json:"decisions"`
+	Sessions  map[string]latencyJSON `json:"sessions"`
+}
+
+// handleMetrics reports per-session decision-latency histograms — the
+// online-learning-ops view of the serving fleet. Each session is
+// snapshotted under its own lock, so metrics reads interleave with
+// serving without stalling the whole store.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	all := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	s.mu.RUnlock()
+
+	out := metricsJSON{
+		Decisions: s.decisions.Load(),
+		Sessions:  make(map[string]latencyJSON, len(all)),
+	}
+	for _, sess := range all {
+		sess.mu.Lock()
+		lj := latencyJSON{
+			Count:      sess.lat.Count(),
+			LoUS:       sess.lat.Lo(),
+			HiUS:       sess.lat.Hi(),
+			BinWidthUS: sess.lat.BinWidth(),
+			Bins:       sess.lat.Bins(),
+			Underflow:  sess.lat.Underflow(),
+			Overflow:   sess.lat.Overflow(),
+		}
+		sess.mu.Unlock()
+		out.Sessions[sess.id] = lj
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

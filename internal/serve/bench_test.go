@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
+	"qgov/internal/governor"
 	"qgov/internal/serve"
+	"qgov/internal/serve/client"
 )
 
 // benchBatch builds one batched decide body over the given session ids,
@@ -36,7 +39,7 @@ func benchBatch(ids []string) []byte {
 	return raw
 }
 
-func benchServer(tb testing.TB, sessions int) (*httptest.Server, []string, func()) {
+func benchServer(tb testing.TB, sessions int) (*serve.Server, *httptest.Server, []string, func()) {
 	srv := serve.New(serve.Options{})
 	ts := httptest.NewServer(srv.Handler())
 	ids := make([]string, sessions)
@@ -52,7 +55,7 @@ func benchServer(tb testing.TB, sessions int) (*httptest.Server, []string, func(
 			tb.Fatalf("create returned %d", resp.StatusCode)
 		}
 	}
-	return ts, ids, func() {
+	return srv, ts, ids, func() {
 		ts.Close()
 		_ = srv.Close()
 	}
@@ -83,7 +86,7 @@ func postBatch(tb testing.TB, ts *httptest.Server, body []byte) {
 // as batched decisions/second over 64 concurrent RTM sessions. This is
 // the number the ≥10k decisions/sec acceptance bar reads.
 func BenchmarkServeDecideThroughput(b *testing.B) {
-	ts, ids, stop := benchServer(b, 64)
+	_, ts, ids, stop := benchServer(b, 64)
 	defer stop()
 	body := benchBatch(ids)
 	postBatch(b, ts, body) // warm the path before timing
@@ -97,6 +100,60 @@ func BenchmarkServeDecideThroughput(b *testing.B) {
 	b.ReportMetric(float64(len(ids)), "batch")
 }
 
+// BenchmarkBinaryDecideThroughput measures the transport fast path end
+// to end — persistent TCP, binary frames, connection-level batching,
+// governor decision — as batched decisions/second over 256 concurrent
+// RTM sessions on one multiplexed connection. The ≥500k decisions/s
+// acceptance bar (4× the HTTP+JSON path of BENCH_2.json) reads this
+// number.
+func BenchmarkBinaryDecideThroughput(b *testing.B) {
+	const sessions = 256
+	srv, _, ids, stop := benchServer(b, sessions)
+	defer stop()
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tcpSrv := serve.NewTCP(srv, lis)
+	go func() { _ = tcpSrv.Serve() }()
+	defer tcpSrv.Close()
+
+	cl, err := client.Dial(lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	obs := make([]governor.Observation, sessions)
+	out := make([]client.Decision, sessions)
+	for i := range obs {
+		obs[i] = steadyObs()
+	}
+	check := func() {
+		if err := cl.DecideBatch(ids, obs, out); err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range out {
+			if d.Err != "" {
+				b.Fatal(d.Err)
+			}
+		}
+	}
+	check() // warm the path (and the connection) before timing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.DecideBatch(ids, obs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	check() // errors would have surfaced per entry; spot-check once more
+	total := float64(sessions) * float64(b.N)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "decisions/s")
+	b.ReportMetric(float64(sessions), "batch")
+}
+
 // The throughput floor as a plain test, far below the benchmark's real
 // figure so it holds even under -race on loaded CI machines: half a
 // second of hammering must clear 1k decisions/sec.
@@ -104,7 +161,7 @@ func TestServeThroughputFloor(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throughput floor is timing-dependent")
 	}
-	ts, ids, stop := benchServer(t, 64)
+	_, ts, ids, stop := benchServer(t, 64)
 	defer stop()
 	body := benchBatch(ids)
 	deadline := time.Now().Add(500 * time.Millisecond)

@@ -1,0 +1,241 @@
+// Package client speaks the rtmd binary wire protocol: a persistent
+// multiplexed TCP connection carrying observe→decide frames. Many
+// goroutines may share one Client — requests are tagged with ids, writes
+// of a batch coalesce into one flush, and a single reader goroutine
+// routes responses back to their callers. The serve benchmarks and the
+// cross-transport equivalence tests drive their sessions through it.
+//
+// The client carries only the decision hot loop; session lifecycle
+// (create, inspect, checkpoint, delete) stays on the HTTP JSON API.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"qgov/internal/governor"
+	"qgov/internal/wire"
+)
+
+// Decision is one answered request. Err mirrors the per-entry error of
+// the JSON batch API: non-empty means this request failed (unknown
+// session, rejected observation) while others in the batch may have
+// succeeded.
+type Decision struct {
+	OPPIdx  int
+	FreqMHz int
+	Err     string
+}
+
+// Request ids pack a batch handle and an index: the high 20 bits name
+// the DecideBatch call, the low 12 its entry. One routing-table insert
+// covers a whole batch, so the per-decision client cost is a shared-map
+// read — not an insert/delete pair — which matters at 500k decisions/s.
+const (
+	indexBits = 12
+	// MaxBatch bounds one DecideBatch call (it must fit the index bits);
+	// it equals the server's per-fan-out coalescing limit.
+	MaxBatch = 1 << indexBits
+)
+
+// batchCall tracks one DecideBatch in flight. The reader fills out
+// entries as frames arrive (any order) and closes done when the last
+// one lands.
+type batchCall struct {
+	out       []Decision
+	remaining int
+	done      chan struct{}
+}
+
+// Client is a multiplexed connection to an rtmd binary listener.
+type Client struct {
+	conn net.Conn
+
+	// wmu serialises the write half: frame encoding into enc and the
+	// buffered writer.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	enc []byte
+
+	// mu guards the routing table and the sticky transport error.
+	mu        sync.Mutex
+	pending   map[uint32]*batchCall // keyed by batch handle (id >> indexBits)
+	nextBatch uint32
+	err       error
+
+	readerDone chan struct{}
+}
+
+// Dial connects to an rtmd -listen-tcp address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:       conn,
+		bw:         bufio.NewWriterSize(conn, 64<<10),
+		pending:    make(map[uint32]*batchCall),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; in-flight requests fail with a
+// transport error.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// CloseWrite half-closes the connection: the server sees end of stream,
+// drains what it already received, answers, and closes. Callers read
+// their remaining responses through in-flight DecideBatch calls.
+func (c *Client) CloseWrite() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	if tc, ok := c.conn.(*net.TCPConn); ok {
+		return tc.CloseWrite()
+	}
+	return errors.New("client: connection does not support half-close")
+}
+
+// Decide serves one observation for one session and returns the
+// operating-point decision.
+func (c *Client) Decide(session string, obs governor.Observation) (Decision, error) {
+	var out [1]Decision
+	if err := c.decideBatch([]string{session}, []governor.Observation{obs}, out[:]); err != nil {
+		return Decision{}, err
+	}
+	return out[0], nil
+}
+
+// DecideBatch serves one observation per session — the binary twin of
+// POST /v1/decide. All frames are written under one flush; the call
+// returns when every response has arrived, filling out[i] for
+// sessions[i]. A returned error is transport-level and poisons the
+// client; per-request failures land in out[i].Err instead.
+func (c *Client) DecideBatch(sessions []string, obs []governor.Observation, out []Decision) error {
+	if len(sessions) != len(obs) || len(sessions) != len(out) {
+		return fmt.Errorf("client: mismatched batch slices (%d sessions, %d observations, %d outputs)",
+			len(sessions), len(obs), len(out))
+	}
+	if len(sessions) == 0 {
+		return nil
+	}
+	return c.decideBatch(sessions, obs, out)
+}
+
+func (c *Client) decideBatch(sessions []string, obs []governor.Observation, out []Decision) error {
+	n := len(sessions)
+	if n > MaxBatch {
+		return fmt.Errorf("client: batch of %d exceeds the %d-request limit", n, MaxBatch)
+	}
+	bc := &batchCall{out: out, remaining: n, done: make(chan struct{})}
+
+	// Reserve a batch handle and publish the routing entry before any
+	// frame can be answered. Handles wrap after 2^20 batches; by then the
+	// old holder is long gone.
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	handle := c.nextBatch & (1<<(32-indexBits) - 1)
+	c.nextBatch++
+	c.pending[handle] = bc
+	c.mu.Unlock()
+	base := handle << indexBits
+
+	// Encode every frame and flush once.
+	c.wmu.Lock()
+	var err error
+	for i := 0; i < n && err == nil; i++ {
+		c.enc, err = wire.AppendObserve(c.enc[:0], base|uint32(i), sessions[i], &obs[i])
+		if err == nil {
+			_, err = c.bw.Write(c.enc)
+		}
+	}
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, handle)
+		c.mu.Unlock()
+		return err
+	}
+
+	<-bc.done
+	c.mu.Lock()
+	err = c.err
+	c.mu.Unlock()
+	if bc.remaining != 0 { // released by fail(), not by the last response
+		return fmt.Errorf("client: transport failed mid-batch: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	r := wire.NewReader(c.conn)
+	var m wire.Decide
+	for {
+		typ, payload, err := r.Next()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if typ != wire.MsgDecide {
+			c.fail(fmt.Errorf("client: unexpected frame type 0x%02x", typ))
+			return
+		}
+		if err := m.Decode(payload); err != nil {
+			c.fail(err)
+			return
+		}
+		handle, idx := m.ID>>indexBits, int(m.ID&(MaxBatch-1))
+		c.mu.Lock()
+		bc := c.pending[handle]
+		if bc != nil && idx < len(bc.out) {
+			d := &bc.out[idx]
+			d.OPPIdx = int(m.OPPIdx)
+			d.FreqMHz = int(m.FreqMHz)
+			if len(m.Err) > 0 {
+				d.Err = string(m.Err)
+			} else {
+				d.Err = ""
+			}
+			bc.remaining--
+			if bc.remaining == 0 {
+				delete(c.pending, handle)
+				close(bc.done)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// fail records the transport error and releases every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for handle, bc := range c.pending {
+		delete(c.pending, handle)
+		close(bc.done)
+	}
+}

@@ -1,0 +1,162 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"testing"
+
+	"qgov/internal/serve"
+	"qgov/internal/serve/client"
+	"qgov/internal/sim"
+	"qgov/internal/workload"
+)
+
+// driveHTTPRecording runs a sim.Session to completion over the JSON API,
+// returning every OPP decision in order.
+func (h *testServer) driveHTTPRecording(id string, s *sim.Session) ([]int, *sim.Result, error) {
+	var opps []int
+	for !s.Done() {
+		var resp struct {
+			Decisions []decision `json:"decisions"`
+		}
+		if st := h.post("/v1/decide", map[string]any{
+			"requests": []decideItem{{Session: id, Obs: obsOf(s)}},
+		}, &resp); st != http.StatusOK {
+			return nil, nil, fmt.Errorf("decide returned %d", st)
+		}
+		if len(resp.Decisions) != 1 || resp.Decisions[0].Error != "" {
+			return nil, nil, fmt.Errorf("decide failed: %+v", resp.Decisions)
+		}
+		opps = append(opps, resp.Decisions[0].OPPIdx)
+		s.Step(resp.Decisions[0].OPPIdx)
+	}
+	return opps, s.Result(), nil
+}
+
+// driveTCPRecording is the binary-transport twin of driveHTTPRecording.
+func driveTCPRecording(cl *client.Client, id string, s *sim.Session) ([]int, *sim.Result, error) {
+	var opps []int
+	for !s.Done() {
+		d, err := cl.Decide(id, s.Observe())
+		if err != nil {
+			return nil, nil, err
+		}
+		if d.Err != "" {
+			return nil, nil, fmt.Errorf("decide failed: %s", d.Err)
+		}
+		opps = append(opps, d.OPPIdx)
+		s.Step(d.OPPIdx)
+	}
+	return opps, s.Result(), nil
+}
+
+// The same scenario driven over HTTP+JSON and over binary TCP must
+// produce byte-identical per-session decision streams, physical
+// aggregates, and frozen checkpoints — HTTP is the differential-testing
+// oracle for the fast path. Sessions run concurrently over one shared
+// multiplexed client, so under -race this also exercises the connection
+// batching against the session store.
+func TestCrossTransportEquivalence(t *testing.T) {
+	const (
+		scn      = "rtm/mpeg4-30fps/a15"
+		frames   = 120
+		sessions = 6
+	)
+	dirHTTP, dirTCP := t.TempDir(), t.TempDir()
+	hHTTP := newTestServer(t, serve.Options{CheckpointDir: dirHTTP})
+	hTCP := newTestServer(t, serve.Options{CheckpointDir: dirTCP})
+	ts := newTCPServer(t, hTCP)
+
+	cl, err := client.Dial(ts.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	type lane struct {
+		id   string
+		seed int64
+	}
+	lanes := make([]lane, sessions)
+	for i := range lanes {
+		lanes[i] = lane{id: fmt.Sprintf("eq-%d", i), seed: int64(i + 1)}
+		tr := workload.MPEG4At30(lanes[i].seed, frames)
+		create := map[string]any{
+			"id":             lanes[i].id,
+			"governor":       "rtm",
+			"period_s":       tr.RefTimeS,
+			"seed":           lanes[i].seed,
+			"calibration_cc": tr.MaxPerFrame(),
+		}
+		if st := hHTTP.post("/v1/sessions", create, nil); st != http.StatusCreated {
+			t.Fatalf("create %s on HTTP server returned %d", lanes[i].id, st)
+		}
+		if st := hTCP.post("/v1/sessions", create, nil); st != http.StatusCreated {
+			t.Fatalf("create %s on TCP server returned %d", lanes[i].id, st)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for _, l := range lanes {
+		wg.Add(1)
+		go func(l lane) {
+			defer wg.Done()
+			oppsH, resH, err := hHTTP.driveHTTPRecording(l.id, sim.NewSession(scenarioConfig(t, scn, l.seed, frames)))
+			if err != nil {
+				errs <- fmt.Errorf("%s over HTTP: %w", l.id, err)
+				return
+			}
+			oppsT, resT, err := driveTCPRecording(cl, l.id, sim.NewSession(scenarioConfig(t, scn, l.seed, frames)))
+			if err != nil {
+				errs <- fmt.Errorf("%s over TCP: %w", l.id, err)
+				return
+			}
+			if len(oppsH) != len(oppsT) {
+				errs <- fmt.Errorf("%s: %d decisions over HTTP, %d over TCP", l.id, len(oppsH), len(oppsT))
+				return
+			}
+			for i := range oppsH {
+				if oppsH[i] != oppsT[i] {
+					errs <- fmt.Errorf("%s: decision %d is %d over HTTP, %d over TCP", l.id, i, oppsH[i], oppsT[i])
+					return
+				}
+			}
+			if phys(resH) != phys(resT) {
+				errs <- fmt.Errorf("%s: physical aggregates diverged:\n%+v\nvs\n%+v", l.id, phys(resH), phys(resT))
+			}
+		}(l)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Identical learning implies identical frozen state, byte for byte.
+	if _, err := hHTTP.srv.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hTCP.srv.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lanes {
+		a, err := os.ReadFile(dirHTTP + "/" + l.id + ".state")
+		if err != nil {
+			t.Fatalf("HTTP checkpoint for %s: %v", l.id, err)
+		}
+		b, err := os.ReadFile(dirTCP + "/" + l.id + ".state")
+		if err != nil {
+			t.Fatalf("TCP checkpoint for %s: %v", l.id, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: checkpoints differ between transports (%d vs %d bytes)", l.id, len(a), len(b))
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package serve_test
+
+import (
+	"net/http"
+	"testing"
+
+	"qgov/internal/serve"
+)
+
+type latencyMetrics struct {
+	Count      int     `json:"count"`
+	LoUS       float64 `json:"lo_us"`
+	HiUS       float64 `json:"hi_us"`
+	BinWidthUS float64 `json:"bin_width_us"`
+	Bins       []int   `json:"bins"`
+	Underflow  int     `json:"underflow"`
+	Overflow   int     `json:"overflow"`
+}
+
+type metricsResponse struct {
+	Decisions int64                     `json:"decisions"`
+	Sessions  map[string]latencyMetrics `json:"sessions"`
+}
+
+// After a known decision sequence, /v1/metrics must account for every
+// decision exactly once in that session's latency histogram: the bin
+// counts (plus overflow) sum to the number of decisions served, nothing
+// lands below zero latency, and the histogram geometry is the advertised
+// 1 µs × 50 grid.
+func TestMetricsLatencyHistogram(t *testing.T) {
+	const decisions = 37
+	h := newTestServer(t, serve.Options{})
+	if st := h.post("/v1/sessions", map[string]any{"id": "m0", "governor": "rtm", "seed": 3}, nil); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+	// A second, never-decided session must report an all-zero histogram.
+	if st := h.post("/v1/sessions", map[string]any{"id": "idle", "governor": "rtm"}, nil); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+
+	obs := steadyObs()
+	for i := 0; i < decisions; i++ {
+		obs.Epoch = i
+		var resp struct {
+			Decisions []decision `json:"decisions"`
+		}
+		if st := h.post("/v1/decide", map[string]any{
+			"requests": []decideItem{{Session: "m0", Obs: obsJSON{
+				Epoch: obs.Epoch, Cycles: obs.Cycles, Util: obs.Util,
+				ExecTimeS: obs.ExecTimeS, PeriodS: obs.PeriodS, WallTimeS: obs.WallTimeS,
+				PowerW: obs.PowerW, TempC: obs.TempC, OPPIdx: obs.OPPIdx,
+			}}},
+		}, &resp); st != http.StatusOK {
+			t.Fatalf("decide %d returned %d", i, st)
+		}
+		if resp.Decisions[0].Error != "" {
+			t.Fatal(resp.Decisions[0].Error)
+		}
+	}
+
+	var m metricsResponse
+	if st := h.get("/v1/metrics", &m); st != http.StatusOK {
+		t.Fatalf("metrics returned %d", st)
+	}
+	if m.Decisions != decisions {
+		t.Errorf("server counted %d decisions, want %d", m.Decisions, decisions)
+	}
+
+	lat, ok := m.Sessions["m0"]
+	if !ok {
+		t.Fatalf("metrics missing session m0: %+v", m.Sessions)
+	}
+	if lat.LoUS != 0 || lat.HiUS != 50 || lat.BinWidthUS != 1 || len(lat.Bins) != 50 {
+		t.Errorf("histogram geometry %g..%g step %g × %d bins, want 0..50 step 1 × 50",
+			lat.LoUS, lat.HiUS, lat.BinWidthUS, len(lat.Bins))
+	}
+	if lat.Count != decisions {
+		t.Errorf("histogram holds %d samples, want %d", lat.Count, decisions)
+	}
+	if lat.Underflow != 0 {
+		t.Errorf("%d decisions below zero latency", lat.Underflow)
+	}
+	sum := lat.Underflow + lat.Overflow
+	for _, c := range lat.Bins {
+		sum += c
+	}
+	if sum != decisions {
+		t.Errorf("bins account for %d decisions, want %d", sum, decisions)
+	}
+
+	idle, ok := m.Sessions["idle"]
+	if !ok {
+		t.Fatal("metrics missing the idle session")
+	}
+	if idle.Count != 0 {
+		t.Errorf("idle session reports %d samples", idle.Count)
+	}
+}

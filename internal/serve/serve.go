@@ -39,6 +39,15 @@ import (
 	"qgov/internal/governor"
 	"qgov/internal/platform"
 	"qgov/internal/scenario"
+	"qgov/internal/stats"
+)
+
+// Decision-latency histogram geometry: governor decisions are sub-10 µs,
+// so 1 µs bins over [0, 50 µs] resolve the working range and the
+// histogram's overflow bucket catches scheduler-delayed outliers.
+const (
+	latHistHiUS = 50
+	latHistBins = 50
 )
 
 // Options configures a Server. The zero value serves on the paper's
@@ -94,6 +103,7 @@ type session struct {
 	table  platform.OPPTable
 	cores  int
 	epochs int64
+	lat    *stats.Histogram // decision latency in µs, guarded by mu
 }
 
 // New builds a Server and starts the periodic checkpoint sweep when
@@ -309,6 +319,7 @@ func (s *Server) createSession(req createRequest) (*session, int, error) {
 		gov:      gov,
 		table:    cluster.Table(),
 		cores:    cluster.NumCores(),
+		lat:      stats.NewHistogram(0, latHistHiUS, latHistBins),
 	}
 	if err := resetGovernor(sess); err != nil {
 		return nil, 400, err
@@ -350,6 +361,15 @@ func (s *Server) session(id string) *session {
 	return s.sessions[id]
 }
 
+// sessionFor is the byte-keyed twin of session for the binary transport:
+// looking a []byte key up in a string map compiles without a conversion
+// allocation, keeping the TCP decode→decide path allocation-free.
+func (s *Server) sessionFor(id []byte) *session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[string(id)]
+}
+
 func (s *Server) deleteSession(id string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -360,16 +380,19 @@ func (s *Server) deleteSession(id string) bool {
 	return true
 }
 
-// decide serialises one decision on the session. Governor panics (a
-// malformed observation hitting a harness-bug assertion) are contained
-// per call so one bad request cannot take the server down.
+// decide serialises one decision on the session and records its latency
+// (µs under the session lock, the figure /v1/metrics reports). Governor
+// panics (a malformed observation hitting a harness-bug assertion) are
+// contained per call so one bad request cannot take the server down.
 func (sess *session) decide(obs governor.Observation) (idx int, err error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("governor rejected the observation: %v", r)
 		}
+		sess.lat.Add(float64(time.Since(start)) / float64(time.Microsecond))
 	}()
 	idx = sess.gov.Decide(obs)
 	sess.epochs++

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"qgov/internal/wire"
+)
+
+// TCPServer serves the binary wire protocol on persistent multiplexed
+// connections — the transport fast path. The HTTP endpoint pays ~500 µs
+// of connection and JSON handling per 64-decision batch; a wire frame
+// costs ~100 bytes and decodes allocation-free, so a persistent
+// connection pushes decisions/s toward the governor's own throughput.
+//
+// Each connection runs two goroutines. A reader decodes MsgObserve
+// frames into pooled requests; a worker drains everything the reader has
+// queued into one batch (connection-level batching: requests that arrive
+// while the previous batch is deciding coalesce into the next fan-out),
+// decides the batch through the same fanOut/session path as HTTP, and
+// writes the MsgDecide responses back with a single flush. Requests fail
+// independently, exactly like entries of the JSON batch.
+//
+// The control plane stays on HTTP: sessions are created, inspected,
+// checkpointed, and deleted over the JSON API; TCP carries only the
+// observe→decide hot loop.
+type TCPServer struct {
+	srv *Server
+	lis net.Listener
+
+	mu     sync.Mutex
+	conns  map[*tcpConn]struct{}
+	closed bool
+
+	wg sync.WaitGroup // one per live connection
+}
+
+// NewTCP wraps srv with a binary-transport listener. Call Serve to
+// accept; Shutdown (or Close) before srv.Close so the final checkpoint
+// sees every drained decision.
+func NewTCP(srv *Server, lis net.Listener) *TCPServer {
+	return &TCPServer{
+		srv:   srv,
+		lis:   lis,
+		conns: make(map[*tcpConn]struct{}),
+	}
+}
+
+// Addr returns the listener's address.
+func (t *TCPServer) Addr() net.Addr { return t.lis.Addr() }
+
+// Serve accepts connections until the listener closes. It returns nil
+// after Shutdown/Close, the accept error otherwise.
+func (t *TCPServer) Serve() error {
+	for {
+		conn, err := t.lis.Accept()
+		if err != nil {
+			if t.isClosed() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		c := &tcpConn{
+			t:    t,
+			conn: conn,
+			reqs: make(chan *observeReq, maxDecideBatch),
+		}
+		if !t.register(c) {
+			conn.Close()
+			return nil
+		}
+		t.wg.Add(1)
+		go c.run()
+	}
+}
+
+func (t *TCPServer) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *TCPServer) register(c *tcpConn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	t.conns[c] = struct{}{}
+	return true
+}
+
+func (t *TCPServer) unregister(c *tcpConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.conns, c)
+}
+
+// snapshot returns the live connections and marks the server closed.
+func (t *TCPServer) snapshotAndClose() []*tcpConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	all := make([]*tcpConn, 0, len(t.conns))
+	for c := range t.conns {
+		all = append(all, c)
+	}
+	return all
+}
+
+// drainQuiet is how long a draining connection keeps reading after
+// Shutdown begins. Frames the client had written when shutdown started
+// are in the kernel buffer and arrive within milliseconds; a persistent
+// connection has no request boundary that would mark it "idle" (the way
+// http.Server.Shutdown detects idle conns), so reading stops after this
+// quiet window rather than holding every restart for the full grace.
+const drainQuiet = time.Second
+
+// Shutdown drains gracefully: the listener closes, every connection
+// keeps reading for drainQuiet (bounded by ctx's deadline) so frames
+// already in flight are decided and answered, responses flush, and the
+// call returns once all connections have closed. When ctx expires
+// first, remaining connections are cut and ctx.Err() returned. Call the
+// owning Server's Close afterwards so the final checkpoint includes
+// every drained decision.
+func (t *TCPServer) Shutdown(ctx context.Context) error {
+	conns := t.snapshotAndClose()
+	t.lis.Close()
+
+	deadline := time.Now().Add(drainQuiet)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for _, c := range conns {
+		// Reads past the deadline fail; the reader goroutine then stops
+		// accepting frames and the worker drains what was queued.
+		_ = c.conn.SetReadDeadline(deadline)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		t.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, c := range conns {
+			c.conn.Close()
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cuts every connection immediately. Tests and error paths use it;
+// production shutdown goes through Shutdown.
+func (t *TCPServer) Close() error {
+	conns := t.snapshotAndClose()
+	err := t.lis.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+// observeReq is one in-flight binary request: the decoded observe
+// message and, after decideBatch, its answer. Pooled so a steady decision
+// stream allocates nothing.
+type observeReq struct {
+	m       wire.Observe
+	oppIdx  int32
+	freqMHz int32
+	errMsg  string
+}
+
+var observePool = sync.Pool{New: func() any { return new(observeReq) }}
+
+// maxWireErrLen truncates per-request error messages on the wire; real
+// governor errors are a line, anything longer is a recovered panic dump.
+const maxWireErrLen = 1024
+
+type tcpConn struct {
+	t    *TCPServer
+	conn net.Conn
+	reqs chan *observeReq
+}
+
+func (c *tcpConn) run() {
+	defer c.t.wg.Done()
+	defer c.t.unregister(c)
+	defer c.conn.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.respond()
+	}()
+	c.read()
+	close(c.reqs) // reader is done; let the worker drain and exit
+	<-done
+}
+
+// read decodes frames until the stream ends. Any protocol error (bad
+// magic, truncated message, non-observe frame) drops the connection —
+// framing is byte-exact, so there is no way to resynchronise.
+func (c *tcpConn) read() {
+	r := wire.NewReader(c.conn)
+	for {
+		typ, payload, err := r.Next()
+		if err != nil {
+			// EOF (client went away), read-deadline expiry (drain), or a
+			// poisoned stream: all end the reading half.
+			return
+		}
+		if typ != wire.MsgObserve {
+			c.t.srv.logf("serve: tcp %s: unexpected frame type 0x%02x", c.conn.RemoteAddr(), typ)
+			return
+		}
+		req := observePool.Get().(*observeReq)
+		if err := req.m.Decode(payload); err != nil {
+			observePool.Put(req)
+			c.t.srv.logf("serve: tcp %s: %v", c.conn.RemoteAddr(), err)
+			return
+		}
+		c.reqs <- req
+	}
+}
+
+// respond is the connection's batching worker: it blocks for one request,
+// coalesces everything else already queued into the same batch, decides
+// the batch in one fan-out, and writes all responses under one flush.
+func (c *tcpConn) respond() {
+	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	var batch []*observeReq
+	var scratch []byte
+	for {
+		req, ok := <-c.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], req)
+	coalesce:
+		for len(batch) < maxDecideBatch {
+			select {
+			case more, ok := <-c.reqs:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, more)
+			default:
+				break coalesce
+			}
+		}
+
+		c.decideBatch(batch)
+
+		writeErr := false
+		for _, r := range batch {
+			// Cap the error message below the codec's 64 KiB field bound:
+			// a failed AppendDecide would otherwise drop the response and
+			// leave the client waiting on that id forever.
+			if len(r.errMsg) > maxWireErrLen {
+				r.errMsg = r.errMsg[:maxWireErrLen]
+			}
+			var err error
+			scratch, err = wire.AppendDecide(scratch[:0], r.m.ID, r.oppIdx, r.freqMHz, r.errMsg)
+			if err != nil {
+				writeErr = true // cannot answer → the connection must die
+			} else if !writeErr {
+				if _, werr := bw.Write(scratch); werr != nil {
+					writeErr = true
+				}
+			}
+			r.errMsg = ""
+			observePool.Put(r)
+		}
+		if !writeErr {
+			writeErr = bw.Flush() != nil
+		}
+		if writeErr {
+			// The write half is gone. Close the connection so the reader
+			// unblocks, then drain its queue so it never blocks sending.
+			c.conn.Close()
+			for r := range c.reqs {
+				observePool.Put(r)
+			}
+			return
+		}
+	}
+}
+
+// decideBatch answers every request in the batch through the same
+// session/fan-out machinery as the HTTP path.
+func (c *tcpConn) decideBatch(batch []*observeReq) {
+	srv := c.t.srv
+	fanOut(len(batch), func(i int) {
+		r := batch[i]
+		sess := srv.sessionFor(r.m.Session)
+		if sess == nil {
+			r.oppIdx, r.freqMHz = -1, 0
+			r.errMsg = errUnknownSession(string(r.m.Session)).Error()
+			return
+		}
+		idx, err := sess.decide(r.m.Obs)
+		if err != nil {
+			r.oppIdx, r.freqMHz = -1, 0
+			r.errMsg = err.Error()
+			return
+		}
+		r.oppIdx = int32(idx)
+		r.freqMHz = int32(sess.table[idx].FreqMHz)
+		srv.decisions.Add(1)
+	})
+}

@@ -1,0 +1,216 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"qgov/internal/governor"
+	"qgov/internal/serve"
+	"qgov/internal/serve/client"
+)
+
+// newTCPServer attaches a binary listener to an HTTP test server's
+// Server: HTTP remains the control plane (session creation), TCP carries
+// decisions. Cleanup closes the TCP half before the Server itself.
+func newTCPServer(t *testing.T, h *testServer) *serve.TCPServer {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := serve.NewTCP(h.srv, lis)
+	go func() {
+		if err := ts.Serve(); err != nil {
+			t.Errorf("tcp serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() { _ = ts.Close() })
+	return ts
+}
+
+func steadyObs() governor.Observation {
+	return governor.Observation{
+		Epoch:     1,
+		Cycles:    []uint64{30e6, 31e6, 29e6, 30e6},
+		Util:      []float64{0.6, 0.5, 0.7, 0.6},
+		ExecTimeS: 0.025,
+		PeriodS:   0.040,
+		WallTimeS: 0.040,
+		PowerW:    2,
+		TempC:     50,
+		OPPIdx:    10,
+	}
+}
+
+func TestTCPDecideBasics(t *testing.T) {
+	h := newTestServer(t, serve.Options{})
+	ts := newTCPServer(t, h)
+	if st := h.post("/v1/sessions", map[string]any{"id": "a", "governor": "ondemand"}, nil); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+
+	cl, err := client.Dial(ts.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	d, err := cl.Decide("a", steadyObs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Err != "" || d.OPPIdx < 0 || d.FreqMHz <= 0 {
+		t.Errorf("decide over TCP: %+v", d)
+	}
+
+	// Unknown sessions fail the entry, not the connection — exactly like
+	// the JSON batch.
+	d, err = cl.Decide("ghost", steadyObs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Err == "" || d.OPPIdx != -1 {
+		t.Errorf("unknown session over TCP: %+v", d)
+	}
+
+	// The connection survived the failed entry.
+	if d, err = cl.Decide("a", steadyObs()); err != nil || d.Err != "" {
+		t.Errorf("decide after failed entry: %+v err %v", d, err)
+	}
+}
+
+// A poisoned stream (bad magic) must drop that connection — framing is
+// unrecoverable — without disturbing other connections.
+func TestTCPProtocolErrorDropsConnection(t *testing.T) {
+	h := newTestServer(t, serve.Options{})
+	ts := newTCPServer(t, h)
+	if st := h.post("/v1/sessions", map[string]any{"id": "a", "governor": "ondemand"}, nil); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+
+	good, err := client.Dial(ts.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+
+	bad, err := net.Dial("tcp", ts.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if _, err := bad.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	bad.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if n, err := bad.Read(make([]byte, 1)); err == nil {
+		t.Errorf("server answered %d bytes on a poisoned stream", n)
+	}
+
+	if d, err := good.Decide("a", steadyObs()); err != nil || d.Err != "" {
+		t.Errorf("healthy connection disturbed: %+v err %v", d, err)
+	}
+}
+
+// Graceful shutdown over TCP mirrors the HTTP drain: requests already
+// written when Shutdown begins are read, decided, and answered; the
+// connection closes only after the drain; and the final checkpoint
+// (Server.Close) then freezes the learning those drained decisions did.
+func TestTCPGracefulShutdownDrainsInFlight(t *testing.T) {
+	const nSessions = 40
+	dir := t.TempDir()
+	srv := serve.New(serve.Options{CheckpointDir: dir, CheckpointEvery: time.Hour})
+	h := newHTTPOnly(t, srv)
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := serve.NewTCP(srv, lis)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- ts.Serve() }()
+
+	ids := make([]string, nSessions)
+	obs := make([]governor.Observation, nSessions)
+	out := make([]client.Decision, nSessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("drain-%d", i)
+		obs[i] = steadyObs()
+		if st := h.post("/v1/sessions", map[string]any{"id": ids[i], "governor": "rtm", "seed": i + 1}, nil); st != http.StatusCreated {
+			t.Fatalf("create %s returned %d", ids[i], st)
+		}
+	}
+
+	cl, err := client.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// One round trip first: Dial returns before the accept loop has
+	// adopted the connection, and a connection the server never adopted
+	// would be cut — not drained — by Shutdown.
+	if d, err := cl.Decide(ids[0], obs[0]); err != nil || d.Err != "" {
+		t.Fatalf("warm-up decide: %+v err %v", d, err)
+	}
+
+	// Put a full batch in flight, then shut down while it is on the wire.
+	batchErr := make(chan error, 1)
+	go func() { batchErr <- cl.DecideBatch(ids, obs, out) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutErr := make(chan error, 1)
+	go func() { shutErr <- ts.Shutdown(ctx) }()
+
+	// Every in-flight request is answered during the drain.
+	if err := <-batchErr; err != nil {
+		t.Fatalf("in-flight batch failed during drain: %v", err)
+	}
+	for i, d := range out {
+		if d.Err != "" || d.OPPIdx < 0 {
+			t.Fatalf("drained decision %d: %+v", i, d)
+		}
+	}
+
+	// Release the connection; the drain then completes well before the
+	// deadline and the listener is gone.
+	if err := cl.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-shutErr; err != nil {
+		t.Errorf("graceful shutdown returned %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Errorf("Serve returned %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", lis.Addr().String(), 500*time.Millisecond); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+
+	// Only now does the server freeze state — the drained decisions are in.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if _, err := os.Stat(dir + "/" + id + ".state"); err != nil {
+			t.Errorf("final checkpoint for %s missing: %v", id, err)
+		}
+	}
+}
+
+// newHTTPOnly wraps an existing Server with an HTTP control plane whose
+// lifetime the test manages (no automatic srv.Close, unlike
+// newTestServer — shutdown-ordering tests close the server themselves).
+func newHTTPOnly(t *testing.T, srv *serve.Server) *testServer {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &testServer{t: t, srv: srv, ts: ts}
+}

@@ -64,6 +64,15 @@ func (h *Histogram) Add(x float64) {
 	}
 }
 
+// Lo returns the lower edge of the histogram range.
+func (h *Histogram) Lo() float64 { return h.lo }
+
+// Hi returns the upper (inclusive) edge of the histogram range.
+func (h *Histogram) Hi() float64 { return h.hi }
+
+// BinWidth returns the fixed width of each bin.
+func (h *Histogram) BinWidth() float64 { return h.width }
+
 // Bins returns a copy of the per-bin counts.
 func (h *Histogram) Bins() []int {
 	out := make([]int, len(h.counts))

@@ -25,6 +25,19 @@ func TestHistogramBasic(t *testing.T) {
 	}
 }
 
+func TestHistogramGeometryAccessors(t *testing.T) {
+	h := NewHistogram(0, 50, 25)
+	if h.Lo() != 0 || h.Hi() != 50 {
+		t.Errorf("Lo/Hi = %v/%v, want 0/50", h.Lo(), h.Hi())
+	}
+	if h.BinWidth() != 2 {
+		t.Errorf("BinWidth = %v, want 2", h.BinWidth())
+	}
+	if got := len(h.Bins()); got != 25 {
+		t.Errorf("len(Bins) = %d, want 25", got)
+	}
+}
+
 func TestHistogramOutOfRange(t *testing.T) {
 	h := NewHistogram(0, 1, 2)
 	h.Add(-0.1)

@@ -1,0 +1,148 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"qgov/internal/governor"
+	"qgov/internal/wire"
+)
+
+// corruptions of a valid frame used as seeds alongside the checked-in
+// corpus under testdata/fuzz.
+func frameSeeds(f *testing.F) {
+	f.Helper()
+	obs := sampleObs()
+	frame, err := wire.AppendObserve(nil, 1, "c0", &obs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dec, err := wire.AppendDecide(nil, 2, 10, 1800, "boom")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame)
+	f.Add(dec)
+	f.Add(append(bytes.Clone(frame), dec...)) // two frames back to back
+	f.Add(frame[:wire.HeaderSize])            // header only
+	f.Add(frame[:len(frame)-3])               // cut mid-payload
+	flipped := bytes.Clone(frame)
+	flipped[9] ^= 0x80
+	f.Add(flipped)
+	huge := bytes.Clone(frame)
+	binary.BigEndian.PutUint32(huge[4:], wire.MaxPayload+1)
+	f.Add(huge)
+	f.Add([]byte{})
+	f.Add([]byte{0x51, 0x47}) // magic alone
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes through the stream reader and
+// message decoders. Whatever the input — truncated, oversized, or
+// bit-flipped — decoding must return an error or a value, never panic,
+// hang, or allocate beyond the frame bound; decoded messages are reused
+// across frames exactly as the server does.
+func FuzzDecodeFrame(f *testing.F) {
+	frameSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The slice-based splitter and the stream reader must agree on the
+		// first frame: both accept or both reject.
+		_, _, _, sliceErr := wire.DecodeFrame(data)
+		first := true
+
+		r := wire.NewReader(bytes.NewReader(data))
+		var o wire.Observe
+		var d wire.Decide
+		for {
+			typ, payload, err := r.Next()
+			if first {
+				if (err == nil) != (sliceErr == nil) {
+					t.Fatalf("Reader err %v, DecodeFrame err %v on the same bytes", err, sliceErr)
+				}
+				first = false
+			}
+			if err != nil {
+				return
+			}
+			switch typ {
+			case wire.MsgObserve:
+				_ = o.Decode(payload)
+			case wire.MsgDecide:
+				_ = d.Decode(payload)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip drives arbitrary field values through encode → decode and
+// requires every field back bit-exactly. Values the encoder rejects
+// (session or vectors over the protocol bound) must fail cleanly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint32(1), "cluster-0", int64(41), 0.025, 0.04, 0.04, 2.25, 50.5, int32(10), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint32(0), "", int64(-1), 0.0, 0.0, 0.0, 0.0, 0.0, int32(-1), []byte{})
+	f.Add(uint32(1<<31), "s", int64(1)<<40, math.Inf(1), math.NaN(), -0.0, 1e300, -40.0, int32(-5), bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, id uint32, session string, epoch int64,
+		exec, period, wall, power, temp float64, opp int32, raw []byte) {
+		obs := governor.Observation{
+			Epoch:     int(epoch),
+			ExecTimeS: exec,
+			PeriodS:   period,
+			WallTimeS: wall,
+			PowerW:    power,
+			TempC:     temp,
+			OPPIdx:    int(opp),
+		}
+		// Derive the per-core vectors from the raw bytes: 8 bytes per
+		// cycle entry, then 8 per util entry.
+		for len(raw) >= 8 && len(obs.Cycles) < 6 {
+			obs.Cycles = append(obs.Cycles, binary.BigEndian.Uint64(raw))
+			raw = raw[8:]
+		}
+		for len(raw) >= 8 {
+			obs.Util = append(obs.Util, math.Float64frombits(binary.BigEndian.Uint64(raw)))
+			raw = raw[8:]
+		}
+
+		frame, err := wire.AppendObserve(nil, id, session, &obs)
+		if err != nil {
+			inBounds := len(session) <= wire.MaxSession &&
+				len(obs.Cycles) <= wire.MaxVector && len(obs.Util) <= wire.MaxVector
+			if inBounds {
+				t.Fatalf("encoder rejected in-bounds input: %v", err)
+			}
+			return
+		}
+		typ, payload, rest, err := wire.DecodeFrame(frame)
+		if err != nil || typ != wire.MsgObserve || len(rest) != 0 {
+			t.Fatalf("decoding our own frame: typ %d rest %d err %v", typ, len(rest), err)
+		}
+		var m wire.Observe
+		if err := m.Decode(payload); err != nil {
+			t.Fatalf("decoding our own payload: %v", err)
+		}
+		if m.ID != id || string(m.Session) != session {
+			t.Fatalf("id/session mangled: %d %q", m.ID, m.Session)
+		}
+		if !observationsBitEqual(m.Obs, obs) {
+			t.Fatalf("observation mangled:\n got %+v\nwant %+v", m.Obs, obs)
+		}
+
+		errMsg := session // reuse the fuzzed string as an error message
+		dframe, err := wire.AppendDecide(nil, id, opp, int32(epoch), errMsg)
+		if err != nil {
+			t.Fatalf("AppendDecide: %v", err)
+		}
+		var dm wire.Decide
+		typ, payload, rest, err = wire.DecodeFrame(dframe)
+		if err != nil || typ != wire.MsgDecide || len(rest) != 0 {
+			t.Fatalf("decide frame: typ %d rest %d err %v", typ, len(rest), err)
+		}
+		if err := dm.Decode(payload); err != nil {
+			t.Fatalf("decide payload: %v", err)
+		}
+		if dm.ID != id || dm.OPPIdx != opp || dm.FreqMHz != int32(epoch) || string(dm.Err) != errMsg {
+			t.Fatalf("decide mangled: %+v", dm)
+		}
+	})
+}
