@@ -11,6 +11,7 @@
 //	rtmd -addr :8090
 //	rtmd -addr :8090 -listen-tcp :8091
 //	rtmd -addr :8090 -checkpoint-dir /var/lib/rtmd -checkpoint-every 30s
+//	rtmd -route -replicas host1:8091,host2:8091 -addr :8080 -listen-tcp :8081
 //
 //	curl -s localhost:8090/v1/sessions -d '{"id":"cluster0","governor":"rtm","seed":1}'
 //	curl -s localhost:8090/v1/decide -d '{"requests":[{"session":"cluster0","obs":{"epoch":-1}}]}'
@@ -20,7 +21,18 @@
 // multiplexed connections — the transport fast path, several times the
 // decisions/s of the JSON endpoint. HTTP stays up alongside it as the
 // control plane (sessions are created and checkpointed over JSON) and as
-// the differential-testing oracle for the binary path.
+// the differential-testing oracle for the binary path. The control
+// plane also runs over the binary protocol (wire control frames), so a
+// routed fleet needs no HTTP between tiers.
+//
+// -route turns rtmd into the stateless routing tier of a sharded fleet:
+// it owns no sessions, places every session id on one of the -replicas
+// (comma-separated binary-transport addresses) with a consistent-hash
+// ring, and forwards both planes over one multiplexed binary connection
+// per replica. Point every replica at the same -checkpoint-dir (shared
+// storage) and sessions can hand off between replicas by
+// checkpoint/restore. Clients talk to a router exactly as they would to
+// a flat rtmd.
 //
 // Learning state is checkpointed periodically and on graceful shutdown
 // (SIGINT/SIGTERM) — both listeners drain before the final freeze — and
@@ -38,11 +50,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"qgov/internal/serve"
+	"qgov/internal/sessionstore"
 
 	// Register the RTM variants with the governor registry.
 	_ "qgov/internal/core"
@@ -52,6 +66,8 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8090", "HTTP listen address (control plane + JSON decide)")
 		tcpAddr    = flag.String("listen-tcp", "", "binary wire-protocol listen address (empty: HTTP only)")
+		route      = flag.Bool("route", false, "run as a stateless router over -replicas instead of serving sessions")
+		replicas   = flag.String("replicas", "", "comma-separated replica binary-transport addresses (with -route)")
 		platform   = flag.String("platform", "a15", "default platform variant for new sessions")
 		periodS    = flag.Float64("period", 0.040, "default decision-epoch deadline Tref in seconds")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for session learning-state checkpoints (empty: no persistence)")
@@ -65,16 +81,37 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	if *ckptDir != "" {
-		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
-			fatal(err)
-		}
+
+	if *route {
+		// Session-serving flags are dead in router mode (the router owns
+		// no sessions and no checkpoints); passing one means the operator
+		// expects behavior they are not getting, so fail loudly instead
+		// of silently dropping it.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "checkpoint-dir", "checkpoint-every", "platform", "period":
+				fatal(fmt.Errorf("-%s applies to replicas, not the router; set it on each replica rtmd", f.Name))
+			}
+		})
+		routeMain(*addr, *tcpAddr, *replicas, *drainGrace, logf)
+		return
+	}
+	if *replicas != "" {
+		fatal(errors.New("-replicas requires -route"))
 	}
 
+	var ckpt sessionstore.CheckpointStore
+	if *ckptDir != "" {
+		d, err := sessionstore.NewDir(*ckptDir)
+		if err != nil {
+			fatal(err)
+		}
+		ckpt = d
+	}
 	srv := serve.New(serve.Options{
 		DefaultPlatform: *platform,
 		DefaultPeriodS:  *periodS,
-		CheckpointDir:   *ckptDir,
+		Checkpoints:     ckpt,
 		CheckpointEvery: *ckptEvery,
 		Logf:            logf,
 	})
@@ -137,6 +174,79 @@ func main() {
 	// in-flight decision can land between the freeze and exit.
 	<-drained
 	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// routeMain runs the routing tier: no sessions, no checkpoints — just
+// the ring, one multiplexed binary connection per replica, and the same
+// two listener fronts a replica has.
+func routeMain(addr, tcpAddr, replicaList string, drainGrace time.Duration, logf func(string, ...any)) {
+	var addrs []string
+	for _, a := range strings.Split(replicaList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fatal(errors.New("-route requires -replicas host1:port,host2:port,..."))
+	}
+	rt, err := serve.NewRouter(addrs, serve.RouterOptions{Logf: logf})
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Addr: addr, Handler: rt.Handler()}
+
+	var tcpSrv *serve.TCPServer
+	if tcpAddr != "" {
+		lis, err := net.Listen("tcp", tcpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		tcpSrv = serve.NewRouterTCP(rt, lis)
+		go func() {
+			if err := tcpSrv.Serve(); err != nil {
+				logf("rtmd: routed binary transport down: %v", err)
+			}
+		}()
+		logf("rtmd: routed binary transport on %s", lis.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		logf("rtmd: router shutting down (draining for up to %v)", drainGrace)
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainGrace)
+		defer cancel()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := hs.Shutdown(drainCtx); err != nil {
+				logf("rtmd: http drain: %v", err)
+			}
+		}()
+		if tcpSrv != nil {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := tcpSrv.Shutdown(drainCtx); err != nil {
+					logf("rtmd: tcp drain: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+	}()
+
+	logf("rtmd: routing %d replicas on %s: %s", len(addrs), addr, strings.Join(addrs, ", "))
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-drained
+	if err := rt.Close(); err != nil {
 		fatal(err)
 	}
 }

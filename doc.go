@@ -37,18 +37,35 @@
 //	                     (governor.Checkpointer)
 //	internal/serve       governors as an online decision service: many
 //	                     concurrent sessions (one per controlled
-//	                     cluster) behind a batched /v1/decide HTTP API
-//	                     and a binary streaming TCP transport (~5× the
-//	                     JSON path's decisions/s), with per-session
-//	                     decision-latency histograms on /v1/metrics and
-//	                     periodic learning-state checkpoints
+//	                     cluster) in a mutex-striped session store,
+//	                     behind a batched /v1/decide HTTP API and a
+//	                     binary streaming TCP transport (~5× the JSON
+//	                     path's decisions/s) that also carries the
+//	                     whole control plane as control frames;
+//	                     latency histograms + exploration/convergence
+//	                     counters on /v1/metrics, learning-state
+//	                     checkpoints through a pluggable
+//	                     CheckpointStore, and a consistent-hash Router
+//	                     that shards sessions across a replica fleet
+//	                     with checkpoint/restore hand-off
+//	internal/sessionstore the serving layer's state stores: the sharded
+//	                     Store (striped locks, byte-keyed lookups) and
+//	                     the CheckpointStore interface with its
+//	                     local-directory implementation
+//	internal/ring        the consistent-hash ring (virtual nodes,
+//	                     deterministic placement, bounded key movement
+//	                     on membership change) that maps session ids
+//	                     to replicas
 //	internal/wire        the length-prefixed binary frame codec of the
 //	                     streaming transport: zero-allocation encode/
-//	                     decode of observe/decide messages, fuzzed
-//	                     against truncated/oversized/bit-flipped frames
+//	                     decode of observe/decide messages plus the
+//	                     control frames (create/checkpoint/delete/...),
+//	                     fuzzed against truncated/oversized/bit-flipped
+//	                     frames
 //	internal/serve/client the multiplexed Go client for the binary
-//	                     transport (used by benchmarks and the
-//	                     cross-transport equivalence tests)
+//	                     transport — decisions and control plane —
+//	                     used by the router, benchmarks, and the
+//	                     equivalence tests
 //	internal/experiments Table I, II, III, Fig. 3 and the ablations
 //
 // The sim.Session inversion is what connects the two halves: sim.Run,
@@ -61,7 +78,9 @@
 // runs one governor on one workload or one named scenario (-save-state /
 // -load-state freeze and warm-start any learner), cmd/rtmd serves
 // governor decisions over HTTP and (-listen-tcp) the binary wire
-// protocol, cmd/tracegen emits workload traces,
+// protocol — or, with -route -replicas, fronts a sharded replica fleet
+// as a stateless consistent-hash router — cmd/tracegen emits workload
+// traces,
 // cmd/benchjson converts benchmark output to the BENCH_<n>.json perf
 // artifacts; examples/ holds runnable API walkthroughs; the benchmarks
 // in bench_test.go regenerate each experiment under `go test -bench`.

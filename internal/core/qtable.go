@@ -83,6 +83,15 @@ func (t *QTable) RowVisits(state int) int {
 	return t.rowVisits[state]
 }
 
+// VisitTotal returns the total updates across all states and actions.
+func (t *QTable) VisitTotal() int {
+	n := 0
+	for _, v := range t.rowVisits {
+		n += v
+	}
+	return n
+}
+
 // Update applies Bellman's optimality equation (Eq. 3):
 //
 //	Q(s,a) ← (1−α)·Q(s,a) + α·(R + γ·max_a' Q(s', a'))

@@ -195,8 +195,23 @@ func (r *RTM) ExplorationsAt(epoch int) int {
 // ConvergedAtEpoch implements governor.LearningStats.
 func (r *RTM) ConvergedAtEpoch() int { return r.tracker.ConvergedAt() }
 
-// Epsilon returns the current exploration probability (for tracing).
+// Epsilon implements governor.ExplorationStats: the current exploration
+// probability.
 func (r *RTM) Epsilon() float64 { return r.cfg.Epsilon.Epsilon() }
+
+// VisitTotal implements governor.ExplorationStats: total state–action
+// visits across the value tables.
+func (r *RTM) VisitTotal() int {
+	n := 0
+	for _, t := range r.tables {
+		n += t.VisitTotal()
+	}
+	return n
+}
+
+// ConvergedFraction implements governor.ExplorationStats: the fraction
+// of states whose greedy action has held for the convergence window.
+func (r *RTM) ConvergedFraction() float64 { return r.tracker.StableFraction() }
 
 // SlackL returns the current average slack ratio L (for tracing).
 func (r *RTM) SlackL() float64 { return r.slack.L() }

@@ -17,6 +17,25 @@ type LearningStats interface {
 	ConvergedAtEpoch() int
 }
 
+// ExplorationStats is implemented by learners that can report where they
+// stand on the explore→exploit arc while they serve — the online-ops
+// counters a fleet operator watches next to decision latency. All three
+// quantities are instantaneous reads of serving state, cheap enough for
+// a metrics endpoint to poll.
+type ExplorationStats interface {
+	// Epsilon returns the current exploration probability — the
+	// ε schedule's position on its decay curve.
+	Epsilon() float64
+	// VisitTotal returns the total state–action visits recorded across
+	// the learner's value tables (the denominator of its visit-decayed
+	// learning rates).
+	VisitTotal() int
+	// ConvergedFraction returns the fraction of states whose greedy
+	// action has been stable for the learner's convergence window —
+	// 1.0 means the whole policy has settled.
+	ConvergedFraction() float64
+}
+
 // ExplorationCurve is implemented by learners that record their cumulative
 // exploration count per epoch, so the harness can report explorations
 // *before convergence* — the Table II quantity: exploratory decisions spent
@@ -48,6 +67,7 @@ type ConvergenceTracker struct {
 	MaxFlips int
 
 	prev      []int
+	lastFlip  []int // epoch each state's greedy action last changed
 	flipRing  []int
 	ringIdx   int
 	windowSum int
@@ -79,10 +99,15 @@ func (c *ConvergenceTracker) Observe(policy []int) {
 		if flips == 0 {
 			flips = 1
 		}
+		c.lastFlip = make([]int, len(policy))
+		for i := range c.lastFlip {
+			c.lastFlip[i] = c.epoch
+		}
 	} else {
 		for i := range policy {
 			if policy[i] != c.prev[i] {
 				flips++
+				c.lastFlip[i] = c.epoch
 			}
 		}
 	}
@@ -124,9 +149,28 @@ func (c *ConvergenceTracker) Quiet() bool {
 	return c.seen == c.StableEpochs && c.windowSum <= c.MaxFlips
 }
 
+// StableFraction returns the fraction of states whose greedy action has
+// not changed for at least StableEpochs epochs — the per-state view of
+// convergence, where ConvergedAt is the all-states one. It is 0 until a
+// full window has been observed: no state has had the chance to prove
+// itself stable before then.
+func (c *ConvergenceTracker) StableFraction() float64 {
+	if c.seen < c.StableEpochs || len(c.lastFlip) == 0 {
+		return 0
+	}
+	stable := 0
+	for _, lf := range c.lastFlip {
+		if c.epoch-lf >= c.StableEpochs {
+			stable++
+		}
+	}
+	return float64(stable) / float64(len(c.lastFlip))
+}
+
 // Reset clears the tracker.
 func (c *ConvergenceTracker) Reset() {
 	c.prev = nil
+	c.lastFlip = nil
 	for i := range c.flipRing {
 		c.flipRing[i] = 0
 	}

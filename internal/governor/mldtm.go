@@ -102,6 +102,28 @@ func (g *MLDTM) Explorations() int { return g.explorations }
 // ConvergedAtEpoch implements LearningStats.
 func (g *MLDTM) ConvergedAtEpoch() int { return g.tracker.ConvergedAt() }
 
+// Epsilon implements ExplorationStats: the ε the next decision will use,
+// the same exponential decay Decide applies at the current epoch clock.
+func (g *MLDTM) Epsilon() float64 {
+	return g.Epsilon0 * math.Exp(-g.EpsilonDecay*float64(g.epoch))
+}
+
+// VisitTotal implements ExplorationStats.
+func (g *MLDTM) VisitTotal() int {
+	n := 0
+	for c := range g.visits {
+		for s := range g.visits[c] {
+			for _, v := range g.visits[c][s] {
+				n += v
+			}
+		}
+	}
+	return n
+}
+
+// ConvergedFraction implements ExplorationStats.
+func (g *MLDTM) ConvergedFraction() float64 { return g.tracker.StableFraction() }
+
 // Reset implements Governor.
 func (g *MLDTM) Reset(ctx Context) {
 	g.ctx = ctx

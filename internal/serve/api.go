@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -103,6 +104,19 @@ type decisionJSON struct {
 // more clusters than this per tick should split the batch.
 const maxDecideBatch = 4096
 
+// validateDecideBatch is the one copy of the batch-size contract, shared
+// by the flat server's and the router's JSON decide handlers so the two
+// paths cannot drift.
+func validateDecideBatch(n int) error {
+	if n == 0 {
+		return errf("requests is empty")
+	}
+	if n > maxDecideBatch {
+		return errf("batch of %d exceeds the %d-decision limit", n, maxDecideBatch)
+	}
+	return nil
+}
+
 // maxBodyBytes bounds any request body (calibration series and inline
 // checkpoints are the big ones).
 const maxBodyBytes = 32 << 20
@@ -190,36 +204,51 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	sess := s.session(r.PathValue("id"))
-	if sess == nil {
-		writeError(w, http.StatusNotFound, errUnknownSession(r.PathValue("id")))
-		return
-	}
+// freezeSession captures the session's learnt state now and persists it
+// to the checkpoint store when one is configured. Both control planes
+// (HTTP and binary) run checkpoints through it. The returned status is
+// an HTTP code on failure.
+func (s *Server) freezeSession(sess *session) ([]byte, int, error) {
 	cp, ok := sess.gov.(governor.Checkpointer)
 	if !ok {
-		writeError(w, http.StatusBadRequest,
-			errf("governor %s keeps no learnt state", sess.govName))
-		return
+		return nil, http.StatusBadRequest, errf("governor %s keeps no learnt state", sess.govName)
 	}
 	var buf bytes.Buffer
 	sess.mu.Lock()
 	err := cp.SaveState(&buf)
 	sess.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		return nil, http.StatusConflict, err
+	}
+	if s.ckpt != nil {
+		if err := s.ckpt.Save(sess.id, buf.Bytes()); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		s.undoSaveIfDeleted(sess)
+	}
+	return buf.Bytes(), http.StatusOK, nil
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, errUnknownSession(r.PathValue("id")))
 		return
 	}
-	if s.opt.CheckpointDir != "" {
-		if err := atomicWrite(s.statePath(sess.id), buf.Bytes()); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
+	state, status, err := s.freezeSession(sess)
+	if err != nil {
+		writeError(w, status, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]json.RawMessage{
-		"session": mustJSON(sess.id),
-		"state":   json.RawMessage(buf.Bytes()),
-	})
+	writeJSON(w, http.StatusOK, checkpointResponse{Session: sess.id, State: state})
+}
+
+// checkpointResponse is the body of a successful checkpoint: the frozen
+// state inline, so a caller (the router's hand-off, a backup job) can
+// carry it without touching the checkpoint store.
+type checkpointResponse struct {
+	Session string          `json:"session"`
+	State   json.RawMessage `json:"state"`
 }
 
 // decideOne serves one batch entry. Entries fail independently — an
@@ -290,13 +319,8 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := len(req.Requests)
-	if n == 0 {
-		writeError(w, http.StatusBadRequest, errf("requests is empty"))
-		return
-	}
-	if n > maxDecideBatch {
-		writeError(w, http.StatusBadRequest,
-			errf("batch of %d exceeds the %d-decision limit", n, maxDecideBatch))
+	if err := validateDecideBatch(n); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	resp := decideResponse{Decisions: make([]decisionJSON, n)}
@@ -319,30 +343,46 @@ type latencyJSON struct {
 	Overflow   int     `json:"overflow"`
 }
 
-type metricsJSON struct {
-	Decisions int64                  `json:"decisions"`
-	Sessions  map[string]latencyJSON `json:"sessions"`
+// learningJSON is one session's explore→exploit position: where the ε
+// schedule sits, how much experience the tables hold, and how much of
+// the greedy policy has settled — the counters an operator reads to
+// tell "still exploring" from "converged and exploiting" without
+// touching the session.
+type learningJSON struct {
+	Epochs       int64 `json:"epochs"`
+	Explorations int   `json:"explorations"`
+	ConvergedAt  int   `json:"converged_at"` // -1 while learning
+	// The ExplorationStats trio; present only for learners that expose it.
+	Epsilon           *float64 `json:"epsilon,omitempty"`
+	VisitTotal        *int     `json:"visit_total,omitempty"`
+	ConvergedFraction *float64 `json:"converged_fraction,omitempty"`
 }
 
-// handleMetrics reports per-session decision-latency histograms — the
-// online-learning-ops view of the serving fleet. Each session is
-// snapshotted under its own lock, so metrics reads interleave with
-// serving without stalling the whole store.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	all := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		all = append(all, sess)
-	}
-	s.mu.RUnlock()
+// sessionMetricsJSON is one session's /v1/metrics entry: the latency
+// histogram fields (flat, as they have always been) plus the learning
+// counters for governors that learn.
+type sessionMetricsJSON struct {
+	latencyJSON
+	Learning *learningJSON `json:"learning,omitempty"`
+}
 
+type metricsJSON struct {
+	Decisions int64                         `json:"decisions"`
+	Sessions  map[string]sessionMetricsJSON `json:"sessions"`
+}
+
+// buildMetrics snapshots the fleet view /v1/metrics serves. Each session
+// is snapshotted under its own lock, so metrics reads interleave with
+// serving without stalling the whole store.
+func (s *Server) buildMetrics() metricsJSON {
+	all := s.snapshotSessions()
 	out := metricsJSON{
 		Decisions: s.decisions.Load(),
-		Sessions:  make(map[string]latencyJSON, len(all)),
+		Sessions:  make(map[string]sessionMetricsJSON, len(all)),
 	}
 	for _, sess := range all {
 		sess.mu.Lock()
-		lj := latencyJSON{
+		mj := sessionMetricsJSON{latencyJSON: latencyJSON{
 			Count:      sess.lat.Count(),
 			LoUS:       sess.lat.Lo(),
 			HiUS:       sess.lat.Hi(),
@@ -350,32 +390,61 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Bins:       sess.lat.Bins(),
 			Underflow:  sess.lat.Underflow(),
 			Overflow:   sess.lat.Overflow(),
+		}}
+		if ls, ok := sess.gov.(governor.LearningStats); ok {
+			lj := &learningJSON{
+				Epochs:       sess.epochs,
+				Explorations: ls.Explorations(),
+				ConvergedAt:  ls.ConvergedAtEpoch(),
+			}
+			if es, ok := sess.gov.(governor.ExplorationStats); ok {
+				eps, visits, frac := es.Epsilon(), es.VisitTotal(), es.ConvergedFraction()
+				lj.Epsilon, lj.VisitTotal, lj.ConvergedFraction = &eps, &visits, &frac
+			}
+			mj.Learning = lj
 		}
 		sess.mu.Unlock()
-		out.Sessions[sess.id] = lj
+		out.Sessions[sess.id] = mj
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.buildMetrics())
+}
+
+// listInfos snapshots every session's info, sorted by id — the body of
+// the binary OpList (what a router enumerates when draining a replica).
+func (s *Server) listInfos() []sessionInfo {
+	all := s.snapshotSessions()
+	infos := make([]sessionInfo, 0, len(all))
+	for _, sess := range all {
+		infos = append(infos, s.info(sess))
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}
+
+// healthJSON is the /healthz body on both control planes: liveness plus
+// O(1) counters.
+type healthJSON struct {
+	Status    string `json:"status"`
+	Sessions  int    `json:"sessions"`
+	Decisions int64  `json:"decisions"`
+}
+
+func (s *Server) health() healthJSON {
+	return healthJSON{
+		Status:    "ok",
+		Sessions:  s.sessions.Len(),
+		Decisions: s.decisions.Load(),
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	n := len(s.sessions)
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"sessions":  n,
-		"decisions": s.decisions.Load(),
-	})
+	writeJSON(w, http.StatusOK, s.health())
 }
 
 func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }
 
 func errUnknownSession(id string) error { return errf("unknown session %q", id) }
-
-func mustJSON(v any) json.RawMessage {
-	b, err := json.Marshal(v)
-	if err != nil {
-		panic(err)
-	}
-	return b
-}

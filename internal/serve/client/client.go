@@ -1,12 +1,16 @@
 // Package client speaks the rtmd binary wire protocol: a persistent
-// multiplexed TCP connection carrying observe→decide frames. Many
-// goroutines may share one Client — requests are tagged with ids, writes
-// of a batch coalesce into one flush, and a single reader goroutine
-// routes responses back to their callers. The serve benchmarks and the
-// cross-transport equivalence tests drive their sessions through it.
+// multiplexed TCP connection carrying observe→decide frames plus the
+// control plane (session create, checkpoint, delete, info, metrics,
+// list) as control frames. Many goroutines may share one Client —
+// requests are tagged with ids, writes of a batch coalesce into one
+// flush, and a single reader goroutine routes responses back to their
+// callers. The router drives every replica through one Client; the
+// serve benchmarks and the cross-transport equivalence tests drive
+// their sessions through it too.
 //
-// The client carries only the decision hot loop; session lifecycle
-// (create, inspect, checkpoint, delete) stays on the HTTP JSON API.
+// Ordering: frames written on one Client are executed by the server in
+// write order, with control frames acting as barriers — a Control
+// create issued before a Decide for the same session is applied first.
 package client
 
 import (
@@ -51,9 +55,22 @@ type batchCall struct {
 	done      chan struct{}
 }
 
+// DefaultTimeout bounds one round trip (batch or control) on a Client:
+// a server that stops answering — hung process, blackholed network with
+// the TCP session still open — must surface as a transport error, not
+// wedge every caller forever. A router holds its membership lock across
+// these waits, so an unbounded hang there would stall a whole fleet. A
+// healthy replica answers in microseconds; 30 s only ever fires on a
+// genuinely stuck peer.
+const DefaultTimeout = 30 * time.Second
+
 // Client is a multiplexed connection to an rtmd binary listener.
 type Client struct {
 	conn net.Conn
+
+	// Timeout bounds each round trip; 0 selects DefaultTimeout and a
+	// negative value disables the bound. Set before sharing the client.
+	Timeout time.Duration
 
 	// wmu serialises the write half: frame encoding into enc and the
 	// buffered writer.
@@ -61,13 +78,23 @@ type Client struct {
 	bw  *bufio.Writer
 	enc []byte
 
-	// mu guards the routing table and the sticky transport error.
-	mu        sync.Mutex
-	pending   map[uint32]*batchCall // keyed by batch handle (id >> indexBits)
-	nextBatch uint32
-	err       error
+	// mu guards the routing tables and the sticky transport error.
+	mu          sync.Mutex
+	pending     map[uint32]*batchCall // keyed by batch handle (id >> indexBits)
+	pendingCtrl map[uint32]*ctrlCall  // keyed by full control request id
+	nextBatch   uint32
+	nextCtrl    uint32
+	err         error
 
 	readerDone chan struct{}
+}
+
+// ctrlCall tracks one Control round trip. The reader copies the reply
+// out (the frame buffer is reused) and closes done.
+type ctrlCall struct {
+	status uint16
+	body   []byte
+	done   chan struct{}
 }
 
 // Dial connects to an rtmd -listen-tcp address.
@@ -77,10 +104,11 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		conn:       conn,
-		bw:         bufio.NewWriterSize(conn, 64<<10),
-		pending:    make(map[uint32]*batchCall),
-		readerDone: make(chan struct{}),
+		conn:        conn,
+		bw:          bufio.NewWriterSize(conn, 64<<10),
+		pending:     make(map[uint32]*batchCall),
+		pendingCtrl: make(map[uint32]*ctrlCall),
+		readerDone:  make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
@@ -177,7 +205,9 @@ func (c *Client) decideBatch(sessions []string, obs []governor.Observation, out 
 		return err
 	}
 
-	<-bc.done
+	if err := c.wait(bc.done); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	err = c.err
 	c.mu.Unlock()
@@ -187,43 +217,170 @@ func (c *Client) decideBatch(sessions []string, obs []governor.Observation, out 
 	return nil
 }
 
+// wait blocks on done up to the client's timeout. On expiry it cuts the
+// connection — the reader then fails every waiter (including this one),
+// so the poisoned client degrades to per-call transport errors instead
+// of unbounded hangs.
+func (c *Client) wait(done <-chan struct{}) error {
+	d := c.Timeout
+	if d == 0 {
+		d = DefaultTimeout
+	}
+	if d < 0 {
+		<-done
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-t.C:
+		c.conn.Close()
+		<-done // released by fail() once the reader sees the closed conn
+		return fmt.Errorf("client: no response within %v; connection dropped", d)
+	}
+}
+
+// Control runs one control-plane operation (a wire.Op* constant) against
+// the server and returns its HTTP-vocabulary status code and JSON body.
+// The returned body is the caller's to keep. A returned error is
+// transport-level and poisons the client; application failures (unknown
+// session, invalid create) come back as non-2xx statuses with an
+// {"error": ...} body, exactly like the HTTP control plane.
+func (c *Client) Control(op byte, session string, body []byte) (int, []byte, error) {
+	cc := &ctrlCall{done: make(chan struct{})}
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	id := c.nextCtrl
+	c.nextCtrl++
+	c.pendingCtrl[id] = cc
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	var err error
+	c.enc, err = wire.AppendControl(c.enc[:0], id, op, session, body)
+	if err == nil {
+		if _, err = c.bw.Write(c.enc); err == nil {
+			err = c.bw.Flush()
+		}
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pendingCtrl, id)
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+
+	if err := c.wait(cc.done); err != nil {
+		return 0, nil, err
+	}
+	c.mu.Lock()
+	err = c.err
+	c.mu.Unlock()
+	if cc.status == 0 { // released by fail(), not by a reply
+		return 0, nil, fmt.Errorf("client: transport failed mid-control: %w", err)
+	}
+	return int(cc.status), cc.body, nil
+}
+
+// CreateSession creates a session from a JSON create-request body and
+// returns the session-info JSON.
+func (c *Client) CreateSession(body []byte) (int, []byte, error) {
+	return c.Control(wire.OpCreate, "", body)
+}
+
+// CheckpointSession freezes the session's learnt state now; the reply
+// body carries {"session": ..., "state": ...}.
+func (c *Client) CheckpointSession(id string) (int, []byte, error) {
+	return c.Control(wire.OpCheckpoint, id, nil)
+}
+
+// DeleteSession drops the session and its checkpoint.
+func (c *Client) DeleteSession(id string) (int, []byte, error) {
+	return c.Control(wire.OpDelete, id, nil)
+}
+
+// SessionInfo returns the session's info JSON.
+func (c *Client) SessionInfo(id string) (int, []byte, error) {
+	return c.Control(wire.OpInfo, id, nil)
+}
+
+// Metrics returns the server's /v1/metrics JSON.
+func (c *Client) Metrics() (int, []byte, error) {
+	return c.Control(wire.OpMetrics, "", nil)
+}
+
+// ListSessions returns the JSON array of every session's info.
+func (c *Client) ListSessions() (int, []byte, error) {
+	return c.Control(wire.OpList, "", nil)
+}
+
+// Health returns the server's /healthz JSON (O(1) on the server).
+func (c *Client) Health() (int, []byte, error) {
+	return c.Control(wire.OpHealth, "", nil)
+}
+
 func (c *Client) readLoop() {
 	defer close(c.readerDone)
 	r := wire.NewReader(c.conn)
 	var m wire.Decide
+	var cm wire.ControlReply
 	for {
 		typ, payload, err := r.Next()
 		if err != nil {
 			c.fail(err)
 			return
 		}
-		if typ != wire.MsgDecide {
+		switch typ {
+		case wire.MsgDecide:
+			if err := m.Decode(payload); err != nil {
+				c.fail(err)
+				return
+			}
+			handle, idx := m.ID>>indexBits, int(m.ID&(MaxBatch-1))
+			c.mu.Lock()
+			bc := c.pending[handle]
+			if bc != nil && idx < len(bc.out) {
+				d := &bc.out[idx]
+				d.OPPIdx = int(m.OPPIdx)
+				d.FreqMHz = int(m.FreqMHz)
+				if len(m.Err) > 0 {
+					d.Err = string(m.Err)
+				} else {
+					d.Err = ""
+				}
+				bc.remaining--
+				if bc.remaining == 0 {
+					delete(c.pending, handle)
+					close(bc.done)
+				}
+			}
+			c.mu.Unlock()
+		case wire.MsgControlReply:
+			if err := cm.Decode(payload); err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			cc := c.pendingCtrl[cm.ID]
+			if cc != nil {
+				delete(c.pendingCtrl, cm.ID)
+				cc.status = cm.Status
+				cc.body = append([]byte(nil), cm.Body...) // the frame buffer is reused
+				close(cc.done)
+			}
+			c.mu.Unlock()
+		default:
 			c.fail(fmt.Errorf("client: unexpected frame type 0x%02x", typ))
 			return
 		}
-		if err := m.Decode(payload); err != nil {
-			c.fail(err)
-			return
-		}
-		handle, idx := m.ID>>indexBits, int(m.ID&(MaxBatch-1))
-		c.mu.Lock()
-		bc := c.pending[handle]
-		if bc != nil && idx < len(bc.out) {
-			d := &bc.out[idx]
-			d.OPPIdx = int(m.OPPIdx)
-			d.FreqMHz = int(m.FreqMHz)
-			if len(m.Err) > 0 {
-				d.Err = string(m.Err)
-			} else {
-				d.Err = ""
-			}
-			bc.remaining--
-			if bc.remaining == 0 {
-				delete(c.pending, handle)
-				close(bc.done)
-			}
-		}
-		c.mu.Unlock()
 	}
 }
 
@@ -237,5 +394,9 @@ func (c *Client) fail(err error) {
 	for handle, bc := range c.pending {
 		delete(c.pending, handle)
 		close(bc.done)
+	}
+	for id, cc := range c.pendingCtrl {
+		delete(c.pendingCtrl, id)
+		close(cc.done)
 	}
 }

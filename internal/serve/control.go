@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"qgov/internal/wire"
+)
+
+// control implements connBackend: it executes one binary control-plane
+// operation. Ops mirror the HTTP endpoints one for one — same request
+// and response JSON, same status codes — so the two control planes
+// cannot drift apart in semantics, only in framing. It is called from
+// the TCP connection worker between decide batches (control frames are
+// ordering barriers; see tcpConn.respond).
+func (s *Server) control(op byte, session string, body []byte) (status uint16, resp []byte) {
+	switch op {
+	case wire.OpCreate:
+		var req createRequest
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				return http.StatusBadRequest, errorBody(err)
+			}
+		}
+		if session != "" {
+			req.ID = session
+		}
+		sess, st, err := s.createSession(req)
+		if err != nil {
+			return uint16(st), errorBody(err)
+		}
+		s.logf("serve: session %s created (%s on %s)", sess.id, sess.govName, sess.platName)
+		return http.StatusCreated, jsonBody(s.info(sess))
+
+	case wire.OpCheckpoint:
+		sess := s.session(session)
+		if sess == nil {
+			return http.StatusNotFound, errorBody(errUnknownSession(session))
+		}
+		state, st, err := s.freezeSession(sess)
+		if err != nil {
+			return uint16(st), errorBody(err)
+		}
+		return http.StatusOK, jsonBody(checkpointResponse{Session: sess.id, State: state})
+
+	case wire.OpDelete:
+		if !s.deleteSession(session) {
+			return http.StatusNotFound, errorBody(errUnknownSession(session))
+		}
+		return http.StatusNoContent, nil
+
+	case wire.OpInfo:
+		sess := s.session(session)
+		if sess == nil {
+			return http.StatusNotFound, errorBody(errUnknownSession(session))
+		}
+		return http.StatusOK, jsonBody(s.info(sess))
+
+	case wire.OpMetrics:
+		return http.StatusOK, jsonBody(s.buildMetrics())
+
+	case wire.OpList:
+		return http.StatusOK, jsonBody(s.listInfos())
+
+	case wire.OpHealth:
+		return http.StatusOK, jsonBody(s.health())
+
+	default:
+		return http.StatusBadRequest, errorBody(errf("unknown control op 0x%02x", op))
+	}
+}
+
+func jsonBody(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Every body type here marshals by construction; reaching this is
+		// a programming error worth failing loudly over.
+		panic("serve: encoding control response: " + err.Error())
+	}
+	return b
+}
+
+func errorBody(err error) []byte {
+	b, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return b
+}

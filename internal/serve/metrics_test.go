@@ -7,14 +7,24 @@ import (
 	"qgov/internal/serve"
 )
 
+type learningMetrics struct {
+	Epochs            int64    `json:"epochs"`
+	Explorations      int      `json:"explorations"`
+	ConvergedAt       int      `json:"converged_at"`
+	Epsilon           *float64 `json:"epsilon"`
+	VisitTotal        *int     `json:"visit_total"`
+	ConvergedFraction *float64 `json:"converged_fraction"`
+}
+
 type latencyMetrics struct {
-	Count      int     `json:"count"`
-	LoUS       float64 `json:"lo_us"`
-	HiUS       float64 `json:"hi_us"`
-	BinWidthUS float64 `json:"bin_width_us"`
-	Bins       []int   `json:"bins"`
-	Underflow  int     `json:"underflow"`
-	Overflow   int     `json:"overflow"`
+	Count      int              `json:"count"`
+	LoUS       float64          `json:"lo_us"`
+	HiUS       float64          `json:"hi_us"`
+	BinWidthUS float64          `json:"bin_width_us"`
+	Bins       []int            `json:"bins"`
+	Underflow  int              `json:"underflow"`
+	Overflow   int              `json:"overflow"`
+	Learning   *learningMetrics `json:"learning"`
 }
 
 type metricsResponse struct {
@@ -94,5 +104,50 @@ func TestMetricsLatencyHistogram(t *testing.T) {
 	}
 	if idle.Count != 0 {
 		t.Errorf("idle session reports %d samples", idle.Count)
+	}
+
+	// Exploration/convergence counters ride next to the histogram for
+	// learning governors. The RTM holds ε at ε₀ for its first 110
+	// epochs, accumulates one table visit per decision, and cannot have
+	// a converged policy 37 epochs in.
+	lrn := lat.Learning
+	if lrn == nil {
+		t.Fatal("metrics missing the learning block for an RTM session")
+	}
+	if lrn.Epochs != decisions {
+		t.Errorf("learning epochs = %d, want %d", lrn.Epochs, decisions)
+	}
+	if lrn.Epsilon == nil || *lrn.Epsilon <= 0 || *lrn.Epsilon > 1 {
+		t.Errorf("epsilon = %v, want in (0, 1]", lrn.Epsilon)
+	}
+	if lrn.VisitTotal == nil || *lrn.VisitTotal != decisions {
+		t.Errorf("visit_total = %v, want %d", lrn.VisitTotal, decisions)
+	}
+	if lrn.ConvergedFraction == nil || *lrn.ConvergedFraction < 0 || *lrn.ConvergedFraction > 1 {
+		t.Errorf("converged_fraction = %v, want in [0, 1]", lrn.ConvergedFraction)
+	}
+	if lrn.ConvergedAt < -1 || lrn.ConvergedAt >= decisions {
+		t.Errorf("converged_at = %d after %d epochs", lrn.ConvergedAt, decisions)
+	}
+	if lrn.Explorations < 0 {
+		t.Errorf("explorations = %d", lrn.Explorations)
+	}
+	if idle.Learning == nil || idle.Learning.Epochs != 0 {
+		t.Errorf("idle session learning block: %+v", idle.Learning)
+	}
+}
+
+// A non-learning governor carries no learning block.
+func TestMetricsOmitsLearningForNonLearners(t *testing.T) {
+	h := newTestServer(t, serve.Options{})
+	if st := h.post("/v1/sessions", map[string]any{"id": "od", "governor": "ondemand"}, nil); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+	var m metricsResponse
+	if st := h.get("/v1/metrics", &m); st != http.StatusOK {
+		t.Fatalf("metrics returned %d", st)
+	}
+	if m.Sessions["od"].Learning != nil {
+		t.Errorf("ondemand session reports learning counters: %+v", m.Sessions["od"].Learning)
 	}
 }

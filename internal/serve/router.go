@@ -1,0 +1,627 @@
+package serve
+
+import (
+	crand "crypto/rand"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"qgov/internal/governor"
+	"qgov/internal/ring"
+	"qgov/internal/serve/client"
+	"qgov/internal/wire"
+)
+
+// Router is the fleet-facing front of a sharded rtmd deployment: it
+// owns no sessions itself, maps every session id onto a replica with a
+// consistent-hash ring, and forwards traffic over one persistent
+// multiplexed binary connection per replica. Decide batches split by
+// owner and fan out to the replicas in parallel — each replica's slice
+// of the batch travels as one flush on that replica's connection, so
+// the connection-level batch coalescing the flat server relies on is
+// preserved per replica. Control operations (create, checkpoint,
+// delete, info) follow the same ring; metrics and list aggregate across
+// the fleet.
+//
+// The router serves the same two fronts as a replica: Handler is the
+// HTTP control plane (plus JSON decide), NewRouterTCP the binary
+// transport. Clients cannot tell a router from a flat server — the
+// router equivalence test holds routed decision streams byte-identical
+// to a single server over the same session set.
+//
+// RemoveReplica drains a member: its sessions hand off to their new
+// owners by checkpoint/restore (freeze on the leaving replica, re-create
+// warm from that state on the ring's new placement), so learnt policies
+// survive resharding. Adding replicas to a live router (the other half
+// of live resharding) is future work; membership otherwise fixes at
+// construction.
+type Router struct {
+	opt RouterOptions
+
+	// mu guards membership: the ring and the client set. Decide and
+	// control traffic holds it for read; RemoveReplica holds it for
+	// write across the whole hand-off, so no decision can land on a
+	// session mid-move.
+	mu      sync.RWMutex
+	ring    *ring.Ring
+	clients map[string]*client.Client
+
+	nextID    atomic.Int64
+	decisions atomic.Int64
+}
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// VirtualNodes is the ring's virtual-node count per replica; <= 0
+	// selects ring.DefaultVirtualNodes.
+	VirtualNodes int
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// NewRouter dials every replica's binary address and builds the ring
+// over them. Replica addresses are the ring's member names: every
+// router given the same replica set computes the same placement.
+func NewRouter(replicas []string, opt RouterOptions) (*Router, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("serve: router needs at least one replica")
+	}
+	rt := &Router{
+		opt:     opt,
+		ring:    ring.New(opt.VirtualNodes),
+		clients: make(map[string]*client.Client, len(replicas)),
+	}
+	for _, addr := range replicas {
+		if _, dup := rt.clients[addr]; dup {
+			continue
+		}
+		cl, err := client.Dial(addr)
+		if err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("serve: dialing replica %s: %w", addr, err)
+		}
+		rt.clients[addr] = cl
+		rt.ring.Add(addr)
+	}
+	return rt, nil
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.opt.Logf != nil {
+		rt.opt.Logf(format, args...)
+	}
+}
+
+// Close drops every replica connection.
+func (rt *Router) Close() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var firstErr error
+	for addr, cl := range rt.clients {
+		if err := cl.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(rt.clients, addr)
+		rt.ring.Remove(addr)
+	}
+	return firstErr
+}
+
+// Replicas returns the current member addresses, sorted.
+func (rt *Router) Replicas() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring.Members()
+}
+
+// Owner returns the replica address that owns the session id.
+func (rt *Router) Owner(id string) (string, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring.Owner(id)
+}
+
+// decideBatch implements connBackend: requests group by owning replica
+// and fan out in parallel, one DecideBatch (one flush, one coalesced
+// server-side fan-out) per replica. Entries for unreachable replicas
+// fail individually, exactly like unknown sessions.
+func (rt *Router) decideBatch(batch []*observeReq) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+
+	type group struct {
+		idx      []int
+		sessions []string
+		obs      []governor.Observation
+	}
+	groups := make(map[string]*group)
+	for i, r := range batch {
+		if r.ctrl {
+			continue // callers split controls out; defensive
+		}
+		owner, ok := rt.ring.OwnerBytes(r.m.Session)
+		if !ok {
+			r.oppIdx, r.freqMHz = -1, 0
+			r.errMsg = "router has no replicas"
+			continue
+		}
+		g := groups[owner]
+		if g == nil {
+			g = &group{}
+			groups[owner] = g
+		}
+		g.idx = append(g.idx, i)
+		g.sessions = append(g.sessions, string(r.m.Session))
+		g.obs = append(g.obs, r.m.Obs)
+	}
+
+	var wg sync.WaitGroup
+	for owner, g := range groups {
+		wg.Add(1)
+		go func(owner string, g *group) {
+			defer wg.Done()
+			out := make([]client.Decision, len(g.sessions))
+			err := rt.clients[owner].DecideBatch(g.sessions, g.obs, out)
+			for k, i := range g.idx {
+				r := batch[i]
+				if err != nil {
+					r.oppIdx, r.freqMHz = -1, 0
+					r.errMsg = fmt.Sprintf("replica %s: %v", owner, err)
+					continue
+				}
+				r.oppIdx = int32(out[k].OPPIdx)
+				r.freqMHz = int32(out[k].FreqMHz)
+				r.errMsg = out[k].Err
+				if out[k].Err == "" {
+					rt.decisions.Add(1)
+				}
+			}
+		}(owner, g)
+	}
+	wg.Wait()
+}
+
+// control implements connBackend: session-scoped ops forward to the
+// owning replica; fleet-scoped ops aggregate across every replica.
+func (rt *Router) control(op byte, session string, body []byte) (uint16, []byte) {
+	switch op {
+	case wire.OpMetrics:
+		return rt.aggregateMetrics()
+	case wire.OpList:
+		return rt.aggregateList()
+	case wire.OpHealth:
+		return rt.aggregateHealth()
+	case wire.OpCreate:
+		id := session
+		if id == "" {
+			// The id decides placement, so the router must know it before
+			// forwarding; parse it out of the body and assign one if the
+			// caller left naming to the server.
+			var req struct {
+				ID string `json:"id"`
+			}
+			if len(body) > 0 {
+				if err := json.Unmarshal(body, &req); err != nil {
+					return http.StatusBadRequest, errorBody(err)
+				}
+			}
+			id = req.ID
+		}
+		if id == "" {
+			// The router is stateless and replicas outlive it, so
+			// auto-assigned ids must not repeat across router restarts
+			// (a counter would collide with sessions the fleet still
+			// holds) or across two routers fronting the same fleet.
+			var rnd [6]byte
+			if _, err := crand.Read(rnd[:]); err != nil {
+				return http.StatusInternalServerError, errorBody(err)
+			}
+			id = fmt.Sprintf("r%d-%x", rt.nextID.Add(1), rnd)
+		}
+		if !idPattern.MatchString(id) {
+			return http.StatusBadRequest, errorBody(errf("session id %q must match %s", id, idPattern))
+		}
+		return rt.forward(wire.OpCreate, id, body)
+	default:
+		return rt.forward(op, session, body)
+	}
+}
+
+// forward routes one session-scoped control op to the session's owner.
+// The op travels with the session id in the frame's session field, so
+// the replica applies it to the right session whatever the body says.
+// The read lock is held across the round trip: a control op must not
+// land on a replica after RemoveReplica has enumerated its sessions —
+// the drain would miss it and strand the session off-ring.
+func (rt *Router) forward(op byte, session string, body []byte) (uint16, []byte) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	owner, ok := rt.ring.Owner(session)
+	cl := rt.clients[owner]
+	if !ok || cl == nil {
+		return http.StatusServiceUnavailable, errorBody(errf("router has no replicas"))
+	}
+	status, resp, err := cl.Control(op, session, body)
+	if err != nil {
+		return http.StatusBadGateway, errorBody(fmt.Errorf("replica %s: %w", owner, err))
+	}
+	return uint16(status), resp
+}
+
+// eachReplica runs f per replica in parallel, collecting results in
+// member order. The read lock is held across the fan-out so the member
+// set cannot shrink under it.
+func (rt *Router) eachReplica(f func(addr string, cl *client.Client) ([]byte, error)) ([][]byte, []string, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	members := rt.ring.Members()
+	clients := make([]*client.Client, len(members))
+	for i, m := range members {
+		clients[i] = rt.clients[m]
+	}
+
+	bodies := make([][]byte, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i := range members {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i], errs[i] = f(members[i], clients[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("replica %s: %w", members[i], err)
+		}
+	}
+	return bodies, members, nil
+}
+
+// aggregateMetrics merges every replica's /v1/metrics document: session
+// entries union (ids are globally unique — the ring sends each to one
+// replica) and decision counters sum.
+func (rt *Router) aggregateMetrics() (uint16, []byte) {
+	bodies, _, err := rt.eachReplica(func(addr string, cl *client.Client) ([]byte, error) {
+		status, body, err := cl.Metrics()
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("metrics returned %d", status)
+		}
+		return body, nil
+	})
+	if err != nil {
+		return http.StatusBadGateway, errorBody(err)
+	}
+	merged := metricsJSON{Sessions: make(map[string]sessionMetricsJSON)}
+	for _, body := range bodies {
+		var m metricsJSON
+		if err := json.Unmarshal(body, &m); err != nil {
+			return http.StatusBadGateway, errorBody(fmt.Errorf("decoding replica metrics: %w", err))
+		}
+		merged.Decisions += m.Decisions
+		for id, sm := range m.Sessions {
+			merged.Sessions[id] = sm
+		}
+	}
+	return http.StatusOK, jsonBody(merged)
+}
+
+// aggregateList concatenates every replica's session list, sorted by id.
+func (rt *Router) aggregateList() (uint16, []byte) {
+	bodies, _, err := rt.eachReplica(func(addr string, cl *client.Client) ([]byte, error) {
+		status, body, err := cl.ListSessions()
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("list returned %d", status)
+		}
+		return body, nil
+	})
+	if err != nil {
+		return http.StatusBadGateway, errorBody(err)
+	}
+	var all []sessionInfo
+	for _, body := range bodies {
+		var infos []sessionInfo
+		if err := json.Unmarshal(body, &infos); err != nil {
+			return http.StatusBadGateway, errorBody(fmt.Errorf("decoding replica list: %w", err))
+		}
+		all = append(all, infos...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return http.StatusOK, jsonBody(all)
+}
+
+// RemoveReplica drains one member: every session it owns is frozen
+// there, re-created warm from that state on the replica the shrunk ring
+// now places it on, and deleted from the leaver. The write lock is held
+// throughout, so no decide observes a session mid-move; callers pause
+// their decision loops at an epoch boundary around this call (decides
+// issued during the move simply block, they do not fail).
+//
+// The drain is abort-on-failure: if any session cannot move, the
+// sessions already moved are moved back, the ring is restored, and the
+// replica stays connected — the router never ends up routing a session
+// away from the only replica that holds it. It returns the moved
+// session ids.
+func (rt *Router) RemoveReplica(addr string) ([]string, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+
+	leaving := rt.clients[addr]
+	if leaving == nil {
+		return nil, fmt.Errorf("serve: %s is not a replica", addr)
+	}
+	if len(rt.clients) == 1 {
+		return nil, fmt.Errorf("serve: cannot remove the last replica")
+	}
+
+	status, body, err := leaving.ListSessions()
+	if err != nil || status != http.StatusOK {
+		return nil, fmt.Errorf("serve: listing sessions on %s: status %d err %v", addr, status, err)
+	}
+	var infos []sessionInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		return nil, fmt.Errorf("serve: decoding session list from %s: %w", addr, err)
+	}
+
+	rt.ring.Remove(addr)
+	var moved []string
+	for _, info := range infos {
+		owner, ok := rt.ring.Owner(info.ID)
+		if !ok {
+			// Unreachable with ≥ 1 survivor; guard anyway.
+			rt.ring.Add(addr)
+			return nil, fmt.Errorf("serve: ring is empty")
+		}
+		if err := rt.moveSession(leaving, addr, rt.clients[owner], owner, info); err != nil {
+			rt.logf("serve: router: moving %s off %s failed, aborting drain: %v", info.ID, addr, err)
+			rt.undoDrain(leaving, addr, infos, moved)
+			rt.ring.Add(addr)
+			return nil, fmt.Errorf("serve: draining %s: moving %s: %w", addr, info.ID, err)
+		}
+		moved = append(moved, info.ID)
+	}
+
+	delete(rt.clients, addr)
+	closeErr := leaving.Close()
+	rt.logf("serve: router: drained %s (%d sessions moved)", addr, len(moved))
+	return moved, closeErr
+}
+
+// undoDrain moves already-moved sessions back onto the replica whose
+// drain is being aborted. The ring is still shrunk here, so each moved
+// session's current holder is its ring owner. Undo failures are logged
+// and skipped — at that point the fleet is degraded either way, and
+// leaving the session where it is beats deleting it.
+func (rt *Router) undoDrain(leaving *client.Client, addr string, infos []sessionInfo, moved []string) {
+	byID := make(map[string]sessionInfo, len(infos))
+	for _, info := range infos {
+		byID[info.ID] = info
+	}
+	for _, id := range moved {
+		owner, ok := rt.ring.Owner(id)
+		if !ok {
+			continue
+		}
+		if err := rt.moveSession(rt.clients[owner], owner, leaving, addr, byID[id]); err != nil {
+			rt.logf("serve: router: undo of %s back to %s failed: %v", id, addr, err)
+		}
+	}
+}
+
+// moveSession hands one session between replicas by checkpoint/restore:
+// freeze on the source, re-create warm on the destination, delete from
+// the source, then persist on the destination. The delete runs after
+// the create so the session always exists somewhere; the final
+// checkpoint runs after the delete because deleting the source session
+// garbage-collects its checkpoint — on shared checkpoint storage that
+// would otherwise leave the moved session with no durable state until
+// the destination's next periodic sweep. Callers hold the write lock.
+func (rt *Router) moveSession(src *client.Client, srcAddr string, dst *client.Client, dstAddr string, info sessionInfo) error {
+	if dst == nil {
+		return fmt.Errorf("no client for %s", dstAddr)
+	}
+
+	// Freeze the learnt state. Governors that keep none (400) move cold;
+	// a governor that has not decided yet (409) moves cold too.
+	var state json.RawMessage
+	status, body, err := src.CheckpointSession(info.ID)
+	switch {
+	case err != nil:
+		return fmt.Errorf("freezing on %s: %w", srcAddr, err)
+	case status == http.StatusOK:
+		var ck checkpointResponse
+		if err := json.Unmarshal(body, &ck); err != nil {
+			return fmt.Errorf("decoding checkpoint: %w", err)
+		}
+		state = ck.State
+	case status == http.StatusBadRequest || status == http.StatusConflict:
+		// stateless governor / nothing learnt yet
+	default:
+		return fmt.Errorf("freezing on %s: status %d: %s", srcAddr, status, body)
+	}
+
+	create := createRequest{
+		ID:       info.ID,
+		Governor: info.Governor,
+		Platform: info.Platform,
+		PeriodS:  info.PeriodS,
+		Seed:     info.Seed,
+		State:    state,
+	}
+	status, body, err = dst.CreateSession(jsonBody(create))
+	if err != nil {
+		return fmt.Errorf("re-creating on %s: %w", dstAddr, err)
+	}
+	if status != http.StatusCreated {
+		return fmt.Errorf("re-creating on %s: status %d: %s", dstAddr, status, body)
+	}
+
+	if status, body, err = src.DeleteSession(info.ID); err != nil || status != http.StatusNoContent {
+		// The move failed with the session live on BOTH replicas. Remove
+		// the destination copy so the source (which the aborting caller
+		// will restore to the ring) stays the single authority — an
+		// orphaned dst copy would keep checkpointing stale state over the
+		// live session's on shared storage.
+		if st, b, derr := dst.DeleteSession(info.ID); derr != nil || st != http.StatusNoContent {
+			rt.logf("serve: router: removing duplicate %s from %s after failed move: status %d err %v (%s)",
+				info.ID, dstAddr, st, derr, b)
+		} else if state != nil {
+			// That delete garbage-collected the checkpoint; on shared
+			// storage it was the survivor's too. Re-freeze on the source
+			// (best-effort — its periodic sweep retries).
+			if st, _, cerr := src.CheckpointSession(info.ID); cerr != nil || st != http.StatusOK {
+				rt.logf("serve: router: re-freezing %s on %s after aborted move: status %d err %v",
+					info.ID, srcAddr, st, cerr)
+			}
+		}
+		return fmt.Errorf("deleting from %s: status %d err %v (%s)", srcAddr, status, err, body)
+	}
+
+	// Re-persist on the destination; best-effort (the periodic sweep
+	// retries), but without it a crash before the next sweep would lose
+	// the learnt state the move just carried.
+	if state != nil {
+		if status, body, err := dst.CheckpointSession(info.ID); err != nil || status != http.StatusOK {
+			rt.logf("serve: router: persisting %s on %s after move: status %d err %v (%s)",
+				info.ID, dstAddr, status, err, body)
+		}
+	}
+	return nil
+}
+
+// NewRouterTCP wraps a Router with a binary-transport listener — the
+// routed twin of NewTCP. Clients speak the identical protocol; the
+// router forwards each frame to the replica that owns its session.
+func NewRouterTCP(rt *Router, lis net.Listener) *TCPServer {
+	return newTCPListener(rt, lis)
+}
+
+// Handler returns the router's HTTP API: the same surface a flat server
+// exposes, so existing clients point at the router unchanged.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", rt.handleRouteCreate)
+	mux.HandleFunc("POST /v1/decide", rt.handleRouteDecide)
+	mux.HandleFunc("GET /v1/sessions/{id}", rt.handleRouteOp(wire.OpInfo))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", rt.handleRouteOp(wire.OpDelete))
+	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", rt.handleRouteOp(wire.OpCheckpoint))
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		status, body := rt.control(wire.OpMetrics, "", nil)
+		writeControlResult(w, status, body)
+	})
+	mux.HandleFunc("GET /healthz", rt.handleRouteHealth)
+	return mux
+}
+
+// writeControlResult relays a control result as an HTTP response; the
+// two planes share status codes and bodies by construction.
+func writeControlResult(w http.ResponseWriter, status uint16, body []byte) {
+	if len(body) == 0 {
+		w.WriteHeader(int(status))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(int(status))
+	_, _ = w.Write(body)
+}
+
+func (rt *Router) handleRouteCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	status, body := rt.control(wire.OpCreate, req.ID, jsonBody(req))
+	writeControlResult(w, status, body)
+}
+
+func (rt *Router) handleRouteOp(op byte) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		status, body := rt.control(op, r.PathValue("id"), nil)
+		writeControlResult(w, status, body)
+	}
+}
+
+// handleRouteDecide serves a JSON decide batch through the same
+// grouping/fan-out path as the binary transport.
+func (rt *Router) handleRouteDecide(w http.ResponseWriter, r *http.Request) {
+	var req decideRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	n := len(req.Requests)
+	if err := validateDecideBatch(n); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	batch := make([]*observeReq, n)
+	for i, item := range req.Requests {
+		batch[i] = &observeReq{}
+		batch[i].m.Session = []byte(item.Session)
+		batch[i].m.Obs = item.Obs.observation()
+	}
+	rt.decideBatch(batch)
+	resp := decideResponse{Decisions: make([]decisionJSON, n)}
+	for i, r := range batch {
+		// decideBatch zeroes freqMHz on every failure path, matching the
+		// flat server's error shape.
+		resp.Decisions[i] = decisionJSON{
+			Session: req.Requests[i].Session,
+			OPPIdx:  int(r.oppIdx),
+			FreqMHz: int(r.freqMHz),
+			Error:   r.errMsg,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// aggregateHealth sums fleet liveness: one O(1) health op per replica
+// — a probe never enumerates sessions. Both control planes serve it
+// (GET /healthz and binary OpHealth return the same body).
+func (rt *Router) aggregateHealth() (uint16, []byte) {
+	bodies, members, err := rt.eachReplica(func(addr string, cl *client.Client) ([]byte, error) {
+		status, body, err := cl.Health()
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("health returned %d", status)
+		}
+		return body, nil
+	})
+	if err != nil {
+		return http.StatusBadGateway, errorBody(err)
+	}
+	var sessions int
+	var decisions int64
+	for i, body := range bodies {
+		var h healthJSON
+		if err := json.Unmarshal(body, &h); err != nil {
+			return http.StatusBadGateway, errorBody(fmt.Errorf("decoding health from %s: %w", members[i], err))
+		}
+		sessions += h.Sessions
+		decisions += h.Decisions
+	}
+	return http.StatusOK, jsonBody(map[string]any{
+		"status":           "ok",
+		"sessions":         sessions,
+		"replicas":         len(members),
+		"decisions":        decisions, // fleet total, direct traffic included
+		"routed_decisions": rt.decisions.Load(),
+	})
+}
+
+func (rt *Router) handleRouteHealth(w http.ResponseWriter, _ *http.Request) {
+	status, body := rt.aggregateHealth()
+	writeControlResult(w, status, body)
+}

@@ -11,7 +11,8 @@
 //	                                    session, one OPP decision back
 //	GET    /v1/sessions/{id}            session info + learning stats
 //	POST   /v1/sessions/{id}/checkpoint freeze the learnt state now
-//	DELETE /v1/sessions/{id}            drop the session
+//	DELETE /v1/sessions/{id}            drop the session and its
+//	                                    checkpoint
 //	GET    /healthz                     liveness + counters
 //
 // Sessions are independent and internally locked: decisions for
@@ -19,17 +20,31 @@
 // serialise, so each session's governor sees a strict observation
 // sequence and remains exactly as deterministic as under sim.Run (the
 // serve tests drive a sim.Session through this API and require
-// byte-identical physical aggregates). Learning state is periodically
-// checkpointed through governor.Checkpointer when a checkpoint directory
-// is configured, and sessions warm-start from their checkpoint file on
-// re-creation — a restarted server resumes its learnt policies.
+// byte-identical physical aggregates). The session map itself lives in
+// a sessionstore.Sharded store — mutex-striped shards, so two decides
+// for different sessions rarely touch the same lock even on the lookup.
+//
+// Learning state is frozen through governor.Checkpointer into a
+// sessionstore.CheckpointStore when one is configured: periodically, on
+// demand, and one final time on Close. Sessions warm-start from their
+// checkpoint on re-creation — a restarted server resumes its learnt
+// policies, and a replica fleet pointing at shared checkpoint storage
+// can hand sessions between members the same way. Deleting a session
+// deletes its checkpoint (no more orphaned state files), and New sweeps
+// the store for unrestorable state left by crashed or ancient writers.
+//
+// The Server also speaks the binary wire protocol (TCPServer): the
+// observe→decide hot loop and, since the control frames landed, the
+// whole session lifecycle, so a router can drive a replica entirely
+// over one binary connection.
 package serve
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	"io/fs"
 	"regexp"
 	"sync"
 	"sync/atomic"
@@ -39,6 +54,7 @@ import (
 	"qgov/internal/governor"
 	"qgov/internal/platform"
 	"qgov/internal/scenario"
+	"qgov/internal/sessionstore"
 	"qgov/internal/stats"
 )
 
@@ -59,25 +75,32 @@ type Options struct {
 	// DefaultPeriodS is the decision-epoch deadline used when a session
 	// create omits one. Zero selects 0.040 s (25 fps).
 	DefaultPeriodS float64
-	// CheckpointDir, when non-empty, is where session learning state is
-	// frozen (one "<id>.state" file per checkpointable session) and
-	// looked up again when a session of the same id is re-created.
+	// Checkpoints, when non-nil, is where session learning state is
+	// frozen and looked up again when a session of the same id is
+	// re-created. Replicas sharing one store can hand sessions off.
+	Checkpoints sessionstore.CheckpointStore
+	// CheckpointDir is the convenience form of Checkpoints: a non-empty
+	// directory builds a sessionstore.Dir when Checkpoints is nil. New
+	// panics if the directory cannot be created.
 	CheckpointDir string
 	// CheckpointEvery is the period of the background checkpoint sweep;
 	// <= 0 disables the sweep (explicit /checkpoint calls and the final
-	// sweep on Close still run when CheckpointDir is set).
+	// sweep on Close still run when a checkpoint store is configured).
 	CheckpointEvery time.Duration
+	// StoreShards overrides the session store's stripe count; <= 0 uses
+	// the sessionstore default.
+	StoreShards int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
 
 // Server is the concurrent session store behind the HTTP API.
 type Server struct {
-	opt Options
+	opt  Options
+	ckpt sessionstore.CheckpointStore
 
-	mu       sync.RWMutex
-	sessions map[string]*session
-	closed   bool
+	sessions sessionstore.Store[*session]
+	closed   atomic.Bool
 
 	nextID    atomic.Int64
 	decisions atomic.Int64
@@ -85,6 +108,7 @@ type Server struct {
 	done      chan struct{}
 	loopWG    sync.WaitGroup
 	closeOnce sync.Once
+	closeErr  error
 }
 
 // session is one controlled cluster's governor with its serving state.
@@ -106,8 +130,9 @@ type session struct {
 	lat    *stats.Histogram // decision latency in µs, guarded by mu
 }
 
-// New builds a Server and starts the periodic checkpoint sweep when
-// configured. Callers must Close it.
+// New builds a Server, sweeps its checkpoint store of unrestorable
+// state, and starts the periodic checkpoint loop when configured.
+// Callers must Close it.
 func New(opt Options) *Server {
 	if opt.DefaultPlatform == "" {
 		opt.DefaultPlatform = "a15"
@@ -115,12 +140,28 @@ func New(opt Options) *Server {
 	if opt.DefaultPeriodS <= 0 {
 		opt.DefaultPeriodS = 0.040
 	}
+	ckpt := opt.Checkpoints
+	if ckpt == nil && opt.CheckpointDir != "" {
+		d, err := sessionstore.NewDir(opt.CheckpointDir)
+		if err != nil {
+			panic(fmt.Sprintf("serve: %v", err))
+		}
+		ckpt = d
+	}
 	s := &Server{
 		opt:      opt,
-		sessions: make(map[string]*session),
+		ckpt:     ckpt,
+		sessions: sessionstore.NewSharded[*session](opt.StoreShards),
 		done:     make(chan struct{}),
 	}
-	if opt.CheckpointDir != "" && opt.CheckpointEvery > 0 {
+	if ckpt != nil {
+		if n, err := s.CompactCheckpoints(); err != nil {
+			s.logf("serve: checkpoint compaction: %v", err)
+		} else if n > 0 {
+			s.logf("serve: compacted %d unrestorable checkpoints", n)
+		}
+	}
+	if ckpt != nil && opt.CheckpointEvery > 0 {
 		s.loopWG.Add(1)
 		go s.checkpointLoop()
 	}
@@ -133,24 +174,21 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Close stops the checkpoint sweep and, when a checkpoint directory is
+// Close stops the checkpoint sweep and, when a checkpoint store is
 // configured, freezes every session one final time — the graceful-
 // shutdown half of warm restarts. It is idempotent.
 func (s *Server) Close() error {
-	var err error
 	s.closeOnce.Do(func() {
 		close(s.done)
 		s.loopWG.Wait()
-		s.mu.Lock()
-		s.closed = true
-		s.mu.Unlock()
-		if s.opt.CheckpointDir != "" {
+		s.closed.Store(true)
+		if s.ckpt != nil {
 			n, e := s.CheckpointAll()
 			s.logf("serve: final checkpoint: %d sessions", n)
-			err = e
+			s.closeErr = e
 		}
 	})
-	return err
+	return s.closeErr
 }
 
 func (s *Server) checkpointLoop() {
@@ -171,20 +209,24 @@ func (s *Server) checkpointLoop() {
 	}
 }
 
-// CheckpointAll freezes every checkpointable session into CheckpointDir
-// and returns how many were written. The first error is returned after
-// attempting the rest.
-func (s *Server) CheckpointAll() (int, error) {
-	s.mu.RLock()
-	all := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
+// snapshotSessions copies the live session set out of the store (Range
+// holds shard locks; the work happens on the copy).
+func (s *Server) snapshotSessions() []*session {
+	all := make([]*session, 0, s.sessions.Len())
+	s.sessions.Range(func(_ string, sess *session) bool {
 		all = append(all, sess)
-	}
-	s.mu.RUnlock()
+		return true
+	})
+	return all
+}
 
+// CheckpointAll freezes every checkpointable session into the checkpoint
+// store and returns how many were written. The first error is returned
+// after attempting the rest.
+func (s *Server) CheckpointAll() (int, error) {
 	var n int
 	var firstErr error
-	for _, sess := range all {
+	for _, sess := range s.snapshotSessions() {
 		wrote, err := s.checkpointSession(sess)
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -196,12 +238,12 @@ func (s *Server) CheckpointAll() (int, error) {
 	return n, firstErr
 }
 
-// checkpointSession freezes one session's state to its file; sessions
+// checkpointSession freezes one session's state to the store; sessions
 // whose governor keeps no learnt state (or that have not decided yet)
 // are skipped without error.
 func (s *Server) checkpointSession(sess *session) (bool, error) {
 	cp, ok := sess.gov.(governor.Checkpointer)
-	if !ok || s.opt.CheckpointDir == "" {
+	if !ok || s.ckpt == nil {
 		return false, nil
 	}
 	var buf bytes.Buffer
@@ -210,35 +252,127 @@ func (s *Server) checkpointSession(sess *session) (bool, error) {
 	err := cp.SaveState(&buf)
 	sess.mu.Unlock()
 	if epochs == 0 {
-		return false, nil // nothing observed yet; keep any prior file
+		return false, nil // nothing observed yet; keep any prior state
 	}
 	if err != nil {
 		return false, fmt.Errorf("serve: freezing %s: %w", sess.id, err)
 	}
-	if err := atomicWrite(s.statePath(sess.id), buf.Bytes()); err != nil {
+	if err := s.ckpt.Save(sess.id, buf.Bytes()); err != nil {
 		return false, fmt.Errorf("serve: writing %s checkpoint: %w", sess.id, err)
 	}
+	s.undoSaveIfDeleted(sess)
 	return true, nil
 }
 
-func (s *Server) statePath(id string) string {
-	return filepath.Join(s.opt.CheckpointDir, id+".state")
+// undoSaveIfDeleted closes the sweep-vs-DELETE race: a checkpoint
+// captured before a concurrent delete must not survive it (it would
+// resurrect "gone" learnt state on the next create). The check is by
+// session identity, not id — if the id was deleted AND re-created
+// inside the save window, the store holds a different *session and the
+// file we just wrote is still the deleted one's state. Re-checking
+// after the save makes every interleaving end with the stale file
+// absent: whichever of the delete's GC and this cleanup runs last
+// removes it.
+func (s *Server) undoSaveIfDeleted(sess *session) {
+	if cur, live := s.sessions.Get(sess.id); !live || cur != sess {
+		if err := s.ckpt.Delete(sess.id); err != nil {
+			s.logf("serve: removing checkpoint of deleted %s: %v", sess.id, err)
+		}
+	}
 }
 
-func atomicWrite(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".state-*")
+// restorableHeader reports whether frozen state opens with a checkpoint
+// envelope some learner could restore: a JSON object carrying a kind tag
+// and a positive version — the two fields every governor.Checkpointer
+// format in the program leads with. State that fails this check (torn
+// writes, truncation, a stray file) can never warm-start a session.
+//
+// The decode streams and stops at the two header fields (both formats
+// emit them first), so a sweep over a large store pays two token reads
+// per checkpoint, not a full parse of every value table. Stopping early
+// cannot mistake a torn tail for a good checkpoint: a file truncated
+// mid-document that still opens with a valid header would fail its real
+// LoadState at warm-start, which handles it exactly like a cold create.
+func restorableHeader(state []byte) bool {
+	dec := json.NewDecoder(bytes.NewReader(state))
+	tok, err := dec.Token()
 	if err != nil {
-		return err
+		return false
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return false
 	}
-	if err := tmp.Close(); err != nil {
-		return err
+	var kind string
+	var version float64
+	var seenKind, seenVersion bool
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return false
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "kind":
+			if dec.Decode(&kind) != nil {
+				return false
+			}
+			seenKind = true
+		case "version":
+			if dec.Decode(&version) != nil {
+				return false
+			}
+			seenVersion = true
+		default:
+			var skip json.RawMessage
+			if dec.Decode(&skip) != nil {
+				return false
+			}
+		}
+		if seenKind && seenVersion {
+			return kind != "" && version >= 1
+		}
 	}
-	return os.Rename(tmp.Name(), path)
+	return false
+}
+
+// CompactCheckpoints is the dead-state sweep: it deletes checkpoints no
+// session could ever restore from (no restorable header — torn or
+// foreign files). It runs automatically in New; replicas sharing a
+// store can also invoke it on demand. It returns how many were removed.
+func (s *Server) CompactCheckpoints() (int, error) {
+	if s.ckpt == nil {
+		return 0, nil
+	}
+	ids, err := s.ckpt.List()
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	var firstErr error
+	for _, id := range ids {
+		state, err := s.ckpt.Load(id)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // raced with a delete; already gone
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if restorableHeader(state) {
+			continue
+		}
+		if err := s.ckpt.Delete(id); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.logf("serve: compacted unrestorable checkpoint %s", id)
+		removed++
+	}
+	return removed, firstErr
 }
 
 // idPattern keeps session ids shell- and filename-safe: they become
@@ -298,15 +432,15 @@ func (s *Server) createSession(req createRequest) (*session, int, error) {
 		if err := scenario.WarmStart(gov, bytes.NewReader(req.State)); err != nil {
 			return nil, 400, err
 		}
-	} else if s.opt.CheckpointDir != "" {
+	} else if s.ckpt != nil {
 		// A session re-created under its old id resumes its learnt policy.
-		if f, err := os.Open(s.statePath(id)); err == nil {
-			err = scenario.WarmStart(gov, f)
-			f.Close()
-			if err != nil {
+		if state, err := s.ckpt.Load(id); err == nil {
+			if err := scenario.WarmStart(gov, bytes.NewReader(state)); err != nil {
 				return nil, 500, fmt.Errorf("warm-starting %s from checkpoint: %w", id, err)
 			}
-			s.logf("serve: session %s warm-started from %s", id, s.statePath(id))
+			s.logf("serve: session %s warm-started from its checkpoint", id)
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return nil, 500, fmt.Errorf("reading %s checkpoint: %w", id, err)
 		}
 	}
 
@@ -325,15 +459,18 @@ func (s *Server) createSession(req createRequest) (*session, int, error) {
 		return nil, 400, err
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, 503, fmt.Errorf("server is shutting down")
 	}
-	if _, dup := s.sessions[id]; dup {
+	if !s.sessions.Put(id, sess) {
 		return nil, 409, fmt.Errorf("session %q already exists", id)
 	}
-	s.sessions[id] = sess
+	// A Close racing this create may have missed the session in its
+	// final sweep; undo rather than lose learnt state silently.
+	if s.closed.Load() {
+		s.sessions.Delete(id)
+		return nil, 503, fmt.Errorf("server is shutting down")
+	}
 	return sess, 0, nil
 }
 
@@ -356,27 +493,30 @@ func resetGovernor(sess *session) (err error) {
 }
 
 func (s *Server) session(id string) *session {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sessions[id]
+	sess, _ := s.sessions.Get(id)
+	return sess
 }
 
 // sessionFor is the byte-keyed twin of session for the binary transport:
-// looking a []byte key up in a string map compiles without a conversion
-// allocation, keeping the TCP decode→decide path allocation-free.
+// the store's byte-keyed lookup needs no conversion allocation, keeping
+// the TCP decode→decide path allocation-free.
 func (s *Server) sessionFor(id []byte) *session {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sessions[string(id)]
+	sess, _ := s.sessions.GetBytes(id)
+	return sess
 }
 
+// deleteSession drops the session and garbage-collects its checkpoint —
+// DELETE means gone, not "resurrectable from a state file the operator
+// must remember to remove".
 func (s *Server) deleteSession(id string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sessions[id]; !ok {
+	if _, ok := s.sessions.Delete(id); !ok {
 		return false
 	}
-	delete(s.sessions, id)
+	if s.ckpt != nil {
+		if err := s.ckpt.Delete(id); err != nil {
+			s.logf("serve: deleting %s checkpoint: %v", id, err)
+		}
+	}
 	return true
 }
 

@@ -388,6 +388,124 @@ func TestServeCheckpointSurvivesRestart(t *testing.T) {
 	}
 }
 
+// DELETE must garbage-collect the session's checkpoint: re-creating the
+// id afterwards starts cold, not from the deleted session's state.
+func TestDeleteRemovesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	const frames = 200
+	h := newTestServer(t, serve.Options{CheckpointDir: dir})
+	tr := workload.MPEG4At30(4, frames)
+	create := map[string]any{
+		"id": "gc", "governor": "rtm", "period_s": tr.RefTimeS, "seed": 4,
+		"calibration_cc": tr.MaxPerFrame(),
+	}
+	if st := h.post("/v1/sessions", create, nil); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+	h.driveOne("gc", sim.NewSession(scenarioConfig(t, "rtm/mpeg4-30fps/a15", 4, frames)))
+	var learnt struct {
+		State json.RawMessage `json:"state"`
+	}
+	if st := h.post("/v1/sessions/gc/checkpoint", map[string]any{}, &learnt); st != http.StatusOK {
+		t.Fatalf("checkpoint returned %d", st)
+	}
+	if _, err := os.Stat(dir + "/gc.state"); err != nil {
+		t.Fatalf("checkpoint missing before delete: %v", err)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, h.ts.URL+"/v1/sessions/gc", nil)
+	resp, err := h.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete returned %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(dir + "/gc.state"); err == nil {
+		t.Fatal("DELETE orphaned the checkpoint file")
+	}
+
+	// Re-creating the id starts cold: freezing it immediately must not
+	// reproduce the deleted session's learnt state (which a lingering
+	// checkpoint file would have warm-started).
+	if st := h.post("/v1/sessions", create, nil); st != http.StatusCreated {
+		t.Fatalf("re-create returned %d", st)
+	}
+	var fresh struct {
+		State json.RawMessage `json:"state"`
+	}
+	if st := h.post("/v1/sessions/gc/checkpoint", map[string]any{}, &fresh); st != http.StatusOK {
+		t.Fatalf("checkpoint of re-created session returned %d", st)
+	}
+	if bytes.Equal(fresh.State, learnt.State) {
+		t.Error("re-created session carries the deleted session's learnt state")
+	}
+}
+
+// New sweeps the checkpoint store of state no session could restore:
+// torn writes and foreign files go, valid checkpoints stay and still
+// warm-start.
+func TestStartupCompactionSweepsDeadState(t *testing.T) {
+	dir := t.TempDir()
+	const frames = 200
+
+	// A real checkpoint to survive the sweep.
+	srv1 := serve.New(serve.Options{CheckpointDir: dir})
+	ts1 := httptest.NewServer(srv1.Handler())
+	h1 := &testServer{t: t, srv: srv1, ts: ts1}
+	tr := workload.MPEG4At30(6, frames)
+	if st := h1.post("/v1/sessions", map[string]any{
+		"id": "alive", "governor": "rtm", "period_s": tr.RefTimeS, "seed": 6,
+		"calibration_cc": tr.MaxPerFrame(),
+	}, nil); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+	h1.driveOne("alive", sim.NewSession(scenarioConfig(t, "rtm/mpeg4-30fps/a15", 6, frames)))
+	ts1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dead state beside it: a torn write, non-JSON garbage, and an
+	// envelope with no kind.
+	for name, data := range map[string]string{
+		"torn.state":    `{"kind":"rtm","ver`,
+		"garbage.state": "\x00\x01binary junk",
+		"unkinded.state": `{"version":1,"tables":[]}
+`,
+	} {
+		if err := os.WriteFile(dir+"/"+name, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h2 := newTestServer(t, serve.Options{CheckpointDir: dir})
+	for _, name := range []string{"torn.state", "garbage.state", "unkinded.state"} {
+		if _, err := os.Stat(dir + "/" + name); err == nil {
+			t.Errorf("startup sweep kept unrestorable %s", name)
+		}
+	}
+	if _, err := os.Stat(dir + "/alive.state"); err != nil {
+		t.Fatalf("startup sweep deleted a restorable checkpoint: %v", err)
+	}
+	// The surviving checkpoint still warm-starts.
+	if st := h2.post("/v1/sessions", map[string]any{
+		"id": "alive", "governor": "rtm", "period_s": tr.RefTimeS, "seed": 6,
+	}, nil); st != http.StatusCreated {
+		t.Fatalf("re-create returned %d", st)
+	}
+	var out struct {
+		State json.RawMessage `json:"state"`
+	}
+	if st := h2.post("/v1/sessions/alive/checkpoint", map[string]any{}, &out); st != http.StatusOK {
+		t.Fatalf("checkpoint of warm-started session returned %d", st)
+	}
+	if len(out.State) == 0 {
+		t.Error("warm-started session froze empty state")
+	}
+}
+
 // Per-entry failure isolation and session lifecycle status codes.
 func TestServeAPILifecycle(t *testing.T) {
 	h := newTestServer(t, serve.Options{})

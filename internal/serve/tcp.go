@@ -25,11 +25,20 @@ import (
 // writes the MsgDecide responses back with a single flush. Requests fail
 // independently, exactly like entries of the JSON batch.
 //
-// The control plane stays on HTTP: sessions are created, inspected,
-// checkpointed, and deleted over the JSON API; TCP carries only the
-// observe→decide hot loop.
+// Connections carry the whole protocol: the observe→decide hot loop
+// plus MsgControl session-lifecycle frames (create, checkpoint, delete,
+// info, metrics, list) that execute as ordering barriers inside a
+// drain. The HTTP JSON API stays up beside it with identical semantics
+// — it is the human-facing control plane and the differential-testing
+// oracle; a router drives a replica purely over this transport.
+//
+// The listener is generic over a connBackend: a Server answers locally
+// (NewTCP); a Router answers by forwarding to the replica that owns
+// each session (NewRouterTCP). Connection handling — batching, barrier
+// ordering, drain — is identical either way, which is what keeps the
+// routed path's semantics equal to the flat server's by construction.
 type TCPServer struct {
-	srv *Server
+	b   connBackend
 	lis net.Listener
 
 	mu     sync.Mutex
@@ -39,12 +48,26 @@ type TCPServer struct {
 	wg sync.WaitGroup // one per live connection
 }
 
+// connBackend answers the two frame families a binary connection
+// carries. decideBatch fills each request's answer in place; control
+// executes one lifecycle op and returns an HTTP-vocabulary status with
+// a JSON body.
+type connBackend interface {
+	decideBatch(batch []*observeReq)
+	control(op byte, session string, body []byte) (status uint16, resp []byte)
+	logf(format string, args ...any)
+}
+
 // NewTCP wraps srv with a binary-transport listener. Call Serve to
 // accept; Shutdown (or Close) before srv.Close so the final checkpoint
 // sees every drained decision.
 func NewTCP(srv *Server, lis net.Listener) *TCPServer {
+	return newTCPListener(srv, lis)
+}
+
+func newTCPListener(b connBackend, lis net.Listener) *TCPServer {
 	return &TCPServer{
-		srv:   srv,
+		b:     b,
 		lis:   lis,
 		conns: make(map[*tcpConn]struct{}),
 	}
@@ -170,14 +193,19 @@ func (t *TCPServer) Close() error {
 	return err
 }
 
-// observeReq is one in-flight binary request: the decoded observe
-// message and, after decideBatch, its answer. Pooled so a steady decision
-// stream allocates nothing.
+// observeReq is one in-flight binary request: a decoded observe message
+// (or, when ctrl is set, a decoded control message) and, once handled,
+// its answer. Pooled so a steady decision stream allocates nothing.
 type observeReq struct {
 	m       wire.Observe
 	oppIdx  int32
 	freqMHz int32
 	errMsg  string
+
+	ctrl       bool
+	cm         wire.Control
+	ctrlStatus uint16
+	ctrlBody   []byte
 }
 
 var observePool = sync.Pool{New: func() any { return new(observeReq) }}
@@ -208,8 +236,8 @@ func (c *tcpConn) run() {
 }
 
 // read decodes frames until the stream ends. Any protocol error (bad
-// magic, truncated message, non-observe frame) drops the connection —
-// framing is byte-exact, so there is no way to resynchronise.
+// magic, truncated message, unexpected frame type) drops the connection
+// — framing is byte-exact, so there is no way to resynchronise.
 func (c *tcpConn) read() {
 	r := wire.NewReader(c.conn)
 	for {
@@ -219,14 +247,22 @@ func (c *tcpConn) read() {
 			// poisoned stream: all end the reading half.
 			return
 		}
-		if typ != wire.MsgObserve {
-			c.t.srv.logf("serve: tcp %s: unexpected frame type 0x%02x", c.conn.RemoteAddr(), typ)
+		req := observePool.Get().(*observeReq)
+		switch typ {
+		case wire.MsgObserve:
+			req.ctrl = false
+			err = req.m.Decode(payload)
+		case wire.MsgControl:
+			req.ctrl = true
+			err = req.cm.Decode(payload)
+		default:
+			observePool.Put(req)
+			c.t.b.logf("serve: tcp %s: unexpected frame type 0x%02x", c.conn.RemoteAddr(), typ)
 			return
 		}
-		req := observePool.Get().(*observeReq)
-		if err := req.m.Decode(payload); err != nil {
+		if err != nil {
 			observePool.Put(req)
-			c.t.srv.logf("serve: tcp %s: %v", c.conn.RemoteAddr(), err)
+			c.t.b.logf("serve: tcp %s: %v", c.conn.RemoteAddr(), err)
 			return
 		}
 		c.reqs <- req
@@ -234,43 +270,75 @@ func (c *tcpConn) read() {
 }
 
 // respond is the connection's batching worker: it blocks for one request,
-// coalesces everything else already queued into the same batch, decides
-// the batch in one fan-out, and writes all responses under one flush.
+// coalesces everything else already queued into the same drain, decides
+// runs of observes in one fan-out each, and writes all responses under
+// one flush. Control frames are ordering barriers within the drain: a
+// create queued before an observe is applied before that observe
+// decides, so "create session, start deciding" works over one
+// connection without a round trip between the two.
 func (c *tcpConn) respond() {
 	bw := bufio.NewWriterSize(c.conn, 64<<10)
-	var batch []*observeReq
+	var queue []*observeReq
 	var scratch []byte
 	for {
 		req, ok := <-c.reqs
 		if !ok {
 			return
 		}
-		batch = append(batch[:0], req)
+		queue = append(queue[:0], req)
 	coalesce:
-		for len(batch) < maxDecideBatch {
+		for len(queue) < maxDecideBatch {
 			select {
 			case more, ok := <-c.reqs:
 				if !ok {
 					break coalesce
 				}
-				batch = append(batch, more)
+				queue = append(queue, more)
 			default:
 				break coalesce
 			}
 		}
 
-		c.decideBatch(batch)
+		// Handle the drain strictly in arrival order: each maximal run of
+		// observes decides as one fan-out, and each control frame executes
+		// at its position between runs (so a create queued before an
+		// observe is visible to that observe's decide).
+		for i := 0; i < len(queue); {
+			if r := queue[i]; r.ctrl {
+				r.ctrlStatus, r.ctrlBody = c.t.b.control(r.cm.Op, string(r.cm.Session), r.cm.Body)
+				i++
+				continue
+			}
+			j := i
+			for j < len(queue) && !queue[j].ctrl {
+				j++
+			}
+			c.t.b.decideBatch(queue[i:j])
+			i = j
+		}
 
 		writeErr := false
-		for _, r := range batch {
-			// Cap the error message below the codec's 64 KiB field bound:
-			// a failed AppendDecide would otherwise drop the response and
-			// leave the client waiting on that id forever.
-			if len(r.errMsg) > maxWireErrLen {
-				r.errMsg = r.errMsg[:maxWireErrLen]
-			}
+		for _, r := range queue {
 			var err error
-			scratch, err = wire.AppendDecide(scratch[:0], r.m.ID, r.oppIdx, r.freqMHz, r.errMsg)
+			if r.ctrl {
+				scratch, err = wire.AppendControlReply(scratch[:0], r.cm.ID, r.ctrlStatus, r.ctrlBody)
+				if err != nil {
+					// The response body alone can exceed the frame bound
+					// (a very large checkpoint): answer with an error
+					// instead of silently dropping the request id.
+					scratch, err = wire.AppendControlReply(scratch[:0], r.cm.ID,
+						500, errorBody(errf("control response exceeds the frame bound")))
+				}
+				r.ctrlBody = nil
+			} else {
+				// Cap the error message below the codec's 64 KiB field
+				// bound: a failed AppendDecide would otherwise drop the
+				// response and leave the client waiting on that id forever.
+				if len(r.errMsg) > maxWireErrLen {
+					r.errMsg = r.errMsg[:maxWireErrLen]
+				}
+				scratch, err = wire.AppendDecide(scratch[:0], r.m.ID, r.oppIdx, r.freqMHz, r.errMsg)
+			}
 			if err != nil {
 				writeErr = true // cannot answer → the connection must die
 			} else if !writeErr {
@@ -296,13 +364,13 @@ func (c *tcpConn) respond() {
 	}
 }
 
-// decideBatch answers every request in the batch through the same
-// session/fan-out machinery as the HTTP path.
-func (c *tcpConn) decideBatch(batch []*observeReq) {
-	srv := c.t.srv
+// decideBatch implements connBackend for the Server: every request in
+// the batch is answered through the same session/fan-out machinery as
+// the HTTP path.
+func (s *Server) decideBatch(batch []*observeReq) {
 	fanOut(len(batch), func(i int) {
 		r := batch[i]
-		sess := srv.sessionFor(r.m.Session)
+		sess := s.sessionFor(r.m.Session)
 		if sess == nil {
 			r.oppIdx, r.freqMHz = -1, 0
 			r.errMsg = errUnknownSession(string(r.m.Session)).Error()
@@ -316,6 +384,6 @@ func (c *tcpConn) decideBatch(batch []*observeReq) {
 		}
 		r.oppIdx = int32(idx)
 		r.freqMHz = int32(sess.table[idx].FreqMHz)
-		srv.decisions.Add(1)
+		s.decisions.Add(1)
 	})
 }

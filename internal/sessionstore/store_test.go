@@ -1,0 +1,197 @@
+package sessionstore_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"qgov/internal/sessionstore"
+)
+
+func TestShardedBasics(t *testing.T) {
+	s := sessionstore.NewSharded[int](8)
+	if !s.Put("a", 1) {
+		t.Fatal("first Put rejected")
+	}
+	if s.Put("a", 2) {
+		t.Fatal("duplicate Put accepted")
+	}
+	if v, ok := s.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if v, ok := s.GetBytes([]byte("a")); !ok || v != 1 {
+		t.Fatalf("GetBytes(a) = %d, %v", v, ok)
+	}
+	if _, ok := s.Get("ghost"); ok {
+		t.Fatal("Get of absent id succeeded")
+	}
+	if v, ok := s.Delete("a"); !ok || v != 1 {
+		t.Fatalf("Delete(a) = %d, %v", v, ok)
+	}
+	if _, ok := s.Delete("a"); ok {
+		t.Fatal("second Delete succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after delete", s.Len())
+	}
+}
+
+func TestShardedRangeAndLen(t *testing.T) {
+	s := sessionstore.NewSharded[string](0)
+	want := map[string]string{}
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("cluster-%d", i)
+		want[id] = id + "!"
+		s.Put(id, id+"!")
+	}
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	got := map[string]string{}
+	s.Range(func(id, v string) bool {
+		got[id] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for id, v := range want {
+		if got[id] != v {
+			t.Fatalf("Range saw %q = %q, want %q", id, got[id], v)
+		}
+	}
+	// Early termination stops the walk.
+	n := 0
+	s.Range(func(string, string) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Errorf("Range visited %d entries after stop, want 10", n)
+	}
+}
+
+// Concurrent creates, lookups, and deletes across goroutines; run under
+// -race this is the store's concurrency contract. Every id is created
+// exactly once however many goroutines race the Put.
+func TestShardedConcurrentPutWinsOnce(t *testing.T) {
+	s := sessionstore.NewSharded[int](4)
+	const ids, racers = 200, 8
+	var wins [ids]int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < racers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < ids; i++ {
+				id := fmt.Sprintf("s-%d", i)
+				if s.Put(id, r) {
+					mu.Lock()
+					wins[i]++
+					mu.Unlock()
+				}
+				if _, ok := s.Get(id); !ok {
+					t.Errorf("id %s vanished", id)
+					return
+				}
+				_, _ = s.GetBytes([]byte(id))
+			}
+		}(r)
+	}
+	wg.Wait()
+	for i, w := range wins {
+		if w != 1 {
+			t.Fatalf("id s-%d created %d times", i, w)
+		}
+	}
+	if s.Len() != ids {
+		t.Fatalf("Len = %d, want %d", s.Len(), ids)
+	}
+}
+
+func TestDirCheckpointStore(t *testing.T) {
+	d, err := sessionstore.NewDir(filepath.Join(t.TempDir(), "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Load("none"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Load of absent id: %v, want fs.ErrNotExist", err)
+	}
+	if err := d.Delete("none"); err != nil {
+		t.Fatalf("Delete of absent id: %v", err)
+	}
+	state := []byte(`{"kind":"rtm","version":1}` + "\n")
+	if err := d.Save("c0", state); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save("c1", state); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Load("c0")
+	if err != nil || !bytes.Equal(got, state) {
+		t.Fatalf("Load = %q, %v", got, err)
+	}
+	ids, err := d.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(ids)
+	if fmt.Sprint(ids) != "[c0 c1]" {
+		t.Fatalf("List = %v", ids)
+	}
+	// Overwrite replaces atomically.
+	state2 := []byte(`{"kind":"rtm","version":1,"x":2}` + "\n")
+	if err := d.Save("c0", state2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Load("c0"); !bytes.Equal(got, state2) {
+		t.Fatalf("after overwrite Load = %q", got)
+	}
+	if err := d.Delete("c0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Load("c0"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Load after Delete: %v", err)
+	}
+}
+
+// A crashed writer's stale temp file must be swept on open and never
+// listed as a session — while a fresh temp file (a sibling replica
+// mid-Save on shared storage) must be left alone.
+func TestDirSweepsTornTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, ".state-12345")
+	if err := os.WriteFile(stale, []byte("half a checkpoi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(dir, ".state-67890")
+	if err := os.WriteFile(fresh, []byte("a sibling is writing th"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := sessionstore.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("stale temp file survived NewDir: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp file (a live writer's) was swept: %v", err)
+	}
+	ids, err := d.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Errorf("List = %v on a dir holding only temp files", ids)
+	}
+}

@@ -1,0 +1,63 @@
+// Package strhash is the deterministic string hash shared by the
+// placement layers: FNV-1a chaining with a splitmix64 finalizer. The
+// session store's shard index and the consistent-hash ring must agree
+// on nothing — each hashes independently — but both need the same
+// properties: identical results on every platform and process (ring
+// placement is coordination-free across routers), byte-slice and string
+// forms that hash identically without conversion allocations (the
+// binary transport's decode buffers), and full avalanche even on
+// short, shared-prefix inputs like "cluster-0"/"cluster-1" (raw FNV
+// leaves such inputs' hashes affinely related, which skews shard and
+// ring shares badly).
+package strhash
+
+// FNV-1a parameters.
+const (
+	Seed  uint64 = 14695981039346656037
+	prime uint64 = 1099511628211
+)
+
+// String hashes s: FNV-1a from Seed, finalized.
+func String(s string) uint64 { return Mix(AddString(Seed, s)) }
+
+// Bytes hashes b identically to String(string(b)), allocation-free.
+func Bytes(b []byte) uint64 { return Mix(AddBytes(Seed, b)) }
+
+// AddString chains s into h without finalizing (for callers composing
+// multi-part keys; finish with Mix).
+func AddString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// AddBytes chains b into h without finalizing.
+func AddBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// AddU32 chains v's big-endian bytes into h without finalizing.
+func AddU32(h uint64, v uint32) uint64 {
+	for shift := 24; shift >= 0; shift -= 8 {
+		h ^= uint64(byte(v >> shift))
+		h *= prime
+	}
+	return h
+}
+
+// Mix is the splitmix64 finalizer: full avalanche, so low bits (shard
+// masks) and ring ordering are uniform however similar the inputs.
+func Mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,123 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"qgov/internal/wire"
+)
+
+func TestControlRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		op      byte
+		session string
+		body    []byte
+	}{
+		{"create", wire.OpCreate, "cluster-0", []byte(`{"id":"cluster-0","governor":"rtm","seed":1}`)},
+		{"checkpoint", wire.OpCheckpoint, "cluster-0", nil},
+		{"delete", wire.OpDelete, "c1", []byte{}},
+		{"metrics-no-session", wire.OpMetrics, "", nil},
+		{"max-session", wire.OpInfo, strings.Repeat("s", wire.MaxSession), []byte("{}")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame, err := wire.AppendControl(nil, 11, tc.op, tc.session, tc.body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			typ, payload, rest, err := wire.DecodeFrame(frame)
+			if err != nil || typ != wire.MsgControl || len(rest) != 0 {
+				t.Fatalf("DecodeFrame: typ %d rest %d err %v", typ, len(rest), err)
+			}
+			var m wire.Control
+			if err := m.Decode(payload); err != nil {
+				t.Fatal(err)
+			}
+			if m.ID != 11 || m.Op != tc.op || string(m.Session) != tc.session || string(m.Body) != string(tc.body) {
+				t.Errorf("control mangled: %+v", m)
+			}
+		})
+	}
+}
+
+func TestControlReplyRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		status uint16
+		body   string
+	}{
+		{201, `{"id":"cluster-0","governor":"rtm"}`},
+		{404, `{"error":"unknown session \"ghost\""}`},
+		{204, ""},
+	} {
+		frame, err := wire.AppendControlReply(nil, 21, tc.status, []byte(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, rest, err := wire.DecodeFrame(frame)
+		if err != nil || typ != wire.MsgControlReply || len(rest) != 0 {
+			t.Fatalf("DecodeFrame: typ %d rest %d err %v", typ, len(rest), err)
+		}
+		var m wire.ControlReply
+		if err := m.Decode(payload); err != nil {
+			t.Fatal(err)
+		}
+		if m.ID != 21 || m.Status != tc.status || string(m.Body) != tc.body {
+			t.Errorf("reply mangled: %+v", m)
+		}
+	}
+}
+
+func TestControlBounds(t *testing.T) {
+	if _, err := wire.AppendControl(nil, 1, wire.OpCreate, strings.Repeat("a", wire.MaxSession+1), nil); !errors.Is(err, wire.ErrTooLong) {
+		t.Errorf("oversized session: %v", err)
+	}
+	big := make([]byte, wire.MaxPayload)
+	if _, err := wire.AppendControl(nil, 1, wire.OpCreate, "s", big); !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Errorf("oversized body: %v", err)
+	}
+	if _, err := wire.AppendControlReply(nil, 1, 200, big); !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Errorf("oversized reply body: %v", err)
+	}
+	// A failed append leaves dst untouched.
+	dst := []byte{9, 9}
+	if out, err := wire.AppendControl(dst, 1, wire.OpCreate, "s", big); err == nil || len(out) != 2 {
+		t.Errorf("failed append grew dst to %d bytes (err %v)", len(out), err)
+	}
+}
+
+func TestControlDecodeErrors(t *testing.T) {
+	frame, err := wire.AppendControl(nil, 5, wire.OpCreate, "c0", []byte(`{"governor":"rtm"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[wire.HeaderSize:]
+
+	var m wire.Control
+	for n := 0; n < len(payload); n++ {
+		if err := m.Decode(payload[:n]); err == nil {
+			t.Fatalf("control payload prefix of %d bytes decoded cleanly", n)
+		}
+	}
+	grown := append(bytes.Clone(payload), 0)
+	if err := m.Decode(grown); !errors.Is(err, wire.ErrTrailingBytes) {
+		t.Errorf("trailing byte: %v", err)
+	}
+
+	reply, err := wire.AppendControlReply(nil, 6, 200, []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := reply[wire.HeaderSize:]
+	var r wire.ControlReply
+	for n := 0; n < len(rp); n++ {
+		if err := r.Decode(rp[:n]); err == nil {
+			t.Fatalf("reply payload prefix of %d bytes decoded cleanly", n)
+		}
+	}
+	if err := r.Decode(append(bytes.Clone(rp), 0)); !errors.Is(err, wire.ErrTrailingBytes) {
+		t.Errorf("reply trailing byte: %v", err)
+	}
+}

@@ -23,8 +23,22 @@ func frameSeeds(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	ctrl, err := wire.AppendControl(nil, 3, wire.OpCreate, "c0", []byte(`{"governor":"rtm","seed":1}`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	reply, err := wire.AppendControlReply(nil, 3, 201, []byte(`{"id":"c0"}`))
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(frame)
 	f.Add(dec)
+	f.Add(ctrl)
+	f.Add(reply)
+	f.Add(ctrl[:len(ctrl)-5]) // control cut mid-body
+	lying := bytes.Clone(ctrl)
+	lying[len(lying)-len(`{"governor":"rtm","seed":1}`)-1] = 0xff // forge the body length
+	f.Add(lying)
 	f.Add(append(bytes.Clone(frame), dec...)) // two frames back to back
 	f.Add(frame[:wire.HeaderSize])            // header only
 	f.Add(frame[:len(frame)-3])               // cut mid-payload
@@ -54,6 +68,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		r := wire.NewReader(bytes.NewReader(data))
 		var o wire.Observe
 		var d wire.Decide
+		var c wire.Control
+		var cr wire.ControlReply
 		for {
 			typ, payload, err := r.Next()
 			if first {
@@ -70,7 +86,57 @@ func FuzzDecodeFrame(f *testing.F) {
 				_ = o.Decode(payload)
 			case wire.MsgDecide:
 				_ = d.Decode(payload)
+			case wire.MsgControl:
+				_ = c.Decode(payload)
+			case wire.MsgControlReply:
+				_ = cr.Decode(payload)
 			}
+		}
+	})
+}
+
+// FuzzControlRoundTrip drives arbitrary control ops, sessions, and
+// bodies through encode → decode (both directions of the control plane)
+// and requires every field back exactly; out-of-bound inputs must be
+// rejected by the encoder, cleanly.
+func FuzzControlRoundTrip(f *testing.F) {
+	f.Add(uint32(1), byte(1), "cluster-0", []byte(`{"governor":"rtm"}`), uint16(201))
+	f.Add(uint32(0), byte(6), "", []byte{}, uint16(404))
+	f.Add(uint32(1<<31), byte(0xff), "s", bytes.Repeat([]byte{0}, 300), uint16(0))
+	f.Fuzz(func(t *testing.T, id uint32, op byte, session string, body []byte, status uint16) {
+		frame, err := wire.AppendControl(nil, id, op, session, body)
+		if err != nil {
+			if len(session) <= wire.MaxSession && len(body) < wire.MaxPayload-wire.MaxSession-32 {
+				t.Fatalf("encoder rejected in-bounds control: %v", err)
+			}
+			return
+		}
+		typ, payload, rest, err := wire.DecodeFrame(frame)
+		if err != nil || typ != wire.MsgControl || len(rest) != 0 {
+			t.Fatalf("decoding our own control frame: typ %d rest %d err %v", typ, len(rest), err)
+		}
+		var m wire.Control
+		if err := m.Decode(payload); err != nil {
+			t.Fatalf("decoding our own control payload: %v", err)
+		}
+		if m.ID != id || m.Op != op || string(m.Session) != session || !bytes.Equal(m.Body, body) {
+			t.Fatalf("control mangled: %+v", m)
+		}
+
+		reply, err := wire.AppendControlReply(nil, id, status, body)
+		if err != nil {
+			return // body can exceed the reply bound; rejection is the contract
+		}
+		typ, payload, rest, err = wire.DecodeFrame(reply)
+		if err != nil || typ != wire.MsgControlReply || len(rest) != 0 {
+			t.Fatalf("reply frame: typ %d rest %d err %v", typ, len(rest), err)
+		}
+		var r wire.ControlReply
+		if err := r.Decode(payload); err != nil {
+			t.Fatalf("reply payload: %v", err)
+		}
+		if r.ID != id || r.Status != status || !bytes.Equal(r.Body, body) {
+			t.Fatalf("reply mangled: %+v", r)
 		}
 	})
 }

@@ -22,6 +22,15 @@
 // acknowledges it. Frames carry a request id chosen by the client so
 // many callers can multiplex one connection.
 //
+// Two more types carry the control plane. MsgControl asks the server to
+// run one session-lifecycle operation (create, checkpoint, delete,
+// info, metrics, list, health — the Op* constants, mirroring the HTTP
+// API one endpoint for one op, with the same JSON bodies); MsgControlReply
+// answers it with an HTTP status code and the JSON response. Control
+// frames are what let a routing tier drive a replica fleet entirely
+// over binary connections; they are rare (session lifetime, not
+// decision rate), so their JSON bodies cost nothing the hot path sees.
+//
 // All integers are big-endian; floats travel as IEEE-754 bits, so every
 // observation field round-trips bit-exactly — the serve layer's
 // byte-identical-decisions contract holds over this transport exactly as
@@ -73,6 +82,42 @@ const (
 	// MsgDecide carries one operating-point decision (or a per-request
 	// error) back to the client.
 	MsgDecide byte = 0x02
+	// MsgControl carries one control-plane operation (session create,
+	// checkpoint, delete, ...) to the server. Control frames complete the
+	// protocol: a routed fleet runs entirely over binary connections,
+	// with no HTTP side channel between router and replica.
+	MsgControl byte = 0x03
+	// MsgControlReply answers a MsgControl with a status code and a JSON
+	// body.
+	MsgControlReply byte = 0x04
+)
+
+// Control operations. The ops mirror the HTTP control plane one for
+// one; bodies and reply bodies are the same JSON documents the HTTP
+// endpoints exchange (control traffic is rare — session lifetime, not
+// decision rate — so JSON costs nothing that matters and keeps one
+// schema across both planes).
+const (
+	// OpCreate creates a session; the body is the JSON create request,
+	// the reply body the session info.
+	OpCreate byte = 0x01
+	// OpCheckpoint freezes the session's learnt state now; the reply
+	// body carries the frozen state.
+	OpCheckpoint byte = 0x02
+	// OpDelete drops the session and its checkpoint.
+	OpDelete byte = 0x03
+	// OpInfo returns the session's info JSON.
+	OpInfo byte = 0x04
+	// OpMetrics returns the server's metrics JSON (the /v1/metrics body);
+	// the session field is ignored.
+	OpMetrics byte = 0x05
+	// OpList returns the JSON array of all session infos; the session
+	// field is ignored.
+	OpList byte = 0x06
+	// OpHealth returns the /healthz body (status + counters) — O(1) on
+	// the replica, so a router can aggregate fleet liveness without
+	// enumerating sessions; the session field is ignored.
+	OpHealth byte = 0x07
 )
 
 // Codec errors. Reader and Decode wrap or return these; io errors from
@@ -104,6 +149,27 @@ type Decide struct {
 	OPPIdx  int32
 	FreqMHz int32
 	Err     []byte
+}
+
+// Control is the decoded MsgControl payload: one control-plane operation
+// addressed to a session (Session may be empty for server-scoped ops),
+// with a JSON body whose schema is the op's HTTP twin. Decode reuses
+// Session and Body capacity.
+type Control struct {
+	ID      uint32
+	Op      byte
+	Session []byte
+	Body    []byte
+}
+
+// ControlReply is the decoded MsgControlReply payload. Status carries
+// the operation's HTTP status code — the two control planes share one
+// status vocabulary — and Body the JSON response (an {"error": ...}
+// document when Status is not 2xx).
+type ControlReply struct {
+	ID     uint32
+	Status uint16
+	Body   []byte
 }
 
 // appendHeader opens a frame and returns dst plus the offset of the
@@ -181,6 +247,43 @@ func AppendDecide(dst []byte, id uint32, oppIdx, freqMHz int32, errMsg string) (
 	out = appendU16(out, uint16(len(errMsg)))
 	out = append(out, errMsg...)
 	// 14 fixed bytes + a ≤65535-byte error message cannot reach MaxPayload.
+	binary.BigEndian.PutUint32(out[lenAt:], uint32(len(out)-start))
+	return out, nil
+}
+
+// AppendControl appends one complete MsgControl frame to dst. The body
+// is bounded by the frame payload limit; control bodies are JSON
+// documents (create requests, checkpoint states) well under it.
+func AppendControl(dst []byte, id uint32, op byte, session string, body []byte) ([]byte, error) {
+	if len(session) > MaxSession {
+		return dst, fmt.Errorf("%w: session id of %d bytes (max %d)", ErrTooLong, len(session), MaxSession)
+	}
+	if HeaderSize+10+len(session)+len(body) > MaxPayload {
+		return dst, ErrFrameTooLarge
+	}
+	out, lenAt := appendHeader(dst, MsgControl)
+	start := len(out)
+	out = appendU32(out, id)
+	out = append(out, op)
+	out = append(out, byte(len(session)))
+	out = append(out, session...)
+	out = appendU32(out, uint32(len(body)))
+	out = append(out, body...)
+	binary.BigEndian.PutUint32(out[lenAt:], uint32(len(out)-start))
+	return out, nil
+}
+
+// AppendControlReply appends one complete MsgControlReply frame to dst.
+func AppendControlReply(dst []byte, id uint32, status uint16, body []byte) ([]byte, error) {
+	if HeaderSize+10+len(body) > MaxPayload {
+		return dst, ErrFrameTooLarge
+	}
+	out, lenAt := appendHeader(dst, MsgControlReply)
+	start := len(out)
+	out = appendU32(out, id)
+	out = appendU16(out, status)
+	out = appendU32(out, uint32(len(body)))
+	out = append(out, body...)
 	binary.BigEndian.PutUint32(out[lenAt:], uint32(len(out)-start))
 	return out, nil
 }
@@ -328,6 +431,59 @@ func (m *Decide) Decode(payload []byte) error {
 	}
 	if d.remain() != 0 {
 		return ErrTrailingBytes
+	}
+	return nil
+}
+
+// Decode parses a MsgControl payload into m, reusing m's slice capacity.
+func (m *Control) Decode(payload []byte) error {
+	d := decoder{p: payload}
+	var sessLen byte
+	if !(d.takeU32(&m.ID) && d.takeU8(&m.Op) && d.takeU8(&sessLen)) {
+		return ErrTruncated
+	}
+	if int(sessLen) > MaxSession {
+		return fmt.Errorf("%w: session id of %d bytes", ErrTooLong, sessLen)
+	}
+	if !d.takeBytes(&m.Session, int(sessLen)) {
+		return ErrTruncated
+	}
+	var bodyLen uint32
+	if !d.takeU32(&bodyLen) {
+		return ErrTruncated
+	}
+	// The frame bound already caps the payload; checking against what
+	// actually remains rejects a forged length before any allocation.
+	if int64(bodyLen) != int64(d.remain()) {
+		if int(bodyLen) > d.remain() {
+			return ErrTruncated
+		}
+		return ErrTrailingBytes
+	}
+	if !d.takeBytes(&m.Body, int(bodyLen)) {
+		return ErrTruncated
+	}
+	return nil
+}
+
+// Decode parses a MsgControlReply payload into m, reusing m.Body capacity.
+func (m *ControlReply) Decode(payload []byte) error {
+	d := decoder{p: payload}
+	if !(d.takeU32(&m.ID) && d.takeU16(&m.Status)) {
+		return ErrTruncated
+	}
+	var bodyLen uint32
+	if !d.takeU32(&bodyLen) {
+		return ErrTruncated
+	}
+	if int64(bodyLen) != int64(d.remain()) {
+		if int(bodyLen) > d.remain() {
+			return ErrTruncated
+		}
+		return ErrTrailingBytes
+	}
+	if !d.takeBytes(&m.Body, int(bodyLen)) {
+		return ErrTruncated
 	}
 	return nil
 }
