@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		runWhat = flag.String("run", "all", "experiment: all|table1|table2|table3|fig3|ablations|multiapp|sweep")
+		runWhat = flag.String("run", "all", "experiment: all|table1|table2|table3|fig3|ablations|multiapp|transfer|sweep")
 		frames  = flag.Int("frames", 0, "frames per run (0: each experiment's paper-scale default)")
 		seeds   = flag.Int("seeds", len(experiments.DefaultSeeds), "number of seeds to average over")
 		csvDir  = flag.String("csv", "", "directory to write per-frame CSV series into (fig3)")
@@ -43,7 +43,8 @@ func main() {
 
 	valid := map[string]bool{
 		"all": true, "table1": true, "table2": true, "table3": true,
-		"fig3": true, "ablations": true, "multiapp": true, "sweep": true,
+		"fig3": true, "ablations": true, "multiapp": true, "transfer": true,
+		"sweep": true,
 	}
 	if !valid[*runWhat] {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *runWhat)
@@ -110,6 +111,13 @@ func main() {
 	})
 	run("multiapp", func() error {
 		return experiments.MultiApp(seedList, *frames).Render(os.Stdout)
+	})
+	run("transfer", func() error {
+		res, err := experiments.TransferMatrix(seedList, *frames)
+		if err != nil {
+			return err
+		}
+		return res.Render(os.Stdout)
 	})
 }
 

@@ -11,6 +11,7 @@
 //	rtmd -addr :8090
 //	rtmd -addr :8090 -listen-tcp :8091
 //	rtmd -addr :8090 -checkpoint-dir /var/lib/rtmd -checkpoint-every 30s
+//	rtmd -addr :8090 -registry-dir /srv/rtmd-registry
 //	rtmd -route -replicas host1:8091,host2:8091 -addr :8080 -listen-tcp :8081
 //
 //	curl -s localhost:8090/v1/sessions -d '{"id":"cluster0","governor":"rtm","seed":1}'
@@ -38,6 +39,18 @@
 // (SIGINT/SIGTERM) — both listeners drain before the final freeze — and
 // a restarted rtmd warm-starts every session that is re-created under
 // its old id.
+//
+// -registry-dir points the replica at a checkpoint-registry blob store
+// (internal/registry) instead of a plain checkpoint directory: session
+// checkpoints live beside the registry's published manifests, replicas
+// sharing the store hand sessions off through it, and session creates
+// may carry warm_start ("auto" or a manifest id) to start from the
+// fleet's pooled training. -ring-self/-ring-members tell a routed
+// replica which consistent-hash shards it owns, so its startup
+// compaction sweep reads only its own fraction of the shared store;
+// both flags must carry the router's -replicas address strings verbatim
+// — the ring hashes member strings, so "host1:8091" and "10.0.0.1:8091"
+// are different members even when they name the same machine.
 package main
 
 import (
@@ -55,6 +68,8 @@ import (
 	"syscall"
 	"time"
 
+	"qgov/internal/registry"
+	"qgov/internal/ring"
 	"qgov/internal/serve"
 	"qgov/internal/sessionstore"
 
@@ -71,7 +86,10 @@ func main() {
 		platform   = flag.String("platform", "a15", "default platform variant for new sessions")
 		periodS    = flag.Float64("period", 0.040, "default decision-epoch deadline Tref in seconds")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for session learning-state checkpoints (empty: no persistence)")
+		regDir     = flag.String("registry-dir", "", "checkpoint-registry blob store root; enables warm_start resolution and stores session checkpoints in the registry (mutually exclusive with -checkpoint-dir)")
 		ckptEvery  = flag.Duration("checkpoint-every", 30*time.Second, "period of the background checkpoint sweep")
+		ringSelf   = flag.String("ring-self", "", "this replica's address exactly as it appears in the router's -replicas list; with -ring-members, restricts the startup compaction sweep to this member's own shards")
+		ringAll    = flag.String("ring-members", "", "the router's -replicas list, verbatim (placement hashes the address strings, so the lists must match byte for byte)")
 		drainGrace = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		quiet      = flag.Bool("quiet", false, "suppress operational logging")
 	)
@@ -89,7 +107,7 @@ func main() {
 		// of silently dropping it.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "checkpoint-dir", "checkpoint-every", "platform", "period":
+			case "checkpoint-dir", "registry-dir", "checkpoint-every", "platform", "period", "ring-self", "ring-members":
 				fatal(fmt.Errorf("-%s applies to replicas, not the router; set it on each replica rtmd", f.Name))
 			}
 		})
@@ -101,19 +119,57 @@ func main() {
 	}
 
 	var ckpt sessionstore.CheckpointStore
-	if *ckptDir != "" {
+	var reg *registry.Registry
+	switch {
+	case *regDir != "" && *ckptDir != "":
+		fatal(errors.New("-checkpoint-dir and -registry-dir are two homes for the same state; pick one"))
+	case *regDir != "":
+		blobs, err := registry.NewDir(*regDir)
+		if err != nil {
+			fatal(err)
+		}
+		reg = registry.New(blobs)
+		ckpt = registry.Checkpoints(blobs)
+	case *ckptDir != "":
 		d, err := sessionstore.NewDir(*ckptDir)
 		if err != nil {
 			fatal(err)
 		}
 		ckpt = d
 	}
+
+	// A routed replica that knows the fleet's ring sweeps only its own
+	// shards at startup instead of reading every checkpoint in a shared
+	// store.
+	var compactOwn func(id string) bool
+	if *ringSelf != "" || *ringAll != "" {
+		if *ringSelf == "" || *ringAll == "" {
+			fatal(errors.New("-ring-self and -ring-members go together"))
+		}
+		var members []string
+		for _, m := range strings.Split(*ringAll, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		rg := ring.New(0, members...)
+		if !rg.Has(*ringSelf) {
+			fatal(fmt.Errorf("-ring-self %q is not in -ring-members %v", *ringSelf, members))
+		}
+		compactOwn = func(id string) bool {
+			owner, ok := rg.Owner(id)
+			return ok && owner == *ringSelf
+		}
+	}
+
 	srv := serve.New(serve.Options{
-		DefaultPlatform: *platform,
-		DefaultPeriodS:  *periodS,
-		Checkpoints:     ckpt,
-		CheckpointEvery: *ckptEvery,
-		Logf:            logf,
+		DefaultPlatform:  *platform,
+		DefaultPeriodS:   *periodS,
+		Checkpoints:      ckpt,
+		CheckpointEvery:  *ckptEvery,
+		Registry:         reg,
+		CompactionFilter: compactOwn,
+		Logf:             logf,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

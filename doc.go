@@ -52,6 +52,15 @@
 //	                     Store (striped locks, byte-keyed lookups) and
 //	                     the CheckpointStore interface with its
 //	                     local-directory implementation
+//	internal/registry    the content-addressed checkpoint registry:
+//	                     frozen learning state as SHA-256-addressed
+//	                     blobs under fingerprint-keyed manifests
+//	                     (governor/workload/platform/shape + training
+//	                     metadata), Nearest resolution for warm_start
+//	                     (exact fingerprint, then the cross-workload
+//	                     same-platform fallback), and a registry-backed
+//	                     CheckpointStore so replica fleets share
+//	                     session state through one BlobStore seam
 //	internal/ring        the consistent-hash ring (virtual nodes,
 //	                     deterministic placement, bounded key movement
 //	                     on membership change) that maps session ids
@@ -66,7 +75,10 @@
 //	                     transport — decisions and control plane —
 //	                     used by the router, benchmarks, and the
 //	                     equivalence tests
-//	internal/experiments Table I, II, III, Fig. 3 and the ablations
+//	internal/experiments Table I, II, III, Fig. 3, the ablations, and
+//	                     the warm-start transfer matrix (train on one
+//	                     workload, publish to the registry, serve
+//	                     another cold vs. warm)
 //
 // The sim.Session inversion is what connects the two halves: sim.Run,
 // Stream and the experiment harness drive it as a closed loop, while

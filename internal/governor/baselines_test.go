@@ -183,6 +183,59 @@ func TestThermalCapThrottlesAndRecovers(t *testing.T) {
 	}
 }
 
+// A power-only cap (TripC = +Inf) throttles on sensed power, holds
+// inside the recovery hysteresis, and recovers once power clears it —
+// the per-session budget serve mode exposes as thermal_cap_mw.
+func TestThermalCapPowerBudget(t *testing.T) {
+	g := &ThermalCap{Inner: NewPerformance(), TripC: math.Inf(1), PowerCapW: 2.0}
+	ctx := testCtx(1)
+	g.Reset(ctx)
+	max := ctx.Table.MaxIdx()
+
+	// Over-budget epochs pull the ceiling down one step each.
+	over := obsAt(0, max, 0.9, 0.04)
+	over.PowerW = 2.5
+	for i := 0; i < 4; i++ {
+		over.Epoch = i
+		g.Decide(over)
+	}
+	if got := g.Ceiling(); got != max-4 {
+		t.Fatalf("ceiling = %d after 4 over-budget epochs, want %d", got, max-4)
+	}
+	if g.ThrottleEvents() == 0 {
+		t.Fatal("no throttle events recorded")
+	}
+	// Just under the cap but above the recovery fraction: the ceiling holds.
+	near := obsAt(4, max, 0.9, 0.04)
+	near.PowerW = 1.97
+	g.Decide(near)
+	if got := g.Ceiling(); got != max-4 {
+		t.Fatalf("ceiling moved inside power hysteresis band: %d", got)
+	}
+	// Clearly under budget: one step of recovery per epoch.
+	low := obsAt(5, max, 0.9, 0.04)
+	low.PowerW = 1.0
+	for i := 0; i < 4; i++ {
+		low.Epoch = 5 + i
+		g.Decide(low)
+	}
+	if got := g.Ceiling(); got != max {
+		t.Fatalf("ceiling did not recover: %d", got)
+	}
+
+	// With both signals configured, either one throttles.
+	both := NewThermalCap(NewPerformance())
+	both.PowerCapW = 2.0
+	both.Reset(ctx)
+	hot := obsAt(0, max, 0.9, 0.04)
+	hot.TempC = 95 // over temperature, under power
+	hot.PowerW = 1.0
+	both.Decide(hot)
+	if got := both.Ceiling(); got != max-1 {
+		t.Fatalf("temperature trip ignored with power cap set: ceiling %d", got)
+	}
+}
+
 func TestThermalCapForwardsOverhead(t *testing.T) {
 	inner := NewMLDTM()
 	g := NewThermalCap(inner)

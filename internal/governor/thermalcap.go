@@ -6,6 +6,15 @@ package governor
 // operating-point ceiling steps down each epoch, and it recovers one step
 // per epoch once the die has cooled below TripC − HysteresisC.
 //
+// PowerCapW extends the same ceiling mechanism to a power budget: when
+// sensed epoch power exceeds the cap the ceiling steps down, and it
+// recovers only once power has fallen to powerRecoverFrac of the cap
+// (the hysteresis that keeps the ceiling from oscillating around the
+// budget). Temperature and power share one ceiling — either signal can
+// throttle, and recovery requires both to be clear — so a served
+// session can be capped on power alone (TripC = +Inf), on temperature
+// alone (PowerCapW = 0), or on both.
+//
 // The paper neglects the thermal constraint of its baseline "for
 // equivalence of comparison", so none of the Table I-III experiments
 // enable this wrapper; it exists because a deployable governor cannot
@@ -21,11 +30,18 @@ type ThermalCap struct {
 	// HysteresisC is how far below TripC the die must cool before the
 	// ceiling recovers.
 	HysteresisC float64
+	// PowerCapW is the sensed-power budget in watts; 0 disables power
+	// capping.
+	PowerCapW float64
 
 	ctx     Context
 	ceiling int
 	events  int
 }
+
+// powerRecoverFrac is the fraction of PowerCapW sensed power must fall
+// below before the ceiling recovers a step.
+const powerRecoverFrac = 0.95
 
 // NewThermalCap wraps a governor with the Exynos-flavoured defaults
 // (trip at 85 °C, recover below 80 °C).
@@ -63,13 +79,24 @@ func (g *ThermalCap) Reset(ctx Context) {
 }
 
 // Decide implements Governor: update the ceiling from the measured die
-// temperature, then clamp the inner policy's choice to it.
+// temperature and sensed power, then clamp the inner policy's choice to
+// it.
 func (g *ThermalCap) Decide(obs Observation) int {
 	if obs.Epoch >= 0 {
+		trip := obs.TempC > g.TripC
+		clear := obs.TempC < g.TripC-g.HysteresisC
+		if g.PowerCapW > 0 {
+			if obs.PowerW > g.PowerCapW {
+				trip = true
+			}
+			if obs.PowerW >= g.PowerCapW*powerRecoverFrac {
+				clear = false
+			}
+		}
 		switch {
-		case obs.TempC > g.TripC && g.ceiling > 0:
+		case trip && g.ceiling > 0:
 			g.ceiling--
-		case obs.TempC < g.TripC-g.HysteresisC && g.ceiling < g.ctx.Table.MaxIdx():
+		case clear && g.ceiling < g.ctx.Table.MaxIdx():
 			g.ceiling++
 		}
 	}

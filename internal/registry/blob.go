@@ -1,0 +1,233 @@
+package registry
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"qgov/internal/atomicfile"
+	"qgov/internal/sessionstore"
+)
+
+// BlobStore is the registry's storage seam: a flat keyed blob space with
+// atomic replacement. Keys are slash-separated paths of filename-safe
+// segments ("manifest/ab12", "session/cluster0"), which is exactly the
+// object-key shape an S3-style backend exposes — the two local
+// implementations here (Mem for tests and single-process fleets, Dir for
+// shared-filesystem fleets) are stand-ins behind the same interface.
+//
+// Put must be atomic with respect to Get: a concurrent Get returns
+// either the previous blob or the new one, never a torn write.
+type BlobStore interface {
+	// Put durably replaces the blob at key.
+	Put(key string, data []byte) error
+	// Get returns the blob at key, or an error satisfying
+	// errors.Is(err, fs.ErrNotExist) when none exists.
+	Get(key string) ([]byte, error)
+	// Delete removes the blob at key; deleting an absent blob is not an
+	// error.
+	Delete(key string) error
+	// List returns the keys under the given prefix, sorted. An empty
+	// prefix lists everything.
+	List(prefix string) ([]string, error)
+}
+
+// checkKey validates a blob key: one or more segments, each legal by
+// the shared id rule (sessionstore.ValidID — the same rule session ids
+// pass upstream, so nothing the serving layer accepts fails here, and
+// no segment can be path-special or collide with the dot-led temp-file
+// convention). Violations wrap fs.ErrInvalid so callers holding
+// untrusted input (a warm_start manifest id off the wire) can tell
+// "malformed reference" from an actual storage failure.
+func checkKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("registry: empty blob key: %w", fs.ErrInvalid)
+	}
+	for _, seg := range strings.Split(key, "/") {
+		if !sessionstore.ValidID(seg) {
+			return fmt.Errorf("registry: blob key %q has illegal segment %q: %w", key, seg, fs.ErrInvalid)
+		}
+	}
+	return nil
+}
+
+// Mem is the in-memory BlobStore: a mutex-guarded map that copies on the
+// way in and out. It is safe for concurrent use; a fleet of in-process
+// replicas sharing one *Mem shares checkpoints exactly as a fleet
+// sharing a bucket would.
+type Mem struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{m: make(map[string][]byte)} }
+
+// Put implements BlobStore.
+func (s *Mem) Put(key string, data []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.m[key] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements BlobStore.
+func (s *Mem) Get(key string) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	data, ok := s.m[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("registry: blob %q: %w", key, fs.ErrNotExist)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete implements BlobStore.
+func (s *Mem) Delete(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// List implements BlobStore.
+func (s *Mem) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Dir is the local-filesystem BlobStore: each key is a file under the
+// root, written atomically (temp file + rename), so replicas sharing the
+// directory over NFS-style storage never observe torn blobs. Key
+// segments become path segments verbatim; checkKey keeps traversal out.
+type Dir struct {
+	root string
+}
+
+// tmpPrefix names in-flight writes; a crashed writer's leavings hold
+// torn state by definition and are swept by NewDir (atomicfile owns the
+// age gate that protects shared storage).
+const tmpPrefix = ".blob-"
+
+// NewDir creates the root if needed and sweeps stale temp files.
+func NewDir(root string) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: blob dir: %w", err)
+	}
+	// Fail fast on an unreadable root (the sweep ignores walk errors).
+	if _, err := os.ReadDir(root); err != nil {
+		return nil, fmt.Errorf("registry: blob dir: %w", err)
+	}
+	atomicfile.SweepTemps(root, tmpPrefix)
+	return &Dir{root: root}, nil
+}
+
+// Root returns the directory backing the store.
+func (d *Dir) Root() string { return d.root }
+
+func (d *Dir) file(key string) string {
+	return filepath.Join(d.root, filepath.FromSlash(key))
+}
+
+// Put implements BlobStore via atomicfile's temp + rename discipline.
+func (d *Dir) Put(key string, data []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	path := d.file(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return atomicfile.WriteFile(path, data, tmpPrefix)
+}
+
+// Get implements BlobStore.
+func (d *Dir) Get(key string) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(d.file(key))
+}
+
+// Delete implements BlobStore.
+func (d *Dir) Delete(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	err := os.Remove(d.file(key))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// List implements BlobStore: a walk reporting keys in slash form, temp
+// files excluded. Only the subtree the prefix's directory part names is
+// walked — List("session/") on a store holding a million blobs reads
+// the session directory alone, the same access shape a prefix-scoped
+// object-store listing has.
+func (d *Dir) List(prefix string) ([]string, error) {
+	// The prefix joins into a filesystem path below, so it gets the same
+	// traversal hygiene as full keys (a prefix may legally end
+	// mid-segment, so checkKey itself is too strict).
+	if strings.Contains(prefix, "..") || strings.HasPrefix(prefix, "/") {
+		return nil, fmt.Errorf("registry: illegal list prefix %q: %w", prefix, fs.ErrInvalid)
+	}
+	// Walk from the deepest directory the prefix fully names; the
+	// remainder (a partial segment, e.g. "session/ab") filters below.
+	start := d.root
+	if i := strings.LastIndexByte(prefix, '/'); i >= 0 {
+		start = filepath.Join(d.root, filepath.FromSlash(prefix[:i]))
+	}
+	if _, err := os.Stat(start); os.IsNotExist(err) {
+		return nil, nil
+	}
+	var keys []string
+	err := filepath.WalkDir(start, func(path string, e fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // raced with a delete
+			}
+			return err
+		}
+		if e.IsDir() || strings.HasPrefix(e.Name(), tmpPrefix) {
+			return nil
+		}
+		rel, err := filepath.Rel(d.root, path)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

@@ -38,16 +38,38 @@ type createRequest struct {
 	CalibrationCC []float64 `json:"calibration_cc,omitempty"`
 	// State optionally warm-starts the governor from an inline
 	// checkpoint (the body written by /checkpoint or scenario.Freeze).
-	// It takes precedence over a checkpoint file on disk.
+	// It takes precedence over warm_start and over a checkpoint on disk.
 	State json.RawMessage `json:"state,omitempty"`
+	// Workload optionally names the workload this session controls
+	// (a workload-registry name). It is matching metadata: warm_start
+	// "auto" prefers a manifest trained on the same workload before
+	// falling back to any same-platform one.
+	Workload string `json:"workload,omitempty"`
+	// WarmStart resolves learnt state from the checkpoint registry:
+	// "auto" picks the nearest manifest for this session's fingerprint,
+	// anything else names a manifest id exactly. Inline State and the
+	// session's own checkpoint (a re-created id resumes its exact learnt
+	// policy) both take precedence; when neither exists the registry
+	// resolves it, and the server having no registry is then an error.
+	// Alongside inline State, a non-"auto" value is recorded as the
+	// session's warm_manifest provenance (the router's hand-off path).
+	WarmStart string `json:"warm_start,omitempty"`
+	// ThermalCapMW, when positive, wraps the governor in a per-session
+	// power cap (governor.ThermalCap in power-only form): sensed epoch
+	// power above the budget steps the permissible OPP ceiling down, and
+	// it recovers once power clears the cap's hysteresis.
+	ThermalCapMW float64 `json:"thermal_cap_mw,omitempty"`
 }
 
 type sessionInfo struct {
 	ID           string  `json:"id"`
 	Governor     string  `json:"governor"`
 	Platform     string  `json:"platform"`
+	Workload     string  `json:"workload,omitempty"`
 	PeriodS      float64 `json:"period_s"`
 	Seed         int64   `json:"seed"`
+	ThermalCapMW float64 `json:"thermal_cap_mw,omitempty"`
+	WarmManifest string  `json:"warm_manifest,omitempty"` // registry manifest the session warm-started from
 	Epochs       int64   `json:"epochs"`
 	Explorations int     `json:"explorations"` // -1 for non-learners
 	ConvergedAt  int     `json:"converged_at"` // -1 while learning
@@ -174,13 +196,16 @@ func (s *Server) info(sess *session) sessionInfo {
 		ID:           sess.id,
 		Governor:     sess.govName,
 		Platform:     sess.platName,
+		Workload:     sess.workload,
 		PeriodS:      sess.periodS,
 		Seed:         sess.seed,
+		ThermalCapMW: sess.capMW,
+		WarmManifest: sess.warmFrom,
 		Epochs:       sess.epochs,
 		Explorations: -1,
 		ConvergedAt:  -1,
 	}
-	if ls, ok := sess.gov.(governor.LearningStats); ok {
+	if ls, ok := sess.learner.(governor.LearningStats); ok {
 		in.Explorations = ls.Explorations()
 		in.ConvergedAt = ls.ConvergedAtEpoch()
 	}
@@ -209,7 +234,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // (HTTP and binary) run checkpoints through it. The returned status is
 // an HTTP code on failure.
 func (s *Server) freezeSession(sess *session) ([]byte, int, error) {
-	cp, ok := sess.gov.(governor.Checkpointer)
+	cp, ok := sess.learner.(governor.Checkpointer)
 	if !ok {
 		return nil, http.StatusBadRequest, errf("governor %s keeps no learnt state", sess.govName)
 	}
@@ -335,6 +360,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 // overflow, so every decision is accounted for exactly once.
 type latencyJSON struct {
 	Count      int     `json:"count"`
+	SumUS      float64 `json:"sum_us"`
 	LoUS       float64 `json:"lo_us"`
 	HiUS       float64 `json:"hi_us"`
 	BinWidthUS float64 `json:"bin_width_us"`
@@ -384,6 +410,7 @@ func (s *Server) buildMetrics() metricsJSON {
 		sess.mu.Lock()
 		mj := sessionMetricsJSON{latencyJSON: latencyJSON{
 			Count:      sess.lat.Count(),
+			SumUS:      sess.lat.Sum(),
 			LoUS:       sess.lat.Lo(),
 			HiUS:       sess.lat.Hi(),
 			BinWidthUS: sess.lat.BinWidth(),
@@ -391,13 +418,13 @@ func (s *Server) buildMetrics() metricsJSON {
 			Underflow:  sess.lat.Underflow(),
 			Overflow:   sess.lat.Overflow(),
 		}}
-		if ls, ok := sess.gov.(governor.LearningStats); ok {
+		if ls, ok := sess.learner.(governor.LearningStats); ok {
 			lj := &learningJSON{
 				Epochs:       sess.epochs,
 				Explorations: ls.Explorations(),
 				ConvergedAt:  ls.ConvergedAtEpoch(),
 			}
-			if es, ok := sess.gov.(governor.ExplorationStats); ok {
+			if es, ok := sess.learner.(governor.ExplorationStats); ok {
 				eps, visits, frac := es.Epsilon(), es.VisitTotal(), es.ConvergedFraction()
 				lj.Epsilon, lj.VisitTotal, lj.ConvergedFraction = &eps, &visits, &frac
 			}
@@ -409,8 +436,14 @@ func (s *Server) buildMetrics() metricsJSON {
 	return out
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.buildMetrics())
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.buildMetrics()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", prometheusContentType)
+		writePrometheus(w, m)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
 }
 
 // listInfos snapshots every session's info, sorted by id — the body of

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition of /v1/metrics. The JSON document stays the
+// canonical body (it is what the binary control plane and the router's
+// fleet merge exchange); this renderer projects that same document into
+// the text format a Prometheus scraper ingests, so both the replica and
+// the router expose it by re-rendering whatever they would have served
+// as JSON — one source of truth, two encodings.
+
+// wantsPrometheus reports whether a metrics request asked for the text
+// exposition format: ?format=prometheus, or an Accept header preferring
+// text/plain (what a Prometheus scrape sends) over JSON.
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}
+
+// prometheusContentType is the text exposition format version scrapers
+// expect.
+const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promFloat renders a float the exposition format accepts (Go's 'g'
+// shortest form is valid Prometheus syntax, including +Inf/NaN spellings
+// which never occur here).
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Label values render through %q, whose escaping (backslash, quote,
+// newline) is exactly what the exposition format requires.
+
+// writePrometheus renders the metrics document in text exposition
+// format: the fleet decision counter, the per-session decision-latency
+// histograms (cumulative le buckets in seconds, as Prometheus
+// histograms are), and the exploration/convergence counters for
+// sessions whose governor learns. Sessions render in sorted order so
+// the output is deterministic.
+func writePrometheus(w io.Writer, m metricsJSON) {
+	fmt.Fprintf(w, "# HELP rtmd_decisions_total Operating-point decisions served.\n")
+	fmt.Fprintf(w, "# TYPE rtmd_decisions_total counter\n")
+	fmt.Fprintf(w, "rtmd_decisions_total %d\n", m.Decisions)
+	fmt.Fprintf(w, "# HELP rtmd_sessions Live sessions.\n")
+	fmt.Fprintf(w, "# TYPE rtmd_sessions gauge\n")
+	fmt.Fprintf(w, "rtmd_sessions %d\n", len(m.Sessions))
+
+	ids := make([]string, 0, len(m.Sessions))
+	for id := range m.Sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	fmt.Fprintf(w, "# HELP rtmd_decision_latency_seconds Decision latency under the session lock.\n")
+	fmt.Fprintf(w, "# TYPE rtmd_decision_latency_seconds histogram\n")
+	for _, id := range ids {
+		sm := m.Sessions[id]
+		// Underflow cannot occur (latency is non-negative and the range
+		// starts at 0) but fold it into the first bucket anyway so the
+		// buckets always sum to the count.
+		cum := sm.Underflow
+		for i, c := range sm.Bins {
+			cum += c
+			le := (sm.LoUS + float64(i+1)*sm.BinWidthUS) * 1e-6
+			fmt.Fprintf(w, "rtmd_decision_latency_seconds_bucket{session=%q,le=%q} %d\n", id, promFloat(le), cum)
+		}
+		fmt.Fprintf(w, "rtmd_decision_latency_seconds_bucket{session=%q,le=\"+Inf\"} %d\n", id, sm.Count)
+		fmt.Fprintf(w, "rtmd_decision_latency_seconds_sum{session=%q} %s\n", id, promFloat(sm.SumUS*1e-6))
+		fmt.Fprintf(w, "rtmd_decision_latency_seconds_count{session=%q} %d\n", id, sm.Count)
+	}
+
+	writeLearningGauge(w, m, ids, "rtmd_session_epochs", "Decision epochs the session has served.",
+		func(lj *learningJSON) (string, bool) { return strconv.FormatInt(lj.Epochs, 10), true })
+	// Gauge, not counter: the count resets when a session is re-created
+	// under its id, which a counter contract would forbid.
+	writeLearningGauge(w, m, ids, "rtmd_session_explorations", "Exploratory (non-greedy) decisions taken.",
+		func(lj *learningJSON) (string, bool) { return strconv.Itoa(lj.Explorations), true })
+	writeLearningGauge(w, m, ids, "rtmd_session_converged_at_epoch", "Epoch initial learning completed; -1 while learning.",
+		func(lj *learningJSON) (string, bool) { return strconv.Itoa(lj.ConvergedAt), true })
+	writeLearningGauge(w, m, ids, "rtmd_session_epsilon", "Exploration probability (the ε schedule's position).",
+		func(lj *learningJSON) (string, bool) {
+			if lj.Epsilon == nil {
+				return "", false
+			}
+			return promFloat(*lj.Epsilon), true
+		})
+	// "visits", not "visit_total": like the explorations gauge above, the
+	// value resets on session re-creation, so a counter-implying _total
+	// suffix would mislead rate()-style queries.
+	writeLearningGauge(w, m, ids, "rtmd_session_visits", "State-action visits across the learner's value tables.",
+		func(lj *learningJSON) (string, bool) {
+			if lj.VisitTotal == nil {
+				return "", false
+			}
+			return strconv.Itoa(*lj.VisitTotal), true
+		})
+	writeLearningGauge(w, m, ids, "rtmd_session_converged_fraction", "Fraction of states whose greedy action has settled.",
+		func(lj *learningJSON) (string, bool) {
+			if lj.ConvergedFraction == nil {
+				return "", false
+			}
+			return promFloat(*lj.ConvergedFraction), true
+		})
+}
+
+// writeLearningGauge renders one per-session learning gauge family,
+// covering only sessions whose governor learns (and, per field, only
+// learners that expose it).
+func writeLearningGauge(w io.Writer, m metricsJSON, ids []string, name, help string,
+	value func(*learningJSON) (string, bool)) {
+	wrote := false
+	for _, id := range ids {
+		lj := m.Sessions[id].Learning
+		if lj == nil {
+			continue
+		}
+		v, ok := value(lj)
+		if !ok {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			wrote = true
+		}
+		fmt.Fprintf(w, "%s{session=%q} %s\n", name, id, v)
+	}
+}

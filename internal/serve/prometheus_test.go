@@ -1,0 +1,161 @@
+package serve_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"qgov/internal/serve"
+	"qgov/internal/serve/client"
+)
+
+// promBody fetches /v1/metrics in Prometheus form from a base URL.
+func promBody(t *testing.T, cl *http.Client, url string, viaAccept bool) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+"/v1/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaAccept {
+		req.Header.Set("Accept", "text/plain")
+	} else {
+		req.URL.RawQuery = "format=prometheus"
+	}
+	resp, err := cl.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics returned %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prometheus metrics served as %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// mustContain asserts each wanted line is present.
+func mustContain(t *testing.T, body string, wants ...string) {
+	t.Helper()
+	for _, w := range wants {
+		if !strings.Contains(body, w) {
+			t.Errorf("exposition missing %q in:\n%s", w, body)
+		}
+	}
+}
+
+// /v1/metrics must serve the Prometheus text exposition when asked via
+// ?format=prometheus or Accept: text/plain — latency histogram with
+// cumulative le buckets summing to the decision count, plus the
+// exploration counters — while the default stays JSON.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	const decisions = 5
+	h := newTestServer(t, serve.Options{})
+	if st := h.post("/v1/sessions", map[string]any{"id": "p0", "governor": "rtm", "seed": 3}, nil); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+	obs := steadyObs()
+	for i := 0; i < decisions; i++ {
+		obs.Epoch = i
+		var resp struct {
+			Decisions []decision `json:"decisions"`
+		}
+		if st := h.post("/v1/decide", map[string]any{
+			"requests": []decideItem{{Session: "p0", Obs: obsFromGov(obs)}},
+		}, &resp); st != http.StatusOK || resp.Decisions[0].Error != "" {
+			t.Fatalf("decide %d: status %d %+v", i, st, resp.Decisions)
+		}
+	}
+
+	for _, viaAccept := range []bool{false, true} {
+		body := promBody(t, h.ts.Client(), h.ts.URL, viaAccept)
+		mustContain(t, body,
+			fmt.Sprintf("rtmd_decisions_total %d", decisions),
+			"rtmd_sessions 1",
+			"# TYPE rtmd_decision_latency_seconds histogram",
+			fmt.Sprintf(`rtmd_decision_latency_seconds_bucket{session="p0",le="+Inf"} %d`, decisions),
+			`rtmd_decision_latency_seconds_sum{session="p0"} `,
+			fmt.Sprintf(`rtmd_decision_latency_seconds_count{session="p0"} %d`, decisions),
+			`rtmd_session_explorations{session="p0"}`,
+			fmt.Sprintf(`rtmd_session_epochs{session="p0"} %d`, decisions),
+			`rtmd_session_epsilon{session="p0"}`,
+			fmt.Sprintf(`rtmd_session_visits{session="p0"} %d`, decisions),
+			`rtmd_session_converged_fraction{session="p0"}`,
+		)
+		// Buckets are cumulative: the largest finite bucket must already
+		// hold every in-range sample, i.e. no line after +Inf contradicts
+		// the count. Spot-check monotonicity over the first two buckets.
+		var b1, b2 int
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, `rtmd_decision_latency_seconds_bucket{session="p0",le="1e-06"}`) {
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &b1)
+			}
+			if strings.HasPrefix(line, `rtmd_decision_latency_seconds_bucket{session="p0",le="2e-06"}`) {
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &b2)
+			}
+		}
+		if b2 < b1 {
+			t.Errorf("buckets not cumulative: le=1e-06 %d > le=2e-06 %d", b1, b2)
+		}
+	}
+
+	// The default content type is unchanged JSON.
+	var m metricsResponse
+	if st := h.get("/v1/metrics", &m); st != http.StatusOK || m.Decisions != decisions {
+		t.Fatalf("JSON metrics: status %d %+v", st, m)
+	}
+}
+
+// The router serves the same exposition over its fleet-merged metrics.
+func TestRouterPrometheusMetrics(t *testing.T) {
+	_, addrs := newFleet(t, 2, serve.Options{})
+	rt, err := serve.NewRouter(addrs, serve.RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rtHTTP := httptest.NewServer(rt.Handler())
+	defer rtHTTP.Close()
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtTCP := serve.NewRouterTCP(rt, lis)
+	go func() { _ = rtTCP.Serve() }()
+	defer rtTCP.Close()
+	cl, err := client.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ids := []string{"pr-0", "pr-1", "pr-2"}
+	for i, id := range ids {
+		body := fmt.Sprintf(`{"id":%q,"governor":"rtm","seed":%d}`, id, i+1)
+		if st, resp, err := cl.CreateSession([]byte(body)); err != nil || st != http.StatusCreated {
+			t.Fatalf("create %s: status %d err %v (%s)", id, st, err, resp)
+		}
+		if d, err := cl.Decide(id, steadyObs()); err != nil || d.Err != "" {
+			t.Fatalf("decide %s: %v %s", id, err, d.Err)
+		}
+	}
+
+	body := promBody(t, rtHTTP.Client(), rtHTTP.URL, false)
+	mustContain(t, body,
+		fmt.Sprintf("rtmd_decisions_total %d", len(ids)),
+		fmt.Sprintf("rtmd_sessions %d", len(ids)),
+	)
+	for _, id := range ids {
+		mustContain(t, body, fmt.Sprintf(`rtmd_decision_latency_seconds_count{session=%q} 1`, id))
+	}
+}

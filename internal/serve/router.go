@@ -222,8 +222,8 @@ func (rt *Router) control(op byte, session string, body []byte) (uint16, []byte)
 			}
 			id = fmt.Sprintf("r%d-%x", rt.nextID.Add(1), rnd)
 		}
-		if !idPattern.MatchString(id) {
-			return http.StatusBadRequest, errorBody(errf("session id %q must match %s", id, idPattern))
+		if !validSessionID(id) {
+			return http.StatusBadRequest, errorBody(errBadSessionID(id))
 		}
 		return rt.forward(wire.OpCreate, id, body)
 	default:
@@ -283,10 +283,10 @@ func (rt *Router) eachReplica(f func(addr string, cl *client.Client) ([]byte, er
 	return bodies, members, nil
 }
 
-// aggregateMetrics merges every replica's /v1/metrics document: session
+// mergedMetrics merges every replica's /v1/metrics document: session
 // entries union (ids are globally unique — the ring sends each to one
 // replica) and decision counters sum.
-func (rt *Router) aggregateMetrics() (uint16, []byte) {
+func (rt *Router) mergedMetrics() (metricsJSON, error) {
 	bodies, _, err := rt.eachReplica(func(addr string, cl *client.Client) ([]byte, error) {
 		status, body, err := cl.Metrics()
 		if err != nil {
@@ -298,18 +298,27 @@ func (rt *Router) aggregateMetrics() (uint16, []byte) {
 		return body, nil
 	})
 	if err != nil {
-		return http.StatusBadGateway, errorBody(err)
+		return metricsJSON{}, err
 	}
 	merged := metricsJSON{Sessions: make(map[string]sessionMetricsJSON)}
 	for _, body := range bodies {
 		var m metricsJSON
 		if err := json.Unmarshal(body, &m); err != nil {
-			return http.StatusBadGateway, errorBody(fmt.Errorf("decoding replica metrics: %w", err))
+			return metricsJSON{}, fmt.Errorf("decoding replica metrics: %w", err)
 		}
 		merged.Decisions += m.Decisions
 		for id, sm := range m.Sessions {
 			merged.Sessions[id] = sm
 		}
+	}
+	return merged, nil
+}
+
+// aggregateMetrics is mergedMetrics in control-plane clothing.
+func (rt *Router) aggregateMetrics() (uint16, []byte) {
+	merged, err := rt.mergedMetrics()
+	if err != nil {
+		return http.StatusBadGateway, errorBody(err)
 	}
 	return http.StatusOK, jsonBody(merged)
 }
@@ -451,13 +460,22 @@ func (rt *Router) moveSession(src *client.Client, srcAddr string, dst *client.Cl
 		return fmt.Errorf("freezing on %s: status %d: %s", srcAddr, status, body)
 	}
 
+	// The moved session keeps its identity: workload and cap re-apply,
+	// and the manifest it originally warm-started from rides along as
+	// provenance (the state itself travels inline). A ThermalCap's
+	// ceiling is transient protective state and is not carried — the
+	// destination starts at the full ladder and re-throttles within an
+	// epoch per over-budget step, exactly as after a restart.
 	create := createRequest{
-		ID:       info.ID,
-		Governor: info.Governor,
-		Platform: info.Platform,
-		PeriodS:  info.PeriodS,
-		Seed:     info.Seed,
-		State:    state,
+		ID:           info.ID,
+		Governor:     info.Governor,
+		Platform:     info.Platform,
+		Workload:     info.Workload,
+		PeriodS:      info.PeriodS,
+		Seed:         info.Seed,
+		ThermalCapMW: info.ThermalCapMW,
+		WarmStart:    info.WarmManifest,
+		State:        state,
 	}
 	status, body, err = dst.CreateSession(jsonBody(create))
 	if err != nil {
@@ -516,7 +534,19 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", rt.handleRouteOp(wire.OpInfo))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", rt.handleRouteOp(wire.OpDelete))
 	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", rt.handleRouteOp(wire.OpCheckpoint))
-	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			// The router scrapes like a replica: the fleet-merged document
+			// renders through the same exposition writer.
+			merged, err := rt.mergedMetrics()
+			if err != nil {
+				writeError(w, http.StatusBadGateway, err)
+				return
+			}
+			w.Header().Set("Content-Type", prometheusContentType)
+			writePrometheus(w, merged)
+			return
+		}
 		status, body := rt.control(wire.OpMetrics, "", nil)
 		writeControlResult(w, status, body)
 	})

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"qgov/internal/governor"
+	"qgov/internal/registry"
 	"qgov/internal/serve"
 	"qgov/internal/serve/client"
 	"qgov/internal/sim"
@@ -25,18 +26,15 @@ type replica struct {
 	tcp *serve.TCPServer
 }
 
-// newFleet starts n replicas, every one pointed at the same checkpoint
-// directory (the shared-storage deployment shape hand-off relies on),
-// and returns them with their binary addresses.
-func newFleet(t testing.TB, n int, ckptDir string) ([]*replica, []string) {
+// newFleet starts n replicas, every one built from the same options —
+// point them at one shared checkpoint store (a common CheckpointDir, or
+// a registry-backed Checkpoints) and you have the deployment shape
+// hand-off relies on. It returns them with their binary addresses.
+func newFleet(t testing.TB, n int, opt serve.Options) ([]*replica, []string) {
 	t.Helper()
 	reps := make([]*replica, n)
 	addrs := make([]string, n)
 	for i := range reps {
-		opt := serve.Options{CheckpointDir: ckptDir}
-		if ckptDir == "" {
-			opt = serve.Options{}
-		}
 		srv := serve.New(opt)
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -80,6 +78,32 @@ func driveFrames(s *sim.Session, maxFrames int, decide func(obs governor.Observa
 // at the same epoch boundary, so any divergence the routing layer or
 // the hand-off itself introduced would surface as a decision mismatch.
 func TestRouterEquivalence(t *testing.T) {
+	dirFleet := t.TempDir()
+	runRouterFlatEquivalence(t, serve.Options{CheckpointDir: dirFleet}, func(id string) ([]byte, error) {
+		return os.ReadFile(dirFleet + "/" + id + ".state")
+	})
+}
+
+// TestRouterHandoffThroughRegistry re-runs the router-vs-flat suite with
+// the fleet's checkpoints living in the content-addressed registry's
+// blob store instead of a shared directory — the deployment where
+// replicas on different machines share an object store. The same
+// contract must hold: byte-identical decision streams and checkpoints,
+// including across a RemoveReplica hand-off whose freeze/restore now
+// travels through the registry-backed CheckpointStore.
+func TestRouterHandoffThroughRegistry(t *testing.T) {
+	blobs := registry.NewMem()
+	runRouterFlatEquivalence(t, serve.Options{
+		Checkpoints: registry.Checkpoints(blobs),
+		Registry:    registry.New(blobs),
+	}, registry.Checkpoints(blobs).Load)
+}
+
+// runRouterFlatEquivalence drives the shared equivalence scenario; the
+// fleet's checkpoint placement is the caller's (a shared directory, the
+// registry) and loadFleetCkpt reads one session's frozen fleet state
+// back for the byte comparison.
+func runRouterFlatEquivalence(t *testing.T, fleetOpt serve.Options, loadFleetCkpt func(id string) ([]byte, error)) {
 	const (
 		scn      = "rtm/mpeg4-30fps/a15"
 		frames   = 120
@@ -87,9 +111,9 @@ func TestRouterEquivalence(t *testing.T) {
 		sessions = 9
 		replicas = 3
 	)
-	dirFlat, dirFleet := t.TempDir(), t.TempDir()
+	dirFlat := t.TempDir()
 	flat := newTestServer(t, serve.Options{CheckpointDir: dirFlat})
-	fleet, addrs := newFleet(t, replicas, dirFleet)
+	fleet, addrs := newFleet(t, replicas, fleetOpt)
 
 	rt, err := serve.NewRouter(addrs, serve.RouterOptions{})
 	if err != nil {
@@ -331,7 +355,7 @@ func TestRouterEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("flat checkpoint for %s: %v", l.id, err)
 		}
-		b, err := os.ReadFile(dirFleet + "/" + l.id + ".state")
+		b, err := loadFleetCkpt(l.id)
 		if err != nil {
 			t.Fatalf("fleet checkpoint for %s: %v", l.id, err)
 		}
@@ -402,7 +426,7 @@ func BenchmarkRoutedDecideThroughput(b *testing.B) {
 	for _, replicas := range []int{2, 3, 4} {
 		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
 			const sessions = 256
-			_, addrs := newFleet(b, replicas, "")
+			_, addrs := newFleet(b, replicas, serve.Options{})
 
 			rt, err := serve.NewRouter(addrs, serve.RouterOptions{})
 			if err != nil {

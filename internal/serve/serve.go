@@ -45,7 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"regexp"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,9 +53,11 @@ import (
 	"qgov/internal/core"
 	"qgov/internal/governor"
 	"qgov/internal/platform"
+	"qgov/internal/registry"
 	"qgov/internal/scenario"
 	"qgov/internal/sessionstore"
 	"qgov/internal/stats"
+	"qgov/internal/workload"
 )
 
 // Decision-latency histogram geometry: governor decisions are sub-10 µs,
@@ -87,6 +89,20 @@ type Options struct {
 	// <= 0 disables the sweep (explicit /checkpoint calls and the final
 	// sweep on Close still run when a checkpoint store is configured).
 	CheckpointEvery time.Duration
+	// Registry, when non-nil, resolves warm_start references on session
+	// create: "auto" picks the nearest published manifest for the
+	// session's governor/workload/platform fingerprint (exact match
+	// first, then same-platform/different-workload — the cross-workload
+	// transfer fallback), and a manifest id selects exactly that
+	// checkpoint. Replicas sharing one registry warm-start from the
+	// fleet's pooled training.
+	Registry *registry.Registry
+	// CompactionFilter, when non-nil, restricts the startup compaction
+	// sweep to checkpoint ids it returns true for. A routed replica sets
+	// it to its own consistent-hash shards so a starting member reads
+	// only the fraction of a fleet-sized shared store it owns instead of
+	// every file in it.
+	CompactionFilter func(id string) bool
 	// StoreShards overrides the session store's stripe count; <= 0 uses
 	// the sessionstore default.
 	StoreShards int
@@ -120,14 +136,23 @@ type session struct {
 	id       string
 	govName  string
 	platName string
+	workload string // metadata: what the session controls (warm-start matching)
 	periodS  float64
 	seed     int64
+	capMW    float64 // thermal_cap_mw; 0 when uncapped
+	warmFrom string  // manifest id the session warm-started from, if any
 
-	gov    governor.Governor
-	table  platform.OPPTable
-	cores  int
-	epochs int64
-	lat    *stats.Histogram // decision latency in µs, guarded by mu
+	// gov is what decides: the raw governor, or its ThermalCap wrapper
+	// when the session is capped. learner is always the unwrapped
+	// governor — checkpointing, warm-starting and learning-stats
+	// assertions go through it, so a capped learner keeps its full
+	// checkpoint/metrics surface.
+	gov     governor.Governor
+	learner governor.Governor
+	table   platform.OPPTable
+	cores   int
+	epochs  int64
+	lat     *stats.Histogram // decision latency in µs, guarded by mu
 }
 
 // New builds a Server, sweeps its checkpoint store of unrestorable
@@ -242,7 +267,7 @@ func (s *Server) CheckpointAll() (int, error) {
 // whose governor keeps no learnt state (or that have not decided yet)
 // are skipped without error.
 func (s *Server) checkpointSession(sess *session) (bool, error) {
-	cp, ok := sess.gov.(governor.Checkpointer)
+	cp, ok := sess.learner.(governor.Checkpointer)
 	if !ok || s.ckpt == nil {
 		return false, nil
 	}
@@ -338,7 +363,10 @@ func restorableHeader(state []byte) bool {
 // CompactCheckpoints is the dead-state sweep: it deletes checkpoints no
 // session could ever restore from (no restorable header — torn or
 // foreign files). It runs automatically in New; replicas sharing a
-// store can also invoke it on demand. It returns how many were removed.
+// store can also invoke it on demand. When a CompactionFilter is
+// configured the sweep reads only the ids it owns — on a fleet-sized
+// shared store each member pays for its own shards, not the whole
+// directory. It returns how many were removed.
 func (s *Server) CompactCheckpoints() (int, error) {
 	if s.ckpt == nil {
 		return 0, nil
@@ -350,6 +378,9 @@ func (s *Server) CompactCheckpoints() (int, error) {
 	removed := 0
 	var firstErr error
 	for _, id := range ids {
+		if s.opt.CompactionFilter != nil && !s.opt.CompactionFilter(id) {
+			continue // another member's shard; its owner sweeps it
+		}
 		state, err := s.ckpt.Load(id)
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
@@ -375,9 +406,17 @@ func (s *Server) CompactCheckpoints() (int, error) {
 	return removed, firstErr
 }
 
-// idPattern keeps session ids shell- and filename-safe: they become
-// checkpoint file names.
-var idPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,128}$`)
+// Session ids validate through sessionstore.ValidID — the same rule the
+// registry applies to blob-key segments, so no id the serving layer
+// accepts can be rejected (or worse, swept as a temp file) downstream
+// by a checkpoint store. Both control planes (flat create and the
+// router's id assignment) use it.
+func validSessionID(id string) bool { return sessionstore.ValidID(id) }
+
+// errBadSessionID is the one copy of the id-rule error message.
+func errBadSessionID(id string) error {
+	return fmt.Errorf("session id %q must match %s and not start with '.'", id, sessionstore.IDPattern)
+}
 
 // createSession builds, optionally calibrates and warm-starts, and
 // registers a session. It returns an HTTP status on failure.
@@ -386,8 +425,8 @@ func (s *Server) createSession(req createRequest) (*session, int, error) {
 	if id == "" {
 		id = fmt.Sprintf("s%d", s.nextID.Add(1))
 	}
-	if !idPattern.MatchString(id) {
-		return nil, 400, fmt.Errorf("session id %q must match %s", id, idPattern)
+	if !validSessionID(id) {
+		return nil, 400, errBadSessionID(id)
 	}
 	if req.Governor == "" {
 		return nil, 400, fmt.Errorf("governor is required (one of %v)", governor.Names())
@@ -418,6 +457,12 @@ func (s *Server) createSession(req createRequest) (*session, int, error) {
 		return nil, 400, fmt.Errorf("period_s %v must be positive", req.PeriodS)
 	}
 
+	if req.Workload != "" {
+		if _, err := workload.ByName(req.Workload); err != nil {
+			return nil, 400, err
+		}
+	}
+
 	if len(req.CalibrationCC) > 0 {
 		rtm, ok := gov.(*core.RTM)
 		if !ok {
@@ -428,19 +473,62 @@ func (s *Server) createSession(req createRequest) (*session, int, error) {
 		}
 	}
 
+	// The learner is the raw governor; decisions may go through a
+	// ThermalCap wrapper, but checkpointing and stats always reach the
+	// learner directly.
+	learner := gov
+	if req.ThermalCapMW != 0 {
+		if !(req.ThermalCapMW > 0) { // rejects negatives and NaN
+			return nil, 400, fmt.Errorf("thermal_cap_mw %v must be positive", req.ThermalCapMW)
+		}
+		// Power-only cap: temperature never trips at +Inf, so the ceiling
+		// is governed by the power budget alone.
+		gov = &governor.ThermalCap{Inner: gov, TripC: math.Inf(1), PowerCapW: req.ThermalCapMW / 1000}
+	}
+
+	// State precedence: inline state, then the session's own checkpoint,
+	// then the registry. A session re-created under its old id must
+	// resume its exact learnt policy even when the create carries
+	// warm_start — its own state is strictly fresher than any published
+	// manifest, and "auto" in a steady-state create body must not
+	// silently swap it for a foreign policy or a cold start.
+	warmFrom := ""
+	staged := false
 	if len(req.State) > 0 {
-		if err := scenario.WarmStart(gov, bytes.NewReader(req.State)); err != nil {
+		if err := scenario.WarmStart(learner, bytes.NewReader(req.State)); err != nil {
 			return nil, 400, err
 		}
-	} else if s.ckpt != nil {
-		// A session re-created under its old id resumes its learnt policy.
+		// A manifest id riding alongside inline state is provenance, not a
+		// lookup: the router's hand-off re-creates a session with its
+		// frozen state inline and passes the manifest it originally
+		// warm-started from, so /v1/sessions/{id} keeps reporting it.
+		if req.WarmStart != "" && req.WarmStart != "auto" {
+			warmFrom = req.WarmStart
+		}
+		staged = true
+	}
+	if !staged && s.ckpt != nil {
 		if state, err := s.ckpt.Load(id); err == nil {
-			if err := scenario.WarmStart(gov, bytes.NewReader(state)); err != nil {
+			if err := scenario.WarmStart(learner, bytes.NewReader(state)); err != nil {
 				return nil, 500, fmt.Errorf("warm-starting %s from checkpoint: %w", id, err)
 			}
 			s.logf("serve: session %s warm-started from its checkpoint", id)
+			staged = true
 		} else if !errors.Is(err, fs.ErrNotExist) {
 			return nil, 500, fmt.Errorf("reading %s checkpoint: %w", id, err)
+		}
+	}
+	if !staged && req.WarmStart != "" {
+		state, manifestID, status, err := s.resolveWarmStart(req, platName)
+		if err != nil {
+			return nil, status, err
+		}
+		if state != nil {
+			if err := scenario.WarmStart(learner, bytes.NewReader(state)); err != nil {
+				return nil, 400, fmt.Errorf("warm-starting %s from manifest %s: %w", id, manifestID, err)
+			}
+			warmFrom = manifestID
+			s.logf("serve: session %s warm-started from registry manifest %s", id, manifestID)
 		}
 	}
 
@@ -448,9 +536,13 @@ func (s *Server) createSession(req createRequest) (*session, int, error) {
 		id:       id,
 		govName:  req.Governor,
 		platName: platName,
+		workload: req.Workload,
 		periodS:  periodS,
 		seed:     req.Seed,
+		capMW:    req.ThermalCapMW,
+		warmFrom: warmFrom,
 		gov:      gov,
+		learner:  learner,
 		table:    cluster.Table(),
 		cores:    cluster.NumCores(),
 		lat:      stats.NewHistogram(0, latHistHiUS, latHistBins),
@@ -472,6 +564,65 @@ func (s *Server) createSession(req createRequest) (*session, int, error) {
 		return nil, 503, fmt.Errorf("server is shutting down")
 	}
 	return sess, 0, nil
+}
+
+// resolveWarmStart turns a create request's warm_start reference into
+// checkpoint state via the registry. "auto" asks for the nearest
+// manifest matching the session's fingerprint — exact workload first,
+// then any workload trained on the same governor and platform (the
+// cross-workload transfer fallback) — and quietly starts cold when the
+// registry holds nothing usable ("auto" means warm if the fleet has
+// learnt anything, not fail). A manifest id demands exactly that
+// checkpoint and errors when it is absent. The returned status is an
+// HTTP code on failure.
+func (s *Server) resolveWarmStart(req createRequest, platName string) (state []byte, manifestID string, status int, err error) {
+	reg := s.opt.Registry
+	if reg == nil {
+		return nil, "", 400, fmt.Errorf("warm_start %q needs a checkpoint registry, and this server has none configured", req.WarmStart)
+	}
+	if req.WarmStart == "auto" {
+		m, ok, err := reg.Nearest(registry.Fingerprint{
+			Governor: req.Governor,
+			Workload: req.Workload,
+			Platform: platName,
+		})
+		if err != nil {
+			return nil, "", 500, fmt.Errorf("resolving warm_start: %w", err)
+		}
+		if !ok {
+			s.logf("serve: no manifest near %s/%s/%s; starting cold", req.Governor, req.Workload, platName)
+			return nil, "", 0, nil
+		}
+		state, err := reg.StateOf(m)
+		if err != nil {
+			return nil, "", 500, fmt.Errorf("fetching manifest %s state: %w", m.ID, err)
+		}
+		return state, m.ID, 0, nil
+	}
+	// Manifest ids are single key segments; rejecting anything else up
+	// front keeps client-controlled input from ever reaching the store's
+	// path handling (a slash-bearing "id" would otherwise surface as a
+	// storage error, not the 400 it is).
+	if !sessionstore.ValidID(req.WarmStart) {
+		return nil, "", 400, fmt.Errorf("malformed warm_start manifest id %q", req.WarmStart)
+	}
+	m, err := reg.Manifest(req.WarmStart)
+	if err != nil {
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			return nil, "", 404, fmt.Errorf("unknown warm_start manifest %q", req.WarmStart)
+		case errors.Is(err, fs.ErrInvalid):
+			// A malformed id off the wire is the caller's error, not ours.
+			return nil, "", 400, fmt.Errorf("malformed warm_start manifest id %q", req.WarmStart)
+		default:
+			return nil, "", 500, err
+		}
+	}
+	st, err := reg.StateOf(m)
+	if err != nil {
+		return nil, "", 500, fmt.Errorf("fetching manifest %s state: %w", m.ID, err)
+	}
+	return st, m.ID, 0, nil
 }
 
 // resetGovernor runs the governor's Reset, converting the panic a

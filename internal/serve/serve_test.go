@@ -522,6 +522,11 @@ func TestServeAPILifecycle(t *testing.T) {
 	if st := h.post("/v1/sessions", map[string]any{"id": "../evil", "governor": "rtm"}, nil); st != http.StatusBadRequest {
 		t.Errorf("unsafe id returned %d, want 400", st)
 	}
+	for _, id := range []string{".", ".."} {
+		if st := h.post("/v1/sessions", map[string]any{"id": id, "governor": "rtm"}, nil); st != http.StatusBadRequest {
+			t.Errorf("path-special id %q returned %d, want 400", id, st)
+		}
+	}
 	if st := h.post("/v1/sessions", map[string]any{"id": "c", "governor": "mldtm", "calibration_cc": []float64{1, 2}}, nil); st != http.StatusBadRequest {
 		t.Errorf("mldtm with calibration returned %d, want 400", st)
 	}

@@ -1,0 +1,118 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"testing"
+
+	"qgov/internal/governor"
+	"qgov/internal/serve"
+	"qgov/internal/sim"
+	"qgov/internal/workload"
+)
+
+// A session created with thermal_cap_mw must decide exactly as sim.Run
+// does with the same governor wrapped in a power-only ThermalCap: the
+// cap composes per session in serve mode without disturbing determinism,
+// and the capped learner still checkpoints and reports learning stats
+// (the wrapper is unwrapped on those paths).
+func TestThermalCapSessionMatchesWrappedSim(t *testing.T) {
+	const (
+		scn    = "rtm/mpeg4-30fps/a15"
+		seed   = 5
+		frames = 400
+		capMW  = 1500.0
+	)
+
+	// The oracle run: same scenario, governor wrapped the way the server
+	// wraps it.
+	cfg := scenarioConfig(t, scn, seed, frames)
+	wrap := &governor.ThermalCap{Inner: cfg.Governor, TripC: math.Inf(1), PowerCapW: capMW / 1000}
+	cfg.Governor = wrap
+	want := sim.Run(cfg)
+	if wrap.ThrottleEvents() == 0 {
+		t.Fatalf("cap of %v mW never throttled; the test would not exercise the wrapper", capMW)
+	}
+
+	// An uncapped twin must differ, or the cap was a no-op at this budget.
+	uncapped := sim.Run(scenarioConfig(t, scn, seed, frames))
+	if phys(want) == phys(uncapped) {
+		t.Fatal("capped and uncapped runs are identical; cap too loose to test composition")
+	}
+
+	h := newTestServer(t, serve.Options{})
+	tr := workload.MPEG4At30(seed, frames)
+	var info struct {
+		ThermalCapMW float64 `json:"thermal_cap_mw"`
+	}
+	if st := h.post("/v1/sessions", map[string]any{
+		"id":             "cap0",
+		"governor":       "rtm",
+		"period_s":       tr.RefTimeS,
+		"seed":           seed,
+		"calibration_cc": tr.MaxPerFrame(),
+		"thermal_cap_mw": capMW,
+	}, &info); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+	if info.ThermalCapMW != capMW {
+		t.Fatalf("info thermal_cap_mw = %v, want %v", info.ThermalCapMW, capMW)
+	}
+
+	got := h.driveOne("cap0", sim.NewSession(scenarioConfig(t, scn, seed, frames)))
+	if phys(want) != phys(got) {
+		t.Errorf("capped served run diverged from wrapped sim.Run:\n%+v\nvs\n%+v", phys(want), phys(got))
+	}
+
+	// The wrapper must not cost the session its learning surface: info
+	// still reports learner stats, and the checkpoint freezes the inner
+	// learner's state.
+	var stats sessionInfo
+	if st := h.get("/v1/sessions/cap0", &stats); st != http.StatusOK {
+		t.Fatalf("info returned %d", st)
+	}
+	if stats.Explorations < 0 {
+		t.Error("capped learner lost its learning stats")
+	}
+	var ck struct {
+		State json.RawMessage `json:"state"`
+	}
+	if st := h.post("/v1/sessions/cap0/checkpoint", map[string]any{}, &ck); st != http.StatusOK {
+		t.Fatalf("checkpoint of capped session returned %d", st)
+	}
+	if len(ck.State) == 0 {
+		t.Error("capped session froze empty state")
+	}
+
+	if st := h.post("/v1/sessions", map[string]any{
+		"id": "bad", "governor": "rtm", "thermal_cap_mw": -5,
+	}, nil); st != http.StatusBadRequest {
+		t.Errorf("negative thermal_cap_mw returned %d, want 400", st)
+	}
+}
+
+// The startup compaction sweep must respect the CompactionFilter: a
+// routed replica sweeps only the shards it owns, leaving its siblings'
+// checkpoints unread and untouched.
+func TestCompactionFilterRestrictsSweep(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"mine.state", "other.state"} {
+		if err := os.WriteFile(dir+"/"+name, []byte("unrestorable junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := serve.New(serve.Options{
+		CheckpointDir:    dir,
+		CompactionFilter: func(id string) bool { return id == "mine" },
+	})
+	defer srv.Close()
+
+	if _, err := os.Stat(dir + "/mine.state"); err == nil {
+		t.Error("sweep kept an unrestorable checkpoint in its own shard")
+	}
+	if _, err := os.Stat(dir + "/other.state"); err != nil {
+		t.Errorf("sweep touched another member's shard: %v", err)
+	}
+}

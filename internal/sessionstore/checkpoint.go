@@ -5,7 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
+
+	"qgov/internal/atomicfile"
 )
 
 // CheckpointStore persists frozen session learning state keyed by
@@ -41,34 +42,21 @@ type Dir struct {
 	dir string
 }
 
-// tmpSweepAge is how old a temp file must be before NewDir treats it as
-// a crashed writer's leavings. A live writer's temp file exists for
-// milliseconds between CreateTemp and Rename; on a directory shared by
-// a replica fleet, a starting member must not sweep a sibling's
-// in-flight write out from under it.
-const tmpSweepAge = time.Hour
-
 // NewDir creates the directory if needed and sweeps out stale temp
 // files a crashed writer left behind (they hold torn state by
 // definition). Fresh temp files are left alone — on shared storage they
-// belong to a sibling replica mid-Save.
+// belong to a sibling replica mid-Save (atomicfile owns the age gate).
 func NewDir(dir string) (*Dir, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sessionstore: checkpoint dir: %w", err)
 	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+	// Fail fast on an unreadable directory — the sweep ignores walk
+	// errors by design, but a store New cannot list must not limp into
+	// serving only to fail on the first Save.
+	if _, err := os.ReadDir(dir); err != nil {
 		return nil, fmt.Errorf("sessionstore: checkpoint dir: %w", err)
 	}
-	cutoff := time.Now().Add(-tmpSweepAge)
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasPrefix(e.Name(), tmpPrefix) {
-			continue
-		}
-		if info, err := e.Info(); err == nil && info.ModTime().Before(cutoff) {
-			_ = os.Remove(filepath.Join(dir, e.Name()))
-		}
-	}
+	atomicfile.SweepTemps(dir, tmpPrefix)
 	return &Dir{dir: dir}, nil
 }
 
@@ -81,22 +69,10 @@ func (d *Dir) file(id string) string {
 
 const tmpPrefix = ".state-"
 
-// Save implements CheckpointStore via write-to-temp + rename, so a
-// reader never observes a torn checkpoint.
+// Save implements CheckpointStore via atomicfile's temp + rename
+// discipline, so a reader never observes a torn checkpoint.
 func (d *Dir) Save(id string, state []byte) error {
-	tmp, err := os.CreateTemp(d.dir, tmpPrefix+"*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(state); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), d.file(id))
+	return atomicfile.WriteFile(d.file(id), state, tmpPrefix)
 }
 
 // Load implements CheckpointStore.

@@ -1,0 +1,18 @@
+package sessionstore
+
+import "regexp"
+
+// IDPattern is the shape of a session id: filename-safe, bounded —
+// ids become checkpoint file names and blob-store key segments.
+var IDPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,128}$`)
+
+// ValidID is the one copy of the id rule every layer validates through
+// (the serving layer's session creates, the registry's blob-key
+// segments): IDPattern, and not dot-led. Excluding the leading dot
+// rules out the path-specials "." and ".." and, with temp files being
+// dot-prefixed by convention (sessionstore ".state-", registry
+// ".blob-"), guarantees no accepted id can ever collide with an
+// in-flight write or be swept as a crashed writer's leavings.
+func ValidID(s string) bool {
+	return IDPattern.MatchString(s) && s[0] != '.'
+}

@@ -18,6 +18,7 @@ type Histogram struct {
 	underflow int
 	overflow  int
 	total     int
+	sum       float64
 }
 
 // NewHistogram creates a histogram over [lo, hi] with the given number of
@@ -41,6 +42,11 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 // Add records one sample.
 func (h *Histogram) Add(x float64) {
 	h.total++
+	if !math.IsNaN(x) {
+		// Out-of-range samples still contribute — Sum is the total of
+		// everything observed, as a Prometheus histogram's _sum is.
+		h.sum += x
+	}
 	switch {
 	case math.IsNaN(x):
 		// NaNs land in overflow: they must not vanish, and they have no
@@ -82,6 +88,10 @@ func (h *Histogram) Bins() []int {
 
 // Count returns the number of samples recorded, including out-of-range ones.
 func (h *Histogram) Count() int { return h.total }
+
+// Sum returns the total of every sample recorded (NaNs excluded,
+// out-of-range samples included).
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Underflow returns the number of samples below the histogram range.
 func (h *Histogram) Underflow() int { return h.underflow }

@@ -115,14 +115,17 @@ func TestHistogramConservationProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		h := NewHistogram(-5, 5, 7)
 		total := int(n)
+		var want float64
 		for i := 0; i < total; i++ {
-			h.Add(rng.Float64()*20 - 10) // spans beyond [-5,5]
+			x := rng.Float64()*20 - 10 // spans beyond [-5,5]
+			want += x
+			h.Add(x)
 		}
 		sum := h.Underflow() + h.Overflow()
 		for _, c := range h.Bins() {
 			sum += c
 		}
-		return sum == total && h.Count() == total
+		return sum == total && h.Count() == total && h.Sum() == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

@@ -27,6 +27,13 @@ func frameSeeds(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	// A create body carrying the registry/cap fields (warm_start,
+	// workload, thermal_cap_mw) — the newest control-plane schema.
+	warm, err := wire.AppendControl(nil, 4, wire.OpCreate, "w0",
+		[]byte(`{"governor":"rtm","workload":"mpeg4-30fps","warm_start":"auto","thermal_cap_mw":1500}`))
+	if err != nil {
+		f.Fatal(err)
+	}
 	reply, err := wire.AppendControlReply(nil, 3, 201, []byte(`{"id":"c0"}`))
 	if err != nil {
 		f.Fatal(err)
@@ -34,6 +41,7 @@ func frameSeeds(f *testing.F) {
 	f.Add(frame)
 	f.Add(dec)
 	f.Add(ctrl)
+	f.Add(warm)
 	f.Add(reply)
 	f.Add(ctrl[:len(ctrl)-5]) // control cut mid-body
 	lying := bytes.Clone(ctrl)
@@ -101,6 +109,8 @@ func FuzzDecodeFrame(f *testing.F) {
 // rejected by the encoder, cleanly.
 func FuzzControlRoundTrip(f *testing.F) {
 	f.Add(uint32(1), byte(1), "cluster-0", []byte(`{"governor":"rtm"}`), uint16(201))
+	f.Add(uint32(2), byte(1), "w0",
+		[]byte(`{"governor":"rtm","workload":"h264-football","warm_start":"deadbeef00112233","thermal_cap_mw":2500.5}`), uint16(201))
 	f.Add(uint32(0), byte(6), "", []byte{}, uint16(404))
 	f.Add(uint32(1<<31), byte(0xff), "s", bytes.Repeat([]byte{0}, 300), uint16(0))
 	f.Fuzz(func(t *testing.T, id uint32, op byte, session string, body []byte, status uint16) {
