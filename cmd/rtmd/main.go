@@ -13,6 +13,7 @@
 //	rtmd -addr :8090 -checkpoint-dir /var/lib/rtmd -checkpoint-every 30s
 //	rtmd -addr :8090 -registry-dir /srv/rtmd-registry
 //	rtmd -route -replicas host1:8091,host2:8091 -addr :8080 -listen-tcp :8081
+//	rtmd -fleet router:8081 -fleet-sessions 256 -fleet-for 10s
 //
 //	curl -s localhost:8090/v1/sessions -d '{"id":"cluster0","governor":"rtm","seed":1}'
 //	curl -s localhost:8090/v1/decide -d '{"requests":[{"session":"cluster0","obs":{"epoch":-1}}]}'
@@ -34,6 +35,15 @@
 // storage) and sessions can hand off between replicas by
 // checkpoint/restore. Clients talk to a router exactly as they would to
 // a flat rtmd.
+//
+// -fleet turns rtmd into a ring-aware direct bench client instead of a
+// server: it fetches the membership table from the given router's
+// binary listener, opens one multiplexed connection per replica,
+// creates -fleet-sessions sessions (through the router, the placement
+// authority), drives decide batches straight to the ring owners for
+// -fleet-for, reports decisions/s, deletes its sessions, and exits.
+// This is the load-generation twin of BenchmarkDirectDecideThroughput
+// for benching a real fleet over the network.
 //
 // Learning state is checkpointed periodically and on graceful shutdown
 // (SIGINT/SIGTERM) — both listeners drain before the final freeze — and
@@ -65,12 +75,15 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"qgov/internal/governor"
 	"qgov/internal/registry"
 	"qgov/internal/ring"
 	"qgov/internal/serve"
+	"qgov/internal/serve/client"
 	"qgov/internal/sessionstore"
 
 	// Register the RTM variants with the governor registry.
@@ -92,12 +105,24 @@ func main() {
 		ringAll    = flag.String("ring-members", "", "the router's -replicas list, verbatim (placement hashes the address strings, so the lists must match byte for byte)")
 		drainGrace = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		quiet      = flag.Bool("quiet", false, "suppress operational logging")
+
+		fleetAddr     = flag.String("fleet", "", "run as a ring-aware direct bench client against this router binary-transport address, then exit")
+		fleetSessions = flag.Int("fleet-sessions", 256, "sessions the -fleet bench client creates and drives")
+		fleetFor      = flag.Duration("fleet-for", 5*time.Second, "how long the -fleet bench client drives decides")
 	)
 	flag.Parse()
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+
+	if *fleetAddr != "" {
+		if *route {
+			fatal(errors.New("-fleet is a client mode; it cannot be combined with -route"))
+		}
+		fleetMain(*fleetAddr, *fleetSessions, *fleetFor, logf)
+		return
 	}
 
 	if *route {
@@ -305,6 +330,101 @@ func routeMain(addr, tcpAddr, replicaList string, drainGrace time.Duration, logf
 	if err := rt.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// fleetMain is the -fleet bench client: the ring-aware direct data
+// path (client.Fleet) driven flat out against a running router's
+// fleet, reporting end-to-end decisions/s. Sessions are created and
+// deleted through the router so the bench leaves the fleet as it
+// found it.
+func fleetMain(routerAddr string, sessions int, dur time.Duration, logf func(string, ...any)) {
+	if sessions < 1 {
+		fatal(errors.New("-fleet-sessions must be at least 1"))
+	}
+	fl, err := client.DialFleet(routerAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer fl.Close()
+	replicas := len(fl.Replicas())
+	logf("rtmd: fleet client holds %d direct replica connections (membership epoch %d)", replicas, fl.Epoch())
+
+	obsTemplate := governor.Observation{
+		Epoch:     1,
+		Cycles:    []uint64{30e6, 31e6, 29e6, 30e6},
+		Util:      []float64{0.6, 0.5, 0.7, 0.6},
+		ExecTimeS: 0.025,
+		PeriodS:   0.040,
+		WallTimeS: 0.040,
+		PowerW:    2,
+		TempC:     50,
+		OPPIdx:    10,
+	}
+	ids := make([]string, sessions)
+	obs := make([]governor.Observation, sessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("fleet-bench-%d-%d", os.Getpid(), i)
+		obs[i] = obsTemplate
+		body := fmt.Sprintf(`{"id":%q,"governor":"rtm","seed":%d}`, ids[i], i+1)
+		st, resp, err := fl.CreateSession([]byte(body))
+		if err != nil {
+			fatal(err)
+		}
+		if st != http.StatusCreated {
+			fatal(fmt.Errorf("creating %s: status %d: %s", ids[i], st, resp))
+		}
+	}
+	defer func() {
+		for _, id := range ids {
+			_, _, _ = fl.DeleteSession(id)
+		}
+	}()
+
+	lanes := 2 * replicas
+	if lanes < 2 {
+		lanes = 2
+	}
+	if lanes > sessions {
+		lanes = sessions
+	}
+	per := sessions / lanes
+	deadline := time.Now().Add(dur)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, lanes)
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			lo, hi := l*per, (l+1)*per
+			if l == lanes-1 {
+				hi = sessions
+			}
+			out := make([]client.Decision, hi-lo)
+			for time.Now().Before(deadline) {
+				if err := fl.DecideBatch(ids[lo:hi], obs[lo:hi], out); err != nil {
+					errCh <- err
+					return
+				}
+				for i := range out {
+					if out[i].Err != "" {
+						errCh <- fmt.Errorf("session %s: %s", ids[lo+i], out[i].Err)
+						return
+					}
+				}
+				total.Add(int64(hi - lo))
+			}
+		}(l)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		logf("rtmd: fleet client: %v", err)
+		return
+	}
+	n := total.Load()
+	fmt.Printf("fleet-direct: %d decisions over %d replicas in %v (%d sessions, %d lanes): %.0f decisions/s\n",
+		n, replicas, dur, sessions, lanes, float64(n)/dur.Seconds())
 }
 
 func fatal(err error) {

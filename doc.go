@@ -47,7 +47,13 @@
 //	                     checkpoints through a pluggable
 //	                     CheckpointStore, and a consistent-hash Router
 //	                     that shards sessions across a replica fleet
-//	                     with checkpoint/restore hand-off
+//	                     with checkpoint/restore hand-off — elastic in
+//	                     both directions while serving (AddReplica /
+//	                     RemoveReplica bump a membership epoch pushed
+//	                     to every replica), health-probed with
+//	                     automatic replica reconnect, and degrading
+//	                     gracefully (per-replica status in /healthz,
+//	                     partial aggregates) when members fail
 //	internal/sessionstore the serving layer's state stores: the sharded
 //	                     Store (striped locks, byte-keyed lookups) and
 //	                     the CheckpointStore interface with its
@@ -74,7 +80,13 @@
 //	internal/serve/client the multiplexed Go client for the binary
 //	                     transport — decisions and control plane —
 //	                     used by the router, benchmarks, and the
-//	                     equivalence tests
+//	                     equivalence tests; its ring-aware Fleet
+//	                     fetches the membership table from the router
+//	                     and sends decide batches directly to the
+//	                     owning replicas (epoch-stamped replies
+//	                     trigger table refetch; misrouted decides are
+//	                     forwarded replica-side), taking the router
+//	                     out of the data path
 //	internal/experiments Table I, II, III, Fig. 3, the ablations, and
 //	                     the warm-start transfer matrix (train on one
 //	                     workload, publish to the registry, serve
@@ -91,8 +103,9 @@
 // -load-state freeze and warm-start any learner), cmd/rtmd serves
 // governor decisions over HTTP and (-listen-tcp) the binary wire
 // protocol — or, with -route -replicas, fronts a sharded replica fleet
-// as a stateless consistent-hash router — cmd/tracegen emits workload
-// traces,
+// as a stateless consistent-hash router, or, with -fleet, benches a
+// running fleet through the ring-aware direct client — cmd/tracegen
+// emits workload traces,
 // cmd/benchjson converts benchmark output to the BENCH_<n>.json perf
 // artifacts; examples/ holds runnable API walkthroughs; the benchmarks
 // in bench_test.go regenerate each experiment under `go test -bench`.

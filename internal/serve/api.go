@@ -395,6 +395,10 @@ type sessionMetricsJSON struct {
 type metricsJSON struct {
 	Decisions int64                         `json:"decisions"`
 	Sessions  map[string]sessionMetricsJSON `json:"sessions"`
+	// DegradedReplicas, set only on a router's fleet aggregate, names the
+	// members whose metrics could not be collected — the body then covers
+	// the reachable majority rather than failing wholesale.
+	DegradedReplicas []string `json:"degraded_replicas,omitempty"`
 }
 
 // buildMetrics snapshots the fleet view /v1/metrics serves. Each session
@@ -459,18 +463,25 @@ func (s *Server) listInfos() []sessionInfo {
 }
 
 // healthJSON is the /healthz body on both control planes: liveness plus
-// O(1) counters.
+// O(1) counters. MemberEpoch is the replica's installed membership epoch
+// — the router's prober compares it against the fleet epoch and
+// re-pushes the table to a replica that restarted (and so came back with
+// epoch 0).
 type healthJSON struct {
-	Status    string `json:"status"`
-	Sessions  int    `json:"sessions"`
-	Decisions int64  `json:"decisions"`
+	Status      string `json:"status"`
+	Sessions    int    `json:"sessions"`
+	Decisions   int64  `json:"decisions"`
+	MemberEpoch uint32 `json:"member_epoch,omitempty"`
+	Forwarded   int64  `json:"forwarded_decisions,omitempty"`
 }
 
 func (s *Server) health() healthJSON {
 	return healthJSON{
-		Status:    "ok",
-		Sessions:  s.sessions.Len(),
-		Decisions: s.decisions.Load(),
+		Status:      "ok",
+		Sessions:    s.sessions.Len(),
+		Decisions:   s.decisions.Load(),
+		MemberEpoch: s.fleetEpoch.Load(),
+		Forwarded:   s.forwarded.Load(),
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qgov/internal/governor"
@@ -48,9 +49,14 @@ const (
 
 // batchCall tracks one DecideBatch in flight. The reader fills out
 // entries as frames arrive (any order) and closes done when the last
-// one lands.
+// one lands. answered is a bitset over out: a duplicate of an
+// already-answered id is dropped instead of decrementing remaining a
+// second time — otherwise a hostile or buggy server could close the
+// batch early and unfilled entries would come back as zero-valued
+// decisions, indistinguishable from the real thing.
 type batchCall struct {
 	out       []Decision
+	answered  []uint64
 	remaining int
 	done      chan struct{}
 }
@@ -86,6 +92,10 @@ type Client struct {
 	nextCtrl    uint32
 	err         error
 
+	// lastEpoch is the highest membership epoch seen in any decide reply
+	// (monotonic; 0 until a fleet replica answers).
+	lastEpoch atomic.Uint32
+
 	readerDone chan struct{}
 }
 
@@ -112,6 +122,15 @@ func Dial(addr string) (*Client, error) {
 	}
 	go c.readLoop()
 	return c, nil
+}
+
+// Err returns the client's sticky transport error — nil while the
+// connection is healthy. Once non-nil every call fails; the owner
+// should redial.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 // Close tears the connection down; in-flight requests fail with a
@@ -141,7 +160,7 @@ func (c *Client) CloseWrite() error {
 // operating-point decision.
 func (c *Client) Decide(session string, obs governor.Observation) (Decision, error) {
 	var out [1]Decision
-	if err := c.decideBatch([]string{session}, []governor.Observation{obs}, out[:]); err != nil {
+	if err := decideBatch(c, []string{session}, []governor.Observation{obs}, out[:], 0); err != nil {
 		return Decision{}, err
 	}
 	return out[0], nil
@@ -160,26 +179,78 @@ func (c *Client) DecideBatch(sessions []string, obs []governor.Observation, out 
 	if len(sessions) == 0 {
 		return nil
 	}
-	return c.decideBatch(sessions, obs, out)
+	return decideBatch(c, sessions, obs, out, 0)
 }
 
-func (c *Client) decideBatch(sessions []string, obs []governor.Observation, out []Decision) error {
+// DecideBatchBytes is DecideBatch for callers that already hold session
+// ids as bytes — a router regrouping decoded frames by ring owner skips
+// one string conversion per decision on its hot path.
+func (c *Client) DecideBatchBytes(sessions [][]byte, obs []governor.Observation, out []Decision) error {
+	if len(sessions) != len(obs) || len(sessions) != len(out) {
+		return fmt.Errorf("client: mismatched batch slices (%d sessions, %d observations, %d outputs)",
+			len(sessions), len(obs), len(out))
+	}
+	if len(sessions) == 0 {
+		return nil
+	}
+	return decideBatch(c, sessions, obs, out, 0)
+}
+
+// ForwardBatch relays observes that arrived at the wrong replica to the
+// ring owner on behalf of a stale direct client. Each frame carries
+// wire.FlagForwarded, so the receiver answers locally even if its own
+// table disagrees — bounding transient membership disagreement to one
+// extra hop instead of a forwarding loop.
+func (c *Client) ForwardBatch(sessions [][]byte, obs []governor.Observation, out []Decision) error {
+	if len(sessions) != len(obs) || len(sessions) != len(out) {
+		return fmt.Errorf("client: mismatched batch slices (%d sessions, %d observations, %d outputs)",
+			len(sessions), len(obs), len(out))
+	}
+	if len(sessions) == 0 {
+		return nil
+	}
+	return decideBatch(c, sessions, obs, out, wire.FlagForwarded)
+}
+
+// LastMemberEpoch returns the highest membership epoch observed in any
+// decide reply on this connection — 0 until a fleet replica has
+// answered. A Fleet compares it against its own table's epoch to detect
+// a ring change from the data plane alone.
+func (c *Client) LastMemberEpoch() uint32 { return c.lastEpoch.Load() }
+
+func decideBatch[S string | []byte](c *Client, sessions []S, obs []governor.Observation, out []Decision, flags byte) error {
 	n := len(sessions)
 	if n > MaxBatch {
 		return fmt.Errorf("client: batch of %d exceeds the %d-request limit", n, MaxBatch)
 	}
-	bc := &batchCall{out: out, remaining: n, done: make(chan struct{})}
+	bc := &batchCall{
+		out:       out,
+		answered:  make([]uint64, (n+63)/64),
+		remaining: n,
+		done:      make(chan struct{}),
+	}
 
 	// Reserve a batch handle and publish the routing entry before any
-	// frame can be answered. Handles wrap after 2^20 batches; by then the
-	// old holder is long gone.
+	// frame can be answered. Handles wrap after 2^20 batches; a handle
+	// whose previous holder is still waiting (a slow batch outliving 2^20
+	// successors) is skipped — overwriting it would strand that waiter
+	// until timeout and misroute its replies into this batch.
+	const handleMask = 1<<(32-indexBits) - 1
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
 		return err
 	}
-	handle := c.nextBatch & (1<<(32-indexBits) - 1)
+	handle := c.nextBatch & handleMask
+	for c.pending[handle] != nil {
+		if len(c.pending) > handleMask {
+			c.mu.Unlock()
+			return fmt.Errorf("client: all %d batch handles in flight", handleMask+1)
+		}
+		c.nextBatch++
+		handle = c.nextBatch & handleMask
+	}
 	c.nextBatch++
 	c.pending[handle] = bc
 	c.mu.Unlock()
@@ -189,7 +260,7 @@ func (c *Client) decideBatch(sessions []string, obs []governor.Observation, out 
 	c.wmu.Lock()
 	var err error
 	for i := 0; i < n && err == nil; i++ {
-		c.enc, err = wire.AppendObserve(c.enc[:0], base|uint32(i), sessions[i], &obs[i])
+		c.enc, err = wire.AppendObserveFlags(c.enc[:0], base|uint32(i), flags, sessions[i], &obs[i])
 		if err == nil {
 			_, err = c.bw.Write(c.enc)
 		}
@@ -327,6 +398,13 @@ func (c *Client) Health() (int, []byte, error) {
 	return c.Control(wire.OpHealth, "", nil)
 }
 
+// Members fetches the server's membership table (a wire.Members JSON
+// document; epoch 0 with no members from a flat server outside any
+// fleet).
+func (c *Client) Members() (int, []byte, error) {
+	return c.Control(wire.OpMembers, "", nil)
+}
+
 func (c *Client) readLoop() {
 	defer close(c.readerDone)
 	r := wire.NewReader(c.conn)
@@ -344,23 +422,51 @@ func (c *Client) readLoop() {
 				c.fail(err)
 				return
 			}
+			// Track the server's membership epoch monotonically; replies
+			// may be routed to this point from frames decoded in any order.
+			for {
+				cur := c.lastEpoch.Load()
+				if m.MemberEpoch <= cur || c.lastEpoch.CompareAndSwap(cur, m.MemberEpoch) {
+					break
+				}
+			}
 			handle, idx := m.ID>>indexBits, int(m.ID&(MaxBatch-1))
 			c.mu.Lock()
 			bc := c.pending[handle]
-			if bc != nil && idx < len(bc.out) {
-				d := &bc.out[idx]
-				d.OPPIdx = int(m.OPPIdx)
-				d.FreqMHz = int(m.FreqMHz)
-				if len(m.Err) > 0 {
-					d.Err = string(m.Err)
-				} else {
-					d.Err = ""
-				}
-				bc.remaining--
-				if bc.remaining == 0 {
-					delete(c.pending, handle)
-					close(bc.done)
-				}
+			if bc == nil {
+				// A decide for a batch we never issued (or one already fully
+				// answered): the stream is inconsistent — request ids are
+				// ours, a correct server only ever echoes them back once.
+				c.mu.Unlock()
+				c.fail(fmt.Errorf("client: decide for unknown batch (id %#x)", m.ID))
+				return
+			}
+			if idx >= len(bc.out) {
+				c.mu.Unlock()
+				c.fail(fmt.Errorf("client: decide index %d beyond batch of %d (id %#x)", idx, len(bc.out), m.ID))
+				return
+			}
+			if bc.answered[idx/64]&(1<<(idx%64)) != 0 {
+				// Duplicate of an already-answered id: the first answer
+				// stands. Decrementing remaining again would close the batch
+				// early and return zero-valued decisions for entries never
+				// answered at all.
+				c.mu.Unlock()
+				continue
+			}
+			bc.answered[idx/64] |= 1 << (idx % 64)
+			d := &bc.out[idx]
+			d.OPPIdx = int(m.OPPIdx)
+			d.FreqMHz = int(m.FreqMHz)
+			if len(m.Err) > 0 {
+				d.Err = string(m.Err)
+			} else {
+				d.Err = ""
+			}
+			bc.remaining--
+			if bc.remaining == 0 {
+				delete(c.pending, handle)
+				close(bc.done)
 			}
 			c.mu.Unlock()
 		case wire.MsgControlReply:

@@ -1,0 +1,234 @@
+package client
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qgov/internal/governor"
+	"qgov/internal/wire"
+)
+
+// hostile is a scripted wire-protocol server: it accepts one
+// connection, decodes each observe frame, and hands it to the test's
+// script. The script answers through reply, which may be called from
+// any goroutine — this is how the tests model servers that duplicate,
+// misaddress, or reorder responses, which a correct client must
+// survive without ever returning a zero-valued Decision as if it were
+// real.
+type hostile struct {
+	t    *testing.T
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// newHostile starts the server; script runs on the reader goroutine
+// once per observe frame, in arrival order.
+func newHostile(t *testing.T, script func(h *hostile, seq int, id uint32)) *hostile {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	h := &hostile{t: t, addr: lis.Addr().String()}
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		h.mu.Lock()
+		h.conn = conn
+		h.mu.Unlock()
+		defer conn.Close()
+		r := wire.NewReader(conn)
+		var m wire.Observe
+		seq := 0
+		for {
+			typ, payload, err := r.Next()
+			if err != nil {
+				return
+			}
+			if typ != wire.MsgObserve {
+				continue
+			}
+			if err := m.Decode(payload); err != nil {
+				return
+			}
+			script(h, seq, m.ID)
+			seq++
+		}
+	}()
+	return h
+}
+
+// reply writes one decide frame; safe from any goroutine.
+func (h *hostile) reply(id uint32, oppIdx, freqMHz int32, errMsg string) {
+	buf, err := wire.AppendDecide(nil, id, 0, oppIdx, freqMHz, errMsg)
+	if err != nil {
+		h.t.Error(err)
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.conn != nil {
+		h.conn.Write(buf)
+	}
+}
+
+// TestDuplicateDecideDoesNotCloseBatchEarly is the regression test for
+// the silent zero-decision bug: a server that echoes one request id
+// twice used to decrement the batch's remaining count twice, closing
+// the batch before its last entry was answered — the caller got a
+// zero-valued Decision (OPP 0, no error) for a request the server
+// never answered, indistinguishable from a real lowest-OPP decision.
+// The duplicate must be dropped and the batch must wait for the real
+// third answer.
+func TestDuplicateDecideDoesNotCloseBatchEarly(t *testing.T) {
+	h := newHostile(t, func(h *hostile, seq int, id uint32) {
+		h.reply(id, int32(seq+1), int32(1000*(seq+1)), "")
+		if seq == 0 {
+			h.reply(id, 99, 9999, "") // duplicate of the first answer
+		}
+	})
+	c, err := Dial(h.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 5 * time.Second
+
+	sessions := []string{"a", "b", "c"}
+	obs := make([]governor.Observation, 3)
+	out := make([]Decision, 3)
+	if err := c.DecideBatch(sessions, obs, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []Decision{
+		{OPPIdx: 1, FreqMHz: 1000},
+		{OPPIdx: 2, FreqMHz: 2000},
+		{OPPIdx: 3, FreqMHz: 3000},
+	} {
+		if out[i] != want {
+			t.Errorf("out[%d] = %+v, want %+v (first answer must stand, batch must not close early)", i, out[i], want)
+		}
+	}
+}
+
+// TestStrayDecideFailsClient: a decide for a batch handle the client
+// never issued means the stream is corrupt — request ids are the
+// client's own, so a correct server can only echo them back. The old
+// code dropped the frame on the floor; now it must poison the client
+// so the caller sees a transport error instead of a silent hang until
+// timeout.
+func TestStrayDecideFailsClient(t *testing.T) {
+	h := newHostile(t, func(h *hostile, seq int, id uint32) {
+		h.reply(id^(5<<indexBits), 1, 1000, "") // wrong batch handle
+	})
+	c, err := Dial(h.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 5 * time.Second
+
+	_, err = c.Decide("a", governor.Observation{})
+	if err == nil {
+		t.Fatal("Decide succeeded against a stray response")
+	}
+	if !strings.Contains(err.Error(), "unknown batch") {
+		t.Fatalf("error %q does not name the unknown batch", err)
+	}
+	if c.Err() == nil {
+		t.Fatal("client not poisoned after an inconsistent stream")
+	}
+}
+
+// TestOutOfRangeIndexFailsClient: an in-batch index beyond the batch
+// length is the same corruption class — fail fast, not index out of
+// bounds or silent drop.
+func TestOutOfRangeIndexFailsClient(t *testing.T) {
+	h := newHostile(t, func(h *hostile, seq int, id uint32) {
+		h.reply(id|7, 1, 1000, "") // batch has 2 entries; index 7 is beyond it
+	})
+	c, err := Dial(h.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 5 * time.Second
+
+	sessions := []string{"a", "b"}
+	obs := make([]governor.Observation, 2)
+	out := make([]Decision, 2)
+	err = c.DecideBatch(sessions, obs, out)
+	if err == nil || !strings.Contains(err.Error(), "beyond batch") {
+		t.Fatalf("err = %v, want an index-beyond-batch failure", err)
+	}
+}
+
+// TestHandleWrapSkipsBusyHandle is the regression test for the batch
+// handle wraparound bug: after 2^20 DecideBatch calls the handle
+// counter wraps, and the old code overwrote whatever batch still held
+// that handle — stranding its waiter until timeout and misrouting its
+// replies into the new batch. A busy handle must be skipped.
+func TestHandleWrapSkipsBusyHandle(t *testing.T) {
+	firstID := make(chan uint32, 1)
+	release := make(chan struct{})
+	h := newHostile(t, func(h *hostile, seq int, id uint32) {
+		switch seq {
+		case 0:
+			// Hold the first batch open across the wrap.
+			firstID <- id
+			go func(id uint32) {
+				<-release
+				h.reply(id, 7, 700, "")
+			}(id)
+		default:
+			h.reply(id, 8, 800, "")
+		}
+	})
+	c, err := Dial(h.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 5 * time.Second
+
+	var wg sync.WaitGroup
+	var first Decision
+	var firstErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		first, firstErr = c.Decide("held", governor.Observation{})
+	}()
+	id0 := <-firstID // batch 0 is now in flight on handle 0
+
+	// Wrap the counter: the next batch lands on handle 0 again, which is
+	// busy, and must skip to handle 1 instead of overwriting.
+	setNextBatchHandle(c, 1<<(32-indexBits))
+	second, err := c.Decide("wrapped", governor.Observation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (second != Decision{OPPIdx: 8, FreqMHz: 800}) {
+		t.Fatalf("wrapped batch got %+v, want the second server answer", second)
+	}
+
+	close(release)
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatalf("held batch failed: %v (its handle was overwritten?)", firstErr)
+	}
+	if (first != Decision{OPPIdx: 7, FreqMHz: 700}) {
+		t.Fatalf("held batch got %+v, want its own answer", first)
+	}
+	if id0>>indexBits != 0 {
+		t.Fatalf("first batch used handle %d, want 0", id0>>indexBits)
+	}
+}

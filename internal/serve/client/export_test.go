@@ -1,0 +1,10 @@
+package client
+
+// setNextBatchHandle forces the next DecideBatch to try this handle
+// value first. The wraparound regression test uses it to land on a
+// still-busy handle without issuing 2^20 real batches.
+func setNextBatchHandle(c *Client, h uint32) {
+	c.mu.Lock()
+	c.nextBatch = h
+	c.mu.Unlock()
+}

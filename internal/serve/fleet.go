@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"qgov/internal/governor"
+	"qgov/internal/ring"
+	"qgov/internal/serve/client"
+	"qgov/internal/wire"
+)
+
+// This file is the replica's side of fleet membership. The router pushes
+// the membership table (a wire.Members document) to every replica via
+// OpMembers on each ring change; the replica installs it, stamps its
+// epoch into every decide reply, and — when a stale direct client sends
+// a decide for a session the ring places elsewhere — forwards the
+// request to the owner instead of failing it. Forwarded frames carry
+// wire.FlagForwarded and are never relayed a second time, so transient
+// disagreement between two replicas' tables costs one extra hop, not a
+// loop. A flat server outside any fleet has no table: epoch 0, no
+// forwarding, exactly the old behaviour.
+
+// fleetView is one installed membership table with the ring built from
+// it. Immutable once installed; installs swap the whole view.
+type fleetView struct {
+	table wire.Members
+	ring  *ring.Ring
+}
+
+// memberEpoch implements connBackend: the installed membership epoch,
+// stamped into every decide reply (0 outside any fleet).
+func (s *Server) memberEpoch() uint32 { return s.fleetEpoch.Load() }
+
+// membersTable answers an OpMembers fetch: the installed table, or a
+// zero-epoch empty table outside any fleet.
+func (s *Server) membersTable() wire.Members {
+	s.fleetMu.RLock()
+	defer s.fleetMu.RUnlock()
+	if s.fleet == nil {
+		return wire.Members{}
+	}
+	return s.fleet.table
+}
+
+// installMembers answers an OpMembers push: it installs the table if it
+// is newer than the current one and drops peer connections to members no
+// longer on the ring. Stale pushes (an older epoch racing a newer one)
+// are ignored; the reply body always carries the table now in force.
+func (s *Server) installMembers(msg wire.Members) (uint16, []byte) {
+	if msg.Epoch == 0 || len(msg.Members) == 0 {
+		return http.StatusBadRequest, errorBody(errf("members push needs a non-zero epoch and at least one member"))
+	}
+	self := false
+	for _, m := range msg.Members {
+		if m == msg.Self {
+			self = true
+			break
+		}
+	}
+	if !self {
+		return http.StatusBadRequest, errorBody(errf("self %q is not in the member list", msg.Self))
+	}
+
+	var stale []*client.Client
+	s.fleetMu.Lock()
+	if s.fleet != nil && msg.Epoch <= s.fleet.table.Epoch {
+		cur := s.fleet.table
+		s.fleetMu.Unlock()
+		return http.StatusOK, jsonBody(cur)
+	}
+	s.fleet = &fleetView{table: msg, ring: ring.New(msg.VNodes, msg.Members...)}
+	for addr, cl := range s.peers {
+		if !s.fleet.ring.Has(addr) {
+			delete(s.peers, addr)
+			stale = append(stale, cl)
+		}
+	}
+	s.fleetEpoch.Store(msg.Epoch)
+	s.fleetMu.Unlock()
+	for _, cl := range stale {
+		cl.Close()
+	}
+	s.logf("serve: installed membership epoch %d (%d members, self %s)", msg.Epoch, len(msg.Members), msg.Self)
+	return http.StatusOK, jsonBody(msg)
+}
+
+// peer returns the multiplexed connection to another replica, dialing on
+// first use. Peers are only ever other fleet members — the forwarding
+// targets.
+func (s *Server) peer(addr string) (*client.Client, error) {
+	s.fleetMu.RLock()
+	cl := s.peers[addr]
+	s.fleetMu.RUnlock()
+	if cl != nil {
+		return cl, nil
+	}
+	nc, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.fleetMu.Lock()
+	if s.peers == nil { // server closed under us
+		s.fleetMu.Unlock()
+		nc.Close()
+		return nil, errf("server is closed")
+	}
+	if cur := s.peers[addr]; cur != nil {
+		s.fleetMu.Unlock()
+		nc.Close()
+		return cur, nil
+	}
+	s.peers[addr] = nc
+	s.fleetMu.Unlock()
+	return nc, nil
+}
+
+// dropPeer forgets a peer connection after a transport error, so the
+// next forward redials instead of reusing a poisoned client.
+func (s *Server) dropPeer(addr string, cl *client.Client) {
+	s.fleetMu.Lock()
+	if s.peers[addr] == cl {
+		delete(s.peers, addr)
+	}
+	s.fleetMu.Unlock()
+	cl.Close()
+}
+
+// closePeers tears down every peer connection; part of Server.Close.
+func (s *Server) closePeers() {
+	s.fleetMu.Lock()
+	peers := s.peers
+	s.peers = nil
+	s.fleetMu.Unlock()
+	for _, cl := range peers {
+		cl.Close()
+	}
+}
+
+// forwardMisrouted is the second pass of the binary decide path: any
+// request whose session this replica does not hold, and whose ring owner
+// is another live member, is relayed there and answered with the owner's
+// decision. Only first-hop requests are relayed (FlagForwarded bounds
+// the relay depth at one), and without a fleet table the pass is a
+// no-op — the "unknown session" error from the first pass stands.
+func (s *Server) forwardMisrouted(batch []*observeReq) {
+	s.fleetMu.RLock()
+	fl := s.fleet
+	s.fleetMu.RUnlock()
+	if fl == nil {
+		return
+	}
+	var groups map[string][]*observeReq
+	for _, r := range batch {
+		if !r.unknown || r.m.Flags&wire.FlagForwarded != 0 {
+			continue
+		}
+		owner, ok := fl.ring.OwnerBytes(r.m.Session)
+		if !ok || owner == fl.table.Self {
+			continue
+		}
+		if groups == nil {
+			groups = make(map[string][]*observeReq)
+		}
+		groups[owner] = append(groups[owner], r)
+	}
+	if groups == nil {
+		return
+	}
+	var wg sync.WaitGroup
+	for owner, reqs := range groups {
+		wg.Add(1)
+		go func(owner string, reqs []*observeReq) {
+			defer wg.Done()
+			s.forwardTo(owner, reqs)
+		}(owner, reqs)
+	}
+	wg.Wait()
+}
+
+// forwardTo relays one owner's worth of misrouted requests and copies
+// the owner's decisions back into them. A transport failure fails only
+// these requests (per-entry errors, like any batch) and drops the peer
+// connection so the next batch redials.
+func (s *Server) forwardTo(owner string, reqs []*observeReq) {
+	fail := func(err error) {
+		for _, r := range reqs {
+			r.oppIdx, r.freqMHz = -1, 0
+			r.errMsg = fmt.Sprintf("forwarding to owner %s: %v", owner, err)
+		}
+	}
+	cl, err := s.peer(owner)
+	if err != nil {
+		fail(err)
+		return
+	}
+	sessions := make([][]byte, len(reqs))
+	obs := make([]governor.Observation, len(reqs))
+	out := make([]client.Decision, len(reqs))
+	for i, r := range reqs {
+		sessions[i] = r.m.Session
+		obs[i] = r.m.Obs
+	}
+	if err := cl.ForwardBatch(sessions, obs, out); err != nil {
+		s.dropPeer(owner, cl)
+		fail(err)
+		return
+	}
+	for i, r := range reqs {
+		r.oppIdx = int32(out[i].OPPIdx)
+		r.freqMHz = int32(out[i].FreqMHz)
+		r.errMsg = out[i].Err
+	}
+	s.forwarded.Add(int64(len(reqs)))
+}

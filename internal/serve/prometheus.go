@@ -52,6 +52,16 @@ func writePrometheus(w io.Writer, m metricsJSON) {
 	fmt.Fprintf(w, "# HELP rtmd_sessions Live sessions.\n")
 	fmt.Fprintf(w, "# TYPE rtmd_sessions gauge\n")
 	fmt.Fprintf(w, "rtmd_sessions %d\n", len(m.Sessions))
+	fmt.Fprintf(w, "# HELP rtmd_replicas_degraded Fleet members the last aggregation could not reach (always 0 on a flat server).\n")
+	fmt.Fprintf(w, "# TYPE rtmd_replicas_degraded gauge\n")
+	fmt.Fprintf(w, "rtmd_replicas_degraded %d\n", len(m.DegradedReplicas))
+	if len(m.DegradedReplicas) > 0 {
+		fmt.Fprintf(w, "# HELP rtmd_replica_degraded Set to 1 for each member missing from the fleet aggregate.\n")
+		fmt.Fprintf(w, "# TYPE rtmd_replica_degraded gauge\n")
+		for _, r := range m.DegradedReplicas {
+			fmt.Fprintf(w, "rtmd_replica_degraded{replica=%q} 1\n", r)
+		}
+	}
 
 	ids := make([]string, 0, len(m.Sessions))
 	for id := range m.Sessions {

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"qgov/internal/governor"
 	"qgov/internal/ring"
@@ -36,29 +37,65 @@ import (
 // RemoveReplica drains a member: its sessions hand off to their new
 // owners by checkpoint/restore (freeze on the leaving replica, re-create
 // warm from that state on the ring's new placement), so learnt policies
-// survive resharding. Adding replicas to a live router (the other half
-// of live resharding) is future work; membership otherwise fixes at
-// construction.
+// survive resharding. AddReplica is the inverse: the grown ring steals
+// ≈1/N of the keys for the newcomer and only those sessions move.
+//
+// Every ring change bumps the membership epoch and pushes the new table
+// (a wire.Members document) to every replica, so replicas can forward
+// decides that a stale direct client (client.Fleet) sent to the wrong
+// member. A background prober keeps membership honest at runtime: it
+// health-checks every member, redials dropped connections (a replica
+// restart no longer poisons its client forever), re-pushes the table to
+// replicas that restarted, and feeds per-member up/down status into
+// /healthz and the members table.
 type Router struct {
 	opt RouterOptions
 
 	// mu guards membership: the ring and the client set. Decide and
-	// control traffic holds it for read; RemoveReplica holds it for
+	// control traffic holds it for read; Add/RemoveReplica hold it for
 	// write across the whole hand-off, so no decision can land on a
 	// session mid-move.
 	mu      sync.RWMutex
 	ring    *ring.Ring
 	clients map[string]*client.Client
 
+	// epoch is the membership generation, bumped on every ring change
+	// and stamped into every decide reply the fleet sends.
+	epoch atomic.Uint32
+
+	// stmu guards status: the prober's per-member up/down view. Separate
+	// from mu so health reporting never contends with the decide path.
+	stmu   sync.Mutex
+	status map[string]memberStatus
+
 	nextID    atomic.Int64
 	decisions atomic.Int64
+
+	done      chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
 }
+
+// memberStatus is the prober's last verdict on one member.
+type memberStatus struct {
+	up  bool
+	err string
+}
+
+// defaultProbeEvery is the replica health-check cadence when
+// RouterOptions.ProbeEvery is zero.
+const defaultProbeEvery = 2 * time.Second
 
 // RouterOptions configures a Router.
 type RouterOptions struct {
 	// VirtualNodes is the ring's virtual-node count per replica; <= 0
 	// selects ring.DefaultVirtualNodes.
 	VirtualNodes int
+	// ProbeEvery is the replica health-check cadence: every interval the
+	// router probes each member, redials the unreachable ones, and marks
+	// them up/down for /healthz and the members table. Zero selects
+	// defaultProbeEvery; negative disables probing.
+	ProbeEvery time.Duration
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -74,6 +111,8 @@ func NewRouter(replicas []string, opt RouterOptions) (*Router, error) {
 		opt:     opt,
 		ring:    ring.New(opt.VirtualNodes),
 		clients: make(map[string]*client.Client, len(replicas)),
+		status:  make(map[string]memberStatus, len(replicas)),
+		done:    make(chan struct{}),
 	}
 	for _, addr := range replicas {
 		if _, dup := rt.clients[addr]; dup {
@@ -86,9 +125,28 @@ func NewRouter(replicas []string, opt RouterOptions) (*Router, error) {
 		}
 		rt.clients[addr] = cl
 		rt.ring.Add(addr)
+		rt.status[addr] = memberStatus{up: true}
+	}
+	rt.epoch.Store(1)
+	rt.pushMembershipLocked()
+	every := opt.ProbeEvery
+	if every == 0 {
+		every = defaultProbeEvery
+	}
+	if every > 0 {
+		rt.probeWG.Add(1)
+		go rt.probeLoop(every)
 	}
 	return rt, nil
 }
+
+// memberEpoch implements connBackend: routed decide replies carry the
+// fleet epoch, exactly as replies straight off a replica do.
+func (rt *Router) memberEpoch() uint32 { return rt.epoch.Load() }
+
+// Epoch returns the current membership epoch (bumped on every ring
+// change).
+func (rt *Router) Epoch() uint32 { return rt.epoch.Load() }
 
 func (rt *Router) logf(format string, args ...any) {
 	if rt.opt.Logf != nil {
@@ -96,8 +154,10 @@ func (rt *Router) logf(format string, args ...any) {
 	}
 }
 
-// Close drops every replica connection.
+// Close stops the prober and drops every replica connection. Idempotent.
 func (rt *Router) Close() error {
+	rt.closeOnce.Do(func() { close(rt.done) })
+	rt.probeWG.Wait()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	var firstErr error
@@ -125,6 +185,147 @@ func (rt *Router) Owner(id string) (string, bool) {
 	return rt.ring.Owner(id)
 }
 
+// setStatus records the prober's verdict on one member.
+func (rt *Router) setStatus(addr string, up bool, errMsg string) {
+	rt.stmu.Lock()
+	rt.status[addr] = memberStatus{up: up, err: errMsg}
+	rt.stmu.Unlock()
+}
+
+func (rt *Router) clearStatus(addr string) {
+	rt.stmu.Lock()
+	delete(rt.status, addr)
+	rt.stmu.Unlock()
+}
+
+// downMembers returns the members the prober currently reports
+// unreachable, sorted.
+func (rt *Router) downMembers() []string {
+	rt.stmu.Lock()
+	defer rt.stmu.Unlock()
+	var down []string
+	for addr, st := range rt.status {
+		if !st.up {
+			down = append(down, addr)
+		}
+	}
+	sort.Strings(down)
+	return down
+}
+
+// membersInfo answers an OpMembers fetch (and GET /v1/members): the
+// current table plus the prober's down list, so a direct client routes
+// keys owned by a dead member via the router instead of dialing it.
+func (rt *Router) membersInfo() wire.Members {
+	rt.mu.RLock()
+	m := wire.Members{
+		Epoch:   rt.epoch.Load(),
+		VNodes:  rt.ring.VirtualNodes(),
+		Members: rt.ring.Members(),
+	}
+	rt.mu.RUnlock()
+	m.Down = rt.downMembers()
+	return m
+}
+
+// pushMembershipLocked pushes the current table to every connected
+// member. Callers hold the write lock (or own the router exclusively,
+// as NewRouter does). Push failures are logged, not fatal: the prober
+// re-pushes as soon as the replica answers health checks again — a
+// replica with a stale table still serves its own sessions correctly,
+// it just cannot forward for others until the re-push lands.
+func (rt *Router) pushMembershipLocked() {
+	epoch := rt.epoch.Load()
+	members := rt.ring.Members()
+	vnodes := rt.ring.VirtualNodes()
+	for _, addr := range members {
+		if cl := rt.clients[addr]; cl != nil {
+			rt.pushTable(addr, cl, epoch, vnodes, members)
+		}
+	}
+}
+
+// pushTable installs the membership table on one replica via OpMembers.
+func (rt *Router) pushTable(addr string, cl *client.Client, epoch uint32, vnodes int, members []string) {
+	body := jsonBody(wire.Members{Epoch: epoch, VNodes: vnodes, Members: members, Self: addr})
+	if status, resp, err := cl.Control(wire.OpMembers, "", body); err != nil || status != http.StatusOK {
+		rt.logf("serve: router: pushing membership epoch %d to %s: status %d err %v (%s)", epoch, addr, status, err, resp)
+	}
+}
+
+// probeLoop health-checks the fleet every interval until Close.
+func (rt *Router) probeLoop(every time.Duration) {
+	defer rt.probeWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.done:
+			return
+		case <-t.C:
+			rt.probeOnce()
+		}
+	}
+}
+
+// probeOnce probes every member. A member whose client answers health
+// is up (and gets a table re-push if its installed epoch is stale — a
+// restarted replica comes back with epoch 0). A member whose client is
+// poisoned or gone is redialed: on success the fresh connection replaces
+// the dead one, so a replica restart heals without a router restart; on
+// failure the member is marked down for /healthz and the members table.
+func (rt *Router) probeOnce() {
+	rt.mu.RLock()
+	members := rt.ring.Members()
+	vnodes := rt.ring.VirtualNodes()
+	clients := make([]*client.Client, len(members))
+	for i, m := range members {
+		clients[i] = rt.clients[m]
+	}
+	rt.mu.RUnlock()
+	epoch := rt.epoch.Load()
+
+	for i, addr := range members {
+		if cl := clients[i]; cl != nil {
+			if st, body, err := cl.Health(); err == nil && st == http.StatusOK {
+				var h healthJSON
+				_ = json.Unmarshal(body, &h)
+				if h.MemberEpoch != epoch {
+					rt.pushTable(addr, cl, epoch, vnodes, members)
+				}
+				rt.setStatus(addr, true, "")
+				continue
+			}
+			// Poisoned or unresponsive: fall through to a redial.
+		}
+		nc, err := client.Dial(addr)
+		if err != nil {
+			rt.setStatus(addr, false, err.Error())
+			continue
+		}
+		if st, _, err := nc.Health(); err != nil || st != http.StatusOK {
+			nc.Close()
+			rt.setStatus(addr, false, fmt.Sprintf("health status %d err %v", st, err))
+			continue
+		}
+		rt.pushTable(addr, nc, epoch, vnodes, members)
+		rt.mu.Lock()
+		if !rt.ring.Has(addr) { // removed while we were redialing
+			rt.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		old := rt.clients[addr]
+		rt.clients[addr] = nc
+		rt.mu.Unlock()
+		if old != nil {
+			old.Close()
+		}
+		rt.setStatus(addr, true, "")
+		rt.logf("serve: router: reconnected to replica %s", addr)
+	}
+}
+
 // decideBatch implements connBackend: requests group by owning replica
 // and fan out in parallel, one DecideBatch (one flush, one coalesced
 // server-side fan-out) per replica. Entries for unreachable replicas
@@ -135,7 +336,7 @@ func (rt *Router) decideBatch(batch []*observeReq) {
 
 	type group struct {
 		idx      []int
-		sessions []string
+		sessions [][]byte
 		obs      []governor.Observation
 	}
 	groups := make(map[string]*group)
@@ -155,7 +356,10 @@ func (rt *Router) decideBatch(batch []*observeReq) {
 			groups[owner] = g
 		}
 		g.idx = append(g.idx, i)
-		g.sessions = append(g.sessions, string(r.m.Session))
+		// The session bytes stay owned by their pooled request until the
+		// whole batch is answered, so the group can alias them — skipping
+		// a string conversion per decision on the routed hot path.
+		g.sessions = append(g.sessions, r.m.Session)
 		g.obs = append(g.obs, r.m.Obs)
 	}
 
@@ -165,7 +369,7 @@ func (rt *Router) decideBatch(batch []*observeReq) {
 		go func(owner string, g *group) {
 			defer wg.Done()
 			out := make([]client.Decision, len(g.sessions))
-			err := rt.clients[owner].DecideBatch(g.sessions, g.obs, out)
+			err := rt.clients[owner].DecideBatchBytes(g.sessions, g.obs, out)
 			for k, i := range g.idx {
 				r := batch[i]
 				if err != nil {
@@ -195,6 +399,11 @@ func (rt *Router) control(op byte, session string, body []byte) (uint16, []byte)
 		return rt.aggregateList()
 	case wire.OpHealth:
 		return rt.aggregateHealth()
+	case wire.OpMembers:
+		if len(body) > 0 {
+			return http.StatusBadRequest, errorBody(errf("the router is the membership authority; pushes go router→replica"))
+		}
+		return http.StatusOK, jsonBody(rt.membersInfo())
 	case wire.OpCreate:
 		id := session
 		if id == "" {
@@ -252,42 +461,46 @@ func (rt *Router) forward(op byte, session string, body []byte) (uint16, []byte)
 	return uint16(status), resp
 }
 
-// eachReplica runs f per replica in parallel, collecting results in
-// member order. The read lock is held across the fan-out so the member
-// set cannot shrink under it.
-func (rt *Router) eachReplica(f func(addr string, cl *client.Client) ([]byte, error)) ([][]byte, []string, error) {
+// eachReplica runs f per replica in parallel, collecting per-replica
+// results in member order. A failing replica fails only its own slot —
+// each caller decides whether a partial fleet answer degrades (name the
+// gap, aggregate the rest) or fails outright (zero replicas answered).
+// The read lock is held across the fan-out so the member set cannot
+// shrink under it.
+func (rt *Router) eachReplica(f func(addr string, cl *client.Client) ([]byte, error)) (bodies [][]byte, members []string, errs []error) {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
-	members := rt.ring.Members()
+	members = rt.ring.Members()
 	clients := make([]*client.Client, len(members))
 	for i, m := range members {
 		clients[i] = rt.clients[m]
 	}
 
-	bodies := make([][]byte, len(members))
-	errs := make([]error, len(members))
+	bodies = make([][]byte, len(members))
+	errs = make([]error, len(members))
 	var wg sync.WaitGroup
 	for i := range members {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if clients[i] == nil {
+				errs[i] = errf("no connection")
+				return
+			}
 			bodies[i], errs[i] = f(members[i], clients[i])
 		}(i)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, nil, fmt.Errorf("replica %s: %w", members[i], err)
-		}
-	}
-	return bodies, members, nil
+	return bodies, members, errs
 }
 
-// mergedMetrics merges every replica's /v1/metrics document: session
-// entries union (ids are globally unique — the ring sends each to one
-// replica) and decision counters sum.
+// mergedMetrics merges the reachable replicas' /v1/metrics documents:
+// session entries union (ids are globally unique — the ring sends each
+// to one replica), decision counters sum, and unreachable members are
+// named in DegradedReplicas rather than failing the whole aggregate.
+// The error is non-nil only when zero replicas answered.
 func (rt *Router) mergedMetrics() (metricsJSON, error) {
-	bodies, _, err := rt.eachReplica(func(addr string, cl *client.Client) ([]byte, error) {
+	bodies, members, errs := rt.eachReplica(func(addr string, cl *client.Client) ([]byte, error) {
 		status, body, err := cl.Metrics()
 		if err != nil {
 			return nil, err
@@ -297,24 +510,41 @@ func (rt *Router) mergedMetrics() (metricsJSON, error) {
 		}
 		return body, nil
 	})
-	if err != nil {
-		return metricsJSON{}, err
-	}
 	merged := metricsJSON{Sessions: make(map[string]sessionMetricsJSON)}
-	for _, body := range bodies {
-		var m metricsJSON
-		if err := json.Unmarshal(body, &m); err != nil {
-			return metricsJSON{}, fmt.Errorf("decoding replica metrics: %w", err)
+	var firstErr error
+	answered := 0
+	for i := range members {
+		err := errs[i]
+		if err == nil {
+			var m metricsJSON
+			if derr := json.Unmarshal(bodies[i], &m); derr != nil {
+				err = fmt.Errorf("decoding replica metrics: %w", derr)
+			} else {
+				answered++
+				merged.Decisions += m.Decisions
+				for id, sm := range m.Sessions {
+					merged.Sessions[id] = sm
+				}
+				continue
+			}
 		}
-		merged.Decisions += m.Decisions
-		for id, sm := range m.Sessions {
-			merged.Sessions[id] = sm
+		merged.DegradedReplicas = append(merged.DegradedReplicas, members[i])
+		if firstErr == nil {
+			firstErr = fmt.Errorf("replica %s: %w", members[i], err)
 		}
+	}
+	if answered == 0 {
+		if firstErr == nil {
+			firstErr = errf("router has no replicas")
+		}
+		return metricsJSON{}, firstErr
 	}
 	return merged, nil
 }
 
-// aggregateMetrics is mergedMetrics in control-plane clothing.
+// aggregateMetrics is mergedMetrics in control-plane clothing: a partial
+// answer is still 200 (scrapers keep their time series through a replica
+// outage) with the gap named in degraded_replicas.
 func (rt *Router) aggregateMetrics() (uint16, []byte) {
 	merged, err := rt.mergedMetrics()
 	if err != nil {
@@ -323,9 +553,12 @@ func (rt *Router) aggregateMetrics() (uint16, []byte) {
 	return http.StatusOK, jsonBody(merged)
 }
 
-// aggregateList concatenates every replica's session list, sorted by id.
+// aggregateList concatenates the reachable replicas' session lists,
+// sorted by id. A partial answer is 206 — callers that must see every
+// session (a drain) treat that as failure; observability callers keep
+// the majority view. Zero answers is 502.
 func (rt *Router) aggregateList() (uint16, []byte) {
-	bodies, _, err := rt.eachReplica(func(addr string, cl *client.Client) ([]byte, error) {
+	bodies, members, errs := rt.eachReplica(func(addr string, cl *client.Client) ([]byte, error) {
 		status, body, err := cl.ListSessions()
 		if err != nil {
 			return nil, err
@@ -335,18 +568,35 @@ func (rt *Router) aggregateList() (uint16, []byte) {
 		}
 		return body, nil
 	})
-	if err != nil {
-		return http.StatusBadGateway, errorBody(err)
-	}
 	var all []sessionInfo
-	for _, body := range bodies {
-		var infos []sessionInfo
-		if err := json.Unmarshal(body, &infos); err != nil {
-			return http.StatusBadGateway, errorBody(fmt.Errorf("decoding replica list: %w", err))
+	var firstErr error
+	answered := 0
+	for i := range members {
+		err := errs[i]
+		if err == nil {
+			var infos []sessionInfo
+			if derr := json.Unmarshal(bodies[i], &infos); derr != nil {
+				err = fmt.Errorf("decoding replica list: %w", derr)
+			} else {
+				answered++
+				all = append(all, infos...)
+				continue
+			}
 		}
-		all = append(all, infos...)
+		if firstErr == nil {
+			firstErr = fmt.Errorf("replica %s: %w", members[i], err)
+		}
+	}
+	if answered == 0 {
+		if firstErr == nil {
+			firstErr = errf("router has no replicas")
+		}
+		return http.StatusBadGateway, errorBody(firstErr)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	if answered < len(members) {
+		return http.StatusPartialContent, jsonBody(all)
+	}
 	return http.StatusOK, jsonBody(all)
 }
 
@@ -402,9 +652,94 @@ func (rt *Router) RemoveReplica(addr string) ([]string, error) {
 	}
 
 	delete(rt.clients, addr)
+	rt.clearStatus(addr)
 	closeErr := leaving.Close()
-	rt.logf("serve: router: drained %s (%d sessions moved)", addr, len(moved))
+	epoch := rt.epoch.Add(1)
+	rt.pushMembershipLocked()
+	rt.logf("serve: router: drained %s (%d sessions moved, epoch %d)", addr, len(moved), epoch)
 	return moved, closeErr
+}
+
+// AddReplica joins a new member to a live fleet — the inverse of
+// RemoveReplica. The grown ring steals ≈1/N of the keys for the
+// newcomer; exactly the sessions whose owner changed move there by the
+// same checkpoint/restore hand-off a drain uses, under the write lock,
+// so no decide observes a session mid-move. The join is
+// abort-on-failure: a failed move puts already-moved sessions back,
+// restores the ring, and leaves the fleet exactly as it was. On success
+// the membership epoch bumps and the new table is pushed fleet-wide; it
+// returns the moved session ids.
+func (rt *Router) AddReplica(addr string) ([]string, error) {
+	cl, err := client.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dialing replica %s: %w", addr, err)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.ring.Has(addr) {
+		cl.Close()
+		return nil, fmt.Errorf("serve: %s is already a replica", addr)
+	}
+
+	// Enumerate every member's sessions before growing the ring; the
+	// grown ring then tells us which of them the newcomer owns.
+	type source struct {
+		addr string
+		cl   *client.Client
+		info sessionInfo
+	}
+	var candidates []source
+	for _, m := range rt.ring.Members() {
+		mc := rt.clients[m]
+		if mc == nil {
+			cl.Close()
+			return nil, fmt.Errorf("serve: no connection to %s", m)
+		}
+		status, body, err := mc.ListSessions()
+		if err != nil || status != http.StatusOK {
+			cl.Close()
+			return nil, fmt.Errorf("serve: listing sessions on %s: status %d err %v", m, status, err)
+		}
+		var infos []sessionInfo
+		if err := json.Unmarshal(body, &infos); err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("serve: decoding session list from %s: %w", m, err)
+		}
+		for _, info := range infos {
+			candidates = append(candidates, source{addr: m, cl: mc, info: info})
+		}
+	}
+
+	rt.ring.Add(addr)
+	var moved []source
+	for _, c := range candidates {
+		if owner, _ := rt.ring.Owner(c.info.ID); owner != addr {
+			continue
+		}
+		if err := rt.moveSession(c.cl, c.addr, cl, addr, c.info); err != nil {
+			rt.logf("serve: router: moving %s onto %s failed, aborting join: %v", c.info.ID, addr, err)
+			for _, m := range moved {
+				if uerr := rt.moveSession(cl, addr, m.cl, m.addr, m.info); uerr != nil {
+					rt.logf("serve: router: undo of %s back to %s failed: %v", m.info.ID, m.addr, uerr)
+				}
+			}
+			rt.ring.Remove(addr)
+			cl.Close()
+			return nil, fmt.Errorf("serve: joining %s: moving %s: %w", addr, c.info.ID, err)
+		}
+		moved = append(moved, c)
+	}
+
+	rt.clients[addr] = cl
+	rt.setStatus(addr, true, "")
+	epoch := rt.epoch.Add(1)
+	rt.pushMembershipLocked()
+	rt.logf("serve: router: added %s (%d sessions moved, epoch %d)", addr, len(moved), epoch)
+	ids := make([]string, len(moved))
+	for i, m := range moved {
+		ids[i] = m.info.ID
+	}
+	return ids, nil
 }
 
 // undoDrain moves already-moved sessions back onto the replica whose
@@ -551,6 +886,9 @@ func (rt *Router) Handler() http.Handler {
 		writeControlResult(w, status, body)
 	})
 	mux.HandleFunc("GET /healthz", rt.handleRouteHealth)
+	mux.HandleFunc("GET /v1/members", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, rt.membersInfo())
+	})
 	return mux
 }
 
@@ -615,11 +953,23 @@ func (rt *Router) handleRouteDecide(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// aggregateHealth sums fleet liveness: one O(1) health op per replica
-// — a probe never enumerates sessions. Both control planes serve it
-// (GET /healthz and binary OpHealth return the same body).
+// memberHealthJSON is one member's slot in the fleet health document.
+type memberHealthJSON struct {
+	Up        bool   `json:"up"`
+	Sessions  int    `json:"sessions"`
+	Decisions int64  `json:"decisions"`
+	Error     string `json:"error,omitempty"`
+}
+
+// aggregateHealth sums fleet liveness: one O(1) health op per replica —
+// a probe never enumerates sessions. Both control planes serve it (GET
+// /healthz and binary OpHealth return the same body). One dead replica
+// degrades the answer instead of failing it: status "degraded", the
+// failed members named, per-member detail under "members", counters
+// aggregated over the reachable majority. Only zero reachable replicas
+// is non-200 (503 "down").
 func (rt *Router) aggregateHealth() (uint16, []byte) {
-	bodies, members, err := rt.eachReplica(func(addr string, cl *client.Client) ([]byte, error) {
+	bodies, members, errs := rt.eachReplica(func(addr string, cl *client.Client) ([]byte, error) {
 		status, body, err := cl.Health()
 		if err != nil {
 			return nil, err
@@ -629,26 +979,50 @@ func (rt *Router) aggregateHealth() (uint16, []byte) {
 		}
 		return body, nil
 	})
-	if err != nil {
-		return http.StatusBadGateway, errorBody(err)
-	}
 	var sessions int
 	var decisions int64
-	for i, body := range bodies {
-		var h healthJSON
-		if err := json.Unmarshal(body, &h); err != nil {
-			return http.StatusBadGateway, errorBody(fmt.Errorf("decoding health from %s: %w", members[i], err))
+	var degraded []string
+	detail := make(map[string]memberHealthJSON, len(members))
+	up := 0
+	for i := range members {
+		err := errs[i]
+		if err == nil {
+			var h healthJSON
+			if derr := json.Unmarshal(bodies[i], &h); derr != nil {
+				err = fmt.Errorf("decoding health: %w", derr)
+			} else {
+				up++
+				sessions += h.Sessions
+				decisions += h.Decisions
+				detail[members[i]] = memberHealthJSON{Up: true, Sessions: h.Sessions, Decisions: h.Decisions}
+				continue
+			}
 		}
-		sessions += h.Sessions
-		decisions += h.Decisions
+		degraded = append(degraded, members[i])
+		detail[members[i]] = memberHealthJSON{Up: false, Error: err.Error()}
 	}
-	return http.StatusOK, jsonBody(map[string]any{
-		"status":           "ok",
+	sort.Strings(degraded)
+	status, code := "ok", http.StatusOK
+	switch {
+	case up == 0:
+		status, code = "down", http.StatusServiceUnavailable
+	case len(degraded) > 0:
+		status = "degraded"
+	}
+	body := map[string]any{
+		"status":           status,
 		"sessions":         sessions,
 		"replicas":         len(members),
+		"replicas_up":      up,
+		"epoch":            rt.epoch.Load(),
 		"decisions":        decisions, // fleet total, direct traffic included
 		"routed_decisions": rt.decisions.Load(),
-	})
+		"members":          detail,
+	}
+	if len(degraded) > 0 {
+		body["degraded"] = degraded
+	}
+	return uint16(code), jsonBody(body)
 }
 
 func (rt *Router) handleRouteHealth(w http.ResponseWriter, _ *http.Request) {

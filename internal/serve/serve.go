@@ -55,6 +55,7 @@ import (
 	"qgov/internal/platform"
 	"qgov/internal/registry"
 	"qgov/internal/scenario"
+	"qgov/internal/serve/client"
 	"qgov/internal/sessionstore"
 	"qgov/internal/stats"
 	"qgov/internal/workload"
@@ -120,6 +121,16 @@ type Server struct {
 
 	nextID    atomic.Int64
 	decisions atomic.Int64
+	forwarded atomic.Int64 // decides relayed to their ring owner (fleet.go)
+
+	// Fleet membership (fleet.go): the table the router pushed, the ring
+	// built from it, and one peer client per forwarding target. fleetMu
+	// guards all three; fleetEpoch mirrors the installed epoch for the
+	// reply hot path.
+	fleetMu    sync.RWMutex
+	fleet      *fleetView
+	peers      map[string]*client.Client
+	fleetEpoch atomic.Uint32
 
 	done      chan struct{}
 	loopWG    sync.WaitGroup
@@ -177,6 +188,7 @@ func New(opt Options) *Server {
 		opt:      opt,
 		ckpt:     ckpt,
 		sessions: sessionstore.NewSharded[*session](opt.StoreShards),
+		peers:    make(map[string]*client.Client),
 		done:     make(chan struct{}),
 	}
 	if ckpt != nil {
@@ -207,6 +219,7 @@ func (s *Server) Close() error {
 		close(s.done)
 		s.loopWG.Wait()
 		s.closed.Store(true)
+		s.closePeers()
 		if s.ckpt != nil {
 			n, e := s.CheckpointAll()
 			s.logf("serve: final checkpoint: %d sessions", n)

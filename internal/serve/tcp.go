@@ -55,6 +55,10 @@ type TCPServer struct {
 type connBackend interface {
 	decideBatch(batch []*observeReq)
 	control(op byte, session string, body []byte) (status uint16, resp []byte)
+	// memberEpoch is the fleet membership epoch stamped into every decide
+	// reply (0 outside any fleet); direct clients compare it against
+	// their own table to detect ring changes from the data plane alone.
+	memberEpoch() uint32
 	logf(format string, args ...any)
 }
 
@@ -201,6 +205,9 @@ type observeReq struct {
 	oppIdx  int32
 	freqMHz int32
 	errMsg  string
+	// unknown marks a request whose session this server does not hold —
+	// the forwarding pass may still answer it via the ring owner.
+	unknown bool
 
 	ctrl       bool
 	cm         wire.Control
@@ -318,6 +325,7 @@ func (c *tcpConn) respond() {
 		}
 
 		writeErr := false
+		epoch := c.t.b.memberEpoch()
 		for _, r := range queue {
 			var err error
 			if r.ctrl {
@@ -337,7 +345,7 @@ func (c *tcpConn) respond() {
 				if len(r.errMsg) > maxWireErrLen {
 					r.errMsg = r.errMsg[:maxWireErrLen]
 				}
-				scratch, err = wire.AppendDecide(scratch[:0], r.m.ID, r.oppIdx, r.freqMHz, r.errMsg)
+				scratch, err = wire.AppendDecide(scratch[:0], r.m.ID, epoch, r.oppIdx, r.freqMHz, r.errMsg)
 			}
 			if err != nil {
 				writeErr = true // cannot answer → the connection must die
@@ -347,6 +355,7 @@ func (c *tcpConn) respond() {
 				}
 			}
 			r.errMsg = ""
+			r.unknown = false
 			observePool.Put(r)
 		}
 		if !writeErr {
@@ -366,16 +375,20 @@ func (c *tcpConn) respond() {
 
 // decideBatch implements connBackend for the Server: every request in
 // the batch is answered through the same session/fan-out machinery as
-// the HTTP path.
+// the HTTP path. Requests for sessions this replica does not hold are
+// then offered to the forwarding pass — with a fleet table installed,
+// the ring owner answers them on behalf of a stale direct client.
 func (s *Server) decideBatch(batch []*observeReq) {
 	fanOut(len(batch), func(i int) {
 		r := batch[i]
 		sess := s.sessionFor(r.m.Session)
 		if sess == nil {
+			r.unknown = true
 			r.oppIdx, r.freqMHz = -1, 0
 			r.errMsg = errUnknownSession(string(r.m.Session)).Error()
 			return
 		}
+		r.unknown = false
 		idx, err := sess.decide(r.m.Obs)
 		if err != nil {
 			r.oppIdx, r.freqMHz = -1, 0
@@ -386,4 +399,5 @@ func (s *Server) decideBatch(batch []*observeReq) {
 		r.freqMHz = int32(sess.table[idx].FreqMHz)
 		s.decisions.Add(1)
 	})
+	s.forwardMisrouted(batch)
 }

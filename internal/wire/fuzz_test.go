@@ -19,11 +19,27 @@ func frameSeeds(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	dec, err := wire.AppendDecide(nil, 2, 10, 1800, "boom")
+	dec, err := wire.AppendDecide(nil, 2, 5, 10, 1800, "boom")
 	if err != nil {
 		f.Fatal(err)
 	}
 	ctrl, err := wire.AppendControl(nil, 3, wire.OpCreate, "c0", []byte(`{"governor":"rtm","seed":1}`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	// A forwarded observe (replica → replica relay on behalf of a stale
+	// direct client) and the two shapes of OpMembers traffic: a fetch
+	// (empty body) and a push carrying the membership table.
+	fwd, err := wire.AppendObserveBytes(nil, 5, wire.FlagForwarded, []byte("c1"), &obs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	membersFetch, err := wire.AppendControl(nil, 6, wire.OpMembers, "", nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	membersPush, err := wire.AppendControl(nil, 7, wire.OpMembers, "",
+		[]byte(`{"epoch":3,"vnodes":128,"members":["127.0.0.1:7101","127.0.0.1:7102"],"self":"127.0.0.1:7101"}`))
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -43,6 +59,10 @@ func frameSeeds(f *testing.F) {
 	f.Add(ctrl)
 	f.Add(warm)
 	f.Add(reply)
+	f.Add(fwd)
+	f.Add(membersFetch)
+	f.Add(membersPush)
+	f.Add(append(bytes.Clone(fwd), membersPush...))
 	f.Add(ctrl[:len(ctrl)-5]) // control cut mid-body
 	lying := bytes.Clone(ctrl)
 	lying[len(lying)-len(`{"governor":"rtm","seed":1}`)-1] = 0xff // forge the body length
@@ -205,7 +225,7 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 
 		errMsg := session // reuse the fuzzed string as an error message
-		dframe, err := wire.AppendDecide(nil, id, opp, int32(epoch), errMsg)
+		dframe, err := wire.AppendDecide(nil, id, uint32(opp), opp, int32(epoch), errMsg)
 		if err != nil {
 			t.Fatalf("AppendDecide: %v", err)
 		}
@@ -217,7 +237,7 @@ func FuzzRoundTrip(f *testing.F) {
 		if err := dm.Decode(payload); err != nil {
 			t.Fatalf("decide payload: %v", err)
 		}
-		if dm.ID != id || dm.OPPIdx != opp || dm.FreqMHz != int32(epoch) || string(dm.Err) != errMsg {
+		if dm.ID != id || dm.MemberEpoch != uint32(opp) || dm.OPPIdx != opp || dm.FreqMHz != int32(epoch) || string(dm.Err) != errMsg {
 			t.Fatalf("decide mangled: %+v", dm)
 		}
 	})

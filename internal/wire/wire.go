@@ -24,8 +24,9 @@
 //
 // Two more types carry the control plane. MsgControl asks the server to
 // run one session-lifecycle operation (create, checkpoint, delete,
-// info, metrics, list, health — the Op* constants, mirroring the HTTP
-// API one endpoint for one op, with the same JSON bodies); MsgControlReply
+// info, metrics, list, health, members — the Op* constants, mirroring
+// the HTTP API one endpoint for one op, with the same JSON bodies,
+// except OpMembers whose body is the Members table); MsgControlReply
 // answers it with an HTTP status code and the JSON response. Control
 // frames are what let a routing tier drive a replica fleet entirely
 // over binary connections; they are rare (session lifetime, not
@@ -118,7 +119,47 @@ const (
 	// the replica, so a router can aggregate fleet liveness without
 	// enumerating sessions; the session field is ignored.
 	OpHealth byte = 0x07
+	// OpMembers carries the fleet membership table. With an empty body it
+	// is a fetch: the reply body is the Members document describing the
+	// current ring (routers answer with the fleet table; flat replicas
+	// answer with whatever table was last installed, epoch 0 when none).
+	// With a non-empty body it is a push: the router installs the table on
+	// a replica so the replica can recognise — and forward — decides for
+	// sessions the ring places elsewhere. The session field is ignored.
+	OpMembers byte = 0x08
 )
+
+// Observe flags.
+const (
+	// FlagForwarded marks an observe that one replica relayed to another
+	// on behalf of a stale direct client. A receiver never re-forwards a
+	// flagged observe, so transient membership disagreement between two
+	// replicas is bounded to one extra hop instead of a forwarding loop.
+	FlagForwarded byte = 0x01
+)
+
+// Members is the JSON body of OpMembers frames — the one membership
+// schema both sides of the protocol share. The router stamps Epoch on
+// every ring change (monotonically increasing, starting at 1); replicas
+// echo their installed epoch in every MsgDecide so a direct client can
+// detect a stale table from the data plane alone and refetch.
+type Members struct {
+	// Epoch is the membership generation; 0 means "no fleet table".
+	Epoch uint32 `json:"epoch"`
+	// VNodes is the ring's virtual-node count; clients must build their
+	// ring with the same value to compute the same placement.
+	VNodes int `json:"vnodes"`
+	// Members lists the replica addresses on the ring, as dialed by the
+	// router.
+	Members []string `json:"members"`
+	// Self, set only on pushes, is the receiving replica's own address as
+	// the fleet knows it — what the replica compares ring owners against.
+	Self string `json:"self,omitempty"`
+	// Down, set on fetch replies, lists members the router's prober
+	// currently reports unreachable; direct clients route their keys via
+	// the router instead of dialing them.
+	Down []string `json:"down,omitempty"`
+}
 
 // Codec errors. Reader and Decode wrap or return these; io errors from
 // the underlying stream pass through unwrapped.
@@ -136,7 +177,9 @@ var (
 // Decode reuses Session and Obs.Cycles/Obs.Util capacity, so a steady
 // stream of frames decodes without allocating.
 type Observe struct {
-	ID      uint32
+	ID uint32
+	// Flags carries per-request transport flags (FlagForwarded).
+	Flags   byte
 	Session []byte
 	Obs     governor.Observation
 }
@@ -144,11 +187,16 @@ type Observe struct {
 // Decide is the decoded MsgDecide payload. OPPIdx is -1 and Err non-empty
 // when the request failed (unknown session, rejected observation);
 // requests fail independently, exactly like entries of the JSON batch.
+// MemberEpoch echoes the answering server's installed membership epoch
+// (0 on a flat server with no fleet table); a direct client comparing it
+// against its own table's epoch learns from the data plane alone that
+// the ring changed and a refetch is due.
 type Decide struct {
-	ID      uint32
-	OPPIdx  int32
-	FreqMHz int32
-	Err     []byte
+	ID          uint32
+	MemberEpoch uint32
+	OPPIdx      int32
+	FreqMHz     int32
+	Err         []byte
 }
 
 // Control is the decoded MsgControl payload: one control-plane operation
@@ -200,6 +248,21 @@ func appendF64(dst []byte, v float64) []byte {
 // the extended slice. It fails only on protocol-bound violations (session
 // or vector too long), leaving dst's original contents intact.
 func AppendObserve(dst []byte, id uint32, session string, obs *governor.Observation) ([]byte, error) {
+	return AppendObserveFlags(dst, id, 0, session, obs)
+}
+
+// AppendObserveBytes is AppendObserve for callers that already hold the
+// session id as bytes (a router regrouping decoded frames, a replica
+// forwarding a misrouted decide) plus explicit flags — it skips the
+// []byte→string conversion the hot path would otherwise pay per request.
+func AppendObserveBytes(dst []byte, id uint32, flags byte, session []byte, obs *governor.Observation) ([]byte, error) {
+	return AppendObserveFlags(dst, id, flags, session, obs)
+}
+
+// AppendObserveFlags is the generic core of AppendObserve and
+// AppendObserveBytes: one encoder over both session representations, so
+// hot paths holding []byte session ids never convert to string.
+func AppendObserveFlags[S string | []byte](dst []byte, id uint32, flags byte, session S, obs *governor.Observation) ([]byte, error) {
 	if len(session) > MaxSession {
 		return dst, fmt.Errorf("%w: session id of %d bytes (max %d)", ErrTooLong, len(session), MaxSession)
 	}
@@ -210,6 +273,7 @@ func AppendObserve(dst []byte, id uint32, session string, obs *governor.Observat
 	out, lenAt := appendHeader(dst, MsgObserve)
 	start := len(out)
 	out = appendU32(out, id)
+	out = append(out, flags)
 	out = appendU64(out, uint64(int64(obs.Epoch)))
 	out = appendF64(out, obs.ExecTimeS)
 	out = appendF64(out, obs.PeriodS)
@@ -234,19 +298,22 @@ func AppendObserve(dst []byte, id uint32, session string, obs *governor.Observat
 	return out, nil
 }
 
-// AppendDecide appends one complete MsgDecide frame to dst.
-func AppendDecide(dst []byte, id uint32, oppIdx, freqMHz int32, errMsg string) ([]byte, error) {
+// AppendDecide appends one complete MsgDecide frame to dst. memberEpoch
+// is the answering server's installed membership epoch (0 when it has no
+// fleet table).
+func AppendDecide(dst []byte, id, memberEpoch uint32, oppIdx, freqMHz int32, errMsg string) ([]byte, error) {
 	if len(errMsg) > math.MaxUint16 {
 		return dst, fmt.Errorf("%w: error message of %d bytes", ErrTooLong, len(errMsg))
 	}
 	out, lenAt := appendHeader(dst, MsgDecide)
 	start := len(out)
 	out = appendU32(out, id)
+	out = appendU32(out, memberEpoch)
 	out = appendU32(out, uint32(oppIdx))
 	out = appendU32(out, uint32(freqMHz))
 	out = appendU16(out, uint16(len(errMsg)))
 	out = append(out, errMsg...)
-	// 14 fixed bytes + a ≤65535-byte error message cannot reach MaxPayload.
+	// 18 fixed bytes + a ≤65535-byte error message cannot reach MaxPayload.
 	binary.BigEndian.PutUint32(out[lenAt:], uint32(len(out)-start))
 	return out, nil
 }
@@ -360,6 +427,7 @@ func (m *Observe) Decode(payload []byte) error {
 	var opp uint32
 	var sessLen byte
 	ok := d.takeU32(&m.ID) &&
+		d.takeU8(&m.Flags) &&
 		d.takeU64(&epoch) &&
 		d.takeF64(&m.Obs.ExecTimeS) &&
 		d.takeF64(&m.Obs.PeriodS) &&
@@ -421,7 +489,7 @@ func (m *Decide) Decode(payload []byte) error {
 	d := decoder{p: payload}
 	var opp, freq uint32
 	var errLen uint16
-	if !(d.takeU32(&m.ID) && d.takeU32(&opp) && d.takeU32(&freq) && d.takeU16(&errLen)) {
+	if !(d.takeU32(&m.ID) && d.takeU32(&m.MemberEpoch) && d.takeU32(&opp) && d.takeU32(&freq) && d.takeU16(&errLen)) {
 		return ErrTruncated
 	}
 	m.OPPIdx = int32(opp)

@@ -95,11 +95,11 @@ func TestObserveRoundTrip(t *testing.T) {
 
 func TestDecideRoundTrip(t *testing.T) {
 	for _, errMsg := range []string{"", `unknown session "ghost"`} {
-		frame, err := wire.AppendDecide(nil, 9, -1, 0, errMsg)
+		frame, err := wire.AppendDecide(nil, 9, 0, -1, 0, errMsg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		frame, err = wire.AppendDecide(frame, 10, 12, 1800, "")
+		frame, err = wire.AppendDecide(frame, 10, 7, 12, 1800, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,7 +111,7 @@ func TestDecideRoundTrip(t *testing.T) {
 		if err := m.Decode(payload); err != nil {
 			t.Fatal(err)
 		}
-		if m.ID != 9 || m.OPPIdx != -1 || string(m.Err) != errMsg {
+		if m.ID != 9 || m.MemberEpoch != 0 || m.OPPIdx != -1 || string(m.Err) != errMsg {
 			t.Errorf("decide mangled: %+v", m)
 		}
 		typ, payload, rest, err = wire.DecodeFrame(rest)
@@ -121,9 +121,49 @@ func TestDecideRoundTrip(t *testing.T) {
 		if err := m.Decode(payload); err != nil {
 			t.Fatal(err)
 		}
-		if m.ID != 10 || m.OPPIdx != 12 || m.FreqMHz != 1800 || len(m.Err) != 0 {
+		if m.ID != 10 || m.MemberEpoch != 7 || m.OPPIdx != 12 || m.FreqMHz != 1800 || len(m.Err) != 0 {
 			t.Errorf("second decide mangled: %+v", m)
 		}
+	}
+}
+
+// TestObserveFlagsRoundTrip pins the flags byte: a forwarded observe
+// decodes with FlagForwarded set, a plain AppendObserve with zero.
+func TestObserveFlagsRoundTrip(t *testing.T) {
+	obs := sampleObs()
+	frame, err := wire.AppendObserveBytes(nil, 3, wire.FlagForwarded, []byte("c0"), &obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m wire.Observe
+	_, payload, _, err := wire.DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 3 || m.Flags != wire.FlagForwarded || string(m.Session) != "c0" {
+		t.Errorf("forwarded observe mangled: id %d flags %#x session %q", m.ID, m.Flags, m.Session)
+	}
+	if !observationsBitEqual(m.Obs, obs) {
+		t.Errorf("observation mangled through AppendObserveBytes")
+	}
+
+	plain, err := wire.AppendObserve(nil, 3, "c0", &obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, payload, _, _ = wire.DecodeFrame(plain)
+	if err := m.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if m.Flags != 0 {
+		t.Errorf("plain observe carries flags %#x", m.Flags)
+	}
+	// The two encodings differ only in the flags byte.
+	if len(frame) != len(plain) {
+		t.Errorf("frame lengths differ: %d vs %d", len(frame), len(plain))
 	}
 }
 
@@ -215,8 +255,8 @@ func TestDecodeFrameErrors(t *testing.T) {
 		// before allocating anything of that size.
 		var m wire.Observe
 		p := bytes.Clone(validObserveFrame(t)[wire.HeaderSize:])
-		// cycles count sits after the fixed 49-byte prefix + session.
-		off := 4 + 8 + 5*8 + 4 + 1 + 2 // id, epoch, floats, opp, sesslen, "c0"
+		// cycles count sits after the fixed 50-byte prefix + session.
+		off := 4 + 1 + 8 + 5*8 + 4 + 1 + 2 // id, flags, epoch, floats, opp, sesslen, "c0"
 		binary.BigEndian.PutUint16(p[off:], 0xffff)
 		if err := m.Decode(p); err == nil {
 			t.Error("lying vector count decoded cleanly")
@@ -296,13 +336,13 @@ func TestCodecZeroAlloc(t *testing.T) {
 		t.Errorf("Observe.Decode allocates %.1f/op in steady state", n)
 	}
 
-	dec, err := wire.AppendDecide(nil, 1, 10, 1800, "")
+	dec, err := wire.AppendDecide(nil, 1, 1, 10, 1800, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var dm wire.Decide
 	if n := testing.AllocsPerRun(200, func() {
-		dec, err = wire.AppendDecide(dec[:0], 1, 10, 1800, "")
+		dec, err = wire.AppendDecide(dec[:0], 1, 1, 10, 1800, "")
 		if err != nil {
 			t.Fatal(err)
 		}
