@@ -30,18 +30,24 @@
 // -route turns rtmd into the stateless routing tier of a sharded fleet:
 // it owns no sessions, places every session id on one of the -replicas
 // (comma-separated binary-transport addresses) with a consistent-hash
-// ring, and forwards both planes over one multiplexed binary connection
-// per replica. Point every replica at the same -checkpoint-dir (shared
-// storage) and sessions can hand off between replicas by
-// checkpoint/restore. Clients talk to a router exactly as they would to
-// a flat rtmd.
+// ring, and forwards both planes over multiplexed binary connections.
+// The decide path is a zero-copy pipelined relay: observe payload bytes
+// are forwarded verbatim (only the request id is rewritten) and up to
+// -pipeline-depth batches (default 4) stay in flight per inbound
+// connection; -pipeline-depth -1 restores the legacy blocking relay.
+// -conns-per-replica opens N connections per replica and stripes
+// relayed batches across them. Point every replica at the same
+// -checkpoint-dir (shared storage) and sessions can hand off between
+// replicas by checkpoint/restore. Clients talk to a router exactly as
+// they would to a flat rtmd.
 //
 // -fleet turns rtmd into a ring-aware direct bench client instead of a
 // server: it fetches the membership table from the given router's
 // binary listener, opens one multiplexed connection per replica,
 // creates -fleet-sessions sessions (through the router, the placement
 // authority), drives decide batches straight to the ring owners for
-// -fleet-for, reports decisions/s, deletes its sessions, and exits.
+// -fleet-for (-fleet-conns stripes each replica's traffic over N
+// connections), reports decisions/s, deletes its sessions, and exits.
 // This is the load-generation twin of BenchmarkDirectDecideThroughput
 // for benching a real fleet over the network.
 //
@@ -96,6 +102,8 @@ func main() {
 		tcpAddr    = flag.String("listen-tcp", "", "binary wire-protocol listen address (empty: HTTP only)")
 		route      = flag.Bool("route", false, "run as a stateless router over -replicas instead of serving sessions")
 		replicas   = flag.String("replicas", "", "comma-separated replica binary-transport addresses (with -route)")
+		connsPer   = flag.Int("conns-per-replica", 1, "binary connections the router holds per replica; batches stripe across them (with -route)")
+		pipeDepth  = flag.Int("pipeline-depth", 0, "relayed decide batches kept in flight per client connection; 0 selects the default, negative restores the legacy blocking relay (with -route)")
 		platform   = flag.String("platform", "a15", "default platform variant for new sessions")
 		periodS    = flag.Float64("period", 0.040, "default decision-epoch deadline Tref in seconds")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for session learning-state checkpoints (empty: no persistence)")
@@ -109,6 +117,7 @@ func main() {
 		fleetAddr     = flag.String("fleet", "", "run as a ring-aware direct bench client against this router binary-transport address, then exit")
 		fleetSessions = flag.Int("fleet-sessions", 256, "sessions the -fleet bench client creates and drives")
 		fleetFor      = flag.Duration("fleet-for", 5*time.Second, "how long the -fleet bench client drives decides")
+		fleetConns    = flag.Int("fleet-conns", 1, "connections the -fleet bench client opens per replica")
 	)
 	flag.Parse()
 
@@ -121,7 +130,7 @@ func main() {
 		if *route {
 			fatal(errors.New("-fleet is a client mode; it cannot be combined with -route"))
 		}
-		fleetMain(*fleetAddr, *fleetSessions, *fleetFor, logf)
+		fleetMain(*fleetAddr, *fleetSessions, *fleetFor, *fleetConns, logf)
 		return
 	}
 
@@ -136,12 +145,18 @@ func main() {
 				fatal(fmt.Errorf("-%s applies to replicas, not the router; set it on each replica rtmd", f.Name))
 			}
 		})
-		routeMain(*addr, *tcpAddr, *replicas, *drainGrace, logf)
+		routeMain(*addr, *tcpAddr, *replicas, *connsPer, *pipeDepth, *drainGrace, logf)
 		return
 	}
 	if *replicas != "" {
 		fatal(errors.New("-replicas requires -route"))
 	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "conns-per-replica", "pipeline-depth":
+			fatal(fmt.Errorf("-%s requires -route", f.Name))
+		}
+	})
 
 	var ckpt sessionstore.CheckpointStore
 	var reg *registry.Registry
@@ -262,7 +277,7 @@ func main() {
 // routeMain runs the routing tier: no sessions, no checkpoints — just
 // the ring, one multiplexed binary connection per replica, and the same
 // two listener fronts a replica has.
-func routeMain(addr, tcpAddr, replicaList string, drainGrace time.Duration, logf func(string, ...any)) {
+func routeMain(addr, tcpAddr, replicaList string, connsPer, pipeDepth int, drainGrace time.Duration, logf func(string, ...any)) {
 	var addrs []string
 	for _, a := range strings.Split(replicaList, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -272,7 +287,13 @@ func routeMain(addr, tcpAddr, replicaList string, drainGrace time.Duration, logf
 	if len(addrs) == 0 {
 		fatal(errors.New("-route requires -replicas host1:port,host2:port,..."))
 	}
-	rt, err := serve.NewRouter(addrs, serve.RouterOptions{Logf: logf})
+	opt := serve.RouterOptions{Logf: logf, ConnsPerReplica: connsPer}
+	if pipeDepth < 0 {
+		opt.LegacyRelay = true
+	} else {
+		opt.PipelineDepth = pipeDepth
+	}
+	rt, err := serve.NewRouter(addrs, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -337,11 +358,11 @@ func routeMain(addr, tcpAddr, replicaList string, drainGrace time.Duration, logf
 // fleet, reporting end-to-end decisions/s. Sessions are created and
 // deleted through the router so the bench leaves the fleet as it
 // found it.
-func fleetMain(routerAddr string, sessions int, dur time.Duration, logf func(string, ...any)) {
+func fleetMain(routerAddr string, sessions int, dur time.Duration, conns int, logf func(string, ...any)) {
 	if sessions < 1 {
 		fatal(errors.New("-fleet-sessions must be at least 1"))
 	}
-	fl, err := client.DialFleet(routerAddr)
+	fl, err := client.DialFleetOpts(routerAddr, client.DialOptions{Conns: conns})
 	if err != nil {
 		fatal(err)
 	}

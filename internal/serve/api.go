@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"qgov/internal/governor"
+	"qgov/internal/stats"
 )
 
 // Wire types. Floats round-trip exactly through encoding/json (shortest
@@ -369,6 +370,20 @@ type latencyJSON struct {
 	Overflow   int     `json:"overflow"`
 }
 
+// latencyFromHistogram renders one histogram in the latencyJSON shape.
+func latencyFromHistogram(h *stats.Histogram) latencyJSON {
+	return latencyJSON{
+		Count:      h.Count(),
+		SumUS:      h.Sum(),
+		LoUS:       h.Lo(),
+		HiUS:       h.Hi(),
+		BinWidthUS: h.BinWidth(),
+		Bins:       h.Bins(),
+		Underflow:  h.Underflow(),
+		Overflow:   h.Overflow(),
+	}
+}
+
 // learningJSON is one session's explore→exploit position: where the ε
 // schedule sits, how much experience the tables hold, and how much of
 // the greedy policy has settled — the counters an operator reads to
@@ -399,6 +414,12 @@ type metricsJSON struct {
 	// members whose metrics could not be collected — the body then covers
 	// the reachable majority rather than failing wholesale.
 	DegradedReplicas []string `json:"degraded_replicas,omitempty"`
+	// RouteHops, set only on a router, is the per-replica routed decide
+	// round-trip latency (router→replica→router, microseconds).
+	RouteHops map[string]latencyJSON `json:"route_hops,omitempty"`
+	// RouteInflight, set only on a router, is the number of relayed
+	// decide requests currently awaiting replica replies.
+	RouteInflight *int64 `json:"route_inflight,omitempty"`
 }
 
 // buildMetrics snapshots the fleet view /v1/metrics serves. Each session
@@ -412,16 +433,7 @@ func (s *Server) buildMetrics() metricsJSON {
 	}
 	for _, sess := range all {
 		sess.mu.Lock()
-		mj := sessionMetricsJSON{latencyJSON: latencyJSON{
-			Count:      sess.lat.Count(),
-			SumUS:      sess.lat.Sum(),
-			LoUS:       sess.lat.Lo(),
-			HiUS:       sess.lat.Hi(),
-			BinWidthUS: sess.lat.BinWidth(),
-			Bins:       sess.lat.Bins(),
-			Underflow:  sess.lat.Underflow(),
-			Overflow:   sess.lat.Overflow(),
-		}}
+		mj := sessionMetricsJSON{latencyJSON: latencyFromHistogram(sess.lat)}
 		if ls, ok := sess.learner.(governor.LearningStats); ok {
 			lj := &learningJSON{
 				Epochs:       sess.epochs,

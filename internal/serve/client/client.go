@@ -1,16 +1,26 @@
-// Package client speaks the rtmd binary wire protocol: a persistent
-// multiplexed TCP connection carrying observe→decide frames plus the
+// Package client speaks the rtmd binary wire protocol: persistent
+// multiplexed TCP connections carrying observe→decide frames plus the
 // control plane (session create, checkpoint, delete, info, metrics,
 // list) as control frames. Many goroutines may share one Client —
 // requests are tagged with ids, writes of a batch coalesce into one
-// flush, and a single reader goroutine routes responses back to their
-// callers. The router drives every replica through one Client; the
-// serve benchmarks and the cross-transport equivalence tests drive
+// flush, and a reader goroutine per connection routes responses back to
+// their callers. The router drives every replica through one Client;
+// the serve benchmarks and the cross-transport equivalence tests drive
 // their sessions through it too.
 //
-// Ordering: frames written on one Client are executed by the server in
-// write order, with control frames acting as barriers — a Control
-// create issued before a Decide for the same session is applied first.
+// A Client holds DialOptions.Conns TCP connections to its endpoint
+// (default 1). Batches stripe across the connections round-robin — on
+// big-core-count hosts one stream's write mutex and single reader
+// serialise at the socket, and sharding removes that ceiling — while
+// control frames always travel on the first connection.
+//
+// Ordering: frames written on one connection are executed by the server
+// in write order, with control frames acting as barriers — a Control
+// create issued before a Decide for the same session is applied first
+// (controls and any following calls from the same goroutine are safe
+// with Conns > 1 too, because every call blocks until the server has
+// answered it). Two concurrent calls on different connections have no
+// relative order, exactly like two concurrent calls on one connection.
 package client
 
 import (
@@ -40,6 +50,9 @@ type Decision struct {
 // the DecideBatch call, the low 12 its entry. One routing-table insert
 // covers a whole batch, so the per-decision client cost is a shared-map
 // read — not an insert/delete pair — which matters at 500k decisions/s.
+// Handles are scoped per connection: replies arrive on the connection
+// that carried the request, so two connections may use the same handle
+// concurrently without ambiguity.
 const (
 	indexBits = 12
 	// MaxBatch bounds one DecideBatch call (it must fit the index bits);
@@ -61,8 +74,9 @@ type batchCall struct {
 	done      chan struct{}
 }
 
-// DefaultTimeout bounds one round trip (batch or control) on a Client:
-// a server that stops answering — hung process, blackholed network with
+// DefaultTimeout bounds one round trip (batch or control) on a Client
+// when neither DialOptions.Timeout nor the Timeout field set one: a
+// server that stops answering — hung process, blackholed network with
 // the TCP session still open — must surface as a transport error, not
 // wedge every caller forever. A router holds its membership lock across
 // these waits, so an unbounded hang there would stall a whole fleet. A
@@ -70,13 +84,30 @@ type batchCall struct {
 // genuinely stuck peer.
 const DefaultTimeout = 30 * time.Second
 
-// Client is a multiplexed connection to an rtmd binary listener.
+// Client is a multiplexed client of an rtmd binary listener, holding
+// one or more TCP connections to it.
 type Client struct {
-	conn net.Conn
-
 	// Timeout bounds each round trip; 0 selects DefaultTimeout and a
-	// negative value disables the bound. Set before sharing the client.
+	// negative value disables the bound. DialOptions.Timeout seeds it;
+	// set before sharing the client.
 	Timeout time.Duration
+
+	conns []*conn
+	next  atomic.Uint32 // round-robin batch striping across conns
+
+	// lastEpoch is the highest membership epoch seen in any decide reply
+	// on any connection (monotonic; 0 until a fleet replica answers).
+	lastEpoch atomic.Uint32
+}
+
+// conn is one TCP connection of a Client: its write half, its pending
+// request tables, and its sticky transport error. Request routing is
+// per connection — the server answers on the connection a request
+// arrived on — so connections fail independently: a poisoned conn
+// releases only its own waiters.
+type conn struct {
+	cl *Client
+	nc net.Conn
 
 	// wmu serialises the write half: frame encoding into enc and the
 	// buffered writer.
@@ -92,10 +123,6 @@ type Client struct {
 	nextCtrl    uint32
 	err         error
 
-	// lastEpoch is the highest membership epoch seen in any decide reply
-	// (monotonic; 0 until a fleet replica answers).
-	lastEpoch atomic.Uint32
-
 	readerDone chan struct{}
 }
 
@@ -107,53 +134,119 @@ type ctrlCall struct {
 	done   chan struct{}
 }
 
-// Dial connects to an rtmd -listen-tcp address.
+// DialOptions tunes a Client connection.
+type DialOptions struct {
+	// Conns is the number of TCP connections to hold to the endpoint;
+	// <= 0 selects 1. Batches stripe across them round-robin; controls
+	// stay on the first.
+	Conns int
+	// Timeout seeds Client.Timeout: the per-round-trip bound. 0 selects
+	// DefaultTimeout; negative disables the bound.
+	Timeout time.Duration
+}
+
+// Dial connects to an rtmd -listen-tcp address with default options
+// (one connection).
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
-	if err != nil {
-		return nil, err
+	return DialOpts(addr, DialOptions{})
+}
+
+// DialOpts connects to an rtmd -listen-tcp address, opening
+// opt.Conns connections.
+func DialOpts(addr string, opt DialOptions) (*Client, error) {
+	n := opt.Conns
+	if n < 1 {
+		n = 1
 	}
-	c := &Client{
-		conn:        conn,
-		bw:          bufio.NewWriterSize(conn, 64<<10),
-		pending:     make(map[uint32]*batchCall),
-		pendingCtrl: make(map[uint32]*ctrlCall),
-		readerDone:  make(chan struct{}),
+	c := &Client{Timeout: opt.Timeout, conns: make([]*conn, 0, n)}
+	for i := 0; i < n; i++ {
+		nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		cn := &conn{
+			cl:          c,
+			nc:          nc,
+			bw:          bufio.NewWriterSize(nc, 64<<10),
+			pending:     make(map[uint32]*batchCall),
+			pendingCtrl: make(map[uint32]*ctrlCall),
+			readerDone:  make(chan struct{}),
+		}
+		c.conns = append(c.conns, cn)
+		go cn.readLoop()
 	}
-	go c.readLoop()
 	return c, nil
 }
 
-// Err returns the client's sticky transport error — nil while the
-// connection is healthy. Once non-nil every call fails; the owner
-// should redial.
-func (c *Client) Err() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.err
+// NumConns returns how many TCP connections the client holds.
+func (c *Client) NumConns() int { return len(c.conns) }
+
+// pick selects the connection for the next batch: round-robin across
+// the conns, so concurrent batches spread over all sockets.
+func (c *Client) pick() *conn {
+	if len(c.conns) == 1 {
+		return c.conns[0]
+	}
+	return c.conns[int(c.next.Add(1))%len(c.conns)]
 }
 
-// Close tears the connection down; in-flight requests fail with a
+// ctrlConn is the connection control frames travel on. Pinning them to
+// one connection preserves the single-conn barrier ordering for any
+// caller that writes control frames back to back.
+func (c *Client) ctrlConn() *conn { return c.conns[0] }
+
+// Err returns the client's sticky transport error — nil while every
+// connection is healthy. Once non-nil the client is degraded (calls
+// striped onto the failed connection error); the owner should redial.
+func (c *Client) Err() error {
+	for _, cn := range c.conns {
+		cn.mu.Lock()
+		err := cn.err
+		cn.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close tears every connection down; in-flight requests fail with a
 // transport error.
 func (c *Client) Close() error {
-	err := c.conn.Close()
-	<-c.readerDone
-	return err
+	var firstErr error
+	for _, cn := range c.conns {
+		if err := cn.nc.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, cn := range c.conns {
+		<-cn.readerDone
+	}
+	return firstErr
 }
 
-// CloseWrite half-closes the connection: the server sees end of stream,
-// drains what it already received, answers, and closes. Callers read
-// their remaining responses through in-flight DecideBatch calls.
+// CloseWrite half-closes every connection: the server sees end of
+// stream, drains what it already received, answers, and closes. Callers
+// read their remaining responses through in-flight DecideBatch calls.
 func (c *Client) CloseWrite() error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if err := c.bw.Flush(); err != nil {
-		return err
+	var firstErr error
+	for _, cn := range c.conns {
+		cn.wmu.Lock()
+		err := cn.bw.Flush()
+		if err == nil {
+			if tc, ok := cn.nc.(*net.TCPConn); ok {
+				err = tc.CloseWrite()
+			} else {
+				err = errors.New("client: connection does not support half-close")
+			}
+		}
+		cn.wmu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	if tc, ok := c.conn.(*net.TCPConn); ok {
-		return tc.CloseWrite()
-	}
-	return errors.New("client: connection does not support half-close")
+	return firstErr
 }
 
 // Decide serves one observation for one session and returns the
@@ -170,7 +263,7 @@ func (c *Client) Decide(session string, obs governor.Observation) (Decision, err
 // POST /v1/decide. All frames are written under one flush; the call
 // returns when every response has arrived, filling out[i] for
 // sessions[i]. A returned error is transport-level and poisons the
-// client; per-request failures land in out[i].Err instead.
+// carrying connection; per-request failures land in out[i].Err instead.
 func (c *Client) DecideBatch(sessions []string, obs []governor.Observation, out []Decision) error {
 	if len(sessions) != len(obs) || len(sessions) != len(out) {
 		return fmt.Errorf("client: mismatched batch slices (%d sessions, %d observations, %d outputs)",
@@ -213,86 +306,181 @@ func (c *Client) ForwardBatch(sessions [][]byte, obs []governor.Observation, out
 }
 
 // LastMemberEpoch returns the highest membership epoch observed in any
-// decide reply on this connection — 0 until a fleet replica has
-// answered. A Fleet compares it against its own table's epoch to detect
-// a ring change from the data plane alone.
+// decide reply on this client — 0 until a fleet replica has answered. A
+// Fleet compares it against its own table's epoch to detect a ring
+// change from the data plane alone.
 func (c *Client) LastMemberEpoch() uint32 { return c.lastEpoch.Load() }
+
+// reserve claims a batch handle on this connection and publishes bc
+// under it, before any frame can be answered. Handles wrap after 2^20
+// batches; a handle whose previous holder is still waiting (a slow
+// batch outliving 2^20 successors) is skipped — overwriting it would
+// strand that waiter until timeout and misroute its replies into the
+// new batch.
+func (cn *conn) reserve(bc *batchCall) (uint32, error) {
+	const handleMask = 1<<(32-indexBits) - 1
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.err != nil {
+		return 0, cn.err
+	}
+	handle := cn.nextBatch & handleMask
+	for cn.pending[handle] != nil {
+		if len(cn.pending) > handleMask {
+			return 0, fmt.Errorf("client: all %d batch handles in flight", handleMask+1)
+		}
+		cn.nextBatch++
+		handle = cn.nextBatch & handleMask
+	}
+	cn.nextBatch++
+	cn.pending[handle] = bc
+	return handle, nil
+}
+
+// unreserve abandons a handle whose frames never made it onto the wire.
+func (cn *conn) unreserve(handle uint32) {
+	cn.mu.Lock()
+	delete(cn.pending, handle)
+	cn.mu.Unlock()
+}
 
 func decideBatch[S string | []byte](c *Client, sessions []S, obs []governor.Observation, out []Decision, flags byte) error {
 	n := len(sessions)
 	if n > MaxBatch {
 		return fmt.Errorf("client: batch of %d exceeds the %d-request limit", n, MaxBatch)
 	}
+	cn := c.pick()
 	bc := &batchCall{
 		out:       out,
 		answered:  make([]uint64, (n+63)/64),
 		remaining: n,
 		done:      make(chan struct{}),
 	}
-
-	// Reserve a batch handle and publish the routing entry before any
-	// frame can be answered. Handles wrap after 2^20 batches; a handle
-	// whose previous holder is still waiting (a slow batch outliving 2^20
-	// successors) is skipped — overwriting it would strand that waiter
-	// until timeout and misroute its replies into this batch.
-	const handleMask = 1<<(32-indexBits) - 1
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
+	handle, err := cn.reserve(bc)
+	if err != nil {
 		return err
 	}
-	handle := c.nextBatch & handleMask
-	for c.pending[handle] != nil {
-		if len(c.pending) > handleMask {
-			c.mu.Unlock()
-			return fmt.Errorf("client: all %d batch handles in flight", handleMask+1)
-		}
-		c.nextBatch++
-		handle = c.nextBatch & handleMask
-	}
-	c.nextBatch++
-	c.pending[handle] = bc
-	c.mu.Unlock()
 	base := handle << indexBits
 
 	// Encode every frame and flush once.
-	c.wmu.Lock()
-	var err error
+	cn.wmu.Lock()
 	for i := 0; i < n && err == nil; i++ {
-		c.enc, err = wire.AppendObserveFlags(c.enc[:0], base|uint32(i), flags, sessions[i], &obs[i])
+		cn.enc, err = wire.AppendObserveFlags(cn.enc[:0], base|uint32(i), flags, sessions[i], &obs[i])
 		if err == nil {
-			_, err = c.bw.Write(c.enc)
+			_, err = cn.bw.Write(cn.enc)
 		}
 	}
 	if err == nil {
-		err = c.bw.Flush()
+		err = cn.bw.Flush()
 	}
-	c.wmu.Unlock()
+	cn.wmu.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, handle)
-		c.mu.Unlock()
+		cn.unreserve(handle)
 		return err
 	}
 
-	if err := c.wait(bc.done); err != nil {
+	return finishBatch(c, cn, bc)
+}
+
+// finishBatch waits a dispatched batch out and reports a mid-batch
+// transport failure (fail() released the waiter with entries missing).
+func finishBatch(c *Client, cn *conn, bc *batchCall) error {
+	if err := c.wait(cn, bc.done); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	err = c.err
-	c.mu.Unlock()
+	cn.mu.Lock()
+	err := cn.err
+	cn.mu.Unlock()
 	if bc.remaining != 0 { // released by fail(), not by the last response
 		return fmt.Errorf("client: transport failed mid-batch: %w", err)
 	}
 	return nil
 }
 
+// Relay is one in-flight relayed batch started with StartRelay: the
+// frames are on the wire and the replies are being collected by the
+// connection's reader. Wait blocks until the batch completes.
+type Relay struct {
+	c  *Client
+	cn *conn
+	bc *batchCall
+}
+
+// StartRelay forwards already-encoded MsgObserve payloads to the server
+// and returns without waiting for the replies — the asynchronous,
+// zero-copy half of the router's relay path. Each payload's request id
+// is rewritten in place to this batch's id space (payloads[i] answers
+// into out[i]); nothing else in the payload is read or re-encoded, so
+// the observation bytes travel through the relay untouched. The caller
+// must keep payloads and out alive and unmodified until Wait returns.
+//
+// Several relays may be in flight on one Client concurrently — that is
+// the point: fan-out to one replica overlaps reply collection from
+// another, and with Conns > 1 the batches stripe across sockets too.
+func (c *Client) StartRelay(payloads [][]byte, out []Decision) (*Relay, error) {
+	n := len(payloads)
+	if n != len(out) {
+		return nil, fmt.Errorf("client: mismatched relay slices (%d payloads, %d outputs)", n, len(out))
+	}
+	if n > MaxBatch {
+		return nil, fmt.Errorf("client: batch of %d exceeds the %d-request limit", n, MaxBatch)
+	}
+	cn := c.pick()
+	bc := &batchCall{
+		out:       out,
+		answered:  make([]uint64, (n+63)/64),
+		remaining: n,
+		done:      make(chan struct{}),
+	}
+	if n == 0 {
+		close(bc.done)
+		return &Relay{c: c, cn: cn, bc: bc}, nil
+	}
+	handle, err := cn.reserve(bc)
+	if err != nil {
+		return nil, err
+	}
+	base := handle << indexBits
+
+	cn.wmu.Lock()
+	for i := 0; i < n && err == nil; i++ {
+		if err = wire.SetObserveID(payloads[i], base|uint32(i)); err != nil {
+			break
+		}
+		cn.enc, err = wire.AppendFrame(cn.enc[:0], wire.MsgObserve, payloads[i])
+		if err == nil {
+			_, err = cn.bw.Write(cn.enc)
+		}
+	}
+	if err == nil {
+		err = cn.bw.Flush()
+	}
+	cn.wmu.Unlock()
+	if err != nil {
+		cn.unreserve(handle)
+		return nil, err
+	}
+	return &Relay{c: c, cn: cn, bc: bc}, nil
+}
+
+// Wait blocks until every reply of the relayed batch has arrived
+// (landing in the out slice given to StartRelay) or the carrying
+// connection fails. Like DecideBatch, a returned error is
+// transport-level; per-request failures land in out[i].Err.
+func (r *Relay) Wait() error {
+	return finishBatch(r.c, r.cn, r.bc)
+}
+
+// timerPool recycles round-trip timers: wait runs once per batch or
+// control round trip, and allocating a fresh timer each time is
+// measurable churn at hundreds of thousands of round trips per second.
+var timerPool = sync.Pool{New: func() any { return time.NewTimer(time.Hour) }}
+
 // wait blocks on done up to the client's timeout. On expiry it cuts the
-// connection — the reader then fails every waiter (including this one),
-// so the poisoned client degrades to per-call transport errors instead
-// of unbounded hangs.
-func (c *Client) wait(done <-chan struct{}) error {
+// carrying connection — its reader then fails every waiter on that conn
+// (including this one), so a poisoned connection degrades to per-call
+// transport errors instead of unbounded hangs.
+func (c *Client) wait(cn *conn, done <-chan struct{}) error {
 	d := c.Timeout
 	if d == 0 {
 		d = DefaultTimeout
@@ -301,13 +489,17 @@ func (c *Client) wait(done <-chan struct{}) error {
 		<-done
 		return nil
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
+	t := timerPool.Get().(*time.Timer)
+	t.Reset(d)
+	defer func() {
+		t.Stop()
+		timerPool.Put(t)
+	}()
 	select {
 	case <-done:
 		return nil
 	case <-t.C:
-		c.conn.Close()
+		cn.nc.Close()
 		<-done // released by fail() once the reader sees the closed conn
 		return fmt.Errorf("client: no response within %v; connection dropped", d)
 	}
@@ -316,45 +508,47 @@ func (c *Client) wait(done <-chan struct{}) error {
 // Control runs one control-plane operation (a wire.Op* constant) against
 // the server and returns its HTTP-vocabulary status code and JSON body.
 // The returned body is the caller's to keep. A returned error is
-// transport-level and poisons the client; application failures (unknown
-// session, invalid create) come back as non-2xx statuses with an
-// {"error": ...} body, exactly like the HTTP control plane.
+// transport-level and poisons the control connection; application
+// failures (unknown session, invalid create) come back as non-2xx
+// statuses with an {"error": ...} body, exactly like the HTTP control
+// plane.
 func (c *Client) Control(op byte, session string, body []byte) (int, []byte, error) {
+	cn := c.ctrlConn()
 	cc := &ctrlCall{done: make(chan struct{})}
 
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
+	cn.mu.Lock()
+	if cn.err != nil {
+		err := cn.err
+		cn.mu.Unlock()
 		return 0, nil, err
 	}
-	id := c.nextCtrl
-	c.nextCtrl++
-	c.pendingCtrl[id] = cc
-	c.mu.Unlock()
+	id := cn.nextCtrl
+	cn.nextCtrl++
+	cn.pendingCtrl[id] = cc
+	cn.mu.Unlock()
 
-	c.wmu.Lock()
+	cn.wmu.Lock()
 	var err error
-	c.enc, err = wire.AppendControl(c.enc[:0], id, op, session, body)
+	cn.enc, err = wire.AppendControl(cn.enc[:0], id, op, session, body)
 	if err == nil {
-		if _, err = c.bw.Write(c.enc); err == nil {
-			err = c.bw.Flush()
+		if _, err = cn.bw.Write(cn.enc); err == nil {
+			err = cn.bw.Flush()
 		}
 	}
-	c.wmu.Unlock()
+	cn.wmu.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pendingCtrl, id)
-		c.mu.Unlock()
+		cn.mu.Lock()
+		delete(cn.pendingCtrl, id)
+		cn.mu.Unlock()
 		return 0, nil, err
 	}
 
-	if err := c.wait(cc.done); err != nil {
+	if err := c.wait(cn, cc.done); err != nil {
 		return 0, nil, err
 	}
-	c.mu.Lock()
-	err = c.err
-	c.mu.Unlock()
+	cn.mu.Lock()
+	err = cn.err
+	cn.mu.Unlock()
 	if cc.status == 0 { // released by fail(), not by a reply
 		return 0, nil, fmt.Errorf("client: transport failed mid-control: %w", err)
 	}
@@ -405,45 +599,45 @@ func (c *Client) Members() (int, []byte, error) {
 	return c.Control(wire.OpMembers, "", nil)
 }
 
-func (c *Client) readLoop() {
-	defer close(c.readerDone)
-	r := wire.NewReader(c.conn)
+func (cn *conn) readLoop() {
+	defer close(cn.readerDone)
+	r := wire.NewReader(cn.nc)
 	var m wire.Decide
 	var cm wire.ControlReply
 	for {
 		typ, payload, err := r.Next()
 		if err != nil {
-			c.fail(err)
+			cn.fail(err)
 			return
 		}
 		switch typ {
 		case wire.MsgDecide:
 			if err := m.Decode(payload); err != nil {
-				c.fail(err)
+				cn.fail(err)
 				return
 			}
 			// Track the server's membership epoch monotonically; replies
 			// may be routed to this point from frames decoded in any order.
 			for {
-				cur := c.lastEpoch.Load()
-				if m.MemberEpoch <= cur || c.lastEpoch.CompareAndSwap(cur, m.MemberEpoch) {
+				cur := cn.cl.lastEpoch.Load()
+				if m.MemberEpoch <= cur || cn.cl.lastEpoch.CompareAndSwap(cur, m.MemberEpoch) {
 					break
 				}
 			}
 			handle, idx := m.ID>>indexBits, int(m.ID&(MaxBatch-1))
-			c.mu.Lock()
-			bc := c.pending[handle]
+			cn.mu.Lock()
+			bc := cn.pending[handle]
 			if bc == nil {
 				// A decide for a batch we never issued (or one already fully
 				// answered): the stream is inconsistent — request ids are
 				// ours, a correct server only ever echoes them back once.
-				c.mu.Unlock()
-				c.fail(fmt.Errorf("client: decide for unknown batch (id %#x)", m.ID))
+				cn.mu.Unlock()
+				cn.fail(fmt.Errorf("client: decide for unknown batch (id %#x)", m.ID))
 				return
 			}
 			if idx >= len(bc.out) {
-				c.mu.Unlock()
-				c.fail(fmt.Errorf("client: decide index %d beyond batch of %d (id %#x)", idx, len(bc.out), m.ID))
+				cn.mu.Unlock()
+				cn.fail(fmt.Errorf("client: decide index %d beyond batch of %d (id %#x)", idx, len(bc.out), m.ID))
 				return
 			}
 			if bc.answered[idx/64]&(1<<(idx%64)) != 0 {
@@ -451,7 +645,7 @@ func (c *Client) readLoop() {
 				// stands. Decrementing remaining again would close the batch
 				// early and return zero-valued decisions for entries never
 				// answered at all.
-				c.mu.Unlock()
+				cn.mu.Unlock()
 				continue
 			}
 			bc.answered[idx/64] |= 1 << (idx % 64)
@@ -465,44 +659,46 @@ func (c *Client) readLoop() {
 			}
 			bc.remaining--
 			if bc.remaining == 0 {
-				delete(c.pending, handle)
+				delete(cn.pending, handle)
 				close(bc.done)
 			}
-			c.mu.Unlock()
+			cn.mu.Unlock()
 		case wire.MsgControlReply:
 			if err := cm.Decode(payload); err != nil {
-				c.fail(err)
+				cn.fail(err)
 				return
 			}
-			c.mu.Lock()
-			cc := c.pendingCtrl[cm.ID]
+			cn.mu.Lock()
+			cc := cn.pendingCtrl[cm.ID]
 			if cc != nil {
-				delete(c.pendingCtrl, cm.ID)
+				delete(cn.pendingCtrl, cm.ID)
 				cc.status = cm.Status
 				cc.body = append([]byte(nil), cm.Body...) // the frame buffer is reused
 				close(cc.done)
 			}
-			c.mu.Unlock()
+			cn.mu.Unlock()
 		default:
-			c.fail(fmt.Errorf("client: unexpected frame type 0x%02x", typ))
+			cn.fail(fmt.Errorf("client: unexpected frame type 0x%02x", typ))
 			return
 		}
 	}
 }
 
-// fail records the transport error and releases every waiter.
-func (c *Client) fail(err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err == nil {
-		c.err = err
+// fail records the connection's transport error and releases every
+// waiter on this connection. Other connections of the same Client are
+// untouched — their batches complete normally.
+func (cn *conn) fail(err error) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.err == nil {
+		cn.err = err
 	}
-	for handle, bc := range c.pending {
-		delete(c.pending, handle)
+	for handle, bc := range cn.pending {
+		delete(cn.pending, handle)
 		close(bc.done)
 	}
-	for id, cc := range c.pendingCtrl {
-		delete(c.pendingCtrl, id)
+	for id, cc := range cn.pendingCtrl {
+		delete(cn.pendingCtrl, id)
 		close(cc.done)
 	}
 }

@@ -1,10 +1,12 @@
 package client
 
-// setNextBatchHandle forces the next DecideBatch to try this handle
-// value first. The wraparound regression test uses it to land on a
-// still-busy handle without issuing 2^20 real batches.
+// setNextBatchHandle forces the next DecideBatch on every conn to try
+// this handle value first. The wraparound regression test uses it to
+// land on a still-busy handle without issuing 2^20 real batches.
 func setNextBatchHandle(c *Client, h uint32) {
-	c.mu.Lock()
-	c.nextBatch = h
-	c.mu.Unlock()
+	for _, cn := range c.conns {
+		cn.mu.Lock()
+		cn.nextBatch = h
+		cn.mu.Unlock()
+	}
 }

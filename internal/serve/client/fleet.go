@@ -37,6 +37,10 @@ import (
 // Methods are safe for concurrent use.
 type Fleet struct {
 	routerAddr string
+	// conns is DialOptions.Conns for every replica connection the Fleet
+	// opens (the router connection stays single — it is control-plane
+	// plus fallback, not the steady-state data path).
+	connsPer int
 
 	// Timeout is handed to every underlying Client (see Client.Timeout).
 	// Set before sharing the Fleet.
@@ -60,11 +64,25 @@ type Fleet struct {
 // server (no fleet) the table is empty and every call transparently
 // uses the single connection — a Fleet degrades to a plain Client.
 func DialFleet(routerAddr string) (*Fleet, error) {
+	return DialFleetOpts(routerAddr, DialOptions{})
+}
+
+// DialFleetOpts is DialFleet with per-replica connection options:
+// opt.Conns connections are opened to every replica (batches stripe
+// across them; see DialOptions), and opt.Timeout seeds Fleet.Timeout.
+func DialFleetOpts(routerAddr string, opt DialOptions) (*Fleet, error) {
 	rc, err := Dial(routerAddr)
 	if err != nil {
 		return nil, err
 	}
-	f := &Fleet{routerAddr: routerAddr, router: rc, conns: map[string]*Client{}}
+	f := &Fleet{
+		routerAddr: routerAddr,
+		connsPer:   opt.Conns,
+		Timeout:    opt.Timeout,
+		router:     rc,
+		conns:      map[string]*Client{},
+	}
+	rc.Timeout = opt.Timeout
 	if err := f.Refresh(); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("client: fetching membership from %s: %w", routerAddr, err)
@@ -108,11 +126,10 @@ func (f *Fleet) Refresh() error {
 		if down[a] {
 			continue // the router will answer for it (degraded), or has reconnected by the next refresh
 		}
-		c, err := Dial(a)
+		c, err := DialOpts(a, DialOptions{Conns: f.connsPer, Timeout: f.timeout()})
 		if err != nil {
 			continue // same: fall back to the router for this member's keys
 		}
-		c.Timeout = f.timeout()
 		next[a] = c
 	}
 	var rg *ring.Ring

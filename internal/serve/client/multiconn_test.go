@@ -1,0 +1,303 @@
+package client
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qgov/internal/governor"
+	"qgov/internal/wire"
+)
+
+// hostileMulti is the many-connection twin of hostile: it accepts every
+// connection a multi-conn client opens and hands each observe frame to
+// the script together with its arrival connection. Replies must go back
+// on the arrival connection — the client routes replies by the
+// connection they came in on, which is exactly the property these tests
+// pin down.
+type hostileMulti struct {
+	t    *testing.T
+	addr string
+
+	mu sync.Mutex
+}
+
+// newHostileMulti starts the server. The wire.Observe handed to the
+// script aliases the reader's buffer; scripts that defer a reply copy
+// what they keep.
+func newHostileMulti(t *testing.T, script func(h *hostileMulti, conn net.Conn, m wire.Observe)) *hostileMulti {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	h := &hostileMulti{t: t, addr: lis.Addr().String()}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				r := wire.NewReader(conn)
+				var m wire.Observe
+				for {
+					typ, payload, err := r.Next()
+					if err != nil {
+						return
+					}
+					if typ != wire.MsgObserve {
+						continue
+					}
+					if err := m.Decode(payload); err != nil {
+						return
+					}
+					script(h, conn, m)
+				}
+			}(conn)
+		}
+	}()
+	return h
+}
+
+// replyOn writes one decide frame to the given connection; safe from
+// any goroutine.
+func (h *hostileMulti) replyOn(conn net.Conn, id uint32, oppIdx, freqMHz int32, errMsg string) {
+	buf, err := wire.AppendDecide(nil, id, 0, oppIdx, freqMHz, errMsg)
+	if err != nil {
+		h.t.Error(err)
+		return
+	}
+	h.mu.Lock()
+	conn.Write(buf)
+	h.mu.Unlock()
+}
+
+// TestMultiConnStripesBatches: with Conns > 1 sequential batches must
+// round-robin across the connections, and each batch's replies must
+// come back on the connection that carried it.
+func TestMultiConnStripesBatches(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[net.Conn]int{}
+	h := newHostileMulti(t, func(h *hostileMulti, conn net.Conn, m wire.Observe) {
+		mu.Lock()
+		seen[conn]++
+		mu.Unlock()
+		h.replyOn(conn, m.ID, 3, 300, "")
+	})
+	c, err := DialOpts(h.addr, DialOptions{Conns: 2, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.NumConns() != 2 {
+		t.Fatalf("NumConns() = %d, want 2", c.NumConns())
+	}
+
+	for i := 0; i < 4; i++ {
+		d, err := c.Decide("s", governor.Observation{})
+		if err != nil {
+			t.Fatalf("decide %d: %v", i, err)
+		}
+		if d.OPPIdx != 3 {
+			t.Fatalf("decide %d = %+v, want OPP 3", i, d)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("4 sequential batches used %d connections, want 2 (no striping)", len(seen))
+	}
+	for conn, n := range seen {
+		if n != 2 {
+			t.Fatalf("connection %v carried %d batches, want 2", conn.RemoteAddr(), n)
+		}
+	}
+}
+
+// TestMultiConnFailureIsolation: poisoning one connection of a
+// multi-conn client (here with a stray reply, the corrupt-stream class)
+// must fail only the batches on that connection. The other connection
+// keeps serving, while Err() reports the failure for callers that
+// monitor client health.
+func TestMultiConnFailureIsolation(t *testing.T) {
+	h := newHostileMulti(t, func(h *hostileMulti, conn net.Conn, m wire.Observe) {
+		if string(m.Session) == "poison" {
+			h.replyOn(conn, m.ID^(5<<indexBits), 1, 1000, "") // stray batch handle
+			return
+		}
+		h.replyOn(conn, m.ID, 4, 400, "")
+	})
+	c, err := DialOpts(h.addr, DialOptions{Conns: 2, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Decide("poison", governor.Observation{}); err == nil {
+		t.Fatal("decide on the poisoned connection succeeded")
+	}
+	if c.Err() == nil {
+		t.Fatal("Err() is nil after one connection was poisoned")
+	}
+
+	// Striping alternates, so of the next two decides one lands on the
+	// healthy connection (and must succeed) and one on the poisoned
+	// connection (and must fail fast, not hang).
+	okCount, failCount := 0, 0
+	for i := 0; i < 2; i++ {
+		d, err := c.Decide("fine", governor.Observation{})
+		if err != nil {
+			failCount++
+			continue
+		}
+		if d.OPPIdx != 4 {
+			t.Fatalf("healthy decide = %+v, want OPP 4", d)
+		}
+		okCount++
+	}
+	if okCount != 1 || failCount != 1 {
+		t.Fatalf("after poisoning one of two connections: %d ok, %d failed; want 1 and 1", okCount, failCount)
+	}
+}
+
+// relayPayload encodes one observe payload (no frame header) the way
+// the router's relay path carries them.
+func relayPayload(t *testing.T, session string) []byte {
+	t.Helper()
+	frame, err := wire.AppendObserve(nil, 0, session, &governor.Observation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame[wire.HeaderSize:]
+}
+
+// TestRelayOutOfOrderAcrossPipelinedBatches: two relays in flight on
+// one connection, with the server answering the second batch before the
+// first and the first batch's own frames in reverse — the hostile
+// interleaving a pipelined router sees when replica batches complete
+// out of order. Every decision must land in its own batch slot.
+func TestRelayOutOfOrderAcrossPipelinedBatches(t *testing.T) {
+	opp := map[string]int32{"a1": 1, "a2": 2, "b1": 3}
+	type frame struct {
+		conn    net.Conn
+		id      uint32
+		session string
+	}
+	var mu sync.Mutex
+	var got []frame
+	h := newHostileMulti(t, func(h *hostileMulti, conn net.Conn, m wire.Observe) {
+		mu.Lock()
+		got = append(got, frame{conn: conn, id: m.ID, session: string(m.Session)})
+		if len(got) < 3 {
+			mu.Unlock()
+			return
+		}
+		frames := got
+		mu.Unlock()
+		// All three frames (batch A: a1,a2; batch B: b1) have arrived;
+		// answer them in reverse arrival order.
+		for i := len(frames) - 1; i >= 0; i-- {
+			f := frames[i]
+			h.replyOn(f.conn, f.id, opp[f.session], 100*opp[f.session], "")
+		}
+	})
+	c, err := DialOpts(h.addr, DialOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	outA := make([]Decision, 2)
+	relA, err := c.StartRelay([][]byte{relayPayload(t, "a1"), relayPayload(t, "a2")}, outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB := make([]Decision, 1)
+	relB, err := c.StartRelay([][]byte{relayPayload(t, "b1")}, outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := relB.Wait(); err != nil {
+		t.Fatalf("relay B: %v", err)
+	}
+	if err := relA.Wait(); err != nil {
+		t.Fatalf("relay A: %v", err)
+	}
+	if outA[0].OPPIdx != 1 || outA[1].OPPIdx != 2 {
+		t.Fatalf("batch A decisions misrouted: %+v", outA)
+	}
+	if outB[0].OPPIdx != 3 {
+		t.Fatalf("batch B decision misrouted: %+v", outB)
+	}
+}
+
+// TestRelayConnFailureFailsOnlyItsHandles: with two connections and a
+// relay in flight on each, a connection dying mid-pipeline must fail
+// exactly the relay it carried; the relay on the surviving connection
+// completes.
+func TestRelayConnFailureFailsOnlyItsHandles(t *testing.T) {
+	h := newHostileMulti(t, func(h *hostileMulti, conn net.Conn, m wire.Observe) {
+		if strings.HasPrefix(string(m.Session), "kill") {
+			conn.Close()
+			return
+		}
+		h.replyOn(conn, m.ID, 5, 500, "")
+	})
+	c, err := DialOpts(h.addr, DialOptions{Conns: 2, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	outKill := make([]Decision, 2)
+	relKill, err := c.StartRelay([][]byte{relayPayload(t, "kill1"), relayPayload(t, "kill2")}, outKill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outOK := make([]Decision, 1)
+	relOK, err := c.StartRelay([][]byte{relayPayload(t, "ok1")}, outOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := relKill.Wait(); err == nil {
+		t.Fatal("relay on the dead connection reported success")
+	}
+	if err := relOK.Wait(); err != nil {
+		t.Fatalf("relay on the surviving connection failed: %v", err)
+	}
+	if outOK[0].OPPIdx != 5 {
+		t.Fatalf("surviving relay decision = %+v, want OPP 5", outOK[0])
+	}
+	if c.Err() == nil {
+		t.Fatal("Err() is nil after a connection died")
+	}
+}
+
+// TestTimeoutStillFires pins the per-call deadline after the timer-pool
+// rework: a server that never answers must still fail the call at
+// Client.Timeout, not hang.
+func TestTimeoutStillFires(t *testing.T) {
+	h := newHostileMulti(t, func(h *hostileMulti, conn net.Conn, m wire.Observe) {
+		// drop the frame
+	})
+	c, err := DialOpts(h.addr, DialOptions{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Decide("s", governor.Observation{})
+	if err == nil || !strings.Contains(err.Error(), "no response within") {
+		t.Fatalf("err = %v, want a timeout failure", err)
+	}
+	if since := time.Since(start); since > 3*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", since)
+	}
+}

@@ -514,11 +514,11 @@ func TestDirectFleetEquivalence(t *testing.T) {
 // BenchmarkDirectDecideThroughput measures the ring-aware direct path
 // — membership table fetched once, each batch split by ring owner and
 // sent straight to its replica — against the same fleet shapes as
-// BenchmarkRoutedDecideThroughput. The router is out of the data path,
-// so the per-decision decode/re-encode it used to do disappears and
-// throughput scales with the replica count instead of being capped by
-// the router's single ingest loop. BENCH_6.json records both this and
-// the routed baseline in CI.
+// BenchmarkRoutedDecideThroughput. The router is out of the data path
+// entirely — no extra hop, no shared relay tier — so this bounds the
+// routed numbers from above and throughput scales with the replica
+// count instead of the routing tier's capacity. BENCH_7.json records
+// this, the pipelined routed path, and the legacy blocking relay in CI.
 func BenchmarkDirectDecideThroughput(b *testing.B) {
 	for _, replicas := range []int{2, 3, 4} {
 		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {

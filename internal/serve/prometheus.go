@@ -63,6 +63,24 @@ func writePrometheus(w io.Writer, m metricsJSON) {
 		}
 	}
 
+	if m.RouteInflight != nil {
+		fmt.Fprintf(w, "# HELP rtmd_route_inflight_requests Relayed decide requests awaiting replica replies.\n")
+		fmt.Fprintf(w, "# TYPE rtmd_route_inflight_requests gauge\n")
+		fmt.Fprintf(w, "rtmd_route_inflight_requests %d\n", *m.RouteInflight)
+	}
+	if len(m.RouteHops) > 0 {
+		replicas := make([]string, 0, len(m.RouteHops))
+		for r := range m.RouteHops {
+			replicas = append(replicas, r)
+		}
+		sort.Strings(replicas)
+		fmt.Fprintf(w, "# HELP rtmd_route_hop_seconds Routed decide round-trip per replica (router to replica and back).\n")
+		fmt.Fprintf(w, "# TYPE rtmd_route_hop_seconds histogram\n")
+		for _, r := range replicas {
+			writeLatencyHistogram(w, "rtmd_route_hop_seconds", "replica", r, m.RouteHops[r])
+		}
+	}
+
 	ids := make([]string, 0, len(m.Sessions))
 	for id := range m.Sessions {
 		ids = append(ids, id)
@@ -72,19 +90,7 @@ func writePrometheus(w io.Writer, m metricsJSON) {
 	fmt.Fprintf(w, "# HELP rtmd_decision_latency_seconds Decision latency under the session lock.\n")
 	fmt.Fprintf(w, "# TYPE rtmd_decision_latency_seconds histogram\n")
 	for _, id := range ids {
-		sm := m.Sessions[id]
-		// Underflow cannot occur (latency is non-negative and the range
-		// starts at 0) but fold it into the first bucket anyway so the
-		// buckets always sum to the count.
-		cum := sm.Underflow
-		for i, c := range sm.Bins {
-			cum += c
-			le := (sm.LoUS + float64(i+1)*sm.BinWidthUS) * 1e-6
-			fmt.Fprintf(w, "rtmd_decision_latency_seconds_bucket{session=%q,le=%q} %d\n", id, promFloat(le), cum)
-		}
-		fmt.Fprintf(w, "rtmd_decision_latency_seconds_bucket{session=%q,le=\"+Inf\"} %d\n", id, sm.Count)
-		fmt.Fprintf(w, "rtmd_decision_latency_seconds_sum{session=%q} %s\n", id, promFloat(sm.SumUS*1e-6))
-		fmt.Fprintf(w, "rtmd_decision_latency_seconds_count{session=%q} %d\n", id, sm.Count)
+		writeLatencyHistogram(w, "rtmd_decision_latency_seconds", "session", id, m.Sessions[id].latencyJSON)
 	}
 
 	writeLearningGauge(w, m, ids, "rtmd_session_epochs", "Decision epochs the session has served.",
@@ -119,6 +125,23 @@ func writePrometheus(w io.Writer, m metricsJSON) {
 			}
 			return promFloat(*lj.ConvergedFraction), true
 		})
+}
+
+// writeLatencyHistogram renders one latencyJSON as a Prometheus
+// histogram series under a single label (session or replica). The
+// microsecond bins convert to seconds; underflow cannot occur (both
+// histograms are non-negative with ranges starting at 0) but folds into
+// the first bucket anyway so the buckets always sum to the count.
+func writeLatencyHistogram(w io.Writer, name, label, value string, lj latencyJSON) {
+	cum := lj.Underflow
+	for i, c := range lj.Bins {
+		cum += c
+		le := (lj.LoUS + float64(i+1)*lj.BinWidthUS) * 1e-6
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, value, promFloat(le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, lj.Count)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", name, label, value, promFloat(lj.SumUS*1e-6))
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, lj.Count)
 }
 
 // writeLearningGauge renders one per-session learning gauge family,

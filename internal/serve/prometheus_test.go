@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -91,6 +92,11 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 			fmt.Sprintf(`rtmd_session_visits{session="p0"} %d`, decisions),
 			`rtmd_session_converged_fraction{session="p0"}`,
 		)
+		// A flat server relays nothing: the routed-hop families must be
+		// absent, not rendered as empty series.
+		if strings.Contains(body, "rtmd_route_") {
+			t.Errorf("flat server exposition contains routed-hop metrics:\n%s", body)
+		}
 		// Buckets are cumulative: the largest finite bucket must already
 		// hold every in-range sample, i.e. no line after +Inf contradicts
 		// the count. Spot-check monotonicity over the first two buckets.
@@ -108,10 +114,20 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		}
 	}
 
-	// The default content type is unchanged JSON.
+	// The default content type is unchanged JSON, and the routed-hop
+	// fields stay off a flat server's document entirely.
 	var m metricsResponse
 	if st := h.get("/v1/metrics", &m); st != http.StatusOK || m.Decisions != decisions {
 		t.Fatalf("JSON metrics: status %d %+v", st, m)
+	}
+	var raw map[string]json.RawMessage
+	if st := h.get("/v1/metrics", &raw); st != http.StatusOK {
+		t.Fatalf("JSON metrics: status %d", st)
+	}
+	for _, key := range []string{"route_hops", "route_inflight"} {
+		if _, present := raw[key]; present {
+			t.Errorf("flat server metrics JSON carries %q", key)
+		}
 	}
 }
 
@@ -154,8 +170,52 @@ func TestRouterPrometheusMetrics(t *testing.T) {
 	mustContain(t, body,
 		fmt.Sprintf("rtmd_decisions_total %d", len(ids)),
 		fmt.Sprintf("rtmd_sessions %d", len(ids)),
+		"# TYPE rtmd_route_hop_seconds histogram",
+		`rtmd_route_hop_seconds_count{replica="`,
+		"rtmd_route_inflight_requests 0",
 	)
 	for _, id := range ids {
 		mustContain(t, body, fmt.Sprintf(`rtmd_decision_latency_seconds_count{session=%q} 1`, id))
+	}
+
+	// Each routed decide above was one relayed hop; the per-replica hop
+	// counts must sum to exactly that across the fleet.
+	hops := 0
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "rtmd_route_hop_seconds_count{") {
+			var n int
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n)
+			hops += n
+		}
+	}
+	if hops != len(ids) {
+		t.Errorf("route hop counts sum to %d, want %d", hops, len(ids))
+	}
+
+	// The same document serves the JSON tier: route_hops per replica and
+	// the in-flight gauge, absent on a flat server by construction.
+	resp, err := rtHTTP.Client().Get(rtHTTP.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mj struct {
+		RouteHops map[string]struct {
+			Count int `json:"count"`
+		} `json:"route_hops"`
+		RouteInflight *int64 `json:"route_inflight"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mj); err != nil {
+		t.Fatal(err)
+	}
+	if mj.RouteInflight == nil || *mj.RouteInflight != 0 {
+		t.Errorf("route_inflight = %v, want 0 (present)", mj.RouteInflight)
+	}
+	jsonHops := 0
+	for _, h := range mj.RouteHops {
+		jsonHops += h.Count
+	}
+	if jsonHops != len(ids) {
+		t.Errorf("JSON route_hops counts sum to %d, want %d", jsonHops, len(ids))
 	}
 }

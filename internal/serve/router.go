@@ -14,19 +14,27 @@ import (
 	"qgov/internal/governor"
 	"qgov/internal/ring"
 	"qgov/internal/serve/client"
+	"qgov/internal/stats"
 	"qgov/internal/wire"
 )
 
 // Router is the fleet-facing front of a sharded rtmd deployment: it
 // owns no sessions itself, maps every session id onto a replica with a
-// consistent-hash ring, and forwards traffic over one persistent
-// multiplexed binary connection per replica. Decide batches split by
-// owner and fan out to the replicas in parallel — each replica's slice
-// of the batch travels as one flush on that replica's connection, so
-// the connection-level batch coalescing the flat server relies on is
-// preserved per replica. Control operations (create, checkpoint,
-// delete, info) follow the same ring; metrics and list aggregate across
-// the fleet.
+// consistent-hash ring, and forwards traffic over persistent
+// multiplexed binary connections (ConnsPerReplica of them per member,
+// relayed batches striped round-robin). The decide path is a zero-copy
+// pipelined relay: observe payloads coming off the binary listener are
+// forwarded as raw bytes — only the request id is rewritten — grouped
+// by owner, and dispatched without waiting for the previous batch's
+// replies, so up to the transport's pipeline depth of batches stay in
+// flight per inbound connection while each replica's slice still
+// travels as one flush on that replica's connection (the
+// connection-level batch coalescing the flat server relies on,
+// preserved per replica). Per-batch grouping state is pooled;
+// LegacyRelay restores the old blocking decode/re-encode relay.
+// Control operations (create, checkpoint, delete, info) follow the
+// same ring; metrics and list aggregate across the fleet, including a
+// per-replica relay hop histogram and in-flight gauge.
 //
 // The router serves the same two fronts as a replica: Handler is the
 // HTTP control plane (plus JSON decide), NewRouterTCP the binary
@@ -71,6 +79,19 @@ type Router struct {
 	nextID    atomic.Int64
 	decisions atomic.Int64
 
+	// relayWG counts in-flight relayed decide batches. Add runs under
+	// mu.RLock, Wait under mu.Lock — mutually exclusive, so a Wait never
+	// races a fresh Add. Ring changes Wait on it to restore the invariant
+	// the legacy path got from holding the read lock across the round
+	// trip: no decision lands on a session mid-move.
+	relayWG  sync.WaitGroup
+	inflight atomic.Int64
+
+	// hopmu guards hops: per-replica routed round-trip latency, recorded
+	// by relay completion goroutines and snapshotted by mergedMetrics.
+	hopmu sync.Mutex
+	hops  map[string]*stats.Histogram
+
 	done      chan struct{}
 	probeWG   sync.WaitGroup
 	closeOnce sync.Once
@@ -86,6 +107,20 @@ type memberStatus struct {
 // RouterOptions.ProbeEvery is zero.
 const defaultProbeEvery = 2 * time.Second
 
+// defaultPipelineDepth is the per-connection relay pipeline depth when
+// RouterOptions.PipelineDepth is zero: how many decide batches the
+// router's transport keeps in flight toward the replicas before the
+// reader stops pulling new frames off a client connection.
+const defaultPipelineDepth = 4
+
+// Routed hop latency histogram shape: 0–20ms in 400µs bins covers
+// loopback and rack-local round trips; slower hops land in overflow,
+// which the exposition still counts.
+const (
+	routeHopHiUS = 20000
+	routeHopBins = 50
+)
+
 // RouterOptions configures a Router.
 type RouterOptions struct {
 	// VirtualNodes is the ring's virtual-node count per replica; <= 0
@@ -98,6 +133,19 @@ type RouterOptions struct {
 	ProbeEvery time.Duration
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
+	// ConnsPerReplica is how many binary connections the router opens to
+	// each replica; batches stripe across them. <= 0 selects 1.
+	ConnsPerReplica int
+	// PipelineDepth bounds how many decide batches each client
+	// connection keeps in flight toward the replicas before the router
+	// stops pulling new frames off it. Zero selects
+	// defaultPipelineDepth; LegacyRelay disables pipelining entirely.
+	PipelineDepth int
+	// LegacyRelay restores the pre-pipelining relay: each decide batch
+	// decodes into observations, re-encodes toward the replicas, and
+	// blocks its connection until every reply lands. Kept as an escape
+	// hatch and as the baseline the routed benchmarks compare against.
+	LegacyRelay bool
 }
 
 // NewRouter dials every replica's binary address and builds the ring
@@ -118,7 +166,7 @@ func NewRouter(replicas []string, opt RouterOptions) (*Router, error) {
 		if _, dup := rt.clients[addr]; dup {
 			continue
 		}
-		cl, err := client.Dial(addr)
+		cl, err := rt.dialReplica(addr)
 		if err != nil {
 			rt.Close()
 			return nil, fmt.Errorf("serve: dialing replica %s: %w", addr, err)
@@ -138,6 +186,13 @@ func NewRouter(replicas []string, opt RouterOptions) (*Router, error) {
 		go rt.probeLoop(every)
 	}
 	return rt, nil
+}
+
+// dialReplica opens the router's client to one replica, honoring the
+// configured connection count. Every replica dial goes through here so
+// redials and joins get the same sharding as the initial fleet.
+func (rt *Router) dialReplica(addr string) (*client.Client, error) {
+	return client.DialOpts(addr, client.DialOptions{Conns: rt.opt.ConnsPerReplica})
 }
 
 // memberEpoch implements connBackend: routed decide replies carry the
@@ -168,6 +223,9 @@ func (rt *Router) Close() error {
 		delete(rt.clients, addr)
 		rt.ring.Remove(addr)
 	}
+	// Closing the clients failed any in-flight relays; wait for their
+	// completion goroutines to finish writing their batches.
+	rt.relayWG.Wait()
 	return firstErr
 }
 
@@ -298,7 +356,7 @@ func (rt *Router) probeOnce() {
 			}
 			// Poisoned or unresponsive: fall through to a redial.
 		}
-		nc, err := client.Dial(addr)
+		nc, err := rt.dialReplica(addr)
 		if err != nil {
 			rt.setStatus(addr, false, err.Error())
 			continue
@@ -327,10 +385,227 @@ func (rt *Router) probeOnce() {
 }
 
 // decideBatch implements connBackend: requests group by owning replica
-// and fan out in parallel, one DecideBatch (one flush, one coalesced
-// server-side fan-out) per replica. Entries for unreachable replicas
-// fail individually, exactly like unknown sessions.
+// and fan out, one relay (one flush, one coalesced server-side fan-out)
+// per replica. Entries for unreachable replicas fail individually,
+// exactly like unknown sessions. The JSON decide path and the legacy
+// relay come through here and block until the batch is answered; the
+// pipelined binary transport calls startBatch directly instead, so the
+// connection's reader keeps pulling frames while this batch is in
+// flight.
 func (rt *Router) decideBatch(batch []*observeReq) {
+	if rt.pipelineDepth() > 0 {
+		<-rt.startBatch(batch)
+		return
+	}
+	rt.legacyDecideBatch(batch)
+}
+
+// pipelineDepth implements batchStarter: a positive depth switches the
+// binary transport's connection workers to the pipelined dispatcher.
+func (rt *Router) pipelineDepth() int {
+	if rt.opt.LegacyRelay {
+		return 0
+	}
+	if rt.opt.PipelineDepth > 0 {
+		return rt.opt.PipelineDepth
+	}
+	return defaultPipelineDepth
+}
+
+// routeGroup is one replica's slice of a relayed batch: the original
+// batch positions, the observe payloads aliased straight out of the
+// requests, and the decision slots the relay fills.
+type routeGroup struct {
+	addr     string
+	idx      []int
+	payloads [][]byte
+	out      []client.Decision
+	rel      *client.Relay
+	start    time.Time
+}
+
+// routeScratch holds one batch's grouping state. Pooled: the routed hot
+// path reuses the map and every group's slices across batches instead
+// of allocating them per call.
+type routeScratch struct {
+	groups map[string]*routeGroup
+	used   []*routeGroup // groups in dispatch order
+	free   []*routeGroup
+}
+
+var routeScratchPool = sync.Pool{New: func() any {
+	return &routeScratch{groups: make(map[string]*routeGroup)}
+}}
+
+// group returns the (possibly recycled) group for one replica.
+func (s *routeScratch) group(addr string) *routeGroup {
+	g := s.groups[addr]
+	if g == nil {
+		if n := len(s.free); n > 0 {
+			g, s.free = s.free[n-1], s.free[:n-1]
+		} else {
+			g = &routeGroup{}
+		}
+		g.addr = addr
+		s.groups[addr] = g
+		s.used = append(s.used, g)
+	}
+	return g
+}
+
+// release clears payload and error references (they alias pooled
+// request buffers and per-batch strings) and returns the scratch.
+func (s *routeScratch) release() {
+	for _, g := range s.used {
+		delete(s.groups, g.addr)
+		g.idx = g.idx[:0]
+		clear(g.payloads)
+		g.payloads = g.payloads[:0]
+		for i := range g.out {
+			g.out[i] = client.Decision{}
+		}
+		g.out = g.out[:0]
+		g.rel = nil
+		s.free = append(s.free, g)
+	}
+	s.used = s.used[:0]
+	routeScratchPool.Put(s)
+}
+
+// startBatch implements batchStarter: it relays the batch's already-
+// encoded observe payloads to their owning replicas — no decode, no
+// re-encode, only the request id is rewritten per frame — and returns a
+// channel that closes when every entry is answered. Grouping and
+// dispatch run on the caller's goroutine under the read lock (so the
+// ring cannot change under the batch, and per-replica frame order
+// follows arrival order); waiting moves to a completion goroutine, so
+// the transport can keep further batches in flight.
+func (rt *Router) startBatch(batch []*observeReq) <-chan struct{} {
+	done := make(chan struct{})
+	s := routeScratchPool.Get().(*routeScratch)
+
+	rt.mu.RLock()
+	relayed := 0
+	for i, r := range batch {
+		if r.ctrl {
+			continue // callers split controls out; defensive
+		}
+		owner, ok := rt.ring.OwnerBytes(r.m.Session)
+		if !ok {
+			r.oppIdx, r.freqMHz = -1, 0
+			r.errMsg = "router has no replicas"
+			continue
+		}
+		payload := r.raw
+		if len(payload) == 0 {
+			// JSON-path requests carry no wire payload; encode one. The id
+			// is rewritten at relay time, so zero is fine here.
+			var err error
+			r.raw, err = wire.AppendObserveBytes(r.raw[:0], 0, r.m.Flags, r.m.Session, &r.m.Obs)
+			if err != nil {
+				r.oppIdx, r.freqMHz = -1, 0
+				r.errMsg = err.Error()
+				continue
+			}
+			payload = r.raw[wire.HeaderSize:]
+		}
+		g := s.group(owner)
+		g.idx = append(g.idx, i)
+		// The payload bytes stay owned by their pooled request until the
+		// whole batch is answered (the transport pools a request only
+		// after done closes), so the group aliases them.
+		g.payloads = append(g.payloads, payload)
+		relayed++
+	}
+
+	for _, g := range s.used {
+		n := len(g.idx)
+		if cap(g.out) < n {
+			g.out = make([]client.Decision, n)
+		} else {
+			g.out = g.out[:n]
+		}
+		g.start = time.Now()
+		rel, err := rt.clients[g.addr].StartRelay(g.payloads, g.out)
+		if err != nil {
+			for _, i := range g.idx {
+				batch[i].oppIdx, batch[i].freqMHz = -1, 0
+				batch[i].errMsg = fmt.Sprintf("replica %s: %v", g.addr, err)
+			}
+			relayed -= n
+			continue
+		}
+		g.rel = rel
+	}
+	rt.inflight.Add(int64(relayed))
+	rt.relayWG.Add(1)
+	rt.mu.RUnlock()
+
+	go func() {
+		for _, g := range s.used {
+			if g.rel == nil {
+				continue
+			}
+			err := g.rel.Wait()
+			rt.recordHop(g.addr, time.Since(g.start))
+			for k, i := range g.idx {
+				r := batch[i]
+				if err != nil {
+					r.oppIdx, r.freqMHz = -1, 0
+					r.errMsg = fmt.Sprintf("replica %s: %v", g.addr, err)
+					continue
+				}
+				r.oppIdx = int32(g.out[k].OPPIdx)
+				r.freqMHz = int32(g.out[k].FreqMHz)
+				r.errMsg = g.out[k].Err
+				if g.out[k].Err == "" {
+					rt.decisions.Add(1)
+				}
+			}
+		}
+		rt.inflight.Add(int64(-relayed))
+		s.release()
+		rt.relayWG.Done()
+		close(done)
+	}()
+	return done
+}
+
+// recordHop folds one replica round trip into that replica's hop
+// histogram (microseconds, same unit as session decide latency).
+func (rt *Router) recordHop(addr string, d time.Duration) {
+	us := float64(d) / float64(time.Microsecond)
+	rt.hopmu.Lock()
+	if rt.hops == nil {
+		rt.hops = make(map[string]*stats.Histogram)
+	}
+	h := rt.hops[addr]
+	if h == nil {
+		h = stats.NewHistogram(0, routeHopHiUS, routeHopBins)
+		rt.hops[addr] = h
+	}
+	h.Add(us)
+	rt.hopmu.Unlock()
+}
+
+// hopSnapshot renders the per-replica hop histograms for /v1/metrics.
+func (rt *Router) hopSnapshot() map[string]latencyJSON {
+	rt.hopmu.Lock()
+	defer rt.hopmu.Unlock()
+	if len(rt.hops) == 0 {
+		return nil
+	}
+	out := make(map[string]latencyJSON, len(rt.hops))
+	for addr, h := range rt.hops {
+		out[addr] = latencyFromHistogram(h)
+	}
+	return out
+}
+
+// legacyDecideBatch is the pre-pipelining relay, kept behind
+// RouterOptions.LegacyRelay: decode each request, re-encode toward the
+// owner, and hold the read lock across the whole round trip.
+func (rt *Router) legacyDecideBatch(batch []*observeReq) {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
 
@@ -539,6 +814,9 @@ func (rt *Router) mergedMetrics() (metricsJSON, error) {
 		}
 		return metricsJSON{}, firstErr
 	}
+	merged.RouteHops = rt.hopSnapshot()
+	inflight := rt.inflight.Load()
+	merged.RouteInflight = &inflight
 	return merged, nil
 }
 
@@ -615,6 +893,10 @@ func (rt *Router) aggregateList() (uint16, []byte) {
 func (rt *Router) RemoveReplica(addr string) ([]string, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	// Quiesce the pipelined relay: in-flight batches dispatched under the
+	// read lock must land before any session moves, or a decision could
+	// reach a replica after the drain enumerated its sessions.
+	rt.relayWG.Wait()
 
 	leaving := rt.clients[addr]
 	if leaving == nil {
@@ -670,12 +952,15 @@ func (rt *Router) RemoveReplica(addr string) ([]string, error) {
 // the membership epoch bumps and the new table is pushed fleet-wide; it
 // returns the moved session ids.
 func (rt *Router) AddReplica(addr string) ([]string, error) {
-	cl, err := client.Dial(addr)
+	cl, err := rt.dialReplica(addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: dialing replica %s: %w", addr, err)
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	// Same quiesce as RemoveReplica: no relayed decision may straddle the
+	// ring change.
+	rt.relayWG.Wait()
 	if rt.ring.Has(addr) {
 		cl.Close()
 		return nil, fmt.Errorf("serve: %s is already a replica", addr)

@@ -79,9 +79,36 @@ func driveFrames(s *sim.Session, maxFrames int, decide func(obs governor.Observa
 // the hand-off itself introduced would surface as a decision mismatch.
 func TestRouterEquivalence(t *testing.T) {
 	dirFleet := t.TempDir()
-	runRouterFlatEquivalence(t, serve.Options{CheckpointDir: dirFleet}, func(id string) ([]byte, error) {
+	runRouterFlatEquivalence(t, serve.Options{CheckpointDir: dirFleet}, serve.RouterOptions{}, func(id string) ([]byte, error) {
 		return os.ReadFile(dirFleet + "/" + id + ".state")
 	})
+}
+
+// TestRouterEquivalencePipelinedMultiConn re-runs the router-vs-flat
+// suite with the relay's concurrency knobs turned up: two connections
+// per replica (batches stripe across them) and an explicit pipeline
+// depth, so several relayed batches ride each replica connection at
+// once. The byte-identical contract must survive both — under -race
+// this is the pipelined relay's equivalence test.
+func TestRouterEquivalencePipelinedMultiConn(t *testing.T) {
+	dirFleet := t.TempDir()
+	runRouterFlatEquivalence(t, serve.Options{CheckpointDir: dirFleet},
+		serve.RouterOptions{ConnsPerReplica: 2, PipelineDepth: 4},
+		func(id string) ([]byte, error) {
+			return os.ReadFile(dirFleet + "/" + id + ".state")
+		})
+}
+
+// TestRouterEquivalenceLegacyRelay keeps the legacy blocking relay (the
+// -pipeline-depth<0 escape hatch and the benchmark baseline) honest
+// against the same contract.
+func TestRouterEquivalenceLegacyRelay(t *testing.T) {
+	dirFleet := t.TempDir()
+	runRouterFlatEquivalence(t, serve.Options{CheckpointDir: dirFleet},
+		serve.RouterOptions{LegacyRelay: true},
+		func(id string) ([]byte, error) {
+			return os.ReadFile(dirFleet + "/" + id + ".state")
+		})
 }
 
 // TestRouterHandoffThroughRegistry re-runs the router-vs-flat suite with
@@ -96,14 +123,14 @@ func TestRouterHandoffThroughRegistry(t *testing.T) {
 	runRouterFlatEquivalence(t, serve.Options{
 		Checkpoints: registry.Checkpoints(blobs),
 		Registry:    registry.New(blobs),
-	}, registry.Checkpoints(blobs).Load)
+	}, serve.RouterOptions{}, registry.Checkpoints(blobs).Load)
 }
 
 // runRouterFlatEquivalence drives the shared equivalence scenario; the
 // fleet's checkpoint placement is the caller's (a shared directory, the
 // registry) and loadFleetCkpt reads one session's frozen fleet state
 // back for the byte comparison.
-func runRouterFlatEquivalence(t *testing.T, fleetOpt serve.Options, loadFleetCkpt func(id string) ([]byte, error)) {
+func runRouterFlatEquivalence(t *testing.T, fleetOpt serve.Options, rtOpt serve.RouterOptions, loadFleetCkpt func(id string) ([]byte, error)) {
 	const (
 		scn      = "rtm/mpeg4-30fps/a15"
 		frames   = 120
@@ -115,7 +142,7 @@ func runRouterFlatEquivalence(t *testing.T, fleetOpt serve.Options, loadFleetCkp
 	flat := newTestServer(t, serve.Options{CheckpointDir: dirFlat})
 	fleet, addrs := newFleet(t, replicas, fleetOpt)
 
-	rt, err := serve.NewRouter(addrs, serve.RouterOptions{})
+	rt, err := serve.NewRouter(addrs, rtOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,86 +452,104 @@ func obsFromGov(o governor.Observation) obsJSON {
 func BenchmarkRoutedDecideThroughput(b *testing.B) {
 	for _, replicas := range []int{2, 3, 4} {
 		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
-			const sessions = 256
-			_, addrs := newFleet(b, replicas, serve.Options{})
-
-			rt, err := serve.NewRouter(addrs, serve.RouterOptions{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer rt.Close()
-			lis, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				b.Fatal(err)
-			}
-			rtTCP := serve.NewRouterTCP(rt, lis)
-			go func() { _ = rtTCP.Serve() }()
-			defer rtTCP.Close()
-
-			cl, err := client.Dial(lis.Addr().String())
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer cl.Close()
-
-			ids := make([]string, sessions)
-			obs := make([]governor.Observation, sessions)
-			out := make([]client.Decision, sessions)
-			for i := range ids {
-				ids[i] = fmt.Sprintf("rb-%d", i)
-				obs[i] = steadyObs()
-				body := fmt.Sprintf(`{"id":%q,"governor":"rtm","seed":%d}`, ids[i], i+1)
-				if st, resp, err := cl.CreateSession([]byte(body)); err != nil || st != http.StatusCreated {
-					b.Fatalf("create %s: status %d err %v (%s)", ids[i], st, err, resp)
-				}
-			}
-
-			check := func() {
-				if err := cl.DecideBatch(ids, obs, out); err != nil {
-					b.Fatal(err)
-				}
-				for _, d := range out {
-					if d.Err != "" {
-						b.Fatal(d.Err)
-					}
-				}
-			}
-			check() // warm the path before timing
-
-			// Keep 2 batches per replica in flight: each lane owns a
-			// session slice and pipelines its own DecideBatch loop.
-			lanes := 2 * replicas
-			per := sessions / lanes
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			errs := make(chan error, lanes)
-			for l := 0; l < lanes; l++ {
-				wg.Add(1)
-				go func(l int) {
-					defer wg.Done()
-					lo, hi := l*per, (l+1)*per
-					if l == lanes-1 {
-						hi = sessions
-					}
-					lout := make([]client.Decision, hi-lo)
-					for i := 0; i < b.N; i++ {
-						if err := cl.DecideBatch(ids[lo:hi], obs[lo:hi], lout); err != nil {
-							errs <- err
-							return
-						}
-					}
-				}(l)
-			}
-			wg.Wait()
-			b.StopTimer()
-			close(errs)
-			for err := range errs {
-				b.Fatal(err)
-			}
-			check()
-			total := float64(sessions) * float64(b.N)
-			b.ReportMetric(total/b.Elapsed().Seconds(), "decisions/s")
-			b.ReportMetric(float64(replicas), "replicas")
+			// Two connections per replica plus the default pipeline depth:
+			// the configuration the relay rework targets.
+			benchRoutedDecide(b, replicas, serve.RouterOptions{ConnsPerReplica: 2})
 		})
 	}
+}
+
+// BenchmarkRoutedLegacyDecideThroughput is the same load through the
+// legacy blocking relay (decode, re-encode, one batch in flight per
+// connection) — the baseline the pipelined numbers in BENCH_7.json are
+// read against.
+func BenchmarkRoutedLegacyDecideThroughput(b *testing.B) {
+	for _, replicas := range []int{2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			benchRoutedDecide(b, replicas, serve.RouterOptions{LegacyRelay: true})
+		})
+	}
+}
+
+func benchRoutedDecide(b *testing.B, replicas int, rtOpt serve.RouterOptions) {
+	const sessions = 256
+	_, addrs := newFleet(b, replicas, serve.Options{})
+
+	rt, err := serve.NewRouter(addrs, rtOpt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rtTCP := serve.NewRouterTCP(rt, lis)
+	go func() { _ = rtTCP.Serve() }()
+	defer rtTCP.Close()
+
+	cl, err := client.Dial(lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	ids := make([]string, sessions)
+	obs := make([]governor.Observation, sessions)
+	out := make([]client.Decision, sessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("rb-%d", i)
+		obs[i] = steadyObs()
+		body := fmt.Sprintf(`{"id":%q,"governor":"rtm","seed":%d}`, ids[i], i+1)
+		if st, resp, err := cl.CreateSession([]byte(body)); err != nil || st != http.StatusCreated {
+			b.Fatalf("create %s: status %d err %v (%s)", ids[i], st, err, resp)
+		}
+	}
+
+	check := func() {
+		if err := cl.DecideBatch(ids, obs, out); err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range out {
+			if d.Err != "" {
+				b.Fatal(d.Err)
+			}
+		}
+	}
+	check() // warm the path before timing
+
+	// Keep 2 batches per replica in flight: each lane owns a
+	// session slice and pipelines its own DecideBatch loop.
+	lanes := 2 * replicas
+	per := sessions / lanes
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errs := make(chan error, lanes)
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			lo, hi := l*per, (l+1)*per
+			if l == lanes-1 {
+				hi = sessions
+			}
+			lout := make([]client.Decision, hi-lo)
+			for i := 0; i < b.N; i++ {
+				if err := cl.DecideBatch(ids[lo:hi], obs[lo:hi], lout); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(errs)
+	for err := range errs {
+		b.Fatal(err)
+	}
+	check()
+	total := float64(sessions) * float64(b.N)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "decisions/s")
+	b.ReportMetric(float64(replicas), "replicas")
 }

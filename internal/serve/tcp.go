@@ -62,6 +62,27 @@ type connBackend interface {
 	logf(format string, args ...any)
 }
 
+// batchStarter is the optional pipelined refinement of connBackend: the
+// backend dispatches a batch asynchronously and returns a channel that
+// closes when every entry is answered. A connection whose backend
+// implements it (and reports a positive depth) overlaps batches — up to
+// pipelineDepth() dispatched batches wait for answers while the reader
+// keeps coalescing the next — instead of blocking the respond worker on
+// each batch in turn. The router implements it: a relay's round trips
+// to the replicas are exactly the waits worth overlapping, and one slow
+// replica then stalls only its own lane instead of the connection.
+//
+// Requests reaching startBatch carry their raw observe payload (the
+// reader captures it), so a relaying backend forwards the encoded bytes
+// without re-encoding. Replies still go back in dispatch order — the
+// client-visible stream is indistinguishable from the serial worker's.
+type batchStarter interface {
+	startBatch(batch []*observeReq) <-chan struct{}
+	// pipelineDepth bounds the dispatched-but-unanswered batches per
+	// connection; <= 0 disables pipelining (the serial worker runs).
+	pipelineDepth() int
+}
+
 // NewTCP wraps srv with a binary-transport listener. Call Serve to
 // accept; Shutdown (or Close) before srv.Close so the final checkpoint
 // sees every drained decision.
@@ -209,6 +230,13 @@ type observeReq struct {
 	// the forwarding pass may still answer it via the ring owner.
 	unknown bool
 
+	// raw is the encoded observe payload, captured only on pipelined
+	// (relaying) connections: the backend forwards these bytes to the
+	// owning replica with just the request id rewritten, never decoding
+	// the observation. When raw is set, m carries only the relay metadata
+	// (ID, Flags, Session — the session aliases raw); m.Obs is stale.
+	raw []byte
+
 	ctrl       bool
 	cm         wire.Control
 	ctrlStatus uint16
@@ -216,6 +244,17 @@ type observeReq struct {
 }
 
 var observePool = sync.Pool{New: func() any { return new(observeReq) }}
+
+// putObserveReq resets a request's per-use state and returns it to the
+// pool. raw keeps its capacity (truncated to zero) so relay connections
+// stop allocating in steady state.
+func putObserveReq(r *observeReq) {
+	r.errMsg = ""
+	r.unknown = false
+	r.ctrlBody = nil
+	r.raw = r.raw[:0]
+	observePool.Put(r)
+}
 
 // maxWireErrLen truncates per-request error messages on the wire; real
 // governor errors are a line, anything longer is a recovered panic dump.
@@ -232,20 +271,34 @@ func (c *tcpConn) run() {
 	defer c.t.unregister(c)
 	defer c.conn.Close()
 
+	// A backend that can dispatch batches asynchronously gets the
+	// pipelined worker; everything else keeps the serial one. The mode is
+	// fixed per connection — the reader captures raw payloads only when a
+	// relaying backend will forward them.
+	bs, _ := c.t.b.(batchStarter)
+	pipelined := bs != nil && bs.pipelineDepth() > 0
+
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		c.respond()
+		if pipelined {
+			c.respondPipelined(bs)
+		} else {
+			c.respond()
+		}
 	}()
-	c.read()
+	c.read(pipelined)
 	close(c.reqs) // reader is done; let the worker drain and exit
 	<-done
 }
 
 // read decodes frames until the stream ends. Any protocol error (bad
 // magic, truncated message, unexpected frame type) drops the connection
-// — framing is byte-exact, so there is no way to resynchronise.
-func (c *tcpConn) read() {
+// — framing is byte-exact, so there is no way to resynchronise. With
+// raw set (a relaying backend), observe payloads are copied verbatim
+// instead of decoded: the relay needs only the id and session, which
+// ObserveMeta reads at fixed offsets.
+func (c *tcpConn) read(raw bool) {
 	r := wire.NewReader(c.conn)
 	for {
 		typ, payload, err := r.Next()
@@ -258,17 +311,24 @@ func (c *tcpConn) read() {
 		switch typ {
 		case wire.MsgObserve:
 			req.ctrl = false
-			err = req.m.Decode(payload)
+			if raw {
+				// The reader's payload buffer is reused next frame; the
+				// request owns a copy, and the decoded session aliases it.
+				req.raw = append(req.raw[:0], payload...)
+				req.m.ID, req.m.Flags, req.m.Session, err = wire.ObserveMeta(req.raw)
+			} else {
+				err = req.m.Decode(payload)
+			}
 		case wire.MsgControl:
 			req.ctrl = true
 			err = req.cm.Decode(payload)
 		default:
-			observePool.Put(req)
+			putObserveReq(req)
 			c.t.b.logf("serve: tcp %s: unexpected frame type 0x%02x", c.conn.RemoteAddr(), typ)
 			return
 		}
 		if err != nil {
-			observePool.Put(req)
+			putObserveReq(req)
 			c.t.b.logf("serve: tcp %s: %v", c.conn.RemoteAddr(), err)
 			return
 		}
@@ -337,7 +397,6 @@ func (c *tcpConn) respond() {
 					scratch, err = wire.AppendControlReply(scratch[:0], r.cm.ID,
 						500, errorBody(errf("control response exceeds the frame bound")))
 				}
-				r.ctrlBody = nil
 			} else {
 				// Cap the error message below the codec's 64 KiB field
 				// bound: a failed AppendDecide would otherwise drop the
@@ -354,9 +413,7 @@ func (c *tcpConn) respond() {
 					writeErr = true
 				}
 			}
-			r.errMsg = ""
-			r.unknown = false
-			observePool.Put(r)
+			putObserveReq(r)
 		}
 		if !writeErr {
 			writeErr = bw.Flush() != nil
@@ -366,9 +423,239 @@ func (c *tcpConn) respond() {
 			// unblocks, then drain its queue so it never blocks sending.
 			c.conn.Close()
 			for r := range c.reqs {
-				observePool.Put(r)
+				putObserveReq(r)
 			}
 			return
+		}
+	}
+}
+
+// flight is one dispatched unit of the pipelined worker: a run of
+// requests whose answers land when done closes. Control frames ride as
+// single-request flights with an already-closed done (they execute
+// synchronously at their barrier), so the reply writer emits everything
+// in dispatch order without telling the two kinds apart.
+type flight struct {
+	queue []*observeReq
+	done  <-chan struct{}
+}
+
+// respondPipelined is the pipelined twin of respond: it coalesces
+// arrivals exactly the same way, but dispatches each observe run
+// through startBatch and moves on to the next drain instead of blocking
+// for the answers — up to depth dispatched batches overlap, so a slow
+// lane (one stalled replica behind a router) no longer gates frames
+// bound elsewhere. A separate writer goroutine emits replies strictly
+// in dispatch order, which equals arrival order: the client-visible
+// stream is the serial worker's, byte for byte.
+//
+// Control frames keep their barrier semantics: every outstanding flight
+// completes before the control executes, and its reply takes its place
+// in the dispatch order.
+func (c *tcpConn) respondPipelined(bs batchStarter) {
+	depth := bs.pipelineDepth()
+	flights := make(chan flight, depth)
+	wfail := make(chan struct{}) // closed by the writer when the conn's write half dies
+	wdone := make(chan struct{})
+	go func() {
+		defer close(wdone)
+		c.writeReplies(flights, wfail)
+	}()
+
+	ctrlDone := make(chan struct{})
+	close(ctrlDone)
+
+	// outstanding tracks dispatched flights whose done has not been seen
+	// closed yet; the control barrier waits them out. Bounded: the
+	// flights channel applies backpressure at depth, and completed
+	// entries are pruned each drain.
+	var outstanding []<-chan struct{}
+	failed := false
+
+	dispatch := func(f flight) {
+		if failed {
+			// The writer is gone; the backend still owns the requests
+			// until done closes, then they pool here.
+			<-f.done
+			for _, r := range f.queue {
+				putObserveReq(r)
+			}
+			return
+		}
+		select {
+		case flights <- f:
+			outstanding = append(outstanding, f.done)
+		case <-wfail:
+			failed = true
+			<-f.done
+			for _, r := range f.queue {
+				putObserveReq(r)
+			}
+		}
+	}
+
+	for {
+		req, ok := <-c.reqs
+		if !ok {
+			close(flights)
+			<-wdone
+			return
+		}
+		// Fresh slice per drain: its sub-slices fly as flights that
+		// outlive this loop iteration.
+		queue := make([]*observeReq, 0, 16)
+		queue = append(queue, req)
+	coalesce:
+		for len(queue) < maxDecideBatch {
+			select {
+			case more, ok := <-c.reqs:
+				if !ok {
+					break coalesce
+				}
+				queue = append(queue, more)
+			default:
+				break coalesce
+			}
+		}
+
+		for len(outstanding) > 0 {
+			select {
+			case <-outstanding[0]:
+				outstanding = outstanding[1:]
+				continue
+			default:
+			}
+			break
+		}
+		if !failed {
+			select {
+			case <-wfail:
+				failed = true
+			default:
+			}
+		}
+
+		// Dispatch the drain in arrival order: each maximal observe run
+		// is one flight, each control frame a barrier between runs.
+		for i := 0; i < len(queue); {
+			if r := queue[i]; r.ctrl {
+				for _, d := range outstanding {
+					<-d
+				}
+				outstanding = outstanding[:0]
+				if failed {
+					putObserveReq(r)
+				} else {
+					r.ctrlStatus, r.ctrlBody = c.t.b.control(r.cm.Op, string(r.cm.Session), r.cm.Body)
+					dispatch(flight{queue: queue[i : i+1], done: ctrlDone})
+				}
+				i++
+				continue
+			}
+			j := i
+			for j < len(queue) && !queue[j].ctrl {
+				j++
+			}
+			if failed {
+				for _, r := range queue[i:j] {
+					putObserveReq(r)
+				}
+			} else {
+				run := queue[i:j]
+				dispatch(flight{queue: run, done: bs.startBatch(run)})
+			}
+			i = j
+		}
+	}
+}
+
+// writeReplies is the pipelined worker's write half: it waits each
+// flight out in dispatch order and answers it. The flush policy matches
+// the serial worker's one-flush-per-drain instinct: replies accumulate
+// while a completed flight is immediately next, and flush when the
+// pipeline has nothing ready — so a caller blocked on the oldest batch
+// is never left waiting behind an unflushed buffer.
+func (c *tcpConn) writeReplies(flights <-chan flight, wfail chan struct{}) {
+	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	var scratch []byte
+	failed := false
+	fail := func() {
+		if !failed {
+			failed = true
+			// Close so the reader unblocks; the dispatcher sees wfail and
+			// stops dispatching.
+			c.conn.Close()
+			close(wfail)
+		}
+	}
+	writeFlight := func(f flight) {
+		<-f.done
+		if !failed {
+			epoch := c.t.b.memberEpoch()
+			for _, r := range f.queue {
+				var err error
+				if r.ctrl {
+					scratch, err = wire.AppendControlReply(scratch[:0], r.cm.ID, r.ctrlStatus, r.ctrlBody)
+					if err != nil {
+						scratch, err = wire.AppendControlReply(scratch[:0], r.cm.ID,
+							500, errorBody(errf("control response exceeds the frame bound")))
+					}
+				} else {
+					if len(r.errMsg) > maxWireErrLen {
+						r.errMsg = r.errMsg[:maxWireErrLen]
+					}
+					scratch, err = wire.AppendDecide(scratch[:0], r.m.ID, epoch, r.oppIdx, r.freqMHz, r.errMsg)
+				}
+				if err != nil {
+					fail() // cannot answer → the connection must die
+				} else if !failed {
+					if _, werr := bw.Write(scratch); werr != nil {
+						fail()
+					}
+				}
+			}
+		}
+		for _, r := range f.queue {
+			putObserveReq(r)
+		}
+	}
+
+	for {
+		f, ok := <-flights
+		if !ok {
+			if !failed && bw.Flush() != nil {
+				fail()
+			}
+			return
+		}
+		writeFlight(f)
+	next:
+		for !failed {
+			select {
+			case f2, ok2 := <-flights:
+				if !ok2 {
+					if !failed && bw.Flush() != nil {
+						fail()
+					}
+					return
+				}
+				select {
+				case <-f2.done:
+					// Already answered — write it under the same flush.
+				default:
+					// The next flight is still in the air: flush what the
+					// oldest callers are waiting on before blocking on it.
+					if bw.Flush() != nil {
+						fail()
+					}
+				}
+				writeFlight(f2)
+			default:
+				break next
+			}
+		}
+		if !failed && bw.Flush() != nil {
+			fail()
 		}
 	}
 }

@@ -54,9 +54,17 @@ func frameSeeds(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	// Relay-path shapes: a maximum-length session id (the ObserveMeta
+	// bound) and a flags byte with every bit set.
+	longSess, err := wire.AppendObserveBytes(nil, 8, 0xff, bytes.Repeat([]byte("s"), wire.MaxSession), &obs)
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(frame)
 	f.Add(dec)
 	f.Add(ctrl)
+	f.Add(longSess)
+	f.Add(longSess[:wire.HeaderSize+58]) // observe cut right at the session bytes
 	f.Add(warm)
 	f.Add(reply)
 	f.Add(fwd)
@@ -109,9 +117,41 @@ func FuzzDecodeFrame(f *testing.F) {
 			if err != nil {
 				return
 			}
+			// Any payload the reader accepts must survive re-framing: the
+			// router's relay path re-frames payloads verbatim with
+			// AppendFrame, so the new frame must decode back bit-identically.
+			if reframed, ferr := wire.AppendFrame(nil, typ, payload); ferr != nil {
+				t.Fatalf("AppendFrame rejected an accepted payload (%d bytes): %v", len(payload), ferr)
+			} else if t2, p2, rest, derr := wire.DecodeFrame(reframed); derr != nil || t2 != typ || len(rest) != 0 || !bytes.Equal(p2, payload) {
+				t.Fatalf("re-framed payload mangled: typ %d→%d rest %d err %v", typ, t2, len(rest), derr)
+			}
 			switch typ {
 			case wire.MsgObserve:
-				_ = o.Decode(payload)
+				if o.Decode(payload) == nil {
+					// The zero-copy relay metadata must agree with the full
+					// decoder on every frame the decoder accepts.
+					id, flags, sess, merr := wire.ObserveMeta(payload)
+					if merr != nil {
+						t.Fatalf("ObserveMeta rejected a decodable observe: %v", merr)
+					}
+					if id != o.ID || flags != o.Flags || !bytes.Equal(sess, o.Session) {
+						t.Fatalf("ObserveMeta = (%d, %#x, %q), Decode = (%d, %#x, %q)",
+							id, flags, sess, o.ID, o.Flags, o.Session)
+					}
+					// Rewriting the id (what the relay does per request) must
+					// change the id and nothing else.
+					if err := wire.SetObserveID(payload, id^0xdeadbeef); err != nil {
+						t.Fatalf("SetObserveID: %v", err)
+					}
+					var o2 wire.Observe
+					if err := o2.Decode(payload); err != nil {
+						t.Fatalf("observe broken by SetObserveID: %v", err)
+					}
+					if o2.ID != o.ID^0xdeadbeef || o2.Flags != o.Flags || !bytes.Equal(o2.Session, o.Session) ||
+						!observationsBitEqual(o2.Obs, o.Obs) {
+						t.Fatal("SetObserveID changed more than the id")
+					}
+				}
 			case wire.MsgDecide:
 				_ = d.Decode(payload)
 			case wire.MsgControl:

@@ -355,6 +355,62 @@ func AppendControlReply(dst []byte, id uint32, status uint16, body []byte) ([]by
 	return out, nil
 }
 
+// Fixed offsets inside a MsgObserve payload. The layout is
+// AppendObserveFlags's append order: id u32, flags u8, epoch u64, five
+// f64 scalars, OPP u32, session length u8, session bytes, then the
+// variable-length cycle/util vectors. Everything before the session is
+// fixed-width, which is what lets a relay patch the request id and read
+// the routing key without decoding the frame.
+const (
+	observeFlagsOff   = 4
+	observeSessLenOff = 57
+	observeSessOff    = 58
+)
+
+// ObserveMeta reads the routing metadata — request id, flags, session
+// id — off an encoded MsgObserve payload without decoding the
+// observation. The returned session aliases payload. A router relaying
+// frames to ring owners uses this instead of Observe.Decode: picking an
+// owner needs only the session bytes, and the observation travels on
+// untouched.
+func ObserveMeta(payload []byte) (id uint32, flags byte, session []byte, err error) {
+	if len(payload) < observeSessOff {
+		return 0, 0, nil, ErrTruncated
+	}
+	n := int(payload[observeSessLenOff])
+	if n > MaxSession {
+		return 0, 0, nil, fmt.Errorf("%w: session id of %d bytes", ErrTooLong, n)
+	}
+	if len(payload) < observeSessOff+n {
+		return 0, 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint32(payload), payload[observeFlagsOff], payload[observeSessOff : observeSessOff+n], nil
+}
+
+// SetObserveID rewrites the request id of an encoded MsgObserve payload
+// in place — the only byte-level mutation a relay makes before
+// forwarding a frame under its own id space.
+func SetObserveID(payload []byte, id uint32) error {
+	if len(payload) < 4 {
+		return ErrTruncated
+	}
+	binary.BigEndian.PutUint32(payload, id)
+	return nil
+}
+
+// AppendFrame frames an already-encoded payload: header plus payload
+// bytes, no interpretation. Relays use it to forward a payload they
+// received (id rewritten via SetObserveID) without re-encoding it.
+func AppendFrame(dst []byte, typ byte, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return dst, ErrFrameTooLarge
+	}
+	out, lenAt := appendHeader(dst, typ)
+	out = append(out, payload...)
+	binary.BigEndian.PutUint32(out[lenAt:], uint32(len(payload)))
+	return out, nil
+}
+
 // decoder walks a payload with bounds checks; every take* reports
 // truncation instead of reading past the end.
 type decoder struct {
