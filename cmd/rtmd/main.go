@@ -86,6 +86,7 @@ import (
 	"time"
 
 	"qgov/internal/governor"
+	"qgov/internal/loadgen"
 	"qgov/internal/registry"
 	"qgov/internal/ring"
 	"qgov/internal/serve"
@@ -118,6 +119,15 @@ func main() {
 		fleetSessions = flag.Int("fleet-sessions", 256, "sessions the -fleet bench client creates and drives")
 		fleetFor      = flag.Duration("fleet-for", 5*time.Second, "how long the -fleet bench client drives decides")
 		fleetConns    = flag.Int("fleet-conns", 1, "connections the -fleet bench client opens per replica")
+
+		lgSpec   = flag.String("loadgen", "", "run as a workload-generating client from this spec file (JSON, see internal/loadgen), then exit")
+		lgReplay = flag.String("loadgen-replay", "", "replay this recorded trace instead of generating from a spec")
+		lgAddr   = flag.String("loadgen-addr", "", "binary-transport address to drive (a flat rtmd or a router; empty: run against the in-process oracle)")
+		lgDirect = flag.Bool("loadgen-direct", false, "drive the fleet directly (ring-aware client.Fleet; -loadgen-addr must then be a router)")
+		lgRecord = flag.String("loadgen-record", "", "record the executed schedule to this trace file (with -loadgen and no -loadgen-addr, record without executing)")
+		lgLanes  = flag.Int("loadgen-lanes", 0, "concurrent executor lanes (0: min(GOMAXPROCS, 8))")
+		lgBatch  = flag.Int("loadgen-batch", 0, "max decides coalesced per batch (0: 512)")
+		lgPace   = flag.Float64("loadgen-pace", 0, "pace dispatch against the schedule clock (1: recorded speed; 0: flat out)")
 	)
 	flag.Parse()
 
@@ -125,6 +135,31 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+
+	if *lgSpec != "" || *lgReplay != "" {
+		if *route || *fleetAddr != "" {
+			fatal(errors.New("-loadgen is a client mode; it cannot be combined with -route or -fleet"))
+		}
+		if *lgSpec != "" && *lgReplay != "" {
+			fatal(errors.New("-loadgen and -loadgen-replay are two sources for one schedule; pick one"))
+		}
+		loadgenMain(loadgenConfig{
+			spec:   *lgSpec,
+			replay: *lgReplay,
+			addr:   *lgAddr,
+			direct: *lgDirect,
+			record: *lgRecord,
+			lanes:  *lgLanes,
+			batch:  *lgBatch,
+			pace:   *lgPace,
+		}, logf)
+		return
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if strings.HasPrefix(f.Name, "loadgen-") {
+			fatal(fmt.Errorf("-%s requires -loadgen or -loadgen-replay", f.Name))
+		}
+	})
 
 	if *fleetAddr != "" {
 		if *route {
@@ -446,6 +481,109 @@ func fleetMain(routerAddr string, sessions int, dur time.Duration, conns int, lo
 	n := total.Load()
 	fmt.Printf("fleet-direct: %d decisions over %d replicas in %v (%d sessions, %d lanes): %.0f decisions/s\n",
 		n, replicas, dur, sessions, lanes, float64(n)/dur.Seconds())
+}
+
+type loadgenConfig struct {
+	spec   string
+	replay string
+	addr   string
+	direct bool
+	record string
+	lanes  int
+	batch  int
+	pace   float64
+}
+
+// loadgenMain is the -loadgen client mode: generate (or replay) a
+// deterministic workload schedule and drive it at a serving target — a
+// flat rtmd, a router, the fleet directly, or the in-process oracle when
+// no address is given. With -loadgen-record and no address, the schedule
+// is recorded without being executed (trace authoring).
+func loadgenMain(cfg loadgenConfig, logf func(string, ...any)) {
+	var stream loadgen.Stream
+	if cfg.replay != "" {
+		f, err := os.Open(cfg.replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		stream = loadgen.NewTraceReader(f)
+	} else {
+		spec, err := loadgen.LoadSpec(cfg.spec)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := loadgen.New(spec)
+		if err != nil {
+			fatal(err)
+		}
+		stream = g
+	}
+
+	var recordTee *loadgen.Tee
+	if cfg.record != "" {
+		f, err := os.Create(cfg.record)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if cfg.addr == "" {
+			// Record-only: write the schedule and exit without executing.
+			n, err := loadgen.Record(f, stream)
+			if err != nil {
+				fatal(err)
+			}
+			logf("rtmd: recorded %d events to %s", n, cfg.record)
+			return
+		}
+		recordTee = loadgen.NewTee(stream, f)
+		stream = recordTee
+	}
+
+	var target loadgen.Target
+	switch {
+	case cfg.addr == "":
+		logf("rtmd: loadgen driving the in-process oracle (no -loadgen-addr)")
+		target = loadgen.NewLocal()
+	case cfg.direct:
+		fl, err := client.DialFleet(cfg.addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer fl.Close()
+		logf("rtmd: loadgen driving %d replicas directly (membership epoch %d)", len(fl.Replicas()), fl.Epoch())
+		target = fl
+	default:
+		cl, err := client.Dial(cfg.addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+		target = cl
+	}
+
+	rep, err := loadgen.Run(stream, target, loadgen.RunOptions{
+		Lanes:     cfg.lanes,
+		BatchMax:  cfg.batch,
+		TimeScale: cfg.pace,
+	})
+	if recordTee != nil {
+		if ferr := recordTee.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	q := func(p float64) float64 { return rep.Latency.Quantile(p) }
+	fmt.Printf("loadgen: %d events (%d creates, %d deletes, %d decides, %d decide errors) in %.2fs: %.0f decides/s\n",
+		rep.Events, rep.Creates, rep.Deletes, rep.Decides, rep.DecideErrors, rep.WallS,
+		float64(rep.Decides)/rep.WallS)
+	fmt.Printf("loadgen: batch RTT p50 %.0fµs p99 %.0fµs p999 %.0fµs; peak live %d; checksum %016x\n",
+		q(0.50), q(0.99), q(0.999), rep.PeakLive, rep.Checksum)
+	if rep.CreateErrors != 0 || rep.DeleteErrors != 0 {
+		fatal(fmt.Errorf("control-plane errors: %d create, %d delete", rep.CreateErrors, rep.DeleteErrors))
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"qgov/internal/loadgen"
+	"qgov/internal/serve"
+	"qgov/internal/serve/client"
+)
+
+// The soak experiment: drive a loadgen schedule — heterogeneous clients,
+// lifecycle churn, delete storms — against a real serving topology in
+// this process and measure what a million-session deployment cares
+// about: decide tail latency under churn, memory per live session, how
+// much of the churn peak the server gives back, and checkpoint write
+// amplification. The Baseline toggle re-enables the two pre-fix
+// behaviours (no session-map shrink, checkpoint-everything sweeps) so
+// the fixes stay measurable against what they replaced.
+
+// SoakConfig configures one soak run.
+type SoakConfig struct {
+	// Spec is the workload schedule.
+	Spec loadgen.Spec
+	// Topology is "flat" (one server), "routed" (router in front of
+	// Replicas servers) or "direct" (ring-aware fleet client against the
+	// same replicas). Empty means flat.
+	Topology string
+	// Replicas sizes the routed/direct fleet (default 3).
+	Replicas int
+	// Lanes and BatchMax tune the runner (loadgen.RunOptions).
+	Lanes    int
+	BatchMax int
+	// Baseline disables both churn fixes — the session-map shrink and the
+	// dirty-checkpoint skip — to measure the pre-fix behaviour.
+	Baseline bool
+	// CheckpointEvery enables the background checkpoint sweep; 0 runs
+	// without checkpointing.
+	CheckpointEvery time.Duration
+	// CheckpointDir backs the sweep; empty with CheckpointEvery > 0 uses
+	// a throwaway temp dir.
+	CheckpointDir string
+}
+
+// SoakResult is one soak run's measurement.
+type SoakResult struct {
+	Topology string `json:"topology"`
+	Baseline bool   `json:"baseline"`
+
+	Events       int64   `json:"events"`
+	Creates      int64   `json:"creates"`
+	Deletes      int64   `json:"deletes"`
+	Decides      int64   `json:"decides"`
+	DecideErrors int64   `json:"decide_errors"`
+	PeakLive     int64   `json:"peak_live"`
+	Checksum     uint64  `json:"checksum"`
+	WallS        float64 `json:"wall_s"`
+	DecidesPerS  float64 `json:"decides_per_s"`
+
+	// Batch round-trip quantiles in µs (client side, so they survive the
+	// churn that truncates per-session server histograms). -1 marks a
+	// quantile the histogram could not resolve (overflow).
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+
+	// Memory trajectory: Go heap (whole process — servers and clients
+	// both live here) sampled through the run, and OS RSS where
+	// /proc/self/statm exists. End values are after the drain and a
+	// forced GC: what churn permanently cost.
+	HeapStartB uint64 `json:"heap_start_b"`
+	HeapPeakB  uint64 `json:"heap_peak_b"`
+	HeapEndB   uint64 `json:"heap_end_b"`
+	RSSPeakB   uint64 `json:"rss_peak_b,omitempty"`
+	RSSEndB    uint64 `json:"rss_end_b,omitempty"`
+	// BytesPerSession is heap growth at peak per peak live session.
+	BytesPerSession float64 `json:"bytes_per_session"`
+	// HeapRecoveredFrac is how much of the churn peak the drain gave
+	// back: (peak-end)/(peak-start), 1.0 meaning everything.
+	HeapRecoveredFrac float64 `json:"heap_recovered_frac"`
+
+	CheckpointWrites  int64 `json:"checkpoint_writes"`
+	CheckpointSkipped int64 `json:"checkpoint_skipped"`
+}
+
+// readRSS reads resident set bytes from /proc/self/statm (0 where the
+// proc filesystem is absent).
+func readRSS() uint64 {
+	b, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * uint64(os.Getpagesize())
+}
+
+func heapAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// soakTopology builds the serving stack for the config and returns the
+// runner target, every serve.Server in the stack (for counter reads) and
+// a teardown.
+func soakTopology(cfg SoakConfig) (loadgen.Target, []*serve.Server, func(), error) {
+	opt := serve.Options{
+		CheckpointDir:          cfg.CheckpointDir,
+		CheckpointEvery:        cfg.CheckpointEvery,
+		CheckpointEverySession: cfg.Baseline,
+		DisableStoreShrink:     cfg.Baseline,
+	}
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" {
+		dir, err := os.MkdirTemp("", "soak-ckpt-*")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		opt.CheckpointDir = dir
+		cleanups = append(cleanups, func() { _ = os.RemoveAll(dir) })
+	}
+
+	newReplica := func() (*serve.Server, string, error) {
+		srv := serve.New(opt)
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = srv.Close()
+			return nil, "", err
+		}
+		tcp := serve.NewTCP(srv, lis)
+		go func() { _ = tcp.Serve() }()
+		cleanups = append(cleanups, func() {
+			_ = tcp.Close()
+			_ = srv.Close()
+		})
+		return srv, lis.Addr().String(), nil
+	}
+
+	topo := cfg.Topology
+	if topo == "" {
+		topo = "flat"
+	}
+	switch topo {
+	case "flat":
+		srv, addr, err := newReplica()
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		cl, err := client.Dial(addr)
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		cleanups = append(cleanups, func() { _ = cl.Close() })
+		return cl, []*serve.Server{srv}, cleanup, nil
+	case "routed", "direct":
+		n := cfg.Replicas
+		if n <= 0 {
+			n = 3
+		}
+		srvs := make([]*serve.Server, n)
+		addrs := make([]string, n)
+		for i := range srvs {
+			srv, addr, err := newReplica()
+			if err != nil {
+				cleanup()
+				return nil, nil, nil, err
+			}
+			srvs[i], addrs[i] = srv, addr
+		}
+		rt, err := serve.NewRouter(addrs, serve.RouterOptions{ProbeEvery: -1})
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		cleanups = append(cleanups, func() { _ = rt.Close() })
+		rtLis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		rtTCP := serve.NewRouterTCP(rt, rtLis)
+		go func() { _ = rtTCP.Serve() }()
+		cleanups = append(cleanups, func() { _ = rtTCP.Close() })
+		if topo == "direct" {
+			fl, err := client.DialFleet(rtLis.Addr().String())
+			if err != nil {
+				cleanup()
+				return nil, nil, nil, err
+			}
+			cleanups = append(cleanups, func() { _ = fl.Close() })
+			return fl, srvs, cleanup, nil
+		}
+		cl, err := client.Dial(rtLis.Addr().String())
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		cleanups = append(cleanups, func() { _ = cl.Close() })
+		return cl, srvs, cleanup, nil
+	default:
+		cleanup()
+		return nil, nil, nil, fmt.Errorf("soak: unknown topology %q (flat, routed or direct)", cfg.Topology)
+	}
+}
+
+// finiteQ reads one quantile from the latency histogram, mapping an
+// unresolvable (overflowed) quantile to -1 rather than +Inf so results
+// stay JSON-encodable.
+func finiteQ(rep *loadgen.Report, q float64) float64 {
+	v := rep.Latency.Quantile(q)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return -1
+	}
+	return v
+}
+
+// RunSoak executes one soak run and measures it.
+func RunSoak(cfg SoakConfig) (*SoakResult, error) {
+	target, srvs, cleanup, err := soakTopology(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	g, err := loadgen.New(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Settle before the baseline heap reading.
+	runtime.GC()
+	heapStart := heapAlloc()
+
+	// Sample the memory trajectory while the run executes.
+	var heapPeak, rssPeak atomic.Uint64
+	stop := make(chan struct{})
+	sampler := make(chan struct{})
+	go func() {
+		defer close(sampler)
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if h := heapAlloc(); h > heapPeak.Load() {
+					heapPeak.Store(h)
+				}
+				if r := readRSS(); r > rssPeak.Load() {
+					rssPeak.Store(r)
+				}
+			}
+		}
+	}()
+
+	rep, runErr := loadgen.Run(g, target, loadgen.RunOptions{Lanes: cfg.Lanes, BatchMax: cfg.BatchMax})
+	close(stop)
+	<-sampler
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// What did churn permanently cost? Two GCs so finalizer-held memory
+	// clears too.
+	runtime.GC()
+	runtime.GC()
+	heapEnd := heapAlloc()
+	rssEnd := readRSS()
+	if h := heapEnd; h > heapPeak.Load() {
+		heapPeak.Store(h)
+	}
+
+	res := &SoakResult{
+		Topology:     cfg.Topology,
+		Baseline:     cfg.Baseline,
+		Events:       rep.Events,
+		Creates:      rep.Creates,
+		Deletes:      rep.Deletes,
+		Decides:      rep.Decides,
+		DecideErrors: rep.DecideErrors,
+		PeakLive:     rep.PeakLive,
+		Checksum:     rep.Checksum,
+		WallS:        rep.WallS,
+		P50US:        finiteQ(rep, 0.50),
+		P99US:        finiteQ(rep, 0.99),
+		P999US:       finiteQ(rep, 0.999),
+		HeapStartB:   heapStart,
+		HeapPeakB:    heapPeak.Load(),
+		HeapEndB:     heapEnd,
+		RSSPeakB:     rssPeak.Load(),
+		RSSEndB:      rssEnd,
+	}
+	if res.Topology == "" {
+		res.Topology = "flat"
+	}
+	if rep.WallS > 0 {
+		res.DecidesPerS = float64(rep.Decides) / rep.WallS
+	}
+	if rep.PeakLive > 0 && res.HeapPeakB > heapStart {
+		res.BytesPerSession = float64(res.HeapPeakB-heapStart) / float64(rep.PeakLive)
+	}
+	if res.HeapPeakB > heapStart {
+		res.HeapRecoveredFrac = float64(res.HeapPeakB-heapEnd) / float64(res.HeapPeakB-heapStart)
+	}
+	for _, srv := range srvs {
+		w, sk := srv.CheckpointCounters()
+		res.CheckpointWrites += w
+		res.CheckpointSkipped += sk
+	}
+	if rep.CreateErrors != 0 || rep.DeleteErrors != 0 {
+		return res, fmt.Errorf("soak: control-plane errors: %d create, %d delete", rep.CreateErrors, rep.DeleteErrors)
+	}
+	return res, nil
+}

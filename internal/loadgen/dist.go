@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Hand-rolled samplers: the repo takes no dependencies, and math/rand
+// provides only uniform, normal and exponential variates. Each sampler
+// consumes draws from the caller's rand.Rand, so a client's whole event
+// stream is a pure function of its seed.
+
+// sampleInterarrival draws one interarrival gap for the process, scaled
+// so the long-run mean rate is rateHz.
+func sampleInterarrival(rng *rand.Rand, a Arrival, rateHz float64) float64 {
+	shape := a.Shape
+	if shape == 0 {
+		shape = 1
+	}
+	switch a.Process {
+	case "gamma":
+		// Gamma(shape k, scale θ) has mean kθ; θ = 1/(rate·k) keeps the
+		// mean gap at 1/rate. k < 1 clumps arrivals into bursts.
+		return sampleGamma(rng, shape) / (rateHz * shape)
+	case "weibull":
+		// Weibull(k, λ) has mean λ·Γ(1+1/k); normalise λ accordingly.
+		lambda := 1 / (rateHz * math.Gamma(1+1/shape))
+		return sampleWeibull(rng, shape, lambda)
+	default: // "poisson": exponential gaps
+		return rng.ExpFloat64() / rateHz
+	}
+}
+
+// sampleWeibull draws Weibull(shape k, scale λ) by inverse CDF:
+// λ·(-ln U)^(1/k).
+func sampleWeibull(rng *rand.Rand, k, lambda float64) float64 {
+	u := rng.Float64()
+	for u == 0 { // ln(0) guard; Float64 can return 0
+		u = rng.Float64()
+	}
+	return lambda * math.Pow(-math.Log(u), 1/k)
+}
+
+// sampleGamma draws Gamma(shape k, scale 1) via Marsaglia–Tsang
+// squeeze-rejection; shape < 1 goes through the boost
+// Gamma(k) = Gamma(k+1)·U^(1/k).
+func sampleGamma(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return sampleGamma(rng, k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// sampleSkew draws one client's rate multiplier from the skew
+// distribution, normalised to mean 1 so the class keeps its aggregate
+// rate.
+func sampleSkew(rng *rand.Rand, sk *Skew) float64 {
+	if sk == nil {
+		return 1
+	}
+	switch sk.Dist {
+	case "lognormal":
+		// exp(N(µ,σ)) has mean exp(µ+σ²/2); µ = -σ²/2 centres it at 1.
+		sigma := sk.Param
+		return math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
+	default: // "pareto"
+		// Pareto(xm, α) has mean α·xm/(α-1); xm = (α-1)/α centres it at 1.
+		alpha := sk.Param
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		xm := (alpha - 1) / alpha
+		return xm / math.Pow(u, 1/alpha)
+	}
+}

@@ -1,0 +1,330 @@
+package loadgen
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"qgov/internal/governor"
+	"qgov/internal/strhash"
+)
+
+// Op is a schedule event kind.
+type Op uint8
+
+const (
+	// OpCreate creates the event's session.
+	OpCreate Op = iota
+	// OpDecide sends one observation to the session.
+	OpDecide
+	// OpDelete deletes the session.
+	OpDelete
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpDecide:
+		return "decide"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Event is one scheduled action. Create events carry the session
+// parameters; decide events carry a fully synthesized observation (so a
+// recorded trace is self-contained and replays byte-identically without
+// the generator).
+type Event struct {
+	AtS     float64
+	Op      Op
+	Session string
+
+	// Create-only fields.
+	Governor string
+	Platform string
+	PeriodS  float64
+	Seed     int64
+
+	// Decide-only field.
+	Obs governor.Observation
+}
+
+// Stream yields schedule events in time order. Next returns ok=false
+// when the schedule is exhausted; err is non-nil only for replay sources
+// that can encounter malformed input.
+type Stream interface {
+	Next() (Event, bool, error)
+}
+
+// defaultPeriodS mirrors the serve default (25 fps) so a spec that
+// omits period_s generates observations consistent with the sessions it
+// creates.
+const defaultPeriodS = 0.040
+
+// client phases.
+const (
+	phaseCreate = iota // next emission creates the session
+	phaseLive          // session live; next emission decides or deletes
+	phaseDone          // past the horizon; no more events
+)
+
+// clientState is one client's lazy event stream. All randomness comes
+// from the client's own rng (seeded from the spec seed and the client's
+// global ordinal), so a client's schedule is independent of every other
+// client's — the heap merge then interleaves them deterministically.
+type clientState struct {
+	ord     int // global client ordinal; heap tiebreak and seed input
+	id      string
+	class   *ClientClass
+	rng     *rand.Rand
+	rate    float64 // skew-scaled mean decide rate
+	victims []bool  // storm participation, drawn up-front
+
+	phase     int
+	t         float64 // emission time of the client's next event
+	stormIdx  int     // next storm not yet considered
+	gen       int64   // session generation; increments per create
+	epoch     int
+	remaining int64 // decides left this lifetime; -1 unbounded
+
+	next  Event // staged event (valid when phase != phaseDone)
+	valid bool
+}
+
+// Gen generates a Spec's schedule lazily in time order.
+type Gen struct {
+	spec    Spec
+	clients []*clientState
+	h       clientHeap
+	emitted int64
+}
+
+// New validates the spec and builds its generator.
+func New(spec Spec) (*Gen, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	prefix := spec.IDPrefix
+	if prefix == "" {
+		prefix = defaultIDPrefix
+	}
+	g := &Gen{spec: spec}
+	ord := 0
+	for ci := range spec.Clients {
+		class := &spec.Clients[ci]
+		for i := 0; i < class.Count; i++ {
+			rng := rand.New(rand.NewSource(clientSeed(spec.Seed, ord)))
+			c := &clientState{
+				ord:   ord,
+				id:    fmt.Sprintf("%s-%s-%d", prefix, class.Name, i),
+				class: class,
+				rng:   rng,
+				rate:  class.Arrival.RateHz * sampleSkew(rng, class.RateSkew),
+				phase: phaseCreate,
+			}
+			if class.StartWindowS > 0 {
+				c.t = rng.Float64() * class.StartWindowS
+			}
+			// Storm participation is drawn up-front so a client's arrival
+			// stream consumes the same rng sequence whether or not storms
+			// fire near it.
+			c.victims = make([]bool, len(spec.Storms))
+			for si := range spec.Storms {
+				c.victims[si] = rng.Float64() < spec.Storms[si].Fraction
+			}
+			g.clients = append(g.clients, c)
+			ord++
+		}
+	}
+	for _, c := range g.clients {
+		if g.advance(c); c.valid {
+			g.h = append(g.h, c)
+		}
+	}
+	heap.Init(&g.h)
+	return g, nil
+}
+
+// clientSeed mixes the spec seed with a client ordinal into an
+// independent stream seed.
+func clientSeed(seed int64, ord int) int64 {
+	return int64(strhash.Mix(uint64(seed) ^ (uint64(ord)+1)<<20 ^ 0x9e3779b97f4a7c15))
+}
+
+// sessionSeed derives the governor seed for one session generation.
+func (c *clientState) sessionSeed(specSeed int64) int64 {
+	return int64(strhash.Mix(uint64(specSeed) ^ uint64(c.ord)<<24 ^ uint64(c.gen) + 1))
+}
+
+// advance computes the client's next event into c.next. It implements
+// the lifecycle state machine: create → decides (arrival-process gaps)
+// → lifetime-end delete → re-create, with storms cutting in whenever
+// one fires before the client's next natural event.
+func (g *Gen) advance(c *clientState) {
+	c.valid = false
+	horizon := g.spec.HorizonS
+	for {
+		switch c.phase {
+		case phaseDone:
+			return
+		case phaseCreate:
+			// Storms that pass while the client is between sessions have
+			// no session to kill; consume them.
+			for c.stormIdx < len(g.spec.Storms) && g.spec.Storms[c.stormIdx].AtS <= c.t {
+				c.stormIdx++
+			}
+			if c.t > horizon {
+				c.phase = phaseDone
+				return
+			}
+			c.gen++
+			c.epoch = 0
+			c.remaining = -1
+			if c.class.LifetimeDecides > 0 {
+				c.remaining = 1 + int64(c.rng.ExpFloat64()*c.class.LifetimeDecides)
+			}
+			c.next = Event{
+				AtS:      c.t,
+				Op:       OpCreate,
+				Session:  c.id,
+				Governor: c.governorName(),
+				Platform: c.class.Platform,
+				PeriodS:  c.periodS(),
+				Seed:     c.sessionSeed(g.spec.Seed),
+			}
+			c.valid = true
+			c.phase = phaseLive
+			// The first decide follows one interarrival gap after create.
+			c.t += sampleInterarrival(c.rng, c.class.Arrival, c.rate)
+			return
+		case phaseLive:
+			// A storm firing before the client's next natural event
+			// pre-empts it.
+			if c.stormIdx < len(g.spec.Storms) && g.spec.Storms[c.stormIdx].AtS <= c.t {
+				storm := g.spec.Storms[c.stormIdx]
+				c.stormIdx++
+				if !c.victims[c.stormIdx-1] {
+					continue
+				}
+				c.next = Event{AtS: storm.AtS, Op: OpDelete, Session: c.id}
+				c.valid = true
+				c.phase = phaseCreate
+				c.t = storm.AtS + storm.RestartDelayS
+				return
+			}
+			if c.t > horizon {
+				if !g.spec.NoDrain {
+					c.next = Event{AtS: horizon, Op: OpDelete, Session: c.id}
+					c.valid = true
+					c.phase = phaseDone
+					return
+				}
+				c.phase = phaseDone
+				return
+			}
+			if c.remaining == 0 {
+				// Lifetime over: delete now, re-create after one more gap.
+				c.next = Event{AtS: c.t, Op: OpDelete, Session: c.id}
+				c.valid = true
+				c.phase = phaseCreate
+				c.t += sampleInterarrival(c.rng, c.class.Arrival, c.rate)
+				return
+			}
+			c.next = Event{AtS: c.t, Op: OpDecide, Session: c.id, Obs: c.synthObs()}
+			c.valid = true
+			c.epoch++
+			if c.remaining > 0 {
+				c.remaining--
+			}
+			c.t += sampleInterarrival(c.rng, c.class.Arrival, c.rate)
+			return
+		}
+	}
+}
+
+func (c *clientState) governorName() string {
+	if c.class.Governor == "" {
+		return "rtm"
+	}
+	return c.class.Governor
+}
+
+func (c *clientState) periodS() float64 {
+	if c.class.PeriodS > 0 {
+		return c.class.PeriodS
+	}
+	return defaultPeriodS
+}
+
+// synthObs synthesizes one epoch's observation: a 4-core frame workload
+// with execution time jittering around 60% of the period, matching the
+// shape the serving benchmarks use. Values derive from the client rng
+// only, so the observation sequence is part of the deterministic
+// schedule.
+func (c *clientState) synthObs() governor.Observation {
+	period := c.periodS()
+	base := 28e6 + 4e6*c.rng.Float64()
+	cycles := make([]uint64, 4)
+	util := make([]float64, 4)
+	for i := range cycles {
+		cycles[i] = uint64(base * (0.9 + 0.2*c.rng.Float64()))
+		util[i] = 0.4 + 0.4*c.rng.Float64()
+	}
+	return governor.Observation{
+		Epoch:     c.epoch,
+		Cycles:    cycles,
+		Util:      util,
+		ExecTimeS: period * (0.4 + 0.4*c.rng.Float64()),
+		PeriodS:   period,
+		WallTimeS: period,
+		PowerW:    1.2 + 1.6*c.rng.Float64(),
+		TempC:     42 + 14*c.rng.Float64(),
+		OPPIdx:    c.rng.Intn(10),
+	}
+}
+
+// Next implements Stream: events pop in (time, client ordinal) order,
+// which is total and machine-independent.
+func (g *Gen) Next() (Event, bool, error) {
+	if len(g.h) == 0 {
+		return Event{}, false, nil
+	}
+	if g.spec.MaxEvents > 0 && g.emitted >= g.spec.MaxEvents {
+		return Event{}, false, nil
+	}
+	c := g.h[0]
+	ev := c.next
+	if g.advance(c); c.valid {
+		heap.Fix(&g.h, 0)
+	} else {
+		heap.Pop(&g.h)
+	}
+	g.emitted++
+	return ev, true, nil
+}
+
+// clientHeap orders clients by their staged event: earliest time first,
+// ties broken by client ordinal so the order never depends on map or
+// scheduler nondeterminism.
+type clientHeap []*clientState
+
+func (h clientHeap) Len() int { return len(h) }
+func (h clientHeap) Less(i, j int) bool {
+	if h[i].next.AtS != h[j].next.AtS {
+		return h[i].next.AtS < h[j].next.AtS
+	}
+	return h[i].ord < h[j].ord
+}
+func (h clientHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *clientHeap) Push(x any)   { *h = append(*h, x.(*clientState)) }
+func (h *clientHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"qgov/internal/governor"
+	"qgov/internal/platform"
+	"qgov/internal/scenario"
+	"qgov/internal/serve/client"
+)
+
+// Local is an in-process Target: the oracle the equivalence tests compare
+// served decisions against. It builds sessions exactly the way the server
+// does — governor.ByName, platform cluster from the request seed, Reset
+// with the same governor.Context — so a deterministic governor produces
+// the same decision stream here as over any transport.
+type Local struct {
+	defaultPlatform string
+	defaultPeriodS  float64
+
+	mu       sync.Mutex
+	sessions map[string]*localSession
+}
+
+type localSession struct {
+	mu    sync.Mutex
+	gov   governor.Governor
+	table platform.OPPTable
+}
+
+// NewLocal builds an empty oracle target with the serve defaults
+// (platform "a15", 40 ms period).
+func NewLocal() *Local {
+	return &Local{
+		defaultPlatform: "a15",
+		defaultPeriodS:  0.040,
+		sessions:        make(map[string]*localSession),
+	}
+}
+
+// localCreate is the subset of the serve create body the generator emits.
+type localCreate struct {
+	ID       string  `json:"id"`
+	Governor string  `json:"governor"`
+	Platform string  `json:"platform"`
+	PeriodS  float64 `json:"period_s"`
+	Seed     int64   `json:"seed"`
+}
+
+// CreateSession implements Target with serve's status contract: 201 on
+// success, 409 for a duplicate id, 400 for a bad request.
+func (l *Local) CreateSession(body []byte) (int, []byte, error) {
+	var req localCreate
+	if err := json.Unmarshal(body, &req); err != nil {
+		return http.StatusBadRequest, []byte(err.Error()), nil
+	}
+	if req.ID == "" {
+		return http.StatusBadRequest, []byte("local target requires an explicit id"), nil
+	}
+	gov, err := governor.ByName(req.Governor)
+	if err != nil {
+		return http.StatusBadRequest, []byte(err.Error()), nil
+	}
+	platName := req.Platform
+	if platName == "" {
+		platName = l.defaultPlatform
+	}
+	plat, err := scenario.PlatformByName(platName)
+	if err != nil {
+		return http.StatusBadRequest, []byte(err.Error()), nil
+	}
+	cluster := plat.NewCluster(req.Seed)
+	periodS := req.PeriodS
+	if periodS == 0 {
+		periodS = l.defaultPeriodS
+	}
+	sess := &localSession{gov: gov, table: cluster.Table()}
+	gov.Reset(governor.Context{
+		Table:    sess.table,
+		NumCores: cluster.NumCores(),
+		PeriodS:  periodS,
+		Seed:     req.Seed,
+	})
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, exists := l.sessions[req.ID]; exists {
+		return http.StatusConflict, []byte(fmt.Sprintf("session %q already exists", req.ID)), nil
+	}
+	l.sessions[req.ID] = sess
+	return http.StatusCreated, nil, nil
+}
+
+// DeleteSession implements Target: 204 on success, 404 for unknown ids.
+func (l *Local) DeleteSession(id string) (int, []byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.sessions[id]; !ok {
+		return http.StatusNotFound, []byte(fmt.Sprintf("unknown session %q", id)), nil
+	}
+	delete(l.sessions, id)
+	return http.StatusNoContent, nil, nil
+}
+
+// Len reports the live session count.
+func (l *Local) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sessions)
+}
+
+// DecideBatch implements Target. Per-decision failures (unknown session,
+// governor panic) land in out[i].Err, matching the transports.
+func (l *Local) DecideBatch(sessions []string, obs []governor.Observation, out []client.Decision) error {
+	if len(obs) != len(sessions) || len(out) != len(sessions) {
+		return fmt.Errorf("loadgen: mismatched batch lengths %d/%d/%d", len(sessions), len(obs), len(out))
+	}
+	for i, id := range sessions {
+		l.mu.Lock()
+		sess := l.sessions[id]
+		l.mu.Unlock()
+		if sess == nil {
+			out[i] = client.Decision{OPPIdx: -1, Err: fmt.Sprintf("unknown session %q", id)}
+			continue
+		}
+		out[i] = sess.decide(obs[i])
+	}
+	return nil
+}
+
+func (s *localSession) decide(obs governor.Observation) (d client.Decision) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			d = client.Decision{OPPIdx: -1, Err: fmt.Sprintf("governor rejected the observation: %v", r)}
+		}
+	}()
+	idx := s.gov.Decide(obs)
+	return client.Decision{OPPIdx: idx, FreqMHz: s.table[idx].FreqMHz}
+}

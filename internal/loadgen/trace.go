@@ -1,0 +1,195 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"qgov/internal/governor"
+)
+
+// Trace format: one JSON object per line, in schedule order. The fields
+// are a flat projection of Event — encoding/json marshals struct fields
+// in declaration order with shortest-round-trip floats, so recording the
+// same schedule twice produces byte-identical files, and that identity
+// is what the determinism tests assert.
+
+type traceLine struct {
+	AtS     float64  `json:"at_s"`
+	Op      string   `json:"op"`
+	Session string   `json:"session"`
+	Gov     string   `json:"governor,omitempty"`
+	Plat    string   `json:"platform,omitempty"`
+	PeriodS float64  `json:"period_s,omitempty"`
+	Seed    int64    `json:"seed,omitempty"`
+	Obs     *obsJSON `json:"obs,omitempty"`
+}
+
+// obsJSON mirrors governor.Observation field for field (the serve API's
+// JSON shape, duplicated here so the trace format does not reach into an
+// internal type's future).
+type obsJSON struct {
+	Epoch     int       `json:"epoch"`
+	Cycles    []uint64  `json:"cycles,omitempty"`
+	Util      []float64 `json:"util,omitempty"`
+	ExecTimeS float64   `json:"exec_time_s"`
+	PeriodS   float64   `json:"period_s"`
+	WallTimeS float64   `json:"wall_time_s"`
+	PowerW    float64   `json:"power_w"`
+	TempC     float64   `json:"temp_c"`
+	OPPIdx    int       `json:"opp_idx"`
+}
+
+func obsToJSON(o governor.Observation) *obsJSON {
+	return &obsJSON{
+		Epoch:     o.Epoch,
+		Cycles:    o.Cycles,
+		Util:      o.Util,
+		ExecTimeS: o.ExecTimeS,
+		PeriodS:   o.PeriodS,
+		WallTimeS: o.WallTimeS,
+		PowerW:    o.PowerW,
+		TempC:     o.TempC,
+		OPPIdx:    o.OPPIdx,
+	}
+}
+
+func (o *obsJSON) observation() governor.Observation {
+	return governor.Observation{
+		Epoch:     o.Epoch,
+		Cycles:    o.Cycles,
+		Util:      o.Util,
+		ExecTimeS: o.ExecTimeS,
+		PeriodS:   o.PeriodS,
+		WallTimeS: o.WallTimeS,
+		PowerW:    o.PowerW,
+		TempC:     o.TempC,
+		OPPIdx:    o.OPPIdx,
+	}
+}
+
+// WriteEvent appends one event to w in trace format.
+func WriteEvent(w io.Writer, ev Event) error {
+	line := traceLine{
+		AtS:     ev.AtS,
+		Op:      ev.Op.String(),
+		Session: ev.Session,
+	}
+	switch ev.Op {
+	case OpCreate:
+		line.Gov = ev.Governor
+		line.Plat = ev.Platform
+		line.PeriodS = ev.PeriodS
+		line.Seed = ev.Seed
+	case OpDecide:
+		line.Obs = obsToJSON(ev.Obs)
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Record drains a stream into w in trace format and returns the event
+// count.
+func Record(w io.Writer, s Stream) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	for {
+		ev, ok, err := s.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		if err := WriteEvent(bw, ev); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// TraceReader replays a recorded trace as a Stream.
+type TraceReader struct {
+	sc   *bufio.Scanner
+	line int64
+}
+
+// NewTraceReader wraps r (a trace in JSONL format).
+func NewTraceReader(r io.Reader) *TraceReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	return &TraceReader{sc: sc}
+}
+
+// Next implements Stream.
+func (t *TraceReader) Next() (Event, bool, error) {
+	for t.sc.Scan() {
+		t.line++
+		raw := t.sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line traceLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return Event{}, false, fmt.Errorf("loadgen: trace line %d: %w", t.line, err)
+		}
+		ev := Event{AtS: line.AtS, Session: line.Session}
+		switch line.Op {
+		case "create":
+			ev.Op = OpCreate
+			ev.Governor = line.Gov
+			ev.Platform = line.Plat
+			ev.PeriodS = line.PeriodS
+			ev.Seed = line.Seed
+		case "decide":
+			ev.Op = OpDecide
+			if line.Obs == nil {
+				return Event{}, false, fmt.Errorf("loadgen: trace line %d: decide without obs", t.line)
+			}
+			ev.Obs = line.Obs.observation()
+		case "delete":
+			ev.Op = OpDelete
+		default:
+			return Event{}, false, fmt.Errorf("loadgen: trace line %d: unknown op %q", t.line, line.Op)
+		}
+		if ev.Session == "" {
+			return Event{}, false, fmt.Errorf("loadgen: trace line %d: missing session", t.line)
+		}
+		return ev, true, nil
+	}
+	return Event{}, false, t.sc.Err()
+}
+
+// Tee passes a stream through while recording every event to w. Callers
+// must Flush when the stream is drained.
+type Tee struct {
+	src Stream
+	bw  *bufio.Writer
+}
+
+// NewTee wraps src, recording each event that passes to w.
+func NewTee(src Stream, w io.Writer) *Tee {
+	return &Tee{src: src, bw: bufio.NewWriterSize(w, 1<<20)}
+}
+
+// Next implements Stream.
+func (t *Tee) Next() (Event, bool, error) {
+	ev, ok, err := t.src.Next()
+	if err != nil || !ok {
+		return ev, ok, err
+	}
+	if err := WriteEvent(t.bw, ev); err != nil {
+		return Event{}, false, err
+	}
+	return ev, true, nil
+}
+
+// Flush flushes the recording buffer.
+func (t *Tee) Flush() error { return t.bw.Flush() }

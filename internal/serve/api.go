@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
@@ -241,6 +242,7 @@ func (s *Server) freezeSession(sess *session) ([]byte, int, error) {
 	}
 	var buf bytes.Buffer
 	sess.mu.Lock()
+	epochs := sess.epochs
 	err := cp.SaveState(&buf)
 	sess.mu.Unlock()
 	if err != nil {
@@ -250,6 +252,14 @@ func (s *Server) freezeSession(sess *session) ([]byte, int, error) {
 		if err := s.ckpt.Save(sess.id, buf.Bytes()); err != nil {
 			return nil, http.StatusInternalServerError, err
 		}
+		s.ckptWrites.Add(1)
+		// An explicit checkpoint marks the session clean the same way the
+		// periodic sweep does, so the next sweep does not re-write it.
+		sess.mu.Lock()
+		if epochs > sess.ckptEpochs {
+			sess.ckptEpochs = epochs
+		}
+		sess.mu.Unlock()
 		s.undoSaveIfDeleted(sess)
 	}
 	return buf.Bytes(), http.StatusOK, nil
@@ -356,23 +366,31 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// latencyJSON is one session's decision-latency histogram: fixed-width
-// bins over [lo_us, hi_us] with out-of-range samples in underflow/
-// overflow, so every decision is accounted for exactly once.
+// latencyJSON is one latency histogram: bins over [lo_us, hi_us] with
+// out-of-range samples in underflow/overflow, so every decision is
+// accounted for exactly once. Fixed-width bins carry bin_width_us;
+// log-width bins (scale "log", what serve's decide histograms use) carry
+// the per-bin upper edges instead. p99/p999 are estimated from the bins
+// and omitted when the rank falls in the overflow bucket — a saturated
+// tail must read as "unknown, beyond hi_us", never as a number.
 type latencyJSON struct {
-	Count      int     `json:"count"`
-	SumUS      float64 `json:"sum_us"`
-	LoUS       float64 `json:"lo_us"`
-	HiUS       float64 `json:"hi_us"`
-	BinWidthUS float64 `json:"bin_width_us"`
-	Bins       []int   `json:"bins"`
-	Underflow  int     `json:"underflow"`
-	Overflow   int     `json:"overflow"`
+	Count      int       `json:"count"`
+	SumUS      float64   `json:"sum_us"`
+	LoUS       float64   `json:"lo_us"`
+	HiUS       float64   `json:"hi_us"`
+	BinWidthUS float64   `json:"bin_width_us,omitempty"`
+	Scale      string    `json:"scale,omitempty"`
+	EdgesUS    []float64 `json:"edges_us,omitempty"`
+	Bins       []int     `json:"bins"`
+	Underflow  int       `json:"underflow"`
+	Overflow   int       `json:"overflow"`
+	P99US      *float64  `json:"p99_us,omitempty"`
+	P999US     *float64  `json:"p999_us,omitempty"`
 }
 
 // latencyFromHistogram renders one histogram in the latencyJSON shape.
 func latencyFromHistogram(h *stats.Histogram) latencyJSON {
-	return latencyJSON{
+	lj := latencyJSON{
 		Count:      h.Count(),
 		SumUS:      h.Sum(),
 		LoUS:       h.Lo(),
@@ -382,6 +400,19 @@ func latencyFromHistogram(h *stats.Histogram) latencyJSON {
 		Underflow:  h.Underflow(),
 		Overflow:   h.Overflow(),
 	}
+	if h.LogScale() {
+		lj.Scale = "log"
+		lj.EdgesUS = h.Edges()
+	}
+	// json.Marshal rejects NaN/Inf, so the quantiles are pointers set
+	// only when the estimate is a real number.
+	if q := h.Quantile(0.99); !math.IsNaN(q) && !math.IsInf(q, 0) {
+		lj.P99US = &q
+	}
+	if q := h.Quantile(0.999); !math.IsNaN(q) && !math.IsInf(q, 0) {
+		lj.P999US = &q
+	}
+	return lj
 }
 
 // learningJSON is one session's explore→exploit position: where the ε
@@ -420,6 +451,12 @@ type metricsJSON struct {
 	// RouteInflight, set only on a router, is the number of relayed
 	// decide requests currently awaiting replica replies.
 	RouteInflight *int64 `json:"route_inflight,omitempty"`
+	// CheckpointWrites / CheckpointSkipped count the periodic sweep's
+	// session-state writes and the writes it skipped because nothing had
+	// decided since the last one (the dirty-flag fix for checkpoint write
+	// amplification). A router reports the fleet-wide sums.
+	CheckpointWrites  int64 `json:"checkpoint_writes"`
+	CheckpointSkipped int64 `json:"checkpoint_skipped"`
 }
 
 // buildMetrics snapshots the fleet view /v1/metrics serves. Each session
@@ -428,8 +465,10 @@ type metricsJSON struct {
 func (s *Server) buildMetrics() metricsJSON {
 	all := s.snapshotSessions()
 	out := metricsJSON{
-		Decisions: s.decisions.Load(),
-		Sessions:  make(map[string]sessionMetricsJSON, len(all)),
+		Decisions:         s.decisions.Load(),
+		Sessions:          make(map[string]sessionMetricsJSON, len(all)),
+		CheckpointWrites:  s.ckptWrites.Load(),
+		CheckpointSkipped: s.ckptSkipped.Load(),
 	}
 	for _, sess := range all {
 		sess.mu.Lock()

@@ -21,9 +21,13 @@ type latencyMetrics struct {
 	LoUS       float64          `json:"lo_us"`
 	HiUS       float64          `json:"hi_us"`
 	BinWidthUS float64          `json:"bin_width_us"`
+	Scale      string           `json:"scale"`
+	EdgesUS    []float64        `json:"edges_us"`
 	Bins       []int            `json:"bins"`
 	Underflow  int              `json:"underflow"`
 	Overflow   int              `json:"overflow"`
+	P99US      *float64         `json:"p99_us"`
+	P999US     *float64         `json:"p999_us"`
 	Learning   *learningMetrics `json:"learning"`
 }
 
@@ -35,8 +39,8 @@ type metricsResponse struct {
 // After a known decision sequence, /v1/metrics must account for every
 // decision exactly once in that session's latency histogram: the bin
 // counts (plus overflow) sum to the number of decisions served, nothing
-// lands below zero latency, and the histogram geometry is the advertised
-// 1 µs × 50 grid.
+// lands below the range, and the histogram geometry is the advertised
+// log-width grid over [1 µs, 1 s] with explicit bin edges.
 func TestMetricsLatencyHistogram(t *testing.T) {
 	const decisions = 37
 	h := newTestServer(t, serve.Options{})
@@ -80,15 +84,40 @@ func TestMetricsLatencyHistogram(t *testing.T) {
 	if !ok {
 		t.Fatalf("metrics missing session m0: %+v", m.Sessions)
 	}
-	if lat.LoUS != 0 || lat.HiUS != 50 || lat.BinWidthUS != 1 || len(lat.Bins) != 50 {
-		t.Errorf("histogram geometry %g..%g step %g × %d bins, want 0..50 step 1 × 50",
-			lat.LoUS, lat.HiUS, lat.BinWidthUS, len(lat.Bins))
+	if lat.LoUS != 0.1 || lat.HiUS != 1e6 || len(lat.Bins) != 70 {
+		t.Errorf("histogram geometry %g..%g × %d bins, want 0.1..1e6 × 70",
+			lat.LoUS, lat.HiUS, len(lat.Bins))
+	}
+	if lat.Scale != "log" {
+		t.Errorf("histogram scale %q, want \"log\"", lat.Scale)
+	}
+	if lat.BinWidthUS != 0 {
+		t.Errorf("log histogram advertises fixed bin width %g", lat.BinWidthUS)
+	}
+	if len(lat.EdgesUS) != len(lat.Bins) {
+		t.Errorf("%d bin edges for %d bins", len(lat.EdgesUS), len(lat.Bins))
+	} else {
+		if got := lat.EdgesUS[len(lat.EdgesUS)-1]; got != lat.HiUS {
+			t.Errorf("last edge %g, want hi_us %g", got, lat.HiUS)
+		}
+		for i := 1; i < len(lat.EdgesUS); i++ {
+			if lat.EdgesUS[i] <= lat.EdgesUS[i-1] {
+				t.Errorf("edges not increasing at %d: %g <= %g", i, lat.EdgesUS[i], lat.EdgesUS[i-1])
+			}
+		}
 	}
 	if lat.Count != decisions {
 		t.Errorf("histogram holds %d samples, want %d", lat.Count, decisions)
 	}
+	// No real decision completes under 100 ns, and the p99 estimate must
+	// be a real (finite, in-range) number unless the tail escaped.
 	if lat.Underflow != 0 {
-		t.Errorf("%d decisions below zero latency", lat.Underflow)
+		t.Errorf("%d decisions below the 100 ns floor", lat.Underflow)
+	}
+	if lat.Overflow == 0 {
+		if lat.P99US == nil || *lat.P99US <= 0 || *lat.P99US > lat.HiUS {
+			t.Errorf("p99_us = %v, want finite within (0, hi]", lat.P99US)
+		}
 	}
 	sum := lat.Underflow + lat.Overflow
 	for _, c := range lat.Bins {

@@ -92,6 +92,22 @@ func writePrometheus(w io.Writer, m metricsJSON) {
 	for _, id := range ids {
 		writeLatencyHistogram(w, "rtmd_decision_latency_seconds", "session", id, m.Sessions[id].latencyJSON)
 	}
+	// The +Inf-adjacent saturation signal: histogram_quantile() over the
+	// le buckets silently clamps to the top edge when the tail escaped the
+	// range, so the overflow count is exported explicitly — a non-zero
+	// value here means the le-derived quantiles under-read.
+	fmt.Fprintf(w, "# HELP rtmd_decision_latency_overflow_total Decisions beyond the histogram range; non-zero means le-bucket quantiles are saturated.\n")
+	fmt.Fprintf(w, "# TYPE rtmd_decision_latency_overflow_total counter\n")
+	for _, id := range ids {
+		fmt.Fprintf(w, "rtmd_decision_latency_overflow_total{session=%q} %d\n", id, m.Sessions[id].Overflow)
+	}
+
+	fmt.Fprintf(w, "# HELP rtmd_checkpoint_writes_total Session states written by checkpoint sweeps and explicit checkpoints.\n")
+	fmt.Fprintf(w, "# TYPE rtmd_checkpoint_writes_total counter\n")
+	fmt.Fprintf(w, "rtmd_checkpoint_writes_total %d\n", m.CheckpointWrites)
+	fmt.Fprintf(w, "# HELP rtmd_checkpoint_skipped_total Sweep writes skipped because the session was clean since its last checkpoint.\n")
+	fmt.Fprintf(w, "# TYPE rtmd_checkpoint_skipped_total counter\n")
+	fmt.Fprintf(w, "rtmd_checkpoint_skipped_total %d\n", m.CheckpointSkipped)
 
 	writeLearningGauge(w, m, ids, "rtmd_session_epochs", "Decision epochs the session has served.",
 		func(lj *learningJSON) (string, bool) { return strconv.FormatInt(lj.Epochs, 10), true })
@@ -129,14 +145,21 @@ func writePrometheus(w io.Writer, m metricsJSON) {
 
 // writeLatencyHistogram renders one latencyJSON as a Prometheus
 // histogram series under a single label (session or replica). The
-// microsecond bins convert to seconds; underflow cannot occur (both
-// histograms are non-negative with ranges starting at 0) but folds into
-// the first bucket anyway so the buckets always sum to the count.
+// microsecond bins convert to seconds; bucket edges come from the
+// explicit edge list when the histogram is log-width and from the fixed
+// bin width otherwise. Underflow folds into the first bucket (a sample
+// below lo is certainly <= the first edge) so the buckets always sum to
+// the count.
 func writeLatencyHistogram(w io.Writer, name, label, value string, lj latencyJSON) {
 	cum := lj.Underflow
 	for i, c := range lj.Bins {
 		cum += c
-		le := (lj.LoUS + float64(i+1)*lj.BinWidthUS) * 1e-6
+		var le float64
+		if len(lj.EdgesUS) == len(lj.Bins) {
+			le = lj.EdgesUS[i] * 1e-6
+		} else {
+			le = (lj.LoUS + float64(i+1)*lj.BinWidthUS) * 1e-6
+		}
 		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, value, promFloat(le), cum)
 	}
 	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, lj.Count)

@@ -97,21 +97,46 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		if strings.Contains(body, "rtmd_route_") {
 			t.Errorf("flat server exposition contains routed-hop metrics:\n%s", body)
 		}
-		// Buckets are cumulative: the largest finite bucket must already
-		// hold every in-range sample, i.e. no line after +Inf contradicts
-		// the count. Spot-check monotonicity over the first two buckets.
-		var b1, b2 int
+		// Buckets are cumulative and render one line per log-width bin:
+		// every finite le must be non-decreasing in count and strictly
+		// increasing in edge, ending at the +Inf line holding the full
+		// count. The overflow saturation signal rides alongside at zero —
+		// five quiet decisions cannot escape a 1 s range.
+		mustContain(t, body,
+			"# TYPE rtmd_decision_latency_overflow_total counter",
+			`rtmd_decision_latency_overflow_total{session="p0"} 0`,
+		)
+		prevCount, prevLE, buckets := -1, 0.0, 0
 		for _, line := range strings.Split(body, "\n") {
-			if strings.HasPrefix(line, `rtmd_decision_latency_seconds_bucket{session="p0",le="1e-06"}`) {
-				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &b1)
+			if !strings.HasPrefix(line, `rtmd_decision_latency_seconds_bucket{session="p0",le="`) ||
+				strings.Contains(line, `le="+Inf"`) {
+				continue
 			}
-			if strings.HasPrefix(line, `rtmd_decision_latency_seconds_bucket{session="p0",le="2e-06"}`) {
-				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &b2)
+			var le float64
+			var n int
+			rest := line[strings.Index(line, `le="`)+4:]
+			fmt.Sscanf(rest[:strings.Index(rest, `"`)], "%g", &le)
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n)
+			if n < prevCount {
+				t.Errorf("buckets not cumulative at le=%g: %d < %d", le, n, prevCount)
 			}
+			if le <= prevLE {
+				t.Errorf("bucket edges not increasing: le=%g after %g", le, prevLE)
+			}
+			prevCount, prevLE = n, le
+			buckets++
 		}
-		if b2 < b1 {
-			t.Errorf("buckets not cumulative: le=1e-06 %d > le=2e-06 %d", b1, b2)
+		if buckets != 70 {
+			t.Errorf("rendered %d finite buckets, want 70", buckets)
 		}
+		if prevCount != decisions {
+			t.Errorf("largest finite bucket holds %d, want all %d decisions", prevCount, decisions)
+		}
+		mustContain(t, body,
+			"# TYPE rtmd_checkpoint_writes_total counter",
+			"rtmd_checkpoint_writes_total 0",
+			"rtmd_checkpoint_skipped_total 0",
+		)
 	}
 
 	// The default content type is unchanged JSON, and the routed-hop

@@ -797,6 +797,8 @@ func (rt *Router) mergedMetrics() (metricsJSON, error) {
 			} else {
 				answered++
 				merged.Decisions += m.Decisions
+				merged.CheckpointWrites += m.CheckpointWrites
+				merged.CheckpointSkipped += m.CheckpointSkipped
 				for id, sm := range m.Sessions {
 					merged.Sessions[id] = sm
 				}

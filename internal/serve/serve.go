@@ -61,12 +61,18 @@ import (
 	"qgov/internal/workload"
 )
 
-// Decision-latency histogram geometry: governor decisions are sub-10 µs,
-// so 1 µs bins over [0, 50 µs] resolve the working range and the
-// histogram's overflow bucket catches scheduler-delayed outliers.
+// Decision-latency histogram geometry: log-width bins over [100 ns, 1 s],
+// ten bins per decade. Governor decisions are sub-microsecond to sub-10 µs
+// when the server is quiet, but under session churn the tail stretches
+// through scheduler delay, stripe contention and checkpoint I/O into the
+// milliseconds — a fixed 50 µs range piled all of that into the overflow
+// bucket and the exported quantiles silently lied. Log bins keep 26%
+// relative resolution everywhere from the fast path to a 1 s stall, so
+// p99-under-churn is a real number.
 const (
-	latHistHiUS = 50
-	latHistBins = 50
+	latHistLoUS = 0.1
+	latHistHiUS = 1e6
+	latHistBins = 70
 )
 
 // Options configures a Server. The zero value serves on the paper's
@@ -107,6 +113,16 @@ type Options struct {
 	// StoreShards overrides the session store's stripe count; <= 0 uses
 	// the sessionstore default.
 	StoreShards int
+	// CheckpointEverySession restores the pre-fix sweep behaviour: the
+	// periodic checkpoint loop re-serialises and re-writes every session
+	// each interval even when nothing decided since the last write. It
+	// exists so the soak harness can measure the write-amplification fix
+	// against its baseline; leave it false in production.
+	CheckpointEverySession bool
+	// DisableStoreShrink turns off the session store's delete-storm map
+	// rebuild (sessionstore.Sharded.DisableShrink) — the other soak
+	// baseline toggle; leave it false in production.
+	DisableStoreShrink bool
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -122,6 +138,13 @@ type Server struct {
 	nextID    atomic.Int64
 	decisions atomic.Int64
 	forwarded atomic.Int64 // decides relayed to their ring owner (fleet.go)
+
+	// Checkpoint write-amplification accounting: how many session states
+	// the sweeps actually wrote vs skipped because nothing had decided
+	// since the last write. Under a mostly-idle million-session fleet the
+	// skip count is the I/O the dirty-flag fix saves each interval.
+	ckptWrites  atomic.Int64
+	ckptSkipped atomic.Int64
 
 	// Fleet membership (fleet.go): the table the router pushed, the ring
 	// built from it, and one peer client per forwarding target. fleetMu
@@ -163,7 +186,12 @@ type session struct {
 	table   platform.OPPTable
 	cores   int
 	epochs  int64
-	lat     *stats.Histogram // decision latency in µs, guarded by mu
+	// ckptEpochs is the value of epochs when the session's state was last
+	// written to the checkpoint store — the dirty flag, expressed as a
+	// generation so a decide racing a checkpoint can never mark clean
+	// state that was not captured. Guarded by mu.
+	ckptEpochs int64
+	lat        *stats.Histogram // decision latency in µs, guarded by mu
 }
 
 // New builds a Server, sweeps its checkpoint store of unrestorable
@@ -184,10 +212,14 @@ func New(opt Options) *Server {
 		}
 		ckpt = d
 	}
+	store := sessionstore.NewSharded[*session](opt.StoreShards)
+	if opt.DisableStoreShrink {
+		store.DisableShrink()
+	}
 	s := &Server{
 		opt:      opt,
 		ckpt:     ckpt,
-		sessions: sessionstore.NewSharded[*session](opt.StoreShards),
+		sessions: store,
 		peers:    make(map[string]*client.Client),
 		done:     make(chan struct{}),
 	}
@@ -247,6 +279,18 @@ func (s *Server) checkpointLoop() {
 	}
 }
 
+// SessionCount reports the live session count (what /healthz serves).
+func (s *Server) SessionCount() int { return s.sessions.Len() }
+
+// CheckpointCounters reports the sweep's write-amplification accounting:
+// session states actually written vs skipped because nothing had decided
+// since the last write. The skip count is the I/O the dirty-flag check
+// saves; embedding harnesses (the soak runner) read it directly instead
+// of scraping /v1/metrics.
+func (s *Server) CheckpointCounters() (writes, skipped int64) {
+	return s.ckptWrites.Load(), s.ckptSkipped.Load()
+}
+
 // snapshotSessions copies the live session set out of the store (Range
 // holds shard locks; the work happens on the copy).
 func (s *Server) snapshotSessions() []*session {
@@ -278,7 +322,14 @@ func (s *Server) CheckpointAll() (int, error) {
 
 // checkpointSession freezes one session's state to the store; sessions
 // whose governor keeps no learnt state (or that have not decided yet)
-// are skipped without error.
+// are skipped without error. Sessions whose state is already on disk —
+// no decide since the last write — are skipped too and counted: under a
+// mostly-idle fleet the periodic sweep would otherwise re-serialise and
+// re-write every session every interval, and that write amplification
+// was the dominant I/O at session scale. The epochs counter read under
+// the same lock as SaveState is the dirty generation, so a decide
+// landing after the capture re-dirties the session rather than being
+// marked clean.
 func (s *Server) checkpointSession(sess *session) (bool, error) {
 	cp, ok := sess.learner.(governor.Checkpointer)
 	if !ok || s.ckpt == nil {
@@ -287,17 +338,29 @@ func (s *Server) checkpointSession(sess *session) (bool, error) {
 	var buf bytes.Buffer
 	sess.mu.Lock()
 	epochs := sess.epochs
-	err := cp.SaveState(&buf)
-	sess.mu.Unlock()
 	if epochs == 0 {
+		sess.mu.Unlock()
 		return false, nil // nothing observed yet; keep any prior state
 	}
+	if epochs == sess.ckptEpochs && !s.opt.CheckpointEverySession {
+		sess.mu.Unlock()
+		s.ckptSkipped.Add(1)
+		return false, nil // clean: the stored checkpoint already has this state
+	}
+	err := cp.SaveState(&buf)
+	sess.mu.Unlock()
 	if err != nil {
 		return false, fmt.Errorf("serve: freezing %s: %w", sess.id, err)
 	}
 	if err := s.ckpt.Save(sess.id, buf.Bytes()); err != nil {
 		return false, fmt.Errorf("serve: writing %s checkpoint: %w", sess.id, err)
 	}
+	s.ckptWrites.Add(1)
+	sess.mu.Lock()
+	if epochs > sess.ckptEpochs {
+		sess.ckptEpochs = epochs
+	}
+	sess.mu.Unlock()
 	s.undoSaveIfDeleted(sess)
 	return true, nil
 }
@@ -558,7 +621,7 @@ func (s *Server) createSession(req createRequest) (*session, int, error) {
 		learner:  learner,
 		table:    cluster.Table(),
 		cores:    cluster.NumCores(),
-		lat:      stats.NewHistogram(0, latHistHiUS, latHistBins),
+		lat:      stats.NewLogHistogram(latHistLoUS, latHistHiUS, latHistBins),
 	}
 	if err := resetGovernor(sess); err != nil {
 		return nil, 400, err

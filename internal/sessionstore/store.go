@@ -53,19 +53,37 @@ const defaultShards = 64
 // Sharded is the mutex-striped in-process Store: ids hash across
 // power-of-two shards, each an independently RW-locked map.
 type Sharded[V any] struct {
-	shards []shard[V]
-	mask   uint64
+	shards   []shard[V]
+	mask     uint64
+	noShrink bool
 }
 
 type shard[V any] struct {
 	mu sync.RWMutex // 24 bytes
 	m  map[string]V // 8 bytes
+	// hiWater is the peak entry count since the map was last rebuilt. Go
+	// maps never release bucket arrays, so after a delete storm a shard
+	// would otherwise hold memory sized for its peak forever; Delete
+	// rebuilds the map when occupancy falls far enough below this mark.
+	hiWater int // 8 bytes
 	// Pad the shard to 128 bytes so no two shards' hot fields share a
 	// 64-byte cache line whatever the slice's base alignment —
 	// neighbouring shard locks would otherwise false-share under write
 	// contention.
-	_ [96]byte
+	_ [88]byte
 }
+
+// Shrink thresholds: a shard map is rebuilt at its live size when entries
+// fall below 1/shrinkFactor of the high-water mark, but only once the mark
+// is at least shrinkMinHiWater — below that the retained bucket arrays are
+// noise and a rebuild is pure overhead. The rebuild copies fewer than
+// hiWater/shrinkFactor entries and is triggered only after at least
+// (1-1/shrinkFactor)·hiWater deletes, so the cost is O(1) amortised per
+// delete, paid under the same stripe lock the delete already holds.
+const (
+	shrinkFactor     = 4
+	shrinkMinHiWater = 256
+)
 
 // NewSharded builds a store with the given shard count rounded up to a
 // power of two; <= 0 selects the default.
@@ -115,6 +133,9 @@ func (s *Sharded[V]) Put(id string, v V) bool {
 		return false
 	}
 	sh.m[id] = v
+	if n := len(sh.m); n > sh.hiWater {
+		sh.hiWater = n
+	}
 	return true
 }
 
@@ -126,9 +147,34 @@ func (s *Sharded[V]) Delete(id string) (V, bool) {
 	v, ok := sh.m[id]
 	if ok {
 		delete(sh.m, id)
+		if !s.noShrink {
+			sh.maybeShrinkLocked()
+		}
 	}
 	return v, ok
 }
+
+// maybeShrinkLocked rebuilds the shard map at its live size when occupancy
+// has fallen far below the high-water mark. Caller holds sh.mu.
+func (sh *shard[V]) maybeShrinkLocked() {
+	if sh.hiWater < shrinkMinHiWater || len(sh.m)*shrinkFactor >= sh.hiWater {
+		return
+	}
+	m := make(map[string]V, len(sh.m))
+	for k, v := range sh.m {
+		m[k] = v
+	}
+	sh.m = m
+	// Reset the mark to the rebuilt size so continued deletion keeps
+	// shrinking instead of comparing against the old peak forever.
+	sh.hiWater = len(m)
+}
+
+// DisableShrink turns off the delete-storm map rebuild, restoring the
+// pre-fix behaviour where a shard retains bucket arrays sized for its peak
+// occupancy. It exists so the soak harness can measure the fix against its
+// baseline; call it before the store is shared between goroutines.
+func (s *Sharded[V]) DisableShrink() { s.noShrink = true }
 
 // Range implements Store: each shard is walked under its read lock, so
 // f runs with one stripe locked — it must be quick and must not touch

@@ -131,3 +131,186 @@ func TestHistogramConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLogHistogramBinning(t *testing.T) {
+	// 6 decades, 10 bins per decade: edges at 10^(i/10).
+	h := NewLogHistogram(1, 1e6, 60)
+	if !h.LogScale() {
+		t.Fatal("LogScale must report true")
+	}
+	if h.BinWidth() != 0 {
+		t.Fatalf("BinWidth = %v, want 0 for log bins", h.BinWidth())
+	}
+	for _, x := range []float64{1, 9.9, 10, 100, 1e5, 1e6} {
+		h.Add(x)
+	}
+	if h.BinOf(1) != 0 {
+		t.Errorf("BinOf(1) = %d, want 0", h.BinOf(1))
+	}
+	if got := h.BinOf(10); got != 10 {
+		t.Errorf("BinOf(10) = %d, want 10", got)
+	}
+	if got := h.BinOf(1e6); got != 59 {
+		t.Errorf("BinOf(1e6) = %d, want 59 (inclusive top edge)", got)
+	}
+	if h.Underflow() != 0 || h.Overflow() != 0 {
+		t.Fatalf("under/overflow = %d/%d, want 0/0", h.Underflow(), h.Overflow())
+	}
+	h.Add(0.5)
+	h.Add(2e6)
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Fatalf("under/overflow = %d/%d, want 1/1", h.Underflow(), h.Overflow())
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3)
+	edges := h.Edges()
+	want := []float64{10, 100, 1000}
+	for i := range want {
+		if !almostEqual(edges[i], want[i], 1e-9) {
+			t.Fatalf("Edges = %v, want %v", edges, want)
+		}
+	}
+	if edges[len(edges)-1] != 1000 {
+		t.Fatalf("top edge must be exactly Hi, got %v", edges[len(edges)-1])
+	}
+	if got := h.LowerEdge(0); got != 1 {
+		t.Fatalf("LowerEdge(0) = %v, want 1", got)
+	}
+	if got := h.LowerEdge(2); !almostEqual(got, 100, 1e-9) {
+		t.Fatalf("LowerEdge(2) = %v, want 100", got)
+	}
+}
+
+// Every bin edge must be self-consistent: a sample just below an upper edge
+// lands in that bin, a sample at the edge lands in the next.
+func TestLogHistogramEdgeConsistency(t *testing.T) {
+	h := NewLogHistogram(1, 1e6, 60)
+	edges := h.Edges()
+	for i := 0; i < len(edges)-1; i++ {
+		e := edges[i]
+		if got := h.BinOf(e * (1 - 1e-12)); got != i {
+			t.Fatalf("BinOf(just below edge %d) = %d, want %d", i, got, i)
+		}
+		if got := h.BinOf(e * (1 + 1e-12)); got != i+1 {
+			t.Fatalf("BinOf(just above edge %d) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-50) > 1.0 {
+		t.Fatalf("Quantile(0.5) = %v, want ~50", got)
+	}
+	if got := h.Quantile(0.99); math.Abs(got-99) > 1.5 {
+		t.Fatalf("Quantile(0.99) = %v, want ~99", got)
+	}
+	if !math.IsNaN(NewHistogram(0, 1, 2).Quantile(0.5)) {
+		t.Fatal("Quantile of empty histogram must be NaN")
+	}
+	if !math.IsNaN(h.Quantile(1.5)) || !math.IsNaN(h.Quantile(-0.1)) {
+		t.Fatal("Quantile outside [0,1] must be NaN")
+	}
+}
+
+func TestHistogramQuantileOverflowIsInf(t *testing.T) {
+	h := NewLogHistogram(1, 100, 10)
+	for i := 0; i < 90; i++ {
+		h.Add(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1e9) // saturates
+	}
+	if got := h.Quantile(0.5); math.IsInf(got, 1) {
+		t.Fatalf("Quantile(0.5) = +Inf, want finite")
+	}
+	if got := h.Quantile(0.99); !math.IsInf(got, 1) {
+		t.Fatalf("Quantile(0.99) = %v, want +Inf when the rank is in overflow", got)
+	}
+}
+
+func TestHistogramQuantileUnderflowIsLo(t *testing.T) {
+	h := NewLogHistogram(10, 100, 5)
+	h.Add(1)
+	h.Add(1)
+	h.Add(50)
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("Quantile(0.5) = %v, want Lo when the rank is in underflow", got)
+	}
+}
+
+func TestLogHistogramQuantileAccuracy(t *testing.T) {
+	// With 10 bins/decade, any quantile is within one bin ratio
+	// (10^0.1 ≈ 1.26x) of truth.
+	h := NewLogHistogram(1, 1e6, 60)
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		x := math.Exp(rng.Float64() * math.Log(1e5)) // log-uniform in [1, 1e5]
+		vals = append(vals, x)
+		h.Add(x)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := h.Quantile(q)
+		// Exact quantile from the sorted sample.
+		sorted := append([]float64(nil), vals...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		want := sorted[int(math.Ceil(q*float64(len(sorted))))-1]
+		if ratio := got / want; ratio < 1/1.3 || ratio > 1.3 {
+			t.Fatalf("Quantile(%v) = %v, want within 1.3x of %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewLogHistogram(1, 1000, 30)
+	b := NewLogHistogram(1, 1000, 30)
+	for i := 1; i <= 10; i++ {
+		a.Add(float64(i))
+		b.Add(float64(i * 50))
+	}
+	a.Add(0.5)  // underflow
+	b.Add(5000) // overflow
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 22 {
+		t.Fatalf("merged Count = %d, want 22", a.Count())
+	}
+	if a.Underflow() != 1 || a.Overflow() != 1 {
+		t.Fatalf("merged under/overflow = %d/%d, want 1/1", a.Underflow(), a.Overflow())
+	}
+	if err := a.Merge(NewHistogram(1, 1000, 30)); err == nil {
+		t.Fatal("Merge must reject geometry mismatch (log vs fixed)")
+	}
+	if err := a.Merge(NewLogHistogram(1, 100, 30)); err == nil {
+		t.Fatal("Merge must reject geometry mismatch (range)")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("Merge(nil) must be a no-op, got %v", err)
+	}
+}
+
+func TestLogHistogramPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero lo", func() { NewLogHistogram(0, 1, 4) })
+	mustPanic("negative lo", func() { NewLogHistogram(-1, 1, 4) })
+	mustPanic("lo>=hi", func() { NewLogHistogram(2, 2, 4) })
+	mustPanic("zero bins", func() { NewLogHistogram(1, 10, 0) })
+}
