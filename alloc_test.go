@@ -7,7 +7,6 @@ package qgov_test
 // into the loop, a 1000-frame run blows straight through these bounds.
 
 import (
-	"math/rand"
 	"testing"
 
 	"qgov/internal/core"
@@ -16,6 +15,7 @@ import (
 	"qgov/internal/predictor"
 	"qgov/internal/sim"
 	"qgov/internal/workload"
+	"qgov/internal/xrand"
 )
 
 func assertAllocs(t *testing.T, name string, max float64, f func()) {
@@ -27,7 +27,7 @@ func assertAllocs(t *testing.T, name string, max float64, f func()) {
 
 func TestQTableUpdateAllocFree(t *testing.T) {
 	q := core.NewQTable(25, 19, -1)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	assertAllocs(t, "QTable.Update", 0, func() {
 		s, a, ns := rng.Intn(25), rng.Intn(19), rng.Intn(25)
 		q.Update(s, a, -0.3, ns, 0.4, 0.9)
@@ -36,7 +36,7 @@ func TestQTableUpdateAllocFree(t *testing.T) {
 
 func TestEPDSampleAllocFree(t *testing.T) {
 	p := core.NewExponentialPolicy()
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	nf := platform.A15Table().NormFreqs()
 	for _, slack := range []float64{-0.4, 0, 0.3} {
 		assertAllocs(t, "ExponentialPolicy.Sample", 0, func() {

@@ -14,7 +14,6 @@ package qgov_test
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 	"sync"
 	"testing"
@@ -27,6 +26,7 @@ import (
 	"qgov/internal/predictor"
 	"qgov/internal/sim"
 	"qgov/internal/workload"
+	"qgov/internal/xrand"
 )
 
 // benchSeeds trades runtime for stability: single-seed learning results
@@ -201,7 +201,7 @@ func BenchmarkMultiApp(b *testing.B) {
 // table (25 states x 19 actions).
 func BenchmarkQTableUpdate(b *testing.B) {
 	q := core.NewQTable(25, 19, -1)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, a, ns := rng.Intn(25), rng.Intn(19), rng.Intn(25)
@@ -212,7 +212,7 @@ func BenchmarkQTableUpdate(b *testing.B) {
 // BenchmarkEPDSample measures one Eq. 2 draw over the 19-point ladder.
 func BenchmarkEPDSample(b *testing.B) {
 	p := core.NewExponentialPolicy()
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	nf := platform.A15Table().NormFreqs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -288,7 +288,7 @@ func BenchmarkOndemandDecision(b *testing.B) {
 // cycle model.
 func BenchmarkFFT64K(b *testing.B) {
 	x := make([]complex128, 1<<16)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	for i := range x {
 		x[i] = complex(rng.NormFloat64(), 0)
 	}

@@ -128,6 +128,7 @@ func main() {
 		lgLanes  = flag.Int("loadgen-lanes", 0, "concurrent executor lanes (0: min(GOMAXPROCS, 8))")
 		lgBatch  = flag.Int("loadgen-batch", 0, "max decides coalesced per batch (0: 512)")
 		lgPace   = flag.Float64("loadgen-pace", 0, "pace dispatch against the schedule clock (1: recorded speed; 0: flat out)")
+		lgPrefix = flag.String("loadgen-id-prefix", "", "override the spec's session-id prefix (several generators can share one server without id collisions)")
 	)
 	flag.Parse()
 
@@ -143,15 +144,21 @@ func main() {
 		if *lgSpec != "" && *lgReplay != "" {
 			fatal(errors.New("-loadgen and -loadgen-replay are two sources for one schedule; pick one"))
 		}
+		if *lgPrefix != "" && *lgReplay != "" {
+			// A trace's events already carry their session ids; renaming
+			// them here would desync decides from the creates they follow.
+			fatal(errors.New("-loadgen-id-prefix rewrites generated ids; it cannot be combined with -loadgen-replay"))
+		}
 		loadgenMain(loadgenConfig{
-			spec:   *lgSpec,
-			replay: *lgReplay,
-			addr:   *lgAddr,
-			direct: *lgDirect,
-			record: *lgRecord,
-			lanes:  *lgLanes,
-			batch:  *lgBatch,
-			pace:   *lgPace,
+			spec:     *lgSpec,
+			replay:   *lgReplay,
+			addr:     *lgAddr,
+			direct:   *lgDirect,
+			record:   *lgRecord,
+			lanes:    *lgLanes,
+			batch:    *lgBatch,
+			pace:     *lgPace,
+			idPrefix: *lgPrefix,
 		}, logf)
 		return
 	}
@@ -484,14 +491,15 @@ func fleetMain(routerAddr string, sessions int, dur time.Duration, conns int, lo
 }
 
 type loadgenConfig struct {
-	spec   string
-	replay string
-	addr   string
-	direct bool
-	record string
-	lanes  int
-	batch  int
-	pace   float64
+	spec     string
+	replay   string
+	addr     string
+	direct   bool
+	record   string
+	lanes    int
+	batch    int
+	pace     float64
+	idPrefix string
 }
 
 // loadgenMain is the -loadgen client mode: generate (or replay) a
@@ -512,6 +520,9 @@ func loadgenMain(cfg loadgenConfig, logf func(string, ...any)) {
 		spec, err := loadgen.LoadSpec(cfg.spec)
 		if err != nil {
 			fatal(err)
+		}
+		if cfg.idPrefix != "" {
+			spec.IDPrefix = cfg.idPrefix
 		}
 		g, err := loadgen.New(spec)
 		if err != nil {

@@ -54,6 +54,17 @@
 //	                     automatic replica reconnect, and degrading
 //	                     gracefully (per-replica status in /healthz,
 //	                     partial aggregates) when members fail
+//	internal/qpage       copy-on-write paged value tables behind a
+//	                     process-wide content-interned page pool
+//	                     (sharded, SHA-256-keyed, refcounted): sessions
+//	                     with identical starting state — cold tables,
+//	                     one warm-start manifest — share immutable
+//	                     pages and copy only what they touch, cutting
+//	                     the per-session memory floor ~9x at soak scale
+//	internal/xrand       the 8-byte splitmix64 deterministic generator
+//	                     (uniform/exponential/normal variates) that
+//	                     replaced per-session ~5 KB math/rand state in
+//	                     learners and load-generator clients
 //	internal/sessionstore the serving layer's state stores: the sharded
 //	                     Store (striped locks, byte-keyed lookups) and
 //	                     the CheckpointStore interface with its

@@ -107,23 +107,40 @@ func (r *RTM) LoadState(rd io.Reader) error {
 	return nil
 }
 
-// applyRestored copies a staged checkpoint into freshly reset tables. It
-// is called from Reset once the run's dimensions are known.
-func (r *RTM) applyRestored() {
+// applyRestored builds the run's tables from a staged checkpoint. It is
+// called from Reset once the run's dimensions are known.
+//
+// With a page pool in the Context the staged tables are interned on first
+// apply and the live tables are clones sharing their pages: a thousand
+// sessions warm-started from one manifest carry one copy of the trained
+// values between them (the intern is content-addressed, so even separate
+// decodes of the same manifest land on the same pooled pages). Without a
+// pool the live tables are private deep copies, the pre-pool behaviour.
+func (r *RTM) applyRestored(nStates, nActions int) {
 	cp := r.restored
 	if len(cp.Tables) != len(r.tables) {
 		panic(fmt.Sprintf("core: checkpoint holds %d tables, %s mode on this cluster needs %d",
 			len(cp.Tables), r.cfg.Mode, len(r.tables)))
 	}
+	pool := r.ctx.QPool
 	for i, src := range cp.Tables {
-		dst := r.tables[i]
-		if src.States() != dst.States() || src.Actions() != dst.Actions() {
+		if src.States() != nStates || src.Actions() != nActions {
 			panic(fmt.Sprintf("core: checkpoint table is %dx%d, need %dx%d",
-				src.States(), src.Actions(), dst.States(), dst.Actions()))
+				src.States(), src.Actions(), nStates, nActions))
 		}
-		copy(dst.q, src.q)
-		copy(dst.visits, src.visits)
+		if pool != nil && (src.tab.Pool() == nil || src.tab.Pool() == pool) {
+			src.Intern(pool) // idempotent after the first Reset
+			r.tables[i] = src.Clone()
+			continue
+		}
+		dst := NewQTable(nStates, nActions, 0)
+		for s := 0; s < nStates; s++ {
+			q, v := dst.tab.MutRow(s)
+			copy(q, src.tab.Row(s))
+			copy(v, src.tab.VRow(s))
+		}
 		dst.recomputeRowVisits()
+		r.tables[i] = dst
 	}
 	r.space.CCMin, r.space.CCMax = cp.CCMin, cp.CCMax
 	r.calibrated = cp.Calibrated

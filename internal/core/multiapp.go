@@ -2,10 +2,9 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
-
 	"qgov/internal/governor"
 	"qgov/internal/predictor"
+	"qgov/internal/xrand"
 )
 
 // The paper closes with: "Our future work is investigating how to extend
@@ -37,7 +36,7 @@ type MultiRTM struct {
 
 	table    *QTable
 	greedy   []int // sticky greedy choice per state
-	rng      *rand.Rand
+	rng      *xrand.Rand
 	preds    []*predictor.EWMA // one per application (critical thread)
 	slacks   []*SlackTracker
 	tracker  *governor.ConvergenceTracker
@@ -94,7 +93,7 @@ func (m *MultiRTM) Calibrate(cycleCounts []float64) error {
 
 // Reset prepares the controller for a run on the given platform context.
 func (m *MultiRTM) Reset(ctx governor.Context) {
-	m.rng = rand.New(rand.NewSource(ctx.Seed))
+	m.rng = xrand.New(ctx.Seed)
 	m.table = NewQTable(m.space.NumStates(), ctx.Table.Len(), m.cfg.InitQ)
 	m.greedy = make([]int, m.space.NumStates())
 	m.preds = make([]*predictor.EWMA, m.nApps)
@@ -105,7 +104,11 @@ func (m *MultiRTM) Reset(ctx governor.Context) {
 	}
 	m.cfg.Epsilon.Reset()
 	m.tracker = governor.NewConvergenceTracker(m.cfg.StableEpochs)
-	m.normFreq = ctx.Table.NormFreqs()
+	if ctx.NormFreq != nil {
+		m.normFreq = ctx.NormFreq // shared read-only precompute
+	} else {
+		m.normFreq = ctx.Table.NormFreqs()
+	}
 	m.prevState = 0
 	m.prevAction = 0
 	m.epoch = 0

@@ -3,7 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
+
+	"qgov/internal/xrand"
 )
 
 // ExplorationPolicy chooses an exploratory action given the measured
@@ -18,7 +19,7 @@ type ExplorationPolicy interface {
 	// ladder normalised to [0, 1] (0 = slowest, 1 = fastest), precomputed
 	// once per run (platform.OPPTable.NormFreqs) so sampling sits on the
 	// decision hot path without allocating or re-deriving the ladder.
-	Sample(rng *rand.Rand, actions int, slack float64, normFreq []float64) int
+	Sample(rng *xrand.Rand, actions int, slack float64, normFreq []float64) int
 }
 
 // UniformPolicy is the uniform probability distribution (UPD) used by
@@ -29,7 +30,7 @@ type UniformPolicy struct{}
 func (UniformPolicy) Name() string { return "upd" }
 
 // Sample implements ExplorationPolicy.
-func (UniformPolicy) Sample(rng *rand.Rand, actions int, _ float64, _ []float64) int {
+func (UniformPolicy) Sample(rng *xrand.Rand, actions int, _ float64, _ []float64) int {
 	return rng.Intn(actions)
 }
 
@@ -96,7 +97,7 @@ func (p *ExponentialPolicy) weight(slack, nf float64) float64 {
 // distribution. It draws in two passes over the unnormalised weights —
 // total mass first, then the accumulation to the threshold — so the hot
 // path allocates nothing.
-func (p *ExponentialPolicy) Sample(rng *rand.Rand, actions int, slack float64, normFreq []float64) int {
+func (p *ExponentialPolicy) Sample(rng *xrand.Rand, actions int, slack float64, normFreq []float64) int {
 	if actions < 1 {
 		panic(fmt.Sprintf("core: EPD over %d actions", actions))
 	}

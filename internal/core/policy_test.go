@@ -2,8 +2,9 @@ package core
 
 import (
 	"math"
-	"math/rand"
 	"testing"
+
+	"qgov/internal/xrand"
 	"testing/quick"
 )
 
@@ -21,7 +22,7 @@ func linNorm(actions int) []float64 {
 }
 
 func TestUniformPolicyIsUniform(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	const actions, draws = 10, 20000
 	counts := make([]int, actions)
 	p := UniformPolicy{}
@@ -101,7 +102,7 @@ func TestEPDLambdaFloor(t *testing.T) {
 
 func TestEPDSampleMatchesWeights(t *testing.T) {
 	p := NewExponentialPolicy()
-	rng := rand.New(rand.NewSource(7))
+	rng := xrand.New(7)
 	const actions, draws = 7, 40000
 	nf := linNorm(actions)
 	w := p.Weights(actions, -0.3, nf)
@@ -207,7 +208,7 @@ func TestEPDValidDistributionProperty(t *testing.T) {
 		if math.Abs(sum-1) > 1e-9 {
 			return false
 		}
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(seed)
 		a := p.Sample(rng, actions, slack, nf)
 		return a >= 0 && a < actions
 	}

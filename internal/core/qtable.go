@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"qgov/internal/qpage"
 )
 
 // QTable is the look-up table of Section II-A: one row per discretised
@@ -18,11 +20,18 @@ import (
 // puts it; an optimistic value (0 with negative rewards) would force a
 // blind sweep of all 19 actions per state and inflate the exploration
 // counts of Table II for every method alike.
+//
+// Storage is paged copy-on-write (internal/qpage): a table built through a
+// pool shares immutable pages with every other table of identical content
+// — all cold sessions on one platform, all sessions warm-started from one
+// manifest — and Update copies only the touched page before its first
+// write. rowVisits stays per-table: the convergence tracker reads it for
+// every state on every decision, it is tiny, and keeping it private means
+// the hot read path never consults the pool.
 type QTable struct {
 	states  int
 	actions int
-	q       []float64
-	visits  []int
+	tab     *qpage.Table
 	// rowVisits caches per-state visit totals. The convergence tracker
 	// reads RowVisits for every state on every decision, which made the
 	// O(actions) sum the single hottest path of the decision service;
@@ -30,34 +39,71 @@ type QTable struct {
 	rowVisits []int
 }
 
-// NewQTable creates a table with every entry at initQ.
+// NewQTable creates a table with every entry at initQ, with private
+// (unshared) storage.
 func NewQTable(states, actions int, initQ float64) *QTable {
 	if states < 1 || actions < 1 {
 		panic(fmt.Sprintf("core: QTable(%d states, %d actions)", states, actions))
 	}
-	t := &QTable{
+	return &QTable{
 		states:    states,
 		actions:   actions,
-		q:         make([]float64, states*actions),
-		visits:    make([]int, states*actions),
+		tab:       qpage.New(states, actions, initQ),
 		rowVisits: make([]int, states),
 	}
-	for i := range t.q {
-		t.q[i] = initQ
+}
+
+// NewQTableShared creates a table with every entry at initQ whose pages
+// are interned in pool: every table so created shares one uniform page
+// until its first update faults a private copy.
+func NewQTableShared(pool *qpage.Pool, states, actions int, initQ float64) *QTable {
+	if states < 1 || actions < 1 {
+		panic(fmt.Sprintf("core: QTable(%d states, %d actions)", states, actions))
 	}
-	return t
+	return &QTable{
+		states:    states,
+		actions:   actions,
+		tab:       pool.NewShared(states, actions, initQ),
+		rowVisits: make([]int, states),
+	}
+}
+
+// Clone returns a table sharing every pooled page of t (and deep-copying
+// private ones) — how sessions warm-started from one interned base table
+// come to share its storage.
+func (t *QTable) Clone() *QTable {
+	nt := &QTable{
+		states:    t.states,
+		actions:   t.actions,
+		tab:       t.tab.Clone(),
+		rowVisits: make([]int, t.states),
+	}
+	copy(nt.rowVisits, t.rowVisits)
+	return nt
+}
+
+// Intern publishes t's pages into pool, deduplicating against identical
+// content already there. Idempotent.
+func (t *QTable) Intern(pool *qpage.Pool) { t.tab.Intern(pool) }
+
+// Release returns t's pooled page references to the pool. The table is
+// unusable afterwards; sessions call it exactly once, on delete.
+func (t *QTable) Release() {
+	if t.tab != nil {
+		t.tab.Release()
+	}
 }
 
 // recomputeRowVisits rebuilds the per-state cache from visits — the
-// deserialisation paths call it after replacing the visits slice.
+// deserialisation paths call it after replacing the underlying storage.
 func (t *QTable) recomputeRowVisits() {
 	if len(t.rowVisits) != t.states {
 		t.rowVisits = make([]int, t.states)
 	}
 	for s := 0; s < t.states; s++ {
-		var sum int
-		for a := 0; a < t.actions; a++ {
-			sum += t.visits[s*t.actions+a]
+		sum := 0
+		for _, v := range t.tab.VRow(s) {
+			sum += int(v)
 		}
 		t.rowVisits[s] = sum
 	}
@@ -70,10 +116,16 @@ func (t *QTable) States() int { return t.states }
 func (t *QTable) Actions() int { return t.actions }
 
 // Q returns the value of (state, action).
-func (t *QTable) Q(state, action int) float64 { return t.q[t.idx(state, action)] }
+func (t *QTable) Q(state, action int) float64 {
+	t.check(state, action)
+	return t.tab.Row(state)[action]
+}
 
 // Visits returns how many updates (state, action) has received.
-func (t *QTable) Visits(state, action int) int { return t.visits[t.idx(state, action)] }
+func (t *QTable) Visits(state, action int) int {
+	t.check(state, action)
+	return int(t.tab.VRow(state)[action])
+}
 
 // RowVisits returns the total updates state has received across actions.
 func (t *QTable) RowVisits(state int) int {
@@ -96,12 +148,15 @@ func (t *QTable) VisitTotal() int {
 //
 //	Q(s,a) ← (1−α)·Q(s,a) + α·(R + γ·max_a' Q(s', a'))
 //
-// where s' is the (predicted) next state.
+// where s' is the (predicted) next state. The bootstrap value is read
+// before the row is made writable: if s' shares the touched page, the
+// pre-update value is what Eq. 3 wants either way.
 func (t *QTable) Update(state, action int, reward float64, nextState int, alpha, discount float64) {
-	i := t.idx(state, action)
+	t.check(state, action)
 	best := t.MaxQ(nextState)
-	t.q[i] = (1-alpha)*t.q[i] + alpha*(reward+discount*best)
-	t.visits[i]++
+	q, v := t.tab.MutRow(state)
+	q[action] = (1-alpha)*q[action] + alpha*(reward+discount*best)
+	v[action]++
 	t.rowVisits[state]++
 }
 
@@ -116,10 +171,11 @@ func (t *QTable) Update(state, action int, reward float64, nextState int, alpha,
 // only through actions the final policy will not take; SARSA evaluates
 // the policy being followed.
 func (t *QTable) UpdateSARSA(state, action int, reward float64, nextState, nextAction int, alpha, discount float64) {
-	i := t.idx(state, action)
+	t.check(state, action)
 	next := t.Q(nextState, nextAction)
-	t.q[i] = (1-alpha)*t.q[i] + alpha*(reward+discount*next)
-	t.visits[i]++
+	q, v := t.tab.MutRow(state)
+	q[action] = (1-alpha)*q[action] + alpha*(reward+discount*next)
+	v[action]++
 	t.rowVisits[state]++
 }
 
@@ -181,18 +237,19 @@ func (t *QTable) Row(state int) []float64 {
 	return append([]float64(nil), t.row(state)...)
 }
 
+// row returns a read-only view of one state's action values; the view may
+// alias a shared page.
 func (t *QTable) row(state int) []float64 {
 	if state < 0 || state >= t.states {
 		panic(fmt.Sprintf("core: state %d outside [0,%d)", state, t.states))
 	}
-	return t.q[state*t.actions : (state+1)*t.actions]
+	return t.tab.Row(state)
 }
 
-func (t *QTable) idx(state, action int) int {
+func (t *QTable) check(state, action int) {
 	if state < 0 || state >= t.states || action < 0 || action >= t.actions {
 		panic(fmt.Sprintf("core: (%d,%d) outside %dx%d table", state, action, t.states, t.actions))
 	}
-	return state*t.actions + action
 }
 
 // qtableJSON is the serialisation schema for learning transfer.
@@ -204,9 +261,11 @@ type qtableJSON struct {
 }
 
 // MarshalJSON implements json.Marshaler, so a table embeds directly in
-// larger checkpoint envelopes (governor.Checkpointer payloads).
+// larger checkpoint envelopes (governor.Checkpointer payloads). The paged
+// storage is materialised flat: the wire format is identical to the
+// pre-paging layout, byte for byte.
 func (t *QTable) MarshalJSON() ([]byte, error) {
-	return json.Marshal(qtableJSON{States: t.states, Actions: t.actions, Q: t.q, Visits: t.visits})
+	return json.Marshal(qtableJSON{States: t.states, Actions: t.actions, Q: t.tab.FlatQ(), Visits: t.tab.FlatV()})
 }
 
 // UnmarshalJSON implements json.Unmarshaler with the same validation Load
@@ -233,7 +292,12 @@ func (t *QTable) UnmarshalJSON(b []byte) error {
 			return fmt.Errorf("core: Q-table is inconsistent: Visits(%d,%d) = %d", i/j.Actions, i%j.Actions, v)
 		}
 	}
-	t.states, t.actions, t.q, t.visits = j.States, j.Actions, j.Q, j.Visits
+	if t.tab != nil {
+		// Re-unmarshalling into a live table must not strand pool refs.
+		t.tab.Release()
+	}
+	t.states, t.actions = j.States, j.Actions
+	t.tab = qpage.FromFlat(j.States, j.Actions, j.Q, j.Visits)
 	t.recomputeRowVisits()
 	return nil
 }

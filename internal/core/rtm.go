@@ -2,10 +2,9 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
-
 	"qgov/internal/governor"
 	"qgov/internal/predictor"
+	"qgov/internal/xrand"
 )
 
 // Mode selects the many-core learning organisation of Section II-D.
@@ -110,11 +109,15 @@ type RTM struct {
 	cfg   Config
 	space *StateSpace
 
-	ctx        governor.Context
-	rng        *rand.Rand
+	ctx governor.Context
+	// rng is built lazily on the first ε draw: even at xrand's 8-byte
+	// state a freshly created session that has never decided should not
+	// pay the allocation. Laziness is stream-identical — no draw happens
+	// between Reset and the first selectAction either way.
+	rng        *xrand.Rand
 	tables     []*QTable // one (shared) or NumCores (per-core)
 	greedy     [][]int   // sticky greedy choice per table, per state
-	preds      []*predictor.EWMA
+	preds      []predictor.EWMA
 	slack      *SlackTracker
 	tracker    *governor.ConvergenceTracker
 	normFreq   []float64 // per-action normalised frequency (Eq. 2 axis)
@@ -129,8 +132,8 @@ type RTM struct {
 	predScratch []float64
 
 	explorations  int
-	exploredPairs []bool  // distinct (table, state, action) experiments
-	explHist      []int32 // cumulative explorations after each epoch
+	exploredPairs []uint64 // distinct (table, state, action) experiments, one bit each
+	explHist      []int32  // cumulative explorations after each epoch
 	calibrated    bool
 	ccSeen        bool // auto-ranging primed
 
@@ -220,8 +223,8 @@ func (r *RTM) SlackL() float64 { return r.slack.L() }
 // tracing and the Fig. 3 series).
 func (r *RTM) PredictedCC() []float64 {
 	out := make([]float64, len(r.preds))
-	for i, p := range r.preds {
-		out[i] = p.Predict()
+	for i := range r.preds {
+		out[i] = r.preds[i].Predict()
 	}
 	return out
 }
@@ -230,8 +233,8 @@ func (r *RTM) PredictedCC() []float64 {
 // allocation-free PredictedCC the decision path uses.
 func (r *RTM) predictInto(dst []float64) []float64 {
 	dst = dst[:len(r.preds)]
-	for i, p := range r.preds {
-		dst[i] = p.Predict()
+	for i := range r.preds {
+		dst[i] = r.preds[i].Predict()
 	}
 	return dst
 }
@@ -251,43 +254,79 @@ func (r *RTM) Calibrate(cycleCounts []float64) error {
 	return nil
 }
 
+// releaseTables returns every pooled page reference the current tables
+// hold. Safe on nil and on partially built slices.
+func (r *RTM) releaseTables() {
+	for _, t := range r.tables {
+		if t != nil {
+			t.Release()
+		}
+	}
+}
+
+// ReleaseState implements governor.StateReleaser: the serving tier calls
+// it once on session delete so shared pages return to the pool. The
+// staged checkpoint's tables are released too — they were interned on
+// first apply (see applyRestored) and hold references of their own.
+func (r *RTM) ReleaseState() {
+	r.releaseTables()
+	r.tables = nil
+	if r.restored != nil {
+		for _, t := range r.restored.Tables {
+			if t != nil {
+				t.Release()
+			}
+		}
+		r.restored = nil
+	}
+}
+
 // Reset implements governor.Governor.
 func (r *RTM) Reset(ctx governor.Context) {
 	r.ctx = ctx
-	r.rng = rand.New(rand.NewSource(ctx.Seed))
+	r.rng = nil // rebuilt lazily from ctx.Seed on the first ε draw
 	nTables := 1
 	if r.cfg.Mode == PerCoreTables {
 		nTables = ctx.NumCores
 	}
 	nStates := r.space.NumStates()
 	nActions := ctx.Table.Len()
+	r.releaseTables()
 	r.tables = make([]*QTable, nTables)
-	for i := range r.tables {
-		if r.cfg.Transfer != nil {
-			if r.cfg.Transfer.States() != nStates || r.cfg.Transfer.Actions() != nActions {
-				panic(fmt.Sprintf("core: transfer table is %dx%d, need %dx%d",
-					r.cfg.Transfer.States(), r.cfg.Transfer.Actions(), nStates, nActions))
-			}
-			// Copy so concurrent runs cannot share mutable state.
-			t := NewQTable(nStates, nActions, 0)
-			for s := 0; s < nStates; s++ {
-				for a := 0; a < nActions; a++ {
-					t.q[s*nActions+a] = r.cfg.Transfer.Q(s, a)
-				}
-			}
-			r.tables[i] = t
-		} else {
-			r.tables[i] = NewQTable(nStates, nActions, r.cfg.InitQ)
-		}
-	}
 	if r.restored != nil {
 		// A staged checkpoint outranks Config.Transfer: it carries visit
 		// counts and the state-space range as well as the Q-values.
-		r.applyRestored()
+		r.applyRestored(nStates, nActions)
+	} else {
+		for i := range r.tables {
+			switch {
+			case r.cfg.Transfer != nil:
+				if r.cfg.Transfer.States() != nStates || r.cfg.Transfer.Actions() != nActions {
+					panic(fmt.Sprintf("core: transfer table is %dx%d, need %dx%d",
+						r.cfg.Transfer.States(), r.cfg.Transfer.Actions(), nStates, nActions))
+				}
+				// Copy so concurrent runs cannot share mutable state.
+				t := NewQTable(nStates, nActions, 0)
+				for s := 0; s < nStates; s++ {
+					row, _ := t.tab.MutRow(s)
+					for a := range row {
+						row[a] = r.cfg.Transfer.Q(s, a)
+					}
+				}
+				r.tables[i] = t
+			case ctx.QPool != nil:
+				// Cold start through the pool: every cold session on this
+				// platform references the same uniform InitQ page until
+				// its first update faults a private copy.
+				r.tables[i] = NewQTableShared(ctx.QPool, nStates, nActions, r.cfg.InitQ)
+			default:
+				r.tables[i] = NewQTable(nStates, nActions, r.cfg.InitQ)
+			}
+		}
 	}
-	r.preds = make([]*predictor.EWMA, ctx.NumCores)
+	r.preds = make([]predictor.EWMA, ctx.NumCores)
 	for i := range r.preds {
-		r.preds[i] = predictor.NewEWMA(r.cfg.EWMAGamma)
+		r.preds[i] = *predictor.NewEWMA(r.cfg.EWMAGamma)
 	}
 	r.greedy = make([][]int, nTables)
 	for i := range r.greedy {
@@ -306,7 +345,11 @@ func (r *RTM) Reset(ctx governor.Context) {
 	// Two flips per window: one for a state crossing the visit threshold
 	// into the fingerprint, one for a genuine late adjustment.
 	r.tracker.MaxFlips = 2
-	r.normFreq = ctx.Table.NormFreqs()
+	if ctx.NormFreq != nil {
+		r.normFreq = ctx.NormFreq // shared read-only precompute
+	} else {
+		r.normFreq = ctx.Table.NormFreqs()
+	}
 	r.fpScratch = make([]int, 0, nTables*nStates)
 	r.predScratch = make([]float64, ctx.NumCores)
 	r.prevState = make([]int, nTables)
@@ -314,7 +357,7 @@ func (r *RTM) Reset(ctx governor.Context) {
 	r.lastCtrl = 0
 	r.epoch = 0
 	r.explorations = 0
-	r.exploredPairs = make([]bool, nTables*nStates*nActions)
+	r.exploredPairs = make([]uint64, (nTables*nStates*nActions+63)/64)
 	r.explHist = nil
 	r.ccSeen = false
 	if r.restored != nil && r.restored.CCMax > r.restored.CCMin {
@@ -356,9 +399,9 @@ func (r *RTM) Decide(obs governor.Observation) int {
 	reward := r.cfg.Reward.Score(l, r.slack.DeltaL(), inst)
 
 	// Feed the workload predictors with this epoch's actual demand.
-	for c, p := range r.preds {
+	for c := range r.preds {
 		if c < len(obs.Cycles) {
-			p.Observe(float64(obs.Cycles[c]))
+			r.preds[c].Observe(float64(obs.Cycles[c]))
 		}
 	}
 	r.autoRange(obs)
@@ -454,8 +497,8 @@ func (r *RTM) stateFor(c int, slack float64) int {
 	var cc float64
 	switch {
 	case c < 0:
-		for _, p := range r.preds {
-			if v := p.Predict(); v > cc {
+		for i := range r.preds {
+			if v := r.preds[i].Predict(); v > cc {
 				cc = v
 			}
 		}
@@ -485,11 +528,14 @@ func (r *RTM) selectAction(t, state int, l float64) int {
 }
 
 func (r *RTM) selectActionNoCount(t, state int, l float64) (int, bool) {
+	if r.rng == nil {
+		r.rng = xrand.New(r.ctx.Seed)
+	}
 	if r.rng.Float64() < r.cfg.Epsilon.Epsilon() {
 		a := r.cfg.Policy.Sample(r.rng, r.tables[t].Actions(), l, r.normFreq)
 		key := (t*r.space.NumStates()+state)*r.tables[t].Actions() + a
-		if !r.exploredPairs[key] {
-			r.exploredPairs[key] = true
+		if r.exploredPairs[key>>6]&(1<<uint(key&63)) == 0 {
+			r.exploredPairs[key>>6] |= 1 << uint(key&63)
 			return a, true // a new experiment
 		}
 		return a, false // a repeat visit, not a new exploration

@@ -61,13 +61,21 @@ func soakSmokeSpec(t *testing.T) loadgen.Spec {
 
 // TestSoakSmoke is the CI churn soak: a full lifecycle workload against
 // a real server with checkpointing on, asserting the run is clean, the
-// latency histogram resolves its tail, and the drain returns the heap.
+// latency histogram resolves its tail, the drain returns the heap, the
+// Q-table pool drains with it, and — at CI scale — the per-session
+// live-memory floor holds.
 func TestSoakSmoke(t *testing.T) {
 	res, err := RunSoak(SoakConfig{
-		Spec:            soakSmokeSpec(t),
-		Topology:        "flat",
-		Lanes:           16,
+		Spec:     soakSmokeSpec(t),
+		Topology: "flat",
+		Lanes:    16,
+		// The smoke drives ~5k decides/s — batches of 64 keep every lane
+		// busy while shrinking the fixed lane-channel buffers (~7 MB at
+		// the 512 default) that would otherwise pollute the per-session
+		// live-memory reading at this deliberately small scale.
+		BatchMax:        64,
 		CheckpointEvery: 100 * time.Millisecond,
+		LiveSampleEvery: 250 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatalf("RunSoak: %v", err)
@@ -90,6 +98,26 @@ func TestSoakSmoke(t *testing.T) {
 	}
 	if res.HeapPeakB == 0 || res.HeapEndB == 0 {
 		t.Fatalf("memory trajectory not sampled: %+v", res)
+	}
+	if res.HeapRecoveredFrac < 0 || res.HeapRecoveredFrac > 1 {
+		t.Fatalf("heap_recovered_frac %v outside [0,1]", res.HeapRecoveredFrac)
+	}
+	// Every session was deleted; a page still interned is a refcount leak.
+	if res.QTablePoolPagesEnd != 0 || res.QTablePoolBytesEnd != 0 {
+		t.Fatalf("Q-table pool leaked %d pages / %d bytes after drain",
+			res.QTablePoolPagesEnd, res.QTablePoolBytesEnd)
+	}
+	// The memory-floor tripwire, gated on populations large enough that
+	// harness overhead amortises away: the copy-on-write tables put a
+	// decided rtm session near ~9 KB live (the math/rand state is now
+	// over half of it); 10 KB is the regression line, not the target.
+	if res.PeakLive >= 500 {
+		if res.LiveHeapPeakB == 0 {
+			t.Fatal("live-heap sampler produced no samples at CI scale")
+		}
+		if res.LiveBytesPerSession > 10*1024 {
+			t.Fatalf("live memory per session regressed: %.0f B (limit 10240)", res.LiveBytesPerSession)
+		}
 	}
 }
 
@@ -223,27 +251,71 @@ func benchSoakSpec() loadgen.Spec {
 	}
 }
 
+// bench10xSpec is benchSoakSpec pushed an order of magnitude up the
+// session axis: ten thousand clients, the same churn shapes, per-client
+// rates scaled down so the schedule stays executable flat-out while the
+// live population peaks ~10x higher. This is the copy-on-write memory
+// headline: B/session and live-B/session at a population where the
+// pre-COW ~45 KB floor would have meant ~350 MB of Q-tables alone.
+func bench10xSpec() loadgen.Spec {
+	return loadgen.Spec{
+		Seed:     199,
+		HorizonS: 8,
+		IDPrefix: "bench10x",
+		Clients: []loadgen.ClientClass{
+			{
+				Name:            "steady",
+				Count:           7000,
+				Arrival:         loadgen.Arrival{Process: "poisson", RateHz: 1.5},
+				RateSkew:        &loadgen.Skew{Dist: "pareto", Param: 2.2},
+				LifetimeDecides: 30,
+				StartWindowS:    4,
+			},
+			{
+				Name:         "burst",
+				Count:        3000,
+				Arrival:      loadgen.Arrival{Process: "gamma", RateHz: 2, Shape: 0.5},
+				RateSkew:     &loadgen.Skew{Dist: "lognormal", Param: 0.7},
+				StartWindowS: 4,
+			},
+		},
+		Storms: []loadgen.Storm{
+			{AtS: 3.5, Fraction: 0.5, RestartDelayS: 0.3},
+			{AtS: 6, Fraction: 1, RestartDelayS: 0.2},
+		},
+	}
+}
+
 // BenchmarkSoakChurn runs the soak across topologies — and, for flat,
-// against the pre-fix baseline — reporting churn tail latency and memory
-// per session into BENCH_8.json. "Improvement" reads directly off the
-// flat vs flat-baseline pair: heap-recovered-pct collapses and
-// ckpt-writes explode without the fixes.
+// against the pre-fix baseline and at 10x the session population —
+// reporting churn tail latency and memory per session into BENCH_9.json.
+// "Improvement" reads directly off the flat vs flat-baseline pair
+// (heap-recovered-pct collapses and ckpt-writes explode without the
+// fixes); the memory floor reads off flat-10x's live-B/session. Only
+// the memory-headline case pays for forced-GC live sampling, so the
+// other cases' decides/s stay comparable across BENCH_* generations.
 func BenchmarkSoakChurn(b *testing.B) {
 	cases := []struct {
 		name string
 		cfg  SoakConfig
+		spec func() loadgen.Spec
 	}{
-		{"flat", SoakConfig{Topology: "flat", CheckpointEvery: 25 * time.Millisecond}},
-		{"flat-baseline", SoakConfig{Topology: "flat", Baseline: true, CheckpointEvery: 25 * time.Millisecond}},
-		{"routed", SoakConfig{Topology: "routed"}},
-		{"direct", SoakConfig{Topology: "direct"}},
+		{"flat", SoakConfig{Topology: "flat", CheckpointEvery: 25 * time.Millisecond}, benchSoakSpec},
+		{"flat-baseline", SoakConfig{Topology: "flat", Baseline: true, CheckpointEvery: 25 * time.Millisecond}, benchSoakSpec},
+		{"routed", SoakConfig{Topology: "routed"}, benchSoakSpec},
+		{"direct", SoakConfig{Topology: "direct"}, benchSoakSpec},
+		// BatchMax 128 matches the 10x spec's ~4k decides/s — full batches
+		// still form, but the fixed lane-channel buffers stop polluting
+		// the live-B/session headline the case exists to measure.
+		{"flat-10x", SoakConfig{Topology: "flat", CheckpointEvery: 100 * time.Millisecond,
+			LiveSampleEvery: 500 * time.Millisecond, BatchMax: 128}, bench10xSpec},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
 			var res *SoakResult
 			for i := 0; i < b.N; i++ {
 				cfg := tc.cfg
-				cfg.Spec = benchSoakSpec()
+				cfg.Spec = tc.spec()
 				var err error
 				res, err = RunSoak(cfg)
 				if err != nil {
@@ -257,10 +329,15 @@ func BenchmarkSoakChurn(b *testing.B) {
 			b.ReportMetric(res.P50US, "p50-us")
 			b.ReportMetric(res.P99US, "p99-us")
 			b.ReportMetric(res.P999US, "p999-us")
+			b.ReportMetric(float64(res.PeakLive), "peak-live")
 			b.ReportMetric(res.BytesPerSession, "B/session")
+			if res.LiveBytesPerSession > 0 {
+				b.ReportMetric(res.LiveBytesPerSession, "live-B/session")
+			}
 			b.ReportMetric(100*res.HeapRecoveredFrac, "heap-recovered-%")
 			b.ReportMetric(float64(res.CheckpointWrites), "ckpt-writes")
 			b.ReportMetric(float64(res.CheckpointSkipped), "ckpt-skipped")
+			b.ReportMetric(float64(res.QTableCowFaults), "cow-faults")
 		})
 	}
 }

@@ -66,9 +66,14 @@ type ConvergenceTracker struct {
 	// the window.
 	MaxFlips int
 
-	prev      []int
-	lastFlip  []int // epoch each state's greedy action last changed
-	flipRing  []int
+	// prev holds action indices (a DVFS ladder has ≤ a few dozen points)
+	// and lastFlip/flipRing hold epoch numbers and per-epoch flip counts;
+	// the narrow element types keep the tracker's three per-session arrays
+	// at ~a third of their []int size, which matters when a serving fleet
+	// holds one tracker per live session.
+	prev      []int16
+	lastFlip  []int32 // epoch each state's greedy action last changed
+	flipRing  []int32
 	ringIdx   int
 	windowSum int
 	seen      int
@@ -85,7 +90,7 @@ func NewConvergenceTracker(stableEpochs int) *ConvergenceTracker {
 	return &ConvergenceTracker{
 		StableEpochs: stableEpochs,
 		MaxFlips:     1,
-		flipRing:     make([]int, stableEpochs),
+		flipRing:     make([]int32, stableEpochs),
 		converged:    -1,
 	}
 }
@@ -99,22 +104,29 @@ func (c *ConvergenceTracker) Observe(policy []int) {
 		if flips == 0 {
 			flips = 1
 		}
-		c.lastFlip = make([]int, len(policy))
+		c.lastFlip = make([]int32, len(policy))
 		for i := range c.lastFlip {
-			c.lastFlip[i] = c.epoch
+			c.lastFlip[i] = int32(c.epoch)
 		}
 	} else {
 		for i := range policy {
-			if policy[i] != c.prev[i] {
+			if int16(policy[i]) != c.prev[i] {
 				flips++
-				c.lastFlip[i] = c.epoch
+				c.lastFlip[i] = int32(c.epoch)
 			}
 		}
 	}
-	c.prev = append(c.prev[:0], policy...)
+	if cap(c.prev) < len(policy) {
+		c.prev = make([]int16, len(policy))
+	} else {
+		c.prev = c.prev[:len(policy)]
+	}
+	for i, a := range policy {
+		c.prev[i] = int16(a)
+	}
 
-	c.windowSum += flips - c.flipRing[c.ringIdx]
-	c.flipRing[c.ringIdx] = flips
+	c.windowSum += flips - int(c.flipRing[c.ringIdx])
+	c.flipRing[c.ringIdx] = int32(flips)
 	c.ringIdx = (c.ringIdx + 1) % c.StableEpochs
 	if c.seen < c.StableEpochs {
 		c.seen++
@@ -160,7 +172,7 @@ func (c *ConvergenceTracker) StableFraction() float64 {
 	}
 	stable := 0
 	for _, lf := range c.lastFlip {
-		if c.epoch-lf >= c.StableEpochs {
+		if c.epoch-int(lf) >= c.StableEpochs {
 			stable++
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"qgov/internal/platform"
+	"qgov/internal/qpage"
 )
 
 // Context carries the run-static facts a governor may depend on. Reset
@@ -29,6 +30,27 @@ type Context struct {
 	NumCores int               // cores in the controlled cluster
 	PeriodS  float64           // the application's per-frame deadline (Tref)
 	Seed     int64             // seed for any stochastic policy
+	// NormFreq, when non-nil, is Table.NormFreqs() precomputed and shared:
+	// it is read-only by contract, so a serving tier creating thousands of
+	// sessions on one platform hands them all the same slice instead of
+	// each learner deriving a private copy. Nil makes the learner compute
+	// its own — identical values either way.
+	NormFreq []float64
+	// QPool, when non-nil, is a process-wide content-interned page pool:
+	// learning governors build their value tables through it so that
+	// sessions with identical starting state (cold tables, one warm-start
+	// manifest) share immutable pages copy-on-write instead of each
+	// holding a private deep copy. Nil (the sim default) keeps storage
+	// fully private — behaviour and results are identical either way.
+	QPool *qpage.Pool
+}
+
+// StateReleaser is implemented by governors that hold references to shared
+// pooled state (Context.QPool pages). The serving tier calls ReleaseState
+// exactly once when a session is deleted, returning the references so a
+// drained fleet leaves the pool empty; the governor is unusable after.
+type StateReleaser interface {
+	ReleaseState()
 }
 
 // Observation reports one completed decision epoch. Decide is called with

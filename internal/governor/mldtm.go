@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
+
+	"qgov/internal/qpage"
+	"qgov/internal/xrand"
 )
 
 // MLDTM reimplements the multi-core learning DVFS controller of Ge & Qiu,
@@ -56,10 +58,16 @@ type MLDTM struct {
 	// StableEpochs configures convergence detection.
 	StableEpochs int
 
-	ctx          Context
-	rng          *rand.Rand
-	q            [][][]float64 // [core][state][action]
-	visits       [][][]int
+	ctx Context
+	// rng is built lazily on the first ε draw (see the RTM's identically
+	// motivated field): a never-decided session should not pay even the
+	// 8-byte xrand allocation.
+	rng *xrand.Rand
+	// tab holds every core's value table as one paged copy-on-write
+	// table: row c·UtilBands+s is core c's band-s action values. Built
+	// through Context.QPool when present, so identical cold or
+	// warm-started controllers share immutable pages.
+	tab          *qpage.Table
 	greedy       [][]int // sticky greedy choice per core, per state
 	lastState    []int
 	lastAction   int
@@ -68,8 +76,14 @@ type MLDTM struct {
 	tracker      *ConvergenceTracker
 
 	// restored is the staged Checkpointer state; Reset applies it.
-	restored *mldtmCheckpoint
+	// restoredTab is the staged table interned on first apply — every
+	// later Reset clones it instead of re-copying the flat payload.
+	restored    *mldtmCheckpoint
+	restoredTab *qpage.Table
 }
+
+// row maps (core, band) to the packed table row.
+func (g *MLDTM) row(c, s int) int { return c*g.UtilBands + s }
 
 // NewMLDTM constructs the baseline with the configuration used in the
 // experiments.
@@ -110,12 +124,13 @@ func (g *MLDTM) Epsilon() float64 {
 
 // VisitTotal implements ExplorationStats.
 func (g *MLDTM) VisitTotal() int {
+	if g.tab == nil {
+		return 0
+	}
 	n := 0
-	for c := range g.visits {
-		for s := range g.visits[c] {
-			for _, v := range g.visits[c][s] {
-				n += v
-			}
+	for r := 0; r < g.tab.Rows(); r++ {
+		for _, v := range g.tab.VRow(r) {
+			n += int(v)
 		}
 	}
 	return n
@@ -124,21 +139,41 @@ func (g *MLDTM) VisitTotal() int {
 // ConvergedFraction implements ExplorationStats.
 func (g *MLDTM) ConvergedFraction() float64 { return g.tracker.StableFraction() }
 
+// ReleaseState implements StateReleaser: called once on session delete to
+// return the live table's and the staged base's pooled pages.
+func (g *MLDTM) ReleaseState() {
+	if g.tab != nil {
+		g.tab.Release()
+		g.tab = nil
+	}
+	if g.restoredTab != nil {
+		g.restoredTab.Release()
+		g.restoredTab = nil
+	}
+	g.restored = nil
+}
+
 // Reset implements Governor.
 func (g *MLDTM) Reset(ctx Context) {
 	g.ctx = ctx
-	g.rng = rand.New(rand.NewSource(ctx.Seed))
+	g.rng = nil // rebuilt lazily from ctx.Seed on the first ε draw
 	nActions := ctx.Table.Len()
-	g.q = make([][][]float64, ctx.NumCores)
-	g.visits = make([][][]int, ctx.NumCores)
+	if g.tab != nil {
+		g.tab.Release()
+	}
+	rows := ctx.NumCores * g.UtilBands
+	if g.restored != nil {
+		g.applyRestored(rows, nActions)
+	} else if ctx.QPool != nil {
+		g.tab = ctx.QPool.NewShared(rows, nActions, 0)
+	} else {
+		g.tab = qpage.New(rows, nActions, 0)
+	}
 	g.greedy = make([][]int, ctx.NumCores)
-	for c := range g.q {
-		g.q[c] = make([][]float64, g.UtilBands)
-		g.visits[c] = make([][]int, g.UtilBands)
+	for c := range g.greedy {
 		g.greedy[c] = make([]int, g.UtilBands)
-		for s := range g.q[c] {
-			g.q[c][s] = make([]float64, nActions)
-			g.visits[c][s] = make([]int, nActions)
+		for s := range g.greedy[c] {
+			g.greedy[c][s] = argmaxOf(g.tab.Row(g.row(c, s)))
 		}
 	}
 	g.lastState = make([]int, ctx.NumCores)
@@ -148,7 +183,7 @@ func (g *MLDTM) Reset(ctx Context) {
 	g.tracker = NewConvergenceTracker(g.StableEpochs)
 	g.tracker.MaxFlips = 2 // mirror the RTM's tolerance for comparability
 	if g.restored != nil {
-		g.applyRestored(nActions)
+		g.epoch = g.restored.Epoch
 	}
 }
 
@@ -167,9 +202,11 @@ type mldtmCheckpoint struct {
 	Epoch   int       `json:"epoch"`
 }
 
-// SaveState implements Checkpointer.
+// SaveState implements Checkpointer. The paged table materialises flat in
+// [core][band][action] row-major order — exactly the packed row layout —
+// so the wire format is unchanged from the pre-paging encoding.
 func (g *MLDTM) SaveState(w io.Writer) error {
-	if g.q == nil {
+	if g.tab == nil {
 		return fmt.Errorf("governor: mldtm has not run yet, nothing to save")
 	}
 	cp := mldtmCheckpoint{
@@ -179,14 +216,8 @@ func (g *MLDTM) SaveState(w io.Writer) error {
 		Bands:   g.UtilBands,
 		Actions: g.ctx.Table.Len(),
 		Epoch:   g.epoch,
-	}
-	cp.Q = make([]float64, 0, cp.Cores*cp.Bands*cp.Actions)
-	cp.Visits = make([]int, 0, cp.Cores*cp.Bands*cp.Actions)
-	for c := range g.q {
-		for s := range g.q[c] {
-			cp.Q = append(cp.Q, g.q[c][s]...)
-			cp.Visits = append(cp.Visits, g.visits[c][s]...)
-		}
+		Q:       g.tab.FlatQ(),
+		Visits:  g.tab.FlatV(),
 	}
 	if err := json.NewEncoder(w).Encode(cp); err != nil {
 		return fmt.Errorf("governor: saving mldtm state: %w", err)
@@ -233,24 +264,32 @@ func (g *MLDTM) LoadState(r io.Reader) error {
 	return nil
 }
 
-// applyRestored copies a staged checkpoint into freshly reset tables and
-// recomputes the greedy choices from the restored values.
-func (g *MLDTM) applyRestored(nActions int) {
+// applyRestored builds the live table from a staged checkpoint. With a
+// page pool, the flat payload is materialised and interned once
+// (restoredTab); this and every later Reset clone it, so all sessions
+// restored from the same trained state share its pages. Without a pool the
+// table is a private copy, the pre-pool behaviour. Reset recomputes the
+// greedy choices and the epoch clock afterwards.
+func (g *MLDTM) applyRestored(rows, nActions int) {
 	cp := g.restored
 	if cp.Cores != g.ctx.NumCores || cp.Actions != nActions {
 		panic(fmt.Sprintf("governor: mldtm checkpoint is %d cores × %d actions, cluster has %d × %d",
 			cp.Cores, cp.Actions, g.ctx.NumCores, nActions))
 	}
-	i := 0
-	for c := range g.q {
-		for s := range g.q[c] {
-			copy(g.q[c][s], cp.Q[i:i+nActions])
-			copy(g.visits[c][s], cp.Visits[i:i+nActions])
-			g.greedy[c][s] = argmaxOf(g.q[c][s])
-			i += nActions
-		}
+	pool := g.ctx.QPool
+	if pool == nil {
+		g.tab = qpage.FromFlat(rows, nActions, cp.Q, cp.Visits)
+		return
 	}
-	g.epoch = cp.Epoch
+	if g.restoredTab != nil && g.restoredTab.Pool() != pool {
+		g.restoredTab.Release()
+		g.restoredTab = nil
+	}
+	if g.restoredTab == nil {
+		g.restoredTab = qpage.FromFlat(rows, nActions, cp.Q, cp.Visits)
+		g.restoredTab.Intern(pool)
+	}
+	g.tab = g.restoredTab.Clone()
 }
 
 // stateOf maps a utilisation into a band index.
@@ -292,7 +331,10 @@ func (g *MLDTM) Decide(obs Observation) int {
 		g.lastAction = 0
 		return 0
 	}
-	// Update every core's table on the epoch that just finished.
+	// Update every core's table on the epoch that just finished. The
+	// bootstrap max is read before MutRow so a COW fault on the touched
+	// page cannot perturb it — the values are the same pre-update ones
+	// either way.
 	for c := 0; c < g.ctx.NumCores; c++ {
 		util := 0.0
 		if c < len(obs.Util) {
@@ -301,17 +343,17 @@ func (g *MLDTM) Decide(obs Observation) int {
 		r := g.reward(util, obs.PowerW)
 		sPrev := g.lastState[c]
 		sNow := g.stateOf(util)
-		best := maxOf(g.q[c][sNow])
+		best := maxOf(g.tab.Row(g.row(c, sNow)))
 		alpha := g.Alpha
 		if g.AlphaDecayK > 0 {
-			alpha = g.Alpha * g.AlphaDecayK / (g.AlphaDecayK + float64(g.visits[c][sPrev][g.lastAction]))
+			alpha = g.Alpha * g.AlphaDecayK / (g.AlphaDecayK + float64(g.tab.VRow(g.row(c, sPrev))[g.lastAction]))
 		}
-		qv := &g.q[c][sPrev][g.lastAction]
-		*qv = (1-alpha)*(*qv) + alpha*(r+g.Discount*best)
-		g.visits[c][sPrev][g.lastAction]++
+		qrow, vrow := g.tab.MutRow(g.row(c, sPrev))
+		qrow[g.lastAction] = (1-alpha)*qrow[g.lastAction] + alpha*(r+g.Discount*best)
+		vrow[g.lastAction]++
 		// Sticky greedy refresh for the updated state.
 		cur := g.greedy[c][sPrev]
-		if am := argmaxOf(g.q[c][sPrev]); g.q[c][sPrev][am] > g.q[c][sPrev][cur]+g.GreedyMargin {
+		if am := argmaxOf(qrow); qrow[am] > qrow[cur]+g.GreedyMargin {
 			g.greedy[c][sPrev] = am
 		}
 		g.lastState[c] = sNow
@@ -321,6 +363,9 @@ func (g *MLDTM) Decide(obs Observation) int {
 	eps := g.Epsilon0 * math.Exp(-g.EpsilonDecay*float64(g.epoch))
 	vote := 0
 	explored := false
+	if g.rng == nil {
+		g.rng = xrand.New(g.ctx.Seed)
+	}
 	for c := 0; c < g.ctx.NumCores; c++ {
 		var a int
 		if g.rng.Float64() < eps {
@@ -352,8 +397,8 @@ func (g *MLDTM) greedyPolicy() []int {
 	for c, per := range g.greedy {
 		for s, a := range per {
 			var rowVisits int
-			for _, v := range g.visits[c][s] {
-				rowVisits += v
+			for _, v := range g.tab.VRow(g.row(c, s)) {
+				rowVisits += int(v)
 			}
 			if rowVisits < minRowVisits {
 				out = append(out, -1)

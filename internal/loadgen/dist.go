@@ -2,17 +2,18 @@ package loadgen
 
 import (
 	"math"
-	"math/rand"
+
+	"qgov/internal/xrand"
 )
 
-// Hand-rolled samplers: the repo takes no dependencies, and math/rand
-// provides only uniform, normal and exponential variates. Each sampler
-// consumes draws from the caller's rand.Rand, so a client's whole event
-// stream is a pure function of its seed.
+// Hand-rolled samplers: the repo takes no dependencies, and the base
+// generator provides only uniform, normal and exponential variates.
+// Each sampler consumes draws from the caller's generator, so a client's
+// whole event stream is a pure function of its seed.
 
 // sampleInterarrival draws one interarrival gap for the process, scaled
 // so the long-run mean rate is rateHz.
-func sampleInterarrival(rng *rand.Rand, a Arrival, rateHz float64) float64 {
+func sampleInterarrival(rng *xrand.Rand, a Arrival, rateHz float64) float64 {
 	shape := a.Shape
 	if shape == 0 {
 		shape = 1
@@ -33,7 +34,7 @@ func sampleInterarrival(rng *rand.Rand, a Arrival, rateHz float64) float64 {
 
 // sampleWeibull draws Weibull(shape k, scale λ) by inverse CDF:
 // λ·(-ln U)^(1/k).
-func sampleWeibull(rng *rand.Rand, k, lambda float64) float64 {
+func sampleWeibull(rng *xrand.Rand, k, lambda float64) float64 {
 	u := rng.Float64()
 	for u == 0 { // ln(0) guard; Float64 can return 0
 		u = rng.Float64()
@@ -44,7 +45,7 @@ func sampleWeibull(rng *rand.Rand, k, lambda float64) float64 {
 // sampleGamma draws Gamma(shape k, scale 1) via Marsaglia–Tsang
 // squeeze-rejection; shape < 1 goes through the boost
 // Gamma(k) = Gamma(k+1)·U^(1/k).
-func sampleGamma(rng *rand.Rand, k float64) float64 {
+func sampleGamma(rng *xrand.Rand, k float64) float64 {
 	if k < 1 {
 		u := rng.Float64()
 		for u == 0 {
@@ -74,7 +75,7 @@ func sampleGamma(rng *rand.Rand, k float64) float64 {
 // sampleSkew draws one client's rate multiplier from the skew
 // distribution, normalised to mean 1 so the class keeps its aggregate
 // rate.
-func sampleSkew(rng *rand.Rand, sk *Skew) float64 {
+func sampleSkew(rng *xrand.Rand, sk *Skew) float64 {
 	if sk == nil {
 		return 1
 	}

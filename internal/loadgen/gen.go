@@ -3,10 +3,10 @@ package loadgen
 import (
 	"container/heap"
 	"fmt"
-	"math/rand"
 
 	"qgov/internal/governor"
 	"qgov/internal/strhash"
+	"qgov/internal/xrand"
 )
 
 // Op is a schedule event kind.
@@ -80,9 +80,9 @@ type clientState struct {
 	ord     int // global client ordinal; heap tiebreak and seed input
 	id      string
 	class   *ClientClass
-	rng     *rand.Rand
-	rate    float64 // skew-scaled mean decide rate
-	victims []bool  // storm participation, drawn up-front
+	rng     xrand.Rand // by value: 8 bytes, not math/rand's ~5 KB
+	rate    float64    // skew-scaled mean decide rate
+	victims []bool     // storm participation, drawn up-front
 
 	phase     int
 	t         float64 // emission time of the client's next event
@@ -117,24 +117,23 @@ func New(spec Spec) (*Gen, error) {
 	for ci := range spec.Clients {
 		class := &spec.Clients[ci]
 		for i := 0; i < class.Count; i++ {
-			rng := rand.New(rand.NewSource(clientSeed(spec.Seed, ord)))
 			c := &clientState{
 				ord:   ord,
 				id:    fmt.Sprintf("%s-%s-%d", prefix, class.Name, i),
 				class: class,
-				rng:   rng,
-				rate:  class.Arrival.RateHz * sampleSkew(rng, class.RateSkew),
+				rng:   xrand.Seeded(clientSeed(spec.Seed, ord)),
 				phase: phaseCreate,
 			}
+			c.rate = class.Arrival.RateHz * sampleSkew(&c.rng, class.RateSkew)
 			if class.StartWindowS > 0 {
-				c.t = rng.Float64() * class.StartWindowS
+				c.t = c.rng.Float64() * class.StartWindowS
 			}
 			// Storm participation is drawn up-front so a client's arrival
 			// stream consumes the same rng sequence whether or not storms
 			// fire near it.
 			c.victims = make([]bool, len(spec.Storms))
 			for si := range spec.Storms {
-				c.victims[si] = rng.Float64() < spec.Storms[si].Fraction
+				c.victims[si] = c.rng.Float64() < spec.Storms[si].Fraction
 			}
 			g.clients = append(g.clients, c)
 			ord++
@@ -199,7 +198,7 @@ func (g *Gen) advance(c *clientState) {
 			c.valid = true
 			c.phase = phaseLive
 			// The first decide follows one interarrival gap after create.
-			c.t += sampleInterarrival(c.rng, c.class.Arrival, c.rate)
+			c.t += sampleInterarrival(&c.rng, c.class.Arrival, c.rate)
 			return
 		case phaseLive:
 			// A storm firing before the client's next natural event
@@ -231,7 +230,7 @@ func (g *Gen) advance(c *clientState) {
 				c.next = Event{AtS: c.t, Op: OpDelete, Session: c.id}
 				c.valid = true
 				c.phase = phaseCreate
-				c.t += sampleInterarrival(c.rng, c.class.Arrival, c.rate)
+				c.t += sampleInterarrival(&c.rng, c.class.Arrival, c.rate)
 				return
 			}
 			c.next = Event{AtS: c.t, Op: OpDecide, Session: c.id, Obs: c.synthObs()}
@@ -240,7 +239,7 @@ func (g *Gen) advance(c *clientState) {
 			if c.remaining > 0 {
 				c.remaining--
 			}
-			c.t += sampleInterarrival(c.rng, c.class.Arrival, c.rate)
+			c.t += sampleInterarrival(&c.rng, c.class.Arrival, c.rate)
 			return
 		}
 	}

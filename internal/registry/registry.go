@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io/fs"
 	"sort"
+	"sync"
 )
 
 // Fingerprint names the scenario a checkpoint was trained under — the
@@ -88,10 +89,26 @@ const (
 // Registry is the manifest index over a BlobStore.
 type Registry struct {
 	b BlobStore
+
+	// State-blob memo for StateOf. A warm-start storm resolves the same
+	// handful of manifests over and over; without the memo every create
+	// pays a blob read plus a SHA-256 pass over ~45 KB of state. The
+	// cache is sound because blobs are content-addressed (the key IS the
+	// checksum, so a hit can never be stale) and verified on first read.
+	// Entries evict in insertion order once the cache holds stateMemoCap
+	// blobs — the working set is "manifests the fleet warm-starts from",
+	// which is small.
+	memoMu   sync.Mutex
+	memo     map[string][]byte
+	memoFIFO []string
 }
 
+// stateMemoCap bounds the StateOf memo; at the ~45 KB checkpoints the
+// paper's platforms produce this is ~1.4 MB, paid once per process.
+const stateMemoCap = 32
+
 // New builds a registry over the given store.
-func New(b BlobStore) *Registry { return &Registry{b: b} }
+func New(b BlobStore) *Registry { return &Registry{b: b, memo: make(map[string][]byte)} }
 
 // Blobs returns the underlying store (the seam the session-checkpoint
 // adapter and the CLI wiring share).
@@ -173,8 +190,18 @@ func (r *Registry) State(id string) ([]byte, error) {
 // (one blob read — callers coming from Nearest or Manifest skip the
 // redundant index round trip) and verifies it against the manifest's
 // checksum — a content-addressed read can never hand back silently
-// corrupted learning state.
+// corrupted learning state. Repeated fetches of the same blob answer
+// from an in-process memo without touching the store; the returned
+// bytes are shared and MUST be treated as read-only (every caller
+// decodes them, none writes).
 func (r *Registry) StateOf(m Manifest) ([]byte, error) {
+	r.memoMu.Lock()
+	if state, ok := r.memo[m.BlobSHA256]; ok {
+		r.memoMu.Unlock()
+		return state, nil
+	}
+	r.memoMu.Unlock()
+
 	state, err := r.b.Get(blobPrefix + m.BlobSHA256)
 	if err != nil {
 		return nil, fmt.Errorf("registry: manifest %s: %w", m.ID, err)
@@ -183,6 +210,17 @@ func (r *Registry) StateOf(m Manifest) ([]byte, error) {
 	if hex.EncodeToString(sum[:]) != m.BlobSHA256 {
 		return nil, fmt.Errorf("registry: blob for manifest %s fails its checksum", m.ID)
 	}
+
+	r.memoMu.Lock()
+	if _, ok := r.memo[m.BlobSHA256]; !ok {
+		for len(r.memoFIFO) >= stateMemoCap {
+			delete(r.memo, r.memoFIFO[0])
+			r.memoFIFO = r.memoFIFO[1:]
+		}
+		r.memo[m.BlobSHA256] = state
+		r.memoFIFO = append(r.memoFIFO, m.BlobSHA256)
+	}
+	r.memoMu.Unlock()
 	return state, nil
 }
 

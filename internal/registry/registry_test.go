@@ -306,3 +306,67 @@ func TestStateVerifiesChecksum(t *testing.T) {
 		t.Fatal("State returned corrupted bytes without error")
 	}
 }
+
+// countingStore wraps a BlobStore, counting Gets — the probe for the
+// StateOf memo.
+type countingStore struct {
+	registry.BlobStore
+	gets int
+}
+
+func (c *countingStore) Get(key string) ([]byte, error) {
+	c.gets++
+	return c.BlobStore.Get(key)
+}
+
+// A warm-start storm fetches the same manifest's state over and over;
+// StateOf must pay the blob read and checksum once and answer every
+// repeat from its memo. A failed (corrupted) read must NOT be memoised.
+func TestStateOfMemoisesBlobReads(t *testing.T) {
+	cs := &countingStore{BlobStore: registry.NewMem()}
+	reg := registry.New(cs)
+	m, err := reg.Publish(
+		registry.Fingerprint{Governor: "rtm", Workload: "w", Platform: "a15"},
+		registry.Training{}, []byte("learnt state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cs.gets = 0
+	first, err := reg.StateOf(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.gets != 1 {
+		t.Fatalf("first StateOf made %d blob reads, want 1", cs.gets)
+	}
+	for i := 0; i < 10; i++ {
+		state, err := reg.StateOf(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(state, first) {
+			t.Fatal("memoised StateOf returned different bytes")
+		}
+	}
+	if cs.gets != 1 {
+		t.Fatalf("10 repeat StateOf calls made %d extra blob reads, want 0", cs.gets-1)
+	}
+
+	// A corrupt blob errors on every read: the failure path must bypass
+	// the memo entirely.
+	bad, err := reg.Publish(
+		registry.Fingerprint{Governor: "rtm", Workload: "w2", Platform: "a15"},
+		registry.Training{}, []byte("other state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.BlobStore.Put("blob/"+bad.BlobSHA256, []byte("corrupt")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := reg.StateOf(bad); err == nil {
+			t.Fatal("StateOf returned corrupted bytes without error")
+		}
+	}
+}

@@ -242,6 +242,12 @@ func (s *Server) freezeSession(sess *session) ([]byte, int, error) {
 	}
 	var buf bytes.Buffer
 	sess.mu.Lock()
+	if sess.dead {
+		// Deleted while this request was in flight: its learning state is
+		// released, so there is nothing left to freeze.
+		sess.mu.Unlock()
+		return nil, http.StatusNotFound, errUnknownSession(sess.id)
+	}
 	epochs := sess.epochs
 	err := cp.SaveState(&buf)
 	sess.mu.Unlock()
@@ -298,7 +304,7 @@ func (s *Server) decideOne(item decideItem) decisionJSON {
 		d.Error = err.Error()
 	} else {
 		d.OPPIdx = idx
-		d.FreqMHz = sess.table[idx].FreqMHz
+		d.FreqMHz = sess.plat.table[idx].FreqMHz
 		s.decisions.Add(1)
 	}
 	return d
@@ -457,6 +463,13 @@ type metricsJSON struct {
 	// amplification). A router reports the fleet-wide sums.
 	CheckpointWrites  int64 `json:"checkpoint_writes"`
 	CheckpointSkipped int64 `json:"checkpoint_skipped"`
+	// The Q-table page pool's memory-floor gauges: distinct shared pages
+	// and the bytes they hold right now, plus the cumulative count of
+	// copy-on-write faults (first writes that privatised a shared page).
+	// A router reports the fleet-wide sums.
+	QTablePoolPages       int64 `json:"qtable_pool_pages"`
+	QTablePoolSharedBytes int64 `json:"qtable_pool_shared_bytes"`
+	QTableCowFaults       int64 `json:"qtable_cow_faults"`
 }
 
 // buildMetrics snapshots the fleet view /v1/metrics serves. Each session
@@ -470,9 +483,14 @@ func (s *Server) buildMetrics() metricsJSON {
 		CheckpointWrites:  s.ckptWrites.Load(),
 		CheckpointSkipped: s.ckptSkipped.Load(),
 	}
+	out.QTablePoolPages, out.QTablePoolSharedBytes, out.QTableCowFaults = s.qpool.Stats()
 	for _, sess := range all {
 		sess.mu.Lock()
-		mj := sessionMetricsJSON{latencyJSON: latencyFromHistogram(sess.lat)}
+		lat := sess.lat
+		if lat == nil {
+			lat = emptyLatHist // not decided yet: histogram built lazily
+		}
+		mj := sessionMetricsJSON{latencyJSON: latencyFromHistogram(lat)}
 		if ls, ok := sess.learner.(governor.LearningStats); ok {
 			lj := &learningJSON{
 				Epochs:       sess.epochs,

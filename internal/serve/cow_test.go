@@ -1,0 +1,320 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"qgov/internal/registry"
+	"qgov/internal/serve"
+	"qgov/internal/sim"
+)
+
+// Tests of the copy-on-write interned Q-table storage as the serving
+// tier exercises it: warm-started sessions sharing one base, COW under
+// concurrent decides and delete storms, refcount hygiene after drains,
+// and the pool observability at both serving tiers.
+
+// rawPost is h.post without t.Fatal, safe to call from goroutines.
+func rawPost(cl *http.Client, url string, body, out any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := cl.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// rawDelete issues DELETE /v1/sessions/{id} and returns the status.
+func rawDelete(cl *http.Client, base, id string) (int, error) {
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := cl.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// A fleet of sessions warm-started from one manifest must share the
+// manifest's pages: the pool's page count after N warm creates equals
+// the count after one. Decides then fault private copies (the faults
+// counter moves) without ever growing the shared set, and deleting
+// everything drains the pool to exactly empty — the refcount-leak
+// check. Run with -race this doubles as the concurrency test: half the
+// fleet decides while the other half is delete-stormed mid-flight.
+func TestWarmBaseSharingAndDeleteStormDrainsPool(t *testing.T) {
+	const frames = 200
+	blobs := registry.NewMem()
+	reg := registry.New(blobs)
+	h := newTestServer(t, serve.Options{Registry: reg})
+
+	m, _ := trainAndPublish(t, h, reg, "trainer", "mpeg4-30fps", 11, frames)
+	if st, err := rawDelete(h.ts.Client(), h.ts.URL, "trainer"); err != nil || st != http.StatusNoContent {
+		t.Fatalf("deleting trainer: status %d, err %v", st, err)
+	}
+	if pages, bytes, _ := h.srv.QPoolStats(); pages != 0 || bytes != 0 {
+		t.Fatalf("pool holds %d pages / %d bytes after the only session was deleted", pages, bytes)
+	}
+
+	// One warm session sets the shared-page floor; fifteen more must
+	// not move it — clones reference the interned base, they do not
+	// re-intern it (and re-decoding the manifest lands on the same
+	// content-addressed pages).
+	const n = 16
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("cow-%02d", i)
+	}
+	mk := func(id string) {
+		if st := h.post("/v1/sessions", map[string]any{
+			"id": id, "governor": "rtm", "seed": 11, "warm_start": m.ID,
+		}, nil); st != http.StatusCreated {
+			t.Fatalf("warm create %s returned %d", id, st)
+		}
+	}
+	mk(ids[0])
+	basePages, baseBytes, _ := h.srv.QPoolStats()
+	if basePages == 0 || baseBytes == 0 {
+		t.Fatal("warm-started session interned no pages")
+	}
+	for _, id := range ids[1:] {
+		mk(id)
+	}
+	if pages, _, _ := h.srv.QPoolStats(); pages != basePages {
+		t.Fatalf("pool grew from %d to %d pages across %d clones of one base", basePages, pages, n)
+	}
+
+	// Half the fleet decides (each against its own local sim) while the
+	// other half is deleted underneath in-flight decides. Deciders on
+	// stormed sessions must see clean unknown-session errors, never a
+	// torn table.
+	var wg sync.WaitGroup
+	errc := make(chan error, 2*n)
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			s := sim.NewSession(scenarioConfig(t, "rtm/mpeg4-30fps/a15", 11, 60))
+			for !s.Done() {
+				var resp struct {
+					Decisions []decision `json:"decisions"`
+				}
+				st, err := rawPost(h.ts.Client(), h.ts.URL+"/v1/decide", map[string]any{
+					"requests": []decideItem{{Session: id, Obs: obsOf(s)}},
+				}, &resp)
+				if err != nil || st != http.StatusOK {
+					errc <- fmt.Errorf("decide %s: status %d, err %v", id, st, err)
+					return
+				}
+				if len(resp.Decisions) != 1 {
+					errc <- fmt.Errorf("decide %s: %d decisions", id, len(resp.Decisions))
+					return
+				}
+				if e := resp.Decisions[0].Error; e != "" {
+					if strings.Contains(e, "unknown session") {
+						return // delete storm won the race, by design
+					}
+					errc <- fmt.Errorf("decide %s: %s", id, e)
+					return
+				}
+				s.Step(resp.Decisions[0].OPPIdx)
+			}
+		}(i, id)
+	}
+	for _, id := range ids[n/2:] {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if st, err := rawDelete(h.ts.Client(), h.ts.URL, id); err != nil || st != http.StatusNoContent {
+				errc <- fmt.Errorf("delete %s: status %d, err %v", id, st, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	if _, _, faults := h.srv.QPoolStats(); faults == 0 {
+		t.Error("decides updated shared tables without a single COW fault")
+	}
+
+	// Drain the survivors: every page reference must come home.
+	for _, id := range ids[:n/2] {
+		if st, err := rawDelete(h.ts.Client(), h.ts.URL, id); err != nil || st != http.StatusNoContent {
+			t.Fatalf("delete %s: status %d, err %v", id, st, err)
+		}
+	}
+	if pages, bytes, _ := h.srv.QPoolStats(); pages != 0 || bytes != 0 {
+		t.Errorf("pool leaked %d pages / %d bytes after every session was deleted", pages, bytes)
+	}
+}
+
+// Cold sessions share too: every freshly created table of one shape is
+// a clone of the same uniform page until its first update.
+func TestColdSessionsShareUniformPage(t *testing.T) {
+	h := newTestServer(t, serve.Options{})
+	mk := func(id string) {
+		if st := h.post("/v1/sessions", map[string]any{
+			"id": id, "governor": "rtm", "seed": 3,
+		}, nil); st != http.StatusCreated {
+			t.Fatalf("create %s returned %d", id, st)
+		}
+	}
+	mk("cold-0")
+	base, _, _ := h.srv.QPoolStats()
+	if base == 0 {
+		t.Fatal("cold session interned no pages")
+	}
+	for i := 1; i < 8; i++ {
+		mk(fmt.Sprintf("cold-%d", i))
+	}
+	if pages, _, _ := h.srv.QPoolStats(); pages != base {
+		t.Fatalf("pool grew from %d to %d pages across 8 identical cold sessions", base, pages)
+	}
+	for i := 0; i < 8; i++ {
+		if st, err := rawDelete(h.ts.Client(), h.ts.URL, fmt.Sprintf("cold-%d", i)); err != nil || st != http.StatusNoContent {
+			t.Fatalf("delete cold-%d: status %d, err %v", i, st, err)
+		}
+	}
+	if pages, bytes, _ := h.srv.QPoolStats(); pages != 0 || bytes != 0 {
+		t.Errorf("pool leaked %d pages / %d bytes after drain", pages, bytes)
+	}
+}
+
+// The pool's gauges and the COW fault counter must surface in
+// /v1/metrics — JSON and Prometheus text — on a flat server.
+func TestQTablePoolMetricsFlat(t *testing.T) {
+	const frames = 80
+	h := newTestServer(t, serve.Options{})
+	if st := h.post("/v1/sessions", map[string]any{
+		"id": "pm", "governor": "rtm", "seed": 5,
+	}, nil); st != http.StatusCreated {
+		t.Fatalf("create returned %d", st)
+	}
+	h.driveOne("pm", sim.NewSession(scenarioConfig(t, "rtm/mpeg4-30fps/a15", 5, frames)))
+
+	var m struct {
+		PoolPages   int64 `json:"qtable_pool_pages"`
+		SharedBytes int64 `json:"qtable_pool_shared_bytes"`
+		CowFaults   int64 `json:"qtable_cow_faults"`
+	}
+	if st := h.get("/v1/metrics", &m); st != http.StatusOK {
+		t.Fatalf("metrics returned %d", st)
+	}
+	if m.PoolPages == 0 || m.SharedBytes == 0 {
+		t.Errorf("pool gauges absent from JSON metrics: pages=%d bytes=%d", m.PoolPages, m.SharedBytes)
+	}
+	if m.CowFaults == 0 {
+		t.Error("COW fault counter absent from JSON metrics after a full training run")
+	}
+
+	resp, err := h.ts.Client().Get(h.ts.URL + "/v1/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"rtmd_qtable_pool_pages ",
+		"rtmd_qtable_pool_shared_bytes ",
+		"rtmd_qtable_cow_faults_total ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus exposition lacks %q", want)
+		}
+	}
+}
+
+// A router's aggregated /v1/metrics must report the fleet-wide pool
+// sums: replicas each intern their own pages, and the router's JSON and
+// Prometheus views add them up.
+func TestQTablePoolMetricsRouted(t *testing.T) {
+	reps, addrs := newFleet(t, 2, serve.Options{})
+	rt, err := serve.NewRouter(addrs, serve.RouterOptions{ProbeEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rtHTTP := httptest.NewServer(rt.Handler())
+	defer rtHTTP.Close()
+	cl := rtHTTP.Client()
+
+	// Enough sessions that the ring lands some on each replica.
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("fleet-%d", i)
+		if st, err := rawPost(cl, rtHTTP.URL+"/v1/sessions", map[string]any{
+			"id": id, "governor": "rtm", "seed": 9,
+		}, nil); err != nil || st != http.StatusCreated {
+			t.Fatalf("create %s via router: status %d, err %v", id, st, err)
+		}
+		s := sim.NewSession(scenarioConfig(t, "rtm/mpeg4-30fps/a15", 9, 20))
+		for !s.Done() {
+			var resp struct {
+				Decisions []decision `json:"decisions"`
+			}
+			st, err := rawPost(cl, rtHTTP.URL+"/v1/decide", map[string]any{
+				"requests": []decideItem{{Session: id, Obs: obsOf(s)}},
+			}, &resp)
+			if err != nil || st != http.StatusOK || len(resp.Decisions) != 1 || resp.Decisions[0].Error != "" {
+				t.Fatalf("decide %s via router: status %d, err %v, resp %+v", id, st, err, resp.Decisions)
+			}
+			s.Step(resp.Decisions[0].OPPIdx)
+		}
+	}
+
+	var want struct{ pages, bytes, faults int64 }
+	for _, r := range reps {
+		p, b, f := r.srv.QPoolStats()
+		want.pages += p
+		want.bytes += b
+		want.faults += f
+	}
+	if want.pages == 0 || want.faults == 0 {
+		t.Fatalf("fleet pools idle (pages=%d faults=%d); test drove no learning", want.pages, want.faults)
+	}
+
+	var m struct {
+		PoolPages   int64 `json:"qtable_pool_pages"`
+		SharedBytes int64 `json:"qtable_pool_shared_bytes"`
+		CowFaults   int64 `json:"qtable_cow_faults"`
+	}
+	if st := getJSON(t, rtHTTP.URL+"/v1/metrics", &m); st != http.StatusOK {
+		t.Fatalf("router metrics returned %d", st)
+	}
+	if m.PoolPages != want.pages || m.SharedBytes != want.bytes || m.CowFaults != want.faults {
+		t.Errorf("router merge = {pages %d, bytes %d, faults %d}, replica sums = %+v",
+			m.PoolPages, m.SharedBytes, m.CowFaults, want)
+	}
+
+	resp, err := cl.Get(rtHTTP.URL + "/v1/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), fmt.Sprintf("rtmd_qtable_pool_pages %d", want.pages)) {
+		t.Errorf("router prometheus exposition lacks the fleet page sum %d", want.pages)
+	}
+}

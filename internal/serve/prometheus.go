@@ -102,6 +102,16 @@ func writePrometheus(w io.Writer, m metricsJSON) {
 		fmt.Fprintf(w, "rtmd_decision_latency_overflow_total{session=%q} %d\n", id, m.Sessions[id].Overflow)
 	}
 
+	fmt.Fprintf(w, "# HELP rtmd_qtable_pool_pages Distinct shared Q-table pages interned in the copy-on-write pool.\n")
+	fmt.Fprintf(w, "# TYPE rtmd_qtable_pool_pages gauge\n")
+	fmt.Fprintf(w, "rtmd_qtable_pool_pages %d\n", m.QTablePoolPages)
+	fmt.Fprintf(w, "# HELP rtmd_qtable_pool_shared_bytes Bytes held by the shared Q-table pages (paid once, however many sessions reference them).\n")
+	fmt.Fprintf(w, "# TYPE rtmd_qtable_pool_shared_bytes gauge\n")
+	fmt.Fprintf(w, "rtmd_qtable_pool_shared_bytes %d\n", m.QTablePoolSharedBytes)
+	fmt.Fprintf(w, "# HELP rtmd_qtable_cow_faults_total Copy-on-write faults: first writes that privatised a shared Q-table page.\n")
+	fmt.Fprintf(w, "# TYPE rtmd_qtable_cow_faults_total counter\n")
+	fmt.Fprintf(w, "rtmd_qtable_cow_faults_total %d\n", m.QTableCowFaults)
+
 	fmt.Fprintf(w, "# HELP rtmd_checkpoint_writes_total Session states written by checkpoint sweeps and explicit checkpoints.\n")
 	fmt.Fprintf(w, "# TYPE rtmd_checkpoint_writes_total counter\n")
 	fmt.Fprintf(w, "rtmd_checkpoint_writes_total %d\n", m.CheckpointWrites)

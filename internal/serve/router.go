@@ -799,6 +799,9 @@ func (rt *Router) mergedMetrics() (metricsJSON, error) {
 				merged.Decisions += m.Decisions
 				merged.CheckpointWrites += m.CheckpointWrites
 				merged.CheckpointSkipped += m.CheckpointSkipped
+				merged.QTablePoolPages += m.QTablePoolPages
+				merged.QTablePoolSharedBytes += m.QTablePoolSharedBytes
+				merged.QTableCowFaults += m.QTableCowFaults
 				for id, sm := range m.Sessions {
 					merged.Sessions[id] = sm
 				}

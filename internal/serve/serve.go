@@ -53,6 +53,7 @@ import (
 	"qgov/internal/core"
 	"qgov/internal/governor"
 	"qgov/internal/platform"
+	"qgov/internal/qpage"
 	"qgov/internal/registry"
 	"qgov/internal/scenario"
 	"qgov/internal/serve/client"
@@ -74,6 +75,12 @@ const (
 	latHistHiUS = 1e6
 	latHistBins = 70
 )
+
+// emptyLatHist is what metrics report for a session that has not decided
+// yet: its real histogram is built lazily on the first decide (a ~2 KB
+// allocation most short-lived sessions never need), so the all-zero shape
+// comes from this shared instance. Read-only — never Add to it.
+var emptyLatHist = stats.NewLogHistogram(latHistLoUS, latHistHiUS, latHistBins)
 
 // Options configures a Server. The zero value serves on the paper's
 // defaults: platform "a15", 25 fps decision epochs, no checkpointing.
@@ -133,7 +140,22 @@ type Server struct {
 	ckpt sessionstore.CheckpointStore
 
 	sessions sessionstore.Store[*session]
-	closed   atomic.Bool
+	// qpool is the process-wide content-interned Q-table page pool:
+	// every learning governor on this server builds its value tables
+	// through it, so identical starting state (cold tables, shared
+	// warm-start manifests) is stored once and diverges copy-on-write.
+	qpool  *qpage.Pool
+	closed atomic.Bool
+
+	// plats caches, per platform name, the pieces of a cluster a session
+	// actually retains — the OPP table, its normalised-frequency axis and
+	// the core count. All three are immutable, so every session on one
+	// platform shares one copy instead of building (and mostly
+	// discarding) a full Cluster per create: the table and axis were two
+	// of the larger identical-by-construction lines in the per-session
+	// live profile, and the platform registry is small and static, so
+	// the cache is bounded.
+	plats sync.Map // platform name -> *platInfo
 
 	nextID    atomic.Int64
 	decisions atomic.Int64
@@ -183,15 +205,26 @@ type session struct {
 	// checkpoint/metrics surface.
 	gov     governor.Governor
 	learner governor.Governor
-	table   platform.OPPTable
-	cores   int
-	epochs  int64
+	// plat is the session's share of the per-platform immutables (OPP
+	// table, normalised-frequency axis, core count) — read-only, owned
+	// by the server's platform cache.
+	plat   *platInfo
+	epochs int64
 	// ckptEpochs is the value of epochs when the session's state was last
 	// written to the checkpoint store — the dirty flag, expressed as a
 	// generation so a decide racing a checkpoint can never mark clean
 	// state that was not captured. Guarded by mu.
 	ckptEpochs int64
-	lat        *stats.Histogram // decision latency in µs, guarded by mu
+	// lat is the decision latency histogram in µs, guarded by mu. It is
+	// built lazily on the first decide: a created-but-idle session (the
+	// bulk of a fleet at peak churn) should not carry ~600 B of empty
+	// bins. Metrics rendering treats nil as the empty histogram.
+	lat *stats.Histogram
+	// dead marks a deleted session whose pooled learning state has been
+	// released. Guarded by mu: an in-flight decide that still holds the
+	// pointer must observe it and error instead of faulting released
+	// pages back out of the pool.
+	dead bool
 }
 
 // New builds a Server, sweeps its checkpoint store of unrestorable
@@ -220,6 +253,7 @@ func New(opt Options) *Server {
 		opt:      opt,
 		ckpt:     ckpt,
 		sessions: store,
+		qpool:    qpage.NewPool(),
 		peers:    make(map[string]*client.Client),
 		done:     make(chan struct{}),
 	}
@@ -236,6 +270,11 @@ func New(opt Options) *Server {
 	}
 	return s
 }
+
+// QPoolStats reports the Q-table page pool: distinct shared pages and
+// their bytes right now, and cumulative copy-on-write faults — the
+// memory-floor observability /v1/metrics exports.
+func (s *Server) QPoolStats() (pages, bytes, faults int64) { return s.qpool.Stats() }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opt.Logf != nil {
@@ -337,6 +376,12 @@ func (s *Server) checkpointSession(sess *session) (bool, error) {
 	}
 	var buf bytes.Buffer
 	sess.mu.Lock()
+	if sess.dead {
+		// Deleted since the sweep snapshot: state released, checkpoint
+		// being GC'd by the delete — nothing to write.
+		sess.mu.Unlock()
+		return false, nil
+	}
 	epochs := sess.epochs
 	if epochs == 0 {
 		sess.mu.Unlock()
@@ -494,6 +539,33 @@ func errBadSessionID(id string) error {
 	return fmt.Errorf("session id %q must match %s and not start with '.'", id, sessionstore.IDPattern)
 }
 
+// platInfo is the per-platform immutable trio a session retains: the OPP
+// table, its normalised-frequency axis, and the core count. One instance
+// per platform name, shared read-only by every session on it.
+type platInfo struct {
+	table    platform.OPPTable
+	normFreq []float64
+	cores    int
+}
+
+// platformInfo resolves a platform name to its shared immutables,
+// building them once per name from a throwaway cluster (the table and
+// core count do not depend on the cluster seed).
+func (s *Server) platformInfo(name string) (*platInfo, error) {
+	if v, ok := s.plats.Load(name); ok {
+		return v.(*platInfo), nil
+	}
+	plat, err := scenario.PlatformByName(name)
+	if err != nil {
+		return nil, err
+	}
+	c := plat.NewCluster(0)
+	t := c.Table()
+	pi := &platInfo{table: t, normFreq: t.NormFreqs(), cores: c.NumCores()}
+	v, _ := s.plats.LoadOrStore(name, pi)
+	return v.(*platInfo), nil
+}
+
 // createSession builds, optionally calibrates and warm-starts, and
 // registers a session. It returns an HTTP status on failure.
 func (s *Server) createSession(req createRequest) (*session, int, error) {
@@ -519,11 +591,10 @@ func (s *Server) createSession(req createRequest) (*session, int, error) {
 	if platName == "" {
 		platName = s.opt.DefaultPlatform
 	}
-	plat, err := scenario.PlatformByName(platName)
+	plat, err := s.platformInfo(platName)
 	if err != nil {
 		return nil, 400, err
 	}
-	cluster := plat.NewCluster(req.Seed)
 
 	periodS := req.PeriodS
 	if periodS == 0 {
@@ -619,24 +690,28 @@ func (s *Server) createSession(req createRequest) (*session, int, error) {
 		warmFrom: warmFrom,
 		gov:      gov,
 		learner:  learner,
-		table:    cluster.Table(),
-		cores:    cluster.NumCores(),
-		lat:      stats.NewLogHistogram(latHistLoUS, latHistHiUS, latHistBins),
+		plat:     plat,
 	}
-	if err := resetGovernor(sess); err != nil {
+	// Every failure past this point must reap the session: the reset
+	// governor holds pooled page references that would otherwise leak.
+	if err := resetGovernor(sess, s.qpool); err != nil {
+		reapSession(sess)
 		return nil, 400, err
 	}
 
 	if s.closed.Load() {
+		reapSession(sess)
 		return nil, 503, fmt.Errorf("server is shutting down")
 	}
 	if !s.sessions.Put(id, sess) {
+		reapSession(sess)
 		return nil, 409, fmt.Errorf("session %q already exists", id)
 	}
 	// A Close racing this create may have missed the session in its
 	// final sweep; undo rather than lose learnt state silently.
 	if s.closed.Load() {
 		s.sessions.Delete(id)
+		reapSession(sess)
 		return nil, 503, fmt.Errorf("server is shutting down")
 	}
 	return sess, 0, nil
@@ -704,19 +779,36 @@ func (s *Server) resolveWarmStart(req createRequest, platName string) (state []b
 // resetGovernor runs the governor's Reset, converting the panic a
 // dimension-mismatched checkpoint raises (the Config.Transfer contract)
 // into an error the API can return.
-func resetGovernor(sess *session) (err error) {
+func resetGovernor(sess *session, pool *qpage.Pool) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("resetting governor: %v", r)
 		}
 	}()
 	sess.gov.Reset(governor.Context{
-		Table:    sess.table,
-		NumCores: sess.cores,
+		Table:    sess.plat.table,
+		NumCores: sess.plat.cores,
+		NormFreq: sess.plat.normFreq,
 		PeriodS:  sess.periodS,
 		Seed:     sess.seed,
+		QPool:    pool,
 	})
 	return nil
+}
+
+// reapSession releases a session's pooled learning state exactly once
+// (idempotent under the session lock) and marks it dead so an in-flight
+// decide still holding the pointer errors instead of touching released
+// pages. Called on delete and on every create failure path past Reset.
+func reapSession(sess *session) {
+	sess.mu.Lock()
+	if !sess.dead {
+		sess.dead = true
+		if rel, ok := sess.learner.(governor.StateReleaser); ok {
+			rel.ReleaseState()
+		}
+	}
+	sess.mu.Unlock()
 }
 
 func (s *Server) session(id string) *session {
@@ -732,13 +824,18 @@ func (s *Server) sessionFor(id []byte) *session {
 	return sess
 }
 
-// deleteSession drops the session and garbage-collects its checkpoint —
-// DELETE means gone, not "resurrectable from a state file the operator
-// must remember to remove".
+// deleteSession drops the session, returns its shared Q-table pages to
+// the pool, and garbage-collects its checkpoint — DELETE means gone, not
+// "resurrectable from a state file the operator must remember to remove".
+// Unmapping from the store first means no new decide can find the
+// session; reapSession's dead flag closes the race with decides already
+// holding the pointer.
 func (s *Server) deleteSession(id string) bool {
-	if _, ok := s.sessions.Delete(id); !ok {
+	sess, ok := s.sessions.Delete(id)
+	if !ok {
 		return false
 	}
+	reapSession(sess)
 	if s.ckpt != nil {
 		if err := s.ckpt.Delete(id); err != nil {
 			s.logf("serve: deleting %s checkpoint: %v", id, err)
@@ -754,6 +851,15 @@ func (s *Server) deleteSession(id string) bool {
 func (sess *session) decide(obs governor.Observation) (idx int, err error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if sess.dead {
+		// Deleted while this request was in flight: its learning state is
+		// back in the pool, so the decide must refuse, exactly as if the
+		// lookup had missed.
+		return -1, errUnknownSession(sess.id)
+	}
+	if sess.lat == nil {
+		sess.lat = stats.NewLogHistogram(latHistLoUS, latHistHiUS, latHistBins)
+	}
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {

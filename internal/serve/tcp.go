@@ -683,7 +683,7 @@ func (s *Server) decideBatch(batch []*observeReq) {
 			return
 		}
 		r.oppIdx = int32(idx)
-		r.freqMHz = int32(sess.table[idx].FreqMHz)
+		r.freqMHz = int32(sess.plat.table[idx].FreqMHz)
 		s.decisions.Add(1)
 	})
 	s.forwardMisrouted(batch)

@@ -19,7 +19,11 @@ type Histogram struct {
 	width     float64 // fixed-bin width; 0 in log mode
 	logScale  bool
 	invLogK   float64 // bins / ln(hi/lo); only set in log mode
-	counts    []int
+	// counts are uint32: a per-session or per-lane histogram never sees
+	// 4B samples in one bin, and the narrower lane matters when a serving
+	// fleet holds one histogram per live session. total stays int, so
+	// Count and quantile ranks are unaffected.
+	counts    []uint32
 	underflow int
 	overflow  int
 	total     int
@@ -40,7 +44,7 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 		lo:     lo,
 		hi:     hi,
 		width:  (hi - lo) / float64(bins),
-		counts: make([]int, bins),
+		counts: make([]uint32, bins),
 	}
 }
 
@@ -62,7 +66,7 @@ func NewLogHistogram(lo, hi float64, bins int) *Histogram {
 		hi:       hi,
 		logScale: true,
 		invLogK:  float64(bins) / math.Log(hi/lo),
-		counts:   make([]int, bins),
+		counts:   make([]uint32, bins),
 	}
 }
 
@@ -159,7 +163,9 @@ func (h *Histogram) Edges() []float64 {
 // Bins returns a copy of the per-bin counts.
 func (h *Histogram) Bins() []int {
 	out := make([]int, len(h.counts))
-	copy(out, h.counts)
+	for i, c := range h.counts {
+		out[i] = int(c)
+	}
 	return out
 }
 
@@ -197,7 +203,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 		return h.lo
 	}
 	cum := h.underflow
-	for i, c := range h.counts {
+	for i, c32 := range h.counts {
+		c := int(c32)
 		if rank <= cum+c {
 			loEdge, hiEdge := h.LowerEdge(i), h.UpperEdge(i)
 			frac := (float64(rank-cum) - 0.5) / float64(c)
@@ -247,7 +254,7 @@ func (h *Histogram) BinOf(x float64) int {
 // fixed-width bins, geometric centre for log-width bins. Ties resolve to
 // the lowest bin. It returns NaN when no in-range samples were added.
 func (h *Histogram) Mode() float64 {
-	best, bestCount := -1, 0
+	best, bestCount := -1, uint32(0)
 	for i, c := range h.counts {
 		if c > bestCount {
 			best, bestCount = i, c

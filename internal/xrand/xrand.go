@@ -1,0 +1,80 @@
+// Package xrand is the repo's compact deterministic random generator:
+// a splitmix64 core with the variate shapes the learners and the load
+// generator need. math/rand's default generator carries ~5 KB of state
+// per instance (a [607]int64 lagged-Fibonacci vector); with one
+// generator per learner session and per load-generator client, a
+// 100k-session soak spent hundreds of megabytes on randomness alone —
+// the single largest line in the per-session memory profile. This
+// generator is 8 bytes, embeds by value, and is every bit as
+// deterministic: a run is still a pure function of its seed.
+//
+// Draw sequences are NOT bit-compatible with math/rand. The golden
+// experiment tables were regenerated when the learners switched over
+// (the table *shapes* — EPD beating UPD, warm-start beating cold — are
+// seed-independent; only the digits moved), and nothing on the wire or
+// in checkpoints records a draw.
+package xrand
+
+import "math"
+
+// Rand is the generator. The zero value is a valid generator seeded
+// with 0; use New or Seeded to seed it properly. Not safe for
+// concurrent use — give each goroutine/session its own (at 8 bytes,
+// that is the point).
+type Rand struct {
+	s uint64
+}
+
+// New returns a pointer-form generator, for fields that want lazy
+// construction or a shared nil sentinel.
+func New(seed int64) *Rand { r := Seeded(seed); return &r }
+
+// Seeded returns a value-form generator for embedding. splitmix64's
+// mixer avalanches the state on every draw, so the raw seed is usable
+// as-is — no warm-up pass needed.
+func Seeded(seed int64) Rand { return Rand{s: uint64(seed)} }
+
+// Uint64 is splitmix64: an additive Weyl sequence pushed through a
+// finalising mixer. Full 2^64 period, no short cycles, passes BigCrush.
+func (r *Rand) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1), from the top 53 bits.
+func (r *Rand) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+// Intn returns a uniform draw in [0, n), rejection-sampled so no
+// residue class is favoured.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	bound := ^uint64(0) - ^uint64(0)%uint64(n)
+	for {
+		if v := r.Uint64(); v < bound {
+			return int(v % uint64(n))
+		}
+	}
+}
+
+// ExpFloat64 returns an Exp(1) draw by inverse CDF: -ln(1-U). The
+// argument is in (0, 1] (Float64 never returns 1), so the log is
+// finite.
+func (r *Rand) ExpFloat64() float64 { return -math.Log(1 - r.Float64()) }
+
+// NormFloat64 returns a standard normal draw by Box–Muller. The
+// spare cosine variate is deliberately discarded: caching it would
+// grow the state and make a draw's value depend on draw parity, which
+// is the kind of hidden coupling that turns schedule edits into
+// spooky diffs.
+func (r *Rand) NormFloat64() float64 {
+	u := r.Float64()
+	for u == 0 { // ln(0) guard
+		u = r.Float64()
+	}
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*r.Float64())
+}

@@ -1,0 +1,69 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+// The compact generator must be deterministic per seed, uniform enough
+// for scheduling and ε draws, and produce variates with the moments
+// the samplers assume — Exp(1) mean 1, N(0,1) mean 0 / variance 1.
+// These are loose statistical checks on a fixed seed, so they can
+// never flake.
+func TestRandDeterministicAndSane(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c, d := New(43), New(42)
+	if c.Uint64() == d.Uint64() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+
+	const n = 200000
+	p := New(7)
+	var sumU, sumExp, sumN, sumN2 float64
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		u := p.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64() = %v outside [0,1)", u)
+		}
+		sumU += u
+		counts[p.Intn(10)]++
+		sumExp += p.ExpFloat64()
+		x := p.NormFloat64()
+		sumN += x
+		sumN2 += x * x
+	}
+	if m := sumU / n; math.Abs(m-0.5) > 0.01 {
+		t.Errorf("uniform mean %v, want ~0.5", m)
+	}
+	for dg, c := range counts {
+		if frac := float64(c) / n; math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("Intn(10) digit %d frequency %v, want ~0.1", dg, frac)
+		}
+	}
+	if m := sumExp / n; math.Abs(m-1) > 0.02 {
+		t.Errorf("exponential mean %v, want ~1", m)
+	}
+	if m := sumN / n; math.Abs(m) > 0.02 {
+		t.Errorf("normal mean %v, want ~0", m)
+	}
+	if v := sumN2/n - (sumN/n)*(sumN/n); math.Abs(v-1) > 0.05 {
+		t.Errorf("normal variance %v, want ~1", v)
+	}
+}
+
+// Value-form embedding must behave identically to the pointer form.
+func TestSeededMatchesNew(t *testing.T) {
+	v := Seeded(99)
+	p := New(99)
+	for i := 0; i < 50; i++ {
+		if v.Uint64() != p.Uint64() {
+			t.Fatal("Seeded and New diverged")
+		}
+	}
+}
