@@ -1,0 +1,68 @@
+// Command promlint lints a Prometheus text exposition read from stdin
+// (or a file argument) against the format contract — name validity,
+// HELP/TYPE pairing, label escaping, histogram bucket cumulativity,
+// duplicate series — and optionally bounds scrape cardinality and size.
+// CI pipes a live rtmd's /v1/metrics through it so a malformed metric
+// or an unbounded series explosion fails the build:
+//
+//	curl -s localhost:8090/v1/metrics?format=prometheus | promlint -max-series 200
+//
+// Exit status: 0 clean, 1 problems found or a bound exceeded, 2 usage
+// or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qgov/internal/promlint"
+)
+
+func main() {
+	maxSeries := flag.Int("max-series", 0, "fail when the exposition has more than this many series (0: unbounded)")
+	maxBytes := flag.Int64("max-bytes", 0, "fail when the exposition is larger than this many bytes (0: unbounded)")
+	quiet := flag.Bool("q", false, "suppress the summary line; print problems only")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	default:
+		fmt.Fprintln(os.Stderr, "usage: promlint [-max-series N] [-max-bytes N] [file]")
+		os.Exit(2)
+	}
+
+	rep, err := promlint.Lint(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(2)
+	}
+	for _, p := range rep.Problems {
+		fmt.Println(p)
+	}
+	fail := len(rep.Problems) > 0
+	if *maxSeries > 0 && rep.Series > *maxSeries {
+		fmt.Printf("series budget exceeded: %d series > %d\n", rep.Series, *maxSeries)
+		fail = true
+	}
+	if *maxBytes > 0 && rep.Bytes > *maxBytes {
+		fmt.Printf("byte budget exceeded: %d bytes > %d\n", rep.Bytes, *maxBytes)
+		fail = true
+	}
+	if !*quiet {
+		fmt.Printf("promlint: %d series, %d bytes, %d problems\n", rep.Series, rep.Bytes, len(rep.Problems))
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

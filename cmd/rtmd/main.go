@@ -71,12 +71,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -92,6 +94,8 @@ import (
 	"qgov/internal/serve"
 	"qgov/internal/serve/client"
 	"qgov/internal/sessionstore"
+	"qgov/internal/stats"
+	"qgov/internal/trace"
 
 	// Register the RTM variants with the governor registry.
 	_ "qgov/internal/core"
@@ -114,6 +118,13 @@ func main() {
 		ringAll    = flag.String("ring-members", "", "the router's -replicas list, verbatim (placement hashes the address strings, so the lists must match byte for byte)")
 		drainGrace = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		quiet      = flag.Bool("quiet", false, "suppress operational logging")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and /debug/runtime on this address (empty: off)")
+
+		traceSample = flag.Float64("trace-sample", 0, "probability a decide batch is head-sampled into the trace ring (0: off)")
+		traceSlow   = flag.Duration("trace-slow", 0, "tail-capture decide batches slower than this (0: off)")
+		traceBuf    = flag.Int("trace-buf", 0, "trace ring capacity in spans (0: default)")
 
 		fleetAddr     = flag.String("fleet", "", "run as a ring-aware direct bench client against this router binary-transport address, then exit")
 		fleetSessions = flag.Int("fleet-sessions", 256, "sessions the -fleet bench client creates and drives")
@@ -132,9 +143,26 @@ func main() {
 	)
 	flag.Parse()
 
-	logf := log.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
+	logger, err := buildLogger(*quiet, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	// Client modes (loadgen, fleet) and this file's own progress lines
+	// still speak printf; route them through the structured logger so
+	// -log-level/-log-format govern every line the process emits.
+	logf := func(format string, args ...any) {
+		if logger.Enabled(context.Background(), slog.LevelInfo) {
+			logger.Info(fmt.Sprintf(format, args...))
+		}
+	}
+
+	tracer, err := buildTracer(*traceSample, *traceSlow, *traceBuf)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *debugAddr != "" {
+		go startDebug(*debugAddr, logf)
 	}
 
 	if *lgSpec != "" || *lgReplay != "" {
@@ -187,7 +215,7 @@ func main() {
 				fatal(fmt.Errorf("-%s applies to replicas, not the router; set it on each replica rtmd", f.Name))
 			}
 		})
-		routeMain(*addr, *tcpAddr, *replicas, *connsPer, *pipeDepth, *drainGrace, logf)
+		routeMain(*addr, *tcpAddr, *replicas, *connsPer, *pipeDepth, *drainGrace, logger, tracer, logf)
 		return
 	}
 	if *replicas != "" {
@@ -251,7 +279,8 @@ func main() {
 		CheckpointEvery:  *ckptEvery,
 		Registry:         reg,
 		CompactionFilter: compactOwn,
-		Logf:             logf,
+		Log:              logger,
+		Tracer:           tracer,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -319,7 +348,7 @@ func main() {
 // routeMain runs the routing tier: no sessions, no checkpoints — just
 // the ring, one multiplexed binary connection per replica, and the same
 // two listener fronts a replica has.
-func routeMain(addr, tcpAddr, replicaList string, connsPer, pipeDepth int, drainGrace time.Duration, logf func(string, ...any)) {
+func routeMain(addr, tcpAddr, replicaList string, connsPer, pipeDepth int, drainGrace time.Duration, logger *slog.Logger, tracer *trace.Tracer, logf func(string, ...any)) {
 	var addrs []string
 	for _, a := range strings.Split(replicaList, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -329,7 +358,7 @@ func routeMain(addr, tcpAddr, replicaList string, connsPer, pipeDepth int, drain
 	if len(addrs) == 0 {
 		fatal(errors.New("-route requires -replicas host1:port,host2:port,..."))
 	}
-	opt := serve.RouterOptions{Logf: logf, ConnsPerReplica: connsPer}
+	opt := serve.RouterOptions{Log: logger, Tracer: tracer, ConnsPerReplica: connsPer}
 	if pipeDepth < 0 {
 		opt.LegacyRelay = true
 	} else {
@@ -594,6 +623,75 @@ func loadgenMain(cfg loadgenConfig, logf func(string, ...any)) {
 		q(0.50), q(0.99), q(0.999), rep.PeakLive, rep.Checksum)
 	if rep.CreateErrors != 0 || rep.DeleteErrors != 0 {
 		fatal(fmt.Errorf("control-plane errors: %d create, %d delete", rep.CreateErrors, rep.DeleteErrors))
+	}
+}
+
+// buildLogger constructs the process-wide structured logger from the
+// -quiet/-log-level/-log-format flags. Quiet wins: it discards
+// everything, whatever the level says.
+func buildLogger(quiet bool, level, format string) (*slog.Logger, error) {
+	if quiet {
+		return slog.New(slog.DiscardHandler), nil
+	}
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn, or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+}
+
+// buildTracer constructs the decide-path tracer from the -trace-* flags;
+// nil (tracing fully off, zero overhead) when neither sampling nor tail
+// capture is requested.
+func buildTracer(sample float64, slow time.Duration, buf int) (*trace.Tracer, error) {
+	if sample < 0 || sample > 1 {
+		return nil, fmt.Errorf("-trace-sample %g: want a probability in [0, 1]", sample)
+	}
+	if slow < 0 {
+		return nil, fmt.Errorf("-trace-slow %v: want a non-negative duration", slow)
+	}
+	if sample == 0 && slow == 0 {
+		return nil, nil
+	}
+	return trace.New(trace.Options{SampleProb: sample, Slow: slow, Capacity: buf}), nil
+}
+
+// startDebug serves the profiling surface on its own listener, kept off
+// the public metrics port so an operator can firewall it separately:
+// the full net/http/pprof suite plus /debug/runtime, the same
+// runtime-health snapshot /v1/metrics embeds, as a standalone document.
+func startDebug(addr string, logf func(string, ...any)) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rs := stats.ReadRuntime()
+		_ = json.NewEncoder(w).Encode(rs)
+	})
+	logf("rtmd: debug listener (pprof, /debug/runtime) on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logf("rtmd: debug listener down: %v", err)
 	}
 }
 

@@ -98,6 +98,18 @@
 //	                     trigger table refetch; misrouted decides are
 //	                     forwarded replica-side), taking the router
 //	                     out of the data path
+//	internal/trace       sampled decide-path tracing: spans (route,
+//	                     relay, decide, forward) in a fixed lock-free
+//	                     ring, probabilistic head sampling plus tail
+//	                     capture of slow batches, trace ids propagated
+//	                     through the wire protocol so one routed
+//	                     decide stitches router→replica(→forward)
+//	                     spans under a single id at GET /v1/trace
+//	internal/promlint    the Prometheus text-exposition linter behind
+//	                     cmd/promlint and the scrape-hygiene tests:
+//	                     HELP/TYPE pairing, label escaping, duplicate
+//	                     series, cumulative le buckets, and
+//	                     series/byte budgets for scrape cardinality
 //	internal/experiments Table I, II, III, Fig. 3, the ablations, and
 //	                     the warm-start transfer matrix (train on one
 //	                     workload, publish to the registry, serve
@@ -118,6 +130,7 @@
 // running fleet through the ring-aware direct client — cmd/tracegen
 // emits workload traces,
 // cmd/benchjson converts benchmark output to the BENCH_<n>.json perf
-// artifacts; examples/ holds runnable API walkthroughs; the benchmarks
+// artifacts, cmd/promlint lints a Prometheus exposition against series
+// and byte budgets; examples/ holds runnable API walkthroughs; the benchmarks
 // in bench_test.go regenerate each experiment under `go test -bench`.
 package qgov

@@ -14,6 +14,7 @@ import (
 	"qgov/internal/loadgen"
 	"qgov/internal/serve"
 	"qgov/internal/serve/client"
+	"qgov/internal/stats"
 )
 
 // The soak experiment: drive a loadgen schedule — heterogeneous clients,
@@ -78,6 +79,20 @@ type SoakResult struct {
 	P50US  float64 `json:"p50_us"`
 	P99US  float64 `json:"p99_us"`
 	P999US float64 `json:"p999_us"`
+
+	// Per-stage attribution of those round trips. ServeP*US is decide
+	// time under the session lock, merged across every server in the
+	// stack; the gap to the client RTT above is transport, batching and
+	// (in routed topologies) the relay. RouteHopP*US, present only with
+	// a router in the path, is the router→replica→router hop, so
+	// RTT − hop ≈ client-side cost and hop − serve ≈ inter-tier
+	// transport. -1 marks an unresolvable (overflowed) quantile.
+	ServeDecides  int64   `json:"serve_decides,omitempty"`
+	ServeP50US    float64 `json:"serve_p50_us,omitempty"`
+	ServeP99US    float64 `json:"serve_p99_us,omitempty"`
+	RouteHops     int64   `json:"route_hops,omitempty"`
+	RouteHopP50US float64 `json:"route_hop_p50_us,omitempty"`
+	RouteHopP99US float64 `json:"route_hop_p99_us,omitempty"`
 
 	// Memory trajectory: Go heap (whole process — servers and clients
 	// both live here) sampled through the run, and OS RSS where
@@ -146,9 +161,10 @@ func heapAlloc() uint64 {
 }
 
 // soakTopology builds the serving stack for the config and returns the
-// runner target, every serve.Server in the stack (for counter reads) and
-// a teardown.
-func soakTopology(cfg SoakConfig) (loadgen.Target, []*serve.Server, func(), error) {
+// runner target, every serve.Server in the stack (for counter reads),
+// the router when one is in the stack (for hop attribution) and a
+// teardown.
+func soakTopology(cfg SoakConfig) (loadgen.Target, []*serve.Server, *serve.Router, func(), error) {
 	opt := serve.Options{
 		CheckpointDir:          cfg.CheckpointDir,
 		CheckpointEvery:        cfg.CheckpointEvery,
@@ -164,7 +180,7 @@ func soakTopology(cfg SoakConfig) (loadgen.Target, []*serve.Server, func(), erro
 	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" {
 		dir, err := os.MkdirTemp("", "soak-ckpt-*")
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		opt.CheckpointDir = dir
 		cleanups = append(cleanups, func() { _ = os.RemoveAll(dir) })
@@ -195,15 +211,15 @@ func soakTopology(cfg SoakConfig) (loadgen.Target, []*serve.Server, func(), erro
 		srv, addr, err := newReplica()
 		if err != nil {
 			cleanup()
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		cl, err := client.Dial(addr)
 		if err != nil {
 			cleanup()
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		cleanups = append(cleanups, func() { _ = cl.Close() })
-		return cl, []*serve.Server{srv}, cleanup, nil
+		return cl, []*serve.Server{srv}, nil, cleanup, nil
 	case "routed", "direct":
 		n := cfg.Replicas
 		if n <= 0 {
@@ -215,20 +231,20 @@ func soakTopology(cfg SoakConfig) (loadgen.Target, []*serve.Server, func(), erro
 			srv, addr, err := newReplica()
 			if err != nil {
 				cleanup()
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			srvs[i], addrs[i] = srv, addr
 		}
 		rt, err := serve.NewRouter(addrs, serve.RouterOptions{ProbeEvery: -1})
 		if err != nil {
 			cleanup()
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		cleanups = append(cleanups, func() { _ = rt.Close() })
 		rtLis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			cleanup()
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		rtTCP := serve.NewRouterTCP(rt, rtLis)
 		go func() { _ = rtTCP.Serve() }()
@@ -237,21 +253,21 @@ func soakTopology(cfg SoakConfig) (loadgen.Target, []*serve.Server, func(), erro
 			fl, err := client.DialFleet(rtLis.Addr().String())
 			if err != nil {
 				cleanup()
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			cleanups = append(cleanups, func() { _ = fl.Close() })
-			return fl, srvs, cleanup, nil
+			return fl, srvs, rt, cleanup, nil
 		}
 		cl, err := client.Dial(rtLis.Addr().String())
 		if err != nil {
 			cleanup()
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		cleanups = append(cleanups, func() { _ = cl.Close() })
-		return cl, srvs, cleanup, nil
+		return cl, srvs, rt, cleanup, nil
 	default:
 		cleanup()
-		return nil, nil, nil, fmt.Errorf("soak: unknown topology %q (flat, routed or direct)", cfg.Topology)
+		return nil, nil, nil, nil, fmt.Errorf("soak: unknown topology %q (flat, routed or direct)", cfg.Topology)
 	}
 }
 
@@ -268,7 +284,7 @@ func finiteQ(rep *loadgen.Report, q float64) float64 {
 
 // RunSoak executes one soak run and measures it.
 func RunSoak(cfg SoakConfig) (*SoakResult, error) {
-	target, srvs, cleanup, err := soakTopology(cfg)
+	target, srvs, rt, cleanup, err := soakTopology(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -387,6 +403,45 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		res.QTablePoolPagesEnd += pages
 		res.QTablePoolBytesEnd += bytes
 		res.QTableCowFaults += faults
+	}
+
+	// Per-stage attribution: decide time under the session lock (merged
+	// across the stack's servers) and, with a router in the path, the
+	// relayed hop.
+	histQ := func(h interface {
+		Quantile(float64) float64
+	}, q float64) float64 {
+		v := h.Quantile(q)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return -1
+		}
+		return v
+	}
+	var serveLat *stats.Histogram
+	for _, srv := range srvs {
+		h := srv.DecideLatency()
+		if h == nil {
+			continue
+		}
+		if serveLat == nil {
+			serveLat = h
+			continue
+		}
+		if err := serveLat.Merge(h); err != nil {
+			return res, fmt.Errorf("soak: merging decide latency: %w", err)
+		}
+	}
+	if serveLat != nil && serveLat.Count() > 0 {
+		res.ServeDecides = int64(serveLat.Count())
+		res.ServeP50US = histQ(serveLat, 0.50)
+		res.ServeP99US = histQ(serveLat, 0.99)
+	}
+	if rt != nil {
+		if hop := rt.HopLatency(); hop != nil && hop.Count() > 0 {
+			res.RouteHops = int64(hop.Count())
+			res.RouteHopP50US = histQ(hop, 0.50)
+			res.RouteHopP99US = histQ(hop, 0.99)
+		}
 	}
 	if rep.CreateErrors != 0 || rep.DeleteErrors != 0 {
 		return res, fmt.Errorf("soak: control-plane errors: %d create, %d delete", rep.CreateErrors, rep.DeleteErrors)

@@ -1,0 +1,464 @@
+// Package promlint validates Prometheus text exposition the way a
+// strict scraper would: metric and label names must be legal, every
+// sample must belong to a family that declared # HELP and # TYPE before
+// its first sample, label values must be correctly quoted and escaped,
+// histogram le buckets must be strictly increasing and cumulative with
+// a +Inf bucket matching _count, and no series may appear twice.
+//
+// It exists so the repo's own /v1/metrics exposition is checked by CI
+// against the format contract rather than against string snapshots: a
+// new metric added with a typo'd name, a missing TYPE line, or broken
+// bucket cumulativity fails the lint without any test knowing the
+// metric exists. The series count and byte size come back with the
+// report so callers can also bound scrape cardinality (the O(1)-in-
+// sessions guarantee is "series stays flat", which only a counter can
+// assert).
+package promlint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Problem is one lint finding, anchored to its 1-based exposition line
+// (0 for whole-document findings discovered after reading everything).
+type Problem struct {
+	Line int
+	Msg  string
+}
+
+func (p Problem) String() string {
+	if p.Line > 0 {
+		return fmt.Sprintf("line %d: %s", p.Line, p.Msg)
+	}
+	return p.Msg
+}
+
+// Report is one lint run's result.
+type Report struct {
+	// Series is the number of sample lines (scrape cardinality).
+	Series int
+	// Bytes is the exposition size read.
+	Bytes int64
+	// Problems is every finding; empty means the exposition is clean.
+	Problems []Problem
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// family is what the # HELP / # TYPE comments declared for one metric.
+type family struct {
+	help     bool
+	typ      string
+	helpLine int
+	sampled  bool // a sample for this family has been seen
+}
+
+// sample is one parsed series line.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// Lint reads one exposition and reports every format violation found.
+// The error return is for I/O only; format problems land in the report.
+func Lint(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	families := map[string]*family{}
+	var samples []sample
+	seen := map[string]int{} // rendered series key -> first line
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		line := sc.Text()
+		rep.Bytes += int64(len(line)) + 1
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			lintComment(rep, families, line, lineNo)
+			continue
+		}
+		s, ok := lintSample(rep, line, lineNo)
+		if !ok {
+			continue
+		}
+		rep.Series++
+		key := seriesKey(s)
+		if first, dup := seen[key]; dup {
+			rep.addf(lineNo, "duplicate series %s (first at line %d)", key, first)
+		} else {
+			seen[key] = lineNo
+		}
+		fam := familyOf(families, s.name)
+		if fam == nil {
+			rep.addf(lineNo, "sample %s has no # TYPE declaration", s.name)
+		} else {
+			if !fam.help {
+				rep.addf(lineNo, "sample %s has # TYPE but no # HELP", s.name)
+			}
+			fam.sampled = true
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for name, fam := range families {
+		if fam.help && fam.typ == "" {
+			rep.addf(fam.helpLine, "# HELP %s has no # TYPE", name)
+		}
+	}
+	lintHistograms(rep, families, samples)
+	sort.Slice(rep.Problems, func(i, j int) bool { return rep.Problems[i].Line < rep.Problems[j].Line })
+	return rep, nil
+}
+
+func (rep *Report) addf(line int, format string, args ...any) {
+	rep.Problems = append(rep.Problems, Problem{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// lintComment handles # HELP / # TYPE lines (other comments are legal
+// and ignored).
+func lintComment(rep *Report, families map[string]*family, line string, lineNo int) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			rep.addf(lineNo, "malformed # HELP line")
+			return
+		}
+		name := fields[2]
+		if !metricNameRe.MatchString(name) {
+			rep.addf(lineNo, "invalid metric name %q in # HELP", name)
+		}
+		fam := families[name]
+		if fam == nil {
+			fam = &family{}
+			families[name] = fam
+		}
+		if fam.help {
+			rep.addf(lineNo, "second # HELP for %s", name)
+		}
+		fam.help = true
+		fam.helpLine = lineNo
+	case "TYPE":
+		if len(fields) < 4 {
+			rep.addf(lineNo, "malformed # TYPE line")
+			return
+		}
+		name, typ := fields[2], fields[3]
+		if !metricNameRe.MatchString(name) {
+			rep.addf(lineNo, "invalid metric name %q in # TYPE", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			rep.addf(lineNo, "unknown metric type %q for %s", typ, name)
+		}
+		fam := families[name]
+		if fam == nil {
+			fam = &family{}
+			families[name] = fam
+		}
+		if fam.typ != "" {
+			rep.addf(lineNo, "second # TYPE for %s", name)
+		}
+		if fam.sampled {
+			rep.addf(lineNo, "# TYPE for %s after its first sample", name)
+		}
+		fam.typ = typ
+	}
+}
+
+// lintSample parses one series line: name, optional {labels}, value.
+func lintSample(rep *Report, line string, lineNo int) (sample, bool) {
+	s := sample{line: lineNo}
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd < 0 {
+		rep.addf(lineNo, "sample line has no value: %q", line)
+		return s, false
+	}
+	s.name = rest[:nameEnd]
+	if !metricNameRe.MatchString(s.name) {
+		rep.addf(lineNo, "invalid metric name %q", s.name)
+		return s, false
+	}
+	rest = rest[nameEnd:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			rep.addf(lineNo, "bad label set: %v", err)
+			return s, false
+		}
+		for k := range labels {
+			if !labelNameRe.MatchString(k) {
+				rep.addf(lineNo, "invalid label name %q", k)
+			}
+		}
+		s.labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A timestamp may follow the value; the repo never emits one, but it
+	// is legal exposition.
+	valStr := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		valStr = rest[:i]
+		if _, err := strconv.ParseInt(strings.TrimSpace(rest[i+1:]), 10, 64); err != nil {
+			rep.addf(lineNo, "trailing garbage after value: %q", rest[i+1:])
+		}
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		rep.addf(lineNo, "bad sample value %q", valStr)
+		return s, false
+	}
+	s.value = v
+	return s, true
+}
+
+// parseLabels parses "{k="v",...}" with exposition escaping (\\, \",
+// \n inside values) and returns the remainder after the closing brace.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		if i >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := in[i : i+eq]
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, "", fmt.Errorf("label %s value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, "", fmt.Errorf("unterminated value for label %s", name)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\n' {
+				return nil, "", fmt.Errorf("raw newline in value for label %s", name)
+			}
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return nil, "", fmt.Errorf("dangling escape in value for label %s", name)
+				}
+				switch in[i+1] {
+				case '\\', '"':
+					val.WriteByte(in[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("invalid escape \\%c in value for label %s", in[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %s", name)
+		}
+		labels[name] = val.String()
+		if i < len(in) && in[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseValue accepts what the exposition format does: Go float syntax
+// plus +Inf/-Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// seriesKey renders name+labels deterministically for duplicate checks.
+func seriesKey(s sample) string {
+	if len(s.labels) == 0 {
+		return s.name
+	}
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// familyOf resolves which declared family a sample belongs to: its own
+// name, or — for histogram/summary component suffixes — the base name.
+func familyOf(families map[string]*family, name string) *family {
+	if fam := families[name]; fam != nil {
+		return fam
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if fam := families[base]; fam != nil && (fam.typ == "histogram" || fam.typ == "summary") {
+			return fam
+		}
+	}
+	return nil
+}
+
+// lintHistograms checks every histogram family: per child (labelset
+// minus le) the le values must be strictly increasing, the bucket
+// counts monotone non-decreasing, a +Inf bucket present and equal to
+// the child's _count, with a _sum alongside.
+func lintHistograms(rep *Report, families map[string]*family, samples []sample) {
+	type child struct {
+		les       []float64
+		counts    []float64
+		lastLine  int
+		inf       *float64
+		count     *float64
+		sum       bool
+		countLine int
+	}
+	hists := map[string]map[string]*child{} // family -> childKey -> state
+	childOf := func(fam, key string) *child {
+		m := hists[fam]
+		if m == nil {
+			m = map[string]*child{}
+			hists[fam] = m
+		}
+		c := m[key]
+		if c == nil {
+			c = &child{}
+			m[key] = c
+		}
+		return c
+	}
+	for _, s := range samples {
+		var base, suffix string
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b := strings.TrimSuffix(s.name, suf); b != s.name {
+				if fam := families[b]; fam != nil && fam.typ == "histogram" {
+					base, suffix = b, suf
+					break
+				}
+			}
+		}
+		if base == "" {
+			continue
+		}
+		nonLE := sample{name: base, labels: map[string]string{}}
+		le, hasLE := "", false
+		for k, v := range s.labels {
+			if k == "le" {
+				le, hasLE = v, true
+				continue
+			}
+			nonLE.labels[k] = v
+		}
+		c := childOf(base, seriesKey(nonLE))
+		switch suffix {
+		case "_bucket":
+			if !hasLE {
+				rep.addf(s.line, "%s_bucket without le label", base)
+				continue
+			}
+			if le == "+Inf" {
+				v := s.value
+				c.inf = &v
+				continue
+			}
+			edge, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				rep.addf(s.line, "%s_bucket le=%q is not a number", base, le)
+				continue
+			}
+			if n := len(c.les); n > 0 && edge <= c.les[n-1] {
+				rep.addf(s.line, "%s buckets not strictly increasing: le=%g after le=%g", base, edge, c.les[n-1])
+			}
+			if n := len(c.counts); n > 0 && s.value < c.counts[n-1] {
+				rep.addf(s.line, "%s buckets not cumulative: %g after %g", base, s.value, c.counts[n-1])
+			}
+			c.les = append(c.les, edge)
+			c.counts = append(c.counts, s.value)
+			c.lastLine = s.line
+		case "_sum":
+			c.sum = true
+		case "_count":
+			v := s.value
+			c.count = &v
+			c.countLine = s.line
+		}
+	}
+	for fam, children := range hists {
+		for key, c := range children {
+			at := c.lastLine
+			if at == 0 {
+				at = c.countLine
+			}
+			if c.inf == nil {
+				rep.addf(at, "histogram %s child %s has no +Inf bucket", fam, key)
+			}
+			if c.count == nil {
+				rep.addf(at, "histogram %s child %s has no _count", fam, key)
+			} else if c.inf != nil && *c.inf != *c.count {
+				rep.addf(c.countLine, "histogram %s child %s: +Inf bucket %g != _count %g", fam, key, *c.inf, *c.count)
+			}
+			if !c.sum {
+				rep.addf(at, "histogram %s child %s has no _sum", fam, key)
+			}
+			if n := len(c.counts); n > 0 && c.inf != nil && c.counts[n-1] > *c.inf {
+				rep.addf(c.lastLine, "histogram %s child %s: largest finite bucket %g exceeds +Inf %g", fam, key, c.counts[n-1], *c.inf)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package promlint
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintString(t *testing.T, s string) *Report {
+	t.Helper()
+	rep, err := Lint(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func wantProblem(t *testing.T, rep *Report, substr string) {
+	t.Helper()
+	for _, p := range rep.Problems {
+		if strings.Contains(p.Msg, substr) {
+			return
+		}
+	}
+	t.Errorf("no problem containing %q in %v", substr, rep.Problems)
+}
+
+func TestCleanExposition(t *testing.T) {
+	rep := lintString(t, `# HELP up Whether the target is up.
+# TYPE up gauge
+up 1
+# HELP req_total Requests served.
+# TYPE req_total counter
+req_total{path="/v1/decide",code="200"} 41
+req_total{path="/v1/decide",code="500"} 1
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.01"} 3
+lat_seconds_bucket{le="0.1"} 5
+lat_seconds_bucket{le="+Inf"} 6
+lat_seconds_sum 0.32
+lat_seconds_count 6
+`)
+	if len(rep.Problems) != 0 {
+		t.Fatalf("clean exposition flagged: %v", rep.Problems)
+	}
+	if rep.Series != 8 {
+		t.Errorf("counted %d series, want 8", rep.Series)
+	}
+	if rep.Bytes == 0 {
+		t.Error("byte count not reported")
+	}
+}
+
+func TestEscapedLabelValues(t *testing.T) {
+	rep := lintString(t, "# HELP m M.\n# TYPE m gauge\n"+
+		`m{v="quote \" slash \\ newline \n end"} 1`+"\n")
+	if len(rep.Problems) != 0 {
+		t.Fatalf("escaped label value flagged: %v", rep.Problems)
+	}
+	bad := lintString(t, "# HELP m M.\n# TYPE m gauge\n"+
+		`m{v="bad \q escape"} 1`+"\n")
+	wantProblem(t, bad, "invalid escape")
+}
+
+func TestMissingTypeAndHelp(t *testing.T) {
+	wantProblem(t, lintString(t, "loose_metric 1\n"), "no # TYPE")
+	wantProblem(t, lintString(t, "# TYPE m gauge\nm 1\n"), "no # HELP")
+	wantProblem(t, lintString(t, "# HELP m M.\n"), "no # TYPE")
+	wantProblem(t, lintString(t, "m 1\n# HELP m M.\n# TYPE m gauge\n"), "no # TYPE")
+}
+
+func TestInvalidNames(t *testing.T) {
+	wantProblem(t, lintString(t, "# HELP 0bad M.\n# TYPE 0bad gauge\n"), "invalid metric name")
+	wantProblem(t, lintString(t, "# HELP m M.\n# TYPE m gauge\nm{0bad=\"x\"} 1\n"), "invalid label name")
+	wantProblem(t, lintString(t, "# HELP m M.\n# TYPE m bogus\n"), "unknown metric type")
+}
+
+func TestDuplicateSeries(t *testing.T) {
+	rep := lintString(t, "# HELP m M.\n# TYPE m gauge\nm{a=\"1\",b=\"2\"} 1\nm{b=\"2\",a=\"1\"} 2\n")
+	wantProblem(t, rep, "duplicate series")
+}
+
+func TestHistogramBucketOrder(t *testing.T) {
+	base := "# HELP h H.\n# TYPE h histogram\n"
+	wantProblem(t, lintString(t, base+
+		"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"0.05\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n"),
+		"not strictly increasing")
+	wantProblem(t, lintString(t, base+
+		"h_bucket{le=\"0.1\"} 3\nh_bucket{le=\"0.2\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"),
+		"not cumulative")
+	wantProblem(t, lintString(t, base+
+		"h_bucket{le=\"0.1\"} 1\nh_sum 1\nh_count 1\n"),
+		"no +Inf")
+	wantProblem(t, lintString(t, base+
+		"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n"),
+		"!= _count")
+	wantProblem(t, lintString(t, base+
+		"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n"),
+		"no _sum")
+}
+
+func TestHistogramChildrenIndependent(t *testing.T) {
+	// Two labeled children of one family each carry their own cumulative
+	// sequence; counts resetting between children is not a violation.
+	rep := lintString(t, `# HELP h H.
+# TYPE h histogram
+h_bucket{s="a",le="0.1"} 5
+h_bucket{s="a",le="+Inf"} 5
+h_sum{s="a"} 0.2
+h_count{s="a"} 5
+h_bucket{s="b",le="0.1"} 1
+h_bucket{s="b",le="+Inf"} 1
+h_sum{s="b"} 0.01
+h_count{s="b"} 1
+`)
+	if len(rep.Problems) != 0 {
+		t.Fatalf("independent children flagged: %v", rep.Problems)
+	}
+}
+
+func TestBadValues(t *testing.T) {
+	wantProblem(t, lintString(t, "# HELP m M.\n# TYPE m gauge\nm notanumber\n"), "bad sample value")
+	rep := lintString(t, "# HELP m M.\n# TYPE m gauge\nm +Inf\n")
+	if len(rep.Problems) != 0 {
+		t.Fatalf("+Inf value flagged: %v", rep.Problems)
+	}
+}

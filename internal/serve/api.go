@@ -8,11 +8,14 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"qgov/internal/governor"
 	"qgov/internal/stats"
+	"qgov/internal/trace"
 )
 
 // Wire types. Floats round-trip exactly through encoding/json (shortest
@@ -154,6 +157,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -365,10 +369,40 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Same two sampling decisions as the binary path, batch-level on the
+	// JSON plane: head-sample the batch, tail-capture it if slow.
+	tr := s.tracer
+	batchTrace, _ := tr.Sample()
+	timed := tr.Enabled()
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
 	resp := decideResponse{Decisions: make([]decisionJSON, n)}
 	fanOut(n, func(i int) {
 		resp.Decisions[i] = s.decideOne(req.Requests[i])
 	})
+	if timed {
+		dur := time.Since(start)
+		durUS := float64(dur) / float64(time.Microsecond)
+		if tr.Slow(dur) {
+			id := batchTrace
+			if id == 0 {
+				id = tr.ID()
+			}
+			tr.Record(trace.Span{
+				Trace: id, Stage: "decide.batch", Origin: s.originName(),
+				Start: start.UnixNano(), DurUS: durUS, Batch: n, Slow: true,
+			})
+			s.log.Warn("slow decide batch",
+				"trace", id.String(), "dur_us", durUS, "batch", n)
+		} else if batchTrace != 0 {
+			tr.Record(trace.Span{
+				Trace: batchTrace, Stage: "decide.batch", Origin: s.originName(),
+				Start: start.UnixNano(), DurUS: durUS, Batch: n,
+			})
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -447,6 +481,15 @@ type sessionMetricsJSON struct {
 type metricsJSON struct {
 	Decisions int64                         `json:"decisions"`
 	Sessions  map[string]sessionMetricsJSON `json:"sessions"`
+	// DecideLatency is the server-wide decision latency histogram — the
+	// striped aggregate every session's decides also land in, O(1) in
+	// session count. A router reports the fleet-wide bin-sum. Absent
+	// until the first decision.
+	DecideLatency *latencyJSON `json:"decide_latency,omitempty"`
+	// Runtime is this process's Go runtime health snapshot (goroutines,
+	// GC pause p99, live heap, scheduler latency p99). Per-process even
+	// on a router: the fleet's replicas each report their own.
+	Runtime *stats.RuntimeStats `json:"runtime,omitempty"`
 	// DegradedReplicas, set only on a router's fleet aggregate, names the
 	// members whose metrics could not be collected — the body then covers
 	// the reachable majority rather than failing wholesale.
@@ -484,6 +527,12 @@ func (s *Server) buildMetrics() metricsJSON {
 		CheckpointSkipped: s.ckptSkipped.Load(),
 	}
 	out.QTablePoolPages, out.QTablePoolSharedBytes, out.QTableCowFaults = s.qpool.Stats()
+	if agg := s.DecideLatency(); agg != nil {
+		lj := latencyFromHistogram(agg)
+		out.DecideLatency = &lj
+	}
+	rs := stats.ReadRuntime()
+	out.Runtime = &rs
 	for _, sess := range all {
 		sess.mu.Lock()
 		lat := sess.lat
@@ -513,10 +562,94 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.buildMetrics()
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", prometheusContentType)
-		writePrometheus(w, m)
+		writePrometheus(w, m, topSessions(r))
 		return
 	}
 	writeJSON(w, http.StatusOK, m)
+}
+
+// maxTopSessions bounds ?top=K: per-session series are opt-in detail, and
+// even opted in, the scrape must stay bounded whatever K the URL carries.
+const maxTopSessions = 64
+
+// topSessions reads the Prometheus scrape's ?top=K knob: how many of the
+// busiest sessions get per-session series. The default 0 keeps the
+// exposition O(1) in session count.
+func topSessions(r *http.Request) int {
+	s := r.URL.Query().Get("top")
+	if s == "" {
+		return 0
+	}
+	k, err := strconv.Atoi(s)
+	if err != nil || k < 0 {
+		return 0
+	}
+	if k > maxTopSessions {
+		return maxTopSessions
+	}
+	return k
+}
+
+// mergeLatencyJSON folds one rendered latency histogram into an
+// accumulator (bin-wise sums; geometry is trusted equal because every
+// server in a fleet runs the same build). The quantile estimates are
+// recomputed from the merged bins — quantiles do not sum.
+func mergeLatencyJSON(dst, src *latencyJSON) *latencyJSON {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		cp := *src
+		cp.Bins = append([]int(nil), src.Bins...)
+		dst = &cp
+	} else {
+		if len(dst.Bins) != len(src.Bins) {
+			return dst // geometry drift: keep what we have rather than corrupt it
+		}
+		dst.Count += src.Count
+		dst.SumUS += src.SumUS
+		dst.Underflow += src.Underflow
+		dst.Overflow += src.Overflow
+		for i, c := range src.Bins {
+			dst.Bins[i] += c
+		}
+	}
+	dst.P99US = latencyJSONQuantile(dst, 0.99)
+	dst.P999US = latencyJSONQuantile(dst, 0.999)
+	return dst
+}
+
+// latencyJSONQuantile estimates quantile q from rendered bins, reporting
+// the upper edge of the bucket the rank lands in (pessimistic by up to
+// one bucket). Nil when the histogram is empty or the rank falls in the
+// overflow bucket — a saturated tail reads as "beyond hi_us", never a
+// number.
+func latencyJSONQuantile(lj *latencyJSON, q float64) *float64 {
+	if lj.Count == 0 {
+		return nil
+	}
+	rank := int(math.Ceil(q * float64(lj.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := lj.Underflow
+	if cum >= rank {
+		v := lj.LoUS
+		return &v
+	}
+	for i, c := range lj.Bins {
+		cum += c
+		if cum >= rank {
+			var hi float64
+			if len(lj.EdgesUS) == len(lj.Bins) {
+				hi = lj.EdgesUS[i]
+			} else {
+				hi = lj.LoUS + float64(i+1)*lj.BinWidthUS
+			}
+			return &hi
+		}
+	}
+	return nil
 }
 
 // listInfos snapshots every session's info, sorted by id — the body of

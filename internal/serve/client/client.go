@@ -253,7 +253,7 @@ func (c *Client) CloseWrite() error {
 // operating-point decision.
 func (c *Client) Decide(session string, obs governor.Observation) (Decision, error) {
 	var out [1]Decision
-	if err := decideBatch(c, []string{session}, []governor.Observation{obs}, out[:], 0); err != nil {
+	if err := decideBatch(c, []string{session}, []governor.Observation{obs}, out[:], 0, nil); err != nil {
 		return Decision{}, err
 	}
 	return out[0], nil
@@ -272,7 +272,22 @@ func (c *Client) DecideBatch(sessions []string, obs []governor.Observation, out 
 	if len(sessions) == 0 {
 		return nil
 	}
-	return decideBatch(c, sessions, obs, out, 0)
+	return decideBatch(c, sessions, obs, out, 0, nil)
+}
+
+// DecideBatchTraced is DecideBatch with per-request trace ids: a
+// nonzero traces[i] rides request i as the wire trace extension, so the
+// server's decide span stitches to the caller's trace. traces may be
+// nil (all untraced); zero entries leave their requests untraced.
+func (c *Client) DecideBatchTraced(sessions []string, obs []governor.Observation, out []Decision, traces []uint64) error {
+	if len(sessions) != len(obs) || len(sessions) != len(out) || (traces != nil && len(traces) != len(sessions)) {
+		return fmt.Errorf("client: mismatched batch slices (%d sessions, %d observations, %d outputs, %d traces)",
+			len(sessions), len(obs), len(out), len(traces))
+	}
+	if len(sessions) == 0 {
+		return nil
+	}
+	return decideBatch(c, sessions, obs, out, 0, traces)
 }
 
 // DecideBatchBytes is DecideBatch for callers that already hold session
@@ -286,23 +301,25 @@ func (c *Client) DecideBatchBytes(sessions [][]byte, obs []governor.Observation,
 	if len(sessions) == 0 {
 		return nil
 	}
-	return decideBatch(c, sessions, obs, out, 0)
+	return decideBatch(c, sessions, obs, out, 0, nil)
 }
 
 // ForwardBatch relays observes that arrived at the wrong replica to the
 // ring owner on behalf of a stale direct client. Each frame carries
 // wire.FlagForwarded, so the receiver answers locally even if its own
 // table disagrees — bounding transient membership disagreement to one
-// extra hop instead of a forwarding loop.
-func (c *Client) ForwardBatch(sessions [][]byte, obs []governor.Observation, out []Decision) error {
-	if len(sessions) != len(obs) || len(sessions) != len(out) {
-		return fmt.Errorf("client: mismatched batch slices (%d sessions, %d observations, %d outputs)",
-			len(sessions), len(obs), len(out))
+// extra hop instead of a forwarding loop. traces carries per-request
+// trace ids (nil or zero entries: untraced), so a traced decide that
+// misroutes keeps its trace across the forward hop.
+func (c *Client) ForwardBatch(sessions [][]byte, obs []governor.Observation, out []Decision, traces []uint64) error {
+	if len(sessions) != len(obs) || len(sessions) != len(out) || (traces != nil && len(traces) != len(sessions)) {
+		return fmt.Errorf("client: mismatched batch slices (%d sessions, %d observations, %d outputs, %d traces)",
+			len(sessions), len(obs), len(out), len(traces))
 	}
 	if len(sessions) == 0 {
 		return nil
 	}
-	return decideBatch(c, sessions, obs, out, wire.FlagForwarded)
+	return decideBatch(c, sessions, obs, out, wire.FlagForwarded, traces)
 }
 
 // LastMemberEpoch returns the highest membership epoch observed in any
@@ -344,7 +361,7 @@ func (cn *conn) unreserve(handle uint32) {
 	cn.mu.Unlock()
 }
 
-func decideBatch[S string | []byte](c *Client, sessions []S, obs []governor.Observation, out []Decision, flags byte) error {
+func decideBatch[S string | []byte](c *Client, sessions []S, obs []governor.Observation, out []Decision, flags byte, traces []uint64) error {
 	n := len(sessions)
 	if n > MaxBatch {
 		return fmt.Errorf("client: batch of %d exceeds the %d-request limit", n, MaxBatch)
@@ -365,7 +382,11 @@ func decideBatch[S string | []byte](c *Client, sessions []S, obs []governor.Obse
 	// Encode every frame and flush once.
 	cn.wmu.Lock()
 	for i := 0; i < n && err == nil; i++ {
-		cn.enc, err = wire.AppendObserveFlags(cn.enc[:0], base|uint32(i), flags, sessions[i], &obs[i])
+		var trace uint64
+		if traces != nil {
+			trace = traces[i]
+		}
+		cn.enc, err = wire.AppendObserveTraced(cn.enc[:0], base|uint32(i), flags, trace, sessions[i], &obs[i])
 		if err == nil {
 			_, err = cn.bw.Write(cn.enc)
 		}
@@ -597,6 +618,15 @@ func (c *Client) Health() (int, []byte, error) {
 // fleet).
 func (c *Client) Members() (int, []byte, error) {
 	return c.Control(wire.OpMembers, "", nil)
+}
+
+// TraceSpans fetches recent decide-path spans from the server's trace
+// ring. filter is the JSON filter document (/v1/trace's query params:
+// min_us, session, trace, limit); nil fetches everything. The reply
+// body is the JSON span array — how a router stitches fleet-wide traces
+// over the binary control plane.
+func (c *Client) TraceSpans(filter []byte) (int, []byte, error) {
+	return c.Control(wire.OpTrace, "", filter)
 }
 
 func (cn *conn) readLoop() {

@@ -65,6 +65,9 @@ func (s *Server) control(op byte, session string, body []byte) (status uint16, r
 	case wire.OpHealth:
 		return http.StatusOK, jsonBody(s.health())
 
+	case wire.OpTrace:
+		return s.traceSpans(body)
+
 	case wire.OpMembers:
 		if len(body) == 0 {
 			return http.StatusOK, jsonBody(s.membersTable())

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"qgov/internal/governor"
 	"qgov/internal/ring"
 	"qgov/internal/serve/client"
+	"qgov/internal/trace"
 	"qgov/internal/wire"
 )
 
@@ -32,6 +34,19 @@ type fleetView struct {
 // memberEpoch implements connBackend: the installed membership epoch,
 // stamped into every decide reply (0 outside any fleet).
 func (s *Server) memberEpoch() uint32 { return s.fleetEpoch.Load() }
+
+// originName is the span origin this replica stamps on its traces: its
+// own fleet address, or "" for a flat server outside any fleet (a
+// router aggregating spans fills empty origins with the member address
+// it fetched them from).
+func (s *Server) originName() string {
+	s.fleetMu.RLock()
+	defer s.fleetMu.RUnlock()
+	if s.fleet == nil {
+		return ""
+	}
+	return s.fleet.table.Self
+}
 
 // membersTable answers an OpMembers fetch: the installed table, or a
 // zero-epoch empty table outside any fleet.
@@ -144,7 +159,7 @@ func (s *Server) closePeers() {
 // decision. Only first-hop requests are relayed (FlagForwarded bounds
 // the relay depth at one), and without a fleet table the pass is a
 // no-op — the "unknown session" error from the first pass stands.
-func (s *Server) forwardMisrouted(batch []*observeReq) {
+func (s *Server) forwardMisrouted(batch []*observeReq, batchTrace trace.TraceID) {
 	s.fleetMu.RLock()
 	fl := s.fleet
 	s.fleetMu.RUnlock()
@@ -173,7 +188,7 @@ func (s *Server) forwardMisrouted(batch []*observeReq) {
 		wg.Add(1)
 		go func(owner string, reqs []*observeReq) {
 			defer wg.Done()
-			s.forwardTo(owner, reqs)
+			s.forwardTo(owner, reqs, batchTrace)
 		}(owner, reqs)
 	}
 	wg.Wait()
@@ -182,13 +197,50 @@ func (s *Server) forwardMisrouted(batch []*observeReq) {
 // forwardTo relays one owner's worth of misrouted requests and copies
 // the owner's decisions back into them. A transport failure fails only
 // these requests (per-entry errors, like any batch) and drops the peer
-// connection so the next batch redials.
-func (s *Server) forwardTo(owner string, reqs []*observeReq) {
+// connection so the next batch redials. Traced requests (their own wire
+// id, or the batch's sampled id) carry the id across the hop and record
+// a "forward" span on this — the misrouting — side.
+func (s *Server) forwardTo(owner string, reqs []*observeReq, batchTrace trace.TraceID) {
 	fail := func(err error) {
 		for _, r := range reqs {
 			r.oppIdx, r.freqMHz = -1, 0
 			r.errMsg = fmt.Sprintf("forwarding to owner %s: %v", owner, err)
 		}
+	}
+	var traces []uint64
+	for i, r := range reqs {
+		tid := r.m.TraceID
+		if tid == 0 {
+			tid = uint64(batchTrace)
+		}
+		if tid != 0 && traces == nil {
+			traces = make([]uint64, len(reqs))
+		}
+		if traces != nil {
+			traces[i] = tid
+		}
+	}
+	if traces != nil {
+		start := time.Now()
+		origin := s.originName()
+		defer func() {
+			durUS := float64(time.Since(start)) / float64(time.Microsecond)
+			for i, r := range reqs {
+				if traces[i] == 0 {
+					continue
+				}
+				s.tracer.Record(trace.Span{
+					Trace:   trace.TraceID(traces[i]),
+					Stage:   "forward",
+					Origin:  origin,
+					Session: string(r.m.Session),
+					Replica: owner,
+					Start:   start.UnixNano(),
+					DurUS:   durUS,
+					Err:     r.errMsg,
+				})
+			}
+		}()
 	}
 	cl, err := s.peer(owner)
 	if err != nil {
@@ -202,7 +254,7 @@ func (s *Server) forwardTo(owner string, reqs []*observeReq) {
 		sessions[i] = r.m.Session
 		obs[i] = r.m.Obs
 	}
-	if err := cl.ForwardBatch(sessions, obs, out); err != nil {
+	if err := cl.ForwardBatch(sessions, obs, out, traces); err != nil {
 		s.dropPeer(owner, cl)
 		fail(err)
 		return

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"qgov/internal/governor"
+	"qgov/internal/ring"
 	"qgov/internal/serve"
 	"qgov/internal/serve/client"
 	"qgov/internal/sim"
@@ -322,9 +323,25 @@ func TestDirectFleetEquivalence(t *testing.T) {
 		fOpps   []int
 		dOpps   []int
 	}
+	// Session ids are "eq-N", except the last lane, whose id is scanned so
+	// the grown ring places it on the future newcomer: the reshard below
+	// must always move at least one session, whatever ports the replicas
+	// were assigned (placement hashes the address strings, so with
+	// arbitrary ids the newcomer occasionally owned none of them).
+	grownRing := ring.New(0, addrs...)
+	lastID := ""
+	for i := 0; lastID == ""; i++ {
+		cand := fmt.Sprintf("eq-%d", sessions-1+i)
+		if owner, _ := grownRing.Owner(cand); owner == addrs[2] {
+			lastID = cand
+		}
+	}
 	lanes := make([]*lane, sessions)
 	for i := range lanes {
 		id := fmt.Sprintf("eq-%d", i)
+		if i == sessions-1 {
+			id = lastID
+		}
 		seed := int64(i + 1)
 		tr := workload.MPEG4At30(seed, frames)
 		create := map[string]any{

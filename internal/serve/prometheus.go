@@ -15,6 +15,15 @@ import (
 // the text format a Prometheus scraper ingests, so both the replica and
 // the router expose it by re-rendering whatever they would have served
 // as JSON — one source of truth, two encodings.
+//
+// The exposition is O(1) in session count: the decision-latency histogram
+// is the server-wide striped aggregate, one 70-bucket family however many
+// sessions exist. Per-session detail (latency histogram and learning
+// gauges) is opt-in via ?top=K, which emits series for the K
+// most-decided sessions under the separate rtmd_session_* families —
+// a 10k-session fleet at the default scrape renders the same byte count
+// as an idle one, and an operator debugging a hot session turns the
+// detail on per request without changing server state.
 
 // wantsPrometheus reports whether a metrics request asked for the text
 // exposition format: ?format=prometheus, or an Accept header preferring
@@ -40,12 +49,10 @@ func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // newline) is exactly what the exposition format requires.
 
 // writePrometheus renders the metrics document in text exposition
-// format: the fleet decision counter, the per-session decision-latency
-// histograms (cumulative le buckets in seconds, as Prometheus
-// histograms are), and the exploration/convergence counters for
-// sessions whose governor learns. Sessions render in sorted order so
-// the output is deterministic.
-func writePrometheus(w io.Writer, m metricsJSON) {
+// format. topK > 0 additionally emits per-session series for the K
+// most-decided sessions; 0 keeps the scrape free of per-session
+// cardinality entirely.
+func writePrometheus(w io.Writer, m metricsJSON, topK int) {
 	fmt.Fprintf(w, "# HELP rtmd_decisions_total Operating-point decisions served.\n")
 	fmt.Fprintf(w, "# TYPE rtmd_decisions_total counter\n")
 	fmt.Fprintf(w, "rtmd_decisions_total %d\n", m.Decisions)
@@ -81,26 +88,21 @@ func writePrometheus(w io.Writer, m metricsJSON) {
 		}
 	}
 
-	ids := make([]string, 0, len(m.Sessions))
-	for id := range m.Sessions {
-		ids = append(ids, id)
+	// The server-wide aggregate: one histogram whatever the session count.
+	agg := latencyFromHistogram(emptyLatHist) // zero shape: no decisions yet
+	if m.DecideLatency != nil {
+		agg = *m.DecideLatency
 	}
-	sort.Strings(ids)
-
-	fmt.Fprintf(w, "# HELP rtmd_decision_latency_seconds Decision latency under the session lock.\n")
+	fmt.Fprintf(w, "# HELP rtmd_decision_latency_seconds Decision latency under the session lock, aggregated server-wide.\n")
 	fmt.Fprintf(w, "# TYPE rtmd_decision_latency_seconds histogram\n")
-	for _, id := range ids {
-		writeLatencyHistogram(w, "rtmd_decision_latency_seconds", "session", id, m.Sessions[id].latencyJSON)
-	}
+	writeLatencyHistogram(w, "rtmd_decision_latency_seconds", "", "", agg)
 	// The +Inf-adjacent saturation signal: histogram_quantile() over the
 	// le buckets silently clamps to the top edge when the tail escaped the
 	// range, so the overflow count is exported explicitly — a non-zero
 	// value here means the le-derived quantiles under-read.
 	fmt.Fprintf(w, "# HELP rtmd_decision_latency_overflow_total Decisions beyond the histogram range; non-zero means le-bucket quantiles are saturated.\n")
 	fmt.Fprintf(w, "# TYPE rtmd_decision_latency_overflow_total counter\n")
-	for _, id := range ids {
-		fmt.Fprintf(w, "rtmd_decision_latency_overflow_total{session=%q} %d\n", id, m.Sessions[id].Overflow)
-	}
+	fmt.Fprintf(w, "rtmd_decision_latency_overflow_total %d\n", agg.Overflow)
 
 	fmt.Fprintf(w, "# HELP rtmd_qtable_pool_pages Distinct shared Q-table pages interned in the copy-on-write pool.\n")
 	fmt.Fprintf(w, "# TYPE rtmd_qtable_pool_pages gauge\n")
@@ -118,6 +120,41 @@ func writePrometheus(w io.Writer, m metricsJSON) {
 	fmt.Fprintf(w, "# HELP rtmd_checkpoint_skipped_total Sweep writes skipped because the session was clean since its last checkpoint.\n")
 	fmt.Fprintf(w, "# TYPE rtmd_checkpoint_skipped_total counter\n")
 	fmt.Fprintf(w, "rtmd_checkpoint_skipped_total %d\n", m.CheckpointSkipped)
+
+	if m.Runtime != nil {
+		rs := m.Runtime
+		fmt.Fprintf(w, "# HELP rtmd_go_goroutines Live goroutines in this process.\n")
+		fmt.Fprintf(w, "# TYPE rtmd_go_goroutines gauge\n")
+		fmt.Fprintf(w, "rtmd_go_goroutines %d\n", rs.Goroutines)
+		fmt.Fprintf(w, "# HELP rtmd_go_gc_pause_p99_seconds 99th-percentile stop-the-world GC pause over the process lifetime.\n")
+		fmt.Fprintf(w, "# TYPE rtmd_go_gc_pause_p99_seconds gauge\n")
+		fmt.Fprintf(w, "rtmd_go_gc_pause_p99_seconds %s\n", promFloat(rs.GCPauseP99S))
+		fmt.Fprintf(w, "# HELP rtmd_go_gc_cycles_total Completed GC cycles.\n")
+		fmt.Fprintf(w, "# TYPE rtmd_go_gc_cycles_total counter\n")
+		fmt.Fprintf(w, "rtmd_go_gc_cycles_total %d\n", rs.GCCycles)
+		fmt.Fprintf(w, "# HELP rtmd_go_heap_live_bytes Heap bytes occupied by live objects plus unswept spans.\n")
+		fmt.Fprintf(w, "# TYPE rtmd_go_heap_live_bytes gauge\n")
+		fmt.Fprintf(w, "rtmd_go_heap_live_bytes %d\n", rs.HeapLiveBytes)
+		fmt.Fprintf(w, "# HELP rtmd_go_sched_latency_p99_seconds 99th-percentile time goroutines spent runnable before running.\n")
+		fmt.Fprintf(w, "# TYPE rtmd_go_sched_latency_p99_seconds gauge\n")
+		fmt.Fprintf(w, "rtmd_go_sched_latency_p99_seconds %s\n", promFloat(rs.SchedLatencyP99S))
+	}
+
+	if topK <= 0 {
+		return
+	}
+	ids := topSessionIDs(m, topK)
+
+	fmt.Fprintf(w, "# HELP rtmd_session_decision_latency_seconds Decision latency for the top-K most-decided sessions (opt-in via ?top=K).\n")
+	fmt.Fprintf(w, "# TYPE rtmd_session_decision_latency_seconds histogram\n")
+	for _, id := range ids {
+		writeLatencyHistogram(w, "rtmd_session_decision_latency_seconds", "session", id, m.Sessions[id].latencyJSON)
+	}
+	fmt.Fprintf(w, "# HELP rtmd_session_decision_latency_overflow_total Per-session decisions beyond the histogram range (top-K sessions only).\n")
+	fmt.Fprintf(w, "# TYPE rtmd_session_decision_latency_overflow_total counter\n")
+	for _, id := range ids {
+		fmt.Fprintf(w, "rtmd_session_decision_latency_overflow_total{session=%q} %d\n", id, m.Sessions[id].Overflow)
+	}
 
 	writeLearningGauge(w, m, ids, "rtmd_session_epochs", "Decision epochs the session has served.",
 		func(lj *learningJSON) (string, bool) { return strconv.FormatInt(lj.Epochs, 10), true })
@@ -153,14 +190,49 @@ func writePrometheus(w io.Writer, m metricsJSON) {
 		})
 }
 
+// topSessionIDs picks the K most-decided sessions (latency sample count
+// descending, id ascending on ties) — the bounded per-session slice an
+// operator opted into with ?top=K.
+func topSessionIDs(m metricsJSON, k int) []string {
+	ids := make([]string, 0, len(m.Sessions))
+	for id := range m.Sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ci, cj := m.Sessions[ids[i]].Count, m.Sessions[ids[j]].Count
+		if ci != cj {
+			return ci > cj
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	// Render in id order so the output is deterministic and diffable.
+	sort.Strings(ids)
+	return ids
+}
+
 // writeLatencyHistogram renders one latencyJSON as a Prometheus
-// histogram series under a single label (session or replica). The
-// microsecond bins convert to seconds; bucket edges come from the
-// explicit edge list when the histogram is log-width and from the fixed
-// bin width otherwise. Underflow folds into the first bucket (a sample
-// below lo is certainly <= the first edge) so the buckets always sum to
-// the count.
+// histogram series, with a single label (session or replica) or — when
+// label is empty — unlabeled. The microsecond bins convert to seconds;
+// bucket edges come from the explicit edge list when the histogram is
+// log-width and from the fixed bin width otherwise. Underflow folds into
+// the first bucket (a sample below lo is certainly <= the first edge) so
+// the buckets always sum to the count.
 func writeLatencyHistogram(w io.Writer, name, label, value string, lj latencyJSON) {
+	series := func(suffix, le string) string {
+		switch {
+		case label == "" && le == "":
+			return name + suffix
+		case label == "":
+			return fmt.Sprintf("%s%s{le=%q}", name, suffix, le)
+		case le == "":
+			return fmt.Sprintf("%s%s{%s=%q}", name, suffix, label, value)
+		default:
+			return fmt.Sprintf("%s%s{%s=%q,le=%q}", name, suffix, label, value, le)
+		}
+	}
 	cum := lj.Underflow
 	for i, c := range lj.Bins {
 		cum += c
@@ -170,16 +242,16 @@ func writeLatencyHistogram(w io.Writer, name, label, value string, lj latencyJSO
 		} else {
 			le = (lj.LoUS + float64(i+1)*lj.BinWidthUS) * 1e-6
 		}
-		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, value, promFloat(le), cum)
+		fmt.Fprintf(w, "%s %d\n", series("_bucket", promFloat(le)), cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, lj.Count)
-	fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", name, label, value, promFloat(lj.SumUS*1e-6))
-	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, lj.Count)
+	fmt.Fprintf(w, "%s %d\n", series("_bucket", "+Inf"), lj.Count)
+	fmt.Fprintf(w, "%s %s\n", series("_sum", ""), promFloat(lj.SumUS*1e-6))
+	fmt.Fprintf(w, "%s %d\n", series("_count", ""), lj.Count)
 }
 
 // writeLearningGauge renders one per-session learning gauge family,
-// covering only sessions whose governor learns (and, per field, only
-// learners that expose it).
+// covering only the given (top-K) sessions whose governor learns (and,
+// per field, only learners that expose it).
 func writeLearningGauge(w io.Writer, m metricsJSON, ids []string, name, help string,
 	value func(*learningJSON) (string, bool)) {
 	wrote := false

@@ -15,17 +15,21 @@ import (
 )
 
 // promBody fetches /v1/metrics in Prometheus form from a base URL.
-func promBody(t *testing.T, cl *http.Client, url string, viaAccept bool) string {
+// extraQuery entries ("top=2") append to the query string.
+func promBody(t *testing.T, cl *http.Client, url string, viaAccept bool, extraQuery ...string) string {
 	t.Helper()
 	req, err := http.NewRequest(http.MethodGet, url+"/v1/metrics", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	var query []string
 	if viaAccept {
 		req.Header.Set("Accept", "text/plain")
 	} else {
-		req.URL.RawQuery = "format=prometheus"
+		query = append(query, "format=prometheus")
 	}
+	query = append(query, extraQuery...)
+	req.URL.RawQuery = strings.Join(query, "&")
 	resp, err := cl.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -55,9 +59,11 @@ func mustContain(t *testing.T, body string, wants ...string) {
 }
 
 // /v1/metrics must serve the Prometheus text exposition when asked via
-// ?format=prometheus or Accept: text/plain — latency histogram with
-// cumulative le buckets summing to the decision count, plus the
-// exploration counters — while the default stays JSON.
+// ?format=prometheus or Accept: text/plain. The default scrape is O(1)
+// in session count: one server-wide latency histogram with cumulative
+// le buckets summing to the decision count, and no per-session series
+// at all. Per-session detail (histogram, learning gauges) appears only
+// under ?top=K. The default content type stays JSON.
 func TestMetricsPrometheusExposition(t *testing.T) {
 	const decisions = 5
 	h := newTestServer(t, serve.Options{})
@@ -83,15 +89,15 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 			fmt.Sprintf("rtmd_decisions_total %d", decisions),
 			"rtmd_sessions 1",
 			"# TYPE rtmd_decision_latency_seconds histogram",
-			fmt.Sprintf(`rtmd_decision_latency_seconds_bucket{session="p0",le="+Inf"} %d`, decisions),
-			`rtmd_decision_latency_seconds_sum{session="p0"} `,
-			fmt.Sprintf(`rtmd_decision_latency_seconds_count{session="p0"} %d`, decisions),
-			`rtmd_session_explorations{session="p0"}`,
-			fmt.Sprintf(`rtmd_session_epochs{session="p0"} %d`, decisions),
-			`rtmd_session_epsilon{session="p0"}`,
-			fmt.Sprintf(`rtmd_session_visits{session="p0"} %d`, decisions),
-			`rtmd_session_converged_fraction{session="p0"}`,
+			fmt.Sprintf(`rtmd_decision_latency_seconds_bucket{le="+Inf"} %d`, decisions),
+			"rtmd_decision_latency_seconds_sum ",
+			fmt.Sprintf("rtmd_decision_latency_seconds_count %d", decisions),
 		)
+		// The default scrape must not scale with sessions: no series may
+		// carry a session label until the operator opts in with ?top=K.
+		if strings.Contains(body, `session="`) {
+			t.Errorf("default exposition carries per-session series:\n%s", body)
+		}
 		// A flat server relays nothing: the routed-hop families must be
 		// absent, not rendered as empty series.
 		if strings.Contains(body, "rtmd_route_") {
@@ -104,11 +110,11 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		// five quiet decisions cannot escape a 1 s range.
 		mustContain(t, body,
 			"# TYPE rtmd_decision_latency_overflow_total counter",
-			`rtmd_decision_latency_overflow_total{session="p0"} 0`,
+			"rtmd_decision_latency_overflow_total 0",
 		)
 		prevCount, prevLE, buckets := -1, 0.0, 0
 		for _, line := range strings.Split(body, "\n") {
-			if !strings.HasPrefix(line, `rtmd_decision_latency_seconds_bucket{session="p0",le="`) ||
+			if !strings.HasPrefix(line, `rtmd_decision_latency_seconds_bucket{le="`) ||
 				strings.Contains(line, `le="+Inf"`) {
 				continue
 			}
@@ -136,8 +142,31 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 			"# TYPE rtmd_checkpoint_writes_total counter",
 			"rtmd_checkpoint_writes_total 0",
 			"rtmd_checkpoint_skipped_total 0",
+			// Go runtime health rides on every scrape.
+			"# TYPE rtmd_go_goroutines gauge",
+			"rtmd_go_goroutines ",
+			"rtmd_go_gc_pause_p99_seconds ",
+			"rtmd_go_gc_cycles_total ",
+			"rtmd_go_heap_live_bytes ",
+			"rtmd_go_sched_latency_p99_seconds ",
 		)
 	}
+
+	// ?top=K opts back into per-session detail, under the separate
+	// rtmd_session_* families.
+	body := promBody(t, h.ts.Client(), h.ts.URL, false, "top=4")
+	mustContain(t, body,
+		"# TYPE rtmd_session_decision_latency_seconds histogram",
+		fmt.Sprintf(`rtmd_session_decision_latency_seconds_bucket{session="p0",le="+Inf"} %d`, decisions),
+		`rtmd_session_decision_latency_seconds_sum{session="p0"} `,
+		fmt.Sprintf(`rtmd_session_decision_latency_seconds_count{session="p0"} %d`, decisions),
+		`rtmd_session_decision_latency_overflow_total{session="p0"} 0`,
+		`rtmd_session_explorations{session="p0"}`,
+		fmt.Sprintf(`rtmd_session_epochs{session="p0"} %d`, decisions),
+		`rtmd_session_epsilon{session="p0"}`,
+		fmt.Sprintf(`rtmd_session_visits{session="p0"} %d`, decisions),
+		`rtmd_session_converged_fraction{session="p0"}`,
+	)
 
 	// The default content type is unchanged JSON, and the routed-hop
 	// fields stay off a flat server's document entirely.
@@ -156,7 +185,10 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 	}
 }
 
-// The router serves the same exposition over its fleet-merged metrics.
+// The router serves the same exposition over its fleet-merged metrics:
+// the replicas' aggregate latency histograms merge into one, per-session
+// detail stays behind ?top=K, and the router's own relay-hop histograms
+// ride alongside.
 func TestRouterPrometheusMetrics(t *testing.T) {
 	_, addrs := newFleet(t, 2, serve.Options{})
 	rt, err := serve.NewRouter(addrs, serve.RouterOptions{})
@@ -198,9 +230,20 @@ func TestRouterPrometheusMetrics(t *testing.T) {
 		"# TYPE rtmd_route_hop_seconds histogram",
 		`rtmd_route_hop_seconds_count{replica="`,
 		"rtmd_route_inflight_requests 0",
+		// The fleet-merged aggregate: every decide across both replicas in
+		// one unlabeled histogram.
+		fmt.Sprintf("rtmd_decision_latency_seconds_count %d", len(ids)),
+		// The router reports its own runtime health, not the replicas'.
+		"rtmd_go_goroutines ",
 	)
+	if strings.Contains(body, `session="`) {
+		t.Errorf("default router exposition carries per-session series:\n%s", body)
+	}
+
+	// Opting in with ?top=K surfaces the fleet's per-session detail.
+	topBody := promBody(t, rtHTTP.Client(), rtHTTP.URL, false, "top=8")
 	for _, id := range ids {
-		mustContain(t, body, fmt.Sprintf(`rtmd_decision_latency_seconds_count{session=%q} 1`, id))
+		mustContain(t, topBody, fmt.Sprintf(`rtmd_session_decision_latency_seconds_count{session=%q} 1`, id))
 	}
 
 	// Each routed decide above was one relayed hop; the per-replica hop

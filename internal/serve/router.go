@@ -4,6 +4,7 @@ import (
 	crand "crypto/rand"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"qgov/internal/ring"
 	"qgov/internal/serve/client"
 	"qgov/internal/stats"
+	"qgov/internal/trace"
 	"qgov/internal/wire"
 )
 
@@ -57,7 +59,9 @@ import (
 // replicas that restarted, and feeds per-member up/down status into
 // /healthz and the members table.
 type Router struct {
-	opt RouterOptions
+	opt    RouterOptions
+	log    *slog.Logger
+	tracer *trace.Tracer
 
 	// mu guards membership: the ring and the client set. Decide and
 	// control traffic holds it for read; Add/RemoveReplica hold it for
@@ -131,8 +135,13 @@ type RouterOptions struct {
 	// them up/down for /healthz and the members table. Zero selects
 	// defaultProbeEvery; negative disables probing.
 	ProbeEvery time.Duration
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives operational and slow-request log records; nil
+	// discards them.
+	Log *slog.Logger
+	// Tracer head-samples routed decide batches (tagging relayed frames
+	// so replica spans stitch under the same id) and tail-captures slow
+	// routed batches. Nil builds a default tracer with sampling off.
+	Tracer *trace.Tracer
 	// ConnsPerReplica is how many binary connections the router opens to
 	// each replica; batches stripe across them. <= 0 selects 1.
 	ConnsPerReplica int
@@ -155,8 +164,18 @@ func NewRouter(replicas []string, opt RouterOptions) (*Router, error) {
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("serve: router needs at least one replica")
 	}
+	lg := opt.Log
+	if lg == nil {
+		lg = slog.New(slog.DiscardHandler)
+	}
+	tr := opt.Tracer
+	if tr == nil {
+		tr = trace.New(trace.Options{})
+	}
 	rt := &Router{
 		opt:     opt,
+		log:     lg,
+		tracer:  tr,
 		ring:    ring.New(opt.VirtualNodes),
 		clients: make(map[string]*client.Client, len(replicas)),
 		status:  make(map[string]memberStatus, len(replicas)),
@@ -203,11 +222,17 @@ func (rt *Router) memberEpoch() uint32 { return rt.epoch.Load() }
 // change).
 func (rt *Router) Epoch() uint32 { return rt.epoch.Load() }
 
+// logf keeps printf-style call sites alive on the structured logger;
+// new code should call rt.log directly with key/value attrs.
 func (rt *Router) logf(format string, args ...any) {
-	if rt.opt.Logf != nil {
-		rt.opt.Logf(format, args...)
+	if rt.log.Enabled(nil, slog.LevelInfo) {
+		rt.log.Info(fmt.Sprintf(format, args...))
 	}
 }
+
+// Tracer exposes the router's span ring, for embedding harnesses and
+// the /v1/trace handlers. Never nil.
+func (rt *Router) Tracer() *trace.Tracer { return rt.tracer }
 
 // Close stops the prober and drops every replica connection. Idempotent.
 func (rt *Router) Close() error {
@@ -380,7 +405,7 @@ func (rt *Router) probeOnce() {
 			old.Close()
 		}
 		rt.setStatus(addr, true, "")
-		rt.logf("serve: router: reconnected to replica %s", addr)
+		rt.log.Info("reconnected to replica", "replica", addr)
 	}
 }
 
@@ -484,6 +509,19 @@ func (rt *Router) startBatch(batch []*observeReq) <-chan struct{} {
 	done := make(chan struct{})
 	s := routeScratchPool.Get().(*routeScratch)
 
+	// Head-sample the batch. A sampled batch tags every relayed frame
+	// with the trace id (the replicas then record their "decide" spans
+	// under it); frames that arrived already traced keep their upstream
+	// id — propagated ids relay untouched even when this tracer is off.
+	tr := rt.tracer
+	tid, _ := tr.Sample()
+	timed := tr.Enabled()
+	var batchStart time.Time
+	if timed {
+		batchStart = time.Now()
+	}
+	var propagated trace.TraceID
+
 	rt.mu.RLock()
 	relayed := 0
 	for i, r := range batch {
@@ -509,6 +547,20 @@ func (rt *Router) startBatch(batch []*observeReq) <-chan struct{} {
 			}
 			payload = r.raw[wire.HeaderSize:]
 		}
+		if r.m.Flags&wire.FlagTraced != 0 {
+			if propagated == 0 {
+				if id, ok := wire.ObserveTraceID(payload); ok {
+					propagated = trace.TraceID(id)
+				}
+			}
+		} else if tid != 0 {
+			// The tagged slice (possibly reallocated) lives in the group's
+			// payload list until the batch is answered; r.raw can stay on
+			// the shorter untagged bytes.
+			if tagged, terr := wire.AppendObserveTrace(payload, uint64(tid)); terr == nil {
+				payload = tagged
+			}
+		}
 		g := s.group(owner)
 		g.idx = append(g.idx, i)
 		// The payload bytes stay owned by their pooled request until the
@@ -516,6 +568,10 @@ func (rt *Router) startBatch(batch []*observeReq) <-chan struct{} {
 		// after done closes), so the group aliases them.
 		g.payloads = append(g.payloads, payload)
 		relayed++
+	}
+	spanTrace := tid
+	if spanTrace == 0 {
+		spanTrace = propagated
 	}
 
 	for _, g := range s.used {
@@ -548,6 +604,22 @@ func (rt *Router) startBatch(batch []*observeReq) <-chan struct{} {
 			}
 			err := g.rel.Wait()
 			rt.recordHop(g.addr, time.Since(g.start))
+			if timed && spanTrace != 0 {
+				errMsg := ""
+				if err != nil {
+					errMsg = err.Error()
+				}
+				tr.Record(trace.Span{
+					Trace:   spanTrace,
+					Stage:   "relay",
+					Origin:  "router",
+					Replica: g.addr,
+					Start:   g.start.UnixNano(),
+					DurUS:   float64(time.Since(g.start)) / float64(time.Microsecond),
+					Batch:   len(g.idx),
+					Err:     errMsg,
+				})
+			}
 			for k, i := range g.idx {
 				r := batch[i]
 				if err != nil {
@@ -566,6 +638,38 @@ func (rt *Router) startBatch(batch []*observeReq) <-chan struct{} {
 		rt.inflight.Add(int64(-relayed))
 		s.release()
 		rt.relayWG.Done()
+		if timed {
+			dur := time.Since(batchStart)
+			durUS := float64(dur) / float64(time.Microsecond)
+			if tr.Slow(dur) {
+				id := spanTrace
+				if id == 0 {
+					id = tr.ID()
+				}
+				tr.Record(trace.Span{
+					Trace:  id,
+					Stage:  "route",
+					Origin: "router",
+					Start:  batchStart.UnixNano(),
+					DurUS:  durUS,
+					Batch:  len(batch),
+					Slow:   true,
+				})
+				rt.log.Warn("slow routed batch",
+					"trace", id.String(),
+					"dur_us", durUS,
+					"batch", len(batch))
+			} else if spanTrace != 0 {
+				tr.Record(trace.Span{
+					Trace:  spanTrace,
+					Stage:  "route",
+					Origin: "router",
+					Start:  batchStart.UnixNano(),
+					DurUS:  durUS,
+					Batch:  len(batch),
+				})
+			}
+		}
 		close(done)
 	}()
 	return done
@@ -586,6 +690,25 @@ func (rt *Router) recordHop(addr string, d time.Duration) {
 	}
 	h.Add(us)
 	rt.hopmu.Unlock()
+}
+
+// HopLatency merges the per-replica relay-hop histograms into one
+// router-wide histogram (microseconds), or nil before the first relayed
+// batch. The merge is a copy; the caller owns the result.
+func (rt *Router) HopLatency() *stats.Histogram {
+	rt.hopmu.Lock()
+	defer rt.hopmu.Unlock()
+	var merged *stats.Histogram
+	for _, h := range rt.hops {
+		if merged == nil {
+			merged = stats.NewHistogram(0, routeHopHiUS, routeHopBins)
+		}
+		if err := merged.Merge(h); err != nil {
+			// Same fixed shape by construction; a mismatch is a bug.
+			panic("serve: merging hop histograms: " + err.Error())
+		}
+	}
+	return merged
 }
 
 // hopSnapshot renders the per-replica hop histograms for /v1/metrics.
@@ -674,6 +797,8 @@ func (rt *Router) control(op byte, session string, body []byte) (uint16, []byte)
 		return rt.aggregateList()
 	case wire.OpHealth:
 		return rt.aggregateHealth()
+	case wire.OpTrace:
+		return rt.aggregateTrace(body)
 	case wire.OpMembers:
 		if len(body) > 0 {
 			return http.StatusBadRequest, errorBody(errf("the router is the membership authority; pushes go router→replica"))
@@ -802,6 +927,7 @@ func (rt *Router) mergedMetrics() (metricsJSON, error) {
 				merged.QTablePoolPages += m.QTablePoolPages
 				merged.QTablePoolSharedBytes += m.QTablePoolSharedBytes
 				merged.QTableCowFaults += m.QTableCowFaults
+				merged.DecideLatency = mergeLatencyJSON(merged.DecideLatency, m.DecideLatency)
 				for id, sm := range m.Sessions {
 					merged.Sessions[id] = sm
 				}
@@ -822,6 +948,8 @@ func (rt *Router) mergedMetrics() (metricsJSON, error) {
 	merged.RouteHops = rt.hopSnapshot()
 	inflight := rt.inflight.Load()
 	merged.RouteInflight = &inflight
+	rs := stats.ReadRuntime()
+	merged.Runtime = &rs // the router's own process, not the fleet's
 	return merged, nil
 }
 
@@ -943,7 +1071,7 @@ func (rt *Router) RemoveReplica(addr string) ([]string, error) {
 	closeErr := leaving.Close()
 	epoch := rt.epoch.Add(1)
 	rt.pushMembershipLocked()
-	rt.logf("serve: router: drained %s (%d sessions moved, epoch %d)", addr, len(moved), epoch)
+	rt.log.Info("drained replica", "replica", addr, "sessions_moved", len(moved), "epoch", epoch)
 	return moved, closeErr
 }
 
@@ -1024,7 +1152,7 @@ func (rt *Router) AddReplica(addr string) ([]string, error) {
 	rt.setStatus(addr, true, "")
 	epoch := rt.epoch.Add(1)
 	rt.pushMembershipLocked()
-	rt.logf("serve: router: added %s (%d sessions moved, epoch %d)", addr, len(moved), epoch)
+	rt.log.Info("added replica", "replica", addr, "sessions_moved", len(moved), "epoch", epoch)
 	ids := make([]string, len(moved))
 	for i, m := range moved {
 		ids[i] = m.info.ID
@@ -1169,12 +1297,13 @@ func (rt *Router) Handler() http.Handler {
 				return
 			}
 			w.Header().Set("Content-Type", prometheusContentType)
-			writePrometheus(w, merged)
+			writePrometheus(w, merged, topSessions(r))
 			return
 		}
 		status, body := rt.control(wire.OpMetrics, "", nil)
 		writeControlResult(w, status, body)
 	})
+	mux.HandleFunc("GET /v1/trace", rt.handleTrace)
 	mux.HandleFunc("GET /healthz", rt.handleRouteHealth)
 	mux.HandleFunc("GET /v1/members", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, rt.membersInfo())

@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,7 @@ import (
 	"qgov/internal/serve/client"
 	"qgov/internal/sessionstore"
 	"qgov/internal/stats"
+	"qgov/internal/trace"
 	"qgov/internal/workload"
 )
 
@@ -81,6 +83,31 @@ const (
 // allocation most short-lived sessions never need), so the all-zero shape
 // comes from this shared instance. Read-only — never Add to it.
 var emptyLatHist = stats.NewLogHistogram(latHistLoUS, latHistHiUS, latHistBins)
+
+// latStripes is the server-wide aggregate latency histogram's stripe
+// count. Every decide lands one sample in its session's assigned stripe
+// (round-robin at create), so the aggregate costs one uncontended mutex
+// per decision instead of one global hot lock — and the Prometheus
+// scrape renders 70 buckets total, not 70 × sessions.
+const latStripes = 64
+
+// latStripe is one shard of the aggregate decision-latency histogram.
+// The histogram is built lazily like a session's: an idle server carries
+// 64 nil pointers, not 64 × 2 KB of zero bins.
+type latStripe struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// add records one decision latency (µs) into the stripe.
+func (st *latStripe) add(us float64) {
+	st.mu.Lock()
+	if st.h == nil {
+		st.h = stats.NewLogHistogram(latHistLoUS, latHistHiUS, latHistBins)
+	}
+	st.h.Add(us)
+	st.mu.Unlock()
+}
 
 // Options configures a Server. The zero value serves on the paper's
 // defaults: platform "a15", 25 fps decision epochs, no checkpointing.
@@ -130,14 +157,22 @@ type Options struct {
 	// rebuild (sessionstore.Sharded.DisableShrink) — the other soak
 	// baseline toggle; leave it false in production.
 	DisableStoreShrink bool
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives operational and slow-request log records; nil
+	// discards them.
+	Log *slog.Logger
+	// Tracer samples decide batches into the server's span ring (see
+	// internal/trace). Nil builds a default tracer with sampling off —
+	// propagated trace ids from a router still record, and /v1/trace
+	// serves the ring, but the server originates no traces of its own.
+	Tracer *trace.Tracer
 }
 
 // Server is the concurrent session store behind the HTTP API.
 type Server struct {
-	opt  Options
-	ckpt sessionstore.CheckpointStore
+	opt    Options
+	ckpt   sessionstore.CheckpointStore
+	log    *slog.Logger
+	tracer *trace.Tracer
 
 	sessions sessionstore.Store[*session]
 	// qpool is the process-wide content-interned Q-table page pool:
@@ -160,6 +195,12 @@ type Server struct {
 	nextID    atomic.Int64
 	decisions atomic.Int64
 	forwarded atomic.Int64 // decides relayed to their ring owner (fleet.go)
+
+	// latAgg is the server-wide decision-latency histogram, striped so
+	// the per-decide sample never contends on one lock. Sessions are
+	// assigned a stripe round-robin at create via stripeCtr.
+	latAgg    [latStripes]latStripe
+	stripeCtr atomic.Uint64
 
 	// Checkpoint write-amplification accounting: how many session states
 	// the sweeps actually wrote vs skipped because nothing had decided
@@ -220,6 +261,9 @@ type session struct {
 	// bulk of a fleet at peak churn) should not carry ~600 B of empty
 	// bins. Metrics rendering treats nil as the empty histogram.
 	lat *stats.Histogram
+	// stripe is the server-wide aggregate histogram shard this session's
+	// decisions also land in — assigned at create, immutable after.
+	stripe *latStripe
 	// dead marks a deleted session whose pooled learning state has been
 	// released. Guarded by mu: an in-flight decide that still holds the
 	// pointer must observe it and error instead of faulting released
@@ -249,9 +293,19 @@ func New(opt Options) *Server {
 	if opt.DisableStoreShrink {
 		store.DisableShrink()
 	}
+	lg := opt.Log
+	if lg == nil {
+		lg = slog.New(slog.DiscardHandler)
+	}
+	tr := opt.Tracer
+	if tr == nil {
+		tr = trace.New(trace.Options{})
+	}
 	s := &Server{
 		opt:      opt,
 		ckpt:     ckpt,
+		log:      lg,
+		tracer:   tr,
 		sessions: store,
 		qpool:    qpage.NewPool(),
 		peers:    make(map[string]*client.Client),
@@ -276,10 +330,39 @@ func New(opt Options) *Server {
 // memory-floor observability /v1/metrics exports.
 func (s *Server) QPoolStats() (pages, bytes, faults int64) { return s.qpool.Stats() }
 
+// logf keeps printf-style call sites alive on the structured logger;
+// new code should call s.log directly with key/value attrs.
 func (s *Server) logf(format string, args ...any) {
-	if s.opt.Logf != nil {
-		s.opt.Logf(format, args...)
+	if s.log.Enabled(nil, slog.LevelInfo) {
+		s.log.Info(fmt.Sprintf(format, args...))
 	}
+}
+
+// Tracer exposes the server's span ring, for embedding harnesses and
+// the /v1/trace handlers. Never nil.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// DecideLatency merges the aggregate latency stripes into one fresh
+// histogram (µs, the shared log geometry) — the O(1)-in-sessions figure
+// the Prometheus exposition and the soak harness report. Returns nil
+// when no decision has been recorded yet.
+func (s *Server) DecideLatency() *stats.Histogram {
+	var merged *stats.Histogram
+	for i := range s.latAgg {
+		st := &s.latAgg[i]
+		st.mu.Lock()
+		if st.h != nil {
+			if merged == nil {
+				merged = stats.NewLogHistogram(latHistLoUS, latHistHiUS, latHistBins)
+			}
+			if err := merged.Merge(st.h); err != nil {
+				st.mu.Unlock()
+				panic(fmt.Sprintf("serve: latency stripe geometry drifted: %v", err))
+			}
+		}
+		st.mu.Unlock()
+	}
+	return merged
 }
 
 // Close stops the checkpoint sweep and, when a checkpoint store is
@@ -691,6 +774,7 @@ func (s *Server) createSession(req createRequest) (*session, int, error) {
 		gov:      gov,
 		learner:  learner,
 		plat:     plat,
+		stripe:   &s.latAgg[s.stripeCtr.Add(1)%latStripes],
 	}
 	// Every failure past this point must reap the session: the reset
 	// governor holds pooled page references that would otherwise leak.
@@ -865,7 +949,11 @@ func (sess *session) decide(obs governor.Observation) (idx int, err error) {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("governor rejected the observation: %v", r)
 		}
-		sess.lat.Add(float64(time.Since(start)) / float64(time.Microsecond))
+		us := float64(time.Since(start)) / float64(time.Microsecond)
+		sess.lat.Add(us)
+		if sess.stripe != nil {
+			sess.stripe.add(us)
+		}
 	}()
 	idx = sess.gov.Decide(obs)
 	sess.epochs++

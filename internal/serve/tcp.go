@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"qgov/internal/trace"
 	"qgov/internal/wire"
 )
 
@@ -665,26 +666,98 @@ func (c *tcpConn) writeReplies(flights <-chan flight, wfail chan struct{}) {
 // the HTTP path. Requests for sessions this replica does not hold are
 // then offered to the forwarding pass — with a fleet table installed,
 // the ring owner answers them on behalf of a stale direct client.
+//
+// Tracing rides the same pass. A request that arrived with a wire trace
+// id (a router or client sampled it upstream) always records a "decide"
+// span; otherwise the batch's own head-sampling decision applies. Tail
+// capture times the whole batch when the tracer is enabled and records
+// a slow "decide.batch" span plus a structured warning when the batch
+// crosses the threshold — that is what catches the outlier the head
+// sample almost always misses.
 func (s *Server) decideBatch(batch []*observeReq) {
+	tr := s.tracer
+	batchTrace, _ := tr.Sample()
+	timed := tr.Enabled()
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
 	fanOut(len(batch), func(i int) {
 		r := batch[i]
-		sess := s.sessionFor(r.m.Session)
-		if sess == nil {
-			r.unknown = true
-			r.oppIdx, r.freqMHz = -1, 0
-			r.errMsg = errUnknownSession(string(r.m.Session)).Error()
+		tid := trace.TraceID(r.m.TraceID)
+		if tid == 0 {
+			tid = batchTrace
+		}
+		if tid == 0 {
+			s.decideReq(r)
 			return
 		}
-		r.unknown = false
-		idx, err := sess.decide(r.m.Obs)
-		if err != nil {
-			r.oppIdx, r.freqMHz = -1, 0
-			r.errMsg = err.Error()
-			return
-		}
-		r.oppIdx = int32(idx)
-		r.freqMHz = int32(sess.plat.table[idx].FreqMHz)
-		s.decisions.Add(1)
+		t0 := time.Now()
+		s.decideReq(r)
+		tr.Record(trace.Span{
+			Trace:     tid,
+			Stage:     "decide",
+			Origin:    s.originName(),
+			Session:   string(r.m.Session),
+			Start:     t0.UnixNano(),
+			DurUS:     float64(time.Since(t0)) / float64(time.Microsecond),
+			Forwarded: r.m.Flags&wire.FlagForwarded != 0,
+			Err:       r.errMsg,
+		})
 	})
-	s.forwardMisrouted(batch)
+	s.forwardMisrouted(batch, batchTrace)
+	if !timed {
+		return
+	}
+	dur := time.Since(start)
+	if tr.Slow(dur) {
+		id := batchTrace
+		if id == 0 {
+			id = tr.ID()
+		}
+		tr.Record(trace.Span{
+			Trace:  id,
+			Stage:  "decide.batch",
+			Origin: s.originName(),
+			Start:  start.UnixNano(),
+			DurUS:  float64(dur) / float64(time.Microsecond),
+			Batch:  len(batch),
+			Slow:   true,
+		})
+		s.log.Warn("slow decide batch",
+			"trace", id.String(),
+			"dur_us", float64(dur)/float64(time.Microsecond),
+			"batch", len(batch))
+	} else if batchTrace != 0 {
+		tr.Record(trace.Span{
+			Trace:  batchTrace,
+			Stage:  "decide.batch",
+			Origin: s.originName(),
+			Start:  start.UnixNano(),
+			DurUS:  float64(dur) / float64(time.Microsecond),
+			Batch:  len(batch),
+		})
+	}
+}
+
+// decideReq answers one binary request in place — the per-request body
+// decideBatch fans out, shared by its traced and untraced arms.
+func (s *Server) decideReq(r *observeReq) {
+	sess := s.sessionFor(r.m.Session)
+	if sess == nil {
+		r.unknown = true
+		r.oppIdx, r.freqMHz = -1, 0
+		r.errMsg = errUnknownSession(string(r.m.Session)).Error()
+		return
+	}
+	r.unknown = false
+	idx, err := sess.decide(r.m.Obs)
+	if err != nil {
+		r.oppIdx, r.freqMHz = -1, 0
+		r.errMsg = err.Error()
+		return
+	}
+	r.oppIdx = int32(idx)
+	r.freqMHz = int32(sess.plat.table[idx].FreqMHz)
+	s.decisions.Add(1)
 }

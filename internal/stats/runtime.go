@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// RuntimeStats is one snapshot of the Go runtime's own health signals —
+// the process-level telemetry every serving tier exposes beside its
+// decision metrics, so an operator can tell a slow fleet apart from a
+// GC-bound or goroutine-leaked one without attaching a profiler.
+type RuntimeStats struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int64 `json:"goroutines"`
+	// GCPauseP99S is the 99th-percentile stop-the-world GC pause, in
+	// seconds, over the process lifetime.
+	GCPauseP99S float64 `json:"gc_pause_p99_s"`
+	// GCCycles counts completed GC cycles.
+	GCCycles uint64 `json:"gc_cycles"`
+	// HeapLiveBytes is the heap memory occupied by live objects plus
+	// not-yet-swept spans — the closest runtime/metrics analogue of
+	// "live heap".
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+	// SchedLatencyP99S is the 99th-percentile time goroutines spent
+	// runnable before running, in seconds, over the process lifetime.
+	SchedLatencyP99S float64 `json:"sched_latency_p99_s"`
+}
+
+// runtimeSamples is the fixed sample set ReadRuntime reads. Names that
+// this Go version does not export simply report zero — the snapshot
+// must never panic on a runtime revision skew.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/gc/pauses:seconds",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/heap/live:bytes",
+	"/sched/latencies:seconds",
+}
+
+// ReadRuntime samples the Go runtime metrics once. It allocates a small
+// fixed amount and costs microseconds — fine on every metrics scrape,
+// not meant for per-decision paths.
+func ReadRuntime() RuntimeStats {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+
+	var out RuntimeStats
+	for _, s := range samples {
+		if s.Value.Kind() == metrics.KindBad {
+			continue
+		}
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			out.Goroutines = int64(s.Value.Uint64())
+		case "/gc/pauses:seconds":
+			out.GCPauseP99S = histQuantile(s.Value.Float64Histogram(), 0.99)
+		case "/gc/cycles/total:gc-cycles":
+			out.GCCycles = s.Value.Uint64()
+		case "/gc/heap/live:bytes":
+			out.HeapLiveBytes = s.Value.Uint64()
+		case "/sched/latencies:seconds":
+			out.SchedLatencyP99S = histQuantile(s.Value.Float64Histogram(), 0.99)
+		}
+	}
+	return out
+}
+
+// histQuantile estimates quantile q from a runtime Float64Histogram,
+// reporting the upper bucket edge the rank falls under — pessimistic by
+// up to one bucket, which is the right bias for a pause/latency alarm.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Buckets[i+1] is the bucket's upper edge; the final bucket's
+			// +Inf edge falls back to its finite lower edge.
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"testing"
+)
+
+func TestReadRuntime(t *testing.T) {
+	runtime.GC() // guarantee at least one GC cycle and pause sample
+	rs := ReadRuntime()
+	if rs.Goroutines < 1 {
+		t.Errorf("Goroutines = %d, want >= 1", rs.Goroutines)
+	}
+	if rs.GCCycles == 0 {
+		t.Error("GCCycles = 0 after an explicit runtime.GC()")
+	}
+	if rs.HeapLiveBytes == 0 {
+		t.Error("HeapLiveBytes = 0")
+	}
+	if rs.GCPauseP99S < 0 || rs.GCPauseP99S > 10 {
+		t.Errorf("GCPauseP99S = %g, outside sane bounds", rs.GCPauseP99S)
+	}
+	if rs.SchedLatencyP99S < 0 || rs.SchedLatencyP99S > 60 {
+		t.Errorf("SchedLatencyP99S = %g, outside sane bounds", rs.SchedLatencyP99S)
+	}
+}
+
+// Every name in runtimeSamples must exist in this Go version's metric
+// set (the fallback-to-zero path is for future skew, not for typos).
+func TestRuntimeSampleNamesValid(t *testing.T) {
+	known := make(map[string]bool)
+	for _, d := range metrics.All() {
+		known[d.Name] = true
+	}
+	for _, name := range runtimeSamples {
+		if !known[name] {
+			t.Errorf("runtime metric %q unknown to this Go version", name)
+		}
+	}
+}
+
+func TestHistQuantileEmpty(t *testing.T) {
+	if got := histQuantile(nil, 0.99); got != 0 {
+		t.Errorf("nil histogram quantile = %g", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1, 2}}
+	if got := histQuantile(empty, 0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %g", got)
+	}
+}
+
+func TestHistQuantileRank(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{90, 9, 1},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	if got := histQuantile(h, 0.5); got != 1 {
+		t.Errorf("p50 = %g, want 1", got)
+	}
+	if got := histQuantile(h, 0.99); got != 2 {
+		t.Errorf("p99 = %g, want 2", got)
+	}
+	if got := histQuantile(h, 1); got != 3 {
+		t.Errorf("p100 = %g, want 3", got)
+	}
+}

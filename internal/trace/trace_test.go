@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsOff(t *testing.T) {
+	var tr *Tracer
+	if id, ok := tr.Sample(); ok || id != 0 {
+		t.Fatalf("nil Sample = %v, %v", id, ok)
+	}
+	if tr.Slow(time.Hour) {
+		t.Fatal("nil Slow = true")
+	}
+	if tr.Enabled() {
+		t.Fatal("nil Enabled = true")
+	}
+	tr.Record(Span{Trace: 1, Stage: "decide"}) // must not panic
+	if got := tr.Snapshot(Filter{}); got != nil {
+		t.Fatalf("nil Snapshot = %v", got)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("nil Len = %d", tr.Len())
+	}
+	if tr.ID() != 0 {
+		t.Fatalf("nil ID = %v", tr.ID())
+	}
+}
+
+func TestSampleProbabilityEdges(t *testing.T) {
+	always := New(Options{SampleProb: 1})
+	for i := 0; i < 1000; i++ {
+		id, ok := always.Sample()
+		if !ok || id == 0 {
+			t.Fatalf("prob 1.0 sample %d: id=%v ok=%v", i, id, ok)
+		}
+	}
+	never := New(Options{SampleProb: 0})
+	for i := 0; i < 1000; i++ {
+		if _, ok := never.Sample(); ok {
+			t.Fatalf("prob 0 sampled at %d", i)
+		}
+	}
+}
+
+func TestSampleProbabilityRate(t *testing.T) {
+	tr := New(Options{SampleProb: 0.25})
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if _, ok := tr.Sample(); ok {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.22 || rate > 0.28 {
+		t.Fatalf("prob 0.25 sampled at rate %.4f", rate)
+	}
+}
+
+func TestSampleIDsDistinct(t *testing.T) {
+	tr := New(Options{SampleProb: 1})
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 10000; i++ {
+		id, _ := tr.Sample()
+		if seen[id] {
+			t.Fatalf("duplicate trace id %v after %d samples", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSlowThreshold(t *testing.T) {
+	tr := New(Options{Slow: 5 * time.Millisecond})
+	if tr.Slow(4 * time.Millisecond) {
+		t.Fatal("4ms flagged slow at 5ms threshold")
+	}
+	if !tr.Slow(5 * time.Millisecond) {
+		t.Fatal("5ms not flagged at 5ms threshold")
+	}
+	off := New(Options{})
+	if off.Slow(time.Hour) {
+		t.Fatal("zero threshold captured a tail")
+	}
+	if off.Enabled() {
+		t.Fatal("no sampling, no threshold, yet Enabled")
+	}
+	if !tr.Enabled() {
+		t.Fatal("tail capture configured but not Enabled")
+	}
+}
+
+func TestRecordZeroTraceDropped(t *testing.T) {
+	tr := New(Options{SampleProb: 1})
+	tr.Record(Span{Trace: 0, Stage: "decide"})
+	if tr.Len() != 0 {
+		t.Fatalf("zero-trace span recorded: Len=%d", tr.Len())
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := New(Options{SampleProb: 1, Capacity: 16})
+	for i := 1; i <= 100; i++ {
+		tr.Record(Span{Trace: TraceID(i), Stage: "decide", Start: int64(i)})
+	}
+	if tr.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", tr.Len())
+	}
+	got := tr.Snapshot(Filter{})
+	if len(got) != 16 {
+		t.Fatalf("Snapshot len = %d, want 16", len(got))
+	}
+	// Only the newest 16 survive, newest first.
+	for i, sp := range got {
+		want := TraceID(100 - i)
+		if sp.Trace != want {
+			t.Fatalf("span %d trace = %v, want %v", i, sp.Trace, want)
+		}
+	}
+}
+
+func TestSnapshotFilters(t *testing.T) {
+	tr := New(Options{SampleProb: 1, Capacity: 64})
+	tr.Record(Span{Trace: 1, Stage: "decide", Session: "a", DurUS: 10, Start: 1})
+	tr.Record(Span{Trace: 2, Stage: "decide", Session: "b", DurUS: 100, Start: 2})
+	tr.Record(Span{Trace: 2, Stage: "route", DurUS: 150, Start: 3})
+	tr.Record(Span{Trace: 3, Stage: "decide", Session: "a", DurUS: 1000, Start: 4})
+
+	if got := tr.Snapshot(Filter{Session: "a"}); len(got) != 2 {
+		t.Fatalf("session filter: %d spans, want 2", len(got))
+	}
+	if got := tr.Snapshot(Filter{Trace: 2}); len(got) != 2 {
+		t.Fatalf("trace filter: %d spans, want 2", len(got))
+	}
+	if got := tr.Snapshot(Filter{MinDurUS: 120}); len(got) != 2 {
+		t.Fatalf("min-dur filter: %d spans, want 2", len(got))
+	}
+	got := tr.Snapshot(Filter{Limit: 2})
+	if len(got) != 2 || got[0].Trace != 3 || got[1].Trace != 2 {
+		t.Fatalf("limit filter newest-first: %+v", got)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New(Options{SampleProb: 1, Capacity: 128})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				id, ok := tr.Sample()
+				if !ok {
+					t.Error("prob 1.0 did not sample")
+					return
+				}
+				tr.Record(Span{Trace: id, Stage: "decide", DurUS: float64(i)})
+				tr.Snapshot(Filter{Limit: 4})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 128 {
+		t.Fatalf("Len = %d, want full ring 128", tr.Len())
+	}
+	for _, sp := range tr.Snapshot(Filter{}) {
+		if sp.Trace == 0 || sp.Stage != "decide" {
+			t.Fatalf("torn span: %+v", sp)
+		}
+	}
+}
+
+func TestTraceIDJSON(t *testing.T) {
+	id := TraceID(0xdeadbeef12345678)
+	b, err := json.Marshal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"deadbeef12345678"` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var back TraceID
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("round trip = %v, want %v", back, id)
+	}
+	// Short forms parse (leading zeros omitted).
+	short, err := ParseID("1f")
+	if err != nil || short != 0x1f {
+		t.Fatalf("ParseID(1f) = %v, %v", short, err)
+	}
+	if _, err := ParseID(""); err == nil {
+		t.Fatal("empty id parsed")
+	}
+	if _, err := ParseID("xyz"); err == nil {
+		t.Fatal("non-hex id parsed")
+	}
+	if _, err := ParseID("00000000000000001"); err == nil {
+		t.Fatal("17-digit id parsed")
+	}
+}
+
+func TestIDNeverZero(t *testing.T) {
+	tr := New(Options{SampleProb: 1})
+	for i := 0; i < 10000; i++ {
+		if tr.ID() == 0 {
+			t.Fatal("ID minted zero")
+		}
+	}
+}

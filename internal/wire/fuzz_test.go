@@ -60,6 +60,15 @@ func frameSeeds(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	// A traced observe (trailing 8-byte trace id behind FlagTraced) and
+	// the same frame with its tail cut off — the decoder must reject the
+	// flagged-but-idless shape, not read past the end.
+	traced, err := wire.AppendObserveTraced(nil, 9, wire.FlagForwarded, 0xfeedfacecafebeef, []byte("c2"), &obs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(traced)
+	f.Add(traced[:len(traced)-8])
 	f.Add(frame)
 	f.Add(dec)
 	f.Add(ctrl)

@@ -127,6 +127,12 @@ const (
 	// a replica so the replica can recognise — and forward — decides for
 	// sessions the ring places elsewhere. The session field is ignored.
 	OpMembers byte = 0x08
+	// OpTrace returns recent decide-path spans from the server's trace
+	// ring. The body is the JSON filter (/v1/trace's query parameters as
+	// a document: min_us, session, trace, limit), the reply body the JSON
+	// span array — what lets a router stitch fleet-wide traces without an
+	// HTTP side channel to its replicas. The session field is ignored.
+	OpTrace byte = 0x09
 )
 
 // Observe flags.
@@ -136,6 +142,13 @@ const (
 	// flagged observe, so transient membership disagreement between two
 	// replicas is bounded to one extra hop instead of a forwarding loop.
 	FlagForwarded byte = 0x01
+	// FlagTraced marks an observe carrying a trace id: 8 extra big-endian
+	// bytes appended after the util vector. The id travels at the payload
+	// tail so every fixed offset (ObserveMeta, SetObserveID) stays valid,
+	// untraced frames are byte-identical to protocol version 1 without the
+	// flag, and a relay can tag a frame in flight by setting the bit and
+	// appending the id — no re-encode, no offset shuffle.
+	FlagTraced byte = 0x02
 )
 
 // Members is the JSON body of OpMembers frames — the one membership
@@ -178,10 +191,15 @@ var (
 // stream of frames decodes without allocating.
 type Observe struct {
 	ID uint32
-	// Flags carries per-request transport flags (FlagForwarded).
+	// Flags carries per-request transport flags (FlagForwarded,
+	// FlagTraced).
 	Flags   byte
 	Session []byte
 	Obs     governor.Observation
+	// TraceID is the propagated trace id when Flags carries FlagTraced,
+	// 0 otherwise. A server decides the request identically either way;
+	// the id only routes the request's spans to one stitched trace.
+	TraceID uint64
 }
 
 // Decide is the decoded MsgDecide payload. OPPIdx is -1 and Err non-empty
@@ -263,6 +281,20 @@ func AppendObserveBytes(dst []byte, id uint32, flags byte, session []byte, obs *
 // AppendObserveBytes: one encoder over both session representations, so
 // hot paths holding []byte session ids never convert to string.
 func AppendObserveFlags[S string | []byte](dst []byte, id uint32, flags byte, session S, obs *governor.Observation) ([]byte, error) {
+	return AppendObserveTraced(dst, id, flags, 0, session, obs)
+}
+
+// AppendObserveTraced is AppendObserveFlags plus a trace id: when trace
+// is nonzero the frame carries FlagTraced and the id as its trailing 8
+// bytes, so the receiving server's decide spans stitch to the caller's.
+// A zero trace encodes a plain untraced frame (FlagTraced stripped from
+// flags if present — a traced flag without an id would desync decode).
+func AppendObserveTraced[S string | []byte](dst []byte, id uint32, flags byte, trace uint64, session S, obs *governor.Observation) ([]byte, error) {
+	if trace != 0 {
+		flags |= FlagTraced
+	} else {
+		flags &^= FlagTraced
+	}
 	if len(session) > MaxSession {
 		return dst, fmt.Errorf("%w: session id of %d bytes (max %d)", ErrTooLong, len(session), MaxSession)
 	}
@@ -290,6 +322,9 @@ func AppendObserveFlags[S string | []byte](dst []byte, id uint32, flags byte, se
 	out = appendU16(out, uint16(len(obs.Util)))
 	for _, u := range obs.Util {
 		out = appendF64(out, u)
+	}
+	if trace != 0 {
+		out = appendU64(out, trace)
 	}
 	if len(out)-start > MaxPayload {
 		return dst[:orig], ErrFrameTooLarge
@@ -396,6 +431,42 @@ func SetObserveID(payload []byte, id uint32) error {
 	}
 	binary.BigEndian.PutUint32(payload, id)
 	return nil
+}
+
+// ObserveTraceID reads the propagated trace id off an encoded MsgObserve
+// payload in O(1): the flags byte says whether the frame is traced, and
+// the id is always the trailing 8 bytes. Returns (0, false) for an
+// untraced or too-short payload.
+func ObserveTraceID(payload []byte) (uint64, bool) {
+	if len(payload) < observeSessOff+8 || payload[observeFlagsOff]&FlagTraced == 0 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(payload[len(payload)-8:]), true
+}
+
+// AppendObserveTrace tags an encoded MsgObserve payload with a trace id
+// without re-encoding it: set FlagTraced in place, append the id's 8
+// bytes, return the (possibly reallocated) payload. An already-traced
+// payload keeps its length and has its trailing id overwritten — a relay
+// adopting an upstream id calls this idempotently. This is the router's
+// injection path: the zero-copy relay tags the raw payload it received
+// and AppendFrame re-frames it with the corrected length.
+func AppendObserveTrace(payload []byte, trace uint64) ([]byte, error) {
+	if len(payload) < observeSessOff {
+		return payload, ErrTruncated
+	}
+	if trace == 0 {
+		return payload, nil
+	}
+	if payload[observeFlagsOff]&FlagTraced != 0 {
+		if len(payload) < observeSessOff+8 {
+			return payload, ErrTruncated
+		}
+		binary.BigEndian.PutUint64(payload[len(payload)-8:], trace)
+		return payload, nil
+	}
+	payload[observeFlagsOff] |= FlagTraced
+	return appendU64(payload, trace), nil
 }
 
 // AppendFrame frames an already-encoded payload: header plus payload
@@ -533,6 +604,10 @@ func (m *Observe) Decode(payload []byte) error {
 		var u float64
 		d.takeF64(&u)
 		m.Obs.Util = append(m.Obs.Util, u)
+	}
+	m.TraceID = 0
+	if m.Flags&FlagTraced != 0 && !d.takeU64(&m.TraceID) {
+		return ErrTruncated
 	}
 	if d.remain() != 0 {
 		return ErrTrailingBytes
